@@ -1,0 +1,109 @@
+"""E-CROSS -- Section 3.1: which naive algorithm wins where.
+
+Regenerates the section's regime discussion as a winner map over
+(n, d, k, eps):
+
+* ``n = 1/eps``:      RELEASE-DB matches the Omega(d/eps) bound;
+* ``1/eps >= C(d/2, k-1)``, k = O(1): RELEASE-ANSWERS matches it;
+* in between (n huge, C(d,k) huge): SUBSAMPLE wins;
+
+and checks the section's equivalence claim: in the first two regimes the
+For-All and For-Each optimal sizes coincide asymptotically.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.core import Task, best_naive, naive_upper_bounds
+from repro.experiments import format_table, print_experiment_header
+from repro.params import SketchParams
+
+
+def test_winner_map(benchmark):
+    print_experiment_header("E-CROSS")
+
+    def run():
+        rows = []
+        cases = [
+            # (label, params, expected winner).  The n = 1/eps regime needs
+            # nd < C(d,k): tiny databases relative to the query space.
+            ("n = 1/eps", SketchParams(n=8, d=32, k=2, epsilon=1 / 8), "release-db"),
+            ("n = 1/eps", SketchParams(n=12, d=32, k=2, epsilon=1 / 12), "release-db"),
+            (
+                "1/eps >= C(d/2,k-1)",
+                SketchParams(n=10**8, d=16, k=2, epsilon=0.01),
+                "release-answers",
+            ),
+            (
+                "1/eps >= C(d/2,k-1)",
+                SketchParams(n=10**8, d=12, k=3, epsilon=0.005),
+                "release-answers",
+            ),
+            (
+                "intermediate",
+                SketchParams(n=10**8, d=64, k=5, epsilon=0.05),
+                "subsample",
+            ),
+            (
+                "intermediate",
+                SketchParams(n=10**9, d=128, k=4, epsilon=0.1),
+                "subsample",
+            ),
+        ]
+        for label, p, expected in cases:
+            winner, size = best_naive(Task.FORALL_INDICATOR, p)
+            rows.append(
+                {
+                    "regime": label,
+                    "n": p.n,
+                    "d": p.d,
+                    "k": p.k,
+                    "1/eps": round(p.inv_epsilon),
+                    "winner": winner,
+                    "bits": size,
+                    "expected": expected,
+                }
+            )
+            assert winner == expected, (label, p)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+
+
+def test_forall_equals_foreach_in_tight_regimes(benchmark):
+    """Section 3.1: For-All and For-Each costs coincide when RELEASE-DB
+    or RELEASE-ANSWERS is optimal (both are task-oblivious)."""
+
+    def run():
+        gaps = []
+        for p in (
+            SketchParams(n=8, d=32, k=2, epsilon=1 / 8),
+            SketchParams(n=10**8, d=16, k=2, epsilon=0.01),
+        ):
+            forall = best_naive(Task.FORALL_INDICATOR, p)[1]
+            foreach = best_naive(Task.FOREACH_INDICATOR, p)[1]
+            gaps.append(forall / foreach)
+        return gaps
+
+    gaps = benchmark(run)
+    print(f"\nForAll/ForEach size ratios in tight regimes: {gaps}")
+    assert all(g == 1.0 for g in gaps)
+
+
+def test_foreach_strictly_cheaper_in_sampling_regime(benchmark):
+    """Where SUBSAMPLE wins, For-Each saves the log C(d,k) factor."""
+
+    def run():
+        p = SketchParams(n=10**9, d=128, k=4, epsilon=0.1, delta=0.1)
+        forall = naive_upper_bounds(Task.FORALL_INDICATOR, p)["subsample"]
+        foreach = naive_upper_bounds(Task.FOREACH_INDICATOR, p)["subsample"]
+        return forall, foreach
+
+    forall, foreach = benchmark(run)
+    print(f"\nsubsample bits: forall {forall}, foreach {foreach}")
+    assert forall > 2 * foreach

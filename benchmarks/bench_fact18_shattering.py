@@ -1,0 +1,59 @@
+"""E-F18 -- Fact 18: shattered sets at every supported size.
+
+Verifies the VC-dimension construction exhaustively at small sizes and on
+random patterns at larger ones, and reports v = k' log2(d/k') growth --
+the factor the Theorem 15/16 amplifications multiply into the bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table, print_experiment_header
+from repro.lowerbounds import ShatteredSet
+
+
+def test_shattering_sweep(benchmark):
+    print_experiment_header("E-F18")
+
+    def sweep():
+        rows = []
+        rng = np.random.default_rng(0)
+        for d, kp in [(8, 1), (8, 2), (16, 2), (16, 4), (32, 2), (32, 4), (64, 4), (64, 8)]:
+            ss = ShatteredSet(d, kp)
+            if ss.v <= 12:
+                patterns = (
+                    np.arange(1 << ss.v)[:, None]
+                    >> np.arange(ss.v - 1, -1, -1)[None, :]
+                ) & 1
+                checked = patterns.shape[0]
+                ok = all(ss.verify(p.astype(bool)) for p in patterns)
+            else:
+                checked = 500
+                ok = all(
+                    ss.verify(rng.random(ss.v) < 0.5) for _ in range(checked)
+                )
+            assert ok, (d, kp)
+            rows.append(
+                {"d": d, "k'": kp, "v": ss.v, "patterns checked": checked, "shattered": ok}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+
+
+def test_pattern_to_itemset_speed(benchmark):
+    """Time the T_s lookup -- the inner loop of every Thm 15/16 attack."""
+    ss = ShatteredSet(64, 4)
+    rng = np.random.default_rng(1)
+    patterns = rng.random((256, ss.v)) < 0.5
+
+    def lookup_all():
+        return [ss.itemset_for_pattern(p) for p in patterns]
+
+    itemsets = benchmark(lookup_all)
+    assert len(itemsets) == 256
+    assert all(len(t) == 4 for t in itemsets)

@@ -1,0 +1,62 @@
+"""E-KRSU -- Section 4.1.1: the L2 reconstruction phase transition.
+
+Figure-equivalent F-4: reconstruction bit-error rate as a function of the
+normalised noise ``eps * sqrt(n)``.  The paper's story: answers accurate to
+``eps <~ sqrt(n)/n`` allow reconstructing the hidden column (so sketches
+in that regime must be large); beyond the crossover reconstruction
+collapses to coin-flipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_series, print_experiment_header
+from repro.lowerbounds import KrsuConstruction
+
+
+def test_phase_transition(benchmark):
+    print_experiment_header("E-KRSU")
+
+    def sweep():
+        n = 32
+        noise_scales = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8]
+        error_rates = []
+        rng = np.random.default_rng(0)
+        for scale in noise_scales:
+            errors = 0
+            total = 0
+            for seed in range(4):
+                kr = KrsuConstruction(d0=8, k=3, n=n, epsilon=0.01, rng=seed)
+                payload = kr.random_payload(rng=seed + 50)
+                db = kr.encode(payload)
+                answers = kr.exact_answers(db)
+                noisy = answers + rng.normal(0, scale, size=answers.shape)
+                recovered = kr.decode_from_answers(noisy, method="l2")
+                errors += int((recovered != payload).sum())
+                total += payload.size
+            error_rates.append(errors / total)
+        return noise_scales, error_rates
+
+    scales, rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    normalised = [s * np.sqrt(32) for s in scales]
+    print()
+    print(format_series("bit-error rate vs eps*sqrt(n)", [round(x, 2) for x in normalised], rates))
+    # Perfect below the transition, broken far above it.
+    assert rates[0] == 0.0
+    assert rates[1] <= 0.05
+    assert rates[-1] >= 0.2
+    # Monotone trend (allowing small non-monotonic jitter).
+    assert rates[-1] > rates[1]
+
+
+def test_l2_decode_speed(benchmark):
+    """Time one least-squares reconstruction (the attack's inner step)."""
+    kr = KrsuConstruction(d0=8, k=3, n=48, epsilon=0.01, rng=1)
+    payload = kr.random_payload(rng=2)
+    db = kr.encode(payload)
+    answers = kr.exact_answers(db)
+
+    recovered = benchmark(lambda: kr.decode_from_answers(answers, method="l2"))
+    assert np.array_equal(recovered, payload)

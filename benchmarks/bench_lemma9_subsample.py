@@ -1,0 +1,96 @@
+"""E-L9 -- Lemma 9: SUBSAMPLE's accuracy at the prescribed sample counts.
+
+Figure-equivalent F-1: sketch size vs 1/eps on a log-log scale has slope
+~1 for the indicator task and ~2 for the estimator task (the linear vs
+quadratic dependence the paper's bounds fight over), and the estimator's
+empirical error decays as s^{-1/2}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SubsampleSketcher, Task, sample_count_for, validate_sketcher
+from repro.db import random_database
+from repro.experiments import format_series, log_slope, print_experiment_header
+from repro.params import SketchParams
+
+
+def test_failure_rates_within_delta(benchmark):
+    """At Lemma 9's sample counts, the measured failure rate is <= delta."""
+    print_experiment_header("E-L9")
+    db = random_database(6000, 12, 0.3, rng=0)
+
+    def run():
+        out = {}
+        for task in Task:
+            p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+            report = validate_sketcher(SubsampleSketcher(task), db, p, trials=10, rng=1)
+            out[task.value] = report.failure_rate
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nfailure rates at Lemma 9 sample counts (delta = 0.2):", rates)
+    for task_name, rate in rates.items():
+        assert rate <= 0.4, (task_name, rate)  # 2x slack on delta
+
+
+def test_size_scaling_slopes(benchmark):
+    """F-1: slope ~1 (indicator) and ~2 (estimator) of size vs 1/eps."""
+
+    def slopes():
+        inv_eps = [4, 8, 16, 32, 64]
+        sizes = {"indicator": [], "estimator": []}
+        for ie in inv_eps:
+            p = SketchParams(n=10**9, d=32, k=2, epsilon=1.0 / ie, delta=0.1)
+            sizes["indicator"].append(
+                sample_count_for(Task.FOREACH_INDICATOR, p) * p.d
+            )
+            sizes["estimator"].append(
+                sample_count_for(Task.FOREACH_ESTIMATOR, p) * p.d
+            )
+        return inv_eps, sizes
+
+    inv_eps, sizes = benchmark(slopes)
+    print()
+    print(format_series("indicator bits", inv_eps, sizes["indicator"]))
+    print(format_series("estimator bits", inv_eps, sizes["estimator"]))
+    ind_slope = log_slope(inv_eps, sizes["indicator"])
+    est_slope = log_slope(inv_eps, sizes["estimator"])
+    print(f"slopes: indicator {ind_slope:.2f} (paper: 1), estimator {est_slope:.2f} (paper: 2)")
+    assert 0.8 <= ind_slope <= 1.2
+    assert 1.8 <= est_slope <= 2.2
+
+
+def test_estimator_error_decays_as_sqrt_s(benchmark):
+    """Empirical max error vs sample count: slope ~ -1/2."""
+    db = random_database(20_000, 10, 0.3, rng=2)
+
+    def sweep():
+        counts = [100, 400, 1600, 6400]
+        errors = []
+        rng = np.random.default_rng(3)
+        from repro.db import Itemset
+
+        itemsets = [Itemset([i, j]) for i in range(5) for j in range(5, 10)]
+        truth = {t: db.frequency(t) for t in itemsets}
+        for s in counts:
+            p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.5, delta=0.1)
+            trial_errors = []
+            for _ in range(5):
+                sketch = SubsampleSketcher(
+                    Task.FOREACH_ESTIMATOR, sample_count=s
+                ).sketch(db, p, rng)
+                trial_errors.append(
+                    max(abs(sketch.estimate(t) - truth[t]) for t in itemsets)
+                )
+            errors.append(float(np.mean(trial_errors)))
+        return counts, errors
+
+    counts, errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_series("max error vs s", counts, errors))
+    slope = log_slope(counts, errors)
+    print(f"slope: {slope:.2f} (theory: -0.5)")
+    assert -0.75 <= slope <= -0.3

@@ -1,0 +1,91 @@
+"""E-PRIV -- Section 1.4, footnote 3: the DP bridge, measured.
+
+The footnote claims releasing a sketch via the exponential mechanism
+(utility = -n * max itemset error) yields a private sketch with error
+``eps + O(s/n)``.  We run the mechanism over subsample-sketch candidates
+and compare the released error against that budget, then exercise the
+reverse conversion ``s = Omega(t - eps n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SubsampleSketcher, Task
+from repro.db import random_database
+from repro.experiments import format_table, print_experiment_header
+from repro.params import SketchParams
+from repro.privacy import (
+    dp_to_sketch_lower_bound,
+    max_query_error,
+    private_sketch_release,
+)
+
+
+def test_exponential_release_error_budget(benchmark):
+    print_experiment_header("E-PRIV")
+
+    def run():
+        rows = []
+        for n in (1000, 4000):
+            db = random_database(n, 8, 0.3, rng=n)
+            p = SketchParams(n=n, d=8, k=2, epsilon=0.1, delta=0.1)
+            sketcher = SubsampleSketcher(Task.FORALL_ESTIMATOR)
+            chosen, err = private_sketch_release(
+                db, p, sketcher, n_candidates=12, eps_dp=1.0, rng=n + 1
+            )
+            s_bits = chosen.size_in_bits()
+            budget = p.epsilon + 2.0 * s_bits / n  # eps + O(s/n), constant 2
+            rows.append(
+                {
+                    "n": n,
+                    "released max error": round(err, 4),
+                    "sketch bits s": s_bits,
+                    "eps + O(s/n) budget": round(budget, 3),
+                }
+            )
+            assert err <= budget, (n, err, budget)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+
+
+def test_mechanism_beats_random_candidate(benchmark):
+    """The mechanism's pick is close to the best candidate on average."""
+
+    def run():
+        db = random_database(3000, 8, 0.3, rng=0)
+        p = SketchParams(n=3000, d=8, k=2, epsilon=0.1, delta=0.1)
+        sketcher = SubsampleSketcher(Task.FORALL_ESTIMATOR)
+        rng = np.random.default_rng(1)
+        candidates = [sketcher.sketch(db, p, rng) for _ in range(12)]
+        errors = sorted(max_query_error(c, db, 2) for c in candidates)
+        _, released_err = private_sketch_release(
+            db, p, sketcher, n_candidates=12, eps_dp=1.0, rng=2
+        )
+        return errors, released_err
+
+    errors, released_err = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ncandidate errors [best, median, worst]: "
+        f"{errors[0]:.4f}, {errors[len(errors) // 2]:.4f}, {errors[-1]:.4f}; "
+        f"released: {released_err:.4f}"
+    )
+    assert released_err <= errors[-1]
+
+
+def test_conversion_formula_shape(benchmark):
+    """s = Omega(t - eps n): monotone in t, clamped at 0."""
+
+    def run():
+        ts = [0, 100, 300, 500, 1000]
+        return [dp_to_sketch_lower_bound(t, 0.1, 2000) for t in ts]
+
+    bounds = benchmark(run)
+    print(f"\nconversion at eps=0.1, n=2000 for t=0..1000: {bounds}")
+    assert bounds == sorted(bounds)
+    assert bounds[0] == 0.0
+    assert bounds[-1] == 800.0

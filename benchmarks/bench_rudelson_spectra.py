@@ -1,0 +1,81 @@
+"""E-L26 -- Lemma 26 [Rud12]: spectra of Hadamard-product matrices.
+
+Figure-equivalent F-3: ``sigma_min(A) / sqrt(d0^{k-1})`` stays in a
+constant band as d0 grows (the Omega(sqrt(d^{k-1})) claim), and the
+sampled Euclidean-section constant of range(A) stays bounded below --
+the two properties De's LP decoding rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table, print_experiment_header
+from repro.linalg import (
+    euclidean_section_delta,
+    hadamard_product,
+    random_bernoulli_matrices,
+    smallest_singular_value,
+)
+
+
+def test_sigma_min_scaling(benchmark):
+    print_experiment_header("E-L26")
+
+    def sweep():
+        rows = []
+        for k in (2, 3):
+            for d0 in (8, 16, 32):
+                n = min(d0 ** (k - 1) // 2, 48)
+                sigmas = []
+                for seed in range(3):
+                    ms = random_bernoulli_matrices(k - 1, d0, n, rng=(k, d0, seed).__hash__() % 2**31)
+                    sigmas.append(smallest_singular_value(hadamard_product(ms)))
+                normalised = float(np.mean(sigmas)) / np.sqrt(d0 ** (k - 1))
+                rows.append(
+                    {
+                        "k": k,
+                        "d0": d0,
+                        "L=d0^(k-1)": d0 ** (k - 1),
+                        "n": n,
+                        "sigma_min": round(float(np.mean(sigmas)), 3),
+                        "sigma/sqrt(L)": round(normalised, 3),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    # The normalised sigma stays in a constant band: no collapse with size.
+    # (Smallest configs sit near the n ~ L/2 edge of the regime, so the
+    # band is checked with generous constants.)
+    normalised = [r["sigma/sqrt(L)"] for r in rows]
+    assert min(normalised) > 0.05
+    assert max(normalised) / min(normalised) < 8.0
+
+
+def test_euclidean_section_constant(benchmark):
+    def sweep():
+        deltas = []
+        for d0 in (8, 16, 32):
+            ms = random_bernoulli_matrices(2, d0, 24, rng=d0)
+            deltas.append(
+                euclidean_section_delta(hadamard_product(ms), 300, rng=d0 + 1)
+            )
+        return deltas
+
+    deltas = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nsection deltas across d0 = 8/16/32: {[round(x, 3) for x in deltas]}")
+    assert min(deltas) > 0.05  # bounded away from zero
+    # Not degrading with size.
+    assert deltas[-1] > 0.5 * deltas[0]
+
+
+def test_svd_cost(benchmark):
+    """Time the sigma_min measurement at the largest experiment size."""
+    ms = random_bernoulli_matrices(2, 32, 48, rng=7)
+    a = hadamard_product(ms)
+    sigma = benchmark(lambda: smallest_singular_value(a))
+    assert sigma > 0

@@ -1,0 +1,103 @@
+"""E-T12 -- Theorem 12: the naive upper-bound table.
+
+Regenerates the paper's ``min{nd, C(d,k)[log 1/eps], eps^{-1..-2} d log(.)}``
+accounting: for every (d, k, eps) cell we *measure* each naive sketch's
+serialized size and check it equals the closed-form bound, then print the
+table of winners.  The benchmark times the dominant operation (building
+the min-size sketch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BestOfNaiveSketcher,
+    ReleaseAnswersSketcher,
+    ReleaseDbSketcher,
+    SubsampleSketcher,
+    Task,
+    naive_upper_bounds,
+)
+from repro.db import random_database
+from repro.experiments import format_table, grid, print_experiment_header
+from repro.params import SketchParams
+
+GRID = list(grid(d=[16, 32], k=[1, 2, 3], inv_eps=[4, 16, 64]))
+
+
+def _params(d: int, k: int, inv_eps: int, n: int = 4096) -> SketchParams:
+    return SketchParams(n=n, d=d, k=k, epsilon=1.0 / inv_eps, delta=0.1)
+
+
+@pytest.mark.parametrize("task", [Task.FORALL_INDICATOR, Task.FORALL_ESTIMATOR])
+def test_measured_sizes_match_formulas(benchmark, task):
+    """Every naive sketch's measured bit size equals Theorem 12's formula."""
+    print_experiment_header("E-T12")
+    rows = []
+    db_cache: dict[int, object] = {}
+
+    def build_all():
+        for cell in GRID:
+            p = _params(**cell)
+            db = db_cache.setdefault(
+                p.d, random_database(p.n, p.d, 0.3, rng=p.d)
+            )
+            formulas = naive_upper_bounds(task, p)
+            measured = {}
+            for name, sketcher in (
+                ("release-db", ReleaseDbSketcher(task)),
+                ("release-answers", ReleaseAnswersSketcher(task)),
+                ("subsample", SubsampleSketcher(task)),
+            ):
+                sketch = sketcher.sketch(db, p, rng=0)
+                measured[name] = sketch.size_in_bits()
+                assert measured[name] == formulas[name], (name, cell)
+            winner = min(formulas, key=formulas.__getitem__)
+            rows.append(
+                {
+                    "d": p.d,
+                    "k": p.k,
+                    "1/eps": cell["inv_eps"],
+                    "release-db": formulas["release-db"],
+                    "release-answers": formulas["release-answers"],
+                    "subsample": formulas["subsample"],
+                    "winner": winner,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print(f"\n[{task.value}]")
+    print(format_table(result))
+
+
+def test_best_of_naive_build_speed(benchmark):
+    """Time Theorem 12's combined algorithm on a medium instance."""
+    db = random_database(4096, 32, 0.3, rng=1)
+    p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+    sketcher = BestOfNaiveSketcher(Task.FORALL_ESTIMATOR)
+    sketch = benchmark(lambda: sketcher.sketch(db, p, rng=2))
+    assert sketch.size_in_bits() == sketcher.theoretical_size_bits(p)
+
+
+def test_indicator_never_larger_than_estimator(benchmark):
+    """Theorem 12(a) vs 12(b): indicator bounds <= estimator bounds.
+
+    Holds once 1/eps clears the explicit constant in Lemma 9's indicator
+    sample count (16 ln(2/delta)/eps vs ln(2/delta)/eps^2 crosses at
+    1/eps = 16), so the grid starts at 1/eps = 32.
+    """
+
+    def check():
+        violations = []
+        for cell in grid(d=[16, 32, 64], k=[1, 2, 3], inv_eps=[32, 128, 512]):
+            p = _params(**cell)
+            ind = min(naive_upper_bounds(Task.FORALL_INDICATOR, p).values())
+            est = min(naive_upper_bounds(Task.FORALL_ESTIMATOR, p).values())
+            if ind > est:
+                violations.append(cell)
+        return violations
+
+    assert benchmark(check) == []

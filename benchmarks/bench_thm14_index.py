@@ -1,0 +1,72 @@
+"""E-T14 -- Theorem 14: the INDEX reduction for For-Each sketches.
+
+Builds the one-way INDEX protocol from real For-Each indicator sketches
+and measures error rate and communication.  The claim: error stays below
+INDEX's 1/3 requirement while communication equals the sketch size, which
+must therefore obey Ablayev's (1 - H(err)) * N bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import evaluate_protocol, index_lower_bound_bits
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.experiments import format_table, print_experiment_header
+from repro.lowerbounds import SketchIndexProtocol
+
+
+def _sampler(n_index):
+    def sample(g):
+        return (g.random(n_index) < 0.5), int(g.integers(0, n_index))
+
+    return sample
+
+
+def test_index_protocol_error_and_communication(benchmark):
+    print_experiment_header("E-T14")
+
+    def sweep():
+        rows = []
+        for d, m in [(8, 4), (16, 8), (32, 8)]:
+            for name, sketcher in (
+                ("release-db", ReleaseDbSketcher(Task.FOREACH_INDICATOR)),
+                ("subsample", SubsampleSketcher(Task.FOREACH_INDICATOR)),
+            ):
+                proto = SketchIndexProtocol(sketcher, d=d, k=2, m=m, delta=0.05)
+                err, bits = evaluate_protocol(
+                    proto, _sampler(proto.n_index), trials=25, rng=d * m
+                )
+                rows.append(
+                    {
+                        "d": d,
+                        "1/eps": m,
+                        "sketcher": name,
+                        "N": proto.n_index,
+                        "err": err,
+                        "comm bits": bits,
+                        "ablayev LB": round(index_lower_bound_bits(proto.n_index, 1 / 3), 1),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    for row in rows:
+        assert row["err"] <= 1 / 3, row
+        # Any correct protocol's communication obeys the INDEX bound.
+        assert row["comm bits"] >= (1 - 0.92) * row["N"]  # generous H(err) slack
+
+
+def test_protocol_run_latency(benchmark):
+    """Time one full Alice->Bob round with the subsample sketch."""
+    proto = SketchIndexProtocol(
+        SubsampleSketcher(Task.FOREACH_INDICATOR), d=16, k=2, m=8
+    )
+    rng = np.random.default_rng(0)
+    x = rng.random(proto.n_index) < 0.5
+
+    run = benchmark(lambda: proto.run(x, 7, rng=1))
+    assert run.message_bits > 0

@@ -1,0 +1,100 @@
+"""E-T16 -- Theorem 16: the composed estimator lower bound, executed.
+
+Three measurements:
+
+1. De's base construction (Lemma 25): exact payload recovery through a
+   real For-All estimator sketch, L1-decoded.
+2. L1 vs L2 under *average-case* error (a few gross outliers): the reason
+   De replaces KRSU's least squares (Section 4.1.1's closing paragraph).
+3. The full Theorem 16 composition: v independent De payloads recovered
+   from one sketch via Lemma 21 -- the xV amplification of the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.experiments import format_table, print_experiment_header
+from repro.lowerbounds import DeConstruction, Theorem16Encoding, run_encoding_attack
+
+
+def test_de_base_recovery_through_sketches(benchmark):
+    print_experiment_header("E-T16")
+
+    def run():
+        rows = []
+        for sketcher_name, sketcher, delta in (
+            ("release-db", ReleaseDbSketcher(Task.FORALL_ESTIMATOR), 0.1),
+            ("subsample", SubsampleSketcher(Task.FORALL_ESTIMATOR), 0.05),
+        ):
+            de = DeConstruction(d0=8, k=3, n=64, epsilon=0.02, rng=3)
+            report = run_encoding_attack(de, sketcher, delta=delta, rng=4)
+            rows.append(
+                {
+                    "sketcher": sketcher_name,
+                    "payload bits": report.payload_bits,
+                    "bit errors": report.bit_errors,
+                    "sketch bits": report.sketch_bits,
+                    "fano": round(report.fano_bound_bits, 1),
+                }
+            )
+            assert report.exact, sketcher_name
+            assert report.sketch_bits >= report.fano_bound_bits
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+
+
+def test_l1_beats_l2_on_average_error(benchmark):
+    """Outlier-contaminated answers: L1 recovers, L2 breaks."""
+
+    def run():
+        rng = np.random.default_rng(5)
+        de = DeConstruction(d0=8, k=3, n=48, epsilon=0.02, use_ecc=False, rng=6)
+        payload = de.random_payload(rng=7)
+        db = de.encode(payload)
+        answers = de.exact_answers(db)
+        # Contaminate 5% of answers grossly; tiny noise elsewhere.
+        noisy = answers + rng.normal(0, 0.002, size=answers.shape)
+        n_outliers = max(1, answers.size // 20)
+        flat = noisy.reshape(-1)
+        idx = rng.choice(flat.size, size=n_outliers, replace=False)
+        flat[idx] += 0.8
+        l1_errors = int(
+            (de.decode_from_answers(noisy, method="l1") != payload).sum()
+        )
+        l2_errors = int(
+            (de.decode_from_answers(noisy, method="l2") != payload).sum()
+        )
+        return l1_errors, l2_errors
+
+    l1_errors, l2_errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\noutlier contamination: L1 errors {l1_errors}, L2 errors {l2_errors}")
+    assert l1_errors <= l2_errors
+    assert l1_errors == 0
+
+
+def test_full_composition_recovery(benchmark):
+    """v blocks recovered via Lemma 21 + L1 from one estimator sketch."""
+
+    def run():
+        enc = Theorem16Encoding(
+            d_shatter=8, c=2, k=3, d0=24, n_inner=20, epsilon=0.004,
+            use_ecc=False, rng=8,
+        )
+        report = run_encoding_attack(
+            enc, ReleaseDbSketcher(Task.FORALL_ESTIMATOR), rng=9
+        )
+        return enc, report
+
+    enc, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ncomposition: v={enc.v} blocks, payload {report.payload_bits} bits, "
+        f"errors {report.bit_errors}, exact={report.exact}"
+    )
+    assert report.exact
+    assert report.payload_bits == enc.v * enc.inner.payload_bits

@@ -1,0 +1,79 @@
+"""E-T17 -- Theorem 17: For-Each -> For-All via median boosting.
+
+Measures the transformation's two sides: the boosted sketch passes the
+For-All validity check, and its size is exactly ``copies x base`` with
+``copies = O(log C(d,k))`` -- the factor Theorem 17's reduction pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SubsampleSketcher, Task, validate_sketcher
+from repro.db import random_database
+from repro.experiments import format_table, print_experiment_header
+from repro.lowerbounds import MedianBoostSketcher, copies_needed
+from repro.params import SketchParams
+
+
+def test_boosted_validity_and_size(benchmark):
+    print_experiment_header("E-T17")
+    db = random_database(4000, 12, 0.3, rng=0)
+
+    def run():
+        rows = []
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        base = SubsampleSketcher(Task.FOREACH_ESTIMATOR)
+        boost = MedianBoostSketcher(base)
+        report = validate_sketcher(boost, db, p, trials=8, rng=1)
+        sketch = boost.sketch(db, p, rng=2)
+        rows.append(
+            {
+                "copies": sketch.n_copies,
+                "formula": copies_needed(p),
+                "base bits": base.theoretical_size_bits(p),
+                "boosted bits": sketch.size_in_bits(),
+                "forall failure rate": report.failure_rate,
+            }
+        )
+        assert sketch.n_copies == copies_needed(p)
+        assert sketch.size_in_bits() == sketch.n_copies * base.theoretical_size_bits(p)
+        assert report.ok(p.delta)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+
+
+def test_copies_scale_logarithmically(benchmark):
+    """copies = O(log C(d,k)): doubling d adds, not multiplies, copies."""
+
+    def run():
+        counts = []
+        for d in (8, 16, 32, 64):
+            p = SketchParams(n=10**6, d=d, k=2, epsilon=0.1, delta=0.1)
+            counts.append(copies_needed(p))
+        return counts
+
+    counts = benchmark(run)
+    print(f"\ncopies for d = 8/16/32/64: {counts}")
+    # log-like growth: each doubling of d adds a roughly constant increment.
+    increments = [b - a for a, b in zip(counts, counts[1:])]
+    assert max(increments) <= 25
+    assert counts[-1] < 2 * counts[0]
+
+
+def test_boost_query_latency(benchmark):
+    """Median queries cost ~copies x a base query."""
+    db = random_database(2000, 10, 0.3, rng=3)
+    p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+    sketch = MedianBoostSketcher(
+        SubsampleSketcher(Task.FOREACH_ESTIMATOR), copies=9
+    ).sketch(db, p, rng=4)
+    from repro.db import Itemset
+
+    t = Itemset([0, 1])
+    value = benchmark(lambda: sketch.estimate(t))
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark doubles as a regression check of the paper claim its
+experiment id names: it prints the series/table it regenerates (run pytest
+with ``-s`` to see them) and *asserts* the qualitative claim -- who wins,
+what slope, which radius -- so a failed claim fails the bench run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pedantic_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Market-basket analysis on a sketch (the Section 1 motivating workload).
+
+Generates IBM-Quest-style transactions, keeps only a SUBSAMPLE sketch, and
+runs the full mining stack -- frequent itemsets, maximal condensation,
+association rules -- against the sketch, comparing with exact results.
+
+Run with:  python examples/market_basket.py
+"""
+
+from __future__ import annotations
+
+from repro import Itemset, SketchParams, SubsampleSketcher, Task
+from repro.db import market_basket_database
+from repro.mining import apriori, derive_rules, eclat, maximal_itemsets
+
+
+def main() -> None:
+    db = market_basket_database(
+        n=30_000, d=20, n_patterns=6, mean_pattern_size=3.5, noise=0.01, rng=7
+    )
+    params = SketchParams(n=db.n, d=db.d, k=4, epsilon=0.02, delta=0.05)
+    sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(db, params, rng=8)
+    print(
+        f"{db.n:,} transactions sketched into {sketch.n_samples:,} samples "
+        f"({sketch.size_in_bits():,} bits, "
+        f"{sketch.size_in_bits() / db.size_in_bits():.1%} of the data)\n"
+    )
+
+    threshold = 0.12
+    exact = eclat(db, threshold, max_size=4)
+    approx = apriori(sketch, threshold, max_size=4)
+    both = set(exact) & set(approx)
+    print(
+        f"frequent itemsets at {threshold:.0%}: exact {len(exact)}, "
+        f"from sketch {len(approx)}, agreement "
+        f"{len(both) / max(len(set(exact) | set(approx)), 1):.0%}"
+    )
+
+    maximal = maximal_itemsets(approx)
+    print(f"\nmaximal frequent itemsets (from sketch): {len(maximal)}")
+    for itemset, freq in sorted(maximal.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {list(itemset)}  f ~= {freq:.3f}")
+
+    rules = derive_rules(approx, min_confidence=0.7)
+    print(f"\ntop association rules (from sketch, confidence >= 0.7): {len(rules)}")
+    for rule in rules[:5]:
+        print(
+            f"  {list(rule.antecedent)} => {list(rule.consequent)}  "
+            f"support {rule.support:.3f}, confidence {rule.confidence:.2f}, "
+            f"lift {rule.lift:.2f}"
+        )
+
+    # Spot-check rule quality against the exact database.
+    if rules:
+        rule = rules[0]
+        exact_conf = db.frequency(
+            rule.antecedent.union(rule.consequent)
+        ) / db.frequency(rule.antecedent)
+        print(
+            f"\nbest rule exact confidence: {exact_conf:.3f} "
+            f"(sketch said {rule.confidence:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""The paper's lower bounds, run as live attacks.
+
+Encodes a secret payload into a hard database (Theorems 13 and 15),
+sketches the database with the paper's optimal algorithm, and reconstructs
+the payload using nothing but the sketch's public query interface -- the
+executable form of "any valid sketch must be at least this large".
+
+Run with:  python examples/reconstruction_attack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SubsampleSketcher, Task
+from repro.analysis import fano_lower_bound
+from repro.lowerbounds import (
+    Theorem13Encoding,
+    Theorem15Encoding,
+    run_encoding_attack,
+)
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    banner("Theorem 13: Omega(d / eps) for indicator sketches")
+    enc13 = Theorem13Encoding(d=32, k=2, m=16)  # eps = 1/16
+    print(
+        f"hard family: {enc13.m} rows x {enc13.d} attributes, "
+        f"payload {enc13.payload_bits} free bits = d/(2 eps)"
+    )
+    report = run_encoding_attack(
+        enc13, SubsampleSketcher(Task.FORALL_INDICATOR), delta=0.05, rng=0
+    )
+    print(
+        f"attacked SUBSAMPLE sketch of {report.sketch_bits:,} bits: "
+        f"recovered {report.payload_bits - report.bit_errors}/"
+        f"{report.payload_bits} payload bits"
+    )
+    print(
+        f"=> any sketch allowing this recovery needs "
+        f">= {report.fano_bound_bits:,.0f} bits (Fano); "
+        f"measured sketch has {report.sketch_bits:,}"
+    )
+
+    banner("Theorem 15: Omega(k d log(d/k)) with exact ECC recovery")
+    enc15 = Theorem15Encoding(d=64, k=3)
+    print(
+        f"Fact 18 shattered strings: v = {enc15.v}; payload wrapped in a "
+        f"concatenated code (rate {enc15.code.rate:.2f}, adversarial radius "
+        f"{enc15.code.guaranteed_radius_fraction:.1%})"
+    )
+    report15 = run_encoding_attack(
+        enc15, SubsampleSketcher(Task.FORALL_INDICATOR), delta=0.02, rng=1
+    )
+    print(
+        f"attacked SUBSAMPLE sketch of {report15.sketch_bits:,} bits: "
+        f"exact recovery = {report15.exact} "
+        f"({report15.payload_bits} arbitrary bits through Lemma 19 + ECC)"
+    )
+
+    banner("The information-theoretic ledger")
+    for name, rep in (("Thm 13", report), ("Thm 15", report15)):
+        print(
+            f"{name}: payload {rep.payload_bits:4d} bits | fano "
+            f"{fano_lower_bound(rep.payload_bits, 0.05):7.1f} | sketch "
+            f"{rep.sketch_bits:7,d} | recovered "
+            f"{1 - rep.error_fraction:.1%}"
+        )
+    print(
+        "\nThe sketch can never be smaller than the payload it provably "
+        "carries -- that is the whole lower-bound argument, executed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Reproduction of *Space Lower Bounds for Itemset Frequency Sketches* (PODS 2016).
+
+The library has three layers:
+
+1. **Substrates** -- binary databases and itemset queries (:mod:`repro.db`),
+   probability/information tooling (:mod:`repro.analysis`), error-correcting
+   codes (:mod:`repro.coding`), one-way communication protocols
+   (:mod:`repro.comm`), and reconstruction linear algebra
+   (:mod:`repro.linalg`).
+2. **The paper's systems** -- the four sketching tasks with the three naive,
+   provably-optimal algorithms (:mod:`repro.core`) and the executable
+   lower-bound constructions and attacks (:mod:`repro.lowerbounds`).
+3. **Context** -- frequent-itemset mining (:mod:`repro.mining`), streaming
+   baselines (:mod:`repro.streaming`), and the differential-privacy bridge
+   (:mod:`repro.privacy`) that Sections 1-2 of the paper situate the results
+   against, plus the experiment harness (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (BinaryDatabase, Itemset, SketchParams,
+                       SubsampleSketcher, Task)
+
+    db = BinaryDatabase(np.random.default_rng(0).random((10_000, 32)) < 0.3)
+    params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.05, delta=0.05)
+    sketch = SubsampleSketcher(Task.FOREACH_ESTIMATOR).sketch(db, params, rng=0)
+    print(sketch.estimate(Itemset([0, 1])), sketch.size_in_bits())
+"""
+
+from ._version import __version__
+from .db import (
+    BinaryDatabase,
+    FrequencyOracle,
+    Itemset,
+    all_itemsets,
+    market_basket_database,
+    planted_database,
+    random_database,
+)
+from .core import (
+    BestOfNaiveSketcher,
+    FrequencySketch,
+    ReleaseAnswersSketcher,
+    ReleaseDbSketcher,
+    Sketcher,
+    SubsampleSketcher,
+    Task,
+    lower_bound_bits,
+    upper_bound_bits,
+    validate_sketcher,
+)
+from .errors import DecodingError, ParameterError, ReproError, SketchSizeError
+from .params import SketchParams
+
+__all__ = [
+    "__version__",
+    "BinaryDatabase",
+    "Itemset",
+    "FrequencyOracle",
+    "all_itemsets",
+    "random_database",
+    "planted_database",
+    "market_basket_database",
+    "Task",
+    "Sketcher",
+    "FrequencySketch",
+    "ReleaseDbSketcher",
+    "ReleaseAnswersSketcher",
+    "SubsampleSketcher",
+    "BestOfNaiveSketcher",
+    "upper_bound_bits",
+    "lower_bound_bits",
+    "validate_sketcher",
+    "SketchParams",
+    "ReproError",
+    "ParameterError",
+    "DecodingError",
+    "SketchSizeError",
+]

@@ -1,0 +1,51 @@
+"""Probabilistic and information-theoretic tooling (Lemmas 10-11, Fano)."""
+
+from .binomial import (
+    binomial_two_sided_tail,
+    binomial_upper_tail,
+    chernoff_slack_factor,
+    exact_estimator_samples,
+)
+from .chernoff import (
+    chernoff_additive,
+    chernoff_multiplicative,
+    forall_estimator_samples,
+    forall_indicator_samples,
+    foreach_estimator_samples,
+    foreach_indicator_samples,
+    union_bound_delta,
+)
+from .entropy import (
+    binary_entropy,
+    empirical_entropy,
+    encoding_lower_bound,
+    fano_lower_bound,
+)
+from .hamming import (
+    flip_adversarial_run,
+    flip_random_bits,
+    hamming_distance,
+    hamming_fraction,
+)
+
+__all__ = [
+    "binomial_two_sided_tail",
+    "binomial_upper_tail",
+    "exact_estimator_samples",
+    "chernoff_slack_factor",
+    "chernoff_additive",
+    "chernoff_multiplicative",
+    "foreach_indicator_samples",
+    "foreach_estimator_samples",
+    "forall_indicator_samples",
+    "forall_estimator_samples",
+    "union_bound_delta",
+    "binary_entropy",
+    "fano_lower_bound",
+    "encoding_lower_bound",
+    "empirical_entropy",
+    "hamming_distance",
+    "hamming_fraction",
+    "flip_random_bits",
+    "flip_adversarial_run",
+]

@@ -1,0 +1,109 @@
+"""Chernoff bounds and the sample-size calculators of Lemma 9.
+
+The paper's upper bounds (Section 2) rest on two standard Chernoff forms:
+
+* Lemma 10 (multiplicative): ``P[X not in [(1-e)p, (1+e)p]] <= 2 exp(-s p e^2 / 4)``
+* Lemma 11 (additive):       ``P[X not in [p-e, p+e]]       <= 2 exp(-2 s e^2)``
+
+where ``X`` is the mean of ``s`` i.i.d. Bernoulli(p) variables.  From these
+the proof of Lemma 9 derives the number of row samples SUBSAMPLE needs for
+each of the four sketching tasks; the ``*_samples`` functions below are the
+exact expressions used in that proof (with their explicit constants), and
+are what :class:`repro.core.subsample.SubsampleSketcher` calls.
+"""
+
+from __future__ import annotations
+
+import math
+from math import comb
+
+from ..errors import ParameterError
+
+__all__ = [
+    "chernoff_multiplicative",
+    "chernoff_additive",
+    "foreach_indicator_samples",
+    "foreach_estimator_samples",
+    "forall_indicator_samples",
+    "forall_estimator_samples",
+    "union_bound_delta",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 < value < 1.0:
+        raise ParameterError(f"{name} must lie in (0, 1), got {value}")
+
+
+def chernoff_multiplicative(s: int, p: float, epsilon: float) -> float:
+    """Lemma 10's tail bound ``2 exp(-s p epsilon^2 / 4)`` (clamped to 1).
+
+    Valid for ``epsilon < 2e - 1``; we do not enforce that cap because the
+    bound is only ever *weaker* outside it and the callers use small epsilon.
+    """
+    if s < 0:
+        raise ParameterError(f"s must be non-negative, got {s}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must lie in [0, 1], got {p}")
+    return min(1.0, 2.0 * math.exp(-s * p * epsilon * epsilon / 4.0))
+
+
+def chernoff_additive(s: int, epsilon: float) -> float:
+    """Lemma 11's tail bound ``2 exp(-2 s epsilon^2)`` (clamped to 1)."""
+    if s < 0:
+        raise ParameterError(f"s must be non-negative, got {s}")
+    return min(1.0, 2.0 * math.exp(-2.0 * s * epsilon * epsilon))
+
+
+def foreach_indicator_samples(epsilon: float, delta: float) -> int:
+    """Rows for a For-Each indicator sketch: ``16 ln(2/delta) / epsilon``.
+
+    This is the explicit constant from the proof of Lemma 9 (the step
+    bounding ``P[f_T(D') not in [p/2, 2p]] <= 2 exp(-s p / 16)``).
+    """
+    _check_probability("epsilon", epsilon)
+    _check_probability("delta", delta)
+    return max(1, math.ceil(16.0 * math.log(2.0 / delta) / epsilon))
+
+
+def foreach_estimator_samples(epsilon: float, delta: float) -> int:
+    """Rows for a For-Each estimator sketch: ``ln(2/delta) / epsilon^2``.
+
+    From Lemma 11: ``2 exp(-2 s eps^2) <= delta`` iff
+    ``s >= ln(2/delta) / (2 eps^2)``; we keep the proof's slack factor 2.
+    """
+    _check_probability("epsilon", epsilon)
+    _check_probability("delta", delta)
+    return max(1, math.ceil(math.log(2.0 / delta) / (epsilon * epsilon)))
+
+
+def forall_indicator_samples(epsilon: float, delta: float, d: int, k: int) -> int:
+    """Rows for a For-All indicator sketch: union bound over ``C(d,k)`` sets.
+
+    Equals :func:`foreach_indicator_samples` with ``delta' = delta/C(d,k)``.
+    """
+    if not 1 <= k <= d:
+        raise ParameterError(f"need 1 <= k <= d, got k={k}, d={d}")
+    delta_prime = delta / comb(d, k)
+    _check_probability("epsilon", epsilon)
+    if delta_prime <= 0:
+        raise ParameterError("delta too small for union bound")
+    return max(1, math.ceil(16.0 * math.log(2.0 / delta_prime) / epsilon))
+
+
+def forall_estimator_samples(epsilon: float, delta: float, d: int, k: int) -> int:
+    """Rows for a For-All estimator sketch: union bound over ``C(d,k)`` sets."""
+    if not 1 <= k <= d:
+        raise ParameterError(f"need 1 <= k <= d, got k={k}, d={d}")
+    delta_prime = delta / comb(d, k)
+    _check_probability("epsilon", epsilon)
+    if delta_prime <= 0:
+        raise ParameterError("delta too small for union bound")
+    return max(1, math.ceil(math.log(2.0 / delta_prime) / (epsilon * epsilon)))
+
+
+def union_bound_delta(per_event_delta: float, n_events: int) -> float:
+    """Total failure probability across ``n_events`` events (clamped to 1)."""
+    if n_events < 0:
+        raise ParameterError(f"n_events must be non-negative, got {n_events}")
+    return min(1.0, per_event_delta * n_events)

@@ -1,0 +1,66 @@
+"""Hamming-distance utilities shared by decoders and their tests.
+
+Lemma 19 guarantees reconstruction up to Hamming distance ``v/25``; the
+error-correcting codes of Theorems 15/16 must uniquely decode from a 4%
+bit-error fraction.  These helpers keep those checks uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "hamming_distance",
+    "hamming_fraction",
+    "flip_random_bits",
+    "flip_adversarial_run",
+]
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where two equal-length bit vectors differ."""
+    x = np.asarray(a, dtype=bool).reshape(-1)
+    y = np.asarray(b, dtype=bool).reshape(-1)
+    if x.shape != y.shape:
+        raise ParameterError(f"length mismatch: {x.shape} vs {y.shape}")
+    return int(np.count_nonzero(x ^ y))
+
+
+def hamming_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of differing positions (``distance / length``)."""
+    x = np.asarray(a, dtype=bool).reshape(-1)
+    if x.size == 0:
+        raise ParameterError("cannot compare zero-length vectors")
+    return hamming_distance(a, b) / x.size
+
+
+def flip_random_bits(
+    bits: np.ndarray, count: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Return a copy with ``count`` distinct uniformly random positions flipped."""
+    arr = np.asarray(bits, dtype=bool).copy().reshape(-1)
+    if count < 0 or count > arr.size:
+        raise ParameterError(f"cannot flip {count} of {arr.size} bits")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if count:
+        pos = gen.choice(arr.size, size=count, replace=False)
+        arr[pos] ^= True
+    return arr
+
+
+def flip_adversarial_run(bits: np.ndarray, count: int, start: int = 0) -> np.ndarray:
+    """Return a copy with a contiguous run of ``count`` bits flipped.
+
+    Bursts are the worst case for naive codes; the concatenated code's tests
+    use this to check that its guaranteed radius holds against concentrated
+    (not just random) corruption.
+    """
+    arr = np.asarray(bits, dtype=bool).copy().reshape(-1)
+    if count < 0 or start < 0 or start + count > arr.size:
+        raise ParameterError(
+            f"run [{start}, {start + count}) out of range for {arr.size} bits"
+        )
+    arr[start : start + count] ^= True
+    return arr

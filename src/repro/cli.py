@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's everyday entry points:
+
+* ``experiments`` -- list the reproduced claims and their benchmarks;
+* ``bounds``      -- print Theorem 12's sizes and the lower bounds for a
+  parameter point;
+* ``validate``    -- empirically validate a sketcher on a random database;
+* ``attack``      -- run a lower-bound encoding attack end to end;
+* ``mine``        -- mine frequent itemsets from a transaction file,
+  exactly or through a sketch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import (
+    BestOfNaiveSketcher,
+    ReleaseAnswersSketcher,
+    ReleaseDbSketcher,
+    SubsampleSketcher,
+    Task,
+    lower_bound_bits,
+    naive_upper_bounds,
+    validate_sketcher,
+)
+from .db import random_database
+from .db.transactions import read_transactions
+from .experiments import EXPERIMENTS, format_table
+from .lowerbounds import (
+    Theorem13Encoding,
+    Theorem15Encoding,
+    run_encoding_attack,
+)
+from .mining import apriori
+from .params import SketchParams
+
+__all__ = ["main", "build_parser"]
+
+_TASKS = {t.value: t for t in Task}
+
+_SKETCHERS = {
+    "subsample": SubsampleSketcher,
+    "release-db": ReleaseDbSketcher,
+    "release-answers": ReleaseAnswersSketcher,
+    "best": BestOfNaiveSketcher,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Itemset frequency sketches: algorithms, bounds, attacks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list the reproduced claims")
+
+    bounds = sub.add_parser("bounds", help="print upper/lower bounds")
+    for flag, kind, default in (
+        ("--n", int, 100000), ("--d", int, 32), ("--k", int, 2),
+        ("--eps", float, 0.05), ("--delta", float, 0.1),
+    ):
+        bounds.add_argument(flag, type=kind, default=default)
+
+    validate = sub.add_parser("validate", help="validate a sketcher empirically")
+    validate.add_argument("--task", choices=sorted(_TASKS), default="for-all-estimator")
+    validate.add_argument("--sketcher", choices=sorted(_SKETCHERS), default="subsample")
+    validate.add_argument("--n", type=int, default=5000)
+    validate.add_argument("--d", type=int, default=16)
+    validate.add_argument("--k", type=int, default=2)
+    validate.add_argument("--eps", type=float, default=0.1)
+    validate.add_argument("--delta", type=float, default=0.1)
+    validate.add_argument("--trials", type=int, default=10)
+    validate.add_argument("--seed", type=int, default=0)
+
+    attack = sub.add_parser("attack", help="run a lower-bound encoding attack")
+    attack.add_argument("--theorem", choices=["13", "15"], default="13")
+    attack.add_argument("--d", type=int, default=32)
+    attack.add_argument("--k", type=int, default=2)
+    attack.add_argument("--m", type=int, default=16, help="1/eps for Thm 13")
+    attack.add_argument("--sketcher", choices=sorted(_SKETCHERS), default="subsample")
+    attack.add_argument("--seed", type=int, default=0)
+
+    mine = sub.add_parser("mine", help="mine frequent itemsets from a file")
+    mine.add_argument("path", help="transaction file (one basket per line)")
+    mine.add_argument("--threshold", type=float, default=0.1)
+    mine.add_argument("--max-size", type=int, default=3)
+    mine.add_argument(
+        "--via-sketch", action="store_true",
+        help="mine through a SUBSAMPLE sketch instead of exactly",
+    )
+    mine.add_argument("--eps", type=float, default=0.02)
+    mine.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_experiments() -> int:
+    rows = [
+        {"id": e.exp_id, "anchor": e.paper_anchor, "bench": e.bench}
+        for e in EXPERIMENTS
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    params = SketchParams(n=args.n, d=args.d, k=args.k, epsilon=args.eps, delta=args.delta)
+    rows = []
+    for task in Task:
+        sizes = naive_upper_bounds(task, params)
+        rows.append(
+            {
+                "task": task.value,
+                **sizes,
+                "upper (min)": min(sizes.values()),
+                "lower bound": round(lower_bound_bits(task, params)),
+            }
+        )
+    print(params.describe())
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    task = _TASKS[args.task]
+    sketcher = _SKETCHERS[args.sketcher](task)
+    params = SketchParams(n=args.n, d=args.d, k=args.k, epsilon=args.eps, delta=args.delta)
+    db = random_database(args.n, args.d, 0.3, rng=args.seed)
+    report = validate_sketcher(sketcher, db, params, trials=args.trials, rng=args.seed + 1)
+    print(
+        f"{args.sketcher} on {task.value}: failure rate "
+        f"{report.failure_rate:.3f} over {report.units} units "
+        f"(delta = {params.delta})"
+    )
+    return 0 if report.ok(params.delta) else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.theorem == "13":
+        encoding = Theorem13Encoding(d=args.d, k=max(args.k, 2), m=args.m)
+        task = Task.FORALL_INDICATOR
+    else:
+        encoding = Theorem15Encoding(d=args.d, k=max(args.k, 2))
+        task = Task.FORALL_INDICATOR
+    sketcher = _SKETCHERS[args.sketcher](task)
+    report = run_encoding_attack(encoding, sketcher, rng=args.seed)
+    print(
+        f"theorem {args.theorem} attack via {args.sketcher}: "
+        f"recovered {report.payload_bits - report.bit_errors}/"
+        f"{report.payload_bits} payload bits; sketch "
+        f"{report.sketch_bits} bits >= fano {report.fano_bound_bits:.0f}"
+    )
+    return 0 if report.error_fraction <= 0.05 else 1
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = read_transactions(args.path)
+    source = db
+    if args.via_sketch:
+        params = SketchParams(
+            n=db.n, d=db.d, k=args.max_size, epsilon=args.eps, delta=0.05
+        )
+        source = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(
+            db, params, rng=args.seed
+        )
+    frequent = apriori(source, args.threshold, max_size=args.max_size)
+    rows = [
+        {"itemset": " ".join(map(str, t.items)), "frequency": round(f, 4)}
+        for t, f in sorted(frequent.items(), key=lambda kv: -kv[1])
+    ]
+    print(format_table(rows) if rows else "(no frequent itemsets)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "mine":
+        return _cmd_mine(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

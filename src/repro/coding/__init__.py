@@ -1,0 +1,27 @@
+"""Error-correcting codes built from scratch for the encoding arguments.
+
+Theorems 15 and 16 wrap their payloads in "a constant-rate code uniquely
+decodable from 4% errors (e.g. a Justesen code)".  This package provides the
+full stack: GF(2^m) arithmetic, Reed-Solomon outer codes, first-order
+Reed-Muller inner codes, and the concatenated construction with a proven
+adversarial decoding radius of 1/16 > 4%.
+"""
+
+from .concatenated import ConcatenatedCode
+from .gf2m import GF2m, PRIMITIVE_POLYNOMIALS
+from .gv_concatenated import GVConcatenatedCode
+from .random_linear import RandomLinearCode
+from .reed_muller import FirstOrderReedMuller
+from .reed_solomon import ReedSolomon
+from .repetition import RepetitionCode
+
+__all__ = [
+    "GF2m",
+    "PRIMITIVE_POLYNOMIALS",
+    "ReedSolomon",
+    "FirstOrderReedMuller",
+    "RepetitionCode",
+    "ConcatenatedCode",
+    "RandomLinearCode",
+    "GVConcatenatedCode",
+]

@@ -1,0 +1,204 @@
+"""Arithmetic in the finite fields GF(2^m).
+
+The concatenated code used by the Theorem 15/16 encoders needs Reed-Solomon
+codes over GF(2^m); this module supplies the field.  Elements are plain
+Python ints in ``[0, 2^m)`` interpreted as polynomials over GF(2) modulo a
+primitive polynomial; multiplication uses discrete log/antilog tables, so
+all operations are O(1) after table construction.
+
+Polynomials *over* the field (used by the RS encoder/decoder) are
+represented as lists of ints in ascending-degree order.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+__all__ = ["GF2m", "PRIMITIVE_POLYNOMIALS"]
+
+#: Default primitive polynomials, indexed by m (bit i = coefficient of x^i).
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with log/antilog multiplication tables.
+
+    Parameters
+    ----------
+    m:
+        Extension degree; the field has ``2^m`` elements.
+    primitive_poly:
+        Optional modulus override (an int with bit ``i`` the coefficient of
+        ``x^i``); must be primitive of degree ``m``.  Defaults to a standard
+        choice from :data:`PRIMITIVE_POLYNOMIALS`.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if primitive_poly is None:
+            if m not in PRIMITIVE_POLYNOMIALS:
+                raise ParameterError(
+                    f"no default primitive polynomial for m={m}; supply one"
+                )
+            primitive_poly = PRIMITIVE_POLYNOMIALS[m]
+        if primitive_poly.bit_length() != m + 1:
+            raise ParameterError(
+                f"modulus {bin(primitive_poly)} does not have degree m={m}"
+            )
+        self.m = m
+        self.q = 1 << m
+        self.modulus = primitive_poly
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        q = self.q
+        exp = [0] * (2 * (q - 1))
+        log = [0] * q
+        x = 1
+        for i in range(q - 1):
+            if x == 1 and i > 0:
+                # Returned to 1 early: the root's order divides i < q - 1,
+                # so the polynomial is irreducible but not primitive.
+                raise ParameterError(
+                    f"polynomial {bin(self.modulus)} is not primitive for m={self.m}"
+                )
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & q:
+                x ^= self.modulus
+        if x != 1:
+            raise ParameterError(
+                f"polynomial {bin(self.modulus)} is not primitive for m={self.m}"
+            )
+        for i in range(q - 1, 2 * (q - 1)):
+            exp[i] = exp[i - (q - 1)]
+        self._exp = exp
+        self._log = log
+
+    # ------------------------------------------------------------------
+    # Element arithmetic.
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction): XOR of representations."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse.
+
+        Raises
+        ------
+        ParameterError
+            On ``a == 0``.
+        """
+        if a == 0:
+            raise ParameterError("0 has no multiplicative inverse")
+        return self._exp[(self.q - 1) - self._log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        """``a / b`` in the field."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """``a^e`` with ``0^0 = 1``."""
+        if e == 0:
+            return 1
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] * e) % (self.q - 1)]
+
+    def alpha_pow(self, e: int) -> int:
+        """``alpha^e`` for the canonical generator alpha (= the element 2)."""
+        return self._exp[e % (self.q - 1)]
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha (``a != 0``)."""
+        if a == 0:
+            raise ParameterError("log of 0 is undefined")
+        return self._log[a]
+
+    # ------------------------------------------------------------------
+    # Polynomial arithmetic (ascending-degree coefficient lists).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def poly_trim(p: list[int]) -> list[int]:
+        """Drop trailing (high-degree) zero coefficients; keep at least [0]."""
+        i = len(p)
+        while i > 1 and p[i - 1] == 0:
+            i -= 1
+        return p[:i]
+
+    def poly_add(self, p: list[int], r: list[int]) -> list[int]:
+        """Sum of two polynomials."""
+        out = [0] * max(len(p), len(r))
+        for i, c in enumerate(p):
+            out[i] ^= c
+        for i, c in enumerate(r):
+            out[i] ^= c
+        return self.poly_trim(out)
+
+    def poly_scale(self, p: list[int], c: int) -> list[int]:
+        """``c * p(x)``."""
+        return self.poly_trim([self.mul(c, coeff) for coeff in p])
+
+    def poly_mul(self, p: list[int], r: list[int]) -> list[int]:
+        """Product of two polynomials."""
+        out = [0] * (len(p) + len(r) - 1)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(r):
+                if b:
+                    out[i + j] ^= self.mul(a, b)
+        return self.poly_trim(out)
+
+    def poly_mod(self, p: list[int], mod: list[int]) -> list[int]:
+        """Remainder of ``p`` divided by ``mod``."""
+        mod = self.poly_trim(list(mod))
+        if mod == [0]:
+            raise ParameterError("division by the zero polynomial")
+        rem = list(p)
+        lead_inv = self.inv(mod[-1])
+        for i in range(len(rem) - 1, len(mod) - 2, -1):
+            coeff = rem[i]
+            if coeff == 0:
+                continue
+            factor = self.mul(coeff, lead_inv)
+            shift = i - (len(mod) - 1)
+            for j, mc in enumerate(mod):
+                rem[shift + j] ^= self.mul(factor, mc)
+        return self.poly_trim(rem[: max(len(mod) - 1, 1)])
+
+    def poly_eval(self, p: list[int], x: int) -> int:
+        """Evaluate ``p`` at ``x`` by Horner's rule."""
+        acc = 0
+        for coeff in reversed(p):
+            acc = self.mul(acc, x) ^ coeff
+        return acc
+
+    def poly_deriv(self, p: list[int]) -> list[int]:
+        """Formal derivative (characteristic 2: even-degree terms vanish)."""
+        out = [p[i] if i % 2 == 1 else 0 for i in range(1, len(p))]
+        return self.poly_trim(out or [0])
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m}, modulus={bin(self.modulus)})"

@@ -1,0 +1,161 @@
+"""A *constant-rate* concatenated code: outer RS, inner certified-GV code.
+
+:class:`~repro.coding.concatenated.ConcatenatedCode` (RS ∘ RM(1, m−1)) has
+per-``m`` rate ``~ m/2^m`` — fine for fixed payload classes, but not a
+constant-rate family.  This module fixes that with the textbook recipe the
+paper's "constant rate, uniquely decodable from 4% errors" requirement
+really asks for: keep the outer ``[2^m−1, 2^{m−1}−1]`` Reed-Solomon code
+and replace the inner code with a random linear ``[12m, m]`` code whose
+minimum distance is *certified at construction* (Gilbert-Varshamov regime,
+:class:`~repro.coding.random_linear.RandomLinearCode`).
+
+Parameters are solved so the guaranteed adversarial radius clears 4%:
+an inner block decodes wrong only after ``ceil(d_in/2)`` flips, so a global
+budget under ``ceil(d_in/2) * (t_o + 1)`` leaves at most ``t_o`` corrupted
+symbols.  The family rate is ``(2^{m-1}-1) m / ((2^m-1) 12m) ~ 1/24`` for
+every ``m`` — genuinely constant.  The E-ABL-ECC ablation bench compares
+the two families head to head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.bitmatrix import bits_to_int, int_to_bits
+from ..db.generators import as_rng
+from ..errors import ParameterError
+from .gf2m import GF2m
+from .random_linear import RandomLinearCode
+from .reed_solomon import ReedSolomon
+
+__all__ = ["GVConcatenatedCode"]
+
+#: Inner blowup factor: inner code is [INNER_FACTOR * m, m].
+INNER_FACTOR = 12
+
+#: Target adversarial radius fraction the parameters are solved against.
+TARGET_RADIUS = 0.04
+
+_SUPPORTED_M = (5, 6, 7, 8)
+
+
+class GVConcatenatedCode:
+    """Outer RS over GF(2^m) concatenated with a certified random inner code.
+
+    Parameters
+    ----------
+    m:
+        Field degree; fixes all other parameters (see module docstring).
+    rng:
+        Randomness for sampling the inner code (resampled until its
+        certified distance meets the radius target).
+    """
+
+    def __init__(self, m: int, rng: np.random.Generator | int | None = None) -> None:
+        if m not in _SUPPORTED_M:
+            raise ParameterError(
+                f"supported m values are {_SUPPORTED_M}, got {m}"
+            )
+        self.m = m
+        self.field = GF2m(m)
+        n_o = (1 << m) - 1
+        k_o = (1 << (m - 1)) - 1
+        self.outer = ReedSolomon(self.field, n_o, k_o)
+        inner_length = INNER_FACTOR * m
+        # Smallest inner break-threshold K with K (t_o + 1) > radius target.
+        budget = TARGET_RADIUS * n_o * inner_length
+        threshold = int(budget / (self.outer.t + 1)) + 1
+        self.inner = RandomLinearCode(
+            dimension=m,
+            length=inner_length,
+            min_distance=2 * threshold - 1,
+            rng=as_rng(rng),
+        )
+        self._inner_break = threshold
+
+    # ------------------------------------------------------------------
+    # Parameters.
+    # ------------------------------------------------------------------
+    @property
+    def message_bits(self) -> int:
+        """Payload capacity of one block: ``k_o * m`` bits."""
+        return self.outer.k * self.m
+
+    @property
+    def block_bits(self) -> int:
+        """Encoded block length: ``n_o * 12m`` bits."""
+        return self.outer.n * self.inner.length
+
+    @property
+    def rate(self) -> float:
+        """Information rate -- ~1/24 for *every* m (constant family rate)."""
+        return self.message_bits / self.block_bits
+
+    @property
+    def guaranteed_radius_bits(self) -> int:
+        """Adversarial flips always tolerated: ``K (t_o + 1) - 1``."""
+        return self._inner_break * (self.outer.t + 1) - 1
+
+    @property
+    def guaranteed_radius_fraction(self) -> float:
+        """``guaranteed_radius_bits / block_bits`` (> 4% by construction)."""
+        return self.guaranteed_radius_bits / self.block_bits
+
+    @classmethod
+    def for_payload(
+        cls, n_bits: int, rng: np.random.Generator | int | None = None
+    ) -> "GVConcatenatedCode":
+        """Smallest supported code whose single block holds ``n_bits``."""
+        if n_bits < 1:
+            raise ParameterError(f"payload must have >= 1 bit, got {n_bits}")
+        for m in _SUPPORTED_M:
+            code = cls(m, rng=rng)
+            if code.message_bits >= n_bits:
+                return code
+        raise ParameterError(
+            f"payload of {n_bits} bits exceeds the largest single-block "
+            f"capacity ({cls(_SUPPORTED_M[-1], rng=rng).message_bits})"
+        )
+
+    # ------------------------------------------------------------------
+    # Encode / decode (mirrors ConcatenatedCode's interface).
+    # ------------------------------------------------------------------
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode up to ``message_bits`` payload bits into one block."""
+        payload = np.asarray(bits, dtype=bool).reshape(-1)
+        if payload.size > self.message_bits:
+            raise ParameterError(
+                f"payload of {payload.size} bits exceeds capacity {self.message_bits}"
+            )
+        padded = np.zeros(self.message_bits, dtype=bool)
+        padded[: payload.size] = payload
+        symbols = [
+            bits_to_int(padded[i * self.m : (i + 1) * self.m])
+            for i in range(self.outer.k)
+        ]
+        codeword = self.outer.encode(symbols)
+        out = np.zeros(self.block_bits, dtype=bool)
+        for i, sym in enumerate(codeword):
+            block = self.inner.encode(int_to_bits(sym, self.m))
+            out[i * self.inner.length : (i + 1) * self.inner.length] = block
+        return out
+
+    def decode(self, word: np.ndarray, message_len: int | None = None) -> np.ndarray:
+        """Decode one block back to the payload bits."""
+        arr = np.asarray(word, dtype=bool).reshape(-1)
+        if arr.size != self.block_bits:
+            raise ParameterError(
+                f"block must have {self.block_bits} bits, got {arr.size}"
+            )
+        if message_len is None:
+            message_len = self.message_bits
+        if not 0 < message_len <= self.message_bits:
+            raise ParameterError(
+                f"message_len must lie in (0, {self.message_bits}], got {message_len}"
+            )
+        blocks = arr.reshape(self.outer.n, self.inner.length)
+        inner_msgs = self.inner.decode_batch(blocks)
+        received = [bits_to_int(inner_msgs[i]) for i in range(self.outer.n)]
+        message_symbols = self.outer.decode(received)
+        bits = np.concatenate([int_to_bits(sym, self.m) for sym in message_symbols])
+        return bits[:message_len]

@@ -1,0 +1,123 @@
+"""Random binary linear codes with certified minimum distance.
+
+The Gilbert-Varshamov bound says a random ``[n, k]`` binary linear code has
+relative distance close to ``H^{-1}(1 - k/n)`` with high probability.  For
+the small dimensions our inner codes need (``k <= 12``), the entire
+codebook (``2^k`` words) is enumerable, so we can *certify* the sampled
+code's true minimum distance at construction time and resample until it
+meets a target -- turning the probabilistic bound into a concrete object.
+
+This is the ingredient that lets :class:`~repro.coding.gv_concatenated.
+GVConcatenatedCode` keep a genuinely constant rate across the family (the
+ablation bench E-ABL-ECC compares it with the Reed-Muller inner code, whose
+rate decays like ``m/2^m``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import ParameterError
+
+__all__ = ["RandomLinearCode"]
+
+
+class RandomLinearCode:
+    """A certified random ``[length, dimension]`` binary linear code.
+
+    Parameters
+    ----------
+    dimension:
+        Message length in bits (``<= 14`` so the codebook is enumerable).
+    length:
+        Codeword length in bits.
+    min_distance:
+        Required (certified) minimum distance; the constructor resamples
+        generator matrices until the sampled code achieves it.
+    rng:
+        Sampling randomness.
+    max_attempts:
+        Resampling budget before giving up (a generous GV-style target
+        practically always succeeds within a few draws).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        length: int,
+        min_distance: int,
+        rng: np.random.Generator | int | None = None,
+        max_attempts: int = 200,
+    ) -> None:
+        if not 1 <= dimension <= 14:
+            raise ParameterError(
+                f"dimension must lie in [1, 14] for codebook enumeration, "
+                f"got {dimension}"
+            )
+        if length < dimension:
+            raise ParameterError(
+                f"length {length} must be >= dimension {dimension}"
+            )
+        if not 1 <= min_distance <= length:
+            raise ParameterError(
+                f"min_distance must lie in [1, {length}], got {min_distance}"
+            )
+        gen = as_rng(rng)
+        self.dimension = dimension
+        self.length = length
+        messages = (
+            (np.arange(1 << dimension, dtype=np.int64)[:, None]
+             >> np.arange(dimension - 1, -1, -1)[None, :]) & 1
+        ).astype(np.uint8)
+        self._messages = messages.astype(bool)
+        for _ in range(max_attempts):
+            generator = (gen.random((dimension, length)) < 0.5).astype(np.uint8)
+            codebook = (messages @ generator) % 2
+            weights = codebook[1:].sum(axis=1)  # nonzero codewords
+            if weights.size and weights.min() >= min_distance:
+                self.generator = generator.astype(bool)
+                self._codebook = codebook.astype(bool)
+                self.min_distance = int(weights.min())
+                break
+        else:
+            raise ParameterError(
+                f"no [{length}, {dimension}] code with distance >= "
+                f"{min_distance} found in {max_attempts} draws; the target "
+                f"likely exceeds the GV bound"
+            )
+
+    @property
+    def rate(self) -> float:
+        """Information rate ``dimension / length``."""
+        return self.dimension / self.length
+
+    @property
+    def max_correctable(self) -> int:
+        """Errors always corrected: ``ceil(d/2) - 1``."""
+        return (self.min_distance - 1) // 2
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Multiply by the generator matrix over GF(2)."""
+        msg = np.asarray(message, dtype=bool).reshape(-1)
+        if msg.size != self.dimension:
+            raise ParameterError(
+                f"message must have {self.dimension} bits, got {msg.size}"
+            )
+        return (msg.astype(np.uint8) @ self.generator.astype(np.uint8)) % 2 == 1
+
+    def decode(self, word: np.ndarray) -> np.ndarray:
+        """Exact nearest-codeword decoding of one word."""
+        return self.decode_batch(np.asarray(word, dtype=bool).reshape(1, -1))[0]
+
+    def decode_batch(self, words: np.ndarray) -> np.ndarray:
+        """Nearest-codeword decoding of many words (vectorised)."""
+        arr = np.asarray(words, dtype=bool)
+        if arr.ndim != 2 or arr.shape[1] != self.length:
+            raise ParameterError(
+                f"words must have shape (batch, {self.length}), got {arr.shape}"
+            )
+        w = arr.astype(np.int32)
+        c = self._codebook.astype(np.int32)
+        dist = w.sum(axis=1, keepdims=True) + c.sum(axis=1)[None, :] - 2 * (w @ c.T)
+        return self._messages[dist.argmin(axis=1)]

@@ -1,0 +1,94 @@
+"""First-order Reed-Muller codes RM(1, m): the inner code of the concatenation.
+
+RM(1, m) has parameters ``[2^m, m + 1, 2^{m-1}]``: a codeword is the
+evaluation table of an affine Boolean function
+``x -> a_0 XOR a_1 x_1 XOR ... XOR a_m x_m``.  With only ``2^{m+1}``
+codewords, exact nearest-codeword decoding is a small vectorised matrix
+product, and it corrects every pattern of fewer than ``2^{m-2}`` bit errors
+(half the minimum distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["FirstOrderReedMuller"]
+
+
+class FirstOrderReedMuller:
+    """The ``[2^m, m+1, 2^{m-1}]`` first-order Reed-Muller code.
+
+    Parameters
+    ----------
+    m:
+        Number of Boolean variables; the code length is ``2^m``.
+    """
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ParameterError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.length = 1 << m
+        self.message_bits = m + 1
+        self.distance = 1 << (m - 1)
+        # Evaluation points as a (2^m, m) matrix of bits (MSB-first).
+        points = np.array(
+            [[(x >> (m - 1 - j)) & 1 for j in range(m)] for x in range(self.length)],
+            dtype=bool,
+        )
+        self._points = points
+        # Full codebook: one row per message (a_0, a_1..a_m), MSB-first ints.
+        n_msgs = 1 << (m + 1)
+        messages = np.array(
+            [
+                [(u >> (m - j)) & 1 for j in range(m + 1)]
+                for u in range(n_msgs)
+            ],
+            dtype=bool,
+        )
+        self._messages = messages
+        a0 = messages[:, :1]
+        linear = (messages[:, 1:].astype(np.uint8) @ points.T.astype(np.uint8)) % 2
+        self._codebook = (linear.astype(bool)) ^ a0
+
+    @property
+    def max_correctable(self) -> int:
+        """Largest number of errors always corrected: ``2^{m-2} - 1``."""
+        return self.distance // 2 - 1
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``m + 1`` message bits into a ``2^m``-bit codeword."""
+        msg = np.asarray(message, dtype=bool).reshape(-1)
+        if msg.size != self.message_bits:
+            raise ParameterError(
+                f"message must have {self.message_bits} bits, got {msg.size}"
+            )
+        linear = (msg[1:].astype(np.uint8) @ self._points.T.astype(np.uint8)) % 2
+        return linear.astype(bool) ^ msg[0]
+
+    def decode(self, word: np.ndarray) -> np.ndarray:
+        """Exact nearest-codeword decoding of a single word."""
+        return self.decode_batch(np.asarray(word, dtype=bool).reshape(1, -1))[0]
+
+    def decode_batch(self, words: np.ndarray) -> np.ndarray:
+        """Nearest-codeword decoding of many words at once.
+
+        ``words`` has shape ``(batch, 2^m)``; the result has shape
+        ``(batch, m + 1)``.  Ties are broken toward the lexicographically
+        smallest message, deterministically.
+        """
+        arr = np.asarray(words, dtype=bool)
+        if arr.ndim != 2 or arr.shape[1] != self.length:
+            raise ParameterError(
+                f"words must have shape (batch, {self.length}), got {arr.shape}"
+            )
+        # Hamming distance to every codeword via one matrix product:
+        # dist = popcount(word) + popcount(code) - 2 * <word, code>.
+        w = arr.astype(np.int32)
+        c = self._codebook.astype(np.int32)
+        cross = w @ c.T
+        dist = w.sum(axis=1, keepdims=True) + c.sum(axis=1)[None, :] - 2 * cross
+        best = dist.argmin(axis=1)
+        return self._messages[best]

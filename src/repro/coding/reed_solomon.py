@@ -1,0 +1,165 @@
+"""Systematic Reed-Solomon codes over GF(2^m) with Berlekamp-Massey decoding.
+
+``ReedSolomon(field, n, k)`` is an ``[n, k, n-k+1]`` code over the field,
+correcting up to ``t = (n - k) // 2`` symbol errors.  It is the outer code
+of the Justesen-style concatenated construction
+(:mod:`repro.coding.concatenated`) that the Theorem 15/16 encoders rely on.
+
+The decoder computes syndromes, runs Berlekamp-Massey for the error locator,
+finds roots by Chien search, and applies Forney's formula for magnitudes.
+All decoding failures raise :class:`~repro.errors.DecodingError` rather than
+returning wrong data silently.
+"""
+
+from __future__ import annotations
+
+from ..errors import DecodingError, ParameterError
+from .gf2m import GF2m
+
+__all__ = ["ReedSolomon"]
+
+
+class ReedSolomon:
+    """An ``[n, k]`` systematic Reed-Solomon code over GF(2^m).
+
+    Parameters
+    ----------
+    field:
+        The symbol field.
+    n:
+        Codeword length in symbols; requires ``n <= 2^m - 1``.
+    k:
+        Message length in symbols; requires ``1 <= k < n``.
+    """
+
+    def __init__(self, field: GF2m, n: int, k: int) -> None:
+        if n > field.q - 1:
+            raise ParameterError(f"RS length n={n} exceeds q-1={field.q - 1}")
+        if not 1 <= k < n:
+            raise ParameterError(f"need 1 <= k < n, got k={k}, n={n}")
+        self.field = field
+        self.n = n
+        self.k = k
+        self.t = (n - k) // 2
+        # Generator polynomial g(x) = prod_{i=1}^{n-k} (x - alpha^i).
+        g = [1]
+        for i in range(1, n - k + 1):
+            g = field.poly_mul(g, [field.alpha_pow(i), 1])
+        self._generator = g
+
+    @property
+    def distance(self) -> int:
+        """Minimum distance ``n - k + 1`` (MDS)."""
+        return self.n - self.k + 1
+
+    def encode(self, message: list[int]) -> list[int]:
+        """Systematic encoding: message symbols followed by parity symbols.
+
+        The codeword is ``c(x) = m(x) x^{n-k} - (m(x) x^{n-k} mod g(x))``
+        laid out as ``[parity | message]`` in ascending-degree order; we
+        return it message-first for readability: ``codeword[:k]`` is the
+        message.
+        """
+        if len(message) != self.k:
+            raise ParameterError(f"message must have k={self.k} symbols, got {len(message)}")
+        for s in message:
+            if not 0 <= s < self.field.q:
+                raise ParameterError(f"symbol {s} outside field of size {self.field.q}")
+        f = self.field
+        # m(x) * x^{n-k}, ascending order: message symbol i at degree n-k+i.
+        shifted = [0] * (self.n - self.k) + list(message)
+        parity = f.poly_mod(shifted, self._generator)
+        parity = list(parity) + [0] * (self.n - self.k - len(parity))
+        # Ascending-degree codeword = parity then message; report message first.
+        return list(message) + parity
+
+    def _codeword_poly(self, codeword: list[int]) -> list[int]:
+        # Invert the message-first layout back to ascending-degree order.
+        return list(codeword[self.k :]) + list(codeword[: self.k])
+
+    def is_codeword(self, word: list[int]) -> bool:
+        """Whether all syndromes vanish."""
+        return all(s == 0 for s in self._syndromes(word))
+
+    def _syndromes(self, word: list[int]) -> list[int]:
+        f = self.field
+        poly = self._codeword_poly(word)
+        return [f.poly_eval(poly, f.alpha_pow(i)) for i in range(1, self.n - self.k + 1)]
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        f = self.field
+        locator = [1]
+        prev = [1]
+        shift = 1
+        prev_discrepancy = 1
+        errors = 0
+        for step, syn in enumerate(syndromes):
+            d = syn
+            for i in range(1, errors + 1):
+                if i < len(locator):
+                    d ^= f.mul(locator[i], syndromes[step - i])
+            if d == 0:
+                shift += 1
+                continue
+            coef = f.div(d, prev_discrepancy)
+            update = [0] * shift + [f.mul(coef, c) for c in prev]
+            if 2 * errors <= step:
+                locator, prev = f.poly_add(locator, update), locator
+                errors = step + 1 - errors
+                prev_discrepancy = d
+                shift = 1
+            else:
+                locator = f.poly_add(locator, update)
+                shift += 1
+        return locator
+
+    def decode(self, received: list[int]) -> list[int]:
+        """Recover the message from a word with at most ``t`` symbol errors.
+
+        Raises
+        ------
+        DecodingError
+            If the error locator is inconsistent (more than ``t`` errors).
+        """
+        if len(received) != self.n:
+            raise ParameterError(f"received word must have n={self.n} symbols")
+        f = self.field
+        syndromes = self._syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return list(received[: self.k])
+
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = len(locator) - 1
+        if n_errors == 0 or n_errors > self.t:
+            raise DecodingError(
+                f"error locator of degree {n_errors} exceeds capacity t={self.t}"
+            )
+        # Chien search over the ascending-degree positions 0..n-1.
+        positions = []
+        for pos in range(self.n):
+            x_inv = f.alpha_pow(-pos % (f.q - 1))
+            if f.poly_eval(locator, x_inv) == 0:
+                positions.append(pos)
+        if len(positions) != n_errors:
+            raise DecodingError(
+                f"locator roots ({len(positions)}) != degree ({n_errors}); "
+                f"more than t={self.t} errors"
+            )
+        # Forney: Omega(x) = S(x) * locator(x) mod x^{2t}; with first root
+        # alpha^1, magnitude at X_j = Omega(X_j^{-1}) / locator'(X_j^{-1}).
+        omega = f.poly_mul(syndromes, locator)[: self.n - self.k]
+        omega = f.poly_trim(omega)
+        deriv = f.poly_deriv(locator)
+        corrected_poly = self._codeword_poly(received)
+        for pos in positions:
+            x_inv = f.alpha_pow(-pos % (f.q - 1))
+            denom = f.poly_eval(deriv, x_inv)
+            if denom == 0:
+                raise DecodingError("Forney denominator vanished; undecodable")
+            magnitude = f.div(f.poly_eval(omega, x_inv), denom)
+            corrected_poly[pos] ^= magnitude
+        # Undo the layout and re-verify.
+        corrected = corrected_poly[self.n - self.k :] + corrected_poly[: self.n - self.k]
+        if not self.is_codeword(corrected):
+            raise DecodingError("correction did not yield a codeword")
+        return corrected[: self.k]

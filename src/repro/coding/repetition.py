@@ -1,0 +1,58 @@
+"""Repetition codes with majority decoding.
+
+The simplest constant-rate code; used as a baseline in the coding tests and
+as a cheap substitute in experiments whose corruption is random rather than
+adversarial.  ``RepetitionCode(r)`` repeats every bit ``r`` times and
+decodes by majority vote, correcting up to ``floor((r-1)/2)`` errors per
+position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["RepetitionCode"]
+
+
+class RepetitionCode:
+    """Repeat each bit ``r`` times; decode by per-position majority.
+
+    Parameters
+    ----------
+    repetitions:
+        Odd number of copies per bit (odd so majority is always defined).
+    """
+
+    def __init__(self, repetitions: int) -> None:
+        if repetitions < 1 or repetitions % 2 == 0:
+            raise ParameterError(
+                f"repetitions must be odd and >= 1, got {repetitions}"
+            )
+        self.repetitions = repetitions
+
+    @property
+    def rate(self) -> float:
+        """Information rate ``1 / r``."""
+        return 1.0 / self.repetitions
+
+    @property
+    def max_correctable_per_bit(self) -> int:
+        """Errors tolerated within one bit's block: ``(r - 1) // 2``."""
+        return (self.repetitions - 1) // 2
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Repeat every bit ``r`` times (block layout: bit-major)."""
+        arr = np.asarray(bits, dtype=bool).reshape(-1)
+        return np.repeat(arr, self.repetitions)
+
+    def decode(self, word: np.ndarray) -> np.ndarray:
+        """Majority vote within each block of ``r`` copies."""
+        arr = np.asarray(word, dtype=bool).reshape(-1)
+        if arr.size % self.repetitions:
+            raise ParameterError(
+                f"word length {arr.size} not a multiple of r={self.repetitions}"
+            )
+        blocks = arr.reshape(-1, self.repetitions)
+        return blocks.sum(axis=1) * 2 > self.repetitions

@@ -1,0 +1,13 @@
+"""One-way communication complexity substrate (Theorem 14's reduction target)."""
+
+from .index import TrivialIndexProtocol, index_lower_bound_bits, sample_index_instance
+from .protocol import OneWayProtocol, ProtocolRun, evaluate_protocol
+
+__all__ = [
+    "OneWayProtocol",
+    "ProtocolRun",
+    "evaluate_protocol",
+    "TrivialIndexProtocol",
+    "index_lower_bound_bits",
+    "sample_index_instance",
+]

@@ -1,0 +1,76 @@
+"""The INDEX problem and its Omega(N) one-way lower bound.
+
+INDEX: Alice holds ``x in {0,1}^N``, Bob holds an index ``y in [N]``, and
+Bob must output ``x_y``.  Ablayev [Abl96] showed any one-way randomized
+protocol with error < 1/3 needs Omega(N) bits of communication; the exact
+information-theoretic form is ``(1 - H(error)) * N`` bits, which
+:func:`index_lower_bound_bits` returns.
+
+:class:`TrivialIndexProtocol` (Alice sends everything) witnesses the
+matching upper bound.  The protocol built *from a sketch* lives in
+:mod:`repro.lowerbounds.thm14`, keeping this module sketch-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..analysis.entropy import binary_entropy
+from ..db.bitmatrix import pack_bits, unpack_bits
+from ..db.generators import as_rng
+from ..errors import ParameterError
+from .protocol import OneWayProtocol
+
+__all__ = [
+    "index_lower_bound_bits",
+    "TrivialIndexProtocol",
+    "sample_index_instance",
+]
+
+
+def index_lower_bound_bits(n: int, error: float) -> float:
+    """Communication any INDEX protocol needs: ``(1 - H(error)) * N``.
+
+    This is the standard information-theoretic form of Ablayev's bound
+    (exact, not asymptotic).
+    """
+    if n < 1:
+        raise ParameterError(f"N must be >= 1, got {n}")
+    if not 0.0 <= error < 0.5:
+        raise ParameterError(f"error must lie in [0, 0.5), got {error}")
+    return (1.0 - binary_entropy(error)) * n
+
+
+def sample_index_instance(
+    n: int, rng: np.random.Generator | int | None = None
+) -> tuple[np.ndarray, int]:
+    """A uniform INDEX instance: random ``x in {0,1}^N`` and ``y in [N]``."""
+    gen = as_rng(rng)
+    x = gen.random(n) < 0.5
+    y = int(gen.integers(0, n))
+    return x, y
+
+
+class TrivialIndexProtocol(OneWayProtocol):
+    """Alice sends all of ``x``; Bob reads bit ``y``.  Exactly N bits, no error."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ParameterError(f"N must be >= 1, got {n}")
+        self.n = n
+
+    def alice_message(self, x: Any, rng: np.random.Generator) -> tuple[bytes, int]:
+        arr = np.asarray(x, dtype=bool).reshape(-1)
+        if arr.size != self.n:
+            raise ParameterError(f"x must have {self.n} bits, got {arr.size}")
+        return pack_bits(arr), self.n
+
+    def bob_output(self, message: tuple[bytes, int], y: Any) -> bool:
+        payload, n_bits = message
+        bits = unpack_bits(payload, n_bits)
+        return bool(bits[int(y)])
+
+    def target(self, x: Any, y: Any) -> bool:
+        return bool(np.asarray(x, dtype=bool).reshape(-1)[int(y)])

@@ -1,0 +1,113 @@
+"""One-way randomized communication protocols (the Theorem 14 substrate).
+
+In the one-way model, Alice holds ``x``, Bob holds ``y``, both see a public
+random string, Alice sends one message, and Bob outputs a bit that must
+equal ``f(x, y)`` with probability at least 2/3.  Theorem 14 turns any
+For-Each-Itemset-Frequency-Indicator sketch into such a protocol for INDEX,
+so the protocol's communication cost -- which is exactly the sketch size --
+inherits INDEX's Omega(N) lower bound.
+
+:class:`OneWayProtocol` is the abstract protocol; :class:`ProtocolRun`
+records a single execution (message bits, output, correctness) so
+experiments can measure communication and error empirically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import ParameterError
+
+__all__ = ["OneWayProtocol", "ProtocolRun", "evaluate_protocol"]
+
+
+@dataclass(frozen=True)
+class ProtocolRun:
+    """One execution of a one-way protocol.
+
+    Attributes
+    ----------
+    message_bits:
+        Length of Alice's message in bits.
+    output:
+        Bob's output bit.
+    correct:
+        Whether the output matched ``f(x, y)``.
+    """
+
+    message_bits: int
+    output: bool
+    correct: bool
+
+
+class OneWayProtocol(ABC):
+    """A one-way protocol computing a Boolean function ``f(x, y)``.
+
+    Subclasses implement Alice's message, Bob's decision, and the target
+    function.  Public randomness is modelled by passing the same generator
+    to both sides.
+    """
+
+    @abstractmethod
+    def alice_message(self, x: Any, rng: np.random.Generator) -> tuple[bytes, int]:
+        """Alice's message for input ``x``: ``(payload, n_bits)``."""
+
+    @abstractmethod
+    def bob_output(self, message: tuple[bytes, int], y: Any) -> bool:
+        """Bob's output bit given Alice's message and his input ``y``."""
+
+    @abstractmethod
+    def target(self, x: Any, y: Any) -> bool:
+        """The function ``f(x, y)`` the protocol must compute."""
+
+    def run(
+        self, x: Any, y: Any, rng: np.random.Generator | int | None = None
+    ) -> ProtocolRun:
+        """Execute the protocol once and record the outcome."""
+        gen = as_rng(rng)
+        message = self.alice_message(x, gen)
+        output = self.bob_output(message, y)
+        return ProtocolRun(
+            message_bits=message[1],
+            output=output,
+            correct=output == self.target(x, y),
+        )
+
+
+def evaluate_protocol(
+    protocol: OneWayProtocol,
+    instance_sampler: Callable[[np.random.Generator], tuple[Any, Any]],
+    trials: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Estimate a protocol's error rate and mean communication.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol under test.
+    instance_sampler:
+        Draws an ``(x, y)`` instance per trial.
+    trials:
+        Number of independent executions.
+
+    Returns
+    -------
+    (error_rate, mean_message_bits)
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    gen = as_rng(rng)
+    errors = 0
+    total_bits = 0
+    for _ in range(trials):
+        x, y = instance_sampler(gen)
+        run = protocol.run(x, y, gen)
+        errors += not run.correct
+        total_bits += run.message_bits
+    return errors / trials, total_bits / trials

@@ -1,0 +1,71 @@
+"""The paper's sketching framework: tasks, naive algorithms, bounds, validation.
+
+Public surface of Sections 1.3 and 2: the four problem definitions
+(:class:`Task`), the ``(S, Q)`` interfaces (:class:`Sketcher`,
+:class:`FrequencySketch`), the three naive algorithms (RELEASE-DB,
+RELEASE-ANSWERS, SUBSAMPLE), Theorem 12's combined selector, the closed-form
+upper/lower bounds, and the empirical validity harness.
+"""
+
+from .base import INDICATOR_THRESHOLD_FACTOR, FrequencySketch, Sketcher, Task
+from .bounds import (
+    best_naive,
+    iterated_log,
+    lower_bound_bits,
+    naive_upper_bounds,
+    thm13_applicable,
+    thm13_lower_bound,
+    thm14_lower_bound,
+    thm15_applicable,
+    thm15_lower_bound,
+    thm16_applicable,
+    thm16_lower_bound,
+    thm17_applicable,
+    thm17_lower_bound,
+    upper_bound_bits,
+)
+from .hybrid import BestOfNaiveSketcher
+from .importance import (
+    ImportanceSampleSketch,
+    ImportanceSampleSketcher,
+    density_weights,
+)
+from .release_answers import MAX_STORED_ANSWERS, ReleaseAnswersSketch, ReleaseAnswersSketcher
+from .release_db import ReleaseDbSketch, ReleaseDbSketcher
+from .subsample import SubsampleSketch, SubsampleSketcher, sample_count_for
+from .validate import ValidationReport, validate_sketcher
+
+__all__ = [
+    "Task",
+    "FrequencySketch",
+    "Sketcher",
+    "INDICATOR_THRESHOLD_FACTOR",
+    "ReleaseDbSketcher",
+    "ReleaseDbSketch",
+    "ReleaseAnswersSketcher",
+    "ReleaseAnswersSketch",
+    "MAX_STORED_ANSWERS",
+    "SubsampleSketcher",
+    "SubsampleSketch",
+    "sample_count_for",
+    "BestOfNaiveSketcher",
+    "ImportanceSampleSketcher",
+    "ImportanceSampleSketch",
+    "density_weights",
+    "naive_upper_bounds",
+    "best_naive",
+    "upper_bound_bits",
+    "lower_bound_bits",
+    "iterated_log",
+    "thm13_applicable",
+    "thm13_lower_bound",
+    "thm14_lower_bound",
+    "thm15_applicable",
+    "thm15_lower_bound",
+    "thm16_applicable",
+    "thm16_lower_bound",
+    "thm17_applicable",
+    "thm17_lower_bound",
+    "validate_sketcher",
+    "ValidationReport",
+]

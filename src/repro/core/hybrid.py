@@ -1,0 +1,83 @@
+"""The best-of-naive selector realizing Theorem 12's ``min{...}``.
+
+Theorem 12's algorithm is "run whichever of RELEASE-DB, RELEASE-ANSWERS,
+SUBSAMPLE is smallest for these parameters".  :class:`BestOfNaiveSketcher`
+implements exactly that selection using the exact sizes from
+:func:`repro.core.bounds.naive_upper_bounds`, and records which algorithm it
+picked so the crossover benchmarks (E-CROSS) can map the winning regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..errors import ParameterError
+from ..params import SketchParams
+from .base import FrequencySketch, Sketcher, Task
+from .bounds import naive_upper_bounds
+from .release_answers import MAX_STORED_ANSWERS, ReleaseAnswersSketcher
+from .release_db import ReleaseDbSketcher
+from .subsample import SubsampleSketcher
+
+__all__ = ["BestOfNaiveSketcher"]
+
+
+class BestOfNaiveSketcher(Sketcher):
+    """Theorem 12's combined algorithm: the min-size naive sketch.
+
+    The choice is made from the *predicted* sizes (which are exact for our
+    implementations), never from the data, so the selector is still a valid
+    sketching algorithm in the paper's model.
+    """
+
+    name = "best-of-naive"
+
+    def __init__(self, task: Task) -> None:
+        super().__init__(task)
+        self._sketchers: dict[str, Sketcher] = {
+            "release-db": ReleaseDbSketcher(task),
+            "release-answers": ReleaseAnswersSketcher(task),
+            "subsample": SubsampleSketcher(task),
+        }
+        self._last_choice: str | None = None
+
+    @property
+    def last_choice(self) -> str | None:
+        """Name of the algorithm used by the most recent :meth:`sketch` call."""
+        return self._last_choice
+
+    def choose(self, params: SketchParams) -> str:
+        """Which algorithm Theorem 12's ``min`` picks for these parameters.
+
+        RELEASE-ANSWERS is excluded when it would have to materialize more
+        than ``MAX_STORED_ANSWERS`` answers (it could only win at sizes far
+        beyond our experiment scales).
+        """
+        sizes = naive_upper_bounds(self._task, params)
+        if params.num_itemsets > MAX_STORED_ANSWERS:
+            sizes.pop("release-answers")
+        return min(sizes, key=sizes.__getitem__)
+
+    def sketch(
+        self,
+        db: BinaryDatabase,
+        params: SketchParams,
+        rng: np.random.Generator | int | None = None,
+    ) -> FrequencySketch:
+        """Sketch with the min-size naive algorithm for these parameters."""
+        if (db.n, db.d) != (params.n, params.d):
+            raise ParameterError(
+                f"database shape {db.shape} does not match params "
+                f"(n={params.n}, d={params.d})"
+            )
+        choice = self.choose(params)
+        self._last_choice = choice
+        return self._sketchers[choice].sketch(db, params, rng)
+
+    def theoretical_size_bits(self, params: SketchParams) -> int:
+        """Theorem 12's bound: min of the three naive sizes."""
+        sizes = naive_upper_bounds(self._task, params)
+        if params.num_itemsets > MAX_STORED_ANSWERS:
+            sizes.pop("release-answers")
+        return min(sizes.values())

@@ -1,0 +1,142 @@
+"""RELEASE-ANSWERS (Definition 7): precompute and store every answer.
+
+For the indicator tasks the summary stores one bit per k-itemset
+(``C(d, k)`` bits total); for the estimator tasks it stores each frequency
+quantized to precision ``epsilon`` (``C(d, k) * O(log(1/epsilon))`` bits),
+exactly the accounting in Section 2.  Answers are read back from the
+serialized payload, so the reported size is the true size of what ``Q``
+consumes.
+
+The construction enumerates all ``C(d, k)`` itemsets, so the sketcher
+refuses parameter settings where that count exceeds
+:data:`MAX_STORED_ANSWERS` -- in those regimes the paper's other naive
+algorithms are smaller anyway (Theorem 12 takes the min).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset, all_itemsets, rank_itemset
+from ..db.queries import FrequencyOracle
+from ..db.serialize import BitReader, BitWriter
+from ..errors import ParameterError
+from ..params import SketchParams
+from .base import INDICATOR_THRESHOLD_FACTOR, FrequencySketch, Sketcher, Task
+
+__all__ = ["ReleaseAnswersSketch", "ReleaseAnswersSketcher", "MAX_STORED_ANSWERS"]
+
+#: Refuse to materialize more answers than this (the regime where
+#: RELEASE-ANSWERS could never be the minimum-size choice at our scales).
+MAX_STORED_ANSWERS = 2_000_000
+
+
+class ReleaseAnswersSketch(FrequencySketch):
+    """Serialized table of all ``C(d, k)`` answers, indexed by itemset rank."""
+
+    def __init__(self, params: SketchParams, payload: bytes, n_bits: int, indicator: bool) -> None:
+        super().__init__(params)
+        self._payload = payload
+        self._n_bits = n_bits
+        self._indicator = indicator
+        self._decode()
+
+    def _decode(self) -> None:
+        reader = BitReader(self._payload, self._n_bits)
+        count = self._params.num_itemsets
+        if self._indicator:
+            self._answers = np.array(
+                [reader.read_bit() for _ in range(count)], dtype=bool
+            )
+        else:
+            eps = self._params.epsilon
+            self._answers = np.array(
+                [reader.read_quantized(eps) for _ in range(count)], dtype=float
+            )
+
+    @property
+    def stores_indicator_bits(self) -> bool:
+        """Whether the payload holds bits (indicator) or frequencies."""
+        return self._indicator
+
+    def _index(self, itemset: Itemset) -> int:
+        if len(itemset) != self._params.k:
+            raise ParameterError(
+                f"sketch answers {self._params.k}-itemsets, got |T|={len(itemset)}"
+            )
+        if itemset.items and itemset.items[-1] >= self._params.d:
+            raise ParameterError(f"itemset {itemset} out of range for d={self._params.d}")
+        return rank_itemset(itemset)
+
+    def estimate(self, itemset: Itemset) -> float:
+        """Stored quantized frequency (estimator) or threshold proxy (indicator).
+
+        An indicator-mode sketch cannot return a real estimate; per the
+        paper it only answers threshold queries.  We surface the stored bit
+        as ``epsilon`` (for 1) or ``0.0`` (for 0) so the common
+        :meth:`indicate` path works; estimator validation is only ever run
+        against estimator-mode sketches.
+        """
+        idx = self._index(itemset)
+        if self._indicator:
+            return self._params.epsilon if self._answers[idx] else 0.0
+        return float(self._answers[idx])
+
+    def indicate(self, itemset: Itemset) -> bool:
+        """Stored bit (indicator mode) or thresholded stored frequency."""
+        idx = self._index(itemset)
+        if self._indicator:
+            return bool(self._answers[idx])
+        return self._answers[idx] >= INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
+
+    def size_in_bits(self) -> int:
+        """Exact serialized size: ``C(d,k)`` or ``C(d,k) * frequency_bits``."""
+        return self._n_bits
+
+
+class ReleaseAnswersSketcher(Sketcher):
+    """Definition 7's RELEASE-ANSWERS algorithm."""
+
+    name = "release-answers"
+
+    def sketch(
+        self,
+        db: BinaryDatabase,
+        params: SketchParams,
+        rng: np.random.Generator | int | None = None,
+    ) -> ReleaseAnswersSketch:
+        """Evaluate every k-itemset exactly and serialize the answers.
+
+        Deterministic; ``rng`` is unused.
+
+        Raises
+        ------
+        ParameterError
+            If ``C(d, k)`` exceeds :data:`MAX_STORED_ANSWERS`.
+        """
+        count = params.num_itemsets
+        if count > MAX_STORED_ANSWERS:
+            raise ParameterError(
+                f"RELEASE-ANSWERS would store {count} answers "
+                f"(> {MAX_STORED_ANSWERS}); choose another algorithm"
+            )
+        oracle = FrequencyOracle(db)
+        writer = BitWriter()
+        indicator = self._task.is_indicator
+        for itemset in all_itemsets(params.d, params.k):
+            freq = oracle.frequency(itemset)
+            if indicator:
+                writer.write_bit(freq >= INDICATOR_THRESHOLD_FACTOR * params.epsilon)
+            else:
+                writer.write_quantized(freq, params.epsilon)
+        return ReleaseAnswersSketch(params, writer.getvalue(), writer.n_bits, indicator)
+
+    def theoretical_size_bits(self, params: SketchParams) -> int:
+        """``C(d,k)`` bits (indicator) or ``C(d,k) * (ceil(log2 1/eps)+1)``."""
+        from ..db.serialize import frequency_bits
+
+        count = params.num_itemsets
+        if self._task.is_indicator:
+            return count
+        return count * frequency_bits(params.epsilon)

@@ -1,0 +1,60 @@
+"""RELEASE-DB (Definition 6): the identity sketch.
+
+``S`` is the identity function and ``Q`` is a standard database query.  The
+summary size is exactly ``n * d`` bits, and every answer is exact, so the
+sketch is trivially valid for all four tasks.  It is the minimum-size naive
+algorithm whenever ``n <= 1/epsilon`` (the regime where Theorem 13 is tight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset
+from ..db.queries import FrequencyOracle
+from ..params import SketchParams
+from .base import FrequencySketch, Sketcher, Task
+
+__all__ = ["ReleaseDbSketch", "ReleaseDbSketcher"]
+
+
+class ReleaseDbSketch(FrequencySketch):
+    """The database itself, answering queries exactly."""
+
+    def __init__(self, params: SketchParams, db: BinaryDatabase) -> None:
+        super().__init__(params)
+        self._db = db
+        self._oracle = FrequencyOracle(db)
+
+    @property
+    def database(self) -> BinaryDatabase:
+        """The verbatim database stored in the summary."""
+        return self._db
+
+    def estimate(self, itemset: Itemset) -> float:
+        """Exact frequency ``f_T(D)``."""
+        return self._oracle.frequency(itemset)
+
+    def size_in_bits(self) -> int:
+        """``n * d`` bits: the packed database."""
+        return self._db.size_in_bits()
+
+
+class ReleaseDbSketcher(Sketcher):
+    """Definition 6's RELEASE-DB algorithm (task-independent)."""
+
+    name = "release-db"
+
+    def sketch(
+        self,
+        db: BinaryDatabase,
+        params: SketchParams,
+        rng: np.random.Generator | int | None = None,
+    ) -> ReleaseDbSketch:
+        """Return the database verbatim (deterministic; ``rng`` unused)."""
+        return ReleaseDbSketch(params, db)
+
+    def theoretical_size_bits(self, params: SketchParams) -> int:
+        """``n * d``."""
+        return params.database_bits

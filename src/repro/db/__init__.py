@@ -1,0 +1,60 @@
+"""Binary database substrate: matrices, itemsets, queries, generators.
+
+This package realises the data model of Section 1.3 of the paper: binary
+databases ``D ∈ ({0,1}^d)^n``, itemsets ``T ⊆ [d]``, and frequency queries
+``f_T(D)``, plus the exact bit-level serialization that all sketch size
+accounting rests on.
+"""
+
+from .database import BinaryDatabase
+from .generators import (
+    correlated_database,
+    market_basket_database,
+    planted_database,
+    random_database,
+    random_itemset,
+    zipf_item_stream,
+)
+from .itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
+from .queries import (
+    FrequencyOracle,
+    all_frequencies,
+    frequencies_from_marginal,
+    frequent_itemsets_exact,
+    marginal_from_frequencies,
+    marginal_table,
+)
+from .serialize import BitReader, BitWriter, frequency_bits
+from .transactions import (
+    database_to_transactions,
+    read_transactions,
+    transactions_to_database,
+    write_transactions,
+)
+
+__all__ = [
+    "BinaryDatabase",
+    "Itemset",
+    "all_itemsets",
+    "rank_itemset",
+    "unrank_itemset",
+    "FrequencyOracle",
+    "all_frequencies",
+    "frequent_itemsets_exact",
+    "marginal_table",
+    "marginal_from_frequencies",
+    "frequencies_from_marginal",
+    "random_database",
+    "random_itemset",
+    "planted_database",
+    "market_basket_database",
+    "correlated_database",
+    "zipf_item_stream",
+    "BitWriter",
+    "BitReader",
+    "frequency_bits",
+    "transactions_to_database",
+    "database_to_transactions",
+    "read_transactions",
+    "write_transactions",
+]

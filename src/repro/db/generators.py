@@ -1,0 +1,176 @@
+"""Database and workload generators.
+
+The experiments need three kinds of inputs:
+
+* *random* databases (i.i.d. Bernoulli entries) -- the null model and the
+  raw material of the KRSU/De constructions;
+* *planted* databases, where chosen itemsets are forced to prescribed
+  frequencies -- ground truth for miners and indicator sketches;
+* *market-basket* style transaction data (an IBM-Quest-like generator) --
+  the motivating workload of Section 1 (shopping carts, event logs).
+
+All generators take a :class:`numpy.random.Generator` so experiments are
+reproducible; helpers accept an integer seed for convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .database import BinaryDatabase
+from .itemset import Itemset
+
+__all__ = [
+    "as_rng",
+    "random_database",
+    "planted_database",
+    "market_basket_database",
+    "zipf_item_stream",
+    "random_itemset",
+    "correlated_database",
+]
+
+
+def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce a seed-or-generator argument into a ``numpy.random.Generator``."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_database(
+    n: int, d: int, density: float = 0.5, rng: np.random.Generator | int | None = None
+) -> BinaryDatabase:
+    """An ``n x d`` database with i.i.d. Bernoulli(``density``) entries."""
+    if not 0.0 <= density <= 1.0:
+        raise ParameterError(f"density must lie in [0, 1], got {density}")
+    gen = as_rng(rng)
+    return BinaryDatabase(gen.random((n, d)) < density)
+
+
+def random_itemset(
+    d: int, k: int, rng: np.random.Generator | int | None = None
+) -> Itemset:
+    """A uniformly random k-itemset over ``d`` attributes."""
+    if not 1 <= k <= d:
+        raise ParameterError(f"need 1 <= k <= d, got k={k}, d={d}")
+    gen = as_rng(rng)
+    return Itemset(gen.choice(d, size=k, replace=False).tolist())
+
+
+def planted_database(
+    n: int,
+    d: int,
+    plants: Sequence[tuple[Itemset, float]],
+    background: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> BinaryDatabase:
+    """Database with itemsets planted at (at least) prescribed frequencies.
+
+    Every row starts as i.i.d. Bernoulli(``background``); then, for each
+    ``(itemset, freq)`` pair, an independent ``freq`` fraction of rows gets
+    the itemset's attributes forced to 1.  The realised frequency of each
+    planted itemset is therefore at least ``freq`` (background hits can push
+    it higher); tests use low backgrounds when exact control matters.
+    """
+    gen = as_rng(rng)
+    rows = (gen.random((n, d)) < background).astype(bool)
+    for itemset, freq in plants:
+        if not 0.0 <= freq <= 1.0:
+            raise ParameterError(f"planted frequency must lie in [0,1], got {freq}")
+        if itemset.items and itemset.items[-1] >= d:
+            raise ParameterError(f"planted itemset {itemset} out of range for d={d}")
+        count = int(round(freq * n))
+        chosen = gen.choice(n, size=count, replace=False)
+        for j in itemset:
+            rows[chosen, j] = True
+    return BinaryDatabase(rows)
+
+
+def market_basket_database(
+    n: int,
+    d: int,
+    n_patterns: int = 10,
+    mean_pattern_size: float = 4.0,
+    mean_patterns_per_row: float = 2.0,
+    noise: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> BinaryDatabase:
+    """An IBM-Quest-flavoured synthetic transaction generator.
+
+    A pool of ``n_patterns`` "purchase patterns" (itemsets with
+    Poisson-distributed sizes and Zipf-weighted popularity) is drawn once;
+    each transaction then unions a Poisson number of patterns sampled by
+    popularity, plus Bernoulli(``noise``) impulse purchases.  This mimics
+    the co-occurrence structure that market-basket analysis mines for
+    (Section 1's motivating workloads).
+    """
+    if n_patterns < 1:
+        raise ParameterError(f"n_patterns must be >= 1, got {n_patterns}")
+    gen = as_rng(rng)
+    patterns: list[np.ndarray] = []
+    for _ in range(n_patterns):
+        size = max(1, min(d, int(gen.poisson(mean_pattern_size))))
+        patterns.append(gen.choice(d, size=size, replace=False))
+    weights = 1.0 / np.arange(1, n_patterns + 1)
+    weights /= weights.sum()
+    rows = np.zeros((n, d), dtype=bool)
+    for i in range(n):
+        count = int(gen.poisson(mean_patterns_per_row))
+        for idx in gen.choice(n_patterns, size=count, p=weights):
+            rows[i, patterns[idx]] = True
+        rows[i] |= gen.random(d) < noise
+    return BinaryDatabase(rows)
+
+
+def correlated_database(
+    n: int,
+    d: int,
+    block_size: int,
+    within_block_corr: float = 0.9,
+    rng: np.random.Generator | int | None = None,
+) -> BinaryDatabase:
+    """Database whose attributes are correlated in blocks.
+
+    Attributes are grouped into consecutive blocks of ``block_size``; each
+    row draws one latent bit per block and copies it into each attribute of
+    the block with probability ``within_block_corr`` (independent noise
+    otherwise).  Used to exercise sketches on structured, non-worst-case
+    data (the Conclusion's "real-world databases are more structured").
+    """
+    if block_size < 1:
+        raise ParameterError(f"block_size must be >= 1, got {block_size}")
+    gen = as_rng(rng)
+    n_blocks = (d + block_size - 1) // block_size
+    latent = gen.random((n, n_blocks)) < 0.5
+    rows = np.zeros((n, d), dtype=bool)
+    for j in range(d):
+        b = j // block_size
+        copy_mask = gen.random(n) < within_block_corr
+        noise_bits = gen.random(n) < 0.5
+        rows[:, j] = np.where(copy_mask, latent[:, b], noise_bits)
+    return BinaryDatabase(rows)
+
+
+def zipf_item_stream(
+    length: int,
+    d: int,
+    exponent: float = 1.2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A stream of single items with Zipf(``exponent``) popularity.
+
+    The streaming baselines of Section 1.2 (heavy hitters) are evaluated on
+    skewed streams; this returns an integer array of attribute ids.
+    """
+    if length < 1:
+        raise ParameterError(f"length must be >= 1, got {length}")
+    if exponent <= 0:
+        raise ParameterError(f"exponent must be positive, got {exponent}")
+    gen = as_rng(rng)
+    weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), exponent)
+    weights /= weights.sum()
+    return gen.choice(d, size=length, p=weights)

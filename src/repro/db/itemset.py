@@ -1,0 +1,162 @@
+"""Itemsets and combinadic (un)ranking.
+
+An *itemset* ``T`` over ``d`` attributes is a subset of ``{0, ..., d-1}``
+(the paper uses 1-based ``[d]``; we use 0-based indices throughout the code
+and keep the paper's conventions in docstrings).  The paper also uses ``T``
+for the indicator vector in ``{0,1}^d``; :meth:`Itemset.indicator` provides
+that view.
+
+The lower-bound constructions of Theorems 13-16 need to enumerate and invert
+"the i-th (k-1)-subset of the first d/2 attributes".  We implement exact
+combinadic ranking/unranking (the combinatorial number system) so that those
+encoders are bijections with testable inverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "Itemset",
+    "rank_itemset",
+    "unrank_itemset",
+    "all_itemsets",
+]
+
+
+@dataclass(frozen=True)
+class Itemset:
+    """An immutable itemset: a sorted tuple of attribute indices.
+
+    Parameters
+    ----------
+    items:
+        Iterable of distinct attribute indices (0-based).
+
+    Notes
+    -----
+    ``Itemset`` is hashable and ordered lexicographically, so it can key
+    dictionaries (RELEASE-ANSWERS stores one answer per itemset) and be
+    sorted deterministically in reports.
+    """
+
+    items: tuple[int, ...]
+
+    def __init__(self, items: Iterable[int]) -> None:
+        values = tuple(sorted(set(int(i) for i in items)))
+        if any(i < 0 for i in values):
+            raise ParameterError(f"itemset indices must be non-negative: {values}")
+        object.__setattr__(self, "items", values)
+
+    # -- basic protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.items
+
+    def __lt__(self, other: "Itemset") -> bool:
+        return self.items < other.items
+
+    def __repr__(self) -> str:
+        return f"Itemset({list(self.items)})"
+
+    # -- set algebra -----------------------------------------------------
+    def union(self, other: "Itemset | Iterable[int]") -> "Itemset":
+        """Union with another itemset (used to build ``T_s ∪ {j}`` queries)."""
+        other_items = other.items if isinstance(other, Itemset) else tuple(other)
+        return Itemset(self.items + tuple(other_items))
+
+    def shift(self, offset: int) -> "Itemset":
+        """Translate every index by ``offset``.
+
+        The amplification constructions append blocks of columns and need
+        "T shifted to operate on the final d attributes" (Section 3.2.2).
+        """
+        return Itemset(i + offset for i in self.items)
+
+    def issubset(self, other: "Itemset") -> bool:
+        """Whether every index of ``self`` appears in ``other``."""
+        return set(self.items) <= set(other.items)
+
+    # -- vector views ------------------------------------------------------
+    def indicator(self, d: int) -> np.ndarray:
+        """Indicator vector in ``{0,1}^d`` (paper Section 1.3).
+
+        Raises
+        ------
+        ParameterError
+            If any index is ``>= d``.
+        """
+        if self.items and self.items[-1] >= d:
+            raise ParameterError(
+                f"itemset {self.items} does not fit in d={d} attributes"
+            )
+        vec = np.zeros(d, dtype=bool)
+        vec[list(self.items)] = True
+        return vec
+
+    @staticmethod
+    def from_indicator(vector: np.ndarray) -> "Itemset":
+        """Build an itemset from an indicator vector."""
+        return Itemset(np.flatnonzero(np.asarray(vector, dtype=bool)).tolist())
+
+    def contained_in_row(self, row: np.ndarray) -> bool:
+        """Whether a database row (boolean vector) contains this itemset."""
+        row = np.asarray(row, dtype=bool)
+        return bool(all(row[i] for i in self.items))
+
+
+def rank_itemset(itemset: Itemset | Iterable[int]) -> int:
+    """Combinadic rank of a k-itemset among all k-subsets in colex order.
+
+    The rank of ``{c_1 < c_2 < ... < c_k}`` is ``sum_i C(c_i, i)``.  This is
+    the standard combinatorial number system: ranks run over
+    ``0 .. C(d,k)-1`` when indices run over ``0 .. d-1``.
+    """
+    items = sorted(itemset.items if isinstance(itemset, Itemset) else itemset)
+    return sum(comb(c, i + 1) for i, c in enumerate(items))
+
+
+def unrank_itemset(rank: int, k: int) -> Itemset:
+    """Inverse of :func:`rank_itemset`: the k-subset with the given colex rank.
+
+    Raises
+    ------
+    ParameterError
+        If ``rank`` is negative or ``k`` is not positive.
+    """
+    if k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+    if rank < 0:
+        raise ParameterError(f"rank must be non-negative, got {rank}")
+    items: list[int] = []
+    remaining = rank
+    for i in range(k, 0, -1):
+        # Find the largest c with C(c, i) <= remaining.
+        c = i - 1
+        while comb(c + 1, i) <= remaining:
+            c += 1
+        items.append(c)
+        remaining -= comb(c, i)
+    return Itemset(reversed(items))
+
+
+def all_itemsets(d: int, k: int) -> Iterator[Itemset]:
+    """Yield every k-itemset over ``d`` attributes in colex (rank) order.
+
+    There are ``C(d, k)`` of them; RELEASE-ANSWERS enumerates this space.
+    """
+    if not 0 <= k <= d:
+        raise ParameterError(f"need 0 <= k <= d, got k={k}, d={d}")
+    for rank in range(comb(d, k)):
+        yield unrank_itemset(rank, k)

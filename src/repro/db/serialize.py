@@ -1,0 +1,128 @@
+"""Bit-exact serialization for sketch payloads.
+
+Lower bounds are statements about *bits*, so every sketch in this library
+reports its size from a canonical serialized payload rather than from Python
+object sizes.  :class:`BitWriter` / :class:`BitReader` provide a tiny,
+dependency-free bit stream with the primitives the sketches need:
+
+* raw bit arrays (database rows),
+* fixed-width unsigned integers (row counts, indices),
+* quantized frequencies to precision ``epsilon`` -- the paper charges
+  ``log(1/epsilon)`` bits per stored frequency (Definition 7's accounting),
+  which is exactly what :meth:`BitWriter.write_quantized` uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SketchSizeError
+from .bitmatrix import bits_to_int, int_to_bits, pack_bits, unpack_bits
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "quantize_frequency",
+    "dequantize_frequency",
+    "frequency_bits",
+]
+
+
+def frequency_bits(epsilon: float) -> int:
+    """Bits needed to store a frequency in ``[0, 1]`` to precision ``epsilon``.
+
+    The paper's RELEASE-ANSWERS accounting charges ``log(1/epsilon)`` bits
+    per answer; we use ``ceil(log2(1/epsilon)) + 1`` so that the quantizer's
+    grid ``{0, eps, 2 eps, ...}`` (at most ``1/eps + 1`` points) always fits.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise SketchSizeError(f"epsilon must lie in (0, 1), got {epsilon}")
+    return max(1, math.ceil(math.log2(1.0 / epsilon)) + 1)
+
+
+def quantize_frequency(value: float, epsilon: float) -> int:
+    """Quantize ``value`` in ``[0, 1]`` to the nearest multiple of ``epsilon``."""
+    if not 0.0 <= value <= 1.0 + 1e-12:
+        raise SketchSizeError(f"frequency must lie in [0, 1], got {value}")
+    return int(round(min(value, 1.0) / epsilon))
+
+
+def dequantize_frequency(code: int, epsilon: float) -> float:
+    """Inverse of :func:`quantize_frequency` (clamped to ``[0, 1]``)."""
+    return min(1.0, code * epsilon)
+
+
+class BitWriter:
+    """Append-only bit stream."""
+
+    def __init__(self) -> None:
+        self._bits: list[bool] = []
+
+    def write_bit(self, bit: bool | int) -> None:
+        """Append a single bit."""
+        self._bits.append(bool(bit))
+
+    def write_bits(self, bits: np.ndarray) -> None:
+        """Append a 1-D boolean array."""
+        self._bits.extend(bool(b) for b in np.asarray(bits, dtype=bool))
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append a ``width``-bit unsigned integer, MSB first."""
+        self.write_bits(int_to_bits(value, width))
+
+    def write_quantized(self, value: float, epsilon: float) -> None:
+        """Append a frequency quantized to precision ``epsilon``."""
+        self.write_uint(quantize_frequency(value, epsilon), frequency_bits(epsilon))
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    @property
+    def n_bits(self) -> int:
+        """Number of bits written so far: the sketch's exact size."""
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """Packed payload (zero padded to a byte boundary)."""
+        return pack_bits(np.array(self._bits, dtype=bool)) if self._bits else b""
+
+
+class BitReader:
+    """Sequential reader over a payload produced by :class:`BitWriter`."""
+
+    def __init__(self, buf: bytes, n_bits: int) -> None:
+        self._bits = unpack_bits(buf, n_bits)
+        self._pos = 0
+
+    def _take(self, count: int) -> np.ndarray:
+        if self._pos + count > len(self._bits):
+            raise SketchSizeError(
+                f"bit stream exhausted: wanted {count} bits at offset {self._pos} "
+                f"of {len(self._bits)}"
+            )
+        out = self._bits[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    def read_bit(self) -> bool:
+        """Read a single bit."""
+        return bool(self._take(1)[0])
+
+    def read_bits(self, count: int) -> np.ndarray:
+        """Read ``count`` bits as a boolean array."""
+        return self._take(count)
+
+    def read_uint(self, width: int) -> int:
+        """Read a ``width``-bit unsigned integer, MSB first."""
+        return bits_to_int(self._take(width))
+
+    def read_quantized(self, epsilon: float) -> float:
+        """Read a frequency quantized to precision ``epsilon``."""
+        return dequantize_frequency(self.read_uint(frequency_bits(epsilon)), epsilon)
+
+    @property
+    def remaining(self) -> int:
+        """Bits left unread."""
+        return len(self._bits) - self._pos

@@ -1,0 +1,99 @@
+"""Transaction-format interchange: market-basket data as item lists.
+
+Real market-basket corpora (the paper's motivating workload) arrive as
+transaction files -- one line of item ids per basket -- not as dense
+binary matrices.  This module converts both ways and reads/writes the
+standard whitespace-separated text format, so the library's miners and
+sketches run on external datasets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .database import BinaryDatabase
+from .itemset import Itemset
+
+__all__ = [
+    "transactions_to_database",
+    "database_to_transactions",
+    "read_transactions",
+    "write_transactions",
+]
+
+
+def transactions_to_database(
+    transactions: Sequence[Iterable[int]], d: int | None = None
+) -> BinaryDatabase:
+    """Build a binary database from per-row item-id lists.
+
+    Parameters
+    ----------
+    transactions:
+        One iterable of attribute ids per row; duplicates within a row are
+        collapsed.
+    d:
+        Number of attributes; defaults to ``1 + max item id``.
+
+    Raises
+    ------
+    ParameterError
+        On empty input, negative ids, or ids ``>= d``.
+    """
+    baskets = [sorted(set(int(i) for i in t)) for t in transactions]
+    if not baskets:
+        raise ParameterError("transactions must be non-empty")
+    max_id = max((b[-1] for b in baskets if b), default=0)
+    if any(b and b[0] < 0 for b in baskets):
+        raise ParameterError("item ids must be non-negative")
+    if d is None:
+        d = max_id + 1
+    if max_id >= d:
+        raise ParameterError(f"item id {max_id} exceeds d={d}")
+    rows = np.zeros((len(baskets), d), dtype=bool)
+    for i, basket in enumerate(baskets):
+        rows[i, basket] = True
+    return BinaryDatabase(rows)
+
+
+def database_to_transactions(db: BinaryDatabase) -> list[list[int]]:
+    """The inverse view: each row as its sorted list of item ids."""
+    return [np.flatnonzero(db.row(i)).tolist() for i in range(db.n)]
+
+
+def write_transactions(db: BinaryDatabase, path: str | Path) -> None:
+    """Write the standard text format: one space-separated basket per line.
+
+    Empty baskets are written as empty lines so the row count round-trips.
+    """
+    lines = (
+        " ".join(str(i) for i in basket)
+        for basket in database_to_transactions(db)
+    )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_transactions(path: str | Path, d: int | None = None) -> BinaryDatabase:
+    """Read the standard text format back into a database.
+
+    Raises
+    ------
+    ParameterError
+        On unparseable tokens or an empty file.
+    """
+    text = Path(path).read_text()
+    baskets: list[list[int]] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        items = []
+        for token in line.split():
+            if not token.lstrip("-").isdigit():
+                raise ParameterError(
+                    f"{path}:{line_no}: unparseable item id {token!r}"
+                )
+            items.append(int(token))
+        baskets.append(items)
+    return transactions_to_database(baskets, d=d)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class.  The two most important subclasses mirror the two
+ways the paper's machinery can be misused:
+
+* :class:`ParameterError` -- a construction or algorithm was invoked outside
+  the parameter regime its theorem requires (for example Theorem 13 requires
+  ``1/epsilon <= C(d/2, k-1)``).
+* :class:`DecodingError` -- a decoder (error-correcting code, reconstruction
+  attack, LP decoder) could not produce a valid output, typically because the
+  input was corrupted beyond the guaranteed radius.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when parameters violate a theorem's stated preconditions.
+
+    The message always names the violated precondition so that experiment
+    sweeps can report *why* a configuration was skipped.
+    """
+
+
+class DecodingError(ReproError):
+    """Raised when a decoder cannot recover a codeword or payload.
+
+    Error-correcting codes raise this when the corruption exceeds the
+    guaranteed decoding radius; reconstruction attacks raise it when the
+    sketch under attack returned answers inconsistent with every candidate
+    database.
+    """
+
+
+class SketchSizeError(ReproError):
+    """Raised when a sketch cannot be serialized or its size accounted."""
+
+
+class StreamError(ReproError):
+    """Raised by streaming summaries on invalid updates or queries."""

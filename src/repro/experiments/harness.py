@@ -1,0 +1,92 @@
+"""Parameter sweeps and measurement helpers shared by the benchmarks."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..core.base import Sketcher
+from ..db.database import BinaryDatabase
+from ..db.generators import as_rng
+from ..db.itemset import Itemset, unrank_itemset
+from ..db.queries import FrequencyOracle
+from ..errors import ParameterError
+from ..params import SketchParams
+
+__all__ = ["grid", "measure_sketch_error", "empirical_failure_rate", "log_slope"]
+
+
+def grid(**axes: Iterable[Any]) -> Iterator[dict[str, Any]]:
+    """Cartesian product of named axes as dicts (deterministic order).
+
+    >>> list(grid(a=[1, 2], b=['x']))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    names = list(axes)
+    for values in product(*(list(axes[name]) for name in names)):
+        yield dict(zip(names, values))
+
+
+def _sample_itemsets(
+    params: SketchParams, count: int, rng: np.random.Generator
+) -> list[Itemset]:
+    total = params.num_itemsets
+    if total <= count:
+        ranks = np.arange(total)
+    else:
+        ranks = rng.choice(total, size=count, replace=False)
+    return [unrank_itemset(int(r), params.k) for r in ranks]
+
+
+def measure_sketch_error(
+    sketcher: Sketcher,
+    db: BinaryDatabase,
+    params: SketchParams,
+    n_itemsets: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> dict[str, float]:
+    """One sketch draw: max/mean absolute estimation error over itemsets.
+
+    Returns a dict with ``max_error``, ``mean_error`` and ``bits``.
+    """
+    gen = as_rng(rng)
+    itemsets = _sample_itemsets(params, n_itemsets, gen)
+    oracle = FrequencyOracle(db)
+    sketch = sketcher.sketch(db, params, gen)
+    errors = np.array(
+        [abs(sketch.estimate(t) - oracle.frequency(t)) for t in itemsets]
+    )
+    return {
+        "max_error": float(errors.max()),
+        "mean_error": float(errors.mean()),
+        "bits": float(sketch.size_in_bits()),
+    }
+
+
+def empirical_failure_rate(
+    check: Callable[[np.random.Generator], bool],
+    trials: int,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Fraction of trials where ``check`` returned False (= failed)."""
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    gen = as_rng(rng)
+    failures = sum(not check(gen) for _ in range(trials))
+    return failures / trials
+
+
+def log_slope(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    The "figure" benchmarks assert scaling exponents with this: sketch
+    size vs ``1/eps`` should have slope ~1 (indicator) or ~2 (estimator).
+    """
+    x = np.log(np.asarray(list(xs), dtype=float))
+    y = np.log(np.asarray(list(ys), dtype=float))
+    if x.size != y.size or x.size < 2:
+        raise ParameterError("need at least two matching points")
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)

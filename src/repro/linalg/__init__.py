@@ -1,0 +1,20 @@
+"""Reconstruction linear algebra: Hadamard products, sections, L1/L2 decoding."""
+
+from .hadamard import hadamard_product, random_bernoulli_matrices, row_index_tuples
+from .l1 import l1_estimate, l1_reconstruct_bits
+from .l2 import l2_error_bound, l2_estimate, l2_reconstruct_bits
+from .sections import euclidean_section_delta, l1_l2_ratio, smallest_singular_value
+
+__all__ = [
+    "hadamard_product",
+    "random_bernoulli_matrices",
+    "row_index_tuples",
+    "l1_estimate",
+    "l1_reconstruct_bits",
+    "l2_estimate",
+    "l2_reconstruct_bits",
+    "l2_error_bound",
+    "smallest_singular_value",
+    "euclidean_section_delta",
+    "l1_l2_ratio",
+]

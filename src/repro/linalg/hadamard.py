@@ -1,0 +1,74 @@
+"""Hadamard (row-tensor) products of matrices (Definition 22).
+
+Given ``A_1, ..., A_s`` with ``A_j in R^{l_j x n}``, their Hadamard product
+``A in R^{(l_1 ... l_s) x n}`` has one row per tuple ``(i_1, ..., i_s)``,
+equal to the entrywise product of the chosen rows.  For 0/1 matrices this
+is exactly the matrix of AND-combinations: row ``(i_1, ..., i_s)`` of ``A``
+applied to a column ``y`` counts the rows ``h`` where *all* of
+``A_1[i_1,h], ..., A_s[i_s,h]`` and ``y_h`` are 1 -- which is why k-itemset
+frequency queries on the KRSU/De databases are linear in exactly this
+matrix (Section 4.1).
+
+Rudelson's theorem (Lemma 26) says that for i.i.d. unbiased 0/1 matrices
+the product has smallest singular value ``Omega(sqrt(d^{k-1}))`` and a
+well-conditioned (Euclidean-section) range; :mod:`repro.linalg.sections`
+measures both.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import ParameterError
+
+__all__ = ["hadamard_product", "random_bernoulli_matrices", "row_index_tuples"]
+
+
+def hadamard_product(matrices: list[np.ndarray]) -> np.ndarray:
+    """The Hadamard (row-tensor) product of the given matrices.
+
+    All matrices must share the same number of columns ``n``.  The output
+    has ``prod(l_j)`` rows; row order follows ``numpy`` C-order over the
+    index tuples ``(i_1, ..., i_s)`` (first factor slowest), matching
+    :func:`row_index_tuples`.
+    """
+    if not matrices:
+        raise ParameterError("hadamard_product requires at least one matrix")
+    arrays = [np.asarray(m, dtype=float) for m in matrices]
+    n = arrays[0].shape[1]
+    for a in arrays:
+        if a.ndim != 2 or a.shape[1] != n:
+            raise ParameterError(
+                f"all matrices must be 2-D with {n} columns, got shape {a.shape}"
+            )
+
+    def _pair(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # (lx, n) x (ly, n) -> (lx * ly, n) with x index slowest.
+        return (x[:, None, :] * y[None, :, :]).reshape(-1, n)
+
+    return reduce(_pair, arrays)
+
+
+def row_index_tuples(shapes: list[int]) -> list[tuple[int, ...]]:
+    """The index tuples labelling the product's rows, in row order."""
+    if not shapes:
+        raise ParameterError("row_index_tuples requires at least one factor")
+    grids = np.meshgrid(*[np.arange(l) for l in shapes], indexing="ij")
+    stacked = np.stack([g.reshape(-1) for g in grids], axis=1)
+    return [tuple(int(v) for v in row) for row in stacked]
+
+
+def random_bernoulli_matrices(
+    count: int,
+    rows: int,
+    cols: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """``count`` i.i.d. matrices with unbiased {0,1} entries (Lemma 26's nu)."""
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    gen = as_rng(rng)
+    return [(gen.random((rows, cols)) < 0.5).astype(float) for _ in range(count)]

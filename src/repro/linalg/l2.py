@@ -1,0 +1,53 @@
+"""L2 (least-squares / pseudo-inverse) reconstruction -- the KRSU decoder.
+
+Section 4.1.1 describes KRSU's attack: given a vector ``y`` of approximate
+answers to the linear query family ``A`` applied to an unknown 0/1 vector
+``z``, reconstruct ``z_hat = A^+ y`` (Moore-Penrose pseudo-inverse, i.e.
+L2-distance minimisation) and round to bits.  When ``A`` has a "nice"
+spectrum (Lemma 26) and the per-answer error is below ``c * sqrt(n)``, the
+rounding recovers most bits.
+
+The module exposes both the raw least-squares estimate and the rounded
+reconstruction, plus the error bound that drives the ``n <~ 1/eps^2``
+phase transition measured by E-KRSU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["l2_estimate", "l2_reconstruct_bits", "l2_error_bound"]
+
+
+def l2_estimate(matrix: np.ndarray, answers: np.ndarray) -> np.ndarray:
+    """Least-squares solution ``A^+ y`` (the KRSU estimator)."""
+    a = np.asarray(matrix, dtype=float)
+    y = np.asarray(answers, dtype=float).reshape(-1)
+    if a.ndim != 2 or a.shape[0] != y.size:
+        raise ParameterError(
+            f"shape mismatch: matrix {a.shape} vs answers {y.shape}"
+        )
+    solution, *_ = np.linalg.lstsq(a, y, rcond=None)
+    return solution
+
+
+def l2_reconstruct_bits(matrix: np.ndarray, answers: np.ndarray) -> np.ndarray:
+    """KRSU reconstruction: least squares then round at 1/2."""
+    return l2_estimate(matrix, answers) >= 0.5
+
+
+def l2_error_bound(matrix: np.ndarray, answer_error_l2: float) -> float:
+    """Worst-case ``||z_hat - z||_2`` from answers with L2 error ``e``.
+
+    Least squares is linear, so the reconstruction error is at most
+    ``e / sigma_min(A)``; with Lemma 26's ``sigma_min = Omega(sqrt(d^{k-1}))``
+    this is what makes per-answer error ``eps * n <~ sqrt(n)`` recoverable.
+    """
+    if answer_error_l2 < 0:
+        raise ParameterError(f"error must be non-negative, got {answer_error_l2}")
+    sigma = np.linalg.svd(np.asarray(matrix, dtype=float), compute_uv=False)[-1]
+    if sigma == 0:
+        raise ParameterError("matrix is singular; L2 reconstruction unbounded")
+    return float(answer_error_l2 / sigma)

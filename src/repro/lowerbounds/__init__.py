@@ -1,0 +1,45 @@
+"""The paper's lower bounds as executable constructions and attacks.
+
+Each theorem's proof is realised as a :class:`~repro.lowerbounds.encoding.
+DatabaseEncoding`: an encoder from arbitrary payload bits to a hard
+database, plus a decoder that recovers the payload purely through a
+sketch's query interface.  Running :func:`run_encoding_attack` against any
+valid sketcher demonstrates the encoding argument end to end and yields the
+Fano bound the paper's "basic information theory" step asserts.
+"""
+
+from .de12 import DeConstruction
+from .encoding import AttackReport, DatabaseEncoding, run_encoding_attack
+from .fact18 import ShatteredSet, shattered_set, w_matrix, y_matrix
+from .krsu import KrsuConstruction
+from .lemma19 import Lemma19Decoder, all_patterns, indicator_answers
+from .thm13 import Theorem13Encoding
+from .thm14 import SketchIndexProtocol, index_instance_size
+from .thm15 import AmplifiedTheorem15Encoding, Theorem15Encoding
+from .thm16 import Theorem16Encoding, lemma21_decode
+from .thm17 import MedianBoostSketch, MedianBoostSketcher, copies_needed
+
+__all__ = [
+    "DatabaseEncoding",
+    "AttackReport",
+    "run_encoding_attack",
+    "ShatteredSet",
+    "shattered_set",
+    "w_matrix",
+    "y_matrix",
+    "Theorem13Encoding",
+    "SketchIndexProtocol",
+    "index_instance_size",
+    "Lemma19Decoder",
+    "all_patterns",
+    "indicator_answers",
+    "Theorem15Encoding",
+    "AmplifiedTheorem15Encoding",
+    "DeConstruction",
+    "KrsuConstruction",
+    "Theorem16Encoding",
+    "lemma21_decode",
+    "MedianBoostSketch",
+    "MedianBoostSketcher",
+    "copies_needed",
+]

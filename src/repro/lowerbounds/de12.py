@@ -1,0 +1,256 @@
+"""De's LP-decodable hard databases (Lemmas 20, 24, 25; Appendix B).
+
+The construction: draw ``k-1`` i.i.d. unbiased 0/1 matrices
+``A_1..A_{k-1} in {0,1}^{d0 x n}`` and form their Hadamard (row-tensor)
+product ``A`` (``L = d0^{k-1}`` rows).  The *public* part ``D_0`` of the
+database has ``n`` rows and ``(k-1) d0`` columns: row ``h`` concatenates
+column ``h`` of every ``A_j``.  The payload is appended as
+``n_special`` extra columns; column ``j`` carries bits ``[j n, (j+1) n)``
+of the (optionally ECC-wrapped) payload (Lemma 25's "special attributes").
+
+For a row-tuple ``i = (i_1, ..., i_{k-1})`` and special column ``j``, the
+k-itemset ``{block_1 attr i_1, ..., block_{k-1} attr i_{k-1}, special j}``
+has frequency exactly ``<A[i, :], y_j> / n`` where ``y_j`` is the column's
+bit vector -- the queries are *linear* in the payload with coefficient
+matrix ``A``.  Estimator answers with small average error therefore feed
+the L1 (De) or L2 (KRSU) decoders of :mod:`repro.linalg`, and Rudelson's
+spectral bound (Lemma 26) is what makes the decoding accurate.
+
+``KrsuConstruction`` (:mod:`repro.lowerbounds.krsu`) is the single-column,
+no-ECC special case that Section 4.1.1 attributes to KRSU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.concatenated import ConcatenatedCode
+from ..core.base import FrequencySketch
+from ..db.database import BinaryDatabase
+from ..db.generators import as_rng
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+from ..linalg.hadamard import hadamard_product, row_index_tuples
+from ..linalg.l1 import l1_reconstruct_bits
+from ..linalg.l2 import l2_reconstruct_bits
+from ..params import SketchParams
+from .encoding import DatabaseEncoding
+
+__all__ = ["DeConstruction"]
+
+
+class DeConstruction(DatabaseEncoding):
+    """Lemma 25's database-generation algorithm ``A_2`` with LP decoding.
+
+    Parameters
+    ----------
+    d0:
+        Attributes per tensor block (and default number of special columns).
+    k:
+        Query size; ``k - 1`` tensor blocks plus one special attribute.
+    n:
+        Database rows (the regime of interest is ``n ~ 1/eps^2``).
+    epsilon:
+        Accuracy of the estimator sketch under attack.
+    n_special:
+        Number of payload columns (default ``d0``, the paper's choice).
+    use_ecc:
+        Wrap the payload in the concatenated code when a block fits
+        (exact recovery); otherwise store raw bits (approximate recovery).
+    rng:
+        Randomness for the tensor matrices (the construction is drawn
+        once and shared by encoder and decoder, like the paper's public
+        ``D_0``).
+    ensure_probing_rows:
+        Redraw factor-matrix columns that are all-zero in some factor
+        (such database rows can never be probed by any tuple query; at the
+        paper's scales they vanish w.h.p., at ours they would silently
+        erase payload bits).
+    """
+
+    def __init__(
+        self,
+        d0: int,
+        k: int,
+        n: int,
+        epsilon: float,
+        n_special: int | None = None,
+        use_ecc: bool = True,
+        rng: np.random.Generator | int | None = None,
+        ensure_probing_rows: bool = True,
+    ) -> None:
+        if d0 < 2:
+            raise ParameterError(f"d0 must be >= 2, got {d0}")
+        if k < 2:
+            raise ParameterError(f"De's construction needs k >= 2, got {k}")
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        if d0 ** (k - 1) < n:
+            raise ParameterError(
+                f"Lemma 24 requires d0^(k-1) >= n for the tensor matrix to "
+                f"determine the columns; got {d0}^{k - 1} = {d0 ** (k - 1)} < n={n}"
+            )
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(f"epsilon must lie in (0, 1), got {epsilon}")
+        self.d0 = d0
+        self.k = k
+        self.n = n
+        self.epsilon = epsilon
+        self.n_special = d0 if n_special is None else n_special
+        if self.n_special < 1:
+            raise ParameterError(f"n_special must be >= 1, got {self.n_special}")
+        gen = as_rng(rng)
+        self.factors = [
+            self._draw_factor(gen, ensure_probing_rows) for _ in range(k - 1)
+        ]
+        self.product = hadamard_product(self.factors)
+        self.tuples = row_index_tuples([d0] * (k - 1))
+        region = self.n_special * n
+        self._region_bits = region
+        self._code: ConcatenatedCode | None = None
+        if use_ecc:
+            best = None
+            for m in (5, 6, 7, 8, 9, 10):
+                code = ConcatenatedCode(m)
+                if code.block_bits <= region:
+                    best = code
+            self._code = best
+
+    def _draw_factor(
+        self, gen: np.random.Generator, ensure: bool
+    ) -> np.ndarray:
+        mat = (gen.random((self.d0, self.n)) < 0.5).astype(float)
+        if ensure:
+            for h in range(self.n):
+                while mat[:, h].sum() == 0:
+                    mat[:, h] = (gen.random(self.d0) < 0.5).astype(float)
+        return mat
+
+    # ------------------------------------------------------------------
+    # Shape and parameters.
+    # ------------------------------------------------------------------
+    @property
+    def d_public(self) -> int:
+        """Width of the public tensor part: ``(k-1) d0``."""
+        return (self.k - 1) * self.d0
+
+    @property
+    def d_total(self) -> int:
+        """Total attributes: public part plus special columns."""
+        return self.d_public + self.n_special
+
+    @property
+    def uses_ecc(self) -> bool:
+        """Whether payloads are ECC-wrapped."""
+        return self._code is not None
+
+    @property
+    def payload_bits(self) -> int:
+        """ECC message bits, or the raw ``n_special * n`` region."""
+        if self._code is not None:
+            return self._code.message_bits
+        return self._region_bits
+
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """``(n, d_total, k, epsilon, delta)`` for the sketch under attack."""
+        return SketchParams(
+            n=self.n, d=self.d_total, k=self.k, epsilon=self.epsilon, delta=delta
+        )
+
+    # ------------------------------------------------------------------
+    # Encode.
+    # ------------------------------------------------------------------
+    def public_rows(self) -> np.ndarray:
+        """``D_0``: row ``h`` concatenates column ``h`` of every factor."""
+        return np.hstack([f.T.astype(bool) for f in self.factors])
+
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Append the (coded) payload as special columns to ``D_0``."""
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        if bits.size != self.payload_bits:
+            raise ParameterError(
+                f"payload must have {self.payload_bits} bits, got {bits.size}"
+            )
+        region = np.zeros(self._region_bits, dtype=bool)
+        if self._code is not None:
+            region[: self._code.block_bits] = self._code.encode(bits)
+        else:
+            region[:] = bits
+        special = region.reshape(self.n_special, self.n).T
+        return BinaryDatabase(np.hstack([self.public_rows(), special]))
+
+    # ------------------------------------------------------------------
+    # Queries and decoding.
+    # ------------------------------------------------------------------
+    def query_itemset(self, tuple_index: int, special: int) -> Itemset:
+        """The k-itemset probing tensor row ``tuple_index``, column ``special``."""
+        if not 0 <= tuple_index < len(self.tuples):
+            raise ParameterError(
+                f"tuple_index must lie in [0, {len(self.tuples)}), got {tuple_index}"
+            )
+        if not 0 <= special < self.n_special:
+            raise ParameterError(
+                f"special must lie in [0, {self.n_special}), got {special}"
+            )
+        items = [
+            block * self.d0 + attr for block, attr in enumerate(self.tuples[tuple_index])
+        ]
+        items.append(self.d_public + special)
+        return Itemset(items)
+
+    def iter_queries(self) -> list[tuple[int, int, Itemset]]:
+        """All ``L * n_special`` attack queries as (tuple, special, itemset)."""
+        return [
+            (ti, sj, self.query_itemset(ti, sj))
+            for sj in range(self.n_special)
+            for ti in range(len(self.tuples))
+        ]
+
+    def answers_to_columns(
+        self, answers: np.ndarray, method: str = "l1"
+    ) -> np.ndarray:
+        """LP/least-squares decode the special columns from query answers.
+
+        ``answers[sj, ti]`` is the (approximate) frequency of
+        ``query_itemset(ti, sj)``.  Returns the recovered ``(n_special, n)``
+        bit matrix.
+        """
+        arr = np.asarray(answers, dtype=float)
+        if arr.shape != (self.n_special, len(self.tuples)):
+            raise ParameterError(
+                f"answers must have shape {(self.n_special, len(self.tuples))}, "
+                f"got {arr.shape}"
+            )
+        decode = l1_reconstruct_bits if method == "l1" else l2_reconstruct_bits
+        if method not in ("l1", "l2"):
+            raise ParameterError(f"method must be 'l1' or 'l2', got {method!r}")
+        out = np.zeros((self.n_special, self.n), dtype=bool)
+        for sj in range(self.n_special):
+            out[sj] = decode(self.product, self.n * arr[sj])
+        return out
+
+    def decode_from_answers(
+        self, answers: np.ndarray, method: str = "l1"
+    ) -> np.ndarray:
+        """Full payload recovery from an answers matrix (columns then ECC)."""
+        columns = self.answers_to_columns(answers, method)
+        region = columns.reshape(-1)
+        if self._code is not None:
+            return self._code.decode(
+                region[: self._code.block_bits], self.payload_bits
+            )
+        return region
+
+    def decode(self, sketch: FrequencySketch, method: str = "l1") -> np.ndarray:
+        """Query the sketch for every attack itemset, then reconstruct."""
+        answers = np.zeros((self.n_special, len(self.tuples)))
+        for ti, sj, itemset in self.iter_queries():
+            answers[sj, ti] = sketch.estimate(itemset)
+        return self.decode_from_answers(answers, method)
+
+    def exact_answers(self, db: BinaryDatabase) -> np.ndarray:
+        """Ground-truth answers matrix for a database built by :meth:`encode`."""
+        answers = np.zeros((self.n_special, len(self.tuples)))
+        for ti, sj, itemset in self.iter_queries():
+            answers[sj, ti] = db.frequency(itemset)
+        return answers

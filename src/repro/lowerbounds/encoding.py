@@ -1,0 +1,149 @@
+"""The encoding-argument framework (Section 1.4).
+
+Every lower bound in the paper has the same constructive skeleton:
+
+1. an **encoder** maps an arbitrary payload bit string into a database drawn
+   from a hard family;
+2. any valid sketch of that database can be **attacked**: a decoder drives
+   the sketch's query procedure and reconstructs the payload;
+3. information theory then forces the sketch to be at least as large as the
+   payload (up to the ``1 - H(delta)`` Fano factor).
+
+:class:`DatabaseEncoding` is the abstract encoder/decoder pair;
+:func:`run_encoding_attack` executes the whole pipeline against a concrete
+sketcher and reports payload size, sketch size, recovery accuracy, and the
+implied Fano bound -- the numbers the E-T13/E-T15/E-T16 benchmarks print.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.entropy import fano_lower_bound
+from ..analysis.hamming import hamming_distance
+from ..core.base import FrequencySketch, Sketcher
+from ..db.database import BinaryDatabase
+from ..db.generators import as_rng
+from ..errors import ParameterError
+from ..params import SketchParams
+
+__all__ = ["DatabaseEncoding", "AttackReport", "run_encoding_attack"]
+
+
+class DatabaseEncoding(ABC):
+    """An encoder from payload bits to hard databases, with a sketch attack.
+
+    Subclasses fix the hard family of one theorem.  The contract:
+
+    * :attr:`payload_bits` payload bits go in;
+    * :meth:`encode` produces a database whose shape matches
+      :meth:`sketch_params`;
+    * :meth:`decode` recovers the payload *only* through the sketch's
+      public query interface (never touching the database).
+    """
+
+    @property
+    @abstractmethod
+    def payload_bits(self) -> int:
+        """Number of arbitrary bits the construction encodes."""
+
+    @abstractmethod
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """The ``(n, d, k, epsilon, delta)`` the attacked sketch must target."""
+
+    @abstractmethod
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Build the hard database carrying ``payload``."""
+
+    @abstractmethod
+    def decode(self, sketch: FrequencySketch) -> np.ndarray:
+        """Reconstruct the payload by querying the sketch."""
+
+    def random_payload(
+        self, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """A uniform payload (the high-entropy distribution of Section 1.4)."""
+        gen = as_rng(rng)
+        return gen.random(self.payload_bits) < 0.5
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Result of one encode -> sketch -> decode round trip.
+
+    Attributes
+    ----------
+    payload_bits:
+        Bits encoded into the database.
+    sketch_bits:
+        Measured size of the attacked sketch.
+    bit_errors:
+        Hamming distance between payload and reconstruction.
+    exact:
+        Whether recovery was perfect.
+    fano_bound_bits:
+        The sketch size any algorithm would need to allow this recovery
+        rate, per Fano (computed with the attacked sketch's ``delta``).
+    """
+
+    payload_bits: int
+    sketch_bits: int
+    bit_errors: int
+    exact: bool
+    fano_bound_bits: float
+
+    @property
+    def error_fraction(self) -> float:
+        """``bit_errors / payload_bits``."""
+        return self.bit_errors / max(self.payload_bits, 1)
+
+
+def run_encoding_attack(
+    encoding: DatabaseEncoding,
+    sketcher: Sketcher,
+    delta: float = 0.1,
+    payload: np.ndarray | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> AttackReport:
+    """Execute the full encoding argument against a concrete sketcher.
+
+    Draws a payload (uniform unless given), encodes it, sketches the
+    database with ``sketcher``, decodes through the sketch, and reports the
+    bit-level outcome together with the Fano bound.
+
+    Raises
+    ------
+    ParameterError
+        If the supplied payload has the wrong length.
+    """
+    gen = as_rng(rng)
+    if payload is None:
+        payload = encoding.random_payload(gen)
+    payload = np.asarray(payload, dtype=bool).reshape(-1)
+    if payload.size != encoding.payload_bits:
+        raise ParameterError(
+            f"payload must have {encoding.payload_bits} bits, got {payload.size}"
+        )
+    params = encoding.sketch_params(delta)
+    db = encoding.encode(payload)
+    if (db.n, db.d) != (params.n, params.d):
+        raise ParameterError(
+            f"encoder produced shape {db.shape}, expected {(params.n, params.d)}"
+        )
+    sketch = sketcher.sketch(db, params, gen)
+    recovered = np.asarray(encoding.decode(sketch), dtype=bool).reshape(-1)
+    if recovered.size != payload.size:
+        raise ParameterError(
+            f"decoder returned {recovered.size} bits, expected {payload.size}"
+        )
+    errors = hamming_distance(payload, recovered)
+    return AttackReport(
+        payload_bits=int(payload.size),
+        sketch_bits=sketch.size_in_bits(),
+        bit_errors=errors,
+        exact=errors == 0,
+        fano_bound_bits=fano_lower_bound(int(payload.size), delta),
+    )

@@ -1,0 +1,148 @@
+"""Fact 18: shattered sets for k'-itemset frequency queries (Appendix A).
+
+Fact 18 states: for ``v = k' log(d/k')`` there are strings
+``x_1, ..., x_v in {0,1}^d`` such that *every* pattern ``s in {0,1}^v`` is
+realised by some k'-itemset ``T_s``: ``f_{T_s}(x_i) = s_i`` for all ``i``.
+(The rows are shattered by the query class -- this is its VC dimension.)
+
+The construction glues two gadgets (Appendix A):
+
+* ``W^(k')``: the all-ones matrix minus the identity; the itemset
+  ``T_s = {i : s_i = 0}`` realises any pattern on its rows.
+* ``Y^(p)``: the ``log2(p) x p`` matrix whose column ``x`` is the binary
+  representation of ``x``; the singleton ``{int(s)}`` realises any pattern.
+
+The glued matrix ``X`` is a ``k' x k'`` grid of blocks: diagonal blocks are
+``Y^(p)`` (``p = d/k'``), off-diagonal blocks are all-ones.  The realising
+itemset picks exactly one column per block-column: column ``l_a`` inside
+block ``a``, where ``l_a`` is the integer read from the a-th group of
+``log2(p)`` pattern bits.
+
+For ``d`` not of the form ``k' * 2^j`` we use the largest power of two
+``p <= d/k'`` and pad the unused columns with ones (they are never chosen
+by any ``T_s``, and padding with ones keeps every pattern realisable even
+if callers embed the matrix in wider databases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.bitmatrix import bits_to_int
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+
+__all__ = [
+    "ShatteredSet",
+    "w_matrix",
+    "y_matrix",
+    "shattered_set",
+]
+
+
+def w_matrix(k: int) -> np.ndarray:
+    """The ``k x k`` gadget ``W^(k)``: ones everywhere except the diagonal.
+
+    For any ``s in {0,1}^k``, the itemset ``{i : s_i = 0}`` has
+    ``f_T(w_i) = s_i`` (row ``i`` misses only column ``i``).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    return ~np.eye(k, dtype=bool)
+
+
+def y_matrix(p: int) -> np.ndarray:
+    """The ``log2(p) x p`` gadget ``Y^(p)``: column ``x`` spells ``x`` in binary.
+
+    Requires ``p`` a power of two ``>= 2``.  For any ``s in {0,1}^{log2 p}``
+    the singleton ``{int(s)}`` has ``f_T(y_i) = s_i``.
+    """
+    if p < 2 or p & (p - 1):
+        raise ParameterError(f"p must be a power of two >= 2, got {p}")
+    bits = p.bit_length() - 1
+    cols = np.arange(p)
+    return np.array(
+        [(cols >> (bits - 1 - r)) & 1 for r in range(bits)], dtype=bool
+    )
+
+
+class ShatteredSet:
+    """Fact 18's strings ``x_1..x_v`` with the pattern-to-itemset map.
+
+    Parameters
+    ----------
+    d:
+        Number of attributes of the ambient database rows.
+    k_prime:
+        Itemset size ``k'`` that must realise the patterns; requires
+        ``d >= 2 k'``.
+
+    Attributes
+    ----------
+    v:
+        Number of shattered rows, ``k' * log2(p)`` with ``p`` the largest
+        power of two at most ``d / k'``.
+    matrix:
+        The ``(v, d)`` boolean matrix whose rows are ``x_1..x_v``.
+    """
+
+    def __init__(self, d: int, k_prime: int) -> None:
+        if k_prime < 1:
+            raise ParameterError(f"k' must be >= 1, got {k_prime}")
+        if d < 2 * k_prime:
+            raise ParameterError(
+                f"Fact 18 needs d >= 2k' (got d={d}, k'={k_prime})"
+            )
+        p = 1 << ((d // k_prime).bit_length() - 1)
+        if p < 2:
+            raise ParameterError(f"d/k' = {d // k_prime} leaves no room for Y blocks")
+        self.d = d
+        self.k_prime = k_prime
+        self.block_width = p
+        self.bits_per_block = p.bit_length() - 1
+        self.v = k_prime * self.bits_per_block
+
+        y = y_matrix(p)
+        rows = np.ones((self.v, d), dtype=bool)
+        for a in range(k_prime):
+            r0 = a * self.bits_per_block
+            c0 = a * p
+            # Block-row a: diagonal block (a, a) is Y, everything else stays 1.
+            rows[r0 : r0 + self.bits_per_block, :] = True
+            rows[r0 : r0 + self.bits_per_block, c0 : c0 + p] = y
+        self.matrix = rows
+        self.matrix.setflags(write=False)
+
+    def itemset_for_pattern(self, pattern: np.ndarray) -> Itemset:
+        """The k'-itemset ``T_s`` realising the given v-bit pattern.
+
+        ``T_s`` picks column ``l_a`` inside block ``a``, where ``l_a`` is
+        the integer spelled by pattern bits ``[a b, (a+1) b)``.
+        """
+        s = np.asarray(pattern, dtype=bool).reshape(-1)
+        if s.size != self.v:
+            raise ParameterError(f"pattern must have v={self.v} bits, got {s.size}")
+        items = []
+        for a in range(self.k_prime):
+            bits = s[a * self.bits_per_block : (a + 1) * self.bits_per_block]
+            items.append(a * self.block_width + bits_to_int(bits))
+        return Itemset(items)
+
+    def realized_pattern(self, itemset: Itemset) -> np.ndarray:
+        """``(f_T(x_1), ..., f_T(x_v))`` for any itemset (ground truth)."""
+        cols = list(itemset.items)
+        if cols and max(cols) >= self.d:
+            raise ParameterError(f"itemset {itemset} out of range for d={self.d}")
+        return self.matrix[:, cols].all(axis=1)
+
+    def verify(self, pattern: np.ndarray) -> bool:
+        """Check ``f_{T_s}(x_i) = s_i`` for all i (used by tests/benches)."""
+        s = np.asarray(pattern, dtype=bool).reshape(-1)
+        return bool(
+            np.array_equal(self.realized_pattern(self.itemset_for_pattern(s)), s)
+        )
+
+
+def shattered_set(d: int, k_prime: int) -> ShatteredSet:
+    """Convenience constructor matching the paper's ``Fact 18`` phrasing."""
+    return ShatteredSet(d, k_prime)

@@ -1,0 +1,56 @@
+"""The KRSU reconstruction attack (Section 4.1.1).
+
+Kasiviswanathan-Rudelson-Smith-Ullman reconstruct the *last column* of a
+database from ``+/- eps`` answers to all k-itemset frequency queries via
+least squares against the matrix ``M^(k)`` derived from the other columns.
+In this library that is exactly :class:`~repro.lowerbounds.de12.
+DeConstruction` with a single special column, no error-correcting code,
+and the L2 decoder -- which is how :class:`KrsuConstruction` is defined.
+
+The E-KRSU benchmark sweeps ``eps * sqrt(n)`` to exhibit the phase
+transition the section describes: reconstruction succeeds while
+``eps <~ sqrt(n)/n`` (i.e. ``n <~ 1/eps^2``) and degrades beyond it, which
+is precisely why the For-All estimator bound carries a ``1/eps^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import FrequencySketch
+from .de12 import DeConstruction
+
+__all__ = ["KrsuConstruction"]
+
+
+class KrsuConstruction(DeConstruction):
+    """Single-special-column, L2-decoded variant of De's construction.
+
+    Parameters match :class:`~repro.lowerbounds.de12.DeConstruction`
+    except that ``n_special`` is fixed to 1 and payloads are raw ``n``-bit
+    vectors (KRSU reconstructs the column directly, no outer code).
+    """
+
+    def __init__(
+        self,
+        d0: int,
+        k: int,
+        n: int,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+        ensure_probing_rows: bool = True,
+    ) -> None:
+        super().__init__(
+            d0=d0,
+            k=k,
+            n=n,
+            epsilon=epsilon,
+            n_special=1,
+            use_ecc=False,
+            rng=rng,
+            ensure_probing_rows=ensure_probing_rows,
+        )
+
+    def decode(self, sketch: FrequencySketch, method: str = "l2") -> np.ndarray:
+        """KRSU's attack: least-squares reconstruction by default."""
+        return super().decode(sketch, method=method)

@@ -1,0 +1,183 @@
+"""Lemma 19: reconstructing a bit vector from threshold inner products.
+
+Setting: an unknown ``t in {0,1}^v``; for patterns ``s in {0,1}^v`` we
+receive bits ``b_s`` from a valid indicator sketch, so
+
+* ``<s, t>/v > eps``    forces ``b_s = 1``,
+* ``<s, t>/v < eps/2``  forces ``b_s = 0``,
+* anything in between is unconstrained.
+
+Lemma 19 says any ``t'`` *consistent* with all the ``b_s`` is within
+Hamming distance ``v/25`` of ``t`` (for ``eps = 1/50``; the argument gives
+``2 eps v`` for general ``eps``).  Because the gray zone makes the paper's
+literal consistency test unsatisfiable by ``t`` itself in adversarial
+cases, we use the standard *weak* (non-contradiction) form, which ``t``
+always satisfies and which yields the same distance bound:
+
+* ``b_s = 1``  requires  ``<s, t'>/v >= eps/2``,
+* ``b_s = 0``  requires  ``<s, t'> / v <= eps``.
+
+(The proof of the ``2 eps v`` bound under weak consistency is in the
+docstring of :meth:`Lemma19Decoder.decode`, mirroring the paper's.)
+
+Two decoding regimes:
+
+* ``eps * v < 1`` (always the case in our Theorem 15 instantiations):
+  singleton patterns pin every bit exactly -- ``t_i = 1`` gives
+  ``<e_i, t>/v = 1/v > eps`` hence ``b = 1``; ``t_i = 0`` gives frequency
+  0 hence ``b = 0``.  Decoding is exact and takes ``v`` queries.
+* general ``eps``: exhaustive search over all ``2^v`` candidates against
+  all ``2^v`` constraints, fully vectorised (practical to ``v ~ 14``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DecodingError, ParameterError
+
+__all__ = ["Lemma19Decoder", "all_patterns", "indicator_answers"]
+
+
+def all_patterns(v: int) -> np.ndarray:
+    """All ``2^v`` binary patterns as a ``(2^v, v)`` boolean matrix.
+
+    Row ``i`` spells ``i`` in binary, most significant bit first, so the
+    ordering is deterministic and testable.
+    """
+    if v < 1:
+        raise ParameterError(f"v must be >= 1, got {v}")
+    if v > 20:
+        raise ParameterError(f"refusing to materialize 2^{v} patterns")
+    ints = np.arange(1 << v, dtype=np.int64)
+    return ((ints[:, None] >> np.arange(v - 1, -1, -1)[None, :]) & 1).astype(bool)
+
+
+def indicator_answers(t: np.ndarray, eps: float) -> np.ndarray:
+    """Honest sketch answers ``b_s`` for every pattern (``f > eps`` rule).
+
+    Generates the bits an *exact* indicator oracle would return: 1 iff
+    ``<s, t>/v > eps`` -- with the gray zone ``[eps/2, eps]`` resolved to 0.
+    Tests use other resolutions to exercise the decoder's robustness.
+    """
+    vec = np.asarray(t, dtype=bool).reshape(-1)
+    patterns = all_patterns(vec.size)
+    inner = patterns @ vec.astype(np.int64)
+    return inner / vec.size > eps
+
+
+class Lemma19Decoder:
+    """Reconstruct ``t`` (up to ``2 eps v`` errors) from indicator bits.
+
+    Parameters
+    ----------
+    v:
+        Length of the unknown vector.
+    eps:
+        The indicator threshold the answering sketch used.
+    max_exhaustive_v:
+        Guard for the ``2^v x 2^v`` search (memory/time).
+    """
+
+    def __init__(self, v: int, eps: float, max_exhaustive_v: int = 14) -> None:
+        if v < 1:
+            raise ParameterError(f"v must be >= 1, got {v}")
+        if not 0.0 < eps < 1.0:
+            raise ParameterError(f"eps must lie in (0, 1), got {eps}")
+        self.v = v
+        self.eps = eps
+        self.max_exhaustive_v = max_exhaustive_v
+
+    @property
+    def guaranteed_distance(self) -> int:
+        """Lemma 19's bound on the Hamming error: ``floor(2 eps v)``.
+
+        ``0`` in the singleton regime (``eps v < 1``): recovery is exact
+        there because a single disagreeing coordinate already violates a
+        singleton constraint.
+        """
+        if self.eps * self.v < 1:
+            return 0
+        return int(2 * self.eps * self.v)
+
+    @property
+    def uses_singletons(self) -> bool:
+        """Whether the exact singleton shortcut applies (``eps v < 1``)."""
+        return self.eps * self.v < 1
+
+    # ------------------------------------------------------------------
+    # Decoding.
+    # ------------------------------------------------------------------
+    def decode_with_oracle(self, answer: Callable[[np.ndarray], bool]) -> np.ndarray:
+        """Decode by querying ``answer(s)`` for the patterns the regime needs.
+
+        In the singleton regime this issues ``v`` queries; otherwise it
+        issues all ``2^v`` and runs the consistency search.
+        """
+        if self.uses_singletons:
+            out = np.zeros(self.v, dtype=bool)
+            for i in range(self.v):
+                pattern = np.zeros(self.v, dtype=bool)
+                pattern[i] = True
+                out[i] = bool(answer(pattern))
+            return out
+        patterns = all_patterns(self.v)
+        bits = np.array([bool(answer(s)) for s in patterns], dtype=bool)
+        return self.decode(bits)
+
+    def decode(self, answers: np.ndarray) -> np.ndarray:
+        """Find a weakly consistent ``t'`` given all ``2^v`` answer bits.
+
+        Weak consistency: ``b_s = 1 => <s,t'> >= eps v / 2`` and
+        ``b_s = 0 => <s,t'> <= eps v``.  The true ``t`` always satisfies
+        this when the answers came from a valid sketch.  Any satisfying
+        ``t'`` is within ``2 eps v`` of ``t``: if they differed on more
+        than ``2 eps v`` coordinates, one direction of disagreement has a
+        set ``S`` with ``|S| > eps v``; taking ``s = 1_S``, either
+        ``<s,t> = 0`` (so ``b_s = 0``, yet ``<s,t'> > eps v`` -- violation)
+        or ``<s,t> > eps v`` (so ``b_s = 1``, yet ``<s,t'> = 0`` --
+        violation).
+
+        Raises
+        ------
+        DecodingError
+            If no candidate is consistent (the answers did not come from a
+            valid sketch run).
+        ParameterError
+            If ``v`` exceeds the exhaustive-search guard.
+        """
+        if self.v > self.max_exhaustive_v:
+            raise ParameterError(
+                f"exhaustive decoding guarded at v <= {self.max_exhaustive_v}, "
+                f"got v={self.v}; use decode_with_oracle in the singleton regime"
+            )
+        bits = np.asarray(answers, dtype=bool).reshape(-1)
+        patterns = all_patterns(self.v)
+        if bits.size != patterns.shape[0]:
+            raise ParameterError(
+                f"need {patterns.shape[0]} answers (one per pattern), got {bits.size}"
+            )
+        threshold_hi = self.eps * self.v  # b=0 constraint: inner <= this
+        threshold_lo = self.eps * self.v / 2.0  # b=1 constraint: inner >= this
+        ones = patterns[bits]
+        zeros = patterns[~bits]
+        candidates = all_patterns(self.v).astype(np.int16)
+        # Process candidates in chunks to bound memory.
+        chunk = max(1, (1 << 22) // max(patterns.shape[0], 1))
+        for start in range(0, candidates.shape[0], chunk):
+            block = candidates[start : start + chunk]
+            ok = np.ones(block.shape[0], dtype=bool)
+            if ones.size:
+                inner_one = block @ ones.astype(np.int16).T
+                ok &= (inner_one >= threshold_lo - 1e-9).all(axis=1)
+            if zeros.size:
+                inner_zero = block @ zeros.astype(np.int16).T
+                ok &= (inner_zero <= threshold_hi + 1e-9).all(axis=1)
+            hits = np.flatnonzero(ok)
+            if hits.size:
+                return block[hits[0]].astype(bool)
+        raise DecodingError(
+            "no candidate vector is consistent with the given answers"
+        )

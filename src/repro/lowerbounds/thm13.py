@@ -1,0 +1,142 @@
+"""Theorem 13's hard family: the Omega(d / epsilon) indicator bound.
+
+The construction (Section 3.2.1): ``m = 1/epsilon`` distinct rows over
+``d`` attributes.  Row ``i``'s first ``d/2`` columns hold a *unique*
+``(k-1)``-subset ``S_i`` of the first ``d/2`` attributes (possible as long
+as ``1/epsilon <= C(d/2, k-1)``); the last ``d/2`` columns are a free
+payload.  For the k-itemset ``T_{i,j} = S_i ∪ {j}`` (``j`` in the second
+half):
+
+* payload bit ``(i, j) = 1``  ==>  ``f_{T_{i,j}} = 1/m = epsilon``,
+* payload bit ``(i, j) = 0``  ==>  ``f_{T_{i,j}} = 0 < epsilon/2``,
+
+so an indicator sketch's answers spell out all ``d/(2 epsilon)`` payload
+bits, and Fano gives the Omega(d/epsilon) bound.
+
+Definitional fine print: Definition 1 leaves answers for
+``f in [eps/2, eps]`` unconstrained, and the 1-bits here sit exactly at
+``f = eps``.  The paper reads the definition as "``f >= eps`` answers 1"
+(its proof states ``f_T >= eps  iff  D(i,j) = 1``); we follow it, and note
+that every reasonable sketch -- including all three naive algorithms --
+answers 1 at ``f = eps`` with high probability.  Instantiating the class
+with ``duplications >= 2`` and a sketch ``epsilon`` of ``1/(2m)`` removes
+the edge case entirely at the cost of a factor 2 in the bound.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from ..core.base import FrequencySketch
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset, unrank_itemset
+from ..errors import ParameterError
+from ..params import SketchParams
+from .encoding import DatabaseEncoding
+
+__all__ = ["Theorem13Encoding"]
+
+
+class Theorem13Encoding(DatabaseEncoding):
+    """Encoder/decoder pair realizing Theorem 13's hard distribution.
+
+    Parameters
+    ----------
+    d:
+        Number of attributes (must be even; halves are ID / payload).
+    k:
+        Itemset size, ``k >= 2``.
+    m:
+        Number of distinct rows; the bound targets sketches with
+        ``epsilon = 1/m``.  Requires ``m <= C(d/2, k-1)``.
+    duplications:
+        Each distinct row is repeated this many times (``n = m *
+        duplications``), mirroring the ``n >= 1/epsilon`` clause.
+    """
+
+    def __init__(self, d: int, k: int, m: int, duplications: int = 1) -> None:
+        if d < 4 or d % 2:
+            raise ParameterError(f"d must be even and >= 4, got {d}")
+        if k < 2:
+            raise ParameterError(f"Theorem 13 needs k >= 2, got {k}")
+        if k - 1 > d // 2:
+            raise ParameterError(f"k-1={k - 1} exceeds d/2={d // 2} attributes")
+        if m < 1:
+            raise ParameterError(f"m must be >= 1, got {m}")
+        if duplications < 1:
+            raise ParameterError(f"duplications must be >= 1, got {duplications}")
+        capacity = comb(d // 2, k - 1)
+        if m > capacity:
+            raise ParameterError(
+                f"m={m} exceeds C(d/2, k-1)={capacity}: cannot give each row "
+                f"a unique ID itemset (the theorem's 1/eps <= C(d/2, k-1) clause)"
+            )
+        self.d = d
+        self.k = k
+        self.m = m
+        self.duplications = duplications
+        self._half = d // 2
+        # Unique ID (k-1)-subsets of the first d/2 attributes, by colex rank.
+        self._ids = [unrank_itemset(i, k - 1) for i in range(m)]
+
+    # ------------------------------------------------------------------
+    # DatabaseEncoding interface.
+    # ------------------------------------------------------------------
+    @property
+    def payload_bits(self) -> int:
+        """``m * d/2`` free bits -- ``d/(2 epsilon)`` at ``epsilon = 1/m``."""
+        return self.m * self._half
+
+    @property
+    def epsilon(self) -> float:
+        """The frequency threshold the construction targets: ``1/m``."""
+        return 1.0 / self.m
+
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """Parameters of the sketch under attack (``epsilon = 1/m``)."""
+        return SketchParams(
+            n=self.m * self.duplications,
+            d=self.d,
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=delta,
+        )
+
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Build the database: unique ID halves plus payload halves."""
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        if bits.size != self.payload_bits:
+            raise ParameterError(
+                f"payload must have {self.payload_bits} bits, got {bits.size}"
+            )
+        rows = np.zeros((self.m, self.d), dtype=bool)
+        for i, ident in enumerate(self._ids):
+            rows[i, list(ident.items)] = True
+            rows[i, self._half :] = bits[i * self._half : (i + 1) * self._half]
+        db = BinaryDatabase(rows)
+        if self.duplications > 1:
+            db = db.repeat_rows(self.duplications)
+        return db
+
+    def query_itemset(self, row: int, column: int) -> Itemset:
+        """``T_{i,j} = S_i ∪ {d/2 + j}`` for payload position ``(i, j)``."""
+        if not 0 <= row < self.m:
+            raise ParameterError(f"row must lie in [0, {self.m}), got {row}")
+        if not 0 <= column < self._half:
+            raise ParameterError(f"column must lie in [0, {self._half}), got {column}")
+        return self._ids[row].union([self._half + column])
+
+    def decode(self, sketch: FrequencySketch) -> np.ndarray:
+        """Read every payload bit off the sketch's indicator answers."""
+        out = np.zeros(self.payload_bits, dtype=bool)
+        for i in range(self.m):
+            for j in range(self._half):
+                out[i * self._half + j] = sketch.indicate(self.query_itemset(i, j))
+        return out
+
+    def exact_frequencies(self, payload: np.ndarray) -> np.ndarray:
+        """Ground-truth ``f_{T_{i,j}}`` for each payload bit (tests)."""
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        return np.where(bits, self.epsilon, 0.0)

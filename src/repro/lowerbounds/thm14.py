@@ -1,0 +1,81 @@
+"""Theorem 14: the INDEX reduction for For-Each indicator sketches.
+
+Any For-Each-Itemset-Frequency-Indicator sketch yields a one-way protocol
+for INDEX on ``N = (d/2) * (1/epsilon)`` bits: Alice encodes her vector
+``x`` as the Theorem 13 database ``D_x``, sends the sketch ``S(D_x)``, and
+Bob answers his index ``y`` by querying the itemset ``T_y``.  Correctness
+of the sketch (per query, probability ``1 - delta``) makes the protocol
+correct, so Ablayev's Omega(N) bound on INDEX transfers to the sketch size.
+
+:class:`SketchIndexProtocol` wires a concrete sketcher into the protocol;
+its measured communication is exactly ``sketch.size_in_bits()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..comm.protocol import OneWayProtocol
+from ..core.base import Sketcher, Task
+from ..errors import ParameterError
+from .thm13 import Theorem13Encoding
+
+__all__ = ["SketchIndexProtocol", "index_instance_size"]
+
+
+def index_instance_size(d: int, m: int) -> int:
+    """``N = (d/2) * m``: the INDEX length realized by the reduction."""
+    if d < 4 or d % 2:
+        raise ParameterError(f"d must be even and >= 4, got {d}")
+    if m < 1:
+        raise ParameterError(f"m must be >= 1, got {m}")
+    return (d // 2) * m
+
+
+class SketchIndexProtocol(OneWayProtocol):
+    """One-way INDEX protocol built from a For-Each indicator sketcher.
+
+    Parameters
+    ----------
+    sketcher:
+        Any sketcher configured for :attr:`Task.FOREACH_INDICATOR` (other
+        tasks also work; For-Each indicator is the theorem's setting).
+    d, k, m:
+        Theorem 13 construction parameters; the INDEX instance has
+        ``N = (d/2) * m`` bits and the sketch targets ``epsilon = 1/m``.
+    delta:
+        Failure probability budgeted to the sketch.
+    """
+
+    def __init__(
+        self, sketcher: Sketcher, d: int, k: int, m: int, delta: float = 0.1
+    ) -> None:
+        self.encoding = Theorem13Encoding(d, k, m)
+        self.sketcher = sketcher
+        self.delta = delta
+        self.n_index = index_instance_size(d, m)
+
+    def alice_message(self, x: Any, rng: np.random.Generator) -> tuple[Any, int]:
+        """Alice: encode ``x`` as ``D_x``, sketch it, send the sketch."""
+        bits = np.asarray(x, dtype=bool).reshape(-1)
+        if bits.size != self.n_index:
+            raise ParameterError(f"x must have {self.n_index} bits, got {bits.size}")
+        db = self.encoding.encode(bits)
+        sketch = self.sketcher.sketch(db, self.encoding.sketch_params(self.delta), rng)
+        return sketch, sketch.size_in_bits()
+
+    def bob_output(self, message: tuple[Any, int], y: Any) -> bool:
+        """Bob: map his index to ``T_y`` and query the sketch."""
+        sketch, _ = message
+        index = int(y)
+        if not 0 <= index < self.n_index:
+            raise ParameterError(f"index must lie in [0, {self.n_index}), got {index}")
+        half = self.encoding.d // 2
+        row, col = divmod(index, half)
+        return sketch.indicate(self.encoding.query_itemset(row, col))
+
+    def target(self, x: Any, y: Any) -> bool:
+        """INDEX: the ``y``-th bit of ``x``."""
+        return bool(np.asarray(x, dtype=bool).reshape(-1)[int(y)])

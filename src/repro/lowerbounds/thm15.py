@@ -1,0 +1,278 @@
+"""Theorem 15: the tight Omega(k d log(d/k) / eps) indicator bound.
+
+Two stages, mirroring Section 3.2.2:
+
+**Constant eps (:class:`Theorem15Encoding`).**  Take Fact 18's shattered
+strings ``x_1..x_v`` (``v ~ (k-1) log(d/(k-1))``) and an arbitrary payload
+matrix ``y in {0,1}^{v x d}``; the database row ``i`` is ``(x_i, y_i)``
+over ``2d`` attributes.  For a pattern ``s`` and a payload column ``j``,
+the k-itemset ``T_s ∪ {d+j}`` has frequency exactly ``<s, t_j>/v`` where
+``t_j`` is the j-th payload column -- so indicator answers feed Lemma 19,
+which reconstructs every column to within ``2 eps v`` errors.  Wrapping
+the payload in the concatenated code (decodable from an adversarial 1/16
+fraction of errors, comfortably above the per-column ``2 eps = 4%``)
+yields *exact* recovery of ``Omega(k d log(d/k))`` arbitrary bits.
+
+**Sub-constant eps (:class:`AmplifiedTheorem15Encoding`).**  Stack
+``m = 1/(50 eps)`` independent copies, appending to block ``i`` the
+indicator of a distinct ``(k-1)/2``-itemset tag ``T_i`` on a third group
+of ``d`` attributes.  A k-itemset query on the big database that includes
+the (shifted) tag ``T_i`` touches only block ``i``'s rows, and its
+frequency is exactly ``f(D_i)/m`` -- so a single sketch with threshold
+``eps = 1/(50 m)`` answers constant-threshold queries on *every* block,
+multiplying the payload (and hence the bound) by ``1/eps``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from ..coding.concatenated import ConcatenatedCode
+from ..core.base import FrequencySketch
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset, unrank_itemset
+from ..errors import ParameterError
+from ..params import SketchParams
+from .encoding import DatabaseEncoding
+from .fact18 import ShatteredSet
+from .lemma19 import Lemma19Decoder
+
+__all__ = ["Theorem15Encoding", "AmplifiedTheorem15Encoding"]
+
+#: The constant threshold used by the bootstrap (the paper's 1/50).
+BOOTSTRAP_EPS = 1.0 / 50.0
+
+
+class Theorem15Encoding(DatabaseEncoding):
+    """The ``eps = 1/50`` stage: ``Omega(k d log(d/k))`` payload bits.
+
+    Parameters
+    ----------
+    d:
+        Width of each half of the database (total attributes ``2d``).
+    k:
+        Query size; ``k >= 2`` (the shattered strings use ``k' = k - 1``).
+    eps:
+        Indicator threshold (default 1/50, the paper's constant).
+    use_ecc:
+        If True (default) and the payload region fits a supported
+        concatenated-code block, payloads are ECC-wrapped and recovery is
+        exact; otherwise raw payload bits are stored and recovery is
+        guaranteed only up to a ``2 eps`` fraction of errors per column.
+    """
+
+    def __init__(
+        self, d: int, k: int, eps: float = BOOTSTRAP_EPS, use_ecc: bool = True
+    ) -> None:
+        if k < 2:
+            raise ParameterError(f"Theorem 15's bootstrap needs k >= 2, got {k}")
+        if not 0.0 < eps < 0.5:
+            raise ParameterError(f"eps must lie in (0, 0.5), got {eps}")
+        self.d = d
+        self.k = k
+        self.eps = eps
+        self.shattered = ShatteredSet(d, k - 1)
+        self.v = self.shattered.v
+        self._decoder = Lemma19Decoder(self.v, eps)
+        region = d * self.v  # bits available in the payload half
+        self._code: ConcatenatedCode | None = None
+        if use_ecc:
+            best = None
+            for m in (5, 6, 7, 8, 9, 10):
+                code = ConcatenatedCode(m)
+                if code.block_bits <= region:
+                    best = code
+            self._code = best
+        self._region_bits = region
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def uses_ecc(self) -> bool:
+        """Whether payloads are ECC-wrapped (exact recovery)."""
+        return self._code is not None
+
+    @property
+    def code(self) -> ConcatenatedCode | None:
+        """The wrapping concatenated code (None in raw mode)."""
+        return self._code
+
+    @property
+    def payload_bits(self) -> int:
+        """ECC message bits, or the raw ``d * v`` region when no code fits."""
+        if self._code is not None:
+            return self._code.message_bits
+        return self._region_bits
+
+    @property
+    def guaranteed_error_fraction(self) -> float:
+        """Worst-case payload error fraction: 0 with ECC, ``2 eps`` raw."""
+        if self._code is not None:
+            return 0.0
+        return min(1.0, 2.0 * self.eps)
+
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """``(n=v, d=2d, k, eps, delta)`` -- the sketch under attack."""
+        return SketchParams(
+            n=self.v, d=2 * self.d, k=self.k, epsilon=self.eps, delta=delta
+        )
+
+    # ------------------------------------------------------------------
+    # Encode.
+    # ------------------------------------------------------------------
+    def _coded_region(self, payload: np.ndarray) -> np.ndarray:
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        if bits.size != self.payload_bits:
+            raise ParameterError(
+                f"payload must have {self.payload_bits} bits, got {bits.size}"
+            )
+        region = np.zeros(self._region_bits, dtype=bool)
+        if self._code is not None:
+            region[: self._code.block_bits] = self._code.encode(bits)
+        else:
+            region[:] = bits
+        return region
+
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Rows ``(x_i, y_i)``: shattered half plus payload half.
+
+        The coded region is laid out *column-major* (column ``j`` of the
+        payload half holds coded bits ``[j v, (j+1) v)``), so Lemma 19's
+        per-column error guarantee translates into a bounded error
+        fraction on every contiguous chunk of the codeword.
+        """
+        region = self._coded_region(payload)
+        y = region.reshape(self.d, self.v).T  # column j <- chunk j
+        rows = np.hstack([np.array(self.shattered.matrix, dtype=bool), y])
+        return BinaryDatabase(rows)
+
+    # ------------------------------------------------------------------
+    # Decode.
+    # ------------------------------------------------------------------
+    def column_query(self, pattern: np.ndarray, column: int) -> Itemset:
+        """The k-itemset ``T_s ∪ {d + j}`` probing payload column ``j``."""
+        if not 0 <= column < self.d:
+            raise ParameterError(f"column must lie in [0, {self.d}), got {column}")
+        t_s = self.shattered.itemset_for_pattern(pattern)
+        return t_s.union([self.d + column])
+
+    def recover_columns(self, sketch: FrequencySketch) -> np.ndarray:
+        """Lemma 19 reconstruction of every payload column from the sketch."""
+        columns = np.zeros((self.v, self.d), dtype=bool)
+        for j in range(self.d):
+            columns[:, j] = self._decoder.decode_with_oracle(
+                lambda s, _j=j: sketch.indicate(self.column_query(s, _j))
+            )
+        return columns
+
+    def decode(self, sketch: FrequencySketch) -> np.ndarray:
+        """Recover the payload: Lemma 19 per column, then ECC decode."""
+        columns = self.recover_columns(sketch)
+        region = columns.T.reshape(-1)
+        if self._code is not None:
+            return self._code.decode(
+                region[: self._code.block_bits], self.payload_bits
+            )
+        return region
+
+
+class AmplifiedTheorem15Encoding(DatabaseEncoding):
+    """The sub-constant-eps stage: payload multiplied by ``m = 1/(50 eps)``.
+
+    Parameters
+    ----------
+    d:
+        Half-width of each inner database (inner databases have ``2d``
+        attributes; the tag block adds ``d`` more).
+    k:
+        Odd query size ``>= 3``; inner queries use ``(k+1)/2``-itemsets and
+        tags use ``(k-1)/2``-itemsets.
+    m_blocks:
+        Number of stacked inner databases; the attacked sketch must use
+        ``epsilon = 1/(50 m_blocks)``.
+    """
+
+    def __init__(self, d: int, k: int, m_blocks: int, use_ecc: bool = True) -> None:
+        if k < 3 or k % 2 == 0:
+            raise ParameterError(f"amplification needs odd k >= 3, got {k}")
+        if m_blocks < 1:
+            raise ParameterError(f"m_blocks must be >= 1, got {m_blocks}")
+        self.tag_size = (k - 1) // 2
+        capacity = comb(d, self.tag_size)
+        if m_blocks > capacity:
+            raise ParameterError(
+                f"m_blocks={m_blocks} exceeds C(d, (k-1)/2)={capacity} distinct tags"
+            )
+        self.d = d
+        self.k = k
+        self.m_blocks = m_blocks
+        self.inner = Theorem15Encoding(d, (k + 1) // 2, use_ecc=use_ecc)
+        self.tags = [unrank_itemset(i, self.tag_size) for i in range(m_blocks)]
+        self.epsilon = self.inner.eps / m_blocks
+
+    @property
+    def payload_bits(self) -> int:
+        """``m_blocks`` independent inner payloads."""
+        return self.m_blocks * self.inner.payload_bits
+
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """``(n = m v, d = 3d, k, eps = 1/(50 m), delta)``."""
+        return SketchParams(
+            n=self.m_blocks * self.inner.v,
+            d=3 * self.d,
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=delta,
+        )
+
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Stack ``[inner block | tag indicator]`` for each of the m payloads."""
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        if bits.size != self.payload_bits:
+            raise ParameterError(
+                f"payload must have {self.payload_bits} bits, got {bits.size}"
+            )
+        per = self.inner.payload_bits
+        blocks = []
+        for i in range(self.m_blocks):
+            inner_db = self.inner.encode(bits[i * per : (i + 1) * per])
+            tag_cols = np.tile(self.tags[i].indicator(self.d), (inner_db.n, 1))
+            blocks.append(np.hstack([inner_db.rows, tag_cols]))
+        return BinaryDatabase(np.vstack(blocks))
+
+    def _block_view(self, sketch: FrequencySketch, block: int) -> FrequencySketch:
+        """A sketch adapter answering inner queries for one block.
+
+        Inner queries live on ``2d`` attributes; the view appends the
+        block's shifted tag, turning them into k-itemsets on the big
+        database whose frequencies are the inner ones divided by ``m``.
+        """
+        outer = self
+        tag_shifted = self.tags[block].shift(2 * self.d)
+
+        class _View(FrequencySketch):
+            def __init__(self) -> None:
+                super().__init__(outer.inner.sketch_params())
+
+            def estimate(self, itemset: Itemset) -> float:
+                return sketch.estimate(itemset.union(tag_shifted)) * outer.m_blocks
+
+            def indicate(self, itemset: Itemset) -> bool:
+                return sketch.indicate(itemset.union(tag_shifted))
+
+            def size_in_bits(self) -> int:
+                return sketch.size_in_bits()
+
+        return _View()
+
+    def decode(self, sketch: FrequencySketch) -> np.ndarray:
+        """Run the inner attack on every block through its tag view."""
+        out = np.zeros(self.payload_bits, dtype=bool)
+        per = self.inner.payload_bits
+        for i in range(self.m_blocks):
+            view = self._block_view(sketch, i)
+            out[i * per : (i + 1) * per] = self.inner.decode(view)
+        return out

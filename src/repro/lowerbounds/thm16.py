@@ -1,0 +1,200 @@
+"""Theorem 16: the amplified Omega~(k d log(d/k) / eps^2) estimator bound.
+
+The composition (Section 4.1.2): take Fact 18's shattered strings
+``x_1..x_v`` over ``d_shatter`` attributes (realizing patterns with
+``(k-c)``-itemsets) and ``v`` independent payloads, each encoded as a De
+database ``D_i`` with c-itemset queries.  Block ``i`` of the big database
+prefixes every row of ``D_i`` with ``x_i``.  For an inner c-itemset ``T``
+and a pattern ``s``, the k-itemset ``T'(T, s) = T_s ∪ shift(T)`` has
+
+    ``f_{T'}(D) = <s, z_T> / v``,   where ``z_T = (f_T(D_1), .., f_T(D_v))``
+
+-- equation (6)-(9) of the paper.  Lemma 21 turns ``+/- eps`` estimates of
+those inner products (over all ``2^v`` patterns) into a vector ``z_hat_T``
+with *average* error at most ``4 eps``, which is exactly the accuracy
+regime De's L1 decoder tolerates; each block's payload then comes back via
+:class:`~repro.lowerbounds.de12.DeConstruction`.
+
+The net effect: one For-All estimator sketch encodes ``v`` independent De
+payloads, multiplying the Omega~(d / eps^2) base bound by
+``v ~ k log(d/k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.base import FrequencySketch
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset
+from ..errors import DecodingError, ParameterError
+from ..params import SketchParams
+from .de12 import DeConstruction
+from .encoding import DatabaseEncoding
+from .fact18 import ShatteredSet
+from .lemma19 import all_patterns
+
+__all__ = ["lemma21_decode", "Theorem16Encoding"]
+
+
+def lemma21_decode(answers: np.ndarray, v: int, eps: float) -> np.ndarray:
+    """Lemma 21: recover ``z in [0,1]^v`` from noisy subset averages.
+
+    Given estimates ``f_hat_s ~ <s, z>/v`` (one per pattern ``s``, each
+    within ``eps``), find any ``z_hat in [0,1]^v`` with
+    ``|<z_hat, s>/v - f_hat_s| <= eps`` for all ``s``; the lemma shows any
+    such vector has ``||z_hat - z||_1 / v <= 4 eps``.  Implemented as a
+    minimax LP (minimize the largest violation ``tau``), so it degrades
+    gracefully when the answers are slightly worse than ``eps``: the
+    returned vector satisfies the constraints at the smallest feasible
+    ``tau`` and inherits the bound with ``eps`` replaced by ``tau``.
+
+    Parameters
+    ----------
+    answers:
+        Length ``2^v``, ordered like :func:`~repro.lowerbounds.lemma19.
+        all_patterns`.
+    """
+    f_hat = np.asarray(answers, dtype=float).reshape(-1)
+    patterns = all_patterns(v).astype(float)
+    if f_hat.size != patterns.shape[0]:
+        raise ParameterError(
+            f"need {patterns.shape[0]} answers (one per pattern), got {f_hat.size}"
+        )
+    # Variables: [z (v), tau (1)]; minimize tau subject to
+    #   <z, s>/v - tau <= f_hat_s + eps   and   -<z, s>/v - tau <= -(f_hat_s - eps).
+    n_rows = patterns.shape[0]
+    cost = np.concatenate([np.zeros(v), [1.0]])
+    upper = np.hstack([patterns / v, -np.ones((n_rows, 1))])
+    lower = np.hstack([-patterns / v, -np.ones((n_rows, 1))])
+    a_ub = np.vstack([upper, lower])
+    b_ub = np.concatenate([f_hat + eps, -(f_hat - eps)])
+    bounds = [(0.0, 1.0)] * v + [(0.0, None)]
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        raise DecodingError(f"Lemma 21 LP failed: {result.message}")
+    return result.x[:v]
+
+
+class Theorem16Encoding(DatabaseEncoding):
+    """The full Theorem 16 composition: Fact 18 x De databases.
+
+    Parameters
+    ----------
+    d_shatter:
+        Attributes of the shattered prefix block.
+    c:
+        Inner query size (the paper's constant ``c >= 2``).
+    k:
+        Total query size; inner itemsets use ``c`` attributes and patterns
+        use ``k - c``, so ``k > c``.
+    d0, n_inner:
+        De-construction parameters for every block (one construction is
+        drawn and shared, mirroring the paper's public ``D_0``).
+    epsilon:
+        Accuracy of the For-All estimator sketch under attack.
+    """
+
+    def __init__(
+        self,
+        d_shatter: int,
+        c: int,
+        k: int,
+        d0: int,
+        n_inner: int,
+        epsilon: float,
+        use_ecc: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if c < 2:
+            raise ParameterError(f"Theorem 16 needs c >= 2, got {c}")
+        if k <= c:
+            raise ParameterError(f"need k > c, got k={k}, c={c}")
+        self.shattered = ShatteredSet(d_shatter, k - c)
+        self.v = self.shattered.v
+        if self.v > 14:
+            raise ParameterError(
+                f"v={self.v} patterns are infeasible to enumerate; shrink d_shatter"
+            )
+        # The inner databases answer c-itemset queries to (amplified) error;
+        # the inner sketch parameter records the tolerance Lemma 21 passes on.
+        self.inner = DeConstruction(
+            d0=d0,
+            k=c,
+            n=n_inner,
+            epsilon=min(0.49, 4 * epsilon * self.v),
+            use_ecc=use_ecc,
+            rng=rng,
+        )
+        self.d_shatter = d_shatter
+        self.c = c
+        self.k = k
+        self.epsilon = epsilon
+
+    @property
+    def payload_bits(self) -> int:
+        """``v`` independent inner payloads."""
+        return self.v * self.inner.payload_bits
+
+    def sketch_params(self, delta: float = 0.1) -> SketchParams:
+        """``(n = v * n_inner, d = d_shatter + d_inner, k, eps, delta)``."""
+        return SketchParams(
+            n=self.v * self.inner.n,
+            d=self.d_shatter + self.inner.d_total,
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=delta,
+        )
+
+    def encode(self, payload: np.ndarray) -> BinaryDatabase:
+        """Stack ``[x_i prefix | D_i]`` for each of the v inner payloads."""
+        bits = np.asarray(payload, dtype=bool).reshape(-1)
+        if bits.size != self.payload_bits:
+            raise ParameterError(
+                f"payload must have {self.payload_bits} bits, got {bits.size}"
+            )
+        per = self.inner.payload_bits
+        blocks = []
+        for i in range(self.v):
+            inner_db = self.inner.encode(bits[i * per : (i + 1) * per])
+            prefix = np.tile(self.shattered.matrix[i], (inner_db.n, 1))
+            blocks.append(np.hstack([prefix, inner_db.rows]))
+        return BinaryDatabase(np.vstack(blocks))
+
+    def outer_query(self, pattern: np.ndarray, inner_itemset: Itemset) -> Itemset:
+        """``T'(T, s) = T_s ∪ shift(T, d_shatter)`` -- a k-itemset."""
+        t_s = self.shattered.itemset_for_pattern(pattern)
+        return t_s.union(inner_itemset.shift(self.d_shatter))
+
+    def recover_inner_answers(self, sketch: FrequencySketch) -> np.ndarray:
+        """Lemma 21 for every inner query: ``z_hat[sj, ti, i] ~ f_T(D_i)``."""
+        patterns = all_patterns(self.v)
+        n_tuples = len(self.inner.tuples)
+        z_hat = np.zeros((self.inner.n_special, n_tuples, self.v))
+        for ti, sj, inner_itemset in self.inner.iter_queries():
+            estimates = np.array(
+                [
+                    sketch.estimate(self.outer_query(s, inner_itemset))
+                    for s in patterns
+                ]
+            )
+            z_hat[sj, ti] = lemma21_decode(estimates, self.v, self.epsilon)
+        return z_hat
+
+    def decode(self, sketch: FrequencySketch) -> np.ndarray:
+        """Recover all ``v`` inner payloads through Lemma 21 + De decoding."""
+        z_hat = self.recover_inner_answers(sketch)
+        per = self.inner.payload_bits
+        out = np.zeros(self.payload_bits, dtype=bool)
+        for i in range(self.v):
+            answers = z_hat[:, :, i]
+            try:
+                block = self.inner.decode_from_answers(answers, method="l1")
+            except DecodingError:
+                # The paper's Markov argument allows a small fraction of
+                # blocks to fail; report zeros for those bits rather than
+                # aborting the whole attack.
+                block = np.zeros(per, dtype=bool)
+            out[i * per : (i + 1) * per] = block
+        return out

@@ -1,0 +1,41 @@
+"""Frequent-itemset mining substrate (Section 1.1's motivating machinery).
+
+Miners run on databases *or* sketches through the
+:class:`~repro.mining.base.FrequencySource` protocol, realizing the paper's
+"run the algorithm on the sketch" workflow.
+"""
+
+from .apriori import apriori
+from .base import DatabaseSource, FrequencySource, SketchSource, as_source
+from .biclique import (
+    biclique_to_itemset,
+    database_to_bipartite,
+    itemset_to_biclique,
+    max_balanced_biclique_exact,
+    max_balanced_biclique_greedy,
+)
+from .eclat import eclat
+from .fpgrowth import fpgrowth
+from .maximal import closed_itemsets, expand_maximal, maximal_itemsets
+from .rules import AssociationRule, confidence_error_bound, derive_rules
+
+__all__ = [
+    "FrequencySource",
+    "DatabaseSource",
+    "SketchSource",
+    "as_source",
+    "apriori",
+    "eclat",
+    "fpgrowth",
+    "maximal_itemsets",
+    "closed_itemsets",
+    "expand_maximal",
+    "AssociationRule",
+    "derive_rules",
+    "confidence_error_bound",
+    "database_to_bipartite",
+    "itemset_to_biclique",
+    "biclique_to_itemset",
+    "max_balanced_biclique_exact",
+    "max_balanced_biclique_greedy",
+]

@@ -1,0 +1,75 @@
+"""Frequency sources: the common substrate miners run on.
+
+The paper's point (Section 1.1.2) is that data-mining algorithms can run on
+a *sketch* instead of the database.  To make that literal, the miners in
+this package accept anything satisfying :class:`FrequencySource` --
+``d`` attributes plus a ``frequency(itemset)`` method -- and we provide
+adapters for exact databases and for every sketch in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core.base import FrequencySketch
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset
+from ..db.queries import FrequencyOracle
+
+__all__ = ["FrequencySource", "DatabaseSource", "SketchSource", "as_source"]
+
+
+@runtime_checkable
+class FrequencySource(Protocol):
+    """Anything that can report (approximate) itemset frequencies."""
+
+    @property
+    def d(self) -> int:
+        """Number of attributes."""
+        ...
+
+    def frequency(self, itemset: Itemset) -> float:
+        """(Approximate) frequency of ``itemset``."""
+        ...
+
+
+class DatabaseSource:
+    """Exact frequencies from a database (via the packed-column oracle)."""
+
+    def __init__(self, db: BinaryDatabase) -> None:
+        self._oracle = FrequencyOracle(db)
+        self._d = db.d
+
+    @property
+    def d(self) -> int:
+        """Number of attributes."""
+        return self._d
+
+    def frequency(self, itemset: Itemset) -> float:
+        """Exact ``f_T(D)``."""
+        return self._oracle.frequency(itemset)
+
+
+class SketchSource:
+    """Approximate frequencies from any :class:`FrequencySketch`."""
+
+    def __init__(self, sketch: FrequencySketch) -> None:
+        self._sketch = sketch
+
+    @property
+    def d(self) -> int:
+        """Number of attributes (from the sketch's parameters)."""
+        return self._sketch.params.d
+
+    def frequency(self, itemset: Itemset) -> float:
+        """The sketch's estimate ``Q(S, T)``."""
+        return self._sketch.estimate(itemset)
+
+
+def as_source(obj: BinaryDatabase | FrequencySketch | FrequencySource) -> FrequencySource:
+    """Coerce a database, sketch, or source into a :class:`FrequencySource`."""
+    if isinstance(obj, BinaryDatabase):
+        return DatabaseSource(obj)
+    if isinstance(obj, FrequencySketch):
+        return SketchSource(obj)
+    return obj

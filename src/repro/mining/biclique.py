@@ -1,0 +1,144 @@
+"""The itemset <-> balanced-biclique correspondence (Section 1.1.1).
+
+View a database as a bipartite graph: rows on one side, attributes on the
+other, an edge when the row has a 1 in the attribute.  An itemset of
+cardinality ``c`` and support ``s`` is exactly a complete bipartite
+subgraph with ``s`` rows and ``c`` attributes; a *balanced* biclique with
+``epsilon n`` nodes per side is an itemset of cardinality ``epsilon n``
+and frequency ``epsilon``.  Via Feige-Kogan hardness of balanced biclique,
+the paper concludes that finding a frequent itemset of approximately
+maximal size is NP-hard.
+
+We implement the correspondence in both directions plus an exact
+(exponential, tiny-instance) and a greedy (heuristic) maximum balanced
+biclique search, so the reduction is runnable and testable.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+
+__all__ = [
+    "database_to_bipartite",
+    "itemset_to_biclique",
+    "biclique_to_itemset",
+    "max_balanced_biclique_exact",
+    "max_balanced_biclique_greedy",
+]
+
+
+def database_to_bipartite(db: BinaryDatabase) -> nx.Graph:
+    """The paper's bipartite view: row nodes ``('r', i)``, attribute nodes
+    ``('a', j)``, an edge iff ``D(i, j) = 1``."""
+    graph = nx.Graph()
+    graph.add_nodes_from(("r", i) for i in range(db.n))
+    graph.add_nodes_from(("a", j) for j in range(db.d))
+    rows, cols = np.nonzero(db.rows)
+    graph.add_edges_from((("r", int(i)), ("a", int(j))) for i, j in zip(rows, cols))
+    return graph
+
+
+def itemset_to_biclique(
+    db: BinaryDatabase, itemset: Itemset
+) -> tuple[list[int], list[int]]:
+    """The complete bipartite subgraph an itemset induces.
+
+    Returns ``(supporting_rows, attributes)``; every returned row is
+    connected to every returned attribute by construction.
+    """
+    rows = np.flatnonzero(db.support_mask(itemset)).tolist()
+    return rows, list(itemset.items)
+
+
+def biclique_to_itemset(
+    db: BinaryDatabase, rows: list[int], attributes: list[int]
+) -> tuple[Itemset, float]:
+    """The itemset a biclique certifies, with its (verified) frequency.
+
+    Raises
+    ------
+    ParameterError
+        If the claimed biclique is not complete in the database.
+    """
+    itemset = Itemset(attributes)
+    mask = db.support_mask(itemset)
+    for r in rows:
+        if not mask[r]:
+            raise ParameterError(
+                f"row {r} is not connected to all of {attributes}; not a biclique"
+            )
+    return itemset, db.frequency(itemset)
+
+
+def max_balanced_biclique_exact(
+    db: BinaryDatabase, max_side: int | None = None
+) -> tuple[list[int], list[int]]:
+    """Exact maximum balanced biclique by exhaustive search (tiny inputs!).
+
+    Enumerates attribute subsets of each size ``s`` (largest first) and
+    checks whether at least ``s`` rows support them.  Exponential in ``d``
+    -- which is the paper's point; callers keep ``d <= ~16``.
+    """
+    if db.d > 16:
+        raise ParameterError(
+            f"exact balanced biclique is exponential; refuse d={db.d} > 16"
+        )
+    cap = min(db.n, db.d if max_side is None else max_side)
+    for side in range(cap, 0, -1):
+        for attrs in combinations(range(db.d), side):
+            mask = db.support_mask(Itemset(attrs))
+            if int(mask.sum()) >= side:
+                rows = np.flatnonzero(mask)[:side].tolist()
+                return rows, list(attrs)
+    return [], []
+
+
+def max_balanced_biclique_greedy(db: BinaryDatabase) -> tuple[list[int], list[int]]:
+    """Greedy heuristic: repeatedly drop the sparsest side node.
+
+    Starts from the full bipartite graph, removes the row/attribute with
+    the fewest surviving connections until the remainder is complete, and
+    returns the best balanced biclique observed along the way.  No
+    approximation guarantee -- Feige-Kogan says a good one should not
+    exist -- but a useful baseline for the E-MINE hardness demonstration.
+    """
+    rows_alive = np.ones(db.n, dtype=bool)
+    attrs_alive = np.ones(db.d, dtype=bool)
+    matrix = db.rows
+    best_rows: list[int] = []
+    best_attrs: list[int] = []
+
+    def _note_candidate() -> None:
+        # Rows fully connected to the alive attributes form a biclique with
+        # them right now; keep the best balanced one seen along the way.
+        nonlocal best_rows, best_attrs
+        attrs_idx = np.flatnonzero(attrs_alive)
+        if attrs_idx.size == 0:
+            return
+        full = matrix[:, attrs_idx].all(axis=1) & rows_alive
+        side = min(int(full.sum()), attrs_idx.size)
+        if side > len(best_attrs):
+            best_rows = np.flatnonzero(full)[:side].tolist()
+            best_attrs = attrs_idx[:side].tolist()
+
+    while True:
+        _note_candidate()
+        sub = matrix[np.ix_(rows_alive, attrs_alive)]
+        if sub.size == 0 or sub.all():
+            break
+        row_gaps = (~sub).sum(axis=1)
+        attr_gaps = (~sub).sum(axis=0)
+        if row_gaps.max() >= attr_gaps.max():
+            victim = np.flatnonzero(rows_alive)[int(row_gaps.argmax())]
+            rows_alive[victim] = False
+        else:
+            victim = np.flatnonzero(attrs_alive)[int(attr_gaps.argmax())]
+            attrs_alive[victim] = False
+    return best_rows, best_attrs

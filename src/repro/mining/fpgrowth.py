@@ -1,0 +1,142 @@
+"""FP-Growth: frequent itemsets via the FP-tree (Han-Pei-Yin lineage).
+
+The third classic miner (after Apriori's level-wise search and Eclat's
+tidset DFS): compress the database into a prefix tree ordered by item
+frequency, then mine recursively over conditional pattern bases.  Exact and
+database-only; agreeing with :func:`~repro.mining.apriori.apriori` and
+:func:`~repro.mining.eclat.eclat` is one of the package's cross-checks, and
+FP-Growth is the fastest of the three on dense planted data, which the
+mining benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+
+__all__ = ["fpgrowth"]
+
+
+@dataclass
+class _Node:
+    """One FP-tree node: an item with a count and child links."""
+
+    item: int
+    count: int = 0
+    parent: "_Node | None" = None
+    children: dict[int, "_Node"] = field(default_factory=dict)
+
+
+class _FPTree:
+    """A prefix tree over frequency-ordered transactions."""
+
+    def __init__(self) -> None:
+        self.root = _Node(item=-1)
+        self.node_links: dict[int, list[_Node]] = {}
+
+    def insert(self, items: list[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item=item, parent=node)
+                node.children[item] = child
+                self.node_links.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base: (path-to-root, count) per occurrence."""
+        paths = []
+        for node in self.node_links.get(item, []):
+            path = []
+            cursor = node.parent
+            while cursor is not None and cursor.item != -1:
+                path.append(cursor.item)
+                cursor = cursor.parent
+            paths.append((list(reversed(path)), node.count))
+        return paths
+
+    def item_counts(self) -> dict[int, int]:
+        """Total count per item across the tree."""
+        return {
+            item: sum(n.count for n in nodes)
+            for item, nodes in self.node_links.items()
+        }
+
+
+def _build_tree(
+    transactions: list[tuple[list[int], int]], min_count: int
+) -> tuple[_FPTree, dict[int, int]]:
+    counts: dict[int, int] = {}
+    for items, count in transactions:
+        for item in items:
+            counts[item] = counts.get(item, 0) + count
+    frequent = {item: c for item, c in counts.items() if c >= min_count}
+    # Order: descending count, ascending item id for determinism.
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(frequent, key=lambda i: (-frequent[i], i))
+        )
+    }
+    tree = _FPTree()
+    for items, count in transactions:
+        kept = sorted(
+            (i for i in items if i in frequent), key=order.__getitem__
+        )
+        if kept:
+            tree.insert(kept, count)
+    return tree, frequent
+
+
+def _mine(
+    tree: _FPTree,
+    suffix: tuple[int, ...],
+    min_count: int,
+    max_size: int,
+    out: dict[Itemset, int],
+) -> None:
+    counts = tree.item_counts()
+    # Mine items in ascending count order (the classic bottom-up sweep).
+    for item in sorted(counts, key=lambda i: (counts[i], i)):
+        if counts[item] < min_count:
+            continue
+        new_suffix = (item,) + suffix
+        out[Itemset(new_suffix)] = counts[item]
+        if len(new_suffix) >= max_size:
+            continue
+        conditional = tree.prefix_paths(item)
+        subtree, frequent = _build_tree(conditional, min_count)
+        if frequent:
+            _mine(subtree, new_suffix, min_count, max_size, out)
+
+
+def fpgrowth(
+    db: BinaryDatabase,
+    min_frequency: float,
+    max_size: int | None = None,
+) -> dict[Itemset, float]:
+    """All itemsets with frequency >= ``min_frequency`` via an FP-tree.
+
+    Matches :func:`~repro.mining.apriori.apriori` and
+    :func:`~repro.mining.eclat.eclat` exactly on databases.
+    """
+    if not 0.0 < min_frequency <= 1.0:
+        raise ParameterError(f"min_frequency must lie in (0, 1], got {min_frequency}")
+    n = db.n
+    if max_size is None:
+        max_size = db.d
+    min_count = max(1, int(np.ceil(min_frequency * n - 1e-9)))
+    transactions = [
+        (np.flatnonzero(db.row(i)).tolist(), 1) for i in range(n)
+    ]
+    tree, frequent = _build_tree(transactions, min_count)
+    out_counts: dict[Itemset, int] = {}
+    _mine(tree, (), min_count, max_size, out_counts)
+    return {itemset: count / n for itemset, count in out_counts.items()}

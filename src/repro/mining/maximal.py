@@ -1,0 +1,81 @@
+"""Maximal and closed frequent itemsets (the condensed representations).
+
+Section 1.1.1 recalls that reporting only *maximal* (no frequent superset)
+or *closed* (no equally-frequent superset) itemsets condenses the output,
+"but it still requires exponential size in the worst case".  These helpers
+compute both condensations from a mined collection and reconstruct the full
+collection from the maximal one, so tests can check the representations are
+faithful -- and the E-MINE bench can measure how much (or little) they
+compress on adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+
+__all__ = [
+    "maximal_itemsets",
+    "closed_itemsets",
+    "expand_maximal",
+]
+
+
+def maximal_itemsets(frequent: dict[Itemset, float]) -> dict[Itemset, float]:
+    """Itemsets with no frequent strict superset."""
+    items = list(frequent)
+    by_size: dict[int, list[Itemset]] = {}
+    for itemset in items:
+        by_size.setdefault(len(itemset), []).append(itemset)
+    sizes = sorted(by_size, reverse=True)
+    out: dict[Itemset, float] = {}
+    for size_idx, size in enumerate(sizes):
+        for itemset in by_size[size]:
+            has_super = any(
+                itemset.issubset(bigger)
+                for bigger_size in sizes[:size_idx]
+                for bigger in by_size[bigger_size]
+            )
+            if not has_super:
+                out[itemset] = frequent[itemset]
+    return out
+
+
+def closed_itemsets(frequent: dict[Itemset, float]) -> dict[Itemset, float]:
+    """Itemsets with no strict superset of the *same* frequency."""
+    out: dict[Itemset, float] = {}
+    for itemset, freq in frequent.items():
+        closed = True
+        for other, other_freq in frequent.items():
+            if (
+                len(other) > len(itemset)
+                and itemset.issubset(other)
+                and other_freq >= freq
+            ):
+                closed = False
+                break
+        if closed:
+            out[itemset] = freq
+    return out
+
+
+def expand_maximal(maximal: dict[Itemset, float]) -> set[Itemset]:
+    """All itemsets implied frequent by a maximal collection.
+
+    Every non-empty subset of a maximal frequent itemset is frequent (the
+    downward-closure property); this enumerates them, which is the "2^{d/10}
+    subsets" blow-up the paper's introduction warns about.
+    """
+    out: set[Itemset] = set()
+    for itemset in maximal:
+        if len(itemset) > 25:
+            raise ParameterError(
+                f"refusing to expand a maximal itemset of size {len(itemset)} "
+                f"(2^{len(itemset)} subsets)"
+            )
+        for size in range(1, len(itemset) + 1):
+            for sub in combinations(itemset.items, size):
+                out.add(Itemset(sub))
+    return out

@@ -1,0 +1,89 @@
+"""Problem parameters shared across the library.
+
+The paper parameterizes every sketching task by the tuple
+``(n, d, k, epsilon, delta)``:
+
+* ``n``       -- number of database rows,
+* ``d``       -- number of attributes (columns),
+* ``k``       -- itemset cardinality queried,
+* ``epsilon`` -- accuracy / frequency threshold,
+* ``delta``   -- failure probability of the (randomized) sketching algorithm.
+
+:class:`SketchParams` bundles the tuple with validation and with the derived
+quantities that appear throughout the bounds (``C(d, k)``, ``1/epsilon`` ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from math import comb
+
+from .errors import ParameterError
+
+__all__ = ["SketchParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class SketchParams:
+    """The ``(n, d, k, epsilon, delta)`` tuple from Definitions 1-4.
+
+    Instances are immutable and hashable so they can key experiment sweeps.
+
+    Raises
+    ------
+    ParameterError
+        If any field is outside its legal range (``n >= 1``, ``d >= 1``,
+        ``1 <= k <= d``, ``0 < epsilon < 1``, ``0 < delta < 1``).
+    """
+
+    n: int
+    d: int
+    k: int
+    epsilon: float
+    delta: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ParameterError(f"n must be >= 1, got {self.n}")
+        if self.d < 1:
+            raise ParameterError(f"d must be >= 1, got {self.d}")
+        if not 1 <= self.k <= self.d:
+            raise ParameterError(f"k must satisfy 1 <= k <= d={self.d}, got {self.k}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ParameterError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ParameterError(f"delta must lie in (0, 1), got {self.delta}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the bounds in Theorem 12 and Section 3.
+    # ------------------------------------------------------------------
+    @property
+    def num_itemsets(self) -> int:
+        """``C(d, k)``: the number of distinct k-itemsets over d attributes."""
+        return comb(self.d, self.k)
+
+    @property
+    def inv_epsilon(self) -> float:
+        """``1 / epsilon``."""
+        return 1.0 / self.epsilon
+
+    @property
+    def database_bits(self) -> int:
+        """``n * d``: bits needed by RELEASE-DB (Definition 6)."""
+        return self.n * self.d
+
+    def log_itemsets(self) -> float:
+        """``log2 C(d, k)``, the union-bound factor in Lemma 9."""
+        return math.log2(max(self.num_itemsets, 2))
+
+    def with_(self, **changes) -> "SketchParams":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in experiment reports."""
+        return (
+            f"n={self.n} d={self.d} k={self.k} "
+            f"eps={self.epsilon:g} delta={self.delta:g}"
+        )

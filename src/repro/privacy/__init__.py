@@ -1,0 +1,16 @@
+"""Differential-privacy bridge (Section 1.4, footnote 3)."""
+
+from .bridge import dp_to_sketch_lower_bound, max_query_error, private_sketch_release
+from .exponential import exponential_mechanism, selection_probabilities
+from .laplace import laplace_noise_scale, private_frequencies, private_frequency
+
+__all__ = [
+    "laplace_noise_scale",
+    "private_frequency",
+    "private_frequencies",
+    "exponential_mechanism",
+    "selection_probabilities",
+    "max_query_error",
+    "private_sketch_release",
+    "dp_to_sketch_lower_bound",
+]

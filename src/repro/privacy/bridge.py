@@ -1,0 +1,98 @@
+"""Footnote 3: the formal bridge between private and non-private sketches.
+
+The paper observes (Section 1.4, footnote 3) that any ``s``-bit sketch with
+worst-case itemset error ``eps`` yields a *differentially private* sketch
+with error ``eps + O(s/n)``: release a sketch ``S`` with probability
+proportional to ``exp(-n * max_T |f_T(D) - Q(S, T)|)`` -- an instance of
+the exponential mechanism with utility ``-max error`` (sensitivity
+``O(1/n)`` in the database).  Conversely, a DP accuracy lower bound of
+``t/n`` implies a sketch-size lower bound ``s = Omega(t - eps n)``.
+
+Both directions are implemented: :func:`private_sketch_release` runs the
+mechanism over a candidate family (practical for the subsample family,
+whose candidates are row multisets), and :func:`dp_to_sketch_lower_bound`
+is the conversion formula.  The E-PRIV benchmark measures the released
+sketch's error against the footnote's ``eps + O(s/n)`` claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import FrequencySketch, Sketcher
+from ..db.database import BinaryDatabase
+from ..db.generators import as_rng
+from ..db.itemset import Itemset, all_itemsets
+from ..db.queries import FrequencyOracle
+from ..errors import ParameterError
+from ..params import SketchParams
+from .exponential import exponential_mechanism
+
+__all__ = [
+    "max_query_error",
+    "private_sketch_release",
+    "dp_to_sketch_lower_bound",
+]
+
+
+def max_query_error(
+    sketch: FrequencySketch, db: BinaryDatabase, k: int, max_itemsets: int = 5000
+) -> float:
+    """``max_T |f_T(D) - Q(S, T)|`` over all k-itemsets (the utility's core)."""
+    params = sketch.params
+    if params.num_itemsets > max_itemsets:
+        raise ParameterError(
+            f"C(d,k)={params.num_itemsets} itemsets exceed the scan cap "
+            f"{max_itemsets}"
+        )
+    oracle = FrequencyOracle(db)
+    worst = 0.0
+    for itemset in all_itemsets(params.d, k):
+        worst = max(worst, abs(oracle.frequency(itemset) - sketch.estimate(itemset)))
+    return worst
+
+
+def private_sketch_release(
+    db: BinaryDatabase,
+    params: SketchParams,
+    sketcher: Sketcher,
+    n_candidates: int = 32,
+    eps_dp: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[FrequencySketch, float]:
+    """Release a sketch via footnote 3's exponential mechanism.
+
+    Candidates are ``n_candidates`` independent draws of ``sketcher`` on
+    ``db``; utility is ``-n * max_T |f_T - Q(S,T)|`` with sensitivity
+    ``O(1)`` (changing a row moves every frequency by ``<= 1/n`` and the
+    candidate's answers not at all, so ``n * max error`` moves by ``<= 1``;
+    we charge sensitivity 1).
+
+    Returns the chosen sketch and its realized max error.
+    """
+    gen = as_rng(rng)
+    candidates = [sketcher.sketch(db, params, gen) for _ in range(n_candidates)]
+    errors = [max_query_error(c, db, params.k) for c in candidates]
+    chosen, _ = exponential_mechanism(
+        candidates,
+        utility=lambda c: -db.n * errors[candidates.index(c)],
+        eps_dp=eps_dp,
+        sensitivity=1.0,
+        rng=gen,
+    )
+    return chosen, errors[candidates.index(chosen)]
+
+
+def dp_to_sketch_lower_bound(t: float, epsilon: float, n: int) -> float:
+    """Footnote 3's conversion: DP error bound ``t/n`` => sketch bits ``t - eps n``.
+
+    If every differentially private release must err by at least ``t/n``
+    on some itemset, then any ``eps``-accurate sketch must have size
+    ``Omega(t - eps n)`` bits (else the mechanism above would beat the DP
+    bound).  Returned clamped at 0.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if t < 0 or epsilon < 0:
+        raise ParameterError("t and epsilon must be non-negative")
+    return max(0.0, t - epsilon * n)

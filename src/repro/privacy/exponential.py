@@ -1,0 +1,63 @@
+"""The exponential mechanism (McSherry-Talwar [MT07]).
+
+Selects an output ``o`` from a finite candidate set with probability
+proportional to ``exp(eps * u(D, o) / (2 * sensitivity))``, where ``u`` is
+a utility function with the given sensitivity in ``D``.  Footnote 3 of the
+paper instantiates this with candidates = sketches and
+``u = -n * max_T |f_T(D) - Q(S, T)|``; :mod:`repro.privacy.bridge` builds
+that instantiation on top of this generic implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import ParameterError
+
+__all__ = ["exponential_mechanism", "selection_probabilities"]
+
+T = TypeVar("T")
+
+
+def selection_probabilities(
+    utilities: np.ndarray, eps_dp: float, sensitivity: float
+) -> np.ndarray:
+    """The mechanism's output distribution over the candidates.
+
+    Computed with the max-shift trick for numerical stability.
+    """
+    if eps_dp <= 0:
+        raise ParameterError(f"eps_dp must be positive, got {eps_dp}")
+    if sensitivity <= 0:
+        raise ParameterError(f"sensitivity must be positive, got {sensitivity}")
+    u = np.asarray(utilities, dtype=float)
+    if u.ndim != 1 or u.size == 0:
+        raise ParameterError("utilities must be a non-empty 1-D array")
+    scores = eps_dp * u / (2.0 * sensitivity)
+    scores -= scores.max()
+    weights = np.exp(scores)
+    return weights / weights.sum()
+
+
+def exponential_mechanism(
+    candidates: Sequence[T],
+    utility: Callable[[T], float],
+    eps_dp: float,
+    sensitivity: float,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[T, np.ndarray]:
+    """Sample a candidate via the exponential mechanism.
+
+    Returns the chosen candidate together with the full output
+    distribution (useful for tests asserting the mechanism's shape).
+    """
+    if not candidates:
+        raise ParameterError("candidates must be non-empty")
+    gen = as_rng(rng)
+    utilities = np.array([utility(c) for c in candidates], dtype=float)
+    probs = selection_probabilities(utilities, eps_dp, sensitivity)
+    choice = int(gen.choice(len(candidates), p=probs))
+    return candidates[choice], probs

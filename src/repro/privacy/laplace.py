@@ -1,0 +1,66 @@
+"""The Laplace mechanism for itemset frequency queries.
+
+Differential privacy is where the paper's proof techniques come from
+(Section 1.4); this module provides the standard building block.  An
+itemset frequency ``f_T(D)`` has global sensitivity ``1/n`` (changing one
+row moves the fraction by at most that), so adding ``Laplace(1/(n eps))``
+noise is ``eps``-differentially private; answering ``q`` queries splits
+the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import BinaryDatabase
+from ..db.generators import as_rng
+from ..db.itemset import Itemset
+from ..errors import ParameterError
+
+__all__ = ["laplace_noise_scale", "private_frequency", "private_frequencies"]
+
+
+def laplace_noise_scale(n: int, eps_dp: float, n_queries: int = 1) -> float:
+    """Noise scale ``b = n_queries / (n * eps_dp)`` for frequency queries."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if eps_dp <= 0:
+        raise ParameterError(f"eps_dp must be positive, got {eps_dp}")
+    if n_queries < 1:
+        raise ParameterError(f"n_queries must be >= 1, got {n_queries}")
+    return n_queries / (n * eps_dp)
+
+
+def private_frequency(
+    db: BinaryDatabase,
+    itemset: Itemset,
+    eps_dp: float,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """An ``eps_dp``-DP release of ``f_T(D)`` (clamped to [0, 1])."""
+    gen = as_rng(rng)
+    scale = laplace_noise_scale(db.n, eps_dp)
+    noisy = db.frequency(itemset) + gen.laplace(0.0, scale)
+    return float(min(1.0, max(0.0, noisy)))
+
+
+def private_frequencies(
+    db: BinaryDatabase,
+    itemsets: list[Itemset],
+    eps_dp: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Release several frequencies under a *shared* budget ``eps_dp``.
+
+    The budget is split evenly (basic composition), so each answer gets
+    scale ``len(itemsets) / (n eps_dp)`` -- the linear-in-queries
+    degradation that motivates sketch-style releases (Section 1.1.2).
+    """
+    gen = as_rng(rng)
+    if not itemsets:
+        raise ParameterError("itemsets must be non-empty")
+    scale = laplace_noise_scale(db.n, eps_dp, len(itemsets))
+    out = np.array(
+        [db.frequency(t) + gen.laplace(0.0, scale) for t in itemsets]
+    )
+    return np.clip(out, 0.0, 1.0)

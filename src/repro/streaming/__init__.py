@@ -1,0 +1,34 @@
+"""Streaming baselines (Section 1.2's heavy-hitters and itemset literature)."""
+
+from .base import COUNT_BITS, StreamSummary, item_id_bits
+from .count_min import CountMinSketch
+from .itemset_stream import StreamingItemsetMiner
+from .lossy_counting import LossyCounting
+from .merge import (
+    merge_count_min,
+    merge_misra_gries,
+    merge_reservoirs,
+    merge_row_reservoirs,
+)
+from .misra_gries import MisraGries
+from .reservoir import ReservoirSample, RowReservoir
+from .space_saving import SpaceSaving
+from .sticky_sampling import StickySampling
+
+__all__ = [
+    "StreamSummary",
+    "COUNT_BITS",
+    "item_id_bits",
+    "MisraGries",
+    "SpaceSaving",
+    "LossyCounting",
+    "StickySampling",
+    "CountMinSketch",
+    "ReservoirSample",
+    "RowReservoir",
+    "StreamingItemsetMiner",
+    "merge_misra_gries",
+    "merge_count_min",
+    "merge_reservoirs",
+    "merge_row_reservoirs",
+]

@@ -1,0 +1,95 @@
+"""Common interface for streaming frequency summaries.
+
+Section 1.2 situates the paper against the streaming frequent-items
+literature (Manku-Motwani and the heavy-hitters line).  Every summary here
+processes a stream of items one at a time, answers count/frequency
+estimates, and reports an exact bit-size via the same accounting rules the
+sketches use -- so the E-STRM benchmark can put them on one axis against
+uniform sampling.
+
+Size accounting convention: a counter or stored item costs
+``ceil(log2(universe))`` bits for the id plus 64 bits for the count, the
+standard cost model in the streaming literature.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from ..errors import StreamError
+
+__all__ = ["StreamSummary", "COUNT_BITS", "item_id_bits"]
+
+#: Bits charged per stored counter value.
+COUNT_BITS = 64
+
+
+def item_id_bits(universe: int) -> int:
+    """Bits to store one item identifier from a universe of ``universe`` ids."""
+    if universe < 1:
+        raise StreamError(f"universe must be >= 1, got {universe}")
+    return max(1, math.ceil(math.log2(max(universe, 2))))
+
+
+class StreamSummary(ABC):
+    """A one-pass summary of an item stream.
+
+    Parameters
+    ----------
+    universe:
+        Number of distinct possible items (ids are ``0..universe-1``).
+    """
+
+    def __init__(self, universe: int) -> None:
+        if universe < 1:
+            raise StreamError(f"universe must be >= 1, got {universe}")
+        self.universe = universe
+        self.stream_length = 0
+
+    def update(self, item: int) -> None:
+        """Process one stream item."""
+        if not 0 <= item < self.universe:
+            raise StreamError(
+                f"item {item} outside universe [0, {self.universe})"
+            )
+        self.stream_length += 1
+        self._update(item)
+
+    def extend(self, items: Iterable[int]) -> None:
+        """Process a batch of items in order."""
+        for item in items:
+            self.update(item)
+
+    @abstractmethod
+    def _update(self, item: int) -> None:
+        """Summary-specific processing of one (validated) item."""
+
+    @abstractmethod
+    def estimate_count(self, item: int) -> float:
+        """Estimated number of occurrences of ``item`` so far."""
+
+    def estimate_frequency(self, item: int) -> float:
+        """Estimated relative frequency (count / stream length)."""
+        if self.stream_length == 0:
+            return 0.0
+        return self.estimate_count(item) / self.stream_length
+
+    @abstractmethod
+    def size_in_bits(self) -> int:
+        """Exact size of the summary's state under the cost model."""
+
+    def heavy_hitters(self, threshold: float) -> dict[int, float]:
+        """Items with estimated frequency above ``threshold``.
+
+        Default implementation scans the universe; summaries that track
+        explicit candidate sets override this with their candidate scan.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise StreamError(f"threshold must lie in (0, 1], got {threshold}")
+        return {
+            item: freq
+            for item in range(self.universe)
+            if (freq := self.estimate_frequency(item)) > threshold
+        }

@@ -1,0 +1,84 @@
+"""Lossy Counting (Manku-Motwani [MM02]) -- the paper's Section 1.2 anchor.
+
+The stream is processed in buckets of width ``ceil(1/epsilon)``.  Each
+tracked item carries a count and the maximum count it could have had
+before tracking started (``delta``); at bucket boundaries, items whose
+``count + delta`` falls below the bucket number are evicted.  Guarantees:
+estimates undercount by at most ``epsilon * m``, and at most
+``(1/epsilon) log(epsilon m)`` entries are ever held.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StreamError
+from .base import COUNT_BITS, StreamSummary, item_id_bits
+
+__all__ = ["LossyCounting"]
+
+
+class LossyCounting(StreamSummary):
+    """Manku-Motwani lossy counting with error parameter ``epsilon``.
+
+    Parameters
+    ----------
+    universe:
+        Item-id universe size.
+    epsilon:
+        Deficit bound: estimates undercount true counts by at most
+        ``epsilon * stream_length``.
+    """
+
+    def __init__(self, universe: int, epsilon: float) -> None:
+        super().__init__(universe)
+        if not 0.0 < epsilon < 1.0:
+            raise StreamError(f"epsilon must lie in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self._entries: dict[int, tuple[int, int]] = {}  # item -> (count, delta)
+
+    @property
+    def current_bucket(self) -> int:
+        """The bucket id of the most recent item, ``ceil(m / w)``."""
+        return max(1, math.ceil(self.stream_length / self.bucket_width))
+
+    def _update(self, item: int) -> None:
+        count, delta = self._entries.get(item, (0, self.current_bucket - 1))
+        self._entries[item] = (count + 1, delta)
+        if self.stream_length % self.bucket_width == 0:
+            bucket = self.current_bucket
+            self._entries = {
+                key: (c, d) for key, (c, d) in self._entries.items() if c + d > bucket
+            }
+
+    def estimate_count(self, item: int) -> float:
+        """Stored count; undercounts by at most ``epsilon * m``."""
+        return float(self._entries.get(item, (0, 0))[0])
+
+    def max_deficit(self) -> float:
+        """The guarantee: true count - estimate <= ``epsilon * m``."""
+        return self.epsilon * self.stream_length
+
+    def n_entries(self) -> int:
+        """Entries currently held (bounded by ``(1/eps) log(eps m)``)."""
+        return len(self._entries)
+
+    def size_in_bits(self) -> int:
+        """Held entries, each (id, count, delta), under the cost model."""
+        return max(1, self.n_entries()) * (
+            item_id_bits(self.universe) + 2 * COUNT_BITS
+        )
+
+    def heavy_hitters(self, threshold: float) -> dict[int, float]:
+        """Manku-Motwani query: report items with count >= (t - eps) m."""
+        if not 0.0 < threshold <= 1.0:
+            raise StreamError(f"threshold must lie in (0, 1], got {threshold}")
+        if self.stream_length == 0:
+            return {}
+        cut = (threshold - self.epsilon) * self.stream_length
+        return {
+            item: count / self.stream_length
+            for item, (count, _) in self._entries.items()
+            if count >= cut
+        }

@@ -1,0 +1,146 @@
+"""Merging streaming summaries (the distributed / parallel setting).
+
+Itemset sketches are useful precisely because they can be computed where
+the data lives and shipped; the streaming literature's summaries support
+the same workflow through *merge* operations.  Implemented here:
+
+* :func:`merge_misra_gries` -- the Agarwal et al. mergeable-summaries
+  rule: add counters, then subtract the (k+1)-st largest value and drop
+  non-positive counters.  The merged deficit bound is the sum of the
+  parts' bounds, preserving the ``m/(k+1)`` guarantee over the combined
+  stream.
+* :func:`merge_count_min` -- entrywise addition (requires identical hash
+  functions), exact for the CM invariant.
+* :func:`merge_reservoirs` -- hypergeometric subsampling so the merged
+  reservoir is a uniform sample of the concatenated streams.
+* :func:`merge_row_reservoirs` -- the same for row reservoirs, yielding a
+  distributed SUBSAMPLE: sketch shards independently, merge, and the
+  result is distributed exactly as a single-pass uniform row sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import StreamError
+from .count_min import CountMinSketch
+from .misra_gries import MisraGries
+from .reservoir import ReservoirSample, RowReservoir
+
+__all__ = [
+    "merge_misra_gries",
+    "merge_count_min",
+    "merge_reservoirs",
+    "merge_row_reservoirs",
+]
+
+
+def merge_misra_gries(a: MisraGries, b: MisraGries) -> MisraGries:
+    """Merge two Misra-Gries summaries with the same ``k`` and universe.
+
+    The classic mergeable-summaries construction: sum counters, keep the
+    top ``k`` after subtracting the (k+1)-st largest combined count.
+    """
+    if a.universe != b.universe or a.k != b.k:
+        raise StreamError("can only merge summaries with equal universe and k")
+    combined: dict[int, int] = dict(a._counters)
+    for item, count in b._counters.items():
+        combined[item] = combined.get(item, 0) + count
+    out = MisraGries(a.universe, a.k)
+    out.stream_length = a.stream_length + b.stream_length
+    if len(combined) > a.k:
+        cutoff = sorted(combined.values(), reverse=True)[a.k]
+        combined = {
+            item: count - cutoff
+            for item, count in combined.items()
+            if count - cutoff > 0
+        }
+    out._counters = combined
+    return out
+
+
+def merge_count_min(a: CountMinSketch, b: CountMinSketch) -> CountMinSketch:
+    """Merge two Count-Min sketches sharing dimensions and hash seeds."""
+    if (
+        a.universe != b.universe
+        or a.width != b.width
+        or a.depth != b.depth
+        or not np.array_equal(a._a, b._a)
+        or not np.array_equal(a._b, b._b)
+    ):
+        raise StreamError(
+            "Count-Min merge requires identical dimensions and hash functions"
+        )
+    if a.conservative or b.conservative:
+        raise StreamError(
+            "conservative-update sketches are not mergeable by addition"
+        )
+    out = CountMinSketch(a.universe, a.width, a.depth)
+    out._a = a._a.copy()
+    out._b = a._b.copy()
+    out._table = a._table + b._table
+    out.stream_length = a.stream_length + b.stream_length
+    return out
+
+
+def merge_reservoirs(
+    a: ReservoirSample,
+    b: ReservoirSample,
+    rng: np.random.Generator | int | None = None,
+) -> ReservoirSample:
+    """Merge two reservoirs into a uniform sample of the combined stream.
+
+    Each output slot draws from ``a``'s reservoir with probability
+    ``m_a / (m_a + m_b)`` (without replacement within each side), which
+    makes the merged reservoir a uniform ``size``-subset of the
+    concatenated streams -- the standard distributed reservoir rule.
+    """
+    if a.universe != b.universe or a.size != b.size:
+        raise StreamError("can only merge reservoirs with equal universe and size")
+    gen = as_rng(rng)
+    total = a.stream_length + b.stream_length
+    out = ReservoirSample(a.universe, a.size, rng=gen)
+    out.stream_length = total
+    if total == 0:
+        return out
+    pool_a = list(a.sample)
+    pool_b = list(b.sample)
+    gen.shuffle(pool_a)
+    gen.shuffle(pool_b)
+    merged: list[int] = []
+    target = min(a.size, len(pool_a) + len(pool_b))
+    for _ in range(target):
+        take_a = gen.random() < a.stream_length / total if pool_b else True
+        if take_a and not pool_a:
+            take_a = False
+        merged.append(pool_a.pop() if take_a else pool_b.pop())
+    out._reservoir = merged
+    return out
+
+
+def merge_row_reservoirs(
+    a: RowReservoir,
+    b: RowReservoir,
+    rng: np.random.Generator | int | None = None,
+) -> RowReservoir:
+    """Merge two row reservoirs: distributed SUBSAMPLE sketching."""
+    if a.d != b.d or a.size != b.size:
+        raise StreamError("can only merge row reservoirs with equal d and size")
+    gen = as_rng(rng)
+    total = a.rows_seen + b.rows_seen
+    out = RowReservoir(a.d, a.size, rng=gen)
+    out.rows_seen = total
+    pool_a = [row.copy() for row in a._rows]
+    pool_b = [row.copy() for row in b._rows]
+    gen.shuffle(pool_a)
+    gen.shuffle(pool_b)
+    merged: list[np.ndarray] = []
+    target = min(a.size, len(pool_a) + len(pool_b))
+    for _ in range(target):
+        take_a = gen.random() < a.rows_seen / max(total, 1) if pool_b else True
+        if take_a and not pool_a:
+            take_a = False
+        merged.append(pool_a.pop() if take_a else pool_b.pop())
+    out._rows = merged
+    return out

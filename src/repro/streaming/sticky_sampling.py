@@ -1,0 +1,113 @@
+"""Sticky Sampling (Manku-Motwani [MM02]): the randomized counterpart.
+
+Items are sampled into the summary with a rate that halves as the stream
+grows; once tracked, an item's occurrences are counted exactly ("sticky").
+Guarantees (w.h.p.): undercount at most ``epsilon * m`` and expected size
+``(2/epsilon) log(1/(threshold * delta))`` entries, independent of the
+stream length -- the property the paper's SUBSAMPLE shares.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..db.generators import as_rng
+from ..errors import StreamError
+from .base import COUNT_BITS, StreamSummary, item_id_bits
+
+__all__ = ["StickySampling"]
+
+
+class StickySampling(StreamSummary):
+    """Manku-Motwani sticky sampling.
+
+    Parameters
+    ----------
+    universe:
+        Item-id universe size.
+    epsilon:
+        Deficit bound (as in lossy counting).
+    threshold:
+        The support threshold the user will query with.
+    delta:
+        Failure probability of the guarantee.
+    rng:
+        Sampling randomness.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        epsilon: float,
+        threshold: float,
+        delta: float = 0.1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(universe)
+        if not 0.0 < epsilon < threshold <= 1.0:
+            raise StreamError(
+                f"need 0 < epsilon < threshold <= 1, got {epsilon}, {threshold}"
+            )
+        if not 0.0 < delta < 1.0:
+            raise StreamError(f"delta must lie in (0, 1), got {delta}")
+        self.epsilon = epsilon
+        self.threshold = threshold
+        self.delta = delta
+        self._rng = as_rng(rng)
+        # First 2t elements are sampled at rate 1, next 2t at rate 1/2, ...
+        self._t = math.ceil((2.0 / epsilon) * math.log(1.0 / (threshold * delta)))
+        self._rate = 1
+        self._counts: dict[int, int] = {}
+
+    @property
+    def sampling_rate(self) -> int:
+        """Current inverse sampling probability (1 = keep everything)."""
+        return self._rate
+
+    def _resample(self) -> None:
+        # When the rate doubles, each tracked item survives a sequence of
+        # coin flips (the classic "diminish counts by geometric" step).
+        survivors: dict[int, int] = {}
+        for item, count in self._counts.items():
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                survivors[item] = count
+        self._counts = survivors
+
+    def _update(self, item: int) -> None:
+        boundary = 2 * self._t * self._rate
+        if self.stream_length > boundary:
+            self._rate *= 2
+            self._resample()
+        if item in self._counts:
+            self._counts[item] += 1
+        elif self._rng.random() < 1.0 / self._rate:
+            self._counts[item] = 1
+
+    def estimate_count(self, item: int) -> float:
+        """Tracked count (exact since tracking began)."""
+        return float(self._counts.get(item, 0))
+
+    def n_entries(self) -> int:
+        """Entries currently held (expected ``2t``, independent of m)."""
+        return len(self._counts)
+
+    def size_in_bits(self) -> int:
+        """Held entries, each (id, count), under the cost model."""
+        return max(1, self.n_entries()) * (item_id_bits(self.universe) + COUNT_BITS)
+
+    def heavy_hitters(self, threshold: float) -> dict[int, float]:
+        """Report tracked items with count >= (t - eps) m."""
+        if not 0.0 < threshold <= 1.0:
+            raise StreamError(f"threshold must lie in (0, 1], got {threshold}")
+        if self.stream_length == 0:
+            return {}
+        cut = (threshold - self.epsilon) * self.stream_length
+        return {
+            item: count / self.stream_length
+            for item, count in self._counts.items()
+            if count >= cut
+        }

@@ -1,0 +1,156 @@
+"""Tests for repro.analysis: Chernoff bounds, entropy/Fano, Hamming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    binary_entropy,
+    chernoff_additive,
+    chernoff_multiplicative,
+    empirical_entropy,
+    encoding_lower_bound,
+    fano_lower_bound,
+    flip_adversarial_run,
+    flip_random_bits,
+    forall_estimator_samples,
+    forall_indicator_samples,
+    foreach_estimator_samples,
+    foreach_indicator_samples,
+    hamming_distance,
+    hamming_fraction,
+    union_bound_delta,
+)
+from repro.errors import ParameterError
+
+
+class TestChernoffBounds:
+    def test_additive_formula(self):
+        assert chernoff_additive(100, 0.1) == pytest.approx(
+            2 * np.exp(-2 * 100 * 0.01)
+        )
+
+    def test_multiplicative_formula(self):
+        assert chernoff_multiplicative(1000, 0.5, 0.2) == pytest.approx(
+            2 * np.exp(-1000 * 0.5 * 0.04 / 4)
+        )
+
+    def test_clamped_to_one(self):
+        assert chernoff_additive(0, 0.1) == 1.0
+
+    def test_monotone_decreasing_in_s(self):
+        vals = [chernoff_additive(s, 0.1) for s in (10, 100, 1000)]
+        assert vals[0] >= vals[1] >= vals[2]
+
+    def test_bound_is_valid_empirically(self):
+        """Lemma 11's bound dominates the observed tail probability."""
+        rng = np.random.default_rng(0)
+        s, p, eps = 200, 0.3, 0.08
+        trials = 2000
+        means = rng.binomial(s, p, size=trials) / s
+        observed = np.mean(np.abs(means - p) > eps)
+        assert observed <= chernoff_additive(s, eps) + 0.02
+
+
+class TestSampleSizes:
+    def test_foreach_indicator_value(self):
+        # 16 ln(2/delta) / eps with eps=0.1, delta=0.1.
+        expected = int(np.ceil(16 * np.log(20) / 0.1))
+        assert foreach_indicator_samples(0.1, 0.1) == expected
+
+    def test_estimator_quadratic_in_inv_eps(self):
+        s1 = foreach_estimator_samples(0.1, 0.1)
+        s2 = foreach_estimator_samples(0.05, 0.1)
+        assert 3.5 <= s2 / s1 <= 4.5
+
+    def test_indicator_linear_in_inv_eps(self):
+        s1 = foreach_indicator_samples(0.1, 0.1)
+        s2 = foreach_indicator_samples(0.05, 0.1)
+        assert 1.8 <= s2 / s1 <= 2.2
+
+    def test_forall_exceeds_foreach(self):
+        assert forall_indicator_samples(0.1, 0.1, 20, 2) > foreach_indicator_samples(
+            0.1, 0.1
+        )
+        assert forall_estimator_samples(0.1, 0.1, 20, 2) > foreach_estimator_samples(
+            0.1, 0.1
+        )
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            foreach_indicator_samples(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            forall_indicator_samples(0.1, 0.1, 5, 9)
+
+    def test_union_bound(self):
+        assert union_bound_delta(0.01, 5) == pytest.approx(0.05)
+        assert union_bound_delta(0.3, 10) == 1.0
+
+
+class TestEntropy:
+    def test_binary_entropy_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == 1.0
+
+    def test_symmetry(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_fano_zero_failure(self):
+        assert fano_lower_bound(100, 0.0) == 100.0
+
+    def test_fano_decreasing_in_failure(self):
+        assert fano_lower_bound(100, 0.1) > fano_lower_bound(100, 0.3)
+
+    def test_encoding_alias(self):
+        assert encoding_lower_bound(64, 0.1) == fano_lower_bound(64, 0.1)
+
+    def test_empirical_entropy_uniform(self):
+        samples = np.repeat(np.arange(8), 100)
+        assert empirical_entropy(samples) == pytest.approx(3.0)
+
+    def test_empirical_entropy_constant(self):
+        assert empirical_entropy(np.zeros(50)) == 0.0
+
+    @given(st.floats(0.001, 0.999))
+    def test_property_entropy_in_unit_interval(self, p):
+        assert 0.0 < binary_entropy(p) <= 1.0
+
+
+class TestHamming:
+    def test_distance(self):
+        a = np.array([1, 0, 1, 1], dtype=bool)
+        b = np.array([0, 0, 1, 0], dtype=bool)
+        assert hamming_distance(a, b) == 2
+        assert hamming_fraction(a, b) == 0.5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            hamming_distance(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    def test_flip_random_bits_count(self):
+        bits = np.zeros(50, dtype=bool)
+        flipped = flip_random_bits(bits, 7, rng=0)
+        assert hamming_distance(bits, flipped) == 7
+
+    def test_flip_zero_is_identity(self):
+        bits = np.ones(10, dtype=bool)
+        assert np.array_equal(flip_random_bits(bits, 0, rng=0), bits)
+
+    def test_flip_run(self):
+        bits = np.zeros(10, dtype=bool)
+        flipped = flip_adversarial_run(bits, 3, start=2)
+        assert np.flatnonzero(flipped).tolist() == [2, 3, 4]
+
+    def test_flip_run_out_of_range(self):
+        with pytest.raises(ParameterError):
+            flip_adversarial_run(np.zeros(5, dtype=bool), 4, start=3)
+
+    @given(st.integers(1, 60), st.data())
+    def test_property_flip_count_exact(self, length, data):
+        count = data.draw(st.integers(0, length))
+        bits = np.zeros(length, dtype=bool)
+        assert hamming_distance(bits, flip_random_bits(bits, count, rng=1)) == count

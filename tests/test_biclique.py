@@ -1,0 +1,95 @@
+"""Tests for the itemset <-> balanced biclique correspondence (Section 1.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import BinaryDatabase, Itemset, planted_database
+from repro.errors import ParameterError
+from repro.mining import (
+    biclique_to_itemset,
+    database_to_bipartite,
+    itemset_to_biclique,
+    max_balanced_biclique_exact,
+    max_balanced_biclique_greedy,
+)
+
+
+@pytest.fixture
+def planted_tiny():
+    return planted_database(12, 10, [(Itemset([1, 2, 3]), 0.5)], background=0.0, rng=2)
+
+
+class TestGraphView:
+    def test_node_and_edge_counts(self, small_db):
+        g = database_to_bipartite(small_db)
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == int(small_db.rows.sum())
+
+    def test_edges_match_entries(self, small_db):
+        g = database_to_bipartite(small_db)
+        for i in range(small_db.n):
+            for j in range(small_db.d):
+                assert g.has_edge(("r", i), ("a", j)) == bool(small_db.rows[i, j])
+
+
+class TestCorrespondence:
+    def test_itemset_to_biclique_is_complete(self, planted_tiny):
+        rows, attrs = itemset_to_biclique(planted_tiny, Itemset([1, 2, 3]))
+        assert len(rows) == 6  # 0.5 * 12
+        for r in rows:
+            assert all(planted_tiny.rows[r, a] for a in attrs)
+
+    def test_biclique_to_itemset_verifies(self, planted_tiny):
+        rows, attrs = itemset_to_biclique(planted_tiny, Itemset([1, 2, 3]))
+        itemset, freq = biclique_to_itemset(planted_tiny, rows, attrs)
+        assert itemset == Itemset([1, 2, 3])
+        assert freq == 0.5
+
+    def test_fake_biclique_rejected(self, planted_tiny):
+        # Pick a row that does not support the itemset.
+        bad_rows = [
+            i
+            for i in range(planted_tiny.n)
+            if not planted_tiny.support_mask(Itemset([1, 2, 3]))[i]
+        ]
+        with pytest.raises(ParameterError):
+            biclique_to_itemset(planted_tiny, bad_rows[:1], [1, 2, 3])
+
+    def test_roundtrip_frequency_cardinality(self, planted_tiny):
+        """Paper: itemset of cardinality c, frequency f <-> biclique
+        (f*n rows, c attrs)."""
+        itemset = Itemset([1, 2])
+        rows, attrs = itemset_to_biclique(planted_tiny, itemset)
+        assert len(rows) == int(planted_tiny.frequency(itemset) * planted_tiny.n)
+        assert len(attrs) == len(itemset)
+
+
+class TestSearch:
+    def test_exact_finds_planted(self, planted_tiny):
+        rows, attrs = max_balanced_biclique_exact(planted_tiny)
+        assert len(attrs) == 3
+        # Verify it is a genuine biclique and hence an itemset certificate.
+        itemset, freq = biclique_to_itemset(planted_tiny, rows, attrs)
+        assert freq >= len(rows) / planted_tiny.n
+
+    def test_exact_refuses_wide(self):
+        wide = BinaryDatabase(np.ones((4, 20), dtype=bool))
+        with pytest.raises(ParameterError):
+            max_balanced_biclique_exact(wide)
+
+    def test_greedy_finds_planted(self, planted_tiny):
+        rows, attrs = max_balanced_biclique_greedy(planted_tiny)
+        assert len(attrs) >= 3
+        biclique_to_itemset(planted_tiny, rows, attrs)  # must verify
+
+    def test_greedy_never_beats_exact(self, planted_tiny):
+        _, exact_attrs = max_balanced_biclique_exact(planted_tiny)
+        _, greedy_attrs = max_balanced_biclique_greedy(planted_tiny)
+        assert len(greedy_attrs) <= len(exact_attrs)
+
+    def test_empty_database(self):
+        empty = BinaryDatabase(np.zeros((5, 5), dtype=bool))
+        rows, attrs = max_balanced_biclique_exact(empty)
+        assert rows == [] and attrs == []

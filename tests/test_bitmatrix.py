@@ -1,0 +1,108 @@
+"""Tests for repro.db.bitmatrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.db.bitmatrix import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    pack_bits,
+    pack_matrix,
+    popcount_rows,
+    rows_containing,
+    unpack_bits,
+    unpack_matrix,
+)
+from repro.errors import SketchSizeError
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1], dtype=bool)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 9), bits)
+
+    def test_empty(self):
+        assert unpack_bits(pack_bits(np.array([], dtype=bool)), 0).size == 0
+
+    def test_short_buffer_raises(self):
+        with pytest.raises(SketchSizeError):
+            unpack_bits(b"\x00", 9)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(SketchSizeError):
+            unpack_bits(b"", -1)
+
+    def test_pack_bits_rejects_matrix(self):
+        with pytest.raises(SketchSizeError):
+            pack_bits(np.zeros((2, 2), dtype=bool))
+
+    def test_matrix_roundtrip(self):
+        mat = np.array([[1, 0, 1], [0, 1, 1]], dtype=bool)
+        assert np.array_equal(unpack_matrix(pack_matrix(mat), 2, 3), mat)
+
+    def test_pack_matrix_rejects_vector(self):
+        with pytest.raises(SketchSizeError):
+            pack_matrix(np.zeros(4, dtype=bool))
+
+    @given(arrays(bool, st.integers(0, 257)))
+    def test_property_bits_roundtrip(self, bits):
+        assert np.array_equal(unpack_bits(pack_bits(bits), len(bits)), bits)
+
+    @given(arrays(bool, st.tuples(st.integers(1, 13), st.integers(1, 17))))
+    def test_property_matrix_roundtrip(self, mat):
+        n, d = mat.shape
+        assert np.array_equal(unpack_matrix(pack_matrix(mat), n, d), mat)
+
+
+class TestSizes:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(0) == 0
+        assert bits_to_bytes(1) == 1
+        assert bits_to_bytes(8) == 1
+        assert bits_to_bytes(9) == 2
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(3) == 24
+
+
+class TestIntBits:
+    def test_roundtrip(self):
+        for value, width in [(0, 1), (5, 3), (255, 8), (1, 10)]:
+            assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_msb_first(self):
+        assert np.array_equal(int_to_bits(4, 3), np.array([1, 0, 0], dtype=bool))
+
+    def test_overflow_raises(self):
+        with pytest.raises(SketchSizeError):
+            int_to_bits(8, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(SketchSizeError):
+            int_to_bits(-1, 4)
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_property_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 20)) == value
+
+
+class TestRowOps:
+    def test_popcount_rows(self):
+        mat = np.array([[1, 1, 0], [0, 0, 0], [1, 1, 1]], dtype=bool)
+        assert popcount_rows(mat).tolist() == [2, 0, 3]
+
+    def test_rows_containing(self):
+        mat = np.array([[1, 1, 0], [1, 0, 1], [1, 1, 1]], dtype=bool)
+        mask = rows_containing(mat, np.array([0, 1]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_rows_containing_empty_itemset(self):
+        mat = np.zeros((3, 2), dtype=bool)
+        assert rows_containing(mat, np.array([], dtype=int)).all()

@@ -1,0 +1,149 @@
+"""Tests for repro.core.bounds: Theorem 12 formulas and lower bounds."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.core import (
+    Task,
+    best_naive,
+    iterated_log,
+    lower_bound_bits,
+    naive_upper_bounds,
+    thm13_applicable,
+    thm13_lower_bound,
+    thm15_applicable,
+    thm15_lower_bound,
+    thm16_lower_bound,
+    thm17_lower_bound,
+    upper_bound_bits,
+)
+from repro.errors import ParameterError
+from repro.params import SketchParams
+
+
+class TestIteratedLog:
+    def test_single_is_log2(self):
+        assert iterated_log(1024, 1) == 10.0
+
+    def test_double(self):
+        assert iterated_log(1024, 2) == pytest.approx(3.3219, abs=1e-3)
+
+    def test_zero_iterations_identity(self):
+        assert iterated_log(7.0, 0) == 7.0
+
+    def test_floored_at_one(self):
+        assert iterated_log(1.5, 3) == 1.0
+
+    def test_negative_q_raises(self):
+        with pytest.raises(ParameterError):
+            iterated_log(10, -1)
+
+
+class TestUpperBounds:
+    def test_three_algorithms_present(self):
+        p = SketchParams(n=1000, d=16, k=2, epsilon=0.1)
+        sizes = naive_upper_bounds(Task.FORALL_INDICATOR, p)
+        assert set(sizes) == {"release-db", "release-answers", "subsample"}
+
+    def test_release_db_wins_for_tiny_n(self):
+        p = SketchParams(n=4, d=16, k=2, epsilon=0.01)
+        name, _ = best_naive(Task.FORALL_ESTIMATOR, p)
+        assert name == "release-db"
+
+    def test_release_answers_wins_for_tiny_eps(self):
+        p = SketchParams(n=10**7, d=16, k=2, epsilon=0.001)
+        name, _ = best_naive(Task.FOREACH_INDICATOR, p)
+        assert name == "release-answers"
+
+    def test_subsample_wins_in_between(self):
+        # Huge n rules out RELEASE-DB; large C(d,k) rules out RELEASE-ANSWERS.
+        p = SketchParams(n=10**7, d=64, k=5, epsilon=0.05)
+        name, _ = best_naive(Task.FORALL_ESTIMATOR, p)
+        assert name == "subsample"
+
+    def test_upper_bound_is_min(self):
+        p = SketchParams(n=1000, d=16, k=2, epsilon=0.1)
+        for task in Task:
+            assert upper_bound_bits(task, p) == min(
+                naive_upper_bounds(task, p).values()
+            )
+
+    def test_indicator_not_larger_than_estimator(self):
+        p = SketchParams(n=10**6, d=32, k=2, epsilon=0.05)
+        assert upper_bound_bits(Task.FORALL_INDICATOR, p) <= upper_bound_bits(
+            Task.FORALL_ESTIMATOR, p
+        )
+
+
+class TestApplicability:
+    def test_thm13_regime(self):
+        good = SketchParams(n=100, d=16, k=2, epsilon=0.2)
+        assert thm13_applicable(good)
+        # 1/eps > C(d/2, k-1) = 8 fails.
+        assert not thm13_applicable(SketchParams(n=100, d=16, k=2, epsilon=0.05))
+        # k = 1 fails.
+        assert not thm13_applicable(SketchParams(n=100, d=16, k=1, epsilon=0.2))
+        # n < 1/eps fails.
+        assert not thm13_applicable(SketchParams(n=3, d=16, k=2, epsilon=0.2))
+
+    def test_thm15_regime(self):
+        assert thm15_applicable(SketchParams(n=100, d=30, k=3, epsilon=0.2))
+        assert not thm15_applicable(SketchParams(n=100, d=30, k=2, epsilon=0.2))
+
+
+class TestLowerBoundValues:
+    def test_thm13_value(self):
+        p = SketchParams(n=100, d=16, k=2, epsilon=0.125)
+        assert thm13_lower_bound(p) == 64.0  # d/(2 eps)
+
+    def test_thm15_exceeds_thm13_for_k3(self):
+        p = SketchParams(n=10**6, d=64, k=3, epsilon=0.1)
+        assert thm15_lower_bound(p) > thm13_lower_bound(p)
+
+    def test_estimator_bound_quadratic_in_inv_eps(self):
+        base = SketchParams(n=10**6, d=64, k=3, epsilon=0.1)
+        half = base.with_(epsilon=0.05)
+        ratio = thm16_lower_bound(half) / thm16_lower_bound(base)
+        assert 3.0 <= ratio <= 4.5  # ~4 modulo the iterated-log factor
+
+    def test_thm17_smaller_than_thm16(self):
+        p = SketchParams(n=10**6, d=64, k=4, epsilon=0.05)
+        assert thm17_lower_bound(p) < thm16_lower_bound(p)
+
+    def test_dispatch_per_task(self):
+        # eps = 0.25 puts (d=64, k=3) inside Theorem 16/17's regime
+        # (1/eps^2 = 16 <= d / loglog), where the estimator bounds dominate.
+        p = SketchParams(n=10**6, d=64, k=3, epsilon=0.25)
+        assert lower_bound_bits(Task.FOREACH_INDICATOR, p) == thm13_lower_bound(p)
+        assert lower_bound_bits(Task.FORALL_ESTIMATOR, p) == thm16_lower_bound(p)
+        assert lower_bound_bits(Task.FOREACH_ESTIMATOR, p) == thm17_lower_bound(p)
+
+    def test_dispatch_falls_back_outside_regime(self):
+        # At eps = 0.05 Theorem 16's condition fails for d = 64, so the
+        # estimator bound falls back to the (still valid) indicator bound.
+        from repro.core import thm16_applicable
+
+        p = SketchParams(n=10**6, d=64, k=3, epsilon=0.05)
+        assert not thm16_applicable(p)
+        assert lower_bound_bits(Task.FORALL_ESTIMATOR, p) == lower_bound_bits(
+            Task.FORALL_INDICATOR, p
+        )
+
+    def test_no_bound_claimed_outside_all_regimes(self):
+        # k = 2, 1/eps > C(d/2, 1): none of the paper's theorems apply.
+        p = SketchParams(n=10**6, d=32, k=2, epsilon=0.05)
+        assert lower_bound_bits(Task.FORALL_INDICATOR, p) == 0.0
+
+    def test_lower_bounds_below_upper_bounds(self):
+        """Sanity: our lower-bound expressions stay below Theorem 12's min
+        in the regimes where both apply (constants are 1 in the LBs)."""
+        for eps in (0.2, 0.1, 0.05):
+            p = SketchParams(n=10**7, d=64, k=3, epsilon=eps)
+            for task in Task:
+                assert lower_bound_bits(task, p) <= upper_bound_bits(task, p), (
+                    task,
+                    eps,
+                )

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.db import Itemset, planted_database, write_transactions
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["experiments"],
+            ["bounds", "--d", "16"],
+            ["validate", "--task", "for-each-estimator"],
+            ["attack", "--theorem", "15"],
+            ["mine", "some.txt", "--threshold", "0.2"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E-T13" in out and "bench_thm13_encoding.py" in out
+
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "--n", "1000", "--d", "16", "--k", "2", "--eps", "0.1"]) == 0
+        out = capsys.readouterr().out
+        for token in ("for-all-indicator", "release-db", "upper (min)", "lower bound"):
+            assert token in out
+
+    def test_validate_passes_for_valid_sketcher(self, capsys):
+        code = main(
+            [
+                "validate", "--task", "for-each-estimator", "--sketcher", "subsample",
+                "--n", "2000", "--d", "10", "--eps", "0.15", "--delta", "0.2",
+                "--trials", "4",
+            ]
+        )
+        assert code == 0
+        assert "failure rate" in capsys.readouterr().out
+
+    def test_attack_thm13(self, capsys):
+        code = main(
+            ["attack", "--theorem", "13", "--d", "16", "--m", "8",
+             "--sketcher", "release-db"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered 64/64" in out
+
+    def test_attack_thm15(self, capsys):
+        code = main(
+            ["attack", "--theorem", "15", "--d", "32", "--k", "2",
+             "--sketcher", "release-db"]
+        )
+        assert code == 0
+
+    def test_mine_exact_and_sketched(self, tmp_path, capsys):
+        db = planted_database(
+            800, 8, [(Itemset([0, 1]), 0.5)], background=0.02, rng=0
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+
+        assert main(["mine", str(path), "--threshold", "0.4"]) == 0
+        exact_out = capsys.readouterr().out
+        assert "0 1" in exact_out
+
+        assert main(
+            ["mine", str(path), "--threshold", "0.4", "--via-sketch"]
+        ) == 0
+        sketch_out = capsys.readouterr().out
+        assert "0 1" in sketch_out

@@ -1,0 +1,73 @@
+"""Tests for the one-way communication substrate and INDEX."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    TrivialIndexProtocol,
+    evaluate_protocol,
+    index_lower_bound_bits,
+    sample_index_instance,
+)
+from repro.errors import ParameterError
+
+
+class TestIndexLowerBound:
+    def test_zero_error_is_n(self):
+        assert index_lower_bound_bits(64, 0.0) == 64.0
+
+    def test_decreasing_in_error(self):
+        assert index_lower_bound_bits(64, 0.1) > index_lower_bound_bits(64, 0.3)
+
+    def test_linear_in_n(self):
+        assert index_lower_bound_bits(128, 0.1) == pytest.approx(
+            2 * index_lower_bound_bits(64, 0.1)
+        )
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            index_lower_bound_bits(0, 0.1)
+        with pytest.raises(ParameterError):
+            index_lower_bound_bits(10, 0.5)
+
+
+class TestSampleInstance:
+    def test_shapes(self):
+        x, y = sample_index_instance(32, rng=0)
+        assert x.shape == (32,)
+        assert 0 <= y < 32
+
+    def test_deterministic(self):
+        a = sample_index_instance(32, rng=1)
+        b = sample_index_instance(32, rng=1)
+        assert np.array_equal(a[0], b[0]) and a[1] == b[1]
+
+
+class TestTrivialProtocol:
+    def test_always_correct_and_n_bits(self):
+        protocol = TrivialIndexProtocol(48)
+        err, bits = evaluate_protocol(
+            protocol, lambda g: sample_index_instance(48, g), trials=40, rng=2
+        )
+        assert err == 0.0
+        assert bits == 48.0
+
+    def test_meets_lower_bound_exactly(self):
+        protocol = TrivialIndexProtocol(64)
+        run = protocol.run(*sample_index_instance(64, rng=3), rng=3)
+        assert run.message_bits == 64 == index_lower_bound_bits(64, 0.0)
+
+    def test_wrong_x_length_raises(self):
+        protocol = TrivialIndexProtocol(8)
+        with pytest.raises(ParameterError):
+            protocol.run(np.zeros(7, dtype=bool), 0)
+
+    def test_bad_trials(self):
+        with pytest.raises(ParameterError):
+            evaluate_protocol(
+                TrivialIndexProtocol(8),
+                lambda g: sample_index_instance(8, g),
+                trials=0,
+            )

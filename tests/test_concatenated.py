@@ -1,0 +1,118 @@
+"""Tests for the Justesen-style concatenated code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import flip_adversarial_run, flip_random_bits
+from repro.coding import ConcatenatedCode
+from repro.errors import ParameterError
+
+CODE = ConcatenatedCode(5)  # [31,15] RS over GF(32) + RM(1,4): 75 -> 496 bits
+
+
+class TestParameters:
+    def test_m5_parameters(self):
+        assert CODE.message_bits == 75
+        assert CODE.block_bits == 496
+        # 2^{m-3} flips break an inner block; t_o + 1 = 9 blocks needed.
+        assert CODE.guaranteed_radius_bits == 4 * 9 - 1
+
+    def test_radius_beats_four_percent_for_all_m(self):
+        for m in (5, 6, 7, 8, 9, 10):
+            code = ConcatenatedCode(m)
+            assert code.guaranteed_radius_fraction > 0.04, m
+
+    def test_rate_known_and_above_one_percent(self):
+        """Each family member's rate is m/2^m-ish; all stay above 1%
+        over the supported payload range (documented, not 'constant')."""
+        for m in (5, 6, 7, 8, 9, 10):
+            code = ConcatenatedCode(m)
+            assert code.rate > 0.009, m
+        assert ConcatenatedCode(5).rate == pytest.approx(75 / 496)
+
+    def test_for_payload_picks_smallest(self):
+        assert ConcatenatedCode.for_payload(75).m == 5
+        assert ConcatenatedCode.for_payload(76).m == 6
+        assert ConcatenatedCode.for_payload(1000).m == 8
+
+    def test_for_payload_too_big(self):
+        with pytest.raises(ParameterError):
+            ConcatenatedCode.for_payload(10**6)
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ParameterError):
+            ConcatenatedCode(3)
+
+
+class TestRoundTrip:
+    def test_clean(self):
+        rng = np.random.default_rng(0)
+        payload = rng.random(75) < 0.5
+        assert np.array_equal(CODE.decode(CODE.encode(payload)), payload)
+
+    def test_short_payload_padded(self):
+        rng = np.random.default_rng(1)
+        payload = rng.random(40) < 0.5
+        decoded = CODE.decode(CODE.encode(payload), message_len=40)
+        assert np.array_equal(decoded, payload)
+
+    def test_random_errors_at_radius(self):
+        rng = np.random.default_rng(2)
+        payload = rng.random(75) < 0.5
+        noisy = flip_random_bits(CODE.encode(payload), CODE.guaranteed_radius_bits, rng)
+        assert np.array_equal(CODE.decode(noisy), payload)
+
+    def test_adversarial_burst_at_radius(self):
+        rng = np.random.default_rng(3)
+        payload = rng.random(75) < 0.5
+        encoded = CODE.encode(payload)
+        for start in (0, 100, 496 - CODE.guaranteed_radius_bits):
+            burst = flip_adversarial_run(encoded, CODE.guaranteed_radius_bits, start)
+            assert np.array_equal(CODE.decode(burst), payload)
+
+    def test_worst_case_concentrated_inner_blocks(self):
+        """Adversary corrupts whole inner blocks: exactly the bound's regime."""
+        rng = np.random.default_rng(4)
+        payload = rng.random(75) < 0.5
+        encoded = CODE.encode(payload)
+        # Fully flip t_o = 8 inner blocks (16 bits each >= the 8 needed).
+        corrupted = encoded.copy()
+        for b in range(CODE.outer.t):
+            corrupted[b * 16 : (b + 1) * 16] ^= True
+        assert np.array_equal(CODE.decode(corrupted), payload)
+
+    def test_oversized_payload_raises(self):
+        with pytest.raises(ParameterError):
+            CODE.encode(np.zeros(76, dtype=bool))
+
+    def test_wrong_block_size_raises(self):
+        with pytest.raises(ParameterError):
+            CODE.decode(np.zeros(495, dtype=bool))
+
+    def test_bad_message_len_raises(self):
+        with pytest.raises(ParameterError):
+            CODE.decode(np.zeros(496, dtype=bool), message_len=76)
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_property_decodes_any_pattern_within_radius(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        payload = rng.random(75) < 0.5
+        n_flips = data.draw(st.integers(0, CODE.guaranteed_radius_bits))
+        noisy = flip_random_bits(CODE.encode(payload), n_flips, rng)
+        assert np.array_equal(CODE.decode(noisy), payload)
+
+
+class TestLargerCodes:
+    def test_m6_roundtrip_with_errors(self):
+        code = ConcatenatedCode(6)
+        rng = np.random.default_rng(5)
+        payload = rng.random(code.message_bits) < 0.5
+        noisy = flip_random_bits(
+            code.encode(payload), code.guaranteed_radius_bits, rng
+        )
+        assert np.array_equal(code.decode(noisy), payload)

@@ -1,0 +1,71 @@
+"""Tests for repro.core.base: Task semantics and the sketch interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import INDICATOR_THRESHOLD_FACTOR, FrequencySketch, Task
+from repro.db import Itemset
+from repro.params import SketchParams
+
+
+class TestTask:
+    def test_forall_flags(self):
+        assert Task.FORALL_INDICATOR.is_forall
+        assert Task.FORALL_ESTIMATOR.is_forall
+        assert not Task.FOREACH_INDICATOR.is_forall
+        assert not Task.FOREACH_ESTIMATOR.is_forall
+
+    def test_indicator_flags(self):
+        assert Task.FORALL_INDICATOR.is_indicator
+        assert Task.FOREACH_INDICATOR.is_indicator
+        assert not Task.FORALL_ESTIMATOR.is_indicator
+        assert not Task.FOREACH_ESTIMATOR.is_indicator
+
+    def test_for_each_analog(self):
+        assert Task.FORALL_INDICATOR.for_each_analog is Task.FOREACH_INDICATOR
+        assert Task.FORALL_ESTIMATOR.for_each_analog is Task.FOREACH_ESTIMATOR
+        assert Task.FOREACH_INDICATOR.for_each_analog is Task.FOREACH_INDICATOR
+
+    def test_for_all_analog(self):
+        assert Task.FOREACH_ESTIMATOR.for_all_analog is Task.FORALL_ESTIMATOR
+        assert Task.FORALL_ESTIMATOR.for_all_analog is Task.FORALL_ESTIMATOR
+
+    def test_four_distinct_tasks(self):
+        assert len(set(Task)) == 4
+
+
+class _ConstantSketch(FrequencySketch):
+    """Minimal concrete sketch for interface tests."""
+
+    def __init__(self, params: SketchParams, value: float) -> None:
+        super().__init__(params)
+        self._value = value
+
+    def estimate(self, itemset: Itemset) -> float:
+        return self._value
+
+    def size_in_bits(self) -> int:
+        return 1
+
+
+class TestDefaultIndicate:
+    def test_threshold_is_three_quarters_eps(self):
+        params = SketchParams(n=10, d=4, k=1, epsilon=0.2)
+        threshold = INDICATOR_THRESHOLD_FACTOR * params.epsilon
+        above = _ConstantSketch(params, threshold + 0.001)
+        below = _ConstantSketch(params, threshold - 0.001)
+        assert above.indicate(Itemset([0]))
+        assert not below.indicate(Itemset([0]))
+
+    def test_indicator_consistent_with_definition1(self):
+        """An exact estimator's default indicate satisfies both clauses."""
+        params = SketchParams(n=10, d=4, k=1, epsilon=0.2)
+        clearly_frequent = _ConstantSketch(params, 0.25)  # f > eps
+        clearly_rare = _ConstantSketch(params, 0.05)  # f < eps/2
+        assert clearly_frequent.indicate(Itemset([0]))
+        assert not clearly_rare.indicate(Itemset([0]))
+
+    def test_params_accessible(self):
+        params = SketchParams(n=10, d=4, k=1, epsilon=0.2)
+        assert _ConstantSketch(params, 0.0).params is params

@@ -1,0 +1,128 @@
+"""Tests for repro.db.database.BinaryDatabase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.db import BinaryDatabase, Itemset
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_shape(self, small_db):
+        assert small_db.shape == (4, 4)
+        assert small_db.n == 4 and small_db.d == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ParameterError):
+            BinaryDatabase([1, 0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            BinaryDatabase(np.zeros((0, 3), dtype=bool))
+
+    def test_immutable(self, small_db):
+        with pytest.raises(ValueError):
+            small_db.rows[0, 0] = False
+
+    def test_copies_input(self):
+        arr = np.ones((2, 2), dtype=bool)
+        db = BinaryDatabase(arr)
+        arr[0, 0] = False
+        assert db.rows[0, 0]
+
+    def test_equality_and_hash(self, small_db):
+        other = BinaryDatabase(small_db.rows)
+        assert small_db == other and hash(small_db) == hash(other)
+        assert small_db != BinaryDatabase(np.zeros((4, 4), dtype=bool))
+
+
+class TestQueries:
+    def test_frequency_hand_checked(self, small_db):
+        # rows: 1100 / 1110 / 0111 / 1001
+        assert small_db.frequency(Itemset([0])) == 0.75
+        assert small_db.frequency(Itemset([1, 2])) == 0.5
+        assert small_db.frequency(Itemset([0, 3])) == 0.25
+        assert small_db.frequency(Itemset([0, 1, 2, 3])) == 0.0
+
+    def test_empty_itemset_frequency_one(self, small_db):
+        assert small_db.frequency(Itemset([])) == 1.0
+
+    def test_support_mask(self, small_db):
+        assert small_db.support_mask(Itemset([1])).tolist() == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_out_of_range_raises(self, small_db):
+        with pytest.raises(ParameterError):
+            small_db.frequency(Itemset([4]))
+
+    def test_frequencies_batch(self, small_db):
+        freqs = small_db.frequencies([Itemset([0]), Itemset([3])])
+        assert freqs.tolist() == [0.75, 0.5]
+
+
+class TestDerived:
+    def test_sample_rows_with_multiplicity(self, small_db):
+        sampled = small_db.sample_rows([0, 0, 2])
+        assert sampled.n == 3
+        assert np.array_equal(sampled.row(0), sampled.row(1))
+
+    def test_sample_rows_empty_raises(self, small_db):
+        with pytest.raises(ParameterError):
+            small_db.sample_rows([])
+
+    def test_select_columns(self, small_db):
+        sub = small_db.select_columns([1, 3])
+        assert sub.d == 2
+        assert sub.frequency(Itemset([0])) == small_db.frequency(Itemset([1]))
+
+    def test_hstack_vstack(self, small_db):
+        wide = small_db.hstack(small_db)
+        assert wide.shape == (4, 8)
+        tall = small_db.vstack(small_db)
+        assert tall.shape == (8, 4)
+        assert tall.frequency(Itemset([0])) == small_db.frequency(Itemset([0]))
+
+    def test_hstack_mismatch_raises(self, small_db):
+        with pytest.raises(ParameterError):
+            small_db.hstack(BinaryDatabase(np.ones((3, 4), dtype=bool)))
+
+    def test_vstack_mismatch_raises(self, small_db):
+        with pytest.raises(ParameterError):
+            small_db.vstack(BinaryDatabase(np.ones((4, 3), dtype=bool)))
+
+    def test_repeat_rows_preserves_frequencies(self, small_db):
+        rep = small_db.repeat_rows(3)
+        assert rep.n == 12
+        for t in (Itemset([0]), Itemset([1, 2])):
+            assert rep.frequency(t) == small_db.frequency(t)
+
+    def test_concat_rows(self, small_db):
+        cat = BinaryDatabase.concat_rows([small_db, small_db, small_db])
+        assert cat.n == 12
+
+    def test_concat_rows_empty_raises(self):
+        with pytest.raises(ParameterError):
+            BinaryDatabase.concat_rows([])
+
+
+class TestSerialization:
+    def test_size_in_bits(self, small_db):
+        assert small_db.size_in_bits() == 16
+
+    def test_roundtrip(self, small_db):
+        buf = small_db.to_bytes()
+        assert BinaryDatabase.from_bytes(buf, 4, 4) == small_db
+
+    @given(arrays(bool, st.tuples(st.integers(1, 9), st.integers(1, 11))))
+    def test_property_roundtrip(self, mat):
+        db = BinaryDatabase(mat)
+        assert BinaryDatabase.from_bytes(db.to_bytes(), db.n, db.d) == db

@@ -1,0 +1,140 @@
+"""Tests for De's construction (Lemma 25) and the KRSU special case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.errors import ParameterError
+from repro.lowerbounds import DeConstruction, KrsuConstruction, run_encoding_attack
+
+
+class TestConstruction:
+    def test_shapes(self):
+        de = DeConstruction(d0=8, k=3, n=48, epsilon=0.01, rng=0)
+        assert de.d_public == 16
+        assert de.d_total == 24
+        assert de.product.shape == (64, 48)
+        assert len(de.tuples) == 64
+        assert de.sketch_params().d == 24
+
+    def test_lemma24_regime_enforced(self):
+        with pytest.raises(ParameterError):
+            DeConstruction(d0=4, k=2, n=50, epsilon=0.01)  # 4^1 < 50
+
+    def test_query_frequency_identity(self):
+        """f(query(ti, sj)) = <A[ti], y_sj> / n -- the linearity the attack uses."""
+        de = DeConstruction(d0=6, k=3, n=30, epsilon=0.01, use_ecc=False, rng=1)
+        rng = np.random.default_rng(2)
+        payload = rng.random(de.payload_bits) < 0.5
+        db = de.encode(payload)
+        special = payload.reshape(de.n_special, de.n)
+        for ti in (0, 7, 35):
+            for sj in (0, 3, 5):
+                f = db.frequency(de.query_itemset(ti, sj))
+                expected = float(de.product[ti] @ special[sj]) / de.n
+                assert f == pytest.approx(expected)
+
+    def test_public_rows_match_factors(self):
+        de = DeConstruction(d0=5, k=3, n=25, epsilon=0.01, rng=3)
+        rows = de.public_rows()
+        assert rows.shape == (25, 10)
+        # Row h concatenates column h of each factor.
+        h = 11
+        assert np.array_equal(rows[h, :5], de.factors[0][:, h].astype(bool))
+        assert np.array_equal(rows[h, 5:], de.factors[1][:, h].astype(bool))
+
+    def test_probing_rows_ensured(self):
+        de = DeConstruction(d0=4, k=3, n=16, epsilon=0.01, rng=4)
+        for factor in de.factors:
+            assert (factor.sum(axis=0) > 0).all()
+
+    def test_ecc_engaged_for_large_region(self):
+        de = DeConstruction(d0=8, k=3, n=64, epsilon=0.01, rng=5)
+        assert de.uses_ecc  # region 8 * 64 = 512 >= 496
+        assert de.payload_bits == 75
+
+    def test_query_guards(self):
+        de = DeConstruction(d0=4, k=2, n=4, epsilon=0.1, rng=6)
+        with pytest.raises(ParameterError):
+            de.query_itemset(99, 0)
+        with pytest.raises(ParameterError):
+            de.query_itemset(0, 99)
+
+
+class TestAttacks:
+    def test_exact_sketch_l1_recovery(self):
+        de = DeConstruction(d0=8, k=3, n=48, epsilon=0.01, use_ecc=False, rng=7)
+        report = run_encoding_attack(de, ReleaseDbSketcher(Task.FORALL_ESTIMATOR), rng=8)
+        assert report.exact
+
+    def test_exact_sketch_l2_recovery(self):
+        de = DeConstruction(d0=8, k=3, n=48, epsilon=0.01, use_ecc=False, rng=9)
+        payload = de.random_payload(rng=10)
+        db = de.encode(payload)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(
+            db, de.sketch_params()
+        )
+        recovered = de.decode(sketch, method="l2")
+        assert np.array_equal(recovered, payload)
+
+    def test_ecc_mode_survives_noisy_sketch(self):
+        de = DeConstruction(d0=8, k=3, n=64, epsilon=0.02, rng=11)
+        report = run_encoding_attack(
+            de, SubsampleSketcher(Task.FORALL_ESTIMATOR), delta=0.05, rng=12
+        )
+        assert report.exact  # ECC absorbs the sampling noise
+
+    def test_answers_matrix_path(self):
+        de = DeConstruction(d0=6, k=2, n=6, epsilon=0.05, use_ecc=False, rng=13)
+        payload = de.random_payload(rng=14)
+        db = de.encode(payload)
+        answers = de.exact_answers(db)
+        assert np.array_equal(de.decode_from_answers(answers), payload)
+
+    def test_bad_method_rejected(self):
+        de = DeConstruction(d0=4, k=2, n=4, epsilon=0.1, use_ecc=False, rng=15)
+        with pytest.raises(ParameterError):
+            de.answers_to_columns(np.zeros((de.n_special, 4)), method="l3")
+
+    def test_answers_shape_checked(self):
+        de = DeConstruction(d0=4, k=2, n=4, epsilon=0.1, rng=16)
+        with pytest.raises(ParameterError):
+            de.answers_to_columns(np.zeros((1, 1)))
+
+
+class TestKrsu:
+    def test_single_special_column(self):
+        kr = KrsuConstruction(d0=32, k=2, n=24, epsilon=0.02, rng=17)
+        assert kr.n_special == 1
+        assert not kr.uses_ecc
+        assert kr.payload_bits == 24  # the last column itself
+
+    def test_l2_default_recovery(self):
+        kr = KrsuConstruction(d0=32, k=2, n=24, epsilon=0.02, rng=18)
+        report = run_encoding_attack(kr, ReleaseDbSketcher(Task.FORALL_ESTIMATOR), rng=19)
+        assert report.exact
+
+    def test_degrades_when_eps_large_vs_sqrt_n(self):
+        """The KRSU phase transition: small per-answer error reconstructs
+        (almost) perfectly; error far above ~sqrt(n)/n breaks it."""
+        rng = np.random.default_rng(20)
+        small_eps_errors = 0
+        large_eps_errors = 0
+        for seed in range(3):
+            # k=3 gives L = 8^2 = 64 >> n = 32 equations: well-conditioned.
+            kr = KrsuConstruction(d0=8, k=3, n=32, epsilon=0.01, rng=seed)
+            payload = kr.random_payload(rng=seed + 100)
+            db = kr.encode(payload)
+            answers = kr.exact_answers(db)
+            for scale, bucket in ((0.01, "small"), (0.5, "large")):
+                noisy = answers + rng.normal(0, scale, size=answers.shape)
+                recovered = kr.decode_from_answers(noisy, method="l2")
+                errs = int((recovered != payload).sum())
+                if bucket == "small":
+                    small_eps_errors += errs
+                else:
+                    large_eps_errors += errs
+        assert small_eps_errors <= 3  # near-perfect below the transition
+        assert large_eps_errors > 3 * small_eps_errors + 5

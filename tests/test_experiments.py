@@ -1,0 +1,108 @@
+"""Tests for the experiment harness and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SubsampleSketcher, Task
+from repro.db import random_database
+from repro.errors import ParameterError
+from repro.experiments import (
+    EXPERIMENTS,
+    empirical_failure_rate,
+    experiment_by_id,
+    format_series,
+    format_table,
+    grid,
+    log_slope,
+    measure_sketch_error,
+)
+from repro.params import SketchParams
+
+
+class TestRegistry:
+    def test_all_core_experiments_present(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        for required in (
+            "E-T12", "E-L9", "E-T13", "E-T14", "E-F18", "E-L19", "E-T15",
+            "E-KRSU", "E-L26", "E-T16", "E-T17", "E-CROSS", "E-STRM",
+            "E-MINE", "E-PRIV",
+        ):
+            assert required in ids
+
+    def test_every_experiment_names_a_bench(self):
+        for e in EXPERIMENTS:
+            assert e.bench.startswith("benchmarks/bench_")
+            assert e.modules and e.claim and e.paper_anchor
+
+    def test_lookup(self):
+        assert experiment_by_id("E-T13").paper_anchor == "Theorem 13"
+        with pytest.raises(KeyError):
+            experiment_by_id("E-NOPE")
+
+    def test_ids_unique(self):
+        ids = [e.exp_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        rows = list(grid(a=[1, 2], b=["x", "y"]))
+        assert len(rows) == 4
+        assert rows[0] == {"a": 1, "b": "x"}
+
+    def test_deterministic_order(self):
+        assert list(grid(a=[1, 2], b=[3])) == list(grid(a=[1, 2], b=[3]))
+
+
+class TestMeasurement:
+    def test_measure_sketch_error_fields(self):
+        db = random_database(2000, 10, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        result = measure_sketch_error(
+            SubsampleSketcher(Task.FORALL_ESTIMATOR), db, p, rng=1
+        )
+        assert set(result) == {"max_error", "mean_error", "bits"}
+        assert result["mean_error"] <= result["max_error"] <= p.epsilon
+        assert result["bits"] > 0
+
+    def test_empirical_failure_rate(self):
+        calls = iter([True, False, True, True])
+        rate = empirical_failure_rate(lambda g: next(calls), trials=4, rng=2)
+        assert rate == 0.25
+
+    def test_failure_rate_guards(self):
+        with pytest.raises(ParameterError):
+            empirical_failure_rate(lambda g: True, trials=0)
+
+    def test_log_slope_recovers_exponent(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        assert log_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_log_slope_guards(self):
+        with pytest.raises(ParameterError):
+            log_slope([1], [2])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.0}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series("size", [1, 2], [10.0, 20.0])
+        assert text.startswith("size:")
+        assert "(1, 10)" in text

@@ -1,0 +1,112 @@
+"""Tests for Fact 18's shattered-set construction (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Itemset
+from repro.errors import ParameterError
+from repro.lowerbounds import ShatteredSet, shattered_set, w_matrix, y_matrix
+
+
+class TestGadgets:
+    def test_w_matrix_shape_and_shattering(self):
+        k = 5
+        w = w_matrix(k)
+        assert w.shape == (k, k)
+        # T_s = {i : s_i = 0} realises any pattern on W's rows.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s = rng.random(k) < 0.5
+            t = [i for i in range(k) if not s[i]]
+            realized = w[:, t].all(axis=1) if t else np.ones(k, dtype=bool)
+            assert np.array_equal(realized, s)
+
+    def test_y_matrix_columns_count_in_binary(self):
+        y = y_matrix(8)
+        assert y.shape == (3, 8)
+        for col in range(8):
+            value = int("".join("1" if b else "0" for b in y[:, col]), 2)
+            assert value == col
+
+    def test_y_matrix_rejects_non_powers(self):
+        with pytest.raises(ParameterError):
+            y_matrix(6)
+        with pytest.raises(ParameterError):
+            y_matrix(1)
+
+    def test_w_matrix_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            w_matrix(0)
+
+
+class TestShatteredSet:
+    def test_dimensions(self):
+        ss = ShatteredSet(32, 4)  # p = 8, v = 4 * 3 = 12
+        assert ss.block_width == 8
+        assert ss.v == 12
+        assert ss.matrix.shape == (12, 32)
+
+    def test_v_matches_fact18_formula(self):
+        # v = k' log2(d/k') when d/k' is a power of two.
+        ss = ShatteredSet(16, 2)
+        assert ss.v == 2 * 3
+
+    def test_itemset_has_k_prime_attributes(self):
+        ss = ShatteredSet(16, 2)
+        s = np.zeros(ss.v, dtype=bool)
+        assert len(ss.itemset_for_pattern(s)) == 2
+
+    def test_every_pattern_realised_exhaustively(self):
+        ss = ShatteredSet(8, 2)  # v = 2 * 2 = 4: check all 16 patterns
+        for u in range(16):
+            s = np.array([(u >> (3 - j)) & 1 for j in range(4)], dtype=bool)
+            assert ss.verify(s), u
+
+    def test_k_prime_one_is_y_gadget(self):
+        ss = ShatteredSet(8, 1)
+        assert ss.v == 3
+        for u in range(8):
+            s = np.array([(u >> (2 - j)) & 1 for j in range(3)], dtype=bool)
+            assert ss.itemset_for_pattern(s) == Itemset([u])
+            assert ss.verify(s)
+
+    def test_non_power_of_two_d_padded(self):
+        ss = ShatteredSet(24, 3)  # d/k' = 8 exactly; also try ragged:
+        assert ss.verify(np.ones(ss.v, dtype=bool))
+        ragged = ShatteredSet(21, 2)  # d/k' = 10.5 -> p = 8
+        assert ragged.block_width == 8
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            assert ragged.verify(rng.random(ragged.v) < 0.5)
+
+    def test_wrong_pattern_length_raises(self):
+        ss = ShatteredSet(16, 2)
+        with pytest.raises(ParameterError):
+            ss.itemset_for_pattern(np.zeros(ss.v + 1, dtype=bool))
+
+    def test_realized_pattern_out_of_range(self):
+        ss = ShatteredSet(16, 2)
+        with pytest.raises(ParameterError):
+            ss.realized_pattern(Itemset([99]))
+
+    def test_too_small_d_raises(self):
+        with pytest.raises(ParameterError):
+            ShatteredSet(3, 2)
+
+    def test_convenience_constructor(self):
+        assert shattered_set(16, 2).v == ShatteredSet(16, 2).v
+
+    @given(
+        st.sampled_from([(8, 1), (8, 2), (16, 2), (32, 4), (24, 3), (40, 2)]),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_property_shattering(self, dims, data):
+        d, kp = dims
+        ss = ShatteredSet(d, kp)
+        bits = data.draw(st.lists(st.booleans(), min_size=ss.v, max_size=ss.v))
+        assert ss.verify(np.array(bits, dtype=bool))

@@ -1,0 +1,61 @@
+"""Tests for the FP-Growth miner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.db import BinaryDatabase, Itemset
+from repro.errors import ParameterError
+from repro.mining import apriori, eclat, fpgrowth
+
+
+class TestFpGrowth:
+    def test_matches_apriori_on_planted(self, planted_db):
+        assert fpgrowth(planted_db, 0.25) == apriori(planted_db, 0.25)
+
+    def test_matches_eclat_small_thresholds(self, planted_db):
+        assert fpgrowth(planted_db, 0.1) == eclat(planted_db, 0.1)
+
+    def test_max_size_cap(self, planted_db):
+        result = fpgrowth(planted_db, 0.2, max_size=2)
+        assert result == eclat(planted_db, 0.2, max_size=2)
+        assert all(len(t) <= 2 for t in result)
+
+    def test_single_row_database(self):
+        db = BinaryDatabase([[1, 0, 1]])
+        result = fpgrowth(db, 0.5)
+        assert result == {
+            Itemset([0]): 1.0,
+            Itemset([2]): 1.0,
+            Itemset([0, 2]): 1.0,
+        }
+
+    def test_all_zero_database(self):
+        db = BinaryDatabase([[0, 0], [0, 0]])
+        assert fpgrowth(db, 0.5) == {}
+
+    def test_threshold_validation(self, small_db):
+        with pytest.raises(ParameterError):
+            fpgrowth(small_db, 0.0)
+        with pytest.raises(ParameterError):
+            fpgrowth(small_db, 1.5)
+
+    def test_identical_rows_compress_into_one_path(self):
+        # FP-tree property, observable through correctness on duplicates.
+        db = BinaryDatabase([[1, 1, 0]] * 50 + [[0, 1, 1]] * 50)
+        result = fpgrowth(db, 0.4)
+        assert result[Itemset([0, 1])] == 0.5
+        assert result[Itemset([1, 2])] == 0.5
+        assert result[Itemset([1])] == 1.0
+
+    @given(
+        arrays(bool, st.tuples(st.integers(2, 25), st.integers(2, 8))),
+        st.sampled_from([0.2, 0.35, 0.5, 0.75]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_agrees_with_eclat(self, mat, threshold):
+        db = BinaryDatabase(mat)
+        assert fpgrowth(db, threshold) == eclat(db, threshold)

@@ -1,0 +1,139 @@
+"""Tests for repro.db.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Itemset,
+    correlated_database,
+    market_basket_database,
+    planted_database,
+    random_database,
+    random_itemset,
+    zipf_item_stream,
+)
+from repro.db.generators import as_rng
+from repro.errors import ParameterError
+
+
+class TestAsRng:
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed(self):
+        a, b = as_rng(42), as_rng(42)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+
+class TestRandomDatabase:
+    def test_shape_and_density(self):
+        db = random_database(4000, 10, density=0.3, rng=0)
+        assert db.shape == (4000, 10)
+        assert abs(db.rows.mean() - 0.3) < 0.02
+
+    def test_extreme_densities(self):
+        assert not random_database(10, 5, density=0.0, rng=0).rows.any()
+        assert random_database(10, 5, density=1.0, rng=0).rows.all()
+
+    def test_bad_density(self):
+        with pytest.raises(ParameterError):
+            random_database(10, 5, density=1.5)
+
+    def test_deterministic_with_seed(self):
+        assert random_database(20, 5, rng=3) == random_database(20, 5, rng=3)
+
+
+class TestRandomItemset:
+    def test_size_and_range(self):
+        t = random_itemset(10, 4, rng=0)
+        assert len(t) == 4 and max(t.items) < 10
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            random_itemset(3, 5)
+
+
+class TestPlantedDatabase:
+    def test_planted_frequencies_at_least_target(self):
+        db = planted_database(
+            3000,
+            10,
+            [(Itemset([0, 1]), 0.5), (Itemset([4, 5, 6]), 0.2)],
+            background=0.01,
+            rng=1,
+        )
+        assert db.frequency(Itemset([0, 1])) >= 0.48
+        assert db.frequency(Itemset([4, 5, 6])) >= 0.18
+
+    def test_zero_background_gives_exact_control(self):
+        db = planted_database(1000, 8, [(Itemset([2, 3]), 0.4)], background=0.0, rng=2)
+        assert db.frequency(Itemset([2, 3])) == pytest.approx(0.4, abs=0.001)
+        assert db.frequency(Itemset([7])) == 0.0
+
+    def test_bad_frequency(self):
+        with pytest.raises(ParameterError):
+            planted_database(10, 5, [(Itemset([0]), 1.5)])
+
+    def test_out_of_range_itemset(self):
+        with pytest.raises(ParameterError):
+            planted_database(10, 5, [(Itemset([7]), 0.5)])
+
+
+class TestMarketBasket:
+    def test_shape(self):
+        db = market_basket_database(500, 30, rng=3)
+        assert db.shape == (500, 30)
+
+    def test_has_cooccurrence_structure(self):
+        # Pattern-driven rows should make some pair far exceed independence.
+        db = market_basket_database(2000, 20, n_patterns=3, noise=0.0, rng=4)
+        best_ratio = 0.0
+        for i in range(20):
+            fi = db.frequency(Itemset([i]))
+            if fi < 0.05:
+                continue
+            for j in range(i + 1, 20):
+                fj = db.frequency(Itemset([j]))
+                if fj < 0.05:
+                    continue
+                fij = db.frequency(Itemset([i, j]))
+                best_ratio = max(best_ratio, fij / (fi * fj))
+        assert best_ratio > 1.5
+
+    def test_bad_patterns(self):
+        with pytest.raises(ParameterError):
+            market_basket_database(10, 5, n_patterns=0)
+
+
+class TestCorrelatedDatabase:
+    def test_within_block_correlation_exceeds_between(self):
+        db = correlated_database(4000, 12, block_size=4, within_block_corr=0.95, rng=5)
+        rows = db.rows.astype(float)
+        within = np.corrcoef(rows[:, 0], rows[:, 1])[0, 1]
+        between = abs(np.corrcoef(rows[:, 0], rows[:, 5])[0, 1])
+        assert within > 0.5 > between
+
+    def test_bad_block(self):
+        with pytest.raises(ParameterError):
+            correlated_database(10, 5, block_size=0)
+
+
+class TestZipfStream:
+    def test_length_and_range(self):
+        stream = zipf_item_stream(5000, 50, rng=6)
+        assert stream.shape == (5000,)
+        assert stream.min() >= 0 and stream.max() < 50
+
+    def test_skew(self):
+        stream = zipf_item_stream(20000, 50, exponent=1.5, rng=7)
+        counts = np.bincount(stream, minlength=50)
+        assert counts[0] > 5 * counts[10]
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            zipf_item_stream(0, 10)
+        with pytest.raises(ParameterError):
+            zipf_item_stream(10, 10, exponent=0.0)

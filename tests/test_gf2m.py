@@ -1,0 +1,129 @@
+"""Tests for GF(2^m) arithmetic: field axioms and polynomial ops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import GF2m, PRIMITIVE_POLYNOMIALS
+from repro.errors import ParameterError
+
+F8 = GF2m(3)
+F32 = GF2m(5)
+
+
+class TestFieldAxioms:
+    def test_additive_identity_and_inverse(self):
+        for a in range(8):
+            assert F8.add(a, 0) == a
+            assert F8.add(a, a) == 0  # characteristic 2
+
+    def test_multiplicative_identity(self):
+        for a in range(8):
+            assert F8.mul(a, 1) == a
+
+    def test_all_elements_invertible(self):
+        for a in range(1, 32):
+            assert F32.mul(a, F32.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ParameterError):
+            F8.inv(0)
+
+    def test_commutativity_and_associativity(self):
+        for a in range(8):
+            for b in range(8):
+                assert F8.mul(a, b) == F8.mul(b, a)
+                for c in range(8):
+                    assert F8.mul(F8.mul(a, b), c) == F8.mul(a, F8.mul(b, c))
+
+    def test_distributivity(self):
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert F8.mul(a, F8.add(b, c)) == F8.add(
+                        F8.mul(a, b), F8.mul(a, c)
+                    )
+
+    def test_pow_matches_repeated_mul(self):
+        for a in range(1, 8):
+            acc = 1
+            for e in range(10):
+                assert F8.pow(a, e) == acc
+                acc = F8.mul(acc, a)
+
+    def test_alpha_generates_field(self):
+        seen = {F32.alpha_pow(e) for e in range(31)}
+        assert seen == set(range(1, 32))
+
+    def test_log_exp_inverse(self):
+        for a in range(1, 32):
+            assert F32.alpha_pow(F32.log(a)) == a
+
+    def test_division(self):
+        for a in range(1, 8):
+            for b in range(1, 8):
+                assert F8.mul(F8.div(a, b), b) == a
+
+
+class TestConstruction:
+    def test_all_default_polys_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            GF2m(m)  # construction validates primitivity
+
+    def test_non_primitive_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order 5 < 15, not primitive.
+        with pytest.raises(ParameterError):
+            GF2m(4, primitive_poly=0b11111)
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            GF2m(4, primitive_poly=0b1011)
+
+    def test_unknown_m_needs_explicit_poly(self):
+        with pytest.raises(ParameterError):
+            GF2m(17)
+
+
+class TestPolynomials:
+    def test_trim(self):
+        assert GF2m.poly_trim([1, 2, 0, 0]) == [1, 2]
+        assert GF2m.poly_trim([0, 0]) == [0]
+
+    def test_add_is_xor(self):
+        assert F8.poly_add([1, 2], [3, 2, 5]) == [2, 0, 5]
+
+    def test_mul_degree(self):
+        p = F8.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 in char 2
+        assert p == [1, 0, 1]
+
+    def test_mod_euclidean(self):
+        # p = q*m + r with deg r < deg m.
+        p, mod = [3, 1, 4, 1, 5], [1, 1, 1]
+        r = F8.poly_mod(p, mod)
+        assert len(r) < len(mod)
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(ParameterError):
+            F8.poly_mod([1], [0])
+
+    def test_eval_horner(self):
+        # p(x) = 1 + x over GF(8): p(a) = 1 ^ a.
+        for a in range(8):
+            assert F8.poly_eval([1, 1], a) == 1 ^ a
+
+    def test_derivative_char2(self):
+        # d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + 3 c3 x^2 = c1 + c3 x^2.
+        assert F8.poly_deriv([5, 3, 7, 2]) == [3, 0, 2]
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=1, max_size=6),
+        st.lists(st.integers(0, 7), min_size=1, max_size=6),
+        st.integers(0, 7),
+    )
+    @settings(max_examples=50)
+    def test_property_mul_eval_homomorphism(self, p, q, x):
+        lhs = F8.poly_eval(F8.poly_mul(p, q), x)
+        rhs = F8.mul(F8.poly_eval(p, x), F8.poly_eval(q, x))
+        assert lhs == rhs

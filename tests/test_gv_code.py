@@ -1,0 +1,127 @@
+"""Tests for the certified random linear code and the GV concatenation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import flip_adversarial_run, flip_random_bits
+from repro.coding import GVConcatenatedCode, RandomLinearCode
+from repro.errors import ParameterError
+
+
+class TestRandomLinearCode:
+    def test_certified_distance_is_real(self):
+        code = RandomLinearCode(dimension=5, length=40, min_distance=12, rng=0)
+        # Re-verify the certificate by enumerating all nonzero codewords.
+        msgs = code._messages[1:]
+        weights = [
+            int(code.encode(m).sum()) for m in msgs
+        ]
+        assert min(weights) == code.min_distance >= 12
+
+    def test_linearity(self):
+        code = RandomLinearCode(dimension=6, length=48, min_distance=10, rng=1)
+        rng = np.random.default_rng(2)
+        a = rng.random(6) < 0.5
+        b = rng.random(6) < 0.5
+        assert np.array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+    def test_corrects_up_to_radius(self):
+        code = RandomLinearCode(dimension=6, length=60, min_distance=15, rng=3)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            msg = rng.random(6) < 0.5
+            noisy = flip_random_bits(code.encode(msg), code.max_correctable, rng)
+            assert np.array_equal(code.decode(noisy), msg)
+
+    def test_decode_batch_matches_single(self):
+        code = RandomLinearCode(dimension=4, length=24, min_distance=8, rng=5)
+        rng = np.random.default_rng(6)
+        words = rng.random((10, 24)) < 0.5
+        batch = code.decode_batch(words)
+        for i in range(10):
+            assert np.array_equal(batch[i], code.decode(words[i]))
+
+    def test_infeasible_target_raises(self):
+        # Distance beyond the Singleton bound can never be met.
+        with pytest.raises(ParameterError):
+            RandomLinearCode(dimension=5, length=10, min_distance=10, rng=7)
+
+    def test_dimension_guard(self):
+        with pytest.raises(ParameterError):
+            RandomLinearCode(dimension=20, length=100, min_distance=5)
+
+
+class TestGVConcatenated:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return GVConcatenatedCode(5, rng=0)
+
+    def test_constant_rate_across_family(self):
+        rates = [GVConcatenatedCode(m, rng=m).rate for m in (5, 6, 7, 8)]
+        # The family rate is ~1/24 for every m: genuinely constant.
+        assert max(rates) / min(rates) < 1.1
+        assert all(r > 0.035 for r in rates)
+
+    def test_radius_above_four_percent(self):
+        for m in (5, 6, 7, 8):
+            assert GVConcatenatedCode(m, rng=m).guaranteed_radius_fraction > 0.04
+
+    def test_roundtrip_clean(self, code):
+        rng = np.random.default_rng(1)
+        payload = rng.random(code.message_bits) < 0.5
+        assert np.array_equal(code.decode(code.encode(payload)), payload)
+
+    def test_roundtrip_at_radius_random(self, code):
+        rng = np.random.default_rng(2)
+        payload = rng.random(code.message_bits) < 0.5
+        noisy = flip_random_bits(
+            code.encode(payload), code.guaranteed_radius_bits, rng
+        )
+        assert np.array_equal(code.decode(noisy), payload)
+
+    def test_roundtrip_at_radius_burst(self, code):
+        rng = np.random.default_rng(3)
+        payload = rng.random(code.message_bits) < 0.5
+        burst = flip_adversarial_run(
+            code.encode(payload), code.guaranteed_radius_bits, start=11
+        )
+        assert np.array_equal(code.decode(burst), payload)
+
+    def test_short_payload(self, code):
+        rng = np.random.default_rng(4)
+        payload = rng.random(30) < 0.5
+        assert np.array_equal(
+            code.decode(code.encode(payload), message_len=30), payload
+        )
+
+    def test_for_payload_selection(self):
+        assert GVConcatenatedCode.for_payload(75, rng=0).m == 5
+        assert GVConcatenatedCode.for_payload(180, rng=0).m == 6
+        with pytest.raises(ParameterError):
+            GVConcatenatedCode.for_payload(10**6, rng=0)
+
+    def test_unsupported_m(self):
+        with pytest.raises(ParameterError):
+            GVConcatenatedCode(4)
+
+    def test_guards(self, code):
+        with pytest.raises(ParameterError):
+            code.encode(np.zeros(code.message_bits + 1, dtype=bool))
+        with pytest.raises(ParameterError):
+            code.decode(np.zeros(code.block_bits - 1, dtype=bool))
+
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_property_decodes_within_radius(self, data):
+        code = GVConcatenatedCode(5, rng=9)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        payload = rng.random(code.message_bits) < 0.5
+        n_flips = data.draw(st.integers(0, code.guaranteed_radius_bits))
+        noisy = flip_random_bits(code.encode(payload), n_flips, rng)
+        assert np.array_equal(code.decode(noisy), payload)

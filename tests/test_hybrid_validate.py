@@ -1,0 +1,103 @@
+"""Tests for BestOfNaiveSketcher and the validation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BestOfNaiveSketcher,
+    FrequencySketch,
+    Sketcher,
+    Task,
+    naive_upper_bounds,
+    validate_sketcher,
+)
+from repro.db import BinaryDatabase, Itemset, random_database
+from repro.errors import ParameterError
+from repro.params import SketchParams
+
+
+class TestBestOfNaive:
+    def test_choice_matches_bounds(self):
+        db = random_database(5000, 12, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        sketcher = BestOfNaiveSketcher(Task.FOREACH_INDICATOR)
+        choice = sketcher.choose(p)
+        sizes = naive_upper_bounds(Task.FOREACH_INDICATOR, p)
+        assert sizes[choice] == min(sizes.values())
+
+    def test_sketch_records_choice_and_size(self):
+        db = random_database(20, 12, 0.3, rng=1)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        sketcher = BestOfNaiveSketcher(Task.FORALL_ESTIMATOR)
+        sketch = sketcher.sketch(db, p, rng=2)
+        assert sketcher.last_choice == "release-db"  # n*d = 240 is tiny
+        assert sketch.size_in_bits() == 240
+
+    def test_shape_mismatch_raises(self):
+        db = random_database(50, 12, 0.3, rng=1)
+        p = SketchParams(n=49, d=12, k=2, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            BestOfNaiveSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+
+    def test_huge_itemset_space_skips_release_answers(self):
+        p = SketchParams(n=10**9, d=128, k=12, epsilon=0.2, delta=0.1)
+        sketcher = BestOfNaiveSketcher(Task.FOREACH_INDICATOR)
+        assert sketcher.choose(p) != "release-answers"
+
+    def test_valid_for_all_tasks(self):
+        db = random_database(3000, 10, 0.3, rng=3)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        for task in Task:
+            report = validate_sketcher(BestOfNaiveSketcher(task), db, p, trials=5, rng=4)
+            assert report.ok(p.delta), (task, report.failure_rate)
+
+
+class _BrokenSketch(FrequencySketch):
+    def estimate(self, itemset: Itemset) -> float:
+        return 0.0  # always wrong for frequent itemsets
+
+    def size_in_bits(self) -> int:
+        return 1
+
+
+class _BrokenSketcher(Sketcher):
+    name = "broken"
+
+    def sketch(self, db, params, rng=None):
+        return _BrokenSketch(params)
+
+    def theoretical_size_bits(self, params):
+        return 1
+
+
+class TestValidationHarness:
+    def test_detects_broken_sketcher(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1, delta=0.05)
+        report = validate_sketcher(
+            _BrokenSketcher(Task.FORALL_ESTIMATOR), planted_db, p, trials=3, rng=0
+        )
+        assert report.failure_rate == 1.0
+        assert report.violating_itemsets  # examples retained
+
+    def test_foreach_counts_per_query(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1, delta=0.05)
+        report = validate_sketcher(
+            _BrokenSketcher(Task.FOREACH_ESTIMATOR), planted_db, p, trials=2, rng=0
+        )
+        assert report.units == 2 * p.num_itemsets
+        # Only itemsets with f > eps are wrong when estimating 0.
+        assert 0.0 < report.failure_rate < 1.0
+
+    def test_shape_mismatch_raises(self, planted_db):
+        p = SketchParams(n=planted_db.n + 1, d=planted_db.d, k=2, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            validate_sketcher(_BrokenSketcher(Task.FORALL_ESTIMATOR), planted_db, p)
+
+    def test_trials_must_be_positive(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            validate_sketcher(
+                _BrokenSketcher(Task.FORALL_ESTIMATOR), planted_db, p, trials=0
+            )

@@ -1,0 +1,135 @@
+"""Tests for the importance-sampling sketcher (the Conclusion's extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ImportanceSampleSketcher,
+    SubsampleSketcher,
+    Task,
+    density_weights,
+    validate_sketcher,
+)
+from repro.db import BinaryDatabase, Itemset, planted_database, random_database
+from repro.errors import ParameterError
+from repro.lowerbounds import Theorem13Encoding
+from repro.params import SketchParams
+
+
+class TestWeights:
+    def test_density_weights_positive_and_ordered(self, small_db):
+        w = density_weights(small_db)
+        assert (w > 0).all()
+        # Denser rows weigh more.
+        assert w[1] > w[0]  # row 1110 vs 1100
+
+
+class TestEstimator:
+    def test_unbiased_on_planted(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=3, epsilon=0.05)
+        t = Itemset([0, 1, 2])
+        estimates = []
+        for seed in range(15):
+            sketch = ImportanceSampleSketcher(
+                Task.FORALL_ESTIMATOR, sample_count=800
+            ).sketch(planted_db, p, rng=seed)
+            estimates.append(sketch.estimate(t))
+        assert abs(np.mean(estimates) - planted_db.frequency(t)) < 0.02
+
+    def test_uniform_weights_match_subsample_statistics(self):
+        db = random_database(3000, 10, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        uniform = ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR,
+            weight_fn=lambda d: np.ones(d.n),
+            sample_count=1500,
+        ).sketch(db, p, rng=1)
+        t = Itemset([0, 1])
+        assert abs(uniform.estimate(t) - db.frequency(t)) < 0.05
+
+    def test_empty_itemset_estimates_one(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        sketch = ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR, sample_count=500
+        ).sketch(planted_db, p, rng=2)
+        assert sketch.estimate(Itemset([])) == pytest.approx(1.0, abs=1e-9)
+
+    def test_size_accounting(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        sketcher = ImportanceSampleSketcher(Task.FOREACH_ESTIMATOR, sample_count=100)
+        sketch = sketcher.sketch(planted_db, p, rng=3)
+        assert sketch.size_in_bits() == 100 * (planted_db.d + 32)
+        assert sketcher.theoretical_size_bits(p) == sketch.size_in_bits()
+
+    def test_out_of_range_query(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        sketch = ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR, sample_count=50
+        ).sketch(planted_db, p, rng=4)
+        with pytest.raises(ParameterError):
+            sketch.estimate(Itemset([99]))
+
+
+class TestGuards:
+    def test_bad_weight_shapes(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        bad = ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR, weight_fn=lambda d: np.ones(3)
+        )
+        with pytest.raises(ParameterError):
+            bad.sketch(planted_db, p)
+
+    def test_nonpositive_weights_rejected(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        bad = ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR, weight_fn=lambda d: np.zeros(d.n)
+        )
+        with pytest.raises(ParameterError):
+            bad.sketch(planted_db, p)
+
+    def test_bad_sample_count(self):
+        with pytest.raises(ParameterError):
+            ImportanceSampleSketcher(Task.FORALL_ESTIMATOR, sample_count=0)
+
+
+class TestConclusionClaims:
+    """The paper's closing remarks, as measurements."""
+
+    def test_variance_reduced_on_skewed_data(self):
+        """Rare itemsets living on dense rows: importance sampling's
+        per-trial error beats uniform sampling's at equal sample count."""
+        rng = np.random.default_rng(5)
+        # 5% of rows are dense "power rows" carrying the itemset.
+        rows = rng.random((4000, 16)) < 0.02
+        power = rng.choice(4000, size=200, replace=False)
+        rows[np.ix_(power, range(8))] = True
+        db = BinaryDatabase(rows)
+        t = Itemset([0, 1, 2, 3])
+        p = SketchParams(n=db.n, d=db.d, k=4, epsilon=0.05)
+        s = 300
+        imp_errors, uni_errors = [], []
+        for seed in range(12):
+            imp = ImportanceSampleSketcher(
+                Task.FORALL_ESTIMATOR, sample_count=s
+            ).sketch(db, p, rng=seed)
+            uni = SubsampleSketcher(Task.FORALL_ESTIMATOR, sample_count=s).sketch(
+                db, p, rng=seed
+            )
+            truth = db.frequency(t)
+            imp_errors.append(abs(imp.estimate(t) - truth))
+            uni_errors.append(abs(uni.estimate(t) - truth))
+        assert np.mean(imp_errors) < np.mean(uni_errors)
+
+    def test_no_gain_on_hard_family(self):
+        """On Theorem 13's hard databases every row has equal weight, so
+        importance sampling degenerates to uniform -- the hard
+        distribution defeats the optimization, as the paper implies."""
+        enc = Theorem13Encoding(d=16, k=2, m=8)
+        payload = enc.random_payload(rng=6)
+        db = enc.encode(payload)
+        weights = density_weights(db)
+        # All rows carry the same ID weight; payload halves differ by at
+        # most d/2 ones, so the weight spread is tiny.
+        assert weights.max() / weights.min() < 3.0

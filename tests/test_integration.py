@@ -1,0 +1,171 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a full pipeline the paper describes: sketch-and-query,
+encode-attack-decode, stream-then-sketch, mine-on-sketch, and the
+upper-vs-lower-bound accounting that is the paper's headline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fano_lower_bound
+from repro.core import (
+    BestOfNaiveSketcher,
+    ReleaseDbSketcher,
+    SubsampleSketcher,
+    Task,
+    lower_bound_bits,
+    upper_bound_bits,
+    validate_sketcher,
+)
+from repro.db import Itemset, market_basket_database, planted_database
+from repro.lowerbounds import (
+    MedianBoostSketcher,
+    Theorem13Encoding,
+    Theorem15Encoding,
+    run_encoding_attack,
+)
+from repro.mining import apriori, derive_rules, eclat
+from repro.params import SketchParams
+from repro.streaming import RowReservoir
+from repro.experiments import EXPERIMENTS
+
+
+class TestSketchQueryPipeline:
+    @pytest.mark.parametrize("task", list(Task))
+    def test_all_naive_sketchers_valid_on_market_baskets(self, task):
+        db = market_basket_database(3000, 12, n_patterns=4, rng=0)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        report = validate_sketcher(BestOfNaiveSketcher(task), db, params, trials=5, rng=1)
+        assert report.ok(params.delta), (task, report.failure_rate)
+
+
+class TestEncodingArgumentPipeline:
+    def test_thm13_sketch_size_respects_fano(self):
+        """The paper's headline logic, end to end: the payload we recover
+        through a sketch forces that sketch's size above the Fano bound."""
+        enc = Theorem13Encoding(d=16, k=2, m=8)
+        for sketcher in (
+            ReleaseDbSketcher(Task.FORALL_INDICATOR),
+            SubsampleSketcher(Task.FORALL_INDICATOR),
+        ):
+            report = run_encoding_attack(enc, sketcher, delta=0.1, rng=2)
+            if report.exact:
+                assert report.sketch_bits >= fano_lower_bound(
+                    report.payload_bits, 0.1
+                )
+
+    def test_thm15_recovery_through_noisy_sketch(self):
+        enc = Theorem15Encoding(d=64, k=3)  # ECC mode
+        report = run_encoding_attack(
+            enc, SubsampleSketcher(Task.FORALL_INDICATOR), delta=0.02, rng=3
+        )
+        assert report.exact  # ECC absorbs sampling noise
+
+    def test_upper_vs_lower_bound_sandwich(self):
+        """Theorem 12 upper bounds dominate the Theorems 13-17 lower
+        bounds wherever both apply -- the consistency the paper proves."""
+        for eps in (0.25, 0.1, 0.05):
+            p = SketchParams(n=10**8, d=64, k=3, epsilon=eps, delta=0.1)
+            for task in Task:
+                assert lower_bound_bits(task, p) <= upper_bound_bits(task, p)
+
+
+class TestStreamingPipeline:
+    def test_stream_to_sketch_to_miner(self):
+        db = planted_database(
+            4000, 14, [(Itemset([2, 3, 4]), 0.35)], background=0.03, rng=4
+        )
+        params = SketchParams(n=db.n, d=db.d, k=3, epsilon=0.05, delta=0.1)
+        reservoir = RowReservoir(db.d, size=1500, rng=5)
+        reservoir.extend(db)
+        sketch = reservoir.to_sketch(params)
+        mined = apriori(sketch, 0.3, max_size=3)
+        assert Itemset([2, 3, 4]) in mined
+
+
+class TestMiningPipeline:
+    def test_rules_from_sketch_match_exact(self):
+        db = market_basket_database(4000, 10, n_patterns=3, noise=0.005, rng=6)
+        params = SketchParams(n=db.n, d=db.d, k=3, epsilon=0.02, delta=0.05)
+        sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(db, params, rng=7)
+        exact = {
+            (r.antecedent, r.consequent)
+            for r in derive_rules(eclat(db, 0.15, max_size=3), 0.7)
+        }
+        approx = {
+            (r.antecedent, r.consequent)
+            for r in derive_rules(apriori(sketch, 0.15, max_size=3), 0.7)
+        }
+        if exact or approx:
+            jaccard = len(exact & approx) / len(exact | approx)
+            assert jaccard >= 0.6
+
+
+class TestBoostingPipeline:
+    def test_foreach_to_forall_boost_is_valid_and_bigger(self):
+        db = planted_database(3000, 10, [(Itemset([0, 1]), 0.4)], rng=8)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        base = SubsampleSketcher(Task.FOREACH_ESTIMATOR)
+        boost = MedianBoostSketcher(base)
+        report = validate_sketcher(boost, db, params, trials=5, rng=9)
+        assert report.ok(params.delta)
+        assert boost.theoretical_size_bits(params) > base.theoretical_size_bits(params)
+
+
+class TestImportanceSamplingPipeline:
+    def test_importance_sketcher_passes_validity_harness(self):
+        """The Conclusion's extension is a *valid* estimator sketcher too."""
+        from repro.core import ImportanceSampleSketcher
+
+        db = planted_database(4000, 10, [(Itemset([0, 1]), 0.35)], rng=10)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        report = validate_sketcher(
+            ImportanceSampleSketcher(Task.FORALL_ESTIMATOR), db, params,
+            trials=5, rng=11,
+        )
+        assert report.ok(params.delta)
+
+    def test_mining_runs_on_importance_sketch(self):
+        from repro.core import ImportanceSampleSketcher
+
+        db = planted_database(5000, 12, [(Itemset([2, 3, 4]), 0.4)], rng=12)
+        params = SketchParams(n=db.n, d=db.d, k=3, epsilon=0.03, delta=0.05)
+        sketch = ImportanceSampleSketcher(Task.FORALL_ESTIMATOR).sketch(
+            db, params, rng=13
+        )
+        mined = apriori(sketch, 0.3, max_size=3)
+        assert Itemset([2, 3, 4]) in mined
+
+
+class TestDistributedSketchingPipeline:
+    def test_sharded_reservoirs_merge_into_valid_sample(self):
+        from repro.streaming import RowReservoir, merge_row_reservoirs
+
+        db = planted_database(6000, 10, [(Itemset([0, 1]), 0.3)], rng=14)
+        shards = [db.sample_rows(range(i * 2000, (i + 1) * 2000)) for i in range(3)]
+        reservoirs = []
+        for i, shard in enumerate(shards):
+            r = RowReservoir(db.d, size=900, rng=20 + i)
+            r.extend(shard)
+            reservoirs.append(r)
+        merged = reservoirs[0]
+        for other in reservoirs[1:]:
+            merged = merge_row_reservoirs(merged, other, rng=30)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        sketch = merged.to_sketch(params)
+        assert merged.rows_seen == db.n
+        assert abs(
+            sketch.estimate(Itemset([0, 1])) - db.frequency(Itemset([0, 1]))
+        ) < 0.08
+
+
+class TestExperimentCoverage:
+    def test_benchmark_files_exist_for_every_experiment(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for e in EXPERIMENTS:
+            assert (root / e.bench).exists(), f"{e.exp_id} bench missing: {e.bench}"

@@ -1,0 +1,100 @@
+"""Tests for repro.db.itemset."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
+from repro.errors import ParameterError
+
+
+class TestItemsetBasics:
+    def test_sorted_and_deduplicated(self):
+        assert Itemset([3, 1, 3, 2]).items == (1, 2, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            Itemset([-1, 2])
+
+    def test_len_iter_contains(self):
+        t = Itemset([5, 2])
+        assert len(t) == 2
+        assert list(t) == [2, 5]
+        assert 5 in t and 3 not in t
+
+    def test_ordering_and_hash(self):
+        a, b = Itemset([1, 2]), Itemset([1, 3])
+        assert a < b
+        assert hash(Itemset([2, 1])) == hash(Itemset([1, 2]))
+
+    def test_union(self):
+        assert Itemset([0]).union(Itemset([2, 1])).items == (0, 1, 2)
+        assert Itemset([0]).union([5]).items == (0, 5)
+
+    def test_shift(self):
+        assert Itemset([0, 3]).shift(10).items == (10, 13)
+
+    def test_issubset(self):
+        assert Itemset([1]).issubset(Itemset([0, 1, 2]))
+        assert not Itemset([4]).issubset(Itemset([0, 1]))
+
+    def test_indicator_roundtrip(self):
+        t = Itemset([0, 3])
+        vec = t.indicator(5)
+        assert vec.tolist() == [True, False, False, True, False]
+        assert Itemset.from_indicator(vec) == t
+
+    def test_indicator_out_of_range(self):
+        with pytest.raises(ParameterError):
+            Itemset([5]).indicator(5)
+
+    def test_contained_in_row(self):
+        row = np.array([1, 0, 1, 1], dtype=bool)
+        assert Itemset([0, 2]).contained_in_row(row)
+        assert not Itemset([0, 1]).contained_in_row(row)
+
+    def test_empty_itemset_contained_everywhere(self):
+        assert Itemset([]).contained_in_row(np.zeros(4, dtype=bool))
+
+
+class TestRanking:
+    def test_rank_of_first(self):
+        assert rank_itemset(Itemset([0, 1, 2])) == 0
+
+    def test_unrank_inverse_small(self):
+        for k in (1, 2, 3):
+            for r in range(comb(8, k)):
+                assert rank_itemset(unrank_itemset(r, k)) == r
+
+    def test_rank_enumeration_is_bijection(self):
+        seen = {rank_itemset(t) for t in all_itemsets(7, 3)}
+        assert seen == set(range(comb(7, 3)))
+
+    def test_unrank_negative_raises(self):
+        with pytest.raises(ParameterError):
+            unrank_itemset(-1, 2)
+
+    @given(st.sets(st.integers(0, 40), min_size=1, max_size=6))
+    def test_property_rank_unrank_roundtrip(self, items):
+        t = Itemset(items)
+        assert unrank_itemset(rank_itemset(t), len(t)) == t
+
+
+class TestAllItemsets:
+    def test_count(self):
+        assert sum(1 for _ in all_itemsets(6, 2)) == comb(6, 2)
+
+    def test_sizes_correct(self):
+        assert all(len(t) == 3 for t in all_itemsets(6, 3))
+
+    def test_k_zero_yields_empty_itemset(self):
+        assert list(all_itemsets(4, 0)) == [Itemset([])]
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ParameterError):
+            list(all_itemsets(3, 4))

@@ -1,0 +1,126 @@
+"""Tests for Lemma 19's consistency decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import hamming_distance
+from repro.errors import DecodingError, ParameterError
+from repro.lowerbounds import Lemma19Decoder, all_patterns, indicator_answers
+
+
+class TestAllPatterns:
+    def test_shape_and_order(self):
+        pats = all_patterns(3)
+        assert pats.shape == (8, 3)
+        assert pats[5].tolist() == [True, False, True]  # 5 = 101 MSB-first
+
+    def test_guard(self):
+        with pytest.raises(ParameterError):
+            all_patterns(0)
+        with pytest.raises(ParameterError):
+            all_patterns(25)
+
+
+class TestIndicatorAnswers:
+    def test_matches_threshold_rule(self):
+        t = np.array([1, 0, 1, 0, 0, 0], dtype=bool)
+        answers = indicator_answers(t, eps=0.25)
+        pats = all_patterns(6)
+        inner = pats @ t.astype(int)
+        assert np.array_equal(answers, inner / 6 > 0.25)
+
+
+class TestSingletonRegime:
+    def test_exact_recovery(self):
+        v, eps = 10, 1.0 / 50.0
+        decoder = Lemma19Decoder(v, eps)
+        assert decoder.uses_singletons
+        assert decoder.guaranteed_distance == 0
+        rng = np.random.default_rng(0)
+        t = rng.random(v) < 0.5
+
+        def oracle(s):
+            return (s @ t.astype(int)) / v > eps
+
+        assert np.array_equal(decoder.decode_with_oracle(oracle), t)
+
+    def test_query_count_is_v(self):
+        v = 8
+        decoder = Lemma19Decoder(v, 0.02)
+        calls = []
+
+        def oracle(s):
+            calls.append(s.copy())
+            return False
+
+        decoder.decode_with_oracle(oracle)
+        assert len(calls) == v
+        assert all(s.sum() == 1 for s in calls)
+
+
+class TestExhaustiveRegime:
+    def test_honest_answers_within_bound(self):
+        v, eps = 12, 4.0 / 12.0
+        decoder = Lemma19Decoder(v, eps)
+        assert not decoder.uses_singletons
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            t = rng.random(v) < 0.5
+            recovered = decoder.decode(indicator_answers(t, eps))
+            assert hamming_distance(t, recovered) <= decoder.guaranteed_distance
+
+    def test_adversarial_gray_zone_still_bounded(self):
+        """Answers in [eps/2, eps] may be arbitrary; the bound must hold."""
+        v, eps = 10, 3.0 / 10.0
+        decoder = Lemma19Decoder(v, eps)
+        rng = np.random.default_rng(2)
+        pats = all_patterns(v)
+        for _ in range(5):
+            t = rng.random(v) < 0.5
+            inner = pats @ t.astype(int)
+            answers = inner / v > eps
+            gray = (inner / v >= eps / 2) & (inner / v <= eps)
+            # Flip the gray-zone answers adversarially (all to 1).
+            answers = answers | gray
+            recovered = decoder.decode(answers)
+            assert hamming_distance(t, recovered) <= decoder.guaranteed_distance
+
+    def test_inconsistent_answers_raise(self):
+        v, eps = 6, 2.0 / 6.0
+        decoder = Lemma19Decoder(v, eps)
+        # b = 1 for the empty pattern (inner product 0) contradicts everything.
+        answers = np.zeros(64, dtype=bool)
+        answers[0] = True
+        with pytest.raises(DecodingError):
+            decoder.decode(answers)
+
+    def test_guard_on_large_v(self):
+        decoder = Lemma19Decoder(16, 0.3, max_exhaustive_v=14)
+        with pytest.raises(ParameterError):
+            decoder.decode(np.zeros(2**16, dtype=bool))
+
+    def test_wrong_answer_count_raises(self):
+        decoder = Lemma19Decoder(5, 0.4)
+        with pytest.raises(ParameterError):
+            decoder.decode(np.zeros(31, dtype=bool))
+
+    @given(st.integers(0, 2**10 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_distance_bound(self, t_int):
+        v, eps = 10, 0.3
+        t = np.array([(t_int >> (v - 1 - i)) & 1 for i in range(v)], dtype=bool)
+        decoder = Lemma19Decoder(v, eps)
+        recovered = decoder.decode(indicator_answers(t, eps))
+        assert hamming_distance(t, recovered) <= decoder.guaranteed_distance
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            Lemma19Decoder(0, 0.1)
+        with pytest.raises(ParameterError):
+            Lemma19Decoder(5, 0.0)

@@ -1,0 +1,157 @@
+"""Tests for repro.linalg: Hadamard products, sections, L1/L2 decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.linalg import (
+    euclidean_section_delta,
+    hadamard_product,
+    l1_estimate,
+    l1_l2_ratio,
+    l1_reconstruct_bits,
+    l2_error_bound,
+    l2_estimate,
+    l2_reconstruct_bits,
+    random_bernoulli_matrices,
+    row_index_tuples,
+    smallest_singular_value,
+)
+
+
+class TestHadamard:
+    def test_single_matrix_identity(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(hadamard_product([a]), a)
+
+    def test_pair_rows_are_products(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((3, 5)), rng.random((4, 5))
+        prod = hadamard_product([a, b])
+        assert prod.shape == (12, 5)
+        tuples = row_index_tuples([3, 4])
+        for idx, (i, j) in enumerate(tuples):
+            assert np.allclose(prod[idx], a[i] * b[j])
+
+    def test_triple_shape(self):
+        ms = random_bernoulli_matrices(3, 4, 7, rng=1)
+        assert hadamard_product(ms).shape == (64, 7)
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            hadamard_product([np.ones((2, 3)), np.ones((2, 4))])
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            hadamard_product([])
+
+    @given(st.integers(0, 11))
+    @settings(max_examples=12)
+    def test_property_row_order_matches_tuples(self, idx):
+        rng = np.random.default_rng(7)
+        a, b = rng.random((3, 4)), rng.random((4, 4))
+        prod = hadamard_product([a, b])
+        i, j = row_index_tuples([3, 4])[idx]
+        assert np.allclose(prod[idx], a[i] * b[j])
+
+
+class TestSections:
+    def test_sigma_min_of_identity(self):
+        assert smallest_singular_value(np.eye(4)) == pytest.approx(1.0)
+
+    def test_l1_l2_ratio_bounds(self):
+        # Spread vector: ratio 1; spike: ratio 1/sqrt(z).
+        z = 16
+        assert l1_l2_ratio(np.ones(z)) == pytest.approx(1.0)
+        spike = np.zeros(z)
+        spike[0] = 1.0
+        assert l1_l2_ratio(spike) == pytest.approx(1.0 / np.sqrt(z))
+
+    def test_ratio_zero_vector_raises(self):
+        with pytest.raises(ParameterError):
+            l1_l2_ratio(np.zeros(4))
+
+    def test_section_delta_in_unit_interval(self):
+        ms = random_bernoulli_matrices(2, 16, 12, rng=2)
+        delta = euclidean_section_delta(hadamard_product(ms), 100, rng=3)
+        assert 0.0 < delta <= 1.0
+
+    def test_rudelson_sigma_scaling(self):
+        """sigma_min(A) grows like sqrt(d0) for products of two factors."""
+        ratios = []
+        for d0 in (8, 16, 32):
+            ms = random_bernoulli_matrices(2, d0, 12, rng=d0)
+            sigma = smallest_singular_value(hadamard_product(ms))
+            ratios.append(sigma / np.sqrt(d0))
+        # Normalised sigma stays within a constant band (no collapse).
+        assert min(ratios) > 0.2
+        assert max(ratios) / min(ratios) < 5.0
+
+
+class TestL2Decoding:
+    def test_noiseless_exact(self):
+        rng = np.random.default_rng(4)
+        a = hadamard_product(random_bernoulli_matrices(2, 10, 20, rng))
+        z = rng.random(20) < 0.5
+        assert np.array_equal(l2_reconstruct_bits(a, a @ z), z)
+
+    def test_small_noise_still_exact(self):
+        rng = np.random.default_rng(5)
+        a = hadamard_product(random_bernoulli_matrices(2, 12, 20, rng))
+        z = rng.random(20) < 0.5
+        noisy = a @ z + rng.normal(0, 0.3, size=a.shape[0])
+        assert np.array_equal(l2_reconstruct_bits(a, noisy), z)
+
+    def test_error_bound_formula(self):
+        a = 2.0 * np.eye(3)
+        assert l2_error_bound(a, 1.0) == pytest.approx(0.5)
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(ParameterError):
+            l2_error_bound(np.zeros((3, 3)), 1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            l2_estimate(np.ones((3, 2)), np.ones(4))
+
+
+class TestL1Decoding:
+    def test_noiseless_exact(self):
+        rng = np.random.default_rng(6)
+        a = hadamard_product(random_bernoulli_matrices(2, 10, 18, rng))
+        z = rng.random(18) < 0.5
+        assert np.array_equal(l1_reconstruct_bits(a, a @ z), z)
+
+    def test_robust_to_gross_outliers(self):
+        """The De-vs-KRSU point: L1 shrugs off a few wildly wrong answers."""
+        rng = np.random.default_rng(7)
+        a = hadamard_product(random_bernoulli_matrices(2, 12, 18, rng))
+        b = (a @ (rng.random(18) < 0.5).astype(float)).astype(float)
+        z = l1_reconstruct_bits(a, b)
+        spoiled = b.copy()
+        spoiled[:4] += 40.0
+        assert np.array_equal(l1_reconstruct_bits(a, spoiled), z)
+
+    def test_l2_breaks_on_outliers_where_l1_survives(self):
+        rng = np.random.default_rng(8)
+        a = hadamard_product(random_bernoulli_matrices(2, 12, 18, rng))
+        z = rng.random(18) < 0.5
+        spoiled = (a @ z).astype(float)
+        spoiled[:6] += 60.0
+        l1_ok = np.array_equal(l1_reconstruct_bits(a, spoiled), z)
+        l2_ok = np.array_equal(l2_reconstruct_bits(a, spoiled), z)
+        assert l1_ok and not l2_ok
+
+    def test_estimate_within_box(self):
+        rng = np.random.default_rng(9)
+        a = hadamard_product(random_bernoulli_matrices(2, 8, 10, rng))
+        est = l1_estimate(a, rng.random(a.shape[0]) * 10)
+        assert (est >= -1e-9).all() and (est <= 1 + 1e-9).all()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            l1_estimate(np.ones((3, 2)), np.ones(4))

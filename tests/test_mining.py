@@ -1,0 +1,178 @@
+"""Tests for the mining package: Apriori, Eclat, condensations, rules."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import SubsampleSketcher, Task
+from repro.db import BinaryDatabase, Itemset, all_itemsets, planted_database
+from repro.errors import ParameterError
+from repro.mining import (
+    DatabaseSource,
+    SketchSource,
+    apriori,
+    as_source,
+    closed_itemsets,
+    confidence_error_bound,
+    derive_rules,
+    eclat,
+    expand_maximal,
+    maximal_itemsets,
+)
+from repro.params import SketchParams
+
+
+def brute_force_frequent(db: BinaryDatabase, threshold: float) -> dict[Itemset, float]:
+    out = {}
+    for k in range(1, db.d + 1):
+        for t in all_itemsets(db.d, k):
+            f = db.frequency(t)
+            if f >= threshold:
+                out[t] = f
+    return out
+
+
+class TestSources:
+    def test_database_source(self, small_db):
+        src = DatabaseSource(small_db)
+        assert src.d == 4
+        assert src.frequency(Itemset([0])) == 0.75
+
+    def test_sketch_source(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.05)
+        sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(planted_db, p, rng=0)
+        src = SketchSource(sketch)
+        assert src.d == planted_db.d
+        assert abs(src.frequency(Itemset([0, 1])) - planted_db.frequency(Itemset([0, 1]))) < 0.05
+
+    def test_as_source_coercions(self, small_db):
+        assert isinstance(as_source(small_db), DatabaseSource)
+        src = DatabaseSource(small_db)
+        assert as_source(src) is src
+
+
+class TestApriori:
+    def test_matches_brute_force(self, small_db):
+        assert apriori(small_db, 0.5) == brute_force_frequent(small_db, 0.5)
+
+    def test_threshold_one(self, small_db):
+        # Only itemsets in every row; none here except the empty set (excluded).
+        assert apriori(small_db, 1.0) == {}
+
+    def test_max_size_cap(self, planted_db):
+        result = apriori(planted_db, 0.2, max_size=2)
+        assert all(len(t) <= 2 for t in result)
+
+    def test_bad_threshold(self, small_db):
+        with pytest.raises(ParameterError):
+            apriori(small_db, 0.0)
+
+    @given(arrays(bool, st.tuples(st.integers(2, 20), st.integers(2, 7))))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, mat):
+        db = BinaryDatabase(mat)
+        assert apriori(db, 0.3) == brute_force_frequent(db, 0.3)
+
+
+class TestEclat:
+    def test_matches_apriori(self, planted_db):
+        assert eclat(planted_db, 0.25) == apriori(planted_db, 0.25)
+
+    def test_max_size(self, planted_db):
+        result = eclat(planted_db, 0.2, max_size=2)
+        assert all(len(t) <= 2 for t in result)
+
+    @given(
+        arrays(bool, st.tuples(st.integers(2, 25), st.integers(2, 8))),
+        st.sampled_from([0.2, 0.4, 0.6]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_eclat_equals_apriori(self, mat, threshold):
+        db = BinaryDatabase(mat)
+        assert eclat(db, threshold) == apriori(db, threshold)
+
+
+class TestCondensations:
+    def test_maximal(self, planted_db):
+        frequent = apriori(planted_db, 0.25)
+        maximal = maximal_itemsets(frequent)
+        assert Itemset([0, 1, 2]) in maximal
+        assert Itemset([0, 1]) not in maximal
+        # No maximal itemset is a subset of another.
+        for a in maximal:
+            for b in maximal:
+                assert a == b or not a.issubset(b)
+
+    def test_expand_maximal_covers_frequent(self, planted_db):
+        frequent = apriori(planted_db, 0.25)
+        expanded = expand_maximal(maximal_itemsets(frequent))
+        assert set(frequent) <= expanded
+
+    def test_expand_refuses_huge(self):
+        with pytest.raises(ParameterError):
+            expand_maximal({Itemset(range(30)): 0.5})
+
+    def test_closed_contains_maximal(self, planted_db):
+        frequent = apriori(planted_db, 0.25)
+        closed = closed_itemsets(frequent)
+        assert set(maximal_itemsets(frequent)) <= set(closed)
+
+    def test_closed_semantics(self):
+        # {0} and {0,1} always co-occur -> {0} is not closed, {0,1} is.
+        db = BinaryDatabase([[1, 1, 0], [1, 1, 0], [0, 0, 1], [1, 1, 1]])
+        frequent = apriori(db, 0.5)
+        closed = closed_itemsets(frequent)
+        assert Itemset([0]) not in closed
+        assert Itemset([0, 1]) in closed
+
+
+class TestRules:
+    def test_rule_quality_measures(self):
+        db = BinaryDatabase([[1, 1, 0]] * 8 + [[1, 0, 0]] * 2 + [[0, 0, 1]] * 2)
+        frequent = apriori(db, 0.1)
+        rules = derive_rules(frequent, min_confidence=0.7)
+        rule = next(
+            r for r in rules if r.antecedent == Itemset([0]) and r.consequent == Itemset([1])
+        )
+        assert rule.support == pytest.approx(8 / 12)
+        assert rule.confidence == pytest.approx(0.8)
+        assert rule.lift == pytest.approx(0.8 / (8 / 12))
+
+    def test_min_confidence_filters(self, planted_db):
+        frequent = apriori(planted_db, 0.2)
+        strict = derive_rules(frequent, min_confidence=0.95)
+        loose = derive_rules(frequent, min_confidence=0.5)
+        assert len(strict) <= len(loose)
+        assert all(r.confidence >= 0.95 for r in strict)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ParameterError):
+            derive_rules({}, min_confidence=0.0)
+
+    def test_confidence_error_bound(self):
+        bound = confidence_error_bound(support=0.3, antecedent_freq=0.5, epsilon=0.01)
+        assert bound == pytest.approx(0.01 * 1.6 / 0.49)
+        with pytest.raises(ParameterError):
+            confidence_error_bound(0.3, 0.05, epsilon=0.1)
+
+    def test_sketch_rules_close_to_exact(self, planted_db):
+        p = SketchParams(n=planted_db.n, d=planted_db.d, k=3, epsilon=0.03)
+        sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(planted_db, p, rng=1)
+        exact_rules = {
+            (r.antecedent, r.consequent): r.confidence
+            for r in derive_rules(apriori(planted_db, 0.25, max_size=3), 0.6)
+        }
+        sketch_rules = {
+            (r.antecedent, r.consequent): r.confidence
+            for r in derive_rules(apriori(sketch, 0.25, max_size=3), 0.6)
+        }
+        shared = set(exact_rules) & set(sketch_rules)
+        assert shared  # sketch finds the headline rules
+        for key in shared:
+            assert abs(exact_rules[key] - sketch_rules[key]) < 0.2

@@ -1,0 +1,83 @@
+"""Tests for repro.params.SketchParams."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.params import SketchParams
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        p = SketchParams(n=100, d=10, k=2, epsilon=0.1, delta=0.05)
+        assert p.n == 100 and p.d == 10 and p.k == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0, d=10, k=2, epsilon=0.1),
+            dict(n=10, d=0, k=1, epsilon=0.1),
+            dict(n=10, d=10, k=0, epsilon=0.1),
+            dict(n=10, d=10, k=11, epsilon=0.1),
+            dict(n=10, d=10, k=2, epsilon=0.0),
+            dict(n=10, d=10, k=2, epsilon=1.0),
+            dict(n=10, d=10, k=2, epsilon=0.1, delta=0.0),
+            dict(n=10, d=10, k=2, epsilon=0.1, delta=1.0),
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ParameterError):
+            SketchParams(**kwargs)
+
+    def test_k_equal_d_allowed(self):
+        assert SketchParams(n=1, d=3, k=3, epsilon=0.5).k == 3
+
+
+class TestDerived:
+    def test_num_itemsets(self):
+        p = SketchParams(n=10, d=10, k=3, epsilon=0.1)
+        assert p.num_itemsets == math.comb(10, 3)
+
+    def test_inv_epsilon(self):
+        p = SketchParams(n=10, d=10, k=2, epsilon=0.25)
+        assert p.inv_epsilon == 4.0
+
+    def test_database_bits(self):
+        p = SketchParams(n=7, d=5, k=1, epsilon=0.5)
+        assert p.database_bits == 35
+
+    def test_log_itemsets_positive(self):
+        p = SketchParams(n=10, d=20, k=2, epsilon=0.1)
+        assert p.log_itemsets() == pytest.approx(math.log2(math.comb(20, 2)))
+
+    def test_with_replaces_fields(self):
+        p = SketchParams(n=10, d=10, k=2, epsilon=0.1)
+        q = p.with_(epsilon=0.2, k=3)
+        assert q.epsilon == 0.2 and q.k == 3 and q.n == 10
+        assert p.epsilon == 0.1  # original untouched
+
+    def test_describe_mentions_all_fields(self):
+        text = SketchParams(n=10, d=20, k=2, epsilon=0.1, delta=0.2).describe()
+        for token in ("n=10", "d=20", "k=2", "eps=0.1", "delta=0.2"):
+            assert token in text
+
+    def test_hashable_and_equal(self):
+        a = SketchParams(n=10, d=10, k=2, epsilon=0.1)
+        b = SketchParams(n=10, d=10, k=2, epsilon=0.1)
+        assert a == b and hash(a) == hash(b)
+
+
+@given(
+    n=st.integers(1, 10_000),
+    d=st.integers(1, 64),
+    eps=st.floats(0.001, 0.999),
+)
+def test_property_valid_params_roundtrip(n, d, eps):
+    p = SketchParams(n=n, d=d, k=1, epsilon=eps)
+    assert p.num_itemsets == d
+    assert p.inv_epsilon == pytest.approx(1.0 / eps)

@@ -1,0 +1,121 @@
+"""Tests for the differential-privacy bridge (footnote 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.db import Itemset, random_database
+from repro.errors import ParameterError
+from repro.params import SketchParams
+from repro.privacy import (
+    dp_to_sketch_lower_bound,
+    exponential_mechanism,
+    laplace_noise_scale,
+    max_query_error,
+    private_frequencies,
+    private_frequency,
+    private_sketch_release,
+    selection_probabilities,
+)
+
+
+class TestLaplace:
+    def test_scale_formula(self):
+        assert laplace_noise_scale(1000, 1.0) == pytest.approx(0.001)
+        assert laplace_noise_scale(1000, 1.0, n_queries=10) == pytest.approx(0.01)
+
+    def test_noise_concentrates_with_n(self):
+        rng = np.random.default_rng(0)
+        db = random_database(20_000, 8, 0.3, rng=1)
+        t = Itemset([0, 1])
+        answers = [private_frequency(db, t, 1.0, rng) for _ in range(50)]
+        assert abs(np.mean(answers) - db.frequency(t)) < 0.005
+
+    def test_clamped_to_unit_interval(self):
+        db = random_database(5, 4, 0.5, rng=2)  # tiny n -> huge noise
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            assert 0.0 <= private_frequency(db, Itemset([0]), 0.5, rng) <= 1.0
+
+    def test_budget_split_increases_noise(self):
+        rng = np.random.default_rng(4)
+        db = random_database(500, 6, 0.3, rng=5)
+        itemsets = [Itemset([j]) for j in range(6)]
+        wide = private_frequencies(db, itemsets, eps_dp=0.1, rng=rng)
+        assert wide.shape == (6,)
+        with pytest.raises(ParameterError):
+            private_frequencies(db, [], 1.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            laplace_noise_scale(0, 1.0)
+        with pytest.raises(ParameterError):
+            laplace_noise_scale(10, 0.0)
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_utility(self):
+        probs = selection_probabilities(np.array([0.0, -10.0]), eps_dp=2.0, sensitivity=1.0)
+        assert probs[0] > 0.99
+
+    def test_uniform_when_eps_tiny(self):
+        probs = selection_probabilities(
+            np.array([0.0, -10.0]), eps_dp=1e-9, sensitivity=1.0
+        )
+        assert probs[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_distribution_shape(self):
+        """P[o] proportional to exp(eps u / 2): check the exact ratio."""
+        u = np.array([0.0, -1.0])
+        probs = selection_probabilities(u, eps_dp=2.0, sensitivity=1.0)
+        assert probs[0] / probs[1] == pytest.approx(np.e)
+
+    def test_sampling_matches_distribution(self):
+        rng = np.random.default_rng(6)
+        candidates = ["a", "b"]
+        utility = {"a": 0.0, "b": -0.5}.get
+        picks = [
+            exponential_mechanism(candidates, utility, 1.0, 1.0, rng)[0]
+            for _ in range(300)
+        ]
+        expected = selection_probabilities(np.array([0.0, -0.5]), 1.0, 1.0)[0]
+        assert abs(picks.count("a") / 300 - expected) < 0.1
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            exponential_mechanism([], lambda c: 0.0, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            selection_probabilities(np.array([0.0]), -1.0, 1.0)
+
+
+class TestBridge:
+    def test_max_query_error_zero_for_exact_sketch(self):
+        db = random_database(200, 8, 0.3, rng=7)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        assert max_query_error(sketch, db, 2) == 0.0
+
+    def test_private_release_error_near_best_candidate(self):
+        """Footnote 3: the mechanism's error is eps + O(s/n)-ish -- in
+        particular close to the best candidate's."""
+        db = random_database(2000, 8, 0.3, rng=8)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        chosen, err = private_sketch_release(
+            db, p, SubsampleSketcher(Task.FORALL_ESTIMATOR), n_candidates=8, rng=9
+        )
+        assert err <= p.epsilon  # released sketch is a valid eps-sketch here
+
+    def test_conversion_formula(self):
+        assert dp_to_sketch_lower_bound(500, 0.1, 2000) == 300.0
+        assert dp_to_sketch_lower_bound(100, 0.1, 2000) == 0.0  # clamped
+        with pytest.raises(ParameterError):
+            dp_to_sketch_lower_bound(-1, 0.1, 10)
+
+    def test_itemset_scan_cap(self):
+        db = random_database(50, 30, 0.3, rng=10)
+        p = SketchParams(n=db.n, d=db.d, k=5, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        with pytest.raises(ParameterError):
+            max_query_error(sketch, db, 5, max_itemsets=1000)

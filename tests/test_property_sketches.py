@@ -1,0 +1,107 @@
+"""Property-based tests of the sketch definitions themselves.
+
+Hypothesis generates arbitrary small databases and checks that the
+*deterministic* naive sketches satisfy their definitions' clauses on every
+itemset -- not just on the curated fixtures.  (SUBSAMPLE's guarantees are
+probabilistic and are validated statistically elsewhere; RELEASE-DB and
+RELEASE-ANSWERS must never fail.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    ReleaseAnswersSketcher,
+    ReleaseDbSketcher,
+    Task,
+)
+from repro.db import BinaryDatabase, all_itemsets
+from repro.params import SketchParams
+
+_dbs = arrays(bool, st.tuples(st.integers(1, 24), st.integers(2, 7)))
+_eps = st.sampled_from([0.5, 0.25, 0.1])
+
+
+@given(_dbs, _eps)
+@settings(max_examples=40, deadline=None)
+def test_release_db_estimator_is_exact_everywhere(mat, eps):
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=eps)
+    sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+    for t in all_itemsets(db.d, p.k):
+        assert sketch.estimate(t) == db.frequency(t)
+
+
+@given(_dbs, _eps)
+@settings(max_examples=40, deadline=None)
+def test_release_db_indicator_satisfies_definition1(mat, eps):
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=eps)
+    sketch = ReleaseDbSketcher(Task.FORALL_INDICATOR).sketch(db, p)
+    for t in all_itemsets(db.d, p.k):
+        f = db.frequency(t)
+        if f > eps:
+            assert sketch.indicate(t)
+        elif f < eps / 2:
+            assert not sketch.indicate(t)
+        # f in [eps/2, eps]: either answer is legal.
+
+
+@given(_dbs, _eps)
+@settings(max_examples=40, deadline=None)
+def test_release_answers_estimator_within_eps(mat, eps):
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=eps)
+    sketch = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+    for t in all_itemsets(db.d, p.k):
+        assert abs(sketch.estimate(t) - db.frequency(t)) <= eps + 1e-12
+
+
+@given(_dbs, _eps)
+@settings(max_examples=40, deadline=None)
+def test_release_answers_indicator_satisfies_definition1(mat, eps):
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=eps)
+    sketch = ReleaseAnswersSketcher(Task.FORALL_INDICATOR).sketch(db, p)
+    for t in all_itemsets(db.d, p.k):
+        f = db.frequency(t)
+        if f > eps:
+            assert sketch.indicate(t)
+        elif f < eps / 2:
+            assert not sketch.indicate(t)
+
+
+@given(_dbs)
+@settings(max_examples=30, deadline=None)
+def test_sketch_sizes_match_theory_on_arbitrary_databases(mat):
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=0.25)
+    for task in (Task.FORALL_INDICATOR, Task.FORALL_ESTIMATOR):
+        for sketcher in (ReleaseDbSketcher(task), ReleaseAnswersSketcher(task)):
+            sketch = sketcher.sketch(db, p)
+            assert sketch.size_in_bits() == sketcher.theoretical_size_bits(p)
+
+
+@given(_dbs, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_subsample_estimates_are_frequencies_of_real_rows(mat, seed):
+    """Structural invariant: every SUBSAMPLE answer is a rational with
+    denominator s, computed from genuine database rows."""
+    from repro.core import SubsampleSketcher
+
+    db = BinaryDatabase(mat)
+    p = SketchParams(n=db.n, d=db.d, k=min(2, db.d), epsilon=0.25)
+    sketch = SubsampleSketcher(Task.FOREACH_ESTIMATOR, sample_count=16).sketch(
+        db, p, rng=seed
+    )
+    db_rows = {db.row(i).tobytes() for i in range(db.n)}
+    for i in range(sketch.sample.n):
+        assert sketch.sample.row(i).tobytes() in db_rows
+    for t in all_itemsets(db.d, p.k):
+        value = sketch.estimate(t)
+        assert abs(value * 16 - round(value * 16)) < 1e-9

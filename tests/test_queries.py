@@ -1,0 +1,105 @@
+"""Tests for repro.db.queries: oracle, marginal tables, equivalences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.db import (
+    BinaryDatabase,
+    FrequencyOracle,
+    Itemset,
+    all_frequencies,
+    all_itemsets,
+    frequencies_from_marginal,
+    frequent_itemsets_exact,
+    marginal_from_frequencies,
+    marginal_table,
+    random_database,
+)
+from repro.errors import ParameterError
+
+
+class TestFrequencyOracle:
+    def test_matches_database(self, planted_db):
+        oracle = FrequencyOracle(planted_db)
+        for items in ([0], [0, 1], [0, 1, 2], [5, 6], [3, 9, 11]):
+            t = Itemset(items)
+            assert oracle.frequency(t) == pytest.approx(planted_db.frequency(t))
+
+    def test_support_counts(self, small_db):
+        oracle = FrequencyOracle(small_db)
+        assert oracle.support(Itemset([1])) == 3
+
+    def test_empty_itemset(self, small_db):
+        assert FrequencyOracle(small_db).frequency(Itemset([])) == 1.0
+
+    def test_out_of_range(self, small_db):
+        with pytest.raises(ParameterError):
+            FrequencyOracle(small_db).frequency(Itemset([9]))
+
+    def test_non_multiple_of_64_rows(self):
+        # Padding bits beyond n must not leak into counts.
+        db = BinaryDatabase(np.ones((67, 3), dtype=bool))
+        oracle = FrequencyOracle(db)
+        assert oracle.support(Itemset([0, 1, 2])) == 67
+
+    @given(arrays(bool, st.tuples(st.integers(1, 70), st.integers(1, 8))))
+    @settings(max_examples=30, deadline=None)
+    def test_property_oracle_equals_direct(self, mat):
+        db = BinaryDatabase(mat)
+        oracle = FrequencyOracle(db)
+        for t in all_itemsets(db.d, min(2, db.d)):
+            assert oracle.frequency(t) == pytest.approx(db.frequency(t))
+
+
+class TestAllFrequencies:
+    def test_covers_every_itemset(self, small_db):
+        freqs = all_frequencies(small_db, 2)
+        assert len(freqs) == 6
+        assert freqs[Itemset([1, 2])] == 0.5
+
+    def test_frequent_itemsets_exact(self, small_db):
+        frequent = frequent_itemsets_exact(small_db, 1, 0.6)
+        assert Itemset([0]) in frequent and Itemset([1]) in frequent
+        assert Itemset([3]) not in frequent  # exactly 0.5, not > 0.6
+
+
+class TestMarginalTables:
+    def test_counts_sum_to_n(self, planted_db):
+        table = marginal_table(planted_db, Itemset([0, 1, 5]))
+        assert table.sum() == planted_db.n
+        assert len(table) == 8
+
+    def test_hand_checked(self, small_db):
+        # Columns 0,1 patterns over rows 1100/1110/0111/1001: 11,11,01,10.
+        table = marginal_table(small_db, Itemset([0, 1]))
+        assert table.tolist() == [0, 1, 1, 2]
+
+    def test_empty_itemset_table(self, small_db):
+        assert marginal_table(small_db, Itemset([])).tolist() == [4]
+
+    def test_equivalence_roundtrip(self, planted_db):
+        """Footnote 2: marginals <-> monotone conjunction frequencies."""
+        target = Itemset([0, 1, 5])
+        freq_of = {}
+        from itertools import combinations
+
+        for r in range(len(target) + 1):
+            for sub in combinations(target.items, r):
+                freq_of[Itemset(sub)] = planted_db.frequency(Itemset(sub))
+        table = marginal_from_frequencies(target, freq_of, planted_db.n)
+        direct = marginal_table(planted_db, target)
+        assert np.allclose(table, direct)
+
+        # And back: frequencies from the marginal table.
+        recovered = frequencies_from_marginal(target, direct, planted_db.n)
+        for itemset, freq in freq_of.items():
+            assert recovered[itemset] == pytest.approx(freq)
+
+    def test_frequencies_from_marginal_bad_size(self):
+        with pytest.raises(ParameterError):
+            frequencies_from_marginal(Itemset([0, 1]), np.zeros(3), 10)

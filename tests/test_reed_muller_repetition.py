@@ -1,0 +1,110 @@
+"""Tests for the RM(1, m) inner code and the repetition baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import flip_random_bits
+from repro.coding import FirstOrderReedMuller, RepetitionCode
+from repro.errors import ParameterError
+
+
+class TestReedMullerParameters:
+    def test_parameters(self):
+        rm = FirstOrderReedMuller(4)
+        assert rm.length == 16
+        assert rm.message_bits == 5
+        assert rm.distance == 8
+        assert rm.max_correctable == 3
+
+    def test_m_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            FirstOrderReedMuller(0)
+
+
+class TestReedMullerCoding:
+    def test_all_messages_distinct_codewords(self):
+        rm = FirstOrderReedMuller(3)
+        words = {rm.encode(np.array([(u >> j) & 1 for j in range(4)], dtype=bool)).tobytes() for u in range(16)}
+        assert len(words) == 16
+
+    def test_minimum_distance(self):
+        rm = FirstOrderReedMuller(3)
+        codewords = [
+            rm.encode(np.array([(u >> (3 - j)) & 1 for j in range(4)], dtype=bool))
+            for u in range(16)
+        ]
+        dists = [
+            int((codewords[i] ^ codewords[j]).sum())
+            for i in range(16)
+            for j in range(i + 1, 16)
+        ]
+        assert min(dists) == rm.distance == 4
+
+    def test_exact_roundtrip(self):
+        rm = FirstOrderReedMuller(5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            msg = rng.random(6) < 0.5
+            assert np.array_equal(rm.decode(rm.encode(msg)), msg)
+
+    def test_corrects_up_to_radius(self):
+        rm = FirstOrderReedMuller(5)  # corrects 7
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            msg = rng.random(6) < 0.5
+            noisy = flip_random_bits(rm.encode(msg), rm.max_correctable, rng)
+            assert np.array_equal(rm.decode(noisy), msg)
+
+    def test_decode_batch_matches_single(self):
+        rm = FirstOrderReedMuller(4)
+        rng = np.random.default_rng(2)
+        words = rng.random((8, 16)) < 0.5
+        batch = rm.decode_batch(words)
+        for i in range(8):
+            assert np.array_equal(batch[i], rm.decode(words[i]))
+
+    def test_wrong_shape_raises(self):
+        rm = FirstOrderReedMuller(4)
+        with pytest.raises(ParameterError):
+            rm.encode(np.zeros(4, dtype=bool))
+        with pytest.raises(ParameterError):
+            rm.decode_batch(np.zeros((2, 15), dtype=bool))
+
+    @given(st.integers(0, 2**6 - 1), st.data())
+    @settings(max_examples=40)
+    def test_property_roundtrip_under_radius(self, msg_int, data):
+        rm = FirstOrderReedMuller(5)
+        msg = np.array([(msg_int >> (5 - j)) & 1 for j in range(6)], dtype=bool)
+        n_flips = data.draw(st.integers(0, rm.max_correctable))
+        noisy = flip_random_bits(rm.encode(msg), n_flips, rng=0)
+        assert np.array_equal(rm.decode(noisy), msg)
+
+
+class TestRepetition:
+    def test_rate_and_radius(self):
+        code = RepetitionCode(5)
+        assert code.rate == 0.2
+        assert code.max_correctable_per_bit == 2
+
+    def test_even_rejected(self):
+        with pytest.raises(ParameterError):
+            RepetitionCode(4)
+
+    def test_roundtrip_with_errors(self):
+        code = RepetitionCode(5)
+        rng = np.random.default_rng(3)
+        msg = rng.random(40) < 0.5
+        encoded = code.encode(msg)
+        # Flip up to 2 bits inside each 5-bit block.
+        noisy = encoded.copy().reshape(-1, 5)
+        for row in noisy:
+            row[:2] ^= True
+        assert np.array_equal(code.decode(noisy.reshape(-1)), msg)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ParameterError):
+            RepetitionCode(3).decode(np.zeros(10, dtype=bool))

@@ -1,0 +1,125 @@
+"""Tests for the Reed-Solomon codes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import GF2m, ReedSolomon
+from repro.errors import DecodingError, ParameterError
+
+FIELD = GF2m(5)
+RS = ReedSolomon(FIELD, 31, 15)  # t = 8
+
+
+def _corrupt(codeword, positions, rng):
+    out = list(codeword)
+    for p in positions:
+        old = out[p]
+        new = old
+        while new == old:
+            new = int(rng.integers(0, FIELD.q))
+        out[p] = new
+    return out
+
+
+class TestParameters:
+    def test_mds_distance(self):
+        assert RS.distance == 17
+        assert RS.t == 8
+
+    def test_length_cap(self):
+        with pytest.raises(ParameterError):
+            ReedSolomon(FIELD, 32, 10)
+
+    def test_k_range(self):
+        with pytest.raises(ParameterError):
+            ReedSolomon(FIELD, 31, 31)
+        with pytest.raises(ParameterError):
+            ReedSolomon(FIELD, 31, 0)
+
+
+class TestEncode:
+    def test_systematic(self):
+        msg = list(range(15))
+        assert RS.encode(msg)[:15] == msg
+
+    def test_encodings_are_codewords(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            msg = rng.integers(0, 32, size=15).tolist()
+            assert RS.is_codeword(RS.encode(msg))
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ParameterError):
+            RS.encode([0] * 14)
+
+    def test_symbol_range_checked(self):
+        with pytest.raises(ParameterError):
+            RS.encode([99] * 15)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 32, size=15).tolist()
+        b = rng.integers(0, 32, size=15).tolist()
+        summed = [x ^ y for x, y in zip(a, b)]
+        cw = [x ^ y for x, y in zip(RS.encode(a), RS.encode(b))]
+        assert RS.encode(summed) == cw
+
+
+class TestDecode:
+    def test_clean_roundtrip(self):
+        msg = list(range(15))
+        assert RS.decode(RS.encode(msg)) == msg
+
+    @pytest.mark.parametrize("n_errors", [1, 4, 8])
+    def test_corrects_up_to_t(self, n_errors):
+        rng = np.random.default_rng(n_errors)
+        for _ in range(5):
+            msg = rng.integers(0, 32, size=15).tolist()
+            pos = rng.choice(31, size=n_errors, replace=False)
+            assert RS.decode(_corrupt(RS.encode(msg), pos, rng)) == msg
+
+    def test_beyond_capacity_raises_or_differs(self):
+        """> t errors: unique decoding must not silently return the original."""
+        rng = np.random.default_rng(99)
+        failures = 0
+        for _ in range(10):
+            msg = rng.integers(0, 32, size=15).tolist()
+            pos = rng.choice(31, size=12, replace=False)
+            try:
+                out = RS.decode(_corrupt(RS.encode(msg), pos, rng))
+                if out != msg:
+                    failures += 1
+            except DecodingError:
+                failures += 1
+        assert failures == 10
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ParameterError):
+            RS.decode([0] * 30)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip_with_random_errors(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        n_errors = data.draw(st.integers(0, RS.t))
+        msg = rng.integers(0, 32, size=15).tolist()
+        pos = rng.choice(31, size=n_errors, replace=False)
+        assert RS.decode(_corrupt(RS.encode(msg), pos, rng)) == msg
+
+
+class TestOtherFields:
+    def test_gf256_code(self):
+        field = GF2m(8)
+        rs = ReedSolomon(field, 255, 127)
+        rng = np.random.default_rng(5)
+        msg = rng.integers(0, 256, size=127).tolist()
+        cw = rs.encode(msg)
+        pos = rng.choice(255, size=rs.t, replace=False)
+        corrupted = list(cw)
+        for p in pos:
+            corrupted[p] ^= int(rng.integers(1, 256))
+        assert rs.decode(corrupted) == msg

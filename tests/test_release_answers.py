@@ -1,0 +1,92 @@
+"""Tests for RELEASE-ANSWERS (Definition 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MAX_STORED_ANSWERS, ReleaseAnswersSketcher, Task
+from repro.db import Itemset, all_itemsets
+from repro.db.serialize import frequency_bits
+from repro.errors import ParameterError
+from repro.params import SketchParams
+
+
+@pytest.fixture
+def params(planted_db):
+    return SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+
+
+class TestEstimatorMode:
+    def test_answers_within_quantization(self, planted_db, params):
+        sketch = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).sketch(
+            planted_db, params
+        )
+        for t in all_itemsets(params.d, 2):
+            assert abs(sketch.estimate(t) - planted_db.frequency(t)) <= (
+                params.epsilon / 2 + 1e-9
+            )
+
+    def test_size_accounting(self, planted_db, params):
+        sketcher = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR)
+        sketch = sketcher.sketch(planted_db, params)
+        expected = params.num_itemsets * frequency_bits(params.epsilon)
+        assert sketch.size_in_bits() == expected
+        assert sketcher.theoretical_size_bits(params) == expected
+
+    def test_wrong_cardinality_raises(self, planted_db, params):
+        sketch = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).sketch(
+            planted_db, params
+        )
+        with pytest.raises(ParameterError):
+            sketch.estimate(Itemset([0, 1, 2]))
+
+    def test_out_of_range_raises(self, planted_db, params):
+        sketch = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).sketch(
+            planted_db, params
+        )
+        with pytest.raises(ParameterError):
+            sketch.estimate(Itemset([0, 99]))
+
+
+class TestIndicatorMode:
+    def test_definition1_clauses(self, planted_db, params):
+        sketch = ReleaseAnswersSketcher(Task.FORALL_INDICATOR).sketch(
+            planted_db, params
+        )
+        eps = params.epsilon
+        for t in all_itemsets(params.d, 2):
+            f = planted_db.frequency(t)
+            if f > eps:
+                assert sketch.indicate(t), (t, f)
+            elif f < eps / 2:
+                assert not sketch.indicate(t), (t, f)
+
+    def test_size_is_one_bit_per_itemset(self, planted_db, params):
+        sketch = ReleaseAnswersSketcher(Task.FORALL_INDICATOR).sketch(
+            planted_db, params
+        )
+        assert sketch.size_in_bits() == params.num_itemsets
+        assert sketch.stores_indicator_bits
+
+    def test_indicator_cheaper_than_estimator(self, params):
+        ind = ReleaseAnswersSketcher(Task.FORALL_INDICATOR).theoretical_size_bits(
+            params
+        )
+        est = ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).theoretical_size_bits(
+            params
+        )
+        assert ind < est
+
+
+class TestGuards:
+    def test_too_many_itemsets_raises(self, planted_db):
+        # C(12, 6) = 924 is fine; fake an absurd cap via big k on wide params.
+        params = SketchParams(n=4, d=64, k=16, epsilon=0.1)
+        assert params.num_itemsets > MAX_STORED_ANSWERS
+        import numpy as np
+
+        from repro.db import BinaryDatabase
+
+        tiny = BinaryDatabase(np.zeros((4, 64), dtype=bool))
+        with pytest.raises(ParameterError):
+            ReleaseAnswersSketcher(Task.FORALL_ESTIMATOR).sketch(tiny, params)

@@ -1,0 +1,45 @@
+"""Tests for RELEASE-DB (Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReleaseDbSketcher, Task
+from repro.db import Itemset
+from repro.params import SketchParams
+
+
+@pytest.fixture
+def params(small_db):
+    return SketchParams(n=small_db.n, d=small_db.d, k=2, epsilon=0.25)
+
+
+class TestReleaseDb:
+    def test_exact_answers(self, small_db, params):
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(small_db, params)
+        for items in ([0], [1, 2], [0, 3]):
+            t = Itemset(items)
+            assert sketch.estimate(t) == small_db.frequency(t)
+
+    def test_size_is_nd(self, small_db, params):
+        sketch = ReleaseDbSketcher(Task.FORALL_INDICATOR).sketch(small_db, params)
+        assert sketch.size_in_bits() == small_db.n * small_db.d
+        assert ReleaseDbSketcher(Task.FORALL_INDICATOR).theoretical_size_bits(
+            params
+        ) == sketch.size_in_bits()
+
+    def test_indicator_thresholds(self, small_db, params):
+        sketch = ReleaseDbSketcher(Task.FORALL_INDICATOR).sketch(small_db, params)
+        # f({1,2}) = 0.5 > eps = 0.25 must answer 1 (Definition 1, clause 1).
+        assert sketch.indicate(Itemset([1, 2]))
+        # f({0,1,3}) = 0 < eps/2 must answer 0 (clause 2).
+        assert not sketch.indicate(Itemset([0, 1, 3]))
+
+    def test_database_property(self, small_db, params):
+        sketch = ReleaseDbSketcher(Task.FOREACH_ESTIMATOR).sketch(small_db, params)
+        assert sketch.database == small_db
+
+    def test_deterministic(self, small_db, params):
+        s1 = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(small_db, params, rng=1)
+        s2 = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(small_db, params, rng=2)
+        assert s1.database == s2.database

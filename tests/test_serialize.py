@@ -1,0 +1,94 @@
+"""Tests for repro.db.serialize: bit streams and frequency quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.serialize import (
+    BitReader,
+    BitWriter,
+    dequantize_frequency,
+    frequency_bits,
+    quantize_frequency,
+)
+from repro.errors import SketchSizeError
+
+
+class TestFrequencyBits:
+    def test_monotone_in_precision(self):
+        assert frequency_bits(0.5) <= frequency_bits(0.1) <= frequency_bits(0.01)
+
+    def test_matches_log(self):
+        assert frequency_bits(0.25) == 3  # ceil(log2 4) + 1
+
+    def test_bad_epsilon(self):
+        with pytest.raises(SketchSizeError):
+            frequency_bits(0.0)
+        with pytest.raises(SketchSizeError):
+            frequency_bits(1.0)
+
+
+class TestQuantization:
+    def test_error_at_most_half_eps(self):
+        eps = 0.1
+        for value in np.linspace(0, 1, 97):
+            code = quantize_frequency(value, eps)
+            assert abs(dequantize_frequency(code, eps) - value) <= eps / 2 + 1e-12
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SketchSizeError):
+            quantize_frequency(1.5, 0.1)
+
+    @given(st.floats(0, 1), st.sampled_from([0.5, 0.25, 0.1, 0.03, 0.01]))
+    def test_property_quantization_error(self, value, eps):
+        code = quantize_frequency(value, eps)
+        assert abs(dequantize_frequency(code, eps) - value) <= eps / 2 + 1e-9
+        # And the code always fits the advertised bit budget.
+        assert code < 2 ** frequency_bits(eps)
+
+
+class TestBitStream:
+    def test_mixed_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bit(True)
+        writer.write_uint(300, 10)
+        writer.write_bits(np.array([1, 0, 1], dtype=bool))
+        writer.write_quantized(0.37, 0.05)
+        payload, n_bits = writer.getvalue(), writer.n_bits
+
+        reader = BitReader(payload, n_bits)
+        assert reader.read_bit() is True
+        assert reader.read_uint(10) == 300
+        assert reader.read_bits(3).tolist() == [True, False, True]
+        assert reader.read_quantized(0.05) == pytest.approx(0.35, abs=0.026)
+        assert reader.remaining == 0
+
+    def test_n_bits_counts_everything(self):
+        writer = BitWriter()
+        writer.write_uint(7, 5)
+        writer.write_bit(False)
+        assert writer.n_bits == len(writer) == 6
+
+    def test_empty_payload(self):
+        writer = BitWriter()
+        assert writer.getvalue() == b""
+        assert writer.n_bits == 0
+
+    def test_overread_raises(self):
+        writer = BitWriter()
+        writer.write_bit(True)
+        reader = BitReader(writer.getvalue(), 1)
+        reader.read_bit()
+        with pytest.raises(SketchSizeError):
+            reader.read_bit()
+
+    @given(st.lists(st.integers(0, 1023), max_size=40))
+    def test_property_uint_stream_roundtrip(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.write_uint(v, 10)
+        reader = BitReader(writer.getvalue(), writer.n_bits)
+        assert [reader.read_uint(10) for _ in values] == values

@@ -1,0 +1,185 @@
+"""Tests for the streaming summaries and their classic guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import zipf_item_stream
+from repro.errors import StreamError
+from repro.streaming import (
+    CountMinSketch,
+    LossyCounting,
+    MisraGries,
+    ReservoirSample,
+    SpaceSaving,
+    StickySampling,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_item_stream(20_000, 100, exponent=1.3, rng=0).tolist()
+
+
+@pytest.fixture(scope="module")
+def true_counts(stream):
+    return np.bincount(stream, minlength=100)
+
+
+class TestMisraGries:
+    def test_undercount_guarantee(self, stream, true_counts):
+        mg = MisraGries(100, k=20)
+        mg.extend(stream)
+        bound = mg.max_undercount()
+        for item in range(100):
+            estimate = mg.estimate_count(item)
+            assert estimate <= true_counts[item]  # never overcounts
+            assert true_counts[item] - estimate <= bound + 1e-9
+
+    def test_heavy_hitters_found(self, stream, true_counts):
+        mg = MisraGries(100, k=50)
+        mg.extend(stream)
+        hh = mg.heavy_hitters(0.05)
+        for item in np.flatnonzero(true_counts / len(stream) > 0.05 + 1 / 51):
+            assert item in hh
+
+    def test_at_most_k_counters(self, stream):
+        mg = MisraGries(100, k=5)
+        mg.extend(stream)
+        assert len(mg._counters) <= 5
+
+    def test_guards(self):
+        with pytest.raises(StreamError):
+            MisraGries(100, k=0)
+        mg = MisraGries(10, k=2)
+        with pytest.raises(StreamError):
+            mg.update(10)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=300), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_deficit_bound(self, items, k):
+        mg = MisraGries(10, k=k)
+        mg.extend(items)
+        true = np.bincount(items, minlength=10)
+        for item in range(10):
+            deficit = true[item] - mg.estimate_count(item)
+            assert 0 <= deficit <= len(items) / (k + 1)
+
+
+class TestSpaceSaving:
+    def test_overcount_guarantee(self, stream, true_counts):
+        ss = SpaceSaving(100, k=20)
+        ss.extend(stream)
+        bound = ss.max_overcount()
+        for item in range(100):
+            estimate = ss.estimate_count(item)
+            if estimate:  # tracked items never undercount
+                assert estimate >= true_counts[item] - 1e-9 or estimate <= bound
+            assert estimate <= true_counts[item] + bound + 1e-9
+
+    def test_error_certificates(self, stream, true_counts):
+        ss = SpaceSaving(100, k=30)
+        ss.extend(stream)
+        for item, count in ss._counts.items():
+            over = count - true_counts[item]
+            assert over <= ss.guaranteed_error(item) + 1e-9
+
+    def test_k_counters(self, stream):
+        ss = SpaceSaving(100, k=7)
+        ss.extend(stream)
+        assert len(ss._counts) <= 7
+
+
+class TestLossyCounting:
+    def test_deficit_guarantee(self, stream, true_counts):
+        lc = LossyCounting(100, epsilon=0.005)
+        lc.extend(stream)
+        for item in range(100):
+            deficit = true_counts[item] - lc.estimate_count(item)
+            assert deficit <= lc.max_deficit() + 1e-9
+            assert lc.estimate_count(item) <= true_counts[item]
+
+    def test_no_false_negatives_in_heavy_hitters(self, stream, true_counts):
+        lc = LossyCounting(100, epsilon=0.01)
+        lc.extend(stream)
+        hh = lc.heavy_hitters(0.05)
+        for item in np.flatnonzero(true_counts / len(stream) > 0.05):
+            assert item in hh
+
+    def test_space_bounded(self, stream):
+        lc = LossyCounting(100, epsilon=0.01)
+        lc.extend(stream)
+        # (1/eps) log(eps m) entries.
+        cap = (1 / 0.01) * np.log(0.01 * len(stream)) + 1 / 0.01
+        assert lc.n_entries() <= cap
+
+
+class TestStickySampling:
+    def test_tracked_items_have_deficit_bound_whp(self, stream, true_counts):
+        st_ = StickySampling(100, epsilon=0.01, threshold=0.05, rng=1)
+        st_.extend(stream)
+        hh = st_.heavy_hitters(0.05)
+        misses = [
+            item
+            for item in np.flatnonzero(true_counts / len(stream) > 0.06)
+            if item not in hh
+        ]
+        assert not misses  # w.h.p. every clear heavy hitter is reported
+
+    def test_rate_grows(self, stream):
+        st_ = StickySampling(100, epsilon=0.01, threshold=0.05, rng=2)
+        st_.extend(stream)
+        assert st_.sampling_rate >= 2
+
+    def test_guards(self):
+        with pytest.raises(StreamError):
+            StickySampling(10, epsilon=0.1, threshold=0.05)
+
+
+class TestCountMin:
+    def test_never_undercounts(self, stream, true_counts):
+        cms = CountMinSketch(100, width=300, depth=4, rng=3)
+        cms.extend(stream)
+        for item in range(100):
+            assert cms.estimate_count(item) >= true_counts[item]
+
+    def test_overcount_within_expected(self, stream, true_counts):
+        cms = CountMinSketch(100, width=300, depth=5, rng=4)
+        cms.extend(stream)
+        over = [cms.estimate_count(i) - true_counts[i] for i in range(100)]
+        assert np.mean(over) <= cms.expected_overcount()
+
+    def test_conservative_no_worse(self, stream, true_counts):
+        plain = CountMinSketch(100, width=100, depth=4, rng=5)
+        cons = CountMinSketch(100, width=100, depth=4, conservative=True, rng=5)
+        plain.extend(stream)
+        cons.extend(stream)
+        for item in range(100):
+            assert cons.estimate_count(item) <= plain.estimate_count(item)
+            assert cons.estimate_count(item) >= true_counts[item]
+
+
+class TestReservoir:
+    def test_reservoir_size_fixed(self, stream):
+        rs = ReservoirSample(100, size=200, rng=6)
+        rs.extend(stream)
+        assert len(rs.sample) == 200
+
+    def test_unbiased_frequencies(self, stream, true_counts):
+        estimates = np.zeros(100)
+        for seed in range(20):
+            rs = ReservoirSample(100, size=400, rng=seed)
+            rs.extend(stream)
+            estimates += [rs.estimate_count(i) for i in range(100)]
+        estimates /= 20
+        heavy = np.argsort(true_counts)[-5:]
+        for item in heavy:
+            assert abs(estimates[item] - true_counts[item]) / true_counts[item] < 0.25
+
+    def test_prefix_shorter_than_reservoir(self):
+        rs = ReservoirSample(10, size=50, rng=7)
+        rs.extend([1, 2, 3])
+        assert sorted(rs.sample) == [1, 2, 3]

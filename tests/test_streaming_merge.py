@@ -1,0 +1,140 @@
+"""Tests for summary merging (distributed sketching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Task
+from repro.db import Itemset, planted_database, zipf_item_stream
+from repro.errors import StreamError
+from repro.params import SketchParams
+from repro.streaming import (
+    CountMinSketch,
+    MisraGries,
+    ReservoirSample,
+    RowReservoir,
+    merge_count_min,
+    merge_misra_gries,
+    merge_reservoirs,
+    merge_row_reservoirs,
+)
+
+
+@pytest.fixture(scope="module")
+def shards():
+    a = zipf_item_stream(10_000, 60, exponent=1.3, rng=0).tolist()
+    b = zipf_item_stream(15_000, 60, exponent=1.3, rng=1).tolist()
+    return a, b
+
+
+class TestMisraGriesMerge:
+    def test_merged_deficit_bound(self, shards):
+        a_stream, b_stream = shards
+        a = MisraGries(60, k=25)
+        b = MisraGries(60, k=25)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        merged = merge_misra_gries(a, b)
+        total = np.bincount(a_stream + b_stream, minlength=60)
+        m = len(a_stream) + len(b_stream)
+        assert merged.stream_length == m
+        for item in range(60):
+            estimate = merged.estimate_count(item)
+            assert estimate <= total[item]
+            # Mergeable-summaries guarantee: deficit <= m / (k + 1).
+            assert total[item] - estimate <= m / 26 + 1e-9
+
+    def test_counter_budget_respected(self, shards):
+        a_stream, b_stream = shards
+        a = MisraGries(60, k=10)
+        b = MisraGries(60, k=10)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        assert len(merge_misra_gries(a, b)._counters) <= 10
+
+    def test_mismatched_k_rejected(self):
+        with pytest.raises(StreamError):
+            merge_misra_gries(MisraGries(10, 2), MisraGries(10, 3))
+
+
+class TestCountMinMerge:
+    def test_merge_equals_joint_stream(self, shards):
+        a_stream, b_stream = shards
+        a = CountMinSketch(60, width=120, depth=4, rng=7)
+        b = CountMinSketch(60, width=120, depth=4, rng=7)  # same hashes
+        joint = CountMinSketch(60, width=120, depth=4, rng=7)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        joint.extend(a_stream + b_stream)
+        merged = merge_count_min(a, b)
+        for item in range(60):
+            assert merged.estimate_count(item) == joint.estimate_count(item)
+
+    def test_different_hashes_rejected(self):
+        a = CountMinSketch(10, 16, 2, rng=1)
+        b = CountMinSketch(10, 16, 2, rng=2)
+        with pytest.raises(StreamError):
+            merge_count_min(a, b)
+
+    def test_conservative_rejected(self):
+        a = CountMinSketch(10, 16, 2, conservative=True, rng=1)
+        b = CountMinSketch(10, 16, 2, conservative=True, rng=1)
+        with pytest.raises(StreamError):
+            merge_count_min(a, b)
+
+
+class TestReservoirMerge:
+    def test_size_and_membership(self, shards):
+        a_stream, b_stream = shards
+        a = ReservoirSample(60, size=300, rng=2)
+        b = ReservoirSample(60, size=300, rng=3)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        merged = merge_reservoirs(a, b, rng=4)
+        assert len(merged.sample) == 300
+        assert merged.stream_length == 25_000
+        pool = set(a.sample) | set(b.sample)
+        assert all(item in pool for item in merged.sample)
+
+    def test_merged_frequencies_unbiased(self, shards):
+        a_stream, b_stream = shards
+        total = np.bincount(a_stream + b_stream, minlength=60)
+        m = len(a_stream) + len(b_stream)
+        estimates = np.zeros(60)
+        for seed in range(15):
+            a = ReservoirSample(60, size=400, rng=seed)
+            b = ReservoirSample(60, size=400, rng=seed + 100)
+            a.extend(a_stream)
+            b.extend(b_stream)
+            merged = merge_reservoirs(a, b, rng=seed + 200)
+            estimates += [merged.estimate_count(i) for i in range(60)]
+        estimates /= 15
+        top = int(np.argmax(total))
+        assert abs(estimates[top] - total[top]) / total[top] < 0.2
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(StreamError):
+            merge_reservoirs(ReservoirSample(10, 5), ReservoirSample(10, 6))
+
+
+class TestRowReservoirMerge:
+    def test_distributed_subsample_answers_queries(self):
+        db = planted_database(
+            8000, 12, [(Itemset([0, 1]), 0.4)], background=0.05, rng=5
+        )
+        # Shard the database across two "sites".
+        first = db.sample_rows(range(0, 4000))
+        second = db.sample_rows(range(4000, 8000))
+        a = RowReservoir(db.d, size=600, rng=6)
+        b = RowReservoir(db.d, size=600, rng=7)
+        a.extend(first)
+        b.extend(second)
+        merged = merge_row_reservoirs(a, b, rng=8)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        sketch = merged.to_sketch(params)
+        assert abs(sketch.estimate(Itemset([0, 1])) - db.frequency(Itemset([0, 1]))) < 0.08
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(StreamError):
+            merge_row_reservoirs(RowReservoir(4, 5), RowReservoir(5, 5))

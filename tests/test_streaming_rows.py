@@ -1,0 +1,96 @@
+"""Tests for row-level streaming: RowReservoir and the itemset miner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Task, validate_sketcher
+from repro.core.subsample import SubsampleSketcher
+from repro.db import Itemset, planted_database
+from repro.errors import StreamError
+from repro.params import SketchParams
+from repro.streaming import RowReservoir, StreamingItemsetMiner
+
+
+class TestRowReservoir:
+    def test_streaming_subsample_sketch(self, planted_db):
+        params = SketchParams(
+            n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1, delta=0.1
+        )
+        reservoir = RowReservoir(planted_db.d, size=800, rng=0)
+        reservoir.extend(planted_db)
+        sketch = reservoir.to_sketch(params)
+        assert sketch.n_samples == 800
+        assert sketch.size_in_bits() == 800 * planted_db.d
+        # The planted itemset's frequency survives the pass.
+        assert abs(
+            sketch.estimate(Itemset([0, 1])) - planted_db.frequency(Itemset([0, 1]))
+        ) < 0.08
+
+    def test_reservoir_rows_are_database_rows(self, planted_db):
+        reservoir = RowReservoir(planted_db.d, size=50, rng=1)
+        reservoir.extend(planted_db)
+        sketch = reservoir.to_sketch(
+            SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        )
+        db_rows = {planted_db.row(i).tobytes() for i in range(planted_db.n)}
+        for i in range(sketch.sample.n):
+            assert sketch.sample.row(i).tobytes() in db_rows
+
+    def test_empty_reservoir_raises(self):
+        reservoir = RowReservoir(4, size=5)
+        with pytest.raises(StreamError):
+            reservoir.to_sketch(SketchParams(n=1, d=4, k=1, epsilon=0.5))
+
+    def test_wrong_width_raises(self):
+        reservoir = RowReservoir(4, size=5)
+        with pytest.raises(StreamError):
+            reservoir.update(np.zeros(3, dtype=bool))
+
+
+class TestStreamingItemsetMiner:
+    def test_finds_planted_itemsets(self, planted_db):
+        miner = StreamingItemsetMiner(planted_db.d, epsilon=0.02, max_size=3)
+        miner.extend(planted_db)
+        frequent = miner.frequent_itemsets(0.25)
+        assert Itemset([0, 1, 2]) in frequent
+        assert Itemset([5, 6]) in frequent
+
+    def test_deficit_guarantee(self, planted_db):
+        miner = StreamingItemsetMiner(planted_db.d, epsilon=0.02, max_size=2)
+        miner.extend(planted_db)
+        for items in ([0, 1], [5, 6], [0, 5]):
+            t = Itemset(items)
+            true_f = planted_db.frequency(t)
+            est = miner.estimate_frequency(t)
+            assert est <= true_f + 1e-9
+            assert true_f - est <= 0.02 + 1e-9
+
+    def test_row_cap_respected(self):
+        miner = StreamingItemsetMiner(30, epsilon=0.1, max_size=2, max_row_items=5)
+        miner.update(np.ones(30, dtype=bool))
+        # Only C(5,1) + C(5,2) = 15 subsets tracked, not C(30,2)+30.
+        assert miner.n_entries() == 15
+
+    def test_size_grows_combinatorially_vs_reservoir(self, planted_db):
+        """The E-STRM point: per-itemset state dwarfs row sampling."""
+        miner = StreamingItemsetMiner(planted_db.d, epsilon=0.01, max_size=3)
+        miner.extend(planted_db)
+        reservoir = RowReservoir(planted_db.d, size=100, rng=2)
+        reservoir.extend(planted_db)
+        sketch = reservoir.to_sketch(
+            SketchParams(n=planted_db.n, d=planted_db.d, k=3, epsilon=0.1)
+        )
+        assert miner.size_in_bits() > sketch.size_in_bits()
+
+    def test_guards(self):
+        with pytest.raises(StreamError):
+            StreamingItemsetMiner(0, 0.1, 1)
+        with pytest.raises(StreamError):
+            StreamingItemsetMiner(5, 0.1, 9)
+        miner = StreamingItemsetMiner(5, 0.1, 2)
+        with pytest.raises(StreamError):
+            miner.update(np.zeros(4, dtype=bool))
+        with pytest.raises(StreamError):
+            miner.frequent_itemsets(0.0)

@@ -1,0 +1,96 @@
+"""Tests for SUBSAMPLE (Definition 8 / Lemma 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SubsampleSketcher,
+    Task,
+    sample_count_for,
+    validate_sketcher,
+)
+from repro.db import Itemset
+from repro.errors import ParameterError
+from repro.params import SketchParams
+
+
+class TestSampleCounts:
+    def test_ordering_across_tasks(self, medium_params):
+        """For-All needs more samples than For-Each; estimators more than
+        indicators (at eps <= some constant)."""
+        fi = sample_count_for(Task.FOREACH_INDICATOR, medium_params)
+        fe = sample_count_for(Task.FOREACH_ESTIMATOR, medium_params)
+        ai = sample_count_for(Task.FORALL_INDICATOR, medium_params)
+        ae = sample_count_for(Task.FORALL_ESTIMATOR, medium_params)
+        assert ai > fi and ae > fe
+
+    def test_override(self, medium_random_db, medium_params):
+        sketcher = SubsampleSketcher(Task.FOREACH_ESTIMATOR, sample_count=33)
+        sketch = sketcher.sketch(medium_random_db, medium_params, rng=0)
+        assert sketch.n_samples == 33
+        assert sketch.size_in_bits() == 33 * medium_params.d
+
+    def test_bad_override(self):
+        with pytest.raises(ParameterError):
+            SubsampleSketcher(Task.FOREACH_ESTIMATOR, sample_count=0)
+
+
+class TestSketchBehaviour:
+    def test_size_is_s_times_d(self, medium_random_db, medium_params):
+        sketcher = SubsampleSketcher(Task.FOREACH_ESTIMATOR)
+        sketch = sketcher.sketch(medium_random_db, medium_params, rng=0)
+        assert sketch.size_in_bits() == sketch.n_samples * medium_params.d
+        assert sketcher.theoretical_size_bits(medium_params) == sketch.size_in_bits()
+
+    def test_sample_rows_come_from_database(self, medium_random_db, medium_params):
+        sketch = SubsampleSketcher(Task.FOREACH_ESTIMATOR).sketch(
+            medium_random_db, medium_params, rng=1
+        )
+        db_rows = {medium_random_db.row(i).tobytes() for i in range(medium_random_db.n)}
+        for i in range(sketch.sample.n):
+            assert sketch.sample.row(i).tobytes() in db_rows
+
+    def test_estimates_concentrate(self, medium_random_db, medium_params):
+        sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(
+            medium_random_db, medium_params, rng=2
+        )
+        t = Itemset([0, 1])
+        assert abs(
+            sketch.estimate(t) - medium_random_db.frequency(t)
+        ) <= medium_params.epsilon
+
+    def test_deterministic_given_seed(self, medium_random_db, medium_params):
+        a = SubsampleSketcher(Task.FOREACH_ESTIMATOR).sketch(
+            medium_random_db, medium_params, rng=5
+        )
+        b = SubsampleSketcher(Task.FOREACH_ESTIMATOR).sketch(
+            medium_random_db, medium_params, rng=5
+        )
+        assert a.sample == b.sample
+
+
+class TestLemma9Validity:
+    """Statistical checks that Lemma 9's sample counts meet each definition."""
+
+    @pytest.mark.parametrize("task", list(Task))
+    def test_failure_rate_within_delta(self, medium_random_db, task):
+        params = SketchParams(
+            n=medium_random_db.n, d=medium_random_db.d, k=2, epsilon=0.15, delta=0.2
+        )
+        report = validate_sketcher(
+            SubsampleSketcher(task), medium_random_db, params, trials=10, rng=3
+        )
+        assert report.ok(params.delta), (task, report.failure_rate)
+
+    def test_planted_indicators_found(self, planted_db):
+        params = SketchParams(
+            n=planted_db.n, d=planted_db.d, k=2, epsilon=0.2, delta=0.1
+        )
+        sketch = SubsampleSketcher(Task.FORALL_INDICATOR).sketch(
+            planted_db, params, rng=4
+        )
+        assert sketch.indicate(Itemset([0, 1]))  # planted at ~0.4
+        assert sketch.indicate(Itemset([5, 6]))  # planted at ~0.3
+        assert not sketch.indicate(Itemset([9, 11]))  # background ~0.0025

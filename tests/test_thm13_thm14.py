@@ -1,0 +1,157 @@
+"""Tests for the Theorem 13 encoding and the Theorem 14 INDEX reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fano_lower_bound
+from repro.comm import evaluate_protocol
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.errors import ParameterError
+from repro.lowerbounds import (
+    SketchIndexProtocol,
+    Theorem13Encoding,
+    index_instance_size,
+    run_encoding_attack,
+)
+
+
+class TestConstruction:
+    def test_payload_size(self):
+        enc = Theorem13Encoding(d=16, k=2, m=8)
+        assert enc.payload_bits == 8 * 8  # m * d/2
+        assert enc.epsilon == 0.125
+
+    def test_database_shape_and_ids(self):
+        enc = Theorem13Encoding(d=16, k=3, m=10)
+        payload = np.zeros(enc.payload_bits, dtype=bool)
+        db = enc.encode(payload)
+        assert db.shape == (10, 16)
+        # Each row's first half holds exactly k-1 ones, all distinct.
+        first_halves = {db.rows[i, :8].tobytes() for i in range(10)}
+        assert len(first_halves) == 10
+        assert all(db.rows[i, :8].sum() == 2 for i in range(10))
+
+    def test_duplications(self):
+        enc = Theorem13Encoding(d=8, k=2, m=4, duplications=3)
+        db = enc.encode(np.zeros(enc.payload_bits, dtype=bool))
+        assert db.n == 12
+        assert enc.sketch_params().n == 12
+
+    def test_exact_frequencies(self):
+        enc = Theorem13Encoding(d=8, k=2, m=4)
+        rng = np.random.default_rng(0)
+        payload = rng.random(enc.payload_bits) < 0.5
+        db = enc.encode(payload)
+        for i in range(4):
+            for j in range(4):
+                f = db.frequency(enc.query_itemset(i, j))
+                expected = enc.epsilon if payload[i * 4 + j] else 0.0
+                assert f == pytest.approx(expected)
+
+    def test_regime_guards(self):
+        with pytest.raises(ParameterError):
+            Theorem13Encoding(d=8, k=2, m=5)  # m > C(4, 1) = 4
+        with pytest.raises(ParameterError):
+            Theorem13Encoding(d=7, k=2, m=3)  # odd d
+        with pytest.raises(ParameterError):
+            Theorem13Encoding(d=8, k=1, m=4)  # k < 2
+        with pytest.raises(ParameterError):
+            Theorem13Encoding(d=8, k=6, m=2)  # k-1 > d/2
+
+    def test_query_bounds_checked(self):
+        enc = Theorem13Encoding(d=8, k=2, m=4)
+        with pytest.raises(ParameterError):
+            enc.query_itemset(4, 0)
+        with pytest.raises(ParameterError):
+            enc.query_itemset(0, 4)
+
+
+class TestAttack:
+    def test_exact_recovery_via_release_db(self):
+        enc = Theorem13Encoding(d=16, k=2, m=8)
+        report = run_encoding_attack(
+            enc, ReleaseDbSketcher(Task.FORALL_INDICATOR), rng=0
+        )
+        assert report.exact
+        assert report.payload_bits == 64
+
+    def test_exact_recovery_via_subsample(self):
+        enc = Theorem13Encoding(d=16, k=3, m=8, duplications=4)
+        report = run_encoding_attack(
+            enc, SubsampleSketcher(Task.FORALL_INDICATOR), delta=0.05, rng=1
+        )
+        assert report.error_fraction <= 0.05
+
+    def test_fano_bound_reported(self):
+        enc = Theorem13Encoding(d=16, k=2, m=8)
+        report = run_encoding_attack(
+            enc, ReleaseDbSketcher(Task.FORALL_INDICATOR), delta=0.1, rng=2
+        )
+        assert report.fano_bound_bits == pytest.approx(fano_lower_bound(64, 0.1))
+
+    def test_wrong_payload_length_rejected(self):
+        enc = Theorem13Encoding(d=8, k=2, m=4)
+        with pytest.raises(ParameterError):
+            run_encoding_attack(
+                enc,
+                ReleaseDbSketcher(Task.FORALL_INDICATOR),
+                payload=np.zeros(5, dtype=bool),
+            )
+
+
+class TestIndexReduction:
+    def test_instance_size(self):
+        assert index_instance_size(16, 8) == 64
+        with pytest.raises(ParameterError):
+            index_instance_size(7, 3)
+
+    def test_protocol_is_correct_with_exact_sketch(self):
+        proto = SketchIndexProtocol(
+            ReleaseDbSketcher(Task.FOREACH_INDICATOR), d=16, k=2, m=8
+        )
+
+        def sampler(g):
+            x = g.random(proto.n_index) < 0.5
+            return x, int(g.integers(0, proto.n_index))
+
+        err, bits = evaluate_protocol(proto, sampler, trials=30, rng=3)
+        assert err == 0.0
+        assert bits == 16 * 8  # sketch = database = n * d bits
+
+    def test_protocol_low_error_with_subsample(self):
+        proto = SketchIndexProtocol(
+            SubsampleSketcher(Task.FOREACH_INDICATOR),
+            d=16,
+            k=2,
+            m=8,
+            delta=0.05,
+        )
+
+        def sampler(g):
+            x = g.random(proto.n_index) < 0.5
+            return x, int(g.integers(0, proto.n_index))
+
+        err, _ = evaluate_protocol(proto, sampler, trials=30, rng=4)
+        assert err <= 0.2  # well under the 1/3 INDEX requirement
+
+    def test_communication_equals_sketch_size(self):
+        proto = SketchIndexProtocol(
+            SubsampleSketcher(Task.FOREACH_INDICATOR), d=16, k=2, m=8
+        )
+        x = np.zeros(proto.n_index, dtype=bool)
+        sketch, bits = proto.alice_message(x, np.random.default_rng(5))
+        assert bits == sketch.size_in_bits()
+
+    def test_bad_inputs(self):
+        proto = SketchIndexProtocol(
+            ReleaseDbSketcher(Task.FOREACH_INDICATOR), d=8, k=2, m=4
+        )
+        with pytest.raises(ParameterError):
+            proto.alice_message(np.zeros(5, dtype=bool), np.random.default_rng(0))
+        msg = proto.alice_message(
+            np.zeros(proto.n_index, dtype=bool), np.random.default_rng(0)
+        )
+        with pytest.raises(ParameterError):
+            proto.bob_output(msg, proto.n_index)

@@ -1,0 +1,143 @@
+"""Tests for the Theorem 15 encodings (bootstrap + amplification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ReleaseAnswersSketcher, ReleaseDbSketcher, SubsampleSketcher, Task
+from repro.errors import ParameterError
+from repro.lowerbounds import (
+    AmplifiedTheorem15Encoding,
+    Theorem15Encoding,
+    run_encoding_attack,
+)
+
+
+class TestBootstrapConstruction:
+    def test_dimensions(self):
+        enc = Theorem15Encoding(d=64, k=3)
+        assert enc.v == 2 * 5  # k' = 2, p = 32
+        assert enc.sketch_params().d == 128
+        assert enc.sketch_params().n == enc.v
+
+    def test_ecc_engaged_when_region_fits(self):
+        enc = Theorem15Encoding(d=64, k=3)  # region 640 >= 496
+        assert enc.uses_ecc
+        assert enc.payload_bits == 75
+        assert enc.guaranteed_error_fraction == 0.0
+
+    def test_raw_mode_for_small_region(self):
+        enc = Theorem15Encoding(d=16, k=2)  # region 16*4 = 64 < 496
+        assert not enc.uses_ecc
+        assert enc.payload_bits == 16 * enc.v
+
+    def test_frequency_identity(self):
+        """f(T_s ∪ {d+j}) = <s, t_j> / v -- the proof's key observation."""
+        enc = Theorem15Encoding(d=16, k=2, use_ecc=False)
+        rng = np.random.default_rng(0)
+        payload = rng.random(enc.payload_bits) < 0.5
+        db = enc.encode(payload)
+        y = payload.reshape(enc.d, enc.v).T
+        from repro.lowerbounds import all_patterns
+
+        for s in all_patterns(enc.v)[:16]:
+            for j in (0, 5, 15):
+                f = db.frequency(enc.column_query(s, j))
+                expected = (s @ y[:, j].astype(int)) / enc.v
+                assert f == pytest.approx(expected)
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            Theorem15Encoding(d=16, k=1)
+        with pytest.raises(ParameterError):
+            Theorem15Encoding(d=16, k=2, eps=0.6)
+
+
+class TestBootstrapAttack:
+    def test_exact_recovery_release_db(self):
+        enc = Theorem15Encoding(d=64, k=3)
+        report = run_encoding_attack(enc, ReleaseDbSketcher(Task.FORALL_INDICATOR), rng=1)
+        assert report.exact
+
+    def test_exact_recovery_release_answers(self):
+        enc = Theorem15Encoding(d=32, k=2, use_ecc=False)
+        report = run_encoding_attack(
+            enc, ReleaseAnswersSketcher(Task.FORALL_INDICATOR), rng=2
+        )
+        assert report.exact
+
+    def test_subsample_recovery_within_bound(self):
+        enc = Theorem15Encoding(d=32, k=2, use_ecc=False)
+        report = run_encoding_attack(
+            enc, SubsampleSketcher(Task.FORALL_INDICATOR), delta=0.02, rng=3
+        )
+        # Raw mode: Lemma 19 allows a 2*eps fraction of errors per column,
+        # plus sketch failure slack.
+        assert report.error_fraction <= 0.1
+
+    def test_raw_mode_error_bound_reported(self):
+        enc = Theorem15Encoding(d=16, k=2, use_ecc=False)
+        assert enc.guaranteed_error_fraction == pytest.approx(2 * enc.eps)
+
+
+class TestAmplified:
+    def test_payload_scales_with_blocks(self):
+        base = Theorem15Encoding(d=64, k=2)
+        amp = AmplifiedTheorem15Encoding(d=64, k=3, m_blocks=4)
+        assert amp.payload_bits == 4 * amp.inner.payload_bits
+        assert amp.inner.k == 2
+        assert base.payload_bits == amp.inner.payload_bits
+
+    def test_epsilon_shrinks_with_blocks(self):
+        amp = AmplifiedTheorem15Encoding(d=64, k=3, m_blocks=8)
+        assert amp.epsilon == pytest.approx((1 / 50) / 8)
+
+    def test_database_shape(self):
+        amp = AmplifiedTheorem15Encoding(d=64, k=3, m_blocks=3)
+        db = amp.encode(np.zeros(amp.payload_bits, dtype=bool))
+        assert db.shape == (3 * amp.inner.v, 3 * 64)
+
+    def test_block_isolation(self):
+        """A tagged query only sees its own block's rows (f scaled by 1/m)."""
+        amp = AmplifiedTheorem15Encoding(d=32, k=3, m_blocks=4, use_ecc=False)
+        rng = np.random.default_rng(4)
+        payload = rng.random(amp.payload_bits) < 0.5
+        db = amp.encode(payload)
+        inner_db = amp.inner.encode(payload[: amp.inner.payload_bits])
+        from repro.lowerbounds import all_patterns
+
+        s = all_patterns(amp.inner.v)[3]
+        inner_q = amp.inner.column_query(s, 7)
+        outer_q = inner_q.union(amp.tags[0].shift(2 * amp.d))
+        assert db.frequency(outer_q) == pytest.approx(
+            inner_db.frequency(inner_q) / amp.m_blocks
+        )
+
+    def test_exact_recovery_raw_inner(self):
+        # d=64, inner k=2: region 64*6=384 < 496, so raw payload of 384 bits
+        # per block; recovery through an exact sketch is still exact
+        # (singleton regime decodes each column precisely).
+        amp = AmplifiedTheorem15Encoding(d=64, k=3, m_blocks=3)
+        assert not amp.inner.uses_ecc
+        report = run_encoding_attack(
+            amp, ReleaseDbSketcher(Task.FORALL_INDICATOR), rng=5
+        )
+        assert report.exact
+        assert report.payload_bits == 3 * 384
+
+    def test_exact_recovery_ecc_inner(self):
+        # d=128, inner k=2: region 128*7=896 >= 496, ECC engaged.
+        amp = AmplifiedTheorem15Encoding(d=128, k=3, m_blocks=2)
+        assert amp.inner.uses_ecc
+        report = run_encoding_attack(
+            amp, ReleaseDbSketcher(Task.FORALL_INDICATOR), rng=6
+        )
+        assert report.exact
+        assert report.payload_bits == 2 * 75
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            AmplifiedTheorem15Encoding(d=64, k=4, m_blocks=2)  # even k
+        with pytest.raises(ParameterError):
+            AmplifiedTheorem15Encoding(d=4, k=5, m_blocks=99)  # too many tags

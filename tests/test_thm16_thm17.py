@@ -1,0 +1,155 @@
+"""Tests for the Theorem 16 composition and Theorem 17 median boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReleaseDbSketcher,
+    SubsampleSketcher,
+    Task,
+    validate_sketcher,
+)
+from repro.db import random_database
+from repro.errors import ParameterError
+from repro.lowerbounds import (
+    MedianBoostSketcher,
+    Theorem16Encoding,
+    copies_needed,
+    lemma21_decode,
+    run_encoding_attack,
+)
+from repro.lowerbounds.lemma19 import all_patterns
+from repro.params import SketchParams
+
+
+class TestLemma21:
+    def test_exact_answers_recover_z(self):
+        rng = np.random.default_rng(0)
+        v = 5
+        z = rng.random(v)
+        pats = all_patterns(v).astype(float)
+        answers = pats @ z / v
+        z_hat = lemma21_decode(answers, v, eps=0.001)
+        assert np.abs(z_hat - z).mean() <= 4 * 0.001 + 1e-6
+
+    def test_noisy_answers_average_error_bound(self):
+        """Lemma 21: ||z_hat - z||_1 / v <= 4 eps under +/- eps answers."""
+        rng = np.random.default_rng(1)
+        v, eps = 6, 0.02
+        for _ in range(5):
+            z = rng.random(v)
+            pats = all_patterns(v).astype(float)
+            answers = pats @ z / v + rng.uniform(-eps, eps, size=1 << v)
+            z_hat = lemma21_decode(answers, v, eps)
+            assert np.abs(z_hat - z).mean() <= 4 * eps + 1e-9
+
+    def test_beats_naive_singleton_readout(self):
+        """The LP's averaging beats reading z_i off singleton queries alone,
+        whose error is amplified by v."""
+        rng = np.random.default_rng(2)
+        v, eps = 8, 0.05
+        z = rng.random(v)
+        pats = all_patterns(v).astype(float)
+        noise = rng.uniform(-eps, eps, size=1 << v)
+        answers = pats @ z / v + noise
+        z_hat = lemma21_decode(answers, v, eps)
+        singles = np.array(
+            [answers[1 << (v - 1 - i)] * v for i in range(v)]
+        )  # pattern e_i has index 2^(v-1-i)
+        assert np.abs(z_hat - z).mean() <= np.abs(np.clip(singles, 0, 1) - z).mean() + 1e-9
+
+    def test_wrong_answer_count(self):
+        with pytest.raises(ParameterError):
+            lemma21_decode(np.zeros(7), 3, 0.1)
+
+
+class TestTheorem16:
+    @pytest.fixture(scope="class")
+    def encoding(self):
+        return Theorem16Encoding(
+            d_shatter=8, c=2, k=3, d0=24, n_inner=20, epsilon=0.004,
+            use_ecc=False, rng=3,
+        )
+
+    def test_dimensions(self, encoding):
+        assert encoding.v == 3  # k - c = 1, p = 8 -> v = 3
+        assert encoding.payload_bits == 3 * encoding.inner.payload_bits
+        params = encoding.sketch_params()
+        assert params.n == 3 * 20
+        assert params.d == 8 + encoding.inner.d_total
+
+    def test_frequency_identity(self, encoding):
+        """f(T'(T, s)) = <s, z_T> / v -- equations (6)-(9)."""
+        rng = np.random.default_rng(4)
+        payload = encoding.random_payload(rng=5)
+        db = encoding.encode(payload)
+        per = encoding.inner.payload_bits
+        inner_dbs = [
+            encoding.inner.encode(payload[i * per : (i + 1) * per])
+            for i in range(encoding.v)
+        ]
+        pats = all_patterns(encoding.v)
+        for ti, sj, inner_q in encoding.inner.iter_queries()[:5]:
+            z_t = np.array([idb.frequency(inner_q) for idb in inner_dbs])
+            for s in pats:
+                f = db.frequency(encoding.outer_query(s, inner_q))
+                assert f == pytest.approx((s @ z_t) / encoding.v)
+
+    def test_full_attack_recovers_exactly(self, encoding):
+        report = run_encoding_attack(
+            encoding, ReleaseDbSketcher(Task.FORALL_ESTIMATOR), rng=6
+        )
+        assert report.exact
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            Theorem16Encoding(8, c=1, k=3, d0=8, n_inner=8, epsilon=0.01)
+        with pytest.raises(ParameterError):
+            Theorem16Encoding(8, c=3, k=3, d0=8, n_inner=8, epsilon=0.01)
+
+
+class TestTheorem17:
+    def test_copies_formula(self):
+        p = SketchParams(n=100, d=12, k=2, epsilon=0.1, delta=0.1)
+        assert copies_needed(p) == int(np.ceil(10 * np.log(66 / 0.1)))
+
+    def test_size_is_copies_times_base(self):
+        db = random_database(2000, 10, 0.3, rng=7)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.2)
+        base = SubsampleSketcher(Task.FOREACH_ESTIMATOR)
+        boost = MedianBoostSketcher(base, copies=7)
+        sketch = boost.sketch(db, p, rng=8)
+        assert sketch.n_copies == 7
+        assert sketch.size_in_bits() == 7 * base.theoretical_size_bits(p)
+        assert boost.theoretical_size_bits(p) == sketch.size_in_bits()
+
+    def test_task_upgraded_to_forall(self):
+        base = SubsampleSketcher(Task.FOREACH_ESTIMATOR)
+        assert MedianBoostSketcher(base).task is Task.FORALL_ESTIMATOR
+
+    def test_boosted_sketch_is_forall_valid(self):
+        db = random_database(3000, 10, 0.3, rng=9)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.15, delta=0.2)
+        boost = MedianBoostSketcher(SubsampleSketcher(Task.FOREACH_ESTIMATOR))
+        report = validate_sketcher(boost, db, p, trials=5, rng=10)
+        assert report.ok(p.delta)
+
+    def test_median_damps_single_bad_copy(self):
+        """With 3 copies, one outlier copy cannot move the median."""
+        db = random_database(500, 8, 0.3, rng=11)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.2)
+        boost = MedianBoostSketcher(
+            SubsampleSketcher(Task.FOREACH_ESTIMATOR, sample_count=200), copies=3
+        )
+        sketch = boost.sketch(db, p, rng=12)
+        from repro.db import Itemset
+
+        t = Itemset([0, 1])
+        estimates = sorted(c.estimate(t) for c in sketch._copies)
+        assert sketch.estimate(t) == estimates[1]
+
+    def test_bad_copy_count(self):
+        with pytest.raises(ParameterError):
+            MedianBoostSketcher(SubsampleSketcher(Task.FOREACH_ESTIMATOR), copies=0)

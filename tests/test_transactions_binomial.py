@@ -1,0 +1,109 @@
+"""Tests for transaction I/O and exact binomial calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    binomial_two_sided_tail,
+    binomial_upper_tail,
+    chernoff_additive,
+    chernoff_slack_factor,
+    exact_estimator_samples,
+    foreach_estimator_samples,
+)
+from repro.db import (
+    BinaryDatabase,
+    database_to_transactions,
+    planted_database,
+    read_transactions,
+    transactions_to_database,
+    write_transactions,
+)
+from repro.errors import ParameterError
+
+
+class TestTransactions:
+    def test_roundtrip_lists(self, planted_db):
+        tx = database_to_transactions(planted_db)
+        assert transactions_to_database(tx, d=planted_db.d) == planted_db
+
+    def test_duplicates_collapsed(self):
+        db = transactions_to_database([[0, 0, 2], [1]])
+        assert db.rows.tolist() == [[True, False, True], [False, True, False]]
+
+    def test_d_inferred(self):
+        db = transactions_to_database([[0], [5]])
+        assert db.d == 6
+
+    def test_file_roundtrip(self, tmp_path, planted_db):
+        path = tmp_path / "baskets.txt"
+        write_transactions(planted_db, path)
+        assert read_transactions(path, d=planted_db.d) == planted_db
+
+    def test_empty_baskets_preserved(self, tmp_path):
+        db = BinaryDatabase([[0, 0], [1, 0], [0, 0]])
+        path = tmp_path / "sparse.txt"
+        write_transactions(db, path)
+        assert read_transactions(path, d=2) == db
+
+    def test_bad_tokens_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 three\n")
+        with pytest.raises(ParameterError):
+            read_transactions(path)
+
+    def test_id_out_of_range(self):
+        with pytest.raises(ParameterError):
+            transactions_to_database([[5]], d=3)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParameterError):
+            transactions_to_database([])
+
+
+class TestExactBinomial:
+    def test_two_sided_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        s, p, eps = 150, 0.3, 0.07
+        draws = rng.binomial(s, p, size=20_000) / s
+        empirical = float(np.mean(np.abs(draws - p) > eps))
+        exact = binomial_two_sided_tail(s, p, eps)
+        assert abs(empirical - exact) < 0.01
+
+    def test_upper_tail_simple(self):
+        # P[X/2 > 0.4] for X ~ Bin(2, 0.5): P[X >= 1] = 0.75.
+        assert binomial_upper_tail(2, 0.5, 0.4) == pytest.approx(0.75)
+
+    def test_chernoff_dominates_exact(self):
+        """Lemma 11's bound is valid: it upper-bounds the exact tail."""
+        for s in (20, 100, 500):
+            for eps in (0.05, 0.1, 0.2):
+                assert binomial_two_sided_tail(s, 0.5, eps) <= chernoff_additive(
+                    s, eps
+                ) + 1e-12
+
+    def test_exact_sample_count_meets_target(self):
+        s = exact_estimator_samples(0.1, 0.1)
+        assert binomial_two_sided_tail(s, 0.5, 0.1) <= 0.1
+        assert binomial_two_sided_tail(s - 1, 0.5, 0.1) > 0.1  # minimal
+
+    def test_slack_factor_at_least_one(self):
+        """Lemma 9's estimator count is conservative (never undersized)."""
+        for eps, delta in ((0.1, 0.1), (0.05, 0.2), (0.2, 0.05)):
+            assert chernoff_slack_factor(eps, delta) >= 1.0
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            binomial_two_sided_tail(0, 0.5, 0.1)
+        with pytest.raises(ParameterError):
+            exact_estimator_samples(1.5, 0.1)
+
+    @given(st.integers(1, 400), st.floats(0.05, 0.95), st.floats(0.01, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_property_chernoff_validity(self, s, p, eps):
+        """The additive Chernoff bound dominates the exact tail everywhere."""
+        assert binomial_two_sided_tail(s, p, eps) <= chernoff_additive(s, eps) + 1e-9
