@@ -1,0 +1,295 @@
+"""Packed-bitset query engine: old-vs-new throughput regression bench.
+
+Measures the batch frequency-query hot path before and after the packed
+kernel (PR 1): the *seed* path answered each of the ``C(d, k)`` queries of
+``all_frequencies`` independently -- per-column Python-loop packing, a
+fresh k-way intersection per query, a full-mask AND on every support call
+-- while the packed engine shares ``(k-1)``-prefix intersections and
+evaluates whole batches in single vectorized kernel calls.
+
+Writes ``BENCH_query_engine.json`` (repo root) with before/after
+throughput in queries/sec and rows x queries/sec so subsequent PRs have a
+perf trajectory.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_query_engine.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from math import comb
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.db import (  # noqa: E402
+    BinaryDatabase,
+    Itemset,
+    all_frequencies,
+    all_itemsets,
+    random_database,
+)
+from repro.db.packed import popcount_words  # noqa: E402
+from repro.db.queries import FrequencyOracle  # noqa: E402
+from repro.mining import eclat  # noqa: E402
+from repro.streaming import MisraGries  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_query_engine.json"
+
+#: Acceptance floor for the tentpole: packed all_frequencies vs seed path.
+MIN_SPEEDUP = 10.0
+
+
+# ----------------------------------------------------------------------
+# Faithful reimplementation of the seed (pre-PR1) per-query path.
+# ----------------------------------------------------------------------
+class _SeedFrequencyOracle:
+    """The seed FrequencyOracle, preserved verbatim as the baseline.
+
+    Per-column Python-loop packing; every ``support`` call intersects the
+    packed columns from scratch and re-ANDs the padded full mask.
+    """
+
+    def __init__(self, db: BinaryDatabase) -> None:
+        self._db = db
+        n = db.n
+        n_words = (n + 63) // 64
+        packed = np.zeros((db.d, n_words), dtype=np.uint64)
+        padded = np.zeros((db.d, n_words * 64), dtype=bool)
+        padded[:, :n] = db.rows.T
+        for j in range(db.d):
+            words = np.packbits(padded[j]).view(np.uint8)
+            packed[j] = np.frombuffer(words.tobytes(), dtype=np.uint64)
+        self._packed = packed
+        self._full_mask = self._intersection(())
+
+    def _intersection(self, items) -> np.ndarray:
+        if len(items) == 0:
+            n = self._db.n
+            n_words = self._packed.shape[1]
+            mask = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+            excess = n_words * 64 - n
+            if excess:
+                pad = np.unpackbits(mask[-1:].view(np.uint8))
+                pad[-excess:] = 0
+                mask[-1] = np.frombuffer(np.packbits(pad).tobytes(), dtype=np.uint64)[0]
+            return mask
+        mask = self._packed[items[0]].copy()
+        for j in items[1:]:
+            mask &= self._packed[j]
+        return mask
+
+    def support(self, itemset: Itemset) -> int:
+        mask = self._intersection(itemset.items) & self._full_mask
+        # popcount_words is the version-portable popcount (the seed used
+        # np.bitwise_count directly, which needs numpy >= 2.0).
+        return int(popcount_words(mask).sum())
+
+    def frequency(self, itemset: Itemset) -> float:
+        return self.support(itemset) / self._db.n
+
+
+def _seed_all_frequencies(db: BinaryDatabase, k: int) -> dict[Itemset, float]:
+    """RELEASE-ANSWERS' precomputation as the seed implemented it."""
+    oracle = _SeedFrequencyOracle(db)
+    return {t: oracle.frequency(t) for t in all_itemsets(db.d, k)}
+
+
+def _time(fn, repeats: int = 1):
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _throughput(n_rows: int, n_queries: int, seconds: float) -> dict:
+    return {
+        "seconds": seconds,
+        "queries_per_sec": n_queries / seconds,
+        "row_queries_per_sec": n_rows * n_queries / seconds,
+    }
+
+
+def bench_all_frequencies(n: int, d: int, k: int, repeats: int) -> dict:
+    """The tentpole comparison: seed per-query path vs packed engine."""
+    db = random_database(n, d, density=0.3, rng=0)
+    n_queries = comb(d, k)
+    seed_time, seed_result = _time(lambda: _seed_all_frequencies(db, k), repeats)
+    new_time, new_result = _time(lambda: all_frequencies(db, k), repeats)
+    assert seed_result == new_result, "packed engine disagrees with seed path"
+    return {
+        "config": {"n": n, "d": d, "k": k, "queries": n_queries},
+        "seed": _throughput(n, n_queries, seed_time),
+        "packed": _throughput(n, n_queries, new_time),
+        "speedup": seed_time / new_time,
+    }
+
+
+def bench_batch_supports(n: int, d: int, k: int, repeats: int) -> dict:
+    """supports_batch vs one support() call per query (same new kernel)."""
+    db = random_database(n, d, density=0.3, rng=1)
+    oracle = FrequencyOracle(db)
+    itemsets = list(all_itemsets(d, k))
+    loop_time, loop_result = _time(
+        lambda: np.array([oracle.support(t) for t in itemsets]), repeats
+    )
+    batch_time, batch_result = _time(lambda: oracle.supports_batch(itemsets), repeats)
+    assert np.array_equal(loop_result, batch_result)
+    return {
+        "config": {"n": n, "d": d, "k": k, "queries": len(itemsets)},
+        "per_query": _throughput(n, len(itemsets), loop_time),
+        "batched": _throughput(n, len(itemsets), batch_time),
+        "speedup": loop_time / batch_time,
+    }
+
+
+def bench_eclat(n: int, d: int, threshold: float, repeats: int) -> dict:
+    """Packed-tidset Eclat vs the seed's boolean-mask DFS."""
+
+    def seed_eclat(db, min_frequency, max_size=None):
+        # Seed implementation: boolean row-mask tidsets, one Python-level
+        # AND + sum per extension.
+        min_count = max(int(np.ceil(min_frequency * db.n - 1e-9)), 1)
+        if max_size is None:
+            max_size = db.d
+        out: dict[Itemset, float] = {}
+
+        def extend(prefix, rows_mask, tail):
+            for idx, (item, item_mask) in enumerate(tail):
+                mask = rows_mask & item_mask
+                count = int(mask.sum())
+                if count < min_count:
+                    continue
+                itemset = prefix + (item,)
+                out[Itemset(itemset)] = count / db.n
+                if len(itemset) < max_size:
+                    extend(itemset, mask, tail[idx + 1 :])
+
+        columns = [(j, db.column(j).copy()) for j in range(db.d)]
+        extend((), np.ones(db.n, dtype=bool), columns)
+        return out
+
+    db = random_database(n, d, density=0.4, rng=2)
+    seed_time, seed_result = _time(lambda: seed_eclat(db, threshold), repeats)
+    new_time, new_result = _time(lambda: eclat(db, threshold), repeats)
+    assert seed_result == new_result, "packed eclat disagrees with seed eclat"
+    return {
+        "config": {"n": n, "d": d, "threshold": threshold, "itemsets": len(new_result)},
+        "seed": {"seconds": seed_time},
+        "packed": {"seconds": new_time},
+        "speedup": seed_time / new_time,
+    }
+
+
+def bench_stream_updates(length: int, universe: int, k: int, repeats: int) -> dict:
+    """update_many bulk ingestion vs one update() call per element."""
+    rng = np.random.default_rng(3)
+    stream = (rng.zipf(1.3, length) % universe).astype(np.int64)
+
+    def itemwise():
+        mg = MisraGries(universe, k=k)
+        for item in stream.tolist():
+            mg.update(item)
+        return mg
+
+    def bulk():
+        mg = MisraGries(universe, k=k)
+        mg.update_many(stream)
+        return mg
+
+    item_time, a = _time(itemwise, repeats)
+    bulk_time, b = _time(bulk, repeats)
+    assert a._counters == b._counters, "bulk path not bit-identical"
+    return {
+        "config": {"length": length, "universe": universe, "k": k},
+        "itemwise": {"seconds": item_time, "updates_per_sec": length / item_time},
+        "bulk": {"seconds": bulk_time, "updates_per_sec": length / bulk_time},
+        "speedup": item_time / bulk_time,
+    }
+
+
+def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
+    """Run the full suite and write the JSON trajectory record."""
+    repeats = 1 if quick else 3
+    if quick:
+        results = {
+            "all_frequencies": bench_all_frequencies(512, 14, 3, repeats),
+            "batch_supports": bench_batch_supports(512, 14, 2, repeats),
+            "eclat": bench_eclat(512, 12, 0.1, repeats),
+            "stream_updates": bench_stream_updates(20_000, 500, 50, repeats),
+        }
+    else:
+        results = {
+            "all_frequencies": bench_all_frequencies(4096, 24, 3, repeats),
+            "batch_supports": bench_batch_supports(4096, 24, 2, repeats),
+            "eclat": bench_eclat(4096, 18, 0.05, repeats),
+            "stream_updates": bench_stream_updates(200_000, 2000, 100, repeats),
+        }
+    record = {
+        "benchmark": "query_engine",
+        "pr": 1,
+        "quick": quick,
+        "results": results,
+    }
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (not part of tier-1: bench_* files are opt-in).
+# ----------------------------------------------------------------------
+def test_packed_engine_speedup_full():
+    record = run(quick=False)
+    tentpole = record["results"]["all_frequencies"]
+    print(
+        f"\nall_frequencies (n=4096, d=24, k=3): "
+        f"seed {tentpole['seed']['queries_per_sec']:.0f} q/s -> "
+        f"packed {tentpole['packed']['queries_per_sec']:.0f} q/s "
+        f"({tentpole['speedup']:.1f}x)"
+    )
+    assert tentpole["speedup"] >= MIN_SPEEDUP
+    assert record["results"]["eclat"]["speedup"] > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration (CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+    record = run(quick=args.quick, out_path=args.out)
+    for name, res in record["results"].items():
+        print(f"{name}: speedup {res['speedup']:.1f}x")
+    tentpole = record["results"]["all_frequencies"]
+    print(
+        f"all_frequencies throughput: "
+        f"{tentpole['seed']['queries_per_sec']:.0f} -> "
+        f"{tentpole['packed']['queries_per_sec']:.0f} queries/sec "
+        f"({tentpole['seed']['row_queries_per_sec']:.3g} -> "
+        f"{tentpole['packed']['row_queries_per_sec']:.3g} row-queries/sec)"
+    )
+    print(f"wrote {args.out}")
+    if not args.quick and tentpole["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {tentpole['speedup']:.1f}x < {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

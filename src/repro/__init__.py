@@ -32,6 +32,7 @@ from .db import (
     BinaryDatabase,
     FrequencyOracle,
     Itemset,
+    PackedColumns,
     all_itemsets,
     market_basket_database,
     planted_database,
@@ -57,6 +58,7 @@ __all__ = [
     "BinaryDatabase",
     "Itemset",
     "FrequencyOracle",
+    "PackedColumns",
     "all_itemsets",
     "random_database",
     "planted_database",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..db.database import BinaryDatabase
-from ..db.itemset import Itemset, all_itemsets, rank_itemset
+from ..db.itemset import Itemset, rank_itemset
 from ..db.queries import FrequencyOracle
 from ..db.serialize import BitReader, BitWriter
 from ..errors import ParameterError
@@ -122,10 +122,13 @@ class ReleaseAnswersSketcher(Sketcher):
                 f"(> {MAX_STORED_ANSWERS}); choose another algorithm"
             )
         oracle = FrequencyOracle(db)
+        # One prefix-sharing kernel sweep computes all C(d, k) supports,
+        # already indexed by colex rank -- the payload's answer order.
+        supports = oracle.all_supports(params.k)
         writer = BitWriter()
         indicator = self._task.is_indicator
-        for itemset in all_itemsets(params.d, params.k):
-            freq = oracle.frequency(itemset)
+        for support in supports.tolist():
+            freq = support / db.n
             if indicator:
                 writer.write_bit(freq >= INDICATOR_THRESHOLD_FACTOR * params.epsilon)
             else:

@@ -112,7 +112,7 @@ def validate_sketcher(
     gen = as_rng(rng)
     itemsets = _itemsets_to_check(params, max_itemsets, gen)
     oracle = FrequencyOracle(db)
-    truth = np.array([oracle.frequency(t) for t in itemsets])
+    truth = oracle.frequencies(itemsets)
     eps = params.epsilon
     task = sketcher.task
 

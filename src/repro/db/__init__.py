@@ -4,6 +4,27 @@ This package realises the data model of Section 1.3 of the paper: binary
 databases ``D ∈ ({0,1}^d)^n``, itemsets ``T ⊆ [d]``, and frequency queries
 ``f_T(D)``, plus the exact bit-level serialization that all sketch size
 accounting rests on.
+
+Packed representation (the shared query kernel)
+-----------------------------------------------
+All batch frequency evaluation runs on :class:`~repro.db.packed.PackedColumns`,
+a vertical packed-bitset layout:
+
+* **Word layout** -- column ``j`` is ``ceil(n / 64)`` little-endian uint64
+  words; bit ``b`` of word ``w`` (``(word >> b) & 1``) is row ``w * 64 + b``.
+  The byte order is pinned to ``'<u8'`` at construction, so payloads and
+  query results are host-independent.
+* **Tail padding convention** -- bits at positions ``>= n`` in the last word
+  are always zero.  Intersections of non-empty itemsets therefore need no
+  per-query masking; only the empty itemset uses an explicit all-rows mask,
+  built arithmetically as ``(1 << valid_bits) - 1`` (never via
+  unpack/repack round-trips, which are endianness-sensitive).
+* **numpy version fallback** -- popcounts use :func:`numpy.bitwise_count`
+  (numpy >= 2.0) and fall back to a 16-bit lookup table on older numpy;
+  both paths return identical ``int64`` counts.
+
+The oracle in :mod:`repro.db.queries`, the miners, and the sketchers'
+precomputations all share this one kernel.
 """
 
 from .database import BinaryDatabase
@@ -16,6 +37,7 @@ from .generators import (
     zipf_item_stream,
 )
 from .itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
+from .packed import PackedColumns, pack_columns, popcount_words
 from .queries import (
     FrequencyOracle,
     all_frequencies,
@@ -38,6 +60,9 @@ __all__ = [
     "all_itemsets",
     "rank_itemset",
     "unrank_itemset",
+    "PackedColumns",
+    "pack_columns",
+    "popcount_words",
     "FrequencyOracle",
     "all_frequencies",
     "frequent_itemsets_exact",

@@ -90,6 +90,11 @@ def bytes_to_bits(n_bytes: int) -> int:
 def int_to_bits(value: int, width: int) -> np.ndarray:
     """Encode a non-negative integer as ``width`` bits, most significant first.
 
+    Vectorized for any width: the value is serialized big-endian via
+    ``int.to_bytes`` and expanded with one :func:`numpy.unpackbits` call
+    (no per-bit Python loop); widths above 64 work because the arithmetic
+    stays in Python integers.
+
     Raises
     ------
     SketchSizeError
@@ -99,15 +104,25 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
         raise SketchSizeError(f"int_to_bits requires value >= 0, got {value}")
     if width < 0 or value >> width:
         raise SketchSizeError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=bool)
+    if width == 0:
+        return np.zeros(0, dtype=bool)
+    pad = -width % 8
+    buf = (value << pad).to_bytes((width + pad) // 8, "big")
+    return np.unpackbits(np.frombuffer(buf, dtype=np.uint8))[:width].astype(bool)
 
 
 def bits_to_int(bits: np.ndarray) -> int:
-    """Decode a most-significant-bit-first boolean array into an integer."""
-    value = 0
-    for bit in np.asarray(bits, dtype=bool):
-        value = (value << 1) | int(bit)
-    return value
+    """Decode a most-significant-bit-first boolean array into an integer.
+
+    Vectorized for any width via one :func:`numpy.packbits` call plus an
+    exact big-endian ``int.from_bytes`` (arbitrary-precision, so widths
+    above 64 are exact).
+    """
+    arr = np.asarray(bits, dtype=bool)
+    if arr.size == 0:
+        return 0
+    pad = -arr.size % 8
+    return int.from_bytes(np.packbits(arr).tobytes(), "big") >> pad
 
 
 def popcount_rows(matrix: np.ndarray) -> np.ndarray:

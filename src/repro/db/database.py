@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ParameterError
 from .bitmatrix import pack_matrix, rows_containing, unpack_matrix
 from .itemset import Itemset
+from .packed import PackedColumns
 
 __all__ = ["BinaryDatabase"]
 
@@ -41,7 +42,7 @@ class BinaryDatabase:
     0.5
     """
 
-    __slots__ = ("_rows",)
+    __slots__ = ("_rows", "_packed")
 
     def __init__(self, rows: np.ndarray | Sequence[Sequence[int]]) -> None:
         arr = np.array(rows, dtype=bool, copy=True)
@@ -53,6 +54,7 @@ class BinaryDatabase:
             raise ParameterError(f"database must be non-empty, got shape {arr.shape}")
         arr.setflags(write=False)
         self._rows = arr
+        self._packed: PackedColumns | None = None
 
     # ------------------------------------------------------------------
     # Shape and equality.
@@ -76,6 +78,19 @@ class BinaryDatabase:
     def rows(self) -> np.ndarray:
         """The underlying read-only boolean matrix."""
         return self._rows
+
+    @property
+    def packed(self) -> PackedColumns:
+        """The shared packed-bitset query kernel for this database.
+
+        Built lazily on first use and cached for the database's lifetime
+        (rows are immutable), so every consumer -- the oracle, the miners,
+        the sketchers' precomputations -- shares one packing instead of
+        re-packing per evaluator.
+        """
+        if self._packed is None:
+            self._packed = PackedColumns(self._rows)
+        return self._packed
 
     def row(self, i: int) -> np.ndarray:
         """The i-th row ``D(i)`` as a boolean vector."""

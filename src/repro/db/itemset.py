@@ -15,6 +15,8 @@ encoders are bijections with testable inverses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
 from math import comb
 from typing import Iterable, Iterator
 
@@ -27,6 +29,7 @@ __all__ = [
     "rank_itemset",
     "unrank_itemset",
     "all_itemsets",
+    "lex_itemsets",
 ]
 
 
@@ -53,6 +56,20 @@ class Itemset:
         if any(i < 0 for i in values):
             raise ParameterError(f"itemset indices must be non-negative: {values}")
         object.__setattr__(self, "items", values)
+
+    @staticmethod
+    def from_sorted(items: tuple[int, ...]) -> "Itemset":
+        """Trusted fast constructor for the batch evaluators.
+
+        ``items`` must already be a strictly increasing tuple of
+        non-negative ints (e.g. straight out of
+        :func:`itertools.combinations`); no validation or normalisation is
+        performed.  The packed-kernel enumeration paths construct millions
+        of itemsets, where ``__init__``'s sort/dedup would dominate.
+        """
+        obj = object.__new__(Itemset)
+        object.__setattr__(obj, "items", items)
+        return obj
 
     # -- basic protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -160,3 +177,33 @@ def all_itemsets(d: int, k: int) -> Iterator[Itemset]:
         raise ParameterError(f"need 0 <= k <= d, got k={k}, d={d}")
     for rank in range(comb(d, k)):
         yield unrank_itemset(rank, k)
+
+
+#: Cache lex enumerations only below this count (2M itemsets would pin
+#: hundreds of MB; large sweeps rebuild instead).
+_LEX_CACHE_MAX = 200_000
+
+
+@lru_cache(maxsize=16)
+def _lex_itemsets_cached(d: int, k: int) -> tuple[Itemset, ...]:
+    return tuple(
+        Itemset.from_sorted(items) for items in combinations(range(d), k)
+    )
+
+
+def lex_itemsets(d: int, k: int) -> tuple[Itemset, ...]:
+    """Every k-itemset over ``d`` attributes in lexicographic order.
+
+    The batch query engine's enumeration order (matching
+    :meth:`~repro.db.packed.PackedColumns.combination_supports`).  Results
+    for small ``C(d, k)`` are cached: repeated full-enumeration workloads --
+    RELEASE-ANSWERS over many sketch draws, validation sweeps -- reuse one
+    immutable key tuple instead of re-constructing ``C(d, k)`` itemsets.
+    """
+    if not 0 <= k <= d:
+        raise ParameterError(f"need 0 <= k <= d, got k={k}, d={d}")
+    if comb(d, k) > _LEX_CACHE_MAX:
+        return tuple(
+            Itemset.from_sorted(items) for items in combinations(range(d), k)
+        )
+    return _lex_itemsets_cached(d, k)

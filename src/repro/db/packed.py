@@ -1,0 +1,416 @@
+"""Packed-bitset query kernel: uint64 columns, batched AND + popcount.
+
+Every batch consumer of itemset frequencies in this repository -- the
+:class:`~repro.db.queries.FrequencyOracle`, the miners, RELEASE-ANSWERS'
+``C(d, k)`` precomputation -- reduces to the same primitive: intersect a few
+packed column bitsets and count the surviving rows.  This module is that
+primitive, implemented once and fully vectorized.
+
+Representation
+--------------
+A database column (``n`` boolean row-entries) is stored as ``n_words =
+ceil(n / 64)`` little-endian ``uint64`` words: bit ``b`` of word ``w``
+(i.e. ``(word >> b) & 1``) is row ``w * 64 + b``.  The tail word's padding
+bits (rows ``>= n``) are always zero, which makes intersections of
+*non-empty* itemsets self-masking: no per-query tail fix-up is needed.  Only
+the empty itemset needs an explicit all-rows mask, built arithmetically as
+``(1 << valid_bits) - 1`` for the tail word (no unpack/repack round-trips,
+no endianness traps).
+
+Construction is one :func:`numpy.packbits` call over the whole matrix
+(``bitorder="little"`` down the rows) followed by a byte-level view as
+``'<u8'`` -- explicit little-endian words, so the layout is identical on any
+host.  Popcounts go through :func:`numpy.bitwise_count` when available
+(numpy >= 2.0) with a 16-bit lookup-table fallback for older numpy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import chain, combinations
+from math import comb
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "PackedColumns",
+    "popcount_words",
+    "popcount_sum",
+    "pack_columns",
+    "combination_index_array",
+]
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Elementwise popcount of a uint64 array (int64 result)."""
+        return np.bitwise_count(words).astype(np.int64)
+
+    def popcount_sum(masks: np.ndarray) -> np.ndarray:
+        """Row-wise popcount totals of a 2-D uint64 array (hot-path form)."""
+        return np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT16 = np.array(
+        [bin(i).count("1") for i in range(1 << 16)], dtype=np.int64
+    )
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Elementwise popcount of a uint64 array (int64 result)."""
+        arr = np.ascontiguousarray(words)
+        halves = arr.view(np.uint16).reshape(arr.shape + (4,))
+        return _POPCOUNT16[halves].sum(axis=-1)
+
+    def popcount_sum(masks: np.ndarray) -> np.ndarray:
+        """Row-wise popcount totals of a 2-D uint64 array (hot-path form)."""
+        return popcount_words(masks).sum(axis=1)
+
+
+def pack_columns(rows: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, d)`` boolean matrix into ``(d, n_words)`` uint64 words.
+
+    Bit ``b`` of word ``w`` of row ``j`` of the result is entry
+    ``rows[w * 64 + b, j]``; padding bits beyond ``n`` are zero.  One
+    vectorized :func:`numpy.packbits` call -- no per-column Python loop.
+    """
+    arr = np.asarray(rows, dtype=bool)
+    if arr.ndim != 2:
+        raise ParameterError(f"pack_columns expects a 2-D matrix, got shape {arr.shape}")
+    n, d = arr.shape
+    n_words = max(1, -(-n // WORD_BITS))
+    packed = np.packbits(arr, axis=0, bitorder="little")  # (ceil(n/8), d)
+    buf = np.zeros((n_words * 8, d), dtype=np.uint8)
+    buf[: packed.shape[0]] = packed
+    # '<u8' makes the word layout explicitly little-endian on every host.
+    words = np.ascontiguousarray(buf.T).view(np.dtype("<u8"))
+    return words.astype(np.uint64, copy=False)
+
+
+#: Cache combination index arrays only below this element count (larger
+#: sweeps rebuild rather than pin memory).
+_INDEX_CACHE_MAX = 1_000_000
+
+
+def _build_combination_index(d: int, k: int) -> np.ndarray:
+    if k == 0:
+        return np.zeros((1, 0), dtype=np.intp)
+    m = comb(d, k)
+    flat = np.fromiter(
+        chain.from_iterable(combinations(range(d), k)), dtype=np.intp, count=m * k
+    )
+    return flat.reshape(m, k)
+
+
+@lru_cache(maxsize=16)
+def _combination_index_cached(d: int, k: int) -> np.ndarray:
+    idx = _build_combination_index(d, k)
+    idx.setflags(write=False)
+    return idx
+
+
+def combination_index_array(d: int, k: int) -> np.ndarray:
+    """All k-subsets of ``range(d)`` as a ``(C(d, k), k)`` index array.
+
+    Lexicographic row order (the order of :func:`itertools.combinations`),
+    materialized with one :func:`numpy.fromiter` pass.  Small enumerations
+    are cached (read-only) -- repeated full-``C(d, k)`` workloads reuse the
+    same index block.
+    """
+    if not 0 <= k <= d:
+        raise ParameterError(f"need 0 <= k <= d, got k={k}, d={d}")
+    if comb(d, k) * max(k, 1) > _INDEX_CACHE_MAX:
+        return _build_combination_index(d, k)
+    return _combination_index_cached(d, k)
+
+
+def _tail_mask(n: int, n_words: int) -> np.ndarray:
+    """All-rows mask: every bit below ``n`` set, padding bits clear."""
+    mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    if n == 0:
+        mask[:] = 0
+        return mask
+    valid = n - (n_words - 1) * WORD_BITS
+    if valid < WORD_BITS:
+        mask[-1] = np.uint64((1 << valid) - 1)
+    return mask
+
+
+class PackedColumns:
+    """Vertical packed-bitset view of a boolean matrix, plus batch kernels.
+
+    Parameters
+    ----------
+    rows:
+        ``(n, d)`` boolean matrix (rows are transactions, columns are items).
+
+    Notes
+    -----
+    All query methods take plain item-index sequences, not
+    :class:`~repro.db.itemset.Itemset` objects -- this is the layer below the
+    oracle, shared by the miners and the sketchers.
+    """
+
+    __slots__ = ("_words", "_n", "_d", "_full", "_ext")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        words = pack_columns(rows)
+        self._words = words
+        self._n = int(np.asarray(rows).shape[0])
+        self._d = int(words.shape[0])
+        self._full = _tail_mask(self._n, words.shape[1])
+        self._ext: np.ndarray | None = None
+
+    @classmethod
+    def from_matrix(cls, rows: np.ndarray) -> "PackedColumns":
+        """Build from any 2-D boolean-convertible matrix."""
+        return cls(rows)
+
+    # ------------------------------------------------------------------
+    # Shape and raw access.
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of rows."""
+        return self._n
+
+    @property
+    def d(self) -> int:
+        """Number of columns (items)."""
+        return self._d
+
+    @property
+    def n_words(self) -> int:
+        """uint64 words per column."""
+        return int(self._words.shape[1])
+
+    @property
+    def words(self) -> np.ndarray:
+        """The ``(d, n_words)`` packed words (do not mutate)."""
+        return self._words
+
+    @property
+    def full_mask(self) -> np.ndarray:
+        """All-rows mask (the empty itemset's intersection)."""
+        return self._full.copy()
+
+    def column_words(self, j: int) -> np.ndarray:
+        """Packed words of column ``j``."""
+        return self._words[self._check_item(j)]
+
+    def _check_item(self, j: int) -> int:
+        if not 0 <= j < self._d:
+            raise ParameterError(f"item {j} out of range for d={self._d}")
+        return j
+
+    def _extended(self) -> np.ndarray:
+        """Words with one extra virtual column ``d`` = all rows (batch padding)."""
+        if self._ext is None:
+            self._ext = np.vstack([self._words, self._full[None, :]])
+        return self._ext
+
+    # ------------------------------------------------------------------
+    # Single-itemset kernels.
+    # ------------------------------------------------------------------
+    def intersect(self, items: Sequence[int]) -> np.ndarray:
+        """Packed row-bitset of rows containing every item in ``items``.
+
+        The empty selection returns the all-rows mask; non-empty selections
+        need no tail masking because padding bits are zero by construction.
+        """
+        if len(items) == 0:
+            return self._full.copy()
+        mask = self._words[self._check_item(items[0])].copy()
+        for j in items[1:]:
+            mask &= self._words[self._check_item(j)]
+        return mask
+
+    def support(self, items: Sequence[int]) -> int:
+        """Number of rows containing every item in ``items``."""
+        if len(items) == 0:
+            return self._n
+        return int(popcount_words(self.intersect(items)).sum())
+
+    # ------------------------------------------------------------------
+    # Batched kernels.
+    # ------------------------------------------------------------------
+    def supports_for_index_array(self, idx: np.ndarray) -> np.ndarray:
+        """Support counts for an ``(m, k)`` item-index array (one sweep).
+
+        The core batched kernel: ``k - 1`` AND passes over an
+        ``(m, n_words)`` block followed by one batched popcount.  Indices
+        equal to ``d`` select the virtual all-rows column (ragged padding).
+        """
+        m, k = idx.shape
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        if k == 0:
+            return np.full(m, self._n, dtype=np.int64)
+        ext = self._extended()
+        masks = ext[idx[:, 0]]  # fancy indexing copies; safe to AND in place
+        for pos in range(1, k):
+            masks &= ext[idx[:, pos]]
+        return popcount_sum(masks)
+
+    def supports_batch(self, itemsets: Iterable[Sequence[int]]) -> np.ndarray:
+        """Support counts for many itemsets in one vectorized sweep.
+
+        Ragged batches are handled by padding with a virtual all-rows
+        column; uniform-length batches (a miner's candidate level) convert
+        straight to the index array with no per-element Python loop.
+        """
+        batch = [tuple(t) for t in itemsets]
+        m = len(batch)
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        max_k = max(len(t) for t in batch)
+        if max_k == 0:
+            return np.full(m, self._n, dtype=np.int64)
+        if all(len(t) == max_k for t in batch):
+            idx = np.asarray(batch, dtype=np.intp)
+            if idx.size and (idx.min() < 0 or idx.max() >= self._d):
+                bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+                raise ParameterError(f"item {bad} out of range for d={self._d}")
+        else:
+            idx = np.full((m, max_k), self._d, dtype=np.intp)
+            for i, t in enumerate(batch):
+                for pos, j in enumerate(t):
+                    idx[i, pos] = self._check_item(j)
+        return self.supports_for_index_array(idx)
+
+    def _colex_ranks(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized colex ranks of an ``(m, k)`` sorted-combination array.
+
+        ``rank(T) = sum_i C(c_i, i + 1)`` -- one Pascal-table gather, no
+        per-itemset arithmetic.
+        """
+        k = idx.shape[1]
+        if k == 0:
+            return np.zeros(idx.shape[0], dtype=np.int64)
+        pascal = np.array(
+            [[comb(j, i + 1) for i in range(k)] for j in range(self._d)],
+            dtype=np.int64,
+        )
+        return pascal[idx, np.arange(k)].sum(axis=1)
+
+    def combination_supports(
+        self, k: int, chunk_size: int = 1 << 16
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Supports of all ``C(d, k)`` k-itemsets in lexicographic order.
+
+        Returns ``(indices, counts)``: the ``(C(d, k), k)`` lex-ordered
+        index array and the matching support counts.  The evaluator shares
+        ``(k - 1)``-prefix intersections: the ``C(d, k - 1)`` prefix masks
+        are built once (indexed by colex rank), and each leaf is then a
+        single gather + AND + popcount, evaluated in memory-bounded chunks.
+        """
+        idx = combination_index_array(self._d, k)
+        if k <= 1:
+            return idx, self.supports_for_index_array(idx)
+        pidx = combination_index_array(self._d, k - 1)
+        pmask = self._words[pidx[:, 0]]
+        for pos in range(1, k - 1):
+            pmask &= self._words[pidx[:, pos]]
+        # Lex order groups k-combinations contiguously by (k-1)-prefix: the
+        # prefix ending at j extends with j+1 .. d-1, so the leaf -> prefix
+        # map is a plain repeat, no rank arithmetic or scatter needed.
+        leaf_prefix = np.repeat(
+            np.arange(pidx.shape[0], dtype=np.intp), self._d - 1 - pidx[:, -1]
+        )
+        counts = np.empty(idx.shape[0], dtype=np.int64)
+        for lo in range(0, idx.shape[0], chunk_size):
+            hi = min(lo + chunk_size, idx.shape[0])
+            masks = pmask[leaf_prefix[lo:hi]]
+            masks &= self._words[idx[lo:hi, k - 1]]
+            counts[lo:hi] = popcount_sum(masks)
+        return idx, counts
+
+    def extension_supports(
+        self, mask: np.ndarray, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """AND ``mask`` against columns ``lo..hi-1`` at once.
+
+        Returns ``(child_masks, counts)``: the ``(hi - lo, n_words)`` packed
+        intersections and their popcounts.  This is the shared inner step of
+        the prefix-sharing evaluators (oracle DFS and Eclat).
+        """
+        child = self._words[lo:hi] & mask
+        return child, popcount_sum(child)
+
+    # ------------------------------------------------------------------
+    # Prefix-sharing enumeration (Eclat-style DFS over packed words).
+    # ------------------------------------------------------------------
+    def iter_supports(
+        self, k: int, min_count: int = 0
+    ) -> Iterable[tuple[tuple[int, ...], int]]:
+        """Yield ``(items, support)`` for k-itemsets in lexicographic order.
+
+        Shares each ``(k-1)``-prefix intersection across its extensions
+        instead of intersecting every itemset from scratch, and evaluates the
+        final level as one vectorized AND + popcount per prefix.  With
+        ``min_count > 0`` the DFS prunes by monotonicity (a prefix below the
+        threshold cannot have a qualifying extension) and yields only
+        itemsets with ``support >= min_count``.
+        """
+        if not 0 <= k <= self._d:
+            raise ParameterError(f"need 0 <= k <= d, got k={k}, d={self._d}")
+        if k == 0:
+            if self._n >= min_count:
+                yield (), self._n
+            return
+        yield from self._dfs((), self._full, 0, k, min_count)
+
+    def _dfs(
+        self,
+        prefix: tuple[int, ...],
+        mask: np.ndarray,
+        start: int,
+        k: int,
+        min_count: int,
+    ) -> Iterable[tuple[tuple[int, ...], int]]:
+        depth = len(prefix)
+        remaining = k - depth
+        hi = self._d - remaining + 1
+        if remaining == 1:
+            child, counts = self.extension_supports(mask, start, self._d)
+            for off in range(self._d - start):
+                count = int(counts[off])
+                if count >= min_count:
+                    yield prefix + (start + off,), count
+            return
+        child = self._words[start:] & mask
+        if min_count > 0:
+            counts = popcount_sum(child)
+        for j in range(start, hi):
+            if min_count > 0 and counts[j - start] < min_count:
+                continue
+            yield from self._dfs(
+                prefix + (j,), child[j - start], j + 1, k, min_count
+            )
+
+    def support_counts_all(self, k: int) -> np.ndarray:
+        """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
+
+        The rank convention matches :func:`~repro.db.itemset.rank_itemset`
+        (``rank(T) = sum_i C(c_i, i+1)``), so ``result[rank_itemset(T)]`` is
+        the support of ``T``.  One flat batched kernel sweep plus a
+        vectorized Pascal-table rank scatter.
+        """
+        if not 0 <= k <= self._d:
+            raise ParameterError(f"need 0 <= k <= d, got k={k}, d={self._d}")
+        idx, counts = self.combination_supports(k)
+        if k == 0:
+            return counts
+        out = np.empty_like(counts)
+        out[self._colex_ranks(idx)] = counts
+        return out
+
+    def __repr__(self) -> str:
+        return f"PackedColumns(n={self._n}, d={self._d}, n_words={self.n_words})"

@@ -3,27 +3,27 @@
 Two query surfaces sit on top of :class:`~repro.db.database.BinaryDatabase`:
 
 * :class:`FrequencyOracle` -- evaluates many itemset frequency queries
-  efficiently by caching per-column bitmasks (as packed uint64 words) and
-  intersecting them, which is the classic "vertical" representation used by
-  Eclat-style miners.
+  through the packed-bitset kernel of :mod:`repro.db.packed`: one uint64
+  AND-reduce plus popcount per query, batched over whole query sets, with a
+  prefix-sharing DFS for full ``C(d, k)`` enumerations (RELEASE-ANSWERS'
+  precomputation, the miners' ground truth).
 * :func:`marginal_table` -- the ``2^k``-entry marginal contingency table of
   Section 1.1.2: one count per setting of the k attributes.  The paper notes
   marginal tables are "essentially just a list of itemset frequencies"; we
-  realise both directions of that equivalence
-  (:func:`marginal_from_frequencies` via inclusion-exclusion).
+  realise both directions of that equivalence via vectorized zeta/Moebius
+  (subset-sum) transforms over the ``2^k`` table.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from math import comb
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..errors import ParameterError
 from .database import BinaryDatabase
-from .itemset import Itemset, all_itemsets
+from .itemset import Itemset, lex_itemsets
+from .packed import PackedColumns
 
 __all__ = [
     "FrequencyOracle",
@@ -38,84 +38,98 @@ __all__ = [
 class FrequencyOracle:
     """Fast repeated itemset frequency evaluation over a fixed database.
 
-    Columns are packed into uint64 words once; each query intersects the
-    packed columns and popcounts the result.  For the query-heavy
-    reconstruction attacks of Section 3 this is an order of magnitude faster
-    than slicing the boolean matrix per query.
+    Columns are packed into uint64 words once (one vectorized
+    :func:`numpy.packbits` pass); each query intersects the packed columns
+    and popcounts the result.  Batches go through
+    :meth:`supports_batch` -- a single vectorized kernel call for the whole
+    query set -- and full ``C(d, k)`` sweeps share ``(k-1)``-prefix
+    intersections Eclat-style instead of intersecting from scratch per query.
     """
 
     def __init__(self, db: BinaryDatabase) -> None:
         self._db = db
-        n = db.n
-        n_words = (n + 63) // 64
-        packed = np.zeros((db.d, n_words), dtype=np.uint64)
-        padded = np.zeros((db.d, n_words * 64), dtype=bool)
-        padded[:, :n] = db.rows.T
-        for j in range(db.d):
-            words = np.packbits(padded[j]).view(np.uint8)
-            packed[j] = np.frombuffer(words.tobytes(), dtype=np.uint64)
-        self._packed = packed
-        self._full_mask = self._intersection(())
+        self._kernel = db.packed
 
     @property
     def database(self) -> BinaryDatabase:
         """The database this oracle answers for."""
         return self._db
 
-    def _intersection(self, items: Sequence[int]) -> np.ndarray:
-        if len(items) == 0:
-            n = self._db.n
-            n_words = self._packed.shape[1]
-            mask = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-            # Zero out the padding bits beyond row n.
-            excess = n_words * 64 - n
-            if excess:
-                pad = np.unpackbits(mask[-1:].view(np.uint8))
-                pad[-excess:] = 0
-                mask[-1] = np.frombuffer(np.packbits(pad).tobytes(), dtype=np.uint64)[0]
-            return mask
-        mask = self._packed[items[0]].copy()
-        for j in items[1:]:
-            mask &= self._packed[j]
-        return mask
+    @property
+    def kernel(self) -> PackedColumns:
+        """The shared packed-bitset kernel (for miners and sketchers)."""
+        return self._kernel
 
-    def support(self, itemset: Itemset) -> int:
-        """Number of rows containing ``itemset``."""
+    def _check(self, itemset: Itemset) -> Itemset:
         if itemset.items and itemset.items[-1] >= self._db.d:
             raise ParameterError(
                 f"itemset {itemset} out of range for d={self._db.d}"
             )
-        mask = self._intersection(itemset.items) & self._full_mask
-        return int(np.bitwise_count(mask).sum())
+        return itemset
+
+    def support(self, itemset: Itemset) -> int:
+        """Number of rows containing ``itemset``."""
+        return self._kernel.support(self._check(itemset).items)
 
     def frequency(self, itemset: Itemset) -> float:
         """``f_T(D)`` for a single itemset."""
         return self.support(itemset) / self._db.n
 
+    def supports_batch(self, itemsets: Iterable[Itemset | Sequence[int]]) -> np.ndarray:
+        """Support counts for a batch of itemsets in one vectorized sweep."""
+        batch = [
+            t.items if isinstance(t, Itemset) else tuple(t) for t in itemsets
+        ]
+        return self._kernel.supports_batch(batch)
+
     def frequencies(self, itemsets: Iterable[Itemset]) -> np.ndarray:
-        """Frequencies for a batch of itemsets."""
-        return np.array([self.frequency(t) for t in itemsets], dtype=float)
+        """Frequencies for a batch of itemsets (single kernel call)."""
+        return self.supports_batch(itemsets) / self._db.n
+
+    def all_supports(self, k: int) -> np.ndarray:
+        """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
+
+        ``result[rank_itemset(T)]`` is the support of ``T``; computed with
+        shared prefix intersections (one word-AND + popcount per itemset).
+        """
+        return self._kernel.support_counts_all(k)
+
+    def iter_supports(
+        self, k: int, min_count: int = 0
+    ) -> Iterable[tuple[tuple[int, ...], int]]:
+        """Yield ``(items, support)`` over k-itemsets (lex order, pruned DFS)."""
+        return self._kernel.iter_supports(k, min_count=min_count)
 
 
 def all_frequencies(db: BinaryDatabase, k: int) -> dict[Itemset, float]:
     """Exact frequencies of *all* ``C(d, k)`` k-itemsets.
 
-    This is RELEASE-ANSWERS' precomputation step (Definition 7).  The cost is
-    ``C(d, k)`` queries, so callers guard ``d`` and ``k``.
+    This is RELEASE-ANSWERS' precomputation step (Definition 7), evaluated
+    as one flat batched kernel sweep (a handful of vectorized AND + popcount
+    calls for the whole ``C(d, k)`` space) zipped against the cached
+    lexicographic itemset enumeration.
     """
-    oracle = FrequencyOracle(db)
-    return {t: oracle.frequency(t) for t in all_itemsets(db.d, k)}
+    _, counts = db.packed.combination_supports(k)
+    freqs = counts / db.n
+    return dict(zip(lex_itemsets(db.d, k), freqs.tolist()))
 
 
 def frequent_itemsets_exact(
     db: BinaryDatabase, k: int, epsilon: float
 ) -> list[Itemset]:
-    """All k-itemsets with frequency strictly above ``epsilon`` (brute force).
+    """All k-itemsets with frequency strictly above ``epsilon``.
 
-    Serves as ground truth for the indicator sketches and the miners.
+    Serves as ground truth for the indicator sketches and the miners.  The
+    DFS prunes by monotonicity: a prefix at or below the threshold cannot
+    have a qualifying extension.  Results are in lexicographic order.
     """
     oracle = FrequencyOracle(db)
-    return [t for t in all_itemsets(db.d, k) if oracle.frequency(t) > epsilon]
+    # Smallest integer count with count / n > epsilon.
+    min_count = int(np.floor(epsilon * db.n + 1e-9)) + 1
+    return [
+        Itemset.from_sorted(items)
+        for items, _ in oracle.iter_supports(k, min_count=min_count)
+    ]
 
 
 def marginal_table(db: BinaryDatabase, itemset: Itemset) -> np.ndarray:
@@ -134,29 +148,55 @@ def marginal_table(db: BinaryDatabase, itemset: Itemset) -> np.ndarray:
     return np.bincount(cell, minlength=1 << k).astype(np.int64)
 
 
+def _pattern_attrs(attrs: Sequence[int], pattern: int, k: int) -> Itemset:
+    """The sub-itemset whose attributes sit on ``pattern``'s set bits."""
+    return Itemset(attrs[i] for i in range(k) if (pattern >> (k - 1 - i)) & 1)
+
+
+def _superset_zeta(table: np.ndarray, k: int) -> np.ndarray:
+    """Superset-sum (zeta) transform: ``out[S] = sum_{P >= S} table[P]``.
+
+    ``P >= S`` means ``P``'s bit pattern covers ``S``'s.  Vectorized over the
+    ``2^k`` table: one in-place axis-fold per attribute instead of the naive
+    ``O(4^k)`` double loop.
+    """
+    t = table.astype(float).reshape((2,) * k)
+    for axis in range(k):
+        lo = tuple(slice(None) if a != axis else 0 for a in range(k))
+        hi = tuple(slice(None) if a != axis else 1 for a in range(k))
+        t[lo] += t[hi]
+    return t.reshape(-1)
+
+
+def _superset_moebius(values: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`_superset_zeta` (signed subset-sum / Moebius)."""
+    t = values.astype(float).reshape((2,) * k)
+    for axis in range(k):
+        lo = tuple(slice(None) if a != axis else 0 for a in range(k))
+        hi = tuple(slice(None) if a != axis else 1 for a in range(k))
+        t[lo] -= t[hi]
+    return t.reshape(-1)
+
+
 def marginal_from_frequencies(
     itemset: Itemset, freq_of: dict[Itemset, float], n: int
 ) -> np.ndarray:
     """Reconstruct a marginal table from monotone-conjunction frequencies.
 
-    Implements the textbook inclusion-exclusion (Moebius) inversion noted in
-    the paper's footnote 2: non-monotone conjunction counts are signed sums
-    of monotone ones.  ``freq_of`` must contain the frequency of every
-    subset of ``itemset`` (including the empty itemset, frequency 1).
+    Implements the inclusion-exclusion (Moebius) inversion noted in the
+    paper's footnote 2 -- non-monotone conjunction counts are signed sums of
+    monotone ones -- as one vectorized superset-Moebius transform over the
+    ``2^k`` table.  ``freq_of`` must contain the frequency of every subset
+    of ``itemset`` (including the empty itemset, frequency 1).
     """
     attrs = list(itemset.items)
     k = len(attrs)
-    table = np.zeros(1 << k, dtype=float)
+    if k == 0:
+        return np.array([freq_of[Itemset([])] * n], dtype=float)
+    counts = np.empty(1 << k, dtype=float)
     for pattern in range(1 << k):
-        ones = [attrs[i] for i in range(k) if (pattern >> (k - 1 - i)) & 1]
-        zeros = [attrs[i] for i in range(k) if not (pattern >> (k - 1 - i)) & 1]
-        total = 0.0
-        for r in range(len(zeros) + 1):
-            for extra in combinations(zeros, r):
-                key = Itemset(tuple(ones) + extra)
-                total += (-1) ** r * freq_of[key]
-        table[pattern] = total * n
-    return table
+        counts[pattern] = freq_of[_pattern_attrs(attrs, pattern, k)] * n
+    return _superset_moebius(counts, k)
 
 
 def frequencies_from_marginal(
@@ -164,8 +204,9 @@ def frequencies_from_marginal(
 ) -> dict[Itemset, float]:
     """Frequencies of all subsets of ``itemset`` from its marginal table.
 
-    The inverse direction of the equivalence: the frequency of a sub-itemset
-    is the sum of table cells whose pattern has 1s on that subset.
+    The inverse direction of the equivalence -- the frequency of a
+    sub-itemset is the sum of table cells whose pattern has 1s on that
+    subset -- computed as one vectorized superset-zeta transform.
     """
     attrs = list(itemset.items)
     k = len(attrs)
@@ -174,13 +215,10 @@ def frequencies_from_marginal(
             f"marginal table for {k} attributes needs {1 << k} entries, "
             f"got {len(table)}"
         )
-    out: dict[Itemset, float] = {}
-    for r in range(k + 1):
-        for sub in combinations(range(k), r):
-            mask_positions = set(sub)
-            total = 0.0
-            for pattern in range(1 << k):
-                if all((pattern >> (k - 1 - i)) & 1 for i in mask_positions):
-                    total += table[pattern]
-            out[Itemset(attrs[i] for i in sub)] = total / n
-    return out
+    if k == 0:
+        return {Itemset([]): float(table[0]) / n}
+    sums = _superset_zeta(np.asarray(table, dtype=float), k)
+    return {
+        _pattern_attrs(attrs, pattern, k): sums[pattern] / n
+        for pattern in range(1 << k)
+    }

@@ -55,8 +55,9 @@ def measure_sketch_error(
     itemsets = _sample_itemsets(params, n_itemsets, gen)
     oracle = FrequencyOracle(db)
     sketch = sketcher.sketch(db, params, gen)
-    errors = np.array(
-        [abs(sketch.estimate(t) - oracle.frequency(t)) for t in itemsets]
+    exact = oracle.frequencies(itemsets)
+    errors = np.abs(
+        np.array([sketch.estimate(t) for t in itemsets]) - exact
     )
     return {
         "max_error": float(errors.max()),

@@ -6,7 +6,13 @@ Miners run on databases *or* sketches through the
 """
 
 from .apriori import apriori
-from .base import DatabaseSource, FrequencySource, SketchSource, as_source
+from .base import (
+    DatabaseSource,
+    FrequencySource,
+    SketchSource,
+    as_source,
+    batch_frequencies,
+)
 from .biclique import (
     biclique_to_itemset,
     database_to_bipartite,
@@ -24,6 +30,7 @@ __all__ = [
     "DatabaseSource",
     "SketchSource",
     "as_source",
+    "batch_frequencies",
     "apriori",
     "eclat",
     "fpgrowth",

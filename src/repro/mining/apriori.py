@@ -14,7 +14,7 @@ from itertools import combinations
 
 from ..db.itemset import Itemset
 from ..errors import ParameterError
-from .base import FrequencySource, as_source
+from .base import FrequencySource, as_source, batch_frequencies
 
 __all__ = ["apriori"]
 
@@ -69,22 +69,23 @@ def apriori(
         max_size = src.d
     result: dict[Itemset, float] = {}
     level = []
-    for j in range(src.d):
-        itemset = Itemset([j])
-        freq = src.frequency(itemset)
+    # Each level is counted in one batched call: a single vectorized kernel
+    # sweep on databases, a per-itemset loop on sketches.
+    singletons = [Itemset([j]) for j in range(src.d)]
+    for itemset, freq in zip(singletons, batch_frequencies(src, singletons)):
         if freq >= min_frequency:
-            result[itemset] = freq
+            result[itemset] = float(freq)
             level.append(itemset)
     size = 1
     while level and size < max_size:
         prev_set = set(level)
+        candidates = [
+            c for c in sorted(_join_level(level)) if _downward_closed(c, prev_set)
+        ]
         next_level = []
-        for candidate in sorted(_join_level(level)):
-            if not _downward_closed(candidate, prev_set):
-                continue
-            freq = src.frequency(candidate)
+        for candidate, freq in zip(candidates, batch_frequencies(src, candidates)):
             if freq >= min_frequency:
-                result[candidate] = freq
+                result[candidate] = float(freq)
                 next_level.append(candidate)
         level = next_level
         size += 1

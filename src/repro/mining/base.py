@@ -5,18 +5,31 @@ a *sketch* instead of the database.  To make that literal, the miners in
 this package accept anything satisfying :class:`FrequencySource` --
 ``d`` attributes plus a ``frequency(itemset)`` method -- and we provide
 adapters for exact databases and for every sketch in :mod:`repro.core`.
+
+Sources may additionally expose ``frequencies_batch(itemsets)``; miners
+evaluate whole candidate levels through :func:`batch_frequencies`, which
+uses that vectorized path when present (one packed-kernel call per level
+for databases) and falls back to per-itemset calls otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from ..core.base import FrequencySketch
 from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
 from ..db.queries import FrequencyOracle
 
-__all__ = ["FrequencySource", "DatabaseSource", "SketchSource", "as_source"]
+__all__ = [
+    "FrequencySource",
+    "DatabaseSource",
+    "SketchSource",
+    "as_source",
+    "batch_frequencies",
+]
 
 
 @runtime_checkable
@@ -49,6 +62,10 @@ class DatabaseSource:
         """Exact ``f_T(D)``."""
         return self._oracle.frequency(itemset)
 
+    def frequencies_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Exact frequencies for a whole batch in one kernel sweep."""
+        return self._oracle.frequencies(itemsets)
+
 
 class SketchSource:
     """Approximate frequencies from any :class:`FrequencySketch`."""
@@ -73,3 +90,19 @@ def as_source(obj: BinaryDatabase | FrequencySketch | FrequencySource) -> Freque
     if isinstance(obj, FrequencySketch):
         return SketchSource(obj)
     return obj
+
+
+def batch_frequencies(
+    source: FrequencySource, itemsets: Iterable[Itemset]
+) -> np.ndarray:
+    """Frequencies for many itemsets, batched when the source supports it.
+
+    Uses the source's ``frequencies_batch`` (one vectorized kernel call)
+    when available, otherwise one ``frequency`` call per itemset.  Both
+    paths return identical values.
+    """
+    batch = list(itemsets)
+    fast = getattr(source, "frequencies_batch", None)
+    if fast is not None:
+        return np.asarray(fast(batch), dtype=float)
+    return np.array([source.frequency(t) for t in batch], dtype=float)

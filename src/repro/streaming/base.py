@@ -7,6 +7,13 @@ estimates, and reports an exact bit-size via the same accounting rules the
 sketches use -- so the E-STRM benchmark can put them on one axis against
 uniform sampling.
 
+Bulk ingestion: :meth:`StreamSummary.update_many` consumes a whole item
+array at once.  Subclasses override ``_update_many`` with a vectorized fast
+path that is required to leave the summary in *bit-identical* state to the
+equivalent sequence of itemwise updates (the property tests enforce this);
+the default falls back to the itemwise loop.  ``extend`` routes through
+``update_many``, so E-STRM runs never pay one Python call per element.
+
 Size accounting convention: a counter or stored item costs
 ``ceil(log2(universe))`` bits for the id plus 64 bits for the count, the
 standard cost model in the streaming literature.
@@ -16,7 +23,9 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import StreamError
 
@@ -31,6 +40,61 @@ def item_id_bits(universe: int) -> int:
     if universe < 1:
         raise StreamError(f"universe must be >= 1, got {universe}")
     return max(1, math.ceil(math.log2(max(universe, 2))))
+
+
+def drain_counter_batch(
+    summary: "StreamSummary", counts: dict[int, int], k: int, items: np.ndarray
+) -> None:
+    """Shared bulk path for k-counter summaries (Misra-Gries, SpaceSaving).
+
+    Both summaries mutate their tracked-key set only when an *untracked*
+    item arrives at a full table (Misra-Gries decrements everything,
+    SpaceSaving evicts the minimum); increments of tracked items commute.
+    So: flag tracked items against the current key set in one
+    :func:`numpy.isin` sweep, fold each maximal tracked run with one
+    :func:`numpy.unique` aggregation, and replay only the mutating events
+    itemwise -- rebuilding the flags after each one, since evictions
+    invalidate them.  Rebuilds are capped; pathological all-miss batches
+    degrade to the plain itemwise loop rather than quadratic rescans.
+
+    State after this call is bit-identical to itemwise updates: run folds
+    apply exactly the increments the loop would, in a commuting region, and
+    every order-sensitive event goes through the summary's own ``_update``.
+    """
+    total = int(items.size)
+    pos = 0
+    rebuilds = 0
+    while pos < total:
+        if not counts or rebuilds >= 64:
+            for item in items[pos:].tolist():
+                summary._update(item)
+            return
+        keys = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        tracked = np.isin(items[pos:], keys)
+        rebuilds += 1
+        misses = np.flatnonzero(~tracked)
+        chunk_start = 0  # relative to pos
+        for miss in misses.tolist():
+            if miss > chunk_start:
+                vals, reps = np.unique(
+                    items[pos + chunk_start : pos + miss], return_counts=True
+                )
+                for v, c in zip(vals.tolist(), reps.tolist()):
+                    counts[v] += c
+            item = int(items[pos + miss])
+            mutates = item not in counts and len(counts) >= k
+            summary._update(item)
+            chunk_start = miss + 1
+            if mutates:
+                # Keys were evicted; the tracked flags are stale.
+                break
+        else:
+            if chunk_start < tracked.size:
+                vals, reps = np.unique(items[pos + chunk_start :], return_counts=True)
+                for v, c in zip(vals.tolist(), reps.tolist()):
+                    counts[v] += c
+            return
+        pos += chunk_start
 
 
 class StreamSummary(ABC):
@@ -58,9 +122,40 @@ class StreamSummary(ABC):
         self._update(item)
 
     def extend(self, items: Iterable[int]) -> None:
-        """Process a batch of items in order."""
-        for item in items:
-            self.update(item)
+        """Process a batch of items in order (bulk path)."""
+        self.update_many(np.fromiter(items, dtype=np.int64))
+
+    def update_many(self, items: Sequence[int] | np.ndarray) -> None:
+        """Process a whole batch of items in order.
+
+        Validates the batch up front (all-or-nothing: a batch containing an
+        out-of-universe id is rejected before any item is applied), then
+        hands it to the summary's ``_update_many`` fast path.  The resulting
+        state is bit-identical to calling :meth:`update` per item.
+        """
+        arr = np.asarray(items)
+        if arr.ndim > 1:
+            raise StreamError(f"update_many expects a 1-D batch, got shape {arr.shape}")
+        if arr.dtype.kind not in "iub":
+            raise StreamError(f"update_many expects integer items, got dtype {arr.dtype}")
+        arr = arr.astype(np.int64, copy=False).reshape(-1)
+        if arr.size == 0:
+            return
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi >= self.universe:
+            bad = lo if lo < 0 else hi
+            raise StreamError(f"item {bad} outside universe [0, {self.universe})")
+        self._update_many(arr)
+
+    def _update_many(self, items: np.ndarray) -> None:
+        """Batch processing of validated items; override for a fast path.
+
+        Implementations own the ``stream_length`` bookkeeping (some
+        summaries' transition rules read it mid-batch).
+        """
+        for item in items.tolist():
+            self.stream_length += 1
+            self._update(item)
 
     @abstractmethod
     def _update(self, item: int) -> None:

@@ -62,6 +62,15 @@ class CountMinSketch(StreamSummary):
         vals = (self._a * item + self._b) % _MERSENNE_PRIME
         return (vals % self.width).astype(np.intp)
 
+    def _hashes_many(self, items: np.ndarray) -> np.ndarray:
+        """Hash columns for a whole batch: ``(depth, len(items))`` at once.
+
+        Same int64 arithmetic as :meth:`_hashes` (including wraparound), so
+        batch and itemwise updates land on identical counters.
+        """
+        vals = (self._a[:, None] * items[None, :] + self._b[:, None]) % _MERSENNE_PRIME
+        return (vals % self.width).astype(np.intp)
+
     def _update(self, item: int) -> None:
         cols = self._hashes(item)
         rows = np.arange(self.depth)
@@ -71,6 +80,27 @@ class CountMinSketch(StreamSummary):
             self._table[rows, cols] = np.maximum(current, floor)
         else:
             self._table[rows, cols] += 1
+
+    def _update_many(self, items: np.ndarray) -> None:
+        """Bulk path: one vectorized hash evaluation for the whole batch.
+
+        Plain updates are commutative counter additions, applied as one
+        bincount per row.  Conservative updates are order-sensitive (each
+        depends on the counters the previous one left), so they replay
+        itemwise over the precomputed columns.
+        """
+        self.stream_length += int(items.size)
+        cols = self._hashes_many(items)
+        if self.conservative:
+            rows = np.arange(self.depth)
+            table = self._table
+            for t in range(cols.shape[1]):
+                current = table[rows, cols[:, t]]
+                floor = current.min() + 1
+                table[rows, cols[:, t]] = np.maximum(current, floor)
+        else:
+            for r in range(self.depth):
+                self._table[r] += np.bincount(cols[r], minlength=self.width)
 
     def estimate_count(self, item: int) -> float:
         """Minimum counter across rows (never undercounts)."""

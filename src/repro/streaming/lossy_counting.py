@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import StreamError
 from .base import COUNT_BITS, StreamSummary, item_id_bits
 
@@ -51,6 +53,36 @@ class LossyCounting(StreamSummary):
             self._entries = {
                 key: (c, d) for key, (c, d) in self._entries.items() if c + d > bucket
             }
+
+    def _update_many(self, items: np.ndarray) -> None:
+        """Bulk path: aggregate whole buckets, evict at bucket boundaries.
+
+        Within one bucket every update is order-free -- increments commute
+        and any first occurrence inserts with the same ``delta`` (the bucket
+        number minus one) -- so each bucket-aligned chunk collapses to one
+        :func:`numpy.unique` aggregation, with the eviction sweep replayed
+        exactly at the boundary.  Bit-identical to itemwise updates.
+        """
+        width = self.bucket_width
+        total = int(items.size)
+        pos = 0
+        while pos < total:
+            room = width - (self.stream_length % width)
+            take = min(room, total - pos)
+            chunk = items[pos : pos + take]
+            self.stream_length += take
+            bucket = self.current_bucket
+            delta = bucket - 1
+            entries = self._entries
+            vals, reps = np.unique(chunk, return_counts=True)
+            for v, c in zip(vals.tolist(), reps.tolist()):
+                count, first_delta = entries.get(v, (0, delta))
+                entries[v] = (count + c, first_delta)
+            if self.stream_length % width == 0:
+                self._entries = {
+                    key: (c, d) for key, (c, d) in entries.items() if c + d > bucket
+                }
+            pos += take
 
     def estimate_count(self, item: int) -> float:
         """Stored count; undercounts by at most ``epsilon * m``."""

@@ -10,8 +10,10 @@ lower bounds the paper contrasts with its own (Section 1.2).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import StreamError
-from .base import COUNT_BITS, StreamSummary, item_id_bits
+from .base import COUNT_BITS, StreamSummary, drain_counter_batch, item_id_bits
 
 __all__ = ["MisraGries"]
 
@@ -45,6 +47,11 @@ class MisraGries(StreamSummary):
                 counters[key] -= 1
                 if counters[key] == 0:
                     del counters[key]
+
+    def _update_many(self, items: np.ndarray) -> None:
+        """Bulk path: fold runs of tracked items, replay decrement events."""
+        self.stream_length += int(items.size)
+        drain_counter_batch(self, self._counters, self.k, items)
 
     def estimate_count(self, item: int) -> float:
         """Stored counter (0 if untracked); undercounts by <= m/(k+1)."""

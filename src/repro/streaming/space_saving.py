@@ -8,8 +8,10 @@ overestimate so answers come with per-item error certificates.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import StreamError
-from .base import COUNT_BITS, StreamSummary, item_id_bits
+from .base import COUNT_BITS, StreamSummary, drain_counter_batch, item_id_bits
 
 __all__ = ["SpaceSaving"]
 
@@ -47,6 +49,11 @@ class SpaceSaving(StreamSummary):
         self._errors.pop(victim)
         counts[item] = floor + 1
         self._errors[item] = floor
+
+    def _update_many(self, items: np.ndarray) -> None:
+        """Bulk path: fold runs of tracked items, replay eviction events."""
+        self.stream_length += int(items.size)
+        drain_counter_batch(self, self._counts, self.k, items)
 
     def estimate_count(self, item: int) -> float:
         """Stored count (never an undercount; overcounts <= m/k)."""

@@ -1,0 +1,147 @@
+"""Bulk ingestion (update_many) must be bit-identical to itemwise updates.
+
+The acceptance contract for the streaming fast paths: for every summary and
+every stream shape -- skewed, uniform, all-miss adversarial, sorted, split
+across many batches -- ``update_many`` leaves exactly the state the
+itemwise ``update`` loop would have left.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.streaming import (
+    CountMinSketch,
+    LossyCounting,
+    MisraGries,
+    ReservoirSample,
+    SpaceSaving,
+)
+
+UNIVERSE = 40
+
+
+def _factories():
+    return {
+        "misra-gries-small": lambda: MisraGries(UNIVERSE, k=4),
+        "misra-gries-large": lambda: MisraGries(UNIVERSE, k=50),
+        "space-saving-small": lambda: SpaceSaving(UNIVERSE, k=4),
+        "space-saving-large": lambda: SpaceSaving(UNIVERSE, k=50),
+        "lossy-counting": lambda: LossyCounting(UNIVERSE, epsilon=0.05),
+        "lossy-counting-wide": lambda: LossyCounting(UNIVERSE, epsilon=0.4),
+        "count-min": lambda: CountMinSketch(UNIVERSE, width=16, depth=3, rng=9),
+        "count-min-conservative": lambda: CountMinSketch(
+            UNIVERSE, width=16, depth=3, conservative=True, rng=9
+        ),
+    }
+
+
+def _state(summary):
+    if isinstance(summary, MisraGries):
+        return dict(summary._counters), summary.stream_length
+    if isinstance(summary, SpaceSaving):
+        return dict(summary._counts), dict(summary._errors), summary.stream_length
+    if isinstance(summary, LossyCounting):
+        return dict(summary._entries), summary.stream_length
+    if isinstance(summary, CountMinSketch):
+        return summary._table.tolist(), summary.stream_length
+    raise AssertionError(type(summary))
+
+
+def _streams():
+    rng = np.random.default_rng(7)
+    return {
+        "zipf": (rng.zipf(1.3, 2000) % UNIVERSE).astype(np.int64),
+        "uniform": rng.integers(0, UNIVERSE, 2000),
+        "all-miss": np.arange(2000, dtype=np.int64) % UNIVERSE,
+        "sorted": np.sort(rng.integers(0, UNIVERSE, 2000)),
+        "constant": np.zeros(500, dtype=np.int64),
+        "single": np.array([3], dtype=np.int64),
+    }
+
+
+@pytest.mark.parametrize("summary_name", sorted(_factories()))
+@pytest.mark.parametrize("stream_name", sorted(_streams()))
+def test_update_many_bit_identical(summary_name, stream_name):
+    make = _factories()[summary_name]
+    stream = _streams()[stream_name]
+    itemwise, bulk = make(), make()
+    for item in stream.tolist():
+        itemwise.update(item)
+    bulk.update_many(stream)
+    assert _state(itemwise) == _state(bulk)
+
+
+@pytest.mark.parametrize("summary_name", sorted(_factories()))
+def test_update_many_split_batches(summary_name):
+    """Arbitrary batch boundaries (including mid-bucket) change nothing."""
+    make = _factories()[summary_name]
+    stream = _streams()["zipf"]
+    itemwise, bulk = make(), make()
+    for item in stream.tolist():
+        itemwise.update(item)
+    for lo, hi in [(0, 1), (1, 7), (7, 500), (500, 501), (501, 2000)]:
+        bulk.update_many(stream[lo:hi])
+    assert _state(itemwise) == _state(bulk)
+
+
+@given(
+    st.lists(st.integers(0, UNIVERSE - 1), min_size=0, max_size=400),
+    st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_counter_summaries_bit_identical(items, k):
+    for make in (
+        lambda: MisraGries(UNIVERSE, k=k),
+        lambda: SpaceSaving(UNIVERSE, k=k),
+        lambda: LossyCounting(UNIVERSE, epsilon=1.0 / (3 * k)),
+    ):
+        itemwise, bulk = make(), make()
+        for item in items:
+            itemwise.update(item)
+        bulk.update_many(np.array(items, dtype=np.int64))
+        assert _state(itemwise) == _state(bulk)
+
+
+def test_update_many_validates_batch_upfront():
+    mg = MisraGries(UNIVERSE, k=4)
+    with pytest.raises(StreamError):
+        mg.update_many([1, 2, UNIVERSE])
+    with pytest.raises(StreamError):
+        mg.update_many([-1])
+    with pytest.raises(StreamError):
+        mg.update_many(np.array([1.5, 2.0]))  # floats are not items
+    with pytest.raises(StreamError):
+        mg.update_many(np.zeros((2, 3), dtype=np.int64))  # no silent flatten
+    # All-or-nothing: the bad batch left no trace.
+    assert mg.stream_length == 0
+    assert _state(mg) == ({}, 0)
+
+
+def test_update_many_empty_batch_is_noop():
+    ss = SpaceSaving(UNIVERSE, k=4)
+    ss.update_many(np.array([], dtype=np.int64))
+    assert ss.stream_length == 0
+
+
+def test_extend_routes_through_bulk_path():
+    stream = _streams()["zipf"]
+    a, b = MisraGries(UNIVERSE, k=6), MisraGries(UNIVERSE, k=6)
+    a.extend(iter(stream.tolist()))  # generator input still works
+    b.update_many(stream)
+    assert _state(a) == _state(b)
+
+
+def test_reservoir_default_bulk_path_matches_itemwise():
+    """Summaries without an override use the itemwise fallback (same rng draws)."""
+    stream = _streams()["uniform"]
+    a = ReservoirSample(UNIVERSE, size=32, rng=5)
+    b = ReservoirSample(UNIVERSE, size=32, rng=5)
+    for item in stream.tolist():
+        a.update(item)
+    b.update_many(stream)
+    assert a.sample == b.sample and a.stream_length == b.stream_length
