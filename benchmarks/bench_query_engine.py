@@ -7,6 +7,11 @@ fresh k-way intersection per query, a full-mask AND on every support call
 -- while the packed engine shares ``(k-1)``-prefix intersections and
 evaluates whole batches in single vectorized kernel calls.
 
+PR 2 adds two cases: ``row_containment`` (the row-major ``PackedRows``
+mask-matrix kernel vs the naive unpacked row walk) and ``parallel_sweep``
+(the sharded ``workers=`` evaluator vs the PR-1 serial path, with a smoke
+assertion that auto-sharding never regresses serial by more than 25%).
+
 Writes ``BENCH_query_engine.json`` (repo root) with before/after
 throughput in queries/sec and rows x queries/sec so subsequent PRs have a
 perf trajectory.  Run directly::
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from math import comb
@@ -38,15 +44,19 @@ from repro.db import (  # noqa: E402
     all_itemsets,
     random_database,
 )
-from repro.db.packed import popcount_words  # noqa: E402
+from repro.db.packed import popcount_words, resolve_workers  # noqa: E402
 from repro.db.queries import FrequencyOracle  # noqa: E402
 from repro.mining import eclat  # noqa: E402
 from repro.streaming import MisraGries  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_query_engine.json"
 
-#: Acceptance floor for the tentpole: packed all_frequencies vs seed path.
+#: Acceptance floor for the PR-1 tentpole: packed all_frequencies vs seed path.
 MIN_SPEEDUP = 10.0
+
+#: Smoke ceiling for the PR-2 sharded sweep: the auto-sharded path must
+#: never be slower than this multiple of the serial (workers=1) path.
+MAX_SHARDED_SLOWDOWN = 1.25
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +204,81 @@ def bench_eclat(n: int, d: int, threshold: float, repeats: int) -> dict:
     }
 
 
+def bench_row_containment(n: int, d: int, k: int, repeats: int) -> dict:
+    """PackedRows batched containment masks vs the naive unpacked row walk.
+
+    The seed path answered ``support_mask`` by gathering unpacked boolean
+    columns per query (``rows[:, items].all(axis=1)``); the row-major
+    kernel answers the whole batch as chunked packed AND + mask-equality
+    sweeps.  The kernel is cached per database (``db.packed_rows``), so
+    packing happens once outside the timed region, as in production.
+    """
+    db = random_database(n, d, density=0.3, rng=4)
+    rows = db.rows
+    itemsets = [t.items for t in all_itemsets(d, k)]
+    kernel = db.packed_rows  # built once, cached for the db's lifetime
+
+    def naive():
+        return np.stack([rows[:, list(t)].all(axis=1) for t in itemsets])
+
+    def packed():
+        return kernel.contains_batch(itemsets)
+
+    naive_time, naive_result = _time(naive, repeats)
+    packed_time, packed_result = _time(packed, repeats)
+    assert np.array_equal(naive_result, packed_result), (
+        "row-containment kernel disagrees with naive path"
+    )
+    return {
+        "config": {"n": n, "d": d, "k": k, "queries": len(itemsets)},
+        "naive": _throughput(n, len(itemsets), naive_time),
+        "packed_rows": _throughput(n, len(itemsets), packed_time),
+        "speedup": naive_time / packed_time,
+    }
+
+
+def bench_parallel_sweep(n: int, d: int, k: int, repeats: int) -> dict:
+    """Sharded ``C(d, k)`` sweep: workers=1 vs workers=auto vs workers=2.
+
+    ``workers=1`` runs the exact PR-1 serial code path inline (the shard
+    runner is called once over the full range), so its throughput doubles
+    as the serial baseline.  The smoke contract: the auto-sharded path is
+    never slower than :data:`MAX_SHARDED_SLOWDOWN` x serial -- the auto
+    heuristic stays serial when sharding cannot pay.
+    """
+    db = random_database(n, d, density=0.3, rng=5)
+    kernel = db.packed
+    n_queries = comb(d, k)
+    auto_workers = resolve_workers(None, 2 * n_queries * kernel.n_words)
+    repeats = max(repeats, 3)  # amortize thread-pool startup jitter
+
+    serial_time, serial_counts = _time(
+        lambda: kernel.combination_supports(k, workers=1)[1], repeats
+    )
+    auto_time, auto_counts = _time(
+        lambda: kernel.combination_supports(k)[1], repeats
+    )
+    two_time, two_counts = _time(
+        lambda: kernel.combination_supports(k, workers=2)[1], repeats
+    )
+    assert np.array_equal(serial_counts, auto_counts)
+    assert np.array_equal(serial_counts, two_counts)
+    return {
+        "config": {
+            "n": n,
+            "d": d,
+            "k": k,
+            "queries": n_queries,
+            "cpu_count": os.cpu_count(),
+            "auto_workers": auto_workers,
+        },
+        "serial": _throughput(n, n_queries, serial_time),
+        "sharded_auto": _throughput(n, n_queries, auto_time),
+        "sharded_two": _throughput(n, n_queries, two_time),
+        "speedup": serial_time / auto_time,
+    }
+
+
 def bench_stream_updates(length: int, universe: int, k: int, repeats: int) -> dict:
     """update_many bulk ingestion vs one update() call per element."""
     rng = np.random.default_rng(3)
@@ -230,6 +315,10 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             "batch_supports": bench_batch_supports(512, 14, 2, repeats),
             "eclat": bench_eclat(512, 12, 0.1, repeats),
             "stream_updates": bench_stream_updates(20_000, 500, 50, repeats),
+            "row_containment": bench_row_containment(512, 14, 2, repeats),
+            # The sweep config is pinned at full size even in quick mode:
+            # the sharded-vs-serial comparison is the point of the case.
+            "parallel_sweep": bench_parallel_sweep(4096, 24, 3, repeats),
         }
     else:
         results = {
@@ -237,10 +326,23 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             "batch_supports": bench_batch_supports(4096, 24, 2, repeats),
             "eclat": bench_eclat(4096, 18, 0.05, repeats),
             "stream_updates": bench_stream_updates(200_000, 2000, 100, repeats),
+            "row_containment": bench_row_containment(4096, 24, 3, repeats),
+            "parallel_sweep": bench_parallel_sweep(4096, 24, 3, repeats),
+            "parallel_sweep_heavy": bench_parallel_sweep(4096, 24, 4, repeats),
         }
+    sweep = results["parallel_sweep"]
+    # Smoke contract: auto-sharding never costs more than 25% over serial
+    # (the heuristic must fall back to serial whenever threads cannot pay).
+    assert (
+        sweep["sharded_auto"]["seconds"]
+        <= MAX_SHARDED_SLOWDOWN * sweep["serial"]["seconds"] + 1e-3
+    ), (
+        f"auto-sharded sweep {sweep['sharded_auto']['seconds']:.4f}s slower than "
+        f"{MAX_SHARDED_SLOWDOWN}x serial {sweep['serial']['seconds']:.4f}s"
+    )
     record = {
         "benchmark": "query_engine",
-        "pr": 1,
+        "pr": 2,
         "quick": quick,
         "results": results,
     }
@@ -262,6 +364,21 @@ def test_packed_engine_speedup_full():
     )
     assert tentpole["speedup"] >= MIN_SPEEDUP
     assert record["results"]["eclat"]["speedup"] > 1.0
+    assert record["results"]["row_containment"]["speedup"] > 1.0
+    sweep = record["results"]["parallel_sweep"]
+    # The PR-2 acceptance target (>= 2x from sharding) only makes sense
+    # with real cores to shard over; the heavy sweep has enough work.
+    if (os.cpu_count() or 1) >= 4:
+        heavy = record["results"]["parallel_sweep_heavy"]
+        print(
+            f"parallel_sweep_heavy (k=4): "
+            f"{heavy['speedup']:.2f}x with {heavy['config']['auto_workers']} workers"
+        )
+        assert heavy["speedup"] >= 2.0
+    # workers=1 runs the serial code path inline; it must stay within 5%
+    # of the unsharded kernel (here: of the auto path when auto == serial).
+    if sweep["config"]["auto_workers"] == 1:
+        assert sweep["speedup"] >= 0.95
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -276,6 +393,15 @@ def main(argv: list[str] | None = None) -> int:
     record = run(quick=args.quick, out_path=args.out)
     for name, res in record["results"].items():
         print(f"{name}: speedup {res['speedup']:.1f}x")
+    sweep = record["results"]["parallel_sweep"]
+    print(
+        f"parallel_sweep (n={sweep['config']['n']}, d={sweep['config']['d']}, "
+        f"k={sweep['config']['k']}, workers=auto->{sweep['config']['auto_workers']} "
+        f"of {sweep['config']['cpu_count']} cpus): "
+        f"serial {sweep['serial']['queries_per_sec']:.0f} -> "
+        f"sharded {sweep['sharded_auto']['queries_per_sec']:.0f} queries/sec "
+        f"({sweep['speedup']:.2f}x)"
+    )
     tentpole = record["results"]["all_frequencies"]
     print(
         f"all_frequencies throughput: "

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
@@ -103,6 +104,24 @@ class FrequencySketch(ABC):
         Default: threshold the estimate at ``3 epsilon / 4``.
         """
         return self.estimate(itemset) >= INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
+
+    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Estimates for many itemsets as a float vector.
+
+        Default: one :meth:`estimate` call per itemset.  Sketches that
+        store a queryable database (RELEASE-DB, SUBSAMPLE) override this
+        with a single batched kernel sweep -- the reconstruction attacks
+        and the validation/benchmark harnesses query through this surface.
+        """
+        return np.array([self.estimate(t) for t in itemsets], dtype=float)
+
+    def indicate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Indicator answers for many itemsets as a boolean vector.
+
+        Default: one :meth:`indicate` call per itemset, so subclasses that
+        override only :meth:`indicate` (stored-bit sketches) stay correct.
+        """
+        return np.array([self.indicate(t) for t in itemsets], dtype=bool)
 
     @abstractmethod
     def size_in_bits(self) -> int:

@@ -8,11 +8,12 @@ algorithm whenever ``n <= 1/epsilon`` (the regime where Theorem 13 is tight).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
-from ..db.queries import FrequencyOracle
 from ..params import SketchParams
 from .base import FrequencySketch, Sketcher, Task
 
@@ -20,12 +21,17 @@ __all__ = ["ReleaseDbSketch", "ReleaseDbSketcher"]
 
 
 class ReleaseDbSketch(FrequencySketch):
-    """The database itself, answering queries exactly."""
+    """The database itself, answering queries exactly.
+
+    Queries run on the database's shared packed kernels: single estimates
+    through the column-major kernel, batches (the reconstruction attacks'
+    query loops) through one vectorized sweep, and row-membership questions
+    through the row-major kernel via :meth:`support_mask`.
+    """
 
     def __init__(self, params: SketchParams, db: BinaryDatabase) -> None:
         super().__init__(params)
         self._db = db
-        self._oracle = FrequencyOracle(db)
 
     @property
     def database(self) -> BinaryDatabase:
@@ -34,7 +40,15 @@ class ReleaseDbSketch(FrequencySketch):
 
     def estimate(self, itemset: Itemset) -> float:
         """Exact frequency ``f_T(D)``."""
-        return self._oracle.frequency(itemset)
+        return self._db.frequency(itemset)
+
+    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Exact frequencies for a whole query set (one kernel sweep)."""
+        return self._db.frequencies(itemsets)
+
+    def support_mask(self, itemset: Itemset) -> np.ndarray:
+        """Which stored rows contain ``itemset`` (row-major kernel)."""
+        return self._db.support_mask(itemset)
 
     def size_in_bits(self) -> int:
         """``n * d`` bits: the packed database."""

@@ -17,6 +17,8 @@ sizes reported here.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..analysis.chernoff import (
@@ -27,7 +29,6 @@ from ..analysis.chernoff import (
 )
 from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
-from ..db.queries import FrequencyOracle
 from ..errors import ParameterError
 from ..params import SketchParams
 from .base import FrequencySketch, Sketcher, Task
@@ -50,12 +51,18 @@ def sample_count_for(task: Task, params: SketchParams) -> int:
 
 
 class SubsampleSketch(FrequencySketch):
-    """A database of sampled rows; ``Q`` queries the sample."""
+    """A database of sampled rows; ``Q`` queries the sample.
+
+    Queries run on the sample's shared packed kernels: single estimates on
+    the column-major kernel, batches as one vectorized sweep, and
+    row-membership diagnostics (which *samples* contain ``T``) on the
+    row-major kernel -- the latter is gathered from the parent database's
+    packed rows at sketch time when available, with no re-packing.
+    """
 
     def __init__(self, params: SketchParams, sample: BinaryDatabase) -> None:
         super().__init__(params)
         self._sample = sample
-        self._oracle = FrequencyOracle(sample)
 
     @property
     def sample(self) -> BinaryDatabase:
@@ -69,7 +76,15 @@ class SubsampleSketch(FrequencySketch):
 
     def estimate(self, itemset: Itemset) -> float:
         """Frequency of ``itemset`` among the sampled rows."""
-        return self._oracle.frequency(itemset)
+        return self._sample.frequency(itemset)
+
+    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Sample frequencies for a whole query set (one kernel sweep)."""
+        return self._sample.frequencies(itemsets)
+
+    def support_mask(self, itemset: Itemset) -> np.ndarray:
+        """Which sampled rows contain ``itemset`` (row-major kernel)."""
+        return self._sample.support_mask(itemset)
 
     def size_in_bits(self) -> int:
         """``s * d`` bits: each row sample costs ``d`` bits (Lemma 9)."""
@@ -109,10 +124,18 @@ class SubsampleSketcher(Sketcher):
         params: SketchParams,
         rng: np.random.Generator | int | None = None,
     ) -> SubsampleSketch:
-        """Draw ``s`` uniform row samples with replacement."""
+        """Draw ``s`` uniform row samples with replacement.
+
+        Row gathering happens in the packed domain: the parent database's
+        row-major kernel is built once (cached on the database), and each
+        draw's sample inherits its packed rows via a uint64 word gather --
+        repeated draws (validation re-sketches the same database many
+        times) never re-pack.
+        """
         gen = self._rng(rng)
         s = self.samples_needed(params)
         indices = gen.integers(0, db.n, size=s)
+        db.packed_rows  # warm the shared kernel so sample_rows can gather it
         return SubsampleSketch(params, db.sample_rows(indices))
 
     def theoretical_size_bits(self, params: SketchParams) -> int:

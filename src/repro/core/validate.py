@@ -123,12 +123,12 @@ def validate_sketcher(
     for _ in range(trials):
         sketch = sketcher.sketch(db, params, gen)
         if task.is_indicator:
-            answers = np.array([sketch.indicate(t) for t in itemsets], dtype=bool)
+            answers = np.asarray(sketch.indicate_batch(itemsets), dtype=bool)
             must_be_one = truth > eps
             must_be_zero = truth < eps / 2.0
             bad = (must_be_one & ~answers) | (must_be_zero & answers)
         else:
-            answers = np.array([sketch.estimate(t) for t in itemsets], dtype=float)
+            answers = np.asarray(sketch.estimate_batch(itemsets), dtype=float)
             bad = np.abs(answers - truth) > eps + 1e-12
         if task.is_forall:
             units += 1

@@ -5,26 +5,46 @@ databases ``D ∈ ({0,1}^d)^n``, itemsets ``T ⊆ [d]``, and frequency queries
 ``f_T(D)``, plus the exact bit-level serialization that all sketch size
 accounting rests on.
 
-Packed representation (the shared query kernel)
------------------------------------------------
-All batch frequency evaluation runs on :class:`~repro.db.packed.PackedColumns`,
-a vertical packed-bitset layout:
+Query kernels
+-------------
+All frequency and containment evaluation runs on two packed uint64 kernels,
+cached per database (``db.packed`` / ``db.packed_rows``) and sharing one
+word convention:
 
-* **Word layout** -- column ``j`` is ``ceil(n / 64)`` little-endian uint64
-  words; bit ``b`` of word ``w`` (``(word >> b) & 1``) is row ``w * 64 + b``.
+* **Word layout** -- an axis of 64 bits per little-endian uint64 word; bit
+  ``b`` of word ``w`` (``(word >> b) & 1``) is position ``w * 64 + b``.
   The byte order is pinned to ``'<u8'`` at construction, so payloads and
   query results are host-independent.
-* **Tail padding convention** -- bits at positions ``>= n`` in the last word
-  are always zero.  Intersections of non-empty itemsets therefore need no
-  per-query masking; only the empty itemset uses an explicit all-rows mask,
-  built arithmetically as ``(1 << valid_bits) - 1`` (never via
-  unpack/repack round-trips, which are endianness-sensitive).
+* **Tail padding convention** -- bits beyond the axis length in the last
+  word are always zero.  Column intersections of non-empty itemsets
+  therefore need no per-query masking; only the empty itemset uses an
+  explicit all-rows mask, built arithmetically as ``(1 << valid_bits) - 1``
+  (never via unpack/repack round-trips, which are endianness-sensitive).
 * **numpy version fallback** -- popcounts use :func:`numpy.bitwise_count`
   (numpy >= 2.0) and fall back to a 16-bit lookup table on older numpy;
   both paths return identical ``int64`` counts.
 
-The oracle in :mod:`repro.db.queries`, the miners, and the sketchers'
-precomputations all share this one kernel.
+**Column-major** (:class:`~repro.db.packed.PackedColumns`, ``db.packed``)
+packs each *column* into ``ceil(n / 64)`` words.  Use it when the answer is
+a support **count**: a k-itemset query ANDs ``k`` packed columns
+(``k * ceil(n / 64)`` word ops), batches share ``(k-1)``-prefix
+intersections, and full ``C(d, k)`` sweeps are a handful of vectorized
+kernel calls.  The :class:`~repro.db.queries.FrequencyOracle`, the miners,
+and RELEASE-ANSWERS' precomputation run here.
+
+**Row-major** (:class:`~repro.db.packed.PackedRows`, ``db.packed_rows``)
+packs each *row* into ``ceil(d / 64)`` words.  Use it when the answer is
+row **membership**: ``support_mask`` / ``contains_matrix`` evaluate packed
+AND + popcount-equality against every row, returning boolean masks (and
+``(m, n)`` mask matrices for batches).  Row subsampling, the biclique
+correspondence, reconstruction-attack diagnostics, and streaming row
+ingestion (reservoirs, the itemset miner) run here -- streamed rows are
+stored and gathered in this layout without re-packing.
+
+The batched evaluators of both kernels take ``workers=`` and shard their
+index ranges over shared-memory threads (numpy releases the GIL in the hot
+ops); ``workers=None`` picks serial for small problems automatically and
+results are bit-identical for every worker count.
 """
 
 from .database import BinaryDatabase
@@ -37,7 +57,14 @@ from .generators import (
     zipf_item_stream,
 )
 from .itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
-from .packed import PackedColumns, pack_columns, popcount_words
+from .packed import (
+    PackedColumns,
+    PackedRows,
+    pack_columns,
+    pack_rows,
+    popcount_words,
+    unpack_rows,
+)
 from .queries import (
     FrequencyOracle,
     all_frequencies,
@@ -61,7 +88,10 @@ __all__ = [
     "rank_itemset",
     "unrank_itemset",
     "PackedColumns",
+    "PackedRows",
     "pack_columns",
+    "pack_rows",
+    "unpack_rows",
     "popcount_words",
     "FrequencyOracle",
     "all_frequencies",

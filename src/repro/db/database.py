@@ -17,9 +17,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import ParameterError
-from .bitmatrix import pack_matrix, rows_containing, unpack_matrix
+from .bitmatrix import pack_matrix, unpack_matrix
 from .itemset import Itemset
-from .packed import PackedColumns
+from .packed import PackedColumns, PackedRows
 
 __all__ = ["BinaryDatabase"]
 
@@ -42,7 +42,7 @@ class BinaryDatabase:
     0.5
     """
 
-    __slots__ = ("_rows", "_packed")
+    __slots__ = ("_rows", "_packed", "_packed_rows")
 
     def __init__(self, rows: np.ndarray | Sequence[Sequence[int]]) -> None:
         arr = np.array(rows, dtype=bool, copy=True)
@@ -55,6 +55,7 @@ class BinaryDatabase:
         arr.setflags(write=False)
         self._rows = arr
         self._packed: PackedColumns | None = None
+        self._packed_rows: PackedRows | None = None
 
     # ------------------------------------------------------------------
     # Shape and equality.
@@ -92,6 +93,19 @@ class BinaryDatabase:
             self._packed = PackedColumns(self._rows)
         return self._packed
 
+    @property
+    def packed_rows(self) -> PackedRows:
+        """The shared row-major packed kernel for this database.
+
+        The membership-side twin of :attr:`packed`: answers *which rows*
+        contain an itemset (boolean containment masks, mask matrices) and
+        feeds streaming row ingestion.  Built lazily and cached, like
+        :attr:`packed`.
+        """
+        if self._packed_rows is None:
+            self._packed_rows = PackedRows(self._rows)
+        return self._packed_rows
+
     def row(self, i: int) -> np.ndarray:
         """The i-th row ``D(i)`` as a boolean vector."""
         return self._rows[i]
@@ -115,24 +129,40 @@ class BinaryDatabase:
     # Frequency queries (Section 1.3).
     # ------------------------------------------------------------------
     def support_mask(self, itemset: Itemset) -> np.ndarray:
-        """Boolean mask of rows containing ``itemset``."""
-        if itemset.items and itemset.items[-1] >= self.d:
-            raise ParameterError(
-                f"itemset {itemset} out of range for d={self.d} attributes"
-            )
-        return rows_containing(self._rows, np.array(itemset.items, dtype=np.intp))
+        """Boolean mask of rows containing ``itemset``.
+
+        Evaluated on the row-major kernel (:attr:`packed_rows`): one packed
+        AND + popcount-equality pass.  Repeated items, should a caller
+        bypass :class:`Itemset` normalisation, count once; out-of-range
+        items raise :class:`~repro.errors.ParameterError` from the kernel.
+        """
+        return self.packed_rows.contains(itemset.items)
+
+    def contains_matrix(self, itemsets: Iterable[Itemset]) -> np.ndarray:
+        """``(m, n)`` boolean containment matrix for several itemsets.
+
+        Row ``i`` is :meth:`support_mask` of the i-th itemset, evaluated as
+        one batched row-major kernel sweep.
+        """
+        return self.packed_rows.contains_batch([t.items for t in itemsets])
 
     def support(self, itemset: Itemset) -> int:
-        """Number of rows containing ``itemset``."""
-        return int(self.support_mask(itemset).sum())
+        """Number of rows containing ``itemset``.
+
+        Counts go through the column-major kernel (:attr:`packed`): a
+        k-itemset touches ``k`` packed columns instead of every row.
+        Out-of-range items raise :class:`~repro.errors.ParameterError`
+        from the kernel.
+        """
+        return self.packed.support(itemset.items)
 
     def frequency(self, itemset: Itemset) -> float:
         """``f_T(D)``: the fraction of rows containing ``itemset``."""
         return self.support(itemset) / self.n
 
     def frequencies(self, itemsets: Iterable[Itemset]) -> np.ndarray:
-        """Vector of frequencies for several itemsets (vectorised per query)."""
-        return np.array([self.frequency(t) for t in itemsets], dtype=float)
+        """Vector of frequencies for several itemsets (one batched kernel call)."""
+        return self.packed.supports_batch([t.items for t in itemsets]) / self.n
 
     # ------------------------------------------------------------------
     # Derived databases.
@@ -146,7 +176,12 @@ class BinaryDatabase:
         idx = np.asarray(indices, dtype=np.intp)
         if idx.size == 0:
             raise ParameterError("cannot build a database from zero rows")
-        return BinaryDatabase(self._rows[idx])
+        sampled = BinaryDatabase(self._rows[idx])
+        if self._packed_rows is not None:
+            # Share the row-major kernel in the packed domain: gathering
+            # uint64 words avoids re-packing the sampled rows.
+            sampled._packed_rows = self._packed_rows.take(idx)
+        return sampled
 
     def select_columns(self, columns: Sequence[int] | np.ndarray) -> "BinaryDatabase":
         """Database restricted to the given columns (order preserved)."""
@@ -211,3 +246,16 @@ class BinaryDatabase:
     def from_bytes(buf: bytes, n: int, d: int) -> "BinaryDatabase":
         """Inverse of :meth:`to_bytes` given the public shape ``(n, d)``."""
         return BinaryDatabase(unpack_matrix(buf, n, d))
+
+    @staticmethod
+    def from_packed_rows(packed: PackedRows) -> "BinaryDatabase":
+        """Database adopting an existing row-major kernel (no re-pack).
+
+        The boolean matrix is unpacked from the kernel's words, and the
+        kernel itself is installed as the database's cached
+        :attr:`packed_rows` -- the streaming ingestion path, which
+        accumulates rows in packed form, lands here.
+        """
+        db = BinaryDatabase(packed.to_matrix())
+        db._packed_rows = packed
+        return db

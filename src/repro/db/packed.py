@@ -1,10 +1,18 @@
-"""Packed-bitset query kernel: uint64 columns, batched AND + popcount.
+"""Packed-bitset query kernels: uint64 columns *and* rows, batched popcounts.
 
 Every batch consumer of itemset frequencies in this repository -- the
 :class:`~repro.db.queries.FrequencyOracle`, the miners, RELEASE-ANSWERS'
-``C(d, k)`` precomputation -- reduces to the same primitive: intersect a few
-packed column bitsets and count the surviving rows.  This module is that
-primitive, implemented once and fully vectorized.
+``C(d, k)`` precomputation -- reduces to one of two primitives, each
+implemented here once and fully vectorized:
+
+* :class:`PackedColumns` (column-major): intersect a few packed *column*
+  bitsets and count the surviving rows.  Optimal for support **counts**:
+  a k-itemset query touches ``k * ceil(n / 64)`` words.
+* :class:`PackedRows` (row-major): AND a packed itemset mask against every
+  packed *row* and compare popcounts.  Optimal for row-**membership**
+  answers (which rows contain ``T``): one query yields the full boolean
+  containment mask in ``n * ceil(d / 64)`` word operations, and batches
+  yield ``(m, n)`` mask matrices.
 
 Representation
 --------------
@@ -15,21 +23,39 @@ bits (rows ``>= n``) are always zero, which makes intersections of
 *non-empty* itemsets self-masking: no per-query tail fix-up is needed.  Only
 the empty itemset needs an explicit all-rows mask, built arithmetically as
 ``(1 << valid_bits) - 1`` for the tail word (no unpack/repack round-trips,
-no endianness traps).
+no endianness traps).  :class:`PackedRows` uses the same word layout along
+the *item* axis: bit ``b`` of word ``w`` of row ``i`` is item
+``w * 64 + b`` of row ``i``.
 
 Construction is one :func:`numpy.packbits` call over the whole matrix
-(``bitorder="little"`` down the rows) followed by a byte-level view as
-``'<u8'`` -- explicit little-endian words, so the layout is identical on any
-host.  Popcounts go through :func:`numpy.bitwise_count` when available
+(``bitorder="little"``) followed by a byte-level view as ``'<u8'`` --
+explicit little-endian words, so the layout is identical on any host.
+Popcounts go through :func:`numpy.bitwise_count` when available
 (numpy >= 2.0) with a 16-bit lookup-table fallback for older numpy.
+
+Sharded evaluation
+------------------
+The batched evaluators accept a ``workers=`` parameter: the combination /
+query index is split into contiguous chunks evaluated on a shared-memory
+:class:`~concurrent.futures.ThreadPoolExecutor` (numpy releases the GIL in
+the hot AND / popcount ops, so threads scale without pickling).  ``workers=
+None`` applies an auto heuristic -- serial below
+:data:`PARALLEL_MIN_WORDS` estimated word-operations or on a single-core
+host, else one thread per core (capped) -- so small problems never pay
+thread dispatch.  The ``REPRO_WORKERS`` environment variable overrides the
+heuristic (used by CI to force the sharded path).  Shards write disjoint
+slices of one preallocated output, so results are bit-identical for every
+worker count.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 from itertools import chain, combinations
 from math import comb
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -37,10 +63,15 @@ from ..errors import ParameterError
 
 __all__ = [
     "PackedColumns",
+    "PackedRows",
     "popcount_words",
     "popcount_sum",
     "pack_columns",
+    "pack_rows",
+    "unpack_rows",
     "combination_index_array",
+    "resolve_workers",
+    "PARALLEL_MIN_WORDS",
 ]
 
 #: Bits per packed word.
@@ -92,6 +123,133 @@ def pack_columns(rows: np.ndarray) -> np.ndarray:
     # '<u8' makes the word layout explicitly little-endian on every host.
     words = np.ascontiguousarray(buf.T).view(np.dtype("<u8"))
     return words.astype(np.uint64, copy=False)
+
+
+def pack_rows(rows: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, d)`` boolean matrix into ``(n, d_words)`` uint64 words.
+
+    The row-major twin of :func:`pack_columns`: bit ``b`` of word ``w`` of
+    row ``i`` is entry ``rows[i, w * 64 + b]``; padding bits beyond ``d``
+    are zero.  One vectorized :func:`numpy.packbits` call.
+    """
+    arr = np.asarray(rows, dtype=bool)
+    if arr.ndim != 2:
+        raise ParameterError(f"pack_rows expects a 2-D matrix, got shape {arr.shape}")
+    n, d = arr.shape
+    d_words = max(1, -(-d // WORD_BITS))
+    packed = np.packbits(arr, axis=1, bitorder="little")  # (n, ceil(d/8))
+    buf = np.zeros((n, d_words * 8), dtype=np.uint8)
+    buf[:, : packed.shape[1]] = packed
+    # '<u8' makes the word layout explicitly little-endian on every host.
+    words = np.ascontiguousarray(buf).view(np.dtype("<u8"))
+    return words.astype(np.uint64, copy=False)
+
+
+def unpack_rows(words: np.ndarray, d: int) -> np.ndarray:
+    """Unpack ``(n, d_words)`` row words back into an ``(n, d)`` boolean matrix.
+
+    Inverse of :func:`pack_rows` given the original column count ``d``.
+    """
+    arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    if arr.ndim != 2:
+        raise ParameterError(f"unpack_rows expects a 2-D array, got shape {arr.shape}")
+    d_words = max(1, -(-d // WORD_BITS))
+    if arr.shape[1] != d_words:
+        raise ParameterError(
+            f"d={d} needs {d_words} words per row, got {arr.shape[1]}"
+        )
+    as_bytes = arr.astype(np.dtype("<u8"), copy=False).view(np.uint8)
+    bits = np.unpackbits(as_bytes.reshape(arr.shape[0], -1), axis=1, bitorder="little")
+    return bits[:, :d].astype(bool)
+
+
+# ----------------------------------------------------------------------
+# Sharded (multi-worker) evaluation plumbing.
+# ----------------------------------------------------------------------
+
+#: Auto heuristic: stay serial below this many estimated uint64 word
+#: operations -- thread dispatch costs more than it saves on tiny sweeps.
+PARALLEL_MIN_WORDS = 1 << 17
+
+#: Auto heuristic never spawns more threads than this, however many cores.
+_MAX_AUTO_WORKERS = 8
+
+#: Environment override (CI forces the sharded path with REPRO_WORKERS=2).
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None, word_ops: int) -> int:
+    """Worker count for a sweep of ~``word_ops`` uint64 operations.
+
+    Explicit ``workers`` (or the ``REPRO_WORKERS`` environment variable)
+    wins; ``None`` applies the auto heuristic: serial below
+    :data:`PARALLEL_MIN_WORDS` or on a single-core host, else one thread
+    per core capped at 8.
+    """
+    if workers is None:
+        env = os.environ.get(_WORKERS_ENV)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ParameterError(
+                    f"{_WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            if word_ops < PARALLEL_MIN_WORDS:
+                return 1
+            return max(1, min(_MAX_AUTO_WORKERS, os.cpu_count() or 1))
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _run_sharded(run: Callable[[int, int], None], total: int, workers: int) -> None:
+    """Run ``run(lo, hi)`` over contiguous shards of ``range(total)``.
+
+    ``workers <= 1`` (or a single shard) calls ``run`` inline -- the serial
+    and sharded paths execute the same code on the same slices, so results
+    cannot depend on the worker count.  Exceptions propagate.
+    """
+    workers = min(workers, total) if total else 1
+    if workers <= 1:
+        run(0, total)
+        return
+    edges = np.linspace(0, total, workers + 1).astype(int)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run, int(lo), int(hi))
+            for lo, hi in zip(edges[:-1], edges[1:])
+            if hi > lo
+        ]
+        for future in futures:
+            future.result()
+
+
+def _batch_index_array(batch: Sequence[tuple[int, ...]], d: int) -> np.ndarray:
+    """Ragged itemset batch -> ``(m, max_k)`` index array padded with ``d``.
+
+    Shared by both kernels: ``d`` is the padding sentinel (the virtual
+    all-rows column for :class:`PackedColumns`, a no-op bit for
+    :class:`PackedRows`).  Uniform-length batches convert straight to the
+    array with no per-element Python loop; items are range-checked either
+    way.
+    """
+    m = len(batch)
+    max_k = max(len(t) for t in batch)
+    if all(len(t) == max_k for t in batch):
+        idx = np.asarray(batch, dtype=np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= d):
+            bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+            raise ParameterError(f"item {bad} out of range for d={d}")
+        return idx
+    idx = np.full((m, max_k), d, dtype=np.intp)
+    for i, t in enumerate(batch):
+        for pos, j in enumerate(t):
+            if not 0 <= j < d:
+                raise ParameterError(f"item {j} out of range for d={d}")
+            idx[i, pos] = j
+    return idx
 
 
 #: Cache combination index arrays only below this element count (larger
@@ -241,12 +399,17 @@ class PackedColumns:
     # ------------------------------------------------------------------
     # Batched kernels.
     # ------------------------------------------------------------------
-    def supports_for_index_array(self, idx: np.ndarray) -> np.ndarray:
+    def supports_for_index_array(
+        self, idx: np.ndarray, workers: int | None = None
+    ) -> np.ndarray:
         """Support counts for an ``(m, k)`` item-index array (one sweep).
 
         The core batched kernel: ``k - 1`` AND passes over an
         ``(m, n_words)`` block followed by one batched popcount.  Indices
         equal to ``d`` select the virtual all-rows column (ragged padding).
+        With ``workers > 1`` the index rows are sharded over shared-memory
+        threads, each writing a disjoint slice of the output; ``None``
+        applies the auto heuristic of :func:`resolve_workers`.
         """
         m, k = idx.shape
         if m == 0:
@@ -254,36 +417,37 @@ class PackedColumns:
         if k == 0:
             return np.full(m, self._n, dtype=np.int64)
         ext = self._extended()
-        masks = ext[idx[:, 0]]  # fancy indexing copies; safe to AND in place
-        for pos in range(1, k):
-            masks &= ext[idx[:, pos]]
-        return popcount_sum(masks)
+        out = np.empty(m, dtype=np.int64)
 
-    def supports_batch(self, itemsets: Iterable[Sequence[int]]) -> np.ndarray:
+        def run(lo: int, hi: int) -> None:
+            if lo >= hi:
+                return
+            masks = ext[idx[lo:hi, 0]]  # fancy indexing copies; AND in place
+            for pos in range(1, k):
+                masks &= ext[idx[lo:hi, pos]]
+            out[lo:hi] = popcount_sum(masks)
+
+        _run_sharded(run, m, resolve_workers(workers, m * k * self.n_words))
+        return out
+
+    def supports_batch(
+        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+    ) -> np.ndarray:
         """Support counts for many itemsets in one vectorized sweep.
 
         Ragged batches are handled by padding with a virtual all-rows
         column; uniform-length batches (a miner's candidate level) convert
         straight to the index array with no per-element Python loop.
+        ``workers`` shards the sweep (see :meth:`supports_for_index_array`).
         """
         batch = [tuple(t) for t in itemsets]
         m = len(batch)
         if m == 0:
             return np.zeros(0, dtype=np.int64)
-        max_k = max(len(t) for t in batch)
-        if max_k == 0:
+        if max(len(t) for t in batch) == 0:
             return np.full(m, self._n, dtype=np.int64)
-        if all(len(t) == max_k for t in batch):
-            idx = np.asarray(batch, dtype=np.intp)
-            if idx.size and (idx.min() < 0 or idx.max() >= self._d):
-                bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
-                raise ParameterError(f"item {bad} out of range for d={self._d}")
-        else:
-            idx = np.full((m, max_k), self._d, dtype=np.intp)
-            for i, t in enumerate(batch):
-                for pos, j in enumerate(t):
-                    idx[i, pos] = self._check_item(j)
-        return self.supports_for_index_array(idx)
+        idx = _batch_index_array(batch, self._d)
+        return self.supports_for_index_array(idx, workers=workers)
 
     def _colex_ranks(self, idx: np.ndarray) -> np.ndarray:
         """Vectorized colex ranks of an ``(m, k)`` sorted-combination array.
@@ -301,7 +465,7 @@ class PackedColumns:
         return pascal[idx, np.arange(k)].sum(axis=1)
 
     def combination_supports(
-        self, k: int, chunk_size: int = 1 << 16
+        self, k: int, chunk_size: int = 1 << 16, workers: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Supports of all ``C(d, k)`` k-itemsets in lexicographic order.
 
@@ -310,10 +474,13 @@ class PackedColumns:
         ``(k - 1)``-prefix intersections: the ``C(d, k - 1)`` prefix masks
         are built once (indexed by colex rank), and each leaf is then a
         single gather + AND + popcount, evaluated in memory-bounded chunks.
+        With ``workers > 1`` the leaf range is sharded over shared-memory
+        threads (the prefix masks are read-only and shared); every worker
+        count produces bit-identical counts.
         """
         idx = combination_index_array(self._d, k)
         if k <= 1:
-            return idx, self.supports_for_index_array(idx)
+            return idx, self.supports_for_index_array(idx, workers=workers)
         pidx = combination_index_array(self._d, k - 1)
         pmask = self._words[pidx[:, 0]]
         for pos in range(1, k - 1):
@@ -325,11 +492,16 @@ class PackedColumns:
             np.arange(pidx.shape[0], dtype=np.intp), self._d - 1 - pidx[:, -1]
         )
         counts = np.empty(idx.shape[0], dtype=np.int64)
-        for lo in range(0, idx.shape[0], chunk_size):
-            hi = min(lo + chunk_size, idx.shape[0])
-            masks = pmask[leaf_prefix[lo:hi]]
-            masks &= self._words[idx[lo:hi, k - 1]]
-            counts[lo:hi] = popcount_sum(masks)
+
+        def run(lo: int, hi: int) -> None:
+            for clo in range(lo, hi, chunk_size):
+                chi = min(clo + chunk_size, hi)
+                masks = pmask[leaf_prefix[clo:chi]]
+                masks &= self._words[idx[clo:chi, k - 1]]
+                counts[clo:chi] = popcount_sum(masks)
+
+        word_ops = 2 * idx.shape[0] * self.n_words
+        _run_sharded(run, idx.shape[0], resolve_workers(workers, word_ops))
         return idx, counts
 
     def extension_supports(
@@ -395,17 +567,17 @@ class PackedColumns:
                 prefix + (j,), child[j - start], j + 1, k, min_count
             )
 
-    def support_counts_all(self, k: int) -> np.ndarray:
+    def support_counts_all(self, k: int, workers: int | None = None) -> np.ndarray:
         """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
 
         The rank convention matches :func:`~repro.db.itemset.rank_itemset`
         (``rank(T) = sum_i C(c_i, i+1)``), so ``result[rank_itemset(T)]`` is
-        the support of ``T``.  One flat batched kernel sweep plus a
-        vectorized Pascal-table rank scatter.
+        the support of ``T``.  One flat batched kernel sweep (optionally
+        sharded via ``workers``) plus a vectorized Pascal-table rank scatter.
         """
         if not 0 <= k <= self._d:
             raise ParameterError(f"need 0 <= k <= d, got k={k}, d={self._d}")
-        idx, counts = self.combination_supports(k)
+        idx, counts = self.combination_supports(k, workers=workers)
         if k == 0:
             return counts
         out = np.empty_like(counts)
@@ -414,3 +586,207 @@ class PackedColumns:
 
     def __repr__(self) -> str:
         return f"PackedColumns(n={self._n}, d={self._d}, n_words={self.n_words})"
+
+
+#: Element budget per intermediate block in PackedRows batch kernels
+#: (uint64 elements; ~16 MB per temporary at 8 bytes each).
+_ROW_BATCH_ELEMS = 1 << 21
+
+
+class PackedRows:
+    """Horizontal packed-bitset view of a boolean matrix: row containment.
+
+    Rows are packed along the *item* axis (``d_words = ceil(d / 64)``
+    little-endian uint64 words per row).  A k-itemset becomes a single
+    packed query mask, and containment is batched AND + popcount-equality:
+    row ``i`` contains ``T`` iff ``popcount(row_i & mask_T) ==
+    popcount(mask_T)`` -- realized wordwise as ``row_i & mask_T == mask_T``,
+    which is the same predicate without materializing popcounts.  Because
+    the right-hand side is the OR-ed mask -- not the length of the item
+    sequence -- duplicate items in a query collapse naturally and count
+    once.
+
+    This is the membership-side twin of :class:`PackedColumns`: use it when
+    the answer is *which rows* contain an itemset (boolean masks, mask
+    matrices, streaming row ingestion), not just how many.
+    """
+
+    __slots__ = ("_words", "_n", "_d")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        words = pack_rows(rows)
+        self._words = words
+        self._n = int(words.shape[0])
+        self._d = int(np.asarray(rows).shape[1])
+
+    @classmethod
+    def from_matrix(cls, rows: np.ndarray) -> "PackedRows":
+        """Build from any 2-D boolean-convertible matrix."""
+        return cls(rows)
+
+    @classmethod
+    def from_words(cls, words: np.ndarray, d: int) -> "PackedRows":
+        """Adopt an already-packed ``(n, d_words)`` word block (no repack).
+
+        ``words`` must follow the :func:`pack_rows` layout for ``d`` items,
+        padding bits clear.  Used by derived views (row subsampling) to
+        gather packed rows without a pack/unpack round trip.
+        """
+        arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+        d_words = max(1, -(-d // WORD_BITS))
+        if arr.ndim != 2 or arr.shape[1] != d_words:
+            raise ParameterError(
+                f"expected (n, {d_words}) words for d={d}, got shape {arr.shape}"
+            )
+        obj = object.__new__(cls)
+        obj._words = arr
+        obj._n = int(arr.shape[0])
+        obj._d = int(d)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Shape and raw access.
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of rows."""
+        return self._n
+
+    @property
+    def d(self) -> int:
+        """Number of items (columns)."""
+        return self._d
+
+    @property
+    def d_words(self) -> int:
+        """uint64 words per row."""
+        return int(self._words.shape[1])
+
+    @property
+    def words(self) -> np.ndarray:
+        """The ``(n, d_words)`` packed row words (do not mutate)."""
+        return self._words
+
+    def row_words(self, i: int) -> np.ndarray:
+        """Packed words of row ``i``."""
+        return self._words[i]
+
+    def to_matrix(self) -> np.ndarray:
+        """Unpack back to the ``(n, d)`` boolean matrix."""
+        return unpack_rows(self._words, self._d)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "PackedRows":
+        """Packed view of the selected rows (with multiplicity, no repack).
+
+        The packed-domain form of row subsampling: gathering uint64 words
+        moves ``d / 8`` bytes per row instead of ``d`` booleans.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        return PackedRows.from_words(self._words[idx], self._d)
+
+    def _check_item(self, j: int) -> int:
+        if not 0 <= j < self._d:
+            raise ParameterError(f"item {j} out of range for d={self._d}")
+        return j
+
+    # ------------------------------------------------------------------
+    # Query-mask construction.
+    # ------------------------------------------------------------------
+    def query_mask(self, items: Sequence[int]) -> np.ndarray:
+        """Packed ``(d_words,)`` indicator mask of an item sequence.
+
+        Duplicate items OR into the same bit, so the mask's popcount is the
+        number of *distinct* items.
+        """
+        mask = np.zeros(self._words.shape[1], dtype=np.uint64)
+        for j in items:
+            j = self._check_item(int(j))
+            mask[j // WORD_BITS] |= np.uint64(1) << np.uint64(j % WORD_BITS)
+        return mask
+
+    def _query_masks(self, idx: np.ndarray) -> np.ndarray:
+        """Packed masks for an ``(m, k)`` index array (``d`` = padding)."""
+        m, k = idx.shape
+        masks = np.zeros((m, self._words.shape[1]), dtype=np.uint64)
+        if k == 0:
+            return masks
+        flat = idx.reshape(-1)
+        valid = flat < self._d  # padding sentinel contributes no bit
+        row_ids = np.repeat(np.arange(m, dtype=np.intp), k)[valid]
+        cols = flat[valid]
+        bits = np.uint64(1) << (cols % WORD_BITS).astype(np.uint64)
+        np.bitwise_or.at(masks, (row_ids, cols // WORD_BITS), bits)
+        return masks
+
+    # ------------------------------------------------------------------
+    # Containment kernels.
+    # ------------------------------------------------------------------
+    def contains(self, items: Sequence[int]) -> np.ndarray:
+        """Boolean ``(n,)`` mask of rows containing every item in ``items``.
+
+        One batched AND + popcount-equality pass over the packed rows:
+        ``popcount(row & mask) == popcount(mask)`` holds exactly when
+        ``row & mask == mask`` wordwise, so the test runs as an AND plus a
+        word-equality reduction -- no popcount arrays materialized.  The
+        empty itemset (and any empty mask) is contained in every row.
+        """
+        mask = self.query_mask(items)
+        if not mask.any():
+            return np.ones(self._n, dtype=bool)
+        return ((self._words & mask) == mask).all(axis=1)
+
+    def support(self, items: Sequence[int]) -> int:
+        """Number of rows containing every item in ``items``."""
+        return int(self.contains(items).sum())
+
+    def contains_batch(
+        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+    ) -> np.ndarray:
+        """Boolean ``(m, n)`` containment mask matrix for many itemsets.
+
+        Row ``i`` of the result is ``contains(itemsets[i])``.  Evaluated in
+        memory-bounded chunks of the itemset axis: each chunk is one
+        broadcast AND over ``(chunk, n, d_words)`` words plus a batched
+        mask-equality.  ``workers`` shards the itemset axis over
+        shared-memory threads (``None`` = auto heuristic), each writing a
+        disjoint slice of the output.
+        """
+        batch = [tuple(t) for t in itemsets]
+        m = len(batch)
+        out = np.empty((m, self._n), dtype=bool)
+        if m == 0:
+            return out
+        if max(len(t) for t in batch) == 0:
+            out[:] = True
+            return out
+        idx = _batch_index_array(batch, self._d)
+        masks = self._query_masks(idx)
+        block = self._n * self._words.shape[1]
+        chunk = max(1, _ROW_BATCH_ELEMS // max(1, block))
+
+        def run(lo: int, hi: int) -> None:
+            for clo in range(lo, hi, chunk):
+                q = masks[clo : min(clo + chunk, hi), None, :]
+                out[clo : min(clo + chunk, hi)] = (
+                    (self._words[None, :, :] & q) == q
+                ).all(axis=2)
+
+        _run_sharded(run, m, resolve_workers(workers, m * block))
+        return out
+
+    def supports_batch(
+        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+    ) -> np.ndarray:
+        """Support counts for many itemsets via the row-containment kernel.
+
+        Equivalent to ``contains_batch(...).sum(axis=1)``.  Prefer
+        :meth:`PackedColumns.supports_batch` when only counts are needed --
+        the column kernel touches ``k`` columns per query instead of every
+        row -- and this one when the masks are needed anyway.
+        """
+        return self.contains_batch(itemsets, workers=workers).sum(
+            axis=1, dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        return f"PackedRows(n={self._n}, d={self._d}, d_words={self.d_words})"

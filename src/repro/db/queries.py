@@ -75,24 +75,35 @@ class FrequencyOracle:
         """``f_T(D)`` for a single itemset."""
         return self.support(itemset) / self._db.n
 
-    def supports_batch(self, itemsets: Iterable[Itemset | Sequence[int]]) -> np.ndarray:
-        """Support counts for a batch of itemsets in one vectorized sweep."""
+    def supports_batch(
+        self,
+        itemsets: Iterable[Itemset | Sequence[int]],
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Support counts for a batch of itemsets in one vectorized sweep.
+
+        ``workers`` shards the sweep over shared-memory threads (``None`` =
+        auto heuristic; results are identical for every worker count).
+        """
         batch = [
             t.items if isinstance(t, Itemset) else tuple(t) for t in itemsets
         ]
-        return self._kernel.supports_batch(batch)
+        return self._kernel.supports_batch(batch, workers=workers)
 
-    def frequencies(self, itemsets: Iterable[Itemset]) -> np.ndarray:
+    def frequencies(
+        self, itemsets: Iterable[Itemset], workers: int | None = None
+    ) -> np.ndarray:
         """Frequencies for a batch of itemsets (single kernel call)."""
-        return self.supports_batch(itemsets) / self._db.n
+        return self.supports_batch(itemsets, workers=workers) / self._db.n
 
-    def all_supports(self, k: int) -> np.ndarray:
+    def all_supports(self, k: int, workers: int | None = None) -> np.ndarray:
         """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
 
         ``result[rank_itemset(T)]`` is the support of ``T``; computed with
-        shared prefix intersections (one word-AND + popcount per itemset).
+        shared prefix intersections (one word-AND + popcount per itemset),
+        optionally sharded via ``workers``.
         """
-        return self._kernel.support_counts_all(k)
+        return self._kernel.support_counts_all(k, workers=workers)
 
     def iter_supports(
         self, k: int, min_count: int = 0
@@ -101,15 +112,18 @@ class FrequencyOracle:
         return self._kernel.iter_supports(k, min_count=min_count)
 
 
-def all_frequencies(db: BinaryDatabase, k: int) -> dict[Itemset, float]:
+def all_frequencies(
+    db: BinaryDatabase, k: int, workers: int | None = None
+) -> dict[Itemset, float]:
     """Exact frequencies of *all* ``C(d, k)`` k-itemsets.
 
     This is RELEASE-ANSWERS' precomputation step (Definition 7), evaluated
     as one flat batched kernel sweep (a handful of vectorized AND + popcount
     calls for the whole ``C(d, k)`` space) zipped against the cached
-    lexicographic itemset enumeration.
+    lexicographic itemset enumeration.  ``workers`` shards the sweep across
+    threads (``None`` = auto; serial below the size threshold).
     """
-    _, counts = db.packed.combination_supports(k)
+    _, counts = db.packed.combination_supports(k, workers=workers)
     freqs = counts / db.n
     return dict(zip(lex_itemsets(db.d, k), freqs.tolist()))
 

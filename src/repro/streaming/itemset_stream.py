@@ -19,6 +19,7 @@ import numpy as np
 
 from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
+from ..db.packed import PackedRows
 from ..errors import StreamError
 from .base import COUNT_BITS
 
@@ -72,20 +73,75 @@ class StreamingItemsetMiner:
         self.rows_seen += 1
         items = np.flatnonzero(arr)[: self.max_row_items]
         bucket = self.current_bucket
-        for size in range(1, min(self.max_size, items.size) + 1):
-            for combo in combinations(items.tolist(), size):
+        self._charge(items.tolist(), bucket)
+        if self.rows_seen % self.bucket_width == 0:
+            self._evict(bucket)
+
+    def _charge(self, items: list[int], bucket: int) -> None:
+        """Charge every tracked-size subset of one transaction."""
+        for size in range(1, min(self.max_size, len(items)) + 1):
+            for combo in combinations(items, size):
                 key = Itemset(combo)
                 count, delta = self._entries.get(key, (0, bucket - 1))
                 self._entries[key] = (count + 1, delta)
-        if self.rows_seen % self.bucket_width == 0:
-            self._entries = {
-                k: (c, dl) for k, (c, dl) in self._entries.items() if c + dl > bucket
-            }
+
+    def _evict(self, bucket: int) -> None:
+        """Lossy-counting eviction at a bucket boundary."""
+        self._entries = {
+            k: (c, dl) for k, (c, dl) in self._entries.items() if c + dl > bucket
+        }
+
+    def update_many(self, rows: np.ndarray | PackedRows) -> None:
+        """Bulk-ingest many transactions (bit-identical to repeated update).
+
+        ``rows`` is an ``(m, d)`` boolean matrix or a
+        :class:`~repro.db.packed.PackedRows` block.  Item indices for all
+        rows come from one vectorized :func:`numpy.nonzero` pass, and rows
+        are processed in bucket-aligned chunks: every row of a chunk shares
+        one bucket id, and eviction runs exactly at bucket boundaries --
+        the tracked-entry state after ingestion equals the row-at-a-time
+        path's state.
+        """
+        if isinstance(rows, PackedRows):
+            if rows.d != self.d:
+                raise StreamError(
+                    f"row must have {self.d} attributes, got {rows.d}"
+                )
+            arr = rows.to_matrix()
+        else:
+            arr = np.asarray(rows, dtype=bool)
+            if arr.ndim != 2 or arr.shape[1] != self.d:
+                raise StreamError(
+                    f"rows must be (m, {self.d}), got shape {arr.shape}"
+                )
+        m = arr.shape[0]
+        if m == 0:
+            return
+        row_ids, cols = np.nonzero(arr)
+        boundaries = np.searchsorted(row_ids, np.arange(1, m))
+        per_row = np.split(cols, boundaries)
+        pos = 0
+        while pos < m:
+            # All rows up to the next bucket boundary share one bucket id.
+            room = self.bucket_width - self.rows_seen % self.bucket_width
+            take = min(room, m - pos)
+            self.rows_seen += take
+            bucket = self.current_bucket
+            for r in range(pos, pos + take):
+                self._charge(per_row[r][: self.max_row_items].tolist(), bucket)
+            if self.rows_seen % self.bucket_width == 0:
+                self._evict(bucket)
+            pos += take
 
     def extend(self, db: BinaryDatabase) -> None:
-        """Stream a whole database row by row."""
-        for i in range(db.n):
-            self.update(db.row(i))
+        """Stream a whole database through the bulk :meth:`update_many` path.
+
+        The boolean matrix feeds ``update_many`` directly -- the
+        :class:`~repro.db.packed.PackedRows` input form is for streams that
+        arrive already packed (reservoir-style transport), where unpacking
+        once here beats unpacking per row.
+        """
+        self.update_many(db.rows)
 
     def estimate_frequency(self, itemset: Itemset) -> float:
         """Estimated frequency (undercounts by at most ``epsilon``)."""

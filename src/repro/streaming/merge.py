@@ -131,8 +131,9 @@ def merge_row_reservoirs(
     total = a.rows_seen + b.rows_seen
     out = RowReservoir(a.d, a.size, rng=gen)
     out.rows_seen = total
-    pool_a = [row.copy() for row in a._rows]
-    pool_b = [row.copy() for row in b._rows]
+    # Reservoir slots hold packed row words; merging moves words, not bools.
+    pool_a = [row.copy() for row in a._words]
+    pool_b = [row.copy() for row in b._words]
     gen.shuffle(pool_a)
     gen.shuffle(pool_b)
     merged: list[np.ndarray] = []
@@ -142,5 +143,5 @@ def merge_row_reservoirs(
         if take_a and not pool_a:
             take_a = False
         merged.append(pool_a.pop() if take_a else pool_b.pop())
-    out._rows = merged
+    out._words = merged
     return out

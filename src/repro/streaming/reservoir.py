@@ -19,6 +19,7 @@ import numpy as np
 from ..core.subsample import SubsampleSketch
 from ..db.database import BinaryDatabase
 from ..db.generators import as_rng
+from ..db.packed import PackedRows, pack_rows
 from ..errors import StreamError
 from ..params import SketchParams
 from .base import COUNT_BITS, StreamSummary, item_id_bits
@@ -83,6 +84,14 @@ class RowReservoir:
     Feed rows with :meth:`update`; :meth:`to_sketch` packages the reservoir
     as a standard :class:`~repro.core.subsample.SubsampleSketch` whose size
     accounting (``s * d`` bits) matches Lemma 9.
+
+    Reservoir slots hold rows in the :class:`~repro.db.packed.PackedRows`
+    word layout (``ceil(d / 64)`` uint64 words per row, an 8x memory
+    reduction over boolean storage) -- the in-memory reservoir mirrors the
+    ``d`` bits per row the sketch is charged for.  :meth:`extend` reads the
+    database's shared packed-row kernel directly, so whole-database
+    streaming never re-packs per row, and the eviction RNG sequence is
+    identical to the row-at-a-time path.
     """
 
     def __init__(
@@ -95,35 +104,51 @@ class RowReservoir:
         self.d = d
         self.size = size
         self._rng = as_rng(rng)
-        self._rows: list[np.ndarray] = []
+        self._words: list[np.ndarray] = []
         self.rows_seen = 0
 
-    def update(self, row: np.ndarray) -> None:
-        """Offer one row to the reservoir."""
-        arr = np.asarray(row, dtype=bool).reshape(-1)
-        if arr.size != self.d:
-            raise StreamError(f"row must have {self.d} attributes, got {arr.size}")
+    def _offer(self, row_words: np.ndarray) -> None:
+        """Reservoir step for one packed row (Algorithm R)."""
         self.rows_seen += 1
-        if len(self._rows) < self.size:
-            self._rows.append(arr.copy())
+        if len(self._words) < self.size:
+            self._words.append(row_words.copy())
             return
         j = int(self._rng.integers(0, self.rows_seen))
         if j < self.size:
-            self._rows[j] = arr.copy()
+            self._words[j] = row_words.copy()
+
+    def update(self, row: np.ndarray) -> None:
+        """Offer one row (boolean attribute vector) to the reservoir."""
+        arr = np.asarray(row, dtype=bool).reshape(-1)
+        if arr.size != self.d:
+            raise StreamError(f"row must have {self.d} attributes, got {arr.size}")
+        self._offer(pack_rows(arr[None, :])[0])
 
     def extend(self, db: BinaryDatabase) -> None:
-        """Stream every row of a database through the reservoir."""
+        """Stream every row of a database through the reservoir.
+
+        Routes through ``db.packed_rows``: rows arrive already packed, and
+        the kernel stays cached on the database for other consumers.
+        """
+        if db.d != self.d:
+            raise StreamError(f"row must have {self.d} attributes, got {db.d}")
+        words = db.packed_rows.words
         for i in range(db.n):
-            self.update(db.row(i))
+            self._offer(words[i])
 
     def to_sketch(self, params: SketchParams) -> SubsampleSketch:
         """Package the reservoir as a SUBSAMPLE sketch.
+
+        The sampled database adopts the reservoir's packed words as its
+        row-major kernel directly (no re-pack).
 
         Raises
         ------
         StreamError
             If the reservoir is empty.
         """
-        if not self._rows:
+        if not self._words:
             raise StreamError("reservoir is empty; stream rows first")
-        return SubsampleSketch(params, BinaryDatabase(np.array(self._rows)))
+        words = np.array(self._words, dtype=np.uint64)
+        sample = BinaryDatabase.from_packed_rows(PackedRows.from_words(words, self.d))
+        return SubsampleSketch(params, sample)

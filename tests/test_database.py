@@ -69,6 +69,51 @@ class TestQueries:
         assert freqs.tolist() == [0.75, 0.5]
 
 
+class TestDuplicateItems:
+    """Repeated items must count once on every query path.
+
+    ``Itemset`` normalizes duplicates away at construction; the kernels
+    must additionally be robust to raw item sequences with repeats (the
+    row-major popcount-equality kernel would silently demand two copies of
+    a bit if it compared against ``len(items)`` instead of the popcount of
+    the OR-ed query mask).
+    """
+
+    def test_itemset_normalizes_duplicates(self):
+        assert Itemset([1, 1, 2]) == Itemset([2, 1])
+        assert Itemset([1, 1, 2]).items == (1, 2)
+
+    def test_support_mask_duplicate_items(self, small_db):
+        expect = small_db.support_mask(Itemset([1, 2]))
+        assert np.array_equal(small_db.support_mask(Itemset([1, 1, 2])), expect)
+        assert small_db.support(Itemset([2, 2, 1])) == int(expect.sum())
+
+    def test_both_kernels_accept_raw_duplicates(self, small_db):
+        want_mask = small_db.rows[:, [1, 2]].all(axis=1)
+        want = int(want_mask.sum())
+        # Row-major kernel: mask and support with a repeated raw sequence.
+        assert np.array_equal(small_db.packed_rows.contains((1, 1, 2)), want_mask)
+        assert small_db.packed_rows.support((2, 1, 2)) == want
+        assert np.array_equal(
+            small_db.packed_rows.contains_batch([(1, 1, 2), (1, 2)]),
+            np.vstack([want_mask, want_mask]),
+        )
+        # Column-major kernel: repeated intersections are idempotent.
+        assert small_db.packed.support((1, 1, 2)) == want
+        assert small_db.packed.supports_batch([(1, 1, 2), (1, 2)]).tolist() == [
+            want,
+            want,
+        ]
+
+    def test_duplicates_on_row_boundary_words(self):
+        # d > 64 so the repeated item lands in the second query word.
+        rng = np.random.default_rng(11)
+        db = BinaryDatabase(rng.random((70, 70)) < 0.5)
+        expect = db.rows[:, [0, 65]].all(axis=1)
+        assert np.array_equal(db.packed_rows.contains((65, 0, 65)), expect)
+        assert db.support(Itemset([65, 65, 0])) == int(expect.sum())
+
+
 class TestDerived:
     def test_sample_rows_with_multiplicity(self, small_db):
         sampled = small_db.sample_rows([0, 0, 2])

@@ -1,0 +1,161 @@
+"""Tests for the sharded (multi-worker) batch evaluators.
+
+The contract: every worker count produces bit-identical arrays (values and
+dtype) -- shards are contiguous slices of one preallocated output running
+the same kernel code -- and the auto heuristic keeps tiny problems serial
+so they never pay thread dispatch.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    BinaryDatabase,
+    FrequencyOracle,
+    PackedColumns,
+    PackedRows,
+    all_frequencies,
+)
+from repro.db.packed import (
+    PARALLEL_MIN_WORDS,
+    _MAX_AUTO_WORKERS,
+    combination_index_array,
+    resolve_workers,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def kernel() -> PackedColumns:
+    rng = np.random.default_rng(42)
+    # 150 rows -> 3 words per column; 12 items -> C(12, 4) = 495 leaves.
+    return PackedColumns(rng.random((150, 12)) < 0.35)
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_combination_supports_identical_across_workers(self, kernel, k):
+        idx1, serial = kernel.combination_supports(k, workers=1)
+        idx4, sharded = kernel.combination_supports(k, workers=4)
+        assert np.array_equal(idx1, idx4)
+        assert np.array_equal(serial, sharded)
+        assert serial.dtype == sharded.dtype == np.int64
+        assert serial.shape == (comb(kernel.d, k),)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_supports_batch_identical_across_workers(self, kernel, k):
+        batch = list(combinations(range(kernel.d), k))
+        serial = kernel.supports_batch(batch, workers=1)
+        sharded = kernel.supports_batch(batch, workers=4)
+        assert np.array_equal(serial, sharded)
+        assert serial.dtype == sharded.dtype == np.int64
+
+    def test_ragged_batch_identical_across_workers(self, kernel):
+        batch = [(), (0,), (1, 3, 5), (11,), (0, 2), ()]
+        serial = kernel.supports_batch(batch, workers=1)
+        for w in (2, 3, 4, 7):
+            assert np.array_equal(kernel.supports_batch(batch, workers=w), serial)
+
+    def test_small_chunks_force_many_shard_steps(self, kernel):
+        # chunk_size smaller than the shard length exercises the inner loop.
+        _, serial = kernel.combination_supports(3, chunk_size=7, workers=1)
+        _, sharded = kernel.combination_supports(3, chunk_size=7, workers=4)
+        assert np.array_equal(serial, sharded)
+
+    def test_more_workers_than_leaves(self, kernel):
+        _, serial = kernel.combination_supports(1, workers=1)
+        _, sharded = kernel.combination_supports(1, workers=64)
+        assert np.array_equal(serial, sharded)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_row_kernel_identical_across_workers(self, k):
+        rng = np.random.default_rng(17)
+        rows = rng.random((130, 70)) < 0.4  # two words per packed row
+        pr = PackedRows(rows)
+        batch = list(combinations(range(8), k)) + [(), (69,)]
+        serial_masks = pr.contains_batch(batch, workers=1)
+        sharded_masks = pr.contains_batch(batch, workers=4)
+        assert np.array_equal(serial_masks, sharded_masks)
+        assert serial_masks.dtype == sharded_masks.dtype == np.bool_
+        serial = pr.supports_batch(batch, workers=1)
+        sharded = pr.supports_batch(batch, workers=4)
+        assert np.array_equal(serial, sharded)
+        assert serial.dtype == sharded.dtype == np.int64
+
+    def test_support_counts_all_identical_across_workers(self, kernel):
+        for k in (1, 2, 3):
+            assert np.array_equal(
+                kernel.support_counts_all(k, workers=1),
+                kernel.support_counts_all(k, workers=4),
+            )
+
+    def test_counts_match_naive_path(self, kernel):
+        rows = np.array(
+            [[(w >> b) & 1 for b in range(kernel.d)] for w in range(150)], dtype=bool
+        )
+        pc = PackedColumns(rows)
+        idx = combination_index_array(pc.d, 3)
+        sharded = pc.supports_for_index_array(idx, workers=4)
+        naive = np.array(
+            [int(rows[:, list(t)].all(axis=1).sum()) for t in map(tuple, idx)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(sharded, naive)
+
+
+class TestOracleAndQueriesPassThrough:
+    def test_oracle_workers_identical(self):
+        rng = np.random.default_rng(5)
+        db = BinaryDatabase(rng.random((130, 10)) < 0.4)
+        oracle = FrequencyOracle(db)
+        itemsets = list(combinations(range(10), 2))
+        assert np.array_equal(
+            oracle.supports_batch(itemsets, workers=1),
+            oracle.supports_batch(itemsets, workers=4),
+        )
+        assert np.array_equal(
+            oracle.all_supports(3, workers=1), oracle.all_supports(3, workers=4)
+        )
+
+    def test_all_frequencies_workers_identical(self):
+        rng = np.random.default_rng(6)
+        db = BinaryDatabase(rng.random((100, 9)) < 0.3)
+        assert all_frequencies(db, 2, workers=1) == all_frequencies(db, 2, workers=4)
+
+
+class TestAutoHeuristic:
+    def test_tiny_inputs_stay_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None, 0) == 1
+        assert resolve_workers(None, PARALLEL_MIN_WORDS - 1) == 1
+
+    def test_large_inputs_scale_with_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 6)
+        assert resolve_workers(None, PARALLEL_MIN_WORDS) == 6
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert resolve_workers(None, PARALLEL_MIN_WORDS) == _MAX_AUTO_WORKERS
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_workers(None, PARALLEL_MIN_WORDS) == 1
+
+    def test_explicit_workers_win(self):
+        assert resolve_workers(3, 0) == 3
+        assert resolve_workers(1, 10**12) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(None, 0) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        with pytest.raises(ParameterError):
+            resolve_workers(None, 0)
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ParameterError):
+            resolve_workers(0, 100)
+        with pytest.raises(ParameterError):
+            resolve_workers(-2, 100)

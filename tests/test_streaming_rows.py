@@ -38,6 +38,23 @@ class TestRowReservoir:
         for i in range(sketch.sample.n):
             assert sketch.sample.row(i).tobytes() in db_rows
 
+    def test_extend_matches_per_row_updates(self, planted_db):
+        """Packed whole-database ingestion == row-at-a-time ingestion."""
+        by_row = RowReservoir(planted_db.d, size=60, rng=9)
+        for i in range(planted_db.n):
+            by_row.update(planted_db.row(i))
+        bulk = RowReservoir(planted_db.d, size=60, rng=9)
+        bulk.extend(planted_db)
+        assert by_row.rows_seen == bulk.rows_seen
+        params = SketchParams(n=planted_db.n, d=planted_db.d, k=2, epsilon=0.1)
+        assert np.array_equal(
+            by_row.to_sketch(params).sample.rows, bulk.to_sketch(params).sample.rows
+        )
+
+    def test_extend_wrong_width_raises(self, planted_db):
+        with pytest.raises(StreamError):
+            RowReservoir(planted_db.d + 1, size=5).extend(planted_db)
+
     def test_empty_reservoir_raises(self):
         reservoir = RowReservoir(4, size=5)
         with pytest.raises(StreamError):
@@ -83,6 +100,38 @@ class TestStreamingItemsetMiner:
             SketchParams(n=planted_db.n, d=planted_db.d, k=3, epsilon=0.1)
         )
         assert miner.size_in_bits() > sketch.size_in_bits()
+
+    def test_update_many_matches_per_row_updates(self, planted_db):
+        """Bulk bucket-aligned ingestion leaves identical tracked state."""
+        by_row = StreamingItemsetMiner(planted_db.d, epsilon=0.03, max_size=2)
+        for i in range(planted_db.n):
+            by_row.update(planted_db.row(i))
+        bulk = StreamingItemsetMiner(planted_db.d, epsilon=0.03, max_size=2)
+        bulk.extend(planted_db)
+        assert by_row.rows_seen == bulk.rows_seen
+        assert by_row._entries == bulk._entries
+        # Already-packed transport (PackedRows input) is equivalent too.
+        packed = StreamingItemsetMiner(planted_db.d, epsilon=0.03, max_size=2)
+        packed.update_many(planted_db.packed_rows)
+        assert by_row._entries == packed._entries
+
+    def test_update_many_chunks_across_bucket_boundaries(self):
+        """Feeding in arbitrary-sized pieces matches one-shot ingestion."""
+        rng = np.random.default_rng(13)
+        rows = rng.random((157, 8)) < 0.4  # not a multiple of bucket width
+        whole = StreamingItemsetMiner(8, epsilon=0.07, max_size=2)
+        whole.update_many(rows)
+        pieces = StreamingItemsetMiner(8, epsilon=0.07, max_size=2)
+        for lo in (0, 1, 30, 95):
+            hi = {0: 1, 1: 30, 30: 95, 95: 157}[lo]
+            pieces.update_many(rows[lo:hi])
+        assert whole._entries == pieces._entries
+        assert whole.rows_seen == pieces.rows_seen == 157
+
+    def test_update_many_wrong_width_raises(self):
+        miner = StreamingItemsetMiner(5, 0.1, 2)
+        with pytest.raises(StreamError):
+            miner.update_many(np.zeros((3, 4), dtype=bool))
 
     def test_guards(self):
         with pytest.raises(StreamError):
