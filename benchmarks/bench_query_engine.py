@@ -342,7 +342,7 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
     )
     record = {
         "benchmark": "query_engine",
-        "pr": 2,
+        "pr": 3,
         "quick": quick,
         "results": results,
     }

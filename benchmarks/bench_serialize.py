@@ -1,0 +1,248 @@
+"""Wire-format serialization: legacy-vs-vectorized throughput bench.
+
+Measures the PR-3 serialization tentpole: the seed ``BitWriter`` kept a
+per-bit Python list (``extend(bool(b) for b in array)`` per write, one
+``bool`` object per payload bit), while the vectorized writer appends
+whole numpy chunks and packs once.  Cases:
+
+* ``bitwriter_payload`` -- build a ~10^6-bit RELEASE-DB-shaped payload
+  (packed boolean matrix plus a fixed-width uint section) with the legacy
+  list-based writer vs the vectorized writer.  The acceptance floor is
+  :data:`MIN_SPEEDUP` (5x); in practice the gap is orders of magnitude.
+* ``quantized_answers`` -- RELEASE-ANSWERS' answer-table serialization:
+  one ``write_quantized`` call per frequency vs one
+  ``write_quantized_batch`` call for the whole table (both on the new
+  writer, so this isolates the batch-field win).
+* ``sketch_file_round_trip`` -- end-to-end ``dump``/``load`` latency of
+  framed sketch files (SUBSAMPLE, RELEASE-DB, Count-Min): the cost of
+  actually crossing the (S, Q) process boundary.
+
+Writes ``BENCH_serialize.json`` (repo root).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serialize.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_serialize.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import wire  # noqa: E402
+from repro.core import SubsampleSketcher, ReleaseDbSketcher, Task  # noqa: E402
+from repro.db import BitWriter, random_database  # noqa: E402
+from repro.db.bitmatrix import int_to_bits, pack_bits  # noqa: E402
+from repro.db.serialize import BitReader  # noqa: E402
+from repro.params import SketchParams  # noqa: E402
+from repro.streaming import CountMinSketch  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_serialize.json"
+
+#: Acceptance floor: vectorized writer vs the seed list-based path on a
+#: ~10^6-bit payload.
+MIN_SPEEDUP = 5.0
+
+
+# ----------------------------------------------------------------------
+# Faithful reimplementation of the seed (pre-PR3) per-bit writer.
+# ----------------------------------------------------------------------
+class _LegacyBitWriter:
+    """The seed BitWriter, preserved verbatim as the baseline.
+
+    Every write walks its input bit by bit in Python and appends one
+    ``bool`` object per bit; ``getvalue`` re-materializes the list as an
+    array before packing.
+    """
+
+    def __init__(self) -> None:
+        self._bits: list[bool] = []
+
+    def write_bit(self, bit) -> None:
+        self._bits.append(bool(bit))
+
+    def write_bits(self, bits) -> None:
+        self._bits.extend(bool(b) for b in np.asarray(bits, dtype=bool))
+
+    def write_uint(self, value: int, width: int) -> None:
+        self.write_bits(int_to_bits(value, width))
+
+    @property
+    def n_bits(self) -> int:
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        return pack_bits(np.array(self._bits, dtype=bool)) if self._bits else b""
+
+
+def _time(fn, repeats: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_bitwriter_payload(n_rows: int, d: int, n_uints: int, repeats: int) -> dict:
+    """The tentpole comparison on a RELEASE-DB-shaped payload."""
+    rng = np.random.default_rng(0)
+    rows = rng.random((n_rows, d)) < 0.3
+    uints = rng.integers(0, 2**32, size=n_uints)
+    total_bits = n_rows * d + 64 * n_uints
+
+    def build(writer_cls):
+        writer = writer_cls()
+        writer.write_bits(rows.reshape(-1))
+        for value in uints.tolist():
+            writer.write_uint(int(value), 64)
+        return writer.getvalue()
+
+    legacy_time, legacy_payload = _time(lambda: build(_LegacyBitWriter), repeats)
+    vector_time, vector_payload = _time(lambda: build(BitWriter), repeats)
+    assert legacy_payload == vector_payload, "vectorized writer changed the payload"
+    return {
+        "config": {"n_rows": n_rows, "d": d, "n_uints": n_uints, "bits": total_bits},
+        "legacy": {"seconds": legacy_time, "bits_per_sec": total_bits / legacy_time},
+        "vectorized": {"seconds": vector_time, "bits_per_sec": total_bits / vector_time},
+        "speedup": legacy_time / vector_time,
+    }
+
+
+def bench_quantized_answers(n_answers: int, epsilon: float, repeats: int) -> dict:
+    """RELEASE-ANSWERS' table: per-answer writes vs one batched write."""
+    rng = np.random.default_rng(1)
+    freqs = rng.random(n_answers)
+
+    def itemwise():
+        writer = BitWriter()
+        for f in freqs.tolist():
+            writer.write_quantized(f, epsilon)
+        return writer.getvalue()
+
+    def batched():
+        writer = BitWriter()
+        writer.write_quantized_batch(freqs, epsilon)
+        return writer.getvalue()
+
+    item_time, a = _time(itemwise, repeats)
+    batch_time, b = _time(batched, repeats)
+    assert a == b, "batched quantization changed the payload"
+    return {
+        "config": {"n_answers": n_answers, "epsilon": epsilon},
+        "itemwise": {"seconds": item_time, "answers_per_sec": n_answers / item_time},
+        "batched": {"seconds": batch_time, "answers_per_sec": n_answers / batch_time},
+        "speedup": item_time / batch_time,
+    }
+
+
+def bench_round_trip(n: int, d: int, repeats: int) -> dict:
+    """dump + load latency for framed sketch files."""
+    db = random_database(n, d, density=0.3, rng=2)
+    p = SketchParams(n=n, d=d, k=2, epsilon=0.05, delta=0.1)
+    cms = CountMinSketch(10_000, 2048, 5, rng=0)
+    cms.update_many(np.random.default_rng(3).integers(0, 10_000, 50_000))
+    subjects = {
+        "subsample": SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(db, p, rng=0),
+        "release-db": ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p, rng=0),
+        "count-min": cms,
+    }
+    cases = {}
+    for name, obj in subjects.items():
+        dump_time, buf = _time(lambda o=obj: wire.dump(o), repeats)
+        load_time, clone = _time(lambda b=buf: wire.load(b), repeats)
+        assert clone.size_in_bits() == obj.size_in_bits()
+        cases[name] = {
+            "frame_bytes": len(buf),
+            "payload_bits": obj.size_in_bits(),
+            "dump_seconds": dump_time,
+            "load_seconds": load_time,
+            "round_trips_per_sec": 1.0 / (dump_time + load_time),
+        }
+    return {"config": {"n": n, "d": d}, "cases": cases}
+
+
+def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
+    """Run the full suite and write the JSON trajectory record."""
+    repeats = 1 if quick else 3
+    if quick:
+        results = {
+            # The payload config is pinned at ~10^6 bits even in quick
+            # mode: the >= 5x acceptance floor is defined at that size.
+            "bitwriter_payload": bench_bitwriter_payload(15_360, 64, 400, repeats),
+            "quantized_answers": bench_quantized_answers(20_000, 0.01, repeats),
+            "sketch_file_round_trip": bench_round_trip(1024, 16, repeats),
+        }
+    else:
+        results = {
+            "bitwriter_payload": bench_bitwriter_payload(15_360, 64, 400, repeats),
+            "quantized_answers": bench_quantized_answers(100_000, 0.01, repeats),
+            "sketch_file_round_trip": bench_round_trip(4096, 24, repeats),
+        }
+    tentpole = results["bitwriter_payload"]
+    assert tentpole["config"]["bits"] >= 1_000_000, "payload case shrank below 10^6 bits"
+    assert tentpole["speedup"] >= MIN_SPEEDUP, (
+        f"vectorized BitWriter only {tentpole['speedup']:.1f}x faster than the "
+        f"legacy list path (floor {MIN_SPEEDUP}x)"
+    )
+    record = {
+        "benchmark": "serialize",
+        "pr": 3,
+        "quick": quick,
+        "results": results,
+    }
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (not part of tier-1: bench_* files are opt-in).
+# ----------------------------------------------------------------------
+def test_serializer_speedup_quick():
+    record = run(quick=True)
+    tentpole = record["results"]["bitwriter_payload"]
+    print(
+        f"\nbitwriter_payload ({tentpole['config']['bits']} bits): "
+        f"legacy {tentpole['legacy']['bits_per_sec']:.3g} bits/s -> "
+        f"vectorized {tentpole['vectorized']['bits_per_sec']:.3g} bits/s "
+        f"({tentpole['speedup']:.0f}x)"
+    )
+    assert tentpole["speedup"] >= MIN_SPEEDUP
+    assert record["results"]["quantized_answers"]["speedup"] > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration (CI)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+    record = run(quick=args.quick, out_path=args.out)
+    for name, res in record["results"].items():
+        if "speedup" in res:
+            print(f"{name}: speedup {res['speedup']:.1f}x")
+    trips = record["results"]["sketch_file_round_trip"]["cases"]
+    for name, case in trips.items():
+        print(
+            f"round_trip {name}: {case['frame_bytes']} bytes, "
+            f"{case['round_trips_per_sec']:.0f} round-trips/sec"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

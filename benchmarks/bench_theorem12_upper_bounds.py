@@ -2,9 +2,11 @@
 
 Regenerates the paper's ``min{nd, C(d,k)[log 1/eps], eps^{-1..-2} d log(.)}``
 accounting: for every (d, k, eps) cell we *measure* each naive sketch's
-serialized size and check it equals the closed-form bound, then print the
-table of winners.  The benchmark times the dominant operation (building
-the min-size sketch).
+size from its serialized wire payload (:func:`repro.wire.payload_size_bits`,
+the literal bit-string length) and check it equals the closed-form bound,
+then print the winners table with the measured / theoretical / lower-bound
+columns.  The benchmark times the dominant operation (building the
+min-size sketch).
 """
 
 from __future__ import annotations
@@ -18,11 +20,13 @@ from repro.core import (
     ReleaseDbSketcher,
     SubsampleSketcher,
     Task,
+    lower_bound_bits,
     naive_upper_bounds,
 )
 from repro.db import random_database
-from repro.experiments import format_table, grid, print_experiment_header
+from repro.experiments import format_table, grid, print_experiment_header, size_columns
 from repro.params import SketchParams
+from repro.wire import payload_size_bits
 
 GRID = list(grid(d=[16, 32], k=[1, 2, 3], inv_eps=[4, 16, 64]))
 
@@ -52,7 +56,10 @@ def test_measured_sizes_match_formulas(benchmark, task):
                 ("subsample", SubsampleSketcher(task)),
             ):
                 sketch = sketcher.sketch(db, p, rng=0)
-                measured[name] = sketch.size_in_bits()
+                # The measured size is the serialized payload's bit
+                # length; size_in_bits must agree with it exactly.
+                measured[name] = payload_size_bits(sketch)
+                assert measured[name] == sketch.size_in_bits(), (name, cell)
                 assert measured[name] == formulas[name], (name, cell)
             winner = min(formulas, key=formulas.__getitem__)
             rows.append(
@@ -64,6 +71,11 @@ def test_measured_sizes_match_formulas(benchmark, task):
                     "release-answers": formulas["release-answers"],
                     "subsample": formulas["subsample"],
                     "winner": winner,
+                    **size_columns(
+                        measured[winner],
+                        formulas[winner],
+                        lower_bound_bits(task, p),
+                    ),
                 }
             )
         return rows

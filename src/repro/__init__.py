@@ -50,7 +50,13 @@ from .core import (
     upper_bound_bits,
     validate_sketcher,
 )
-from .errors import DecodingError, ParameterError, ReproError, SketchSizeError
+from .errors import (
+    DecodingError,
+    ParameterError,
+    ReproError,
+    SketchSizeError,
+    WireFormatError,
+)
 from .params import SketchParams
 
 __all__ = [
@@ -78,4 +84,5 @@ __all__ = [
     "ParameterError",
     "DecodingError",
     "SketchSizeError",
+    "WireFormatError",
 ]

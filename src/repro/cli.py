@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's everyday entry points:
+Seven commands cover the library's everyday entry points:
 
 * ``experiments`` -- list the reproduced claims and their benchmarks;
 * ``bounds``      -- print Theorem 12's sizes and the lower bounds for a
@@ -8,17 +8,27 @@ Four commands cover the library's everyday entry points:
 * ``validate``    -- empirically validate a sketcher on a random database;
 * ``attack``      -- run a lower-bound encoding attack end to end;
 * ``mine``        -- mine frequent itemsets from a transaction file,
-  exactly or through a sketch.
+  exactly or through a sketch;
+* ``sketch``      -- run ``S``: build a sketch of a transaction file and
+  write its wire-format bit string to disk;
+* ``query``       -- run ``Q``: answer an itemset query from a sketch
+  file alone, in a separate process from the one that saw the data.
+
+``sketch`` and ``query`` realise the paper's ``(S, Q)`` split across a
+process boundary: the query process never sees the database, only the
+serialized summary whose length the lower bounds are about.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .core import (
     BestOfNaiveSketcher,
+    ImportanceSampleSketcher,
     ReleaseAnswersSketcher,
     ReleaseDbSketcher,
     SubsampleSketcher,
@@ -27,7 +37,8 @@ from .core import (
     naive_upper_bounds,
     validate_sketcher,
 )
-from .db import random_database
+from .core.base import FrequencySketch
+from .db import Itemset, random_database
 from .db.transactions import read_transactions
 from .experiments import EXPERIMENTS, format_table
 from .lowerbounds import (
@@ -46,6 +57,7 @@ _SKETCHERS = {
     "subsample": SubsampleSketcher,
     "release-db": ReleaseDbSketcher,
     "release-answers": ReleaseAnswersSketcher,
+    "importance": ImportanceSampleSketcher,
     "best": BestOfNaiveSketcher,
 }
 
@@ -77,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--delta", type=float, default=0.1)
     validate.add_argument("--trials", type=int, default=10)
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for the sharded batch evaluators (default: auto)",
+    )
 
     attack = sub.add_parser("attack", help="run a lower-bound encoding attack")
     attack.add_argument("--theorem", choices=["13", "15"], default="13")
@@ -96,6 +112,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--eps", type=float, default=0.02)
     mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for the sharded batch evaluators (default: auto)",
+    )
+
+    sketch = sub.add_parser(
+        "sketch", help="build a sketch of a transaction file and write it to disk"
+    )
+    sketch.add_argument("path", help="transaction file (one basket per line)")
+    sketch.add_argument("--out", required=True, help="output sketch file")
+    sketch.add_argument("--sketcher", choices=sorted(_SKETCHERS), default="subsample")
+    sketch.add_argument("--task", choices=sorted(_TASKS), default="for-all-estimator")
+    sketch.add_argument("--k", type=int, default=2)
+    sketch.add_argument("--eps", type=float, default=0.1)
+    sketch.add_argument("--delta", type=float, default=0.1)
+    sketch.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser(
+        "query", help="answer an itemset query from a sketch file alone"
+    )
+    query.add_argument("path", help="sketch file written by `repro sketch`")
+    query.add_argument(
+        "items", nargs="*", type=int,
+        help="attribute indices of the queried itemset (empty = empty itemset)",
+    )
     return parser
 
 
@@ -131,7 +172,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     sketcher = _SKETCHERS[args.sketcher](task)
     params = SketchParams(n=args.n, d=args.d, k=args.k, epsilon=args.eps, delta=args.delta)
     db = random_database(args.n, args.d, 0.3, rng=args.seed)
-    report = validate_sketcher(sketcher, db, params, trials=args.trials, rng=args.seed + 1)
+    report = validate_sketcher(
+        sketcher, db, params, trials=args.trials, rng=args.seed + 1,
+        workers=args.workers,
+    )
     print(
         f"{args.sketcher} on {task.value}: failure rate "
         f"{report.failure_rate:.3f} over {report.units} units "
@@ -168,12 +212,75 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         source = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(
             db, params, rng=args.seed
         )
-    frequent = apriori(source, args.threshold, max_size=args.max_size)
+    frequent = apriori(
+        source, args.threshold, max_size=args.max_size, workers=args.workers
+    )
     rows = [
         {"itemset": " ".join(map(str, t.items)), "frequency": round(f, 4)}
         for t, f in sorted(frequent.items(), key=lambda kv: -kv[1])
     ]
     print(format_table(rows) if rows else "(no frequent itemsets)")
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    """``S``: read transactions, sketch, write the framed bit string."""
+    from .errors import ReproError
+
+    try:
+        db = read_transactions(args.path)
+        task = _TASKS[args.task]
+        sketcher = _SKETCHERS[args.sketcher](task)
+        params = SketchParams(
+            n=db.n, d=db.d, k=args.k, epsilon=args.eps, delta=args.delta
+        )
+        sketch = sketcher.sketch(db, params, rng=args.seed)
+        buf = sketch.to_bytes()
+        Path(args.out).write_bytes(buf)
+    except (ReproError, OSError) as exc:
+        print(f"cannot sketch {args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.out}: {type(sketch).__name__} "
+        f"({params.describe()}), payload {sketch.size_in_bits()} bits, "
+        f"frame {len(buf)} bytes, theoretical "
+        f"{sketcher.theoretical_size_bits(params)} bits"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """``Q``: answer from the serialized summary alone."""
+    from .errors import ReproError
+
+    try:
+        itemset = Itemset(args.items)
+    except ReproError as exc:
+        print(f"invalid itemset {args.items}: {exc}", file=sys.stderr)
+        return 1
+    label = " ".join(map(str, itemset.items)) or "(empty)"
+    try:
+        sketch = FrequencySketch.from_bytes(Path(args.path).read_bytes())
+    except (ReproError, OSError) as exc:
+        print(f"cannot read sketch file {args.path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        estimate = sketch.estimate(itemset)
+        indicator = sketch.indicate(itemset)
+    except ReproError as exc:
+        # Stored-answer sketches only answer exactly-k itemsets; say so
+        # instead of dumping a traceback (the frame header carries k).
+        print(
+            f"cannot answer [{label}] from this sketch "
+            f"({sketch.params.describe()}): {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{type(sketch).__name__} ({sketch.params.describe()}, "
+        f"{sketch.size_in_bits()} bits): "
+        f"estimate[{label}] = {estimate:.6g}, indicate = {int(indicator)}"
+    )
     return 0
 
 
@@ -190,6 +297,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_attack(args)
     if args.command == "mine":
         return _cmd_mine(args)
+    if args.command == "sketch":
+        return _cmd_sketch(args)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

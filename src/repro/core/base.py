@@ -105,17 +105,24 @@ class FrequencySketch(ABC):
         """
         return self.estimate(itemset) >= INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
 
-    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+    def estimate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
         """Estimates for many itemsets as a float vector.
 
         Default: one :meth:`estimate` call per itemset.  Sketches that
         store a queryable database (RELEASE-DB, SUBSAMPLE) override this
         with a single batched kernel sweep -- the reconstruction attacks
         and the validation/benchmark harnesses query through this surface.
+        ``workers`` shards that sweep over threads where the sketch has a
+        kernel to shard (ignored by stored-answer sketches, whose batch
+        path is a table lookup).
         """
         return np.array([self.estimate(t) for t in itemsets], dtype=float)
 
-    def indicate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+    def indicate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
         """Indicator answers for many itemsets as a boolean vector.
 
         Default: one :meth:`indicate` call per itemset, so subclasses that
@@ -125,7 +132,37 @@ class FrequencySketch(ABC):
 
     @abstractmethod
     def size_in_bits(self) -> int:
-        """Exact size of the serialized summary, in bits."""
+        """Exact size of the serialized summary, in bits.
+
+        Equal, for every sketch with a registered wire codec, to the bit
+        length of the payload :meth:`to_bytes` frames -- the accounting is
+        measured, not declared.
+        """
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the framed wire format (:mod:`repro.wire`).
+
+        The frame's payload is exactly :meth:`size_in_bits` bits; the
+        sketch can be reconstructed in another process with
+        :meth:`from_bytes` and answers queries bit-identically.
+        """
+        from ..wire import dump
+
+        return dump(self)
+
+    @staticmethod
+    def from_bytes(buf: bytes) -> "FrequencySketch":
+        """Reconstruct a sketch serialized by :meth:`to_bytes`.
+
+        Raises
+        ------
+        repro.errors.WireFormatError
+            If the frame is malformed, corrupted, or not a frequency
+            sketch.
+        """
+        from ..wire import load_as
+
+        return load_as(FrequencySketch, buf)
 
 
 class Sketcher(ABC):

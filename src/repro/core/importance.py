@@ -11,7 +11,9 @@ estimator
 
 which is unbiased for ``f_T`` under any strictly positive weighting.  The
 sketch stores each sampled row *plus* its sampling probability (charged at
-32 bits), keeping the size accounting honest.
+32 bits), keeping the size accounting honest: probabilities are quantized
+to IEEE float32 at construction -- the value the 32-bit charge actually
+buys -- so the serialized payload reproduces every answer exactly.
 
 The E-ABL-IMP ablation bench shows both sides of the paper's remark:
 importance sampling cuts the error on density-skewed databases, and gains
@@ -60,7 +62,10 @@ class ImportanceSampleSketch(FrequencySketch):
     ) -> None:
         super().__init__(params)
         arr = np.asarray(rows, dtype=bool)
-        probs = np.asarray(probabilities, dtype=float)
+        # Quantize to the 32 bits each stored probability is charged for;
+        # queries answer from the quantized values, so serialization is
+        # lossless with respect to every estimate.
+        probs = np.asarray(probabilities, dtype=np.float32)
         if arr.ndim != 2 or probs.shape != (arr.shape[0],):
             raise ParameterError("rows and probabilities must align")
         if (probs <= 0).any():
@@ -74,6 +79,21 @@ class ImportanceSampleSketch(FrequencySketch):
         """Number of sampled rows ``s``."""
         return self._rows.shape[0]
 
+    @property
+    def rows(self) -> np.ndarray:
+        """The sampled rows as an ``(s, d)`` boolean matrix."""
+        return self._rows
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-sample inclusion probabilities (float32, as stored)."""
+        return self._probs
+
+    @property
+    def n_source_rows(self) -> int:
+        """Number of rows ``n`` in the database the sample was drawn from."""
+        return self._n_source
+
     def estimate(self, itemset: Itemset) -> float:
         """Horvitz-Thompson estimate of ``f_T`` (clamped to [0, 1])."""
         if itemset.items and itemset.items[-1] >= self._rows.shape[1]:
@@ -84,7 +104,7 @@ class ImportanceSampleSketch(FrequencySketch):
         hits = self._rows[:, cols].all(axis=1) if cols else np.ones(
             self.n_samples, dtype=bool
         )
-        weights = 1.0 / (self._n_source * self._probs)
+        weights = 1.0 / (self._n_source * self._probs.astype(np.float64))
         value = float((hits * weights).sum() / self.n_samples)
         return min(1.0, max(0.0, value))
 

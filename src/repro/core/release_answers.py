@@ -46,19 +46,19 @@ class ReleaseAnswersSketch(FrequencySketch):
         reader = BitReader(self._payload, self._n_bits)
         count = self._params.num_itemsets
         if self._indicator:
-            self._answers = np.array(
-                [reader.read_bit() for _ in range(count)], dtype=bool
-            )
+            self._answers = reader.read_bits(count)
         else:
-            eps = self._params.epsilon
-            self._answers = np.array(
-                [reader.read_quantized(eps) for _ in range(count)], dtype=float
-            )
+            self._answers = reader.read_quantized_batch(count, self._params.epsilon)
 
     @property
     def stores_indicator_bits(self) -> bool:
         """Whether the payload holds bits (indicator) or frequencies."""
         return self._indicator
+
+    @property
+    def payload(self) -> bytes:
+        """The serialized answer table ``Q`` reads from."""
+        return self._payload
 
     def _index(self, itemset: Itemset) -> int:
         if len(itemset) != self._params.k:
@@ -125,14 +125,13 @@ class ReleaseAnswersSketcher(Sketcher):
         # One prefix-sharing kernel sweep computes all C(d, k) supports,
         # already indexed by colex rank -- the payload's answer order.
         supports = oracle.all_supports(params.k)
+        freqs = supports / db.n
         writer = BitWriter()
         indicator = self._task.is_indicator
-        for support in supports.tolist():
-            freq = support / db.n
-            if indicator:
-                writer.write_bit(freq >= INDICATOR_THRESHOLD_FACTOR * params.epsilon)
-            else:
-                writer.write_quantized(freq, params.epsilon)
+        if indicator:
+            writer.write_bits(freqs >= INDICATOR_THRESHOLD_FACTOR * params.epsilon)
+        else:
+            writer.write_quantized_batch(freqs, params.epsilon)
         return ReleaseAnswersSketch(params, writer.getvalue(), writer.n_bits, indicator)
 
     def theoretical_size_bits(self, params: SketchParams) -> int:

@@ -15,7 +15,7 @@ import numpy as np
 from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
 from ..params import SketchParams
-from .base import FrequencySketch, Sketcher, Task
+from .base import INDICATOR_THRESHOLD_FACTOR, FrequencySketch, Sketcher, Task
 
 __all__ = ["ReleaseDbSketch", "ReleaseDbSketcher"]
 
@@ -42,9 +42,26 @@ class ReleaseDbSketch(FrequencySketch):
         """Exact frequency ``f_T(D)``."""
         return self._db.frequency(itemset)
 
-    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
-        """Exact frequencies for a whole query set (one kernel sweep)."""
-        return self._db.frequencies(itemsets)
+    def estimate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Exact frequencies for a whole query set (one kernel sweep).
+
+        ``workers`` shards the sweep over shared-memory threads.
+        """
+        return self._db.frequencies(itemsets, workers=workers)
+
+    def indicate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Thresholded exact frequencies, one (sharded) kernel sweep.
+
+        Same answers as the base per-itemset loop -- ``indicate`` is
+        exactly this threshold on ``estimate`` -- but batched, so
+        ``workers`` actually shards indicator validation too.
+        """
+        threshold = INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
+        return self.estimate_batch(itemsets, workers=workers) >= threshold
 
     def support_mask(self, itemset: Itemset) -> np.ndarray:
         """Which stored rows contain ``itemset`` (row-major kernel)."""

@@ -31,7 +31,7 @@ from ..db.database import BinaryDatabase
 from ..db.itemset import Itemset
 from ..errors import ParameterError
 from ..params import SketchParams
-from .base import FrequencySketch, Sketcher, Task
+from .base import INDICATOR_THRESHOLD_FACTOR, FrequencySketch, Sketcher, Task
 
 __all__ = ["SubsampleSketch", "SubsampleSketcher", "sample_count_for"]
 
@@ -78,9 +78,26 @@ class SubsampleSketch(FrequencySketch):
         """Frequency of ``itemset`` among the sampled rows."""
         return self._sample.frequency(itemset)
 
-    def estimate_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
-        """Sample frequencies for a whole query set (one kernel sweep)."""
-        return self._sample.frequencies(itemsets)
+    def estimate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Sample frequencies for a whole query set (one kernel sweep).
+
+        ``workers`` shards the sweep over shared-memory threads.
+        """
+        return self._sample.frequencies(itemsets, workers=workers)
+
+    def indicate_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Thresholded sample frequencies, one (sharded) kernel sweep.
+
+        Same answers as the base per-itemset loop -- ``indicate`` is
+        exactly this threshold on ``estimate`` -- but batched, so
+        ``workers`` actually shards indicator validation too.
+        """
+        threshold = INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
+        return self.estimate_batch(itemsets, workers=workers) >= threshold
 
     def support_mask(self, itemset: Itemset) -> np.ndarray:
         """Which sampled rows contain ``itemset`` (row-major kernel)."""

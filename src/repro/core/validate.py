@@ -90,6 +90,7 @@ def validate_sketcher(
     trials: int = 20,
     max_itemsets: int = 2000,
     rng: np.random.Generator | int | None = None,
+    workers: int | None = None,
 ) -> ValidationReport:
     """Estimate a sketcher's failure probability on ``db``.
 
@@ -97,6 +98,11 @@ def validate_sketcher(
     at most ``max_itemsets`` itemsets are checked (all of them when
     ``C(d,k)`` is small; a uniform sample otherwise -- a *lower* bound on
     the true For-All failure rate, which the reports note).
+
+    ``workers`` shards the batched kernel sweeps -- the exact ground-truth
+    evaluation and each trial's sketch queries -- over shared-memory
+    threads (``None`` = auto heuristic; results are identical for every
+    worker count).
 
     Raises
     ------
@@ -112,7 +118,7 @@ def validate_sketcher(
     gen = as_rng(rng)
     itemsets = _itemsets_to_check(params, max_itemsets, gen)
     oracle = FrequencyOracle(db)
-    truth = oracle.frequencies(itemsets)
+    truth = oracle.frequencies(itemsets, workers=workers)
     eps = params.epsilon
     task = sketcher.task
 
@@ -123,12 +129,16 @@ def validate_sketcher(
     for _ in range(trials):
         sketch = sketcher.sketch(db, params, gen)
         if task.is_indicator:
-            answers = np.asarray(sketch.indicate_batch(itemsets), dtype=bool)
+            answers = np.asarray(
+                sketch.indicate_batch(itemsets, workers=workers), dtype=bool
+            )
             must_be_one = truth > eps
             must_be_zero = truth < eps / 2.0
             bad = (must_be_one & ~answers) | (must_be_zero & answers)
         else:
-            answers = np.asarray(sketch.estimate_batch(itemsets), dtype=float)
+            answers = np.asarray(
+                sketch.estimate_batch(itemsets, workers=workers), dtype=float
+            )
             bad = np.abs(answers - truth) > eps + 1e-12
         if task.is_forall:
             units += 1

@@ -45,6 +45,37 @@ The batched evaluators of both kernels take ``workers=`` and shard their
 index ranges over shared-memory threads (numpy releases the GIL in the hot
 ops); ``workers=None`` picks serial for small problems automatically and
 results are bit-identical for every worker count.
+
+Wire format
+-----------
+Sketch payloads are real bit strings.  :class:`~repro.db.serialize.BitWriter`
+and :class:`~repro.db.serialize.BitReader` are the payload primitives --
+vectorized (whole-chunk numpy appends, one :func:`numpy.packbits` pass,
+batched fixed-width integer fields) and strict on read (byte length must
+match the declared bit count exactly; trailing padding must be zero).
+:mod:`repro.wire` frames payloads for transport::
+
+    magic "IFSK" | version | codec id | params | extras JSON | n_bits | payload | crc32
+
+* **Payload vs header** -- the payload carries exactly the bits the
+  summary's ``size_in_bits`` accounting charges (the registry contract is
+  ``size_in_bits() == n_bits``, asserted by the round-trip suite); the
+  header carries public parameters only, mirroring this package's
+  convention that a matrix's shape is metadata, not payload.
+* **Codecs** -- one registered codec per sketcher name (``release-db``,
+  ``release-answers``, ``subsample``, ``importance-sample``) and per
+  streaming summary (``count-min``, ``misra-gries``, ``space-saving``,
+  ``lossy-counting``, ``sticky-sampling``, ``reservoir``,
+  ``row-reservoir``, ``itemset-miner``).  ``dump``/``load`` dispatch by
+  concrete type, so Theorem 12's best-of-naive selector round-trips
+  through whichever codec matches the sketch it built.
+* **Process separation** -- the ``repro sketch`` / ``repro query`` CLI
+  commands run ``S`` and ``Q`` as separate processes over a sketch file;
+  :func:`repro.streaming.merge.merge_payloads` merges serialized remote
+  shards (distributed ingest).
+* **Strict decoding** -- bad magic, unknown codec or version, truncated
+  or oversized buffers, CRC mismatches, misdeclared bit counts, and
+  nonzero padding all raise :class:`~repro.errors.WireFormatError`.
 """
 
 from .database import BinaryDatabase

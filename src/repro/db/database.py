@@ -160,9 +160,18 @@ class BinaryDatabase:
         """``f_T(D)``: the fraction of rows containing ``itemset``."""
         return self.support(itemset) / self.n
 
-    def frequencies(self, itemsets: Iterable[Itemset]) -> np.ndarray:
-        """Vector of frequencies for several itemsets (one batched kernel call)."""
-        return self.packed.supports_batch([t.items for t in itemsets]) / self.n
+    def frequencies(
+        self, itemsets: Iterable[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Vector of frequencies for several itemsets (one batched kernel call).
+
+        ``workers`` shards the sweep over shared-memory threads (``None`` =
+        auto heuristic; results are bit-identical for every worker count).
+        """
+        return (
+            self.packed.supports_batch([t.items for t in itemsets], workers=workers)
+            / self.n
+        )
 
     # ------------------------------------------------------------------
     # Derived databases.

@@ -6,20 +6,30 @@ object sizes.  :class:`BitWriter` / :class:`BitReader` provide a tiny,
 dependency-free bit stream with the primitives the sketches need:
 
 * raw bit arrays (database rows),
-* fixed-width unsigned integers (row counts, indices),
+* fixed-width unsigned integers (row counts, indices), single or batched,
 * quantized frequencies to precision ``epsilon`` -- the paper charges
   ``log(1/epsilon)`` bits per stored frequency (Definition 7's accounting),
   which is exactly what :meth:`BitWriter.write_quantized` uses.
+
+Both ends are vectorized: the writer accumulates whole boolean chunks and
+packs them with one :func:`numpy.packbits` pass at :meth:`BitWriter.getvalue`
+time (no per-bit Python list), and batched integer fields go through a
+single shift-and-mask broadcast per call (:meth:`BitWriter.write_uints` /
+:meth:`BitReader.read_uints`).  The reader is *strict*: the payload's byte
+length must match the declared bit count exactly and the zero padding in the
+final byte must actually be zero, so a frame whose accounting lies about its
+payload is rejected instead of silently accepted.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import SketchSizeError
-from .bitmatrix import bits_to_int, int_to_bits, pack_bits, unpack_bits
+from .bitmatrix import bits_to_int, int_to_bits
 
 __all__ = [
     "BitWriter",
@@ -54,49 +64,149 @@ def dequantize_frequency(code: int, epsilon: float) -> float:
     return min(1.0, code * epsilon)
 
 
+def _uints_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """``(len(values) * width,)`` boolean array, MSB first per value.
+
+    One broadcasted shift-and-mask for the whole batch; values must fit in
+    ``width`` bits and ``width`` must be 1..64 (wider single values go
+    through :func:`int_to_bits`, which is arbitrary precision).
+    """
+    if not 1 <= width <= 64:
+        raise SketchSizeError(f"batched uints need 1 <= width <= 64, got {width}")
+    vals = np.asarray(values, dtype=np.uint64)
+    if vals.ndim != 1:
+        raise SketchSizeError(f"expected a 1-D value array, got shape {vals.shape}")
+    if width < 64 and vals.size and int(vals.max()) >> width:
+        bad = int(vals.max())
+        raise SketchSizeError(f"value {bad} does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return ((vals[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool).reshape(-1)
+
+
+def _bits_to_uints(bits: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`_uints_to_bits`: decode consecutive ``width``-bit fields."""
+    if not 1 <= width <= 64:
+        raise SketchSizeError(f"batched uints need 1 <= width <= 64, got {width}")
+    arr = np.asarray(bits, dtype=bool)
+    if arr.size % width:
+        raise SketchSizeError(
+            f"bit run of {arr.size} does not divide into {width}-bit fields"
+        )
+    fields = arr.reshape(-1, width).astype(np.uint64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return (fields << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+
+
 class BitWriter:
-    """Append-only bit stream."""
+    """Append-only bit stream backed by whole numpy chunks.
+
+    Writes append boolean chunks to an internal list; nothing is visited
+    per-bit in Python.  :meth:`getvalue` concatenates the chunks once and
+    packs them with a single vectorized :func:`numpy.packbits` call
+    (big-endian within each byte, zero padded to a byte boundary).
+    """
 
     def __init__(self) -> None:
-        self._bits: list[bool] = []
+        self._chunks: list[np.ndarray] = []
+        self._n_bits = 0
 
     def write_bit(self, bit: bool | int) -> None:
         """Append a single bit."""
-        self._bits.append(bool(bit))
+        self._chunks.append(np.array([bool(bit)]))
+        self._n_bits += 1
 
     def write_bits(self, bits: np.ndarray) -> None:
-        """Append a 1-D boolean array."""
-        self._bits.extend(bool(b) for b in np.asarray(bits, dtype=bool))
+        """Append a 1-D boolean array as one chunk.
+
+        The chunk is copied, so callers may reuse or mutate scratch
+        buffers after writing without corrupting the payload.
+        """
+        arr = np.array(bits, dtype=bool, copy=True).reshape(-1)
+        self._chunks.append(arr)
+        self._n_bits += arr.size
 
     def write_uint(self, value: int, width: int) -> None:
         """Append a ``width``-bit unsigned integer, MSB first."""
         self.write_bits(int_to_bits(value, width))
 
+    def write_uints(self, values: Sequence[int] | np.ndarray, width: int) -> None:
+        """Append many ``width``-bit unsigned integers in one vectorized pass."""
+        self.write_bits(_uints_to_bits(np.asarray(values), width))
+
     def write_quantized(self, value: float, epsilon: float) -> None:
         """Append a frequency quantized to precision ``epsilon``."""
         self.write_uint(quantize_frequency(value, epsilon), frequency_bits(epsilon))
 
+    def write_quantized_batch(
+        self, values: Sequence[float] | np.ndarray, epsilon: float
+    ) -> None:
+        """Append many quantized frequencies in one vectorized pass.
+
+        Codes match :func:`quantize_frequency` exactly (round-half-to-even,
+        numpy's and Python's shared convention), so batch and per-value
+        writes produce identical payloads.
+        """
+        vals = np.asarray(values, dtype=float)
+        if vals.size and (vals.min() < 0.0 or vals.max() > 1.0 + 1e-12):
+            bad = vals.min() if vals.min() < 0.0 else vals.max()
+            raise SketchSizeError(f"frequency must lie in [0, 1], got {bad}")
+        codes = np.rint(np.minimum(vals, 1.0) / epsilon).astype(np.uint64)
+        self.write_uints(codes, frequency_bits(epsilon))
+
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._n_bits
 
     @property
     def n_bits(self) -> int:
         """Number of bits written so far: the sketch's exact size."""
-        return len(self._bits)
+        return self._n_bits
 
     def getvalue(self) -> bytes:
         """Packed payload (zero padded to a byte boundary)."""
-        return pack_bits(np.array(self._bits, dtype=bool)) if self._bits else b""
+        if not self._n_bits:
+            return b""
+        if len(self._chunks) > 1:
+            # Coalesce so repeated getvalue calls stay cheap.
+            self._chunks = [np.concatenate(self._chunks)]
+        return np.packbits(self._chunks[0].astype(np.uint8)).tobytes()
 
 
 class BitReader:
-    """Sequential reader over a payload produced by :class:`BitWriter`."""
+    """Strict sequential reader over a payload produced by :class:`BitWriter`.
+
+    The constructor validates the frame-level invariants the accounting
+    rests on:
+
+    * ``len(buf)`` must be exactly ``ceil(n_bits / 8)`` -- a payload that is
+      too short cannot hold the declared bits, and one that is too long is
+      smuggling uncounted bits past :meth:`size_in_bits` accounting;
+    * the zero padding after bit ``n_bits`` in the final byte must actually
+      be zero -- nonzero trailing bits mean the payload was corrupted or
+      written by a different convention.
+    """
 
     def __init__(self, buf: bytes, n_bits: int) -> None:
-        self._bits = unpack_bits(buf, n_bits)
+        if n_bits < 0:
+            raise SketchSizeError(f"n_bits must be non-negative, got {n_bits}")
+        need = (n_bits + 7) // 8
+        if len(buf) != need:
+            raise SketchSizeError(
+                f"payload of {len(buf)} bytes disagrees with declared "
+                f"{n_bits} bits ({need} bytes expected)"
+            )
+        raw = np.frombuffer(buf, dtype=np.uint8)
+        bits = np.unpackbits(raw) if raw.size else np.zeros(0, dtype=np.uint8)
+        if bits[n_bits:].any():
+            raise SketchSizeError(
+                f"nonzero padding bits after declared bit {n_bits}: "
+                "payload corrupt or misdeclared"
+            )
+        self._bits = bits[:n_bits].astype(bool)
         self._pos = 0
 
     def _take(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise SketchSizeError(f"cannot read {count} bits")
         if self._pos + count > len(self._bits):
             raise SketchSizeError(
                 f"bit stream exhausted: wanted {count} bits at offset {self._pos} "
@@ -118,9 +228,18 @@ class BitReader:
         """Read a ``width``-bit unsigned integer, MSB first."""
         return bits_to_int(self._take(width))
 
+    def read_uints(self, count: int, width: int) -> np.ndarray:
+        """Read ``count`` consecutive ``width``-bit integers in one pass."""
+        return _bits_to_uints(self._take(count * width), width)
+
     def read_quantized(self, epsilon: float) -> float:
         """Read a frequency quantized to precision ``epsilon``."""
         return dequantize_frequency(self.read_uint(frequency_bits(epsilon)), epsilon)
+
+    def read_quantized_batch(self, count: int, epsilon: float) -> np.ndarray:
+        """Read ``count`` quantized frequencies as one float vector."""
+        codes = self.read_uints(count, frequency_bits(epsilon))
+        return np.minimum(1.0, codes.astype(float) * epsilon)
 
     @property
     def remaining(self) -> int:

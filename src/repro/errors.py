@@ -41,5 +41,15 @@ class SketchSizeError(ReproError):
     """Raised when a sketch cannot be serialized or its size accounted."""
 
 
+class WireFormatError(ReproError):
+    """Raised when a serialized sketch frame cannot be decoded.
+
+    Covers every way a payload can be unusable: bad magic, unsupported
+    wire version, unknown codec, truncated or oversized buffers, checksum
+    mismatches, and payloads whose declared bit count disagrees with their
+    byte length.  The message names the first violated invariant.
+    """
+
+
 class StreamError(ReproError):
     """Raised by streaming summaries on invalid updates or queries."""

@@ -15,7 +15,13 @@ from ..db.queries import FrequencyOracle
 from ..errors import ParameterError
 from ..params import SketchParams
 
-__all__ = ["grid", "measure_sketch_error", "empirical_failure_rate", "log_slope"]
+__all__ = [
+    "grid",
+    "measure_sketch_error",
+    "measure_sketch_sizes",
+    "empirical_failure_rate",
+    "log_slope",
+]
 
 
 def grid(**axes: Iterable[Any]) -> Iterator[dict[str, Any]]:
@@ -61,6 +67,38 @@ def measure_sketch_error(
         "max_error": float(errors.max()),
         "mean_error": float(errors.mean()),
         "bits": float(sketch.size_in_bits()),
+    }
+
+
+def measure_sketch_sizes(
+    sketcher: Sketcher,
+    db: BinaryDatabase,
+    params: SketchParams,
+    rng: np.random.Generator | int | None = None,
+) -> dict[str, float]:
+    """One sketch draw: measured vs theoretical vs lower-bound size columns.
+
+    ``measured_bits`` is the bit length of the sketch's *serialized wire
+    payload* (:func:`repro.wire.payload_size_bits`), not a formula -- the
+    number a lower bound is literally a statement about.  The returned
+    row also carries the sketcher's closed-form prediction and the best
+    applicable lower bound for the task, with the two ratios the reports
+    print (``measured / theoretical`` should be 1.0 exactly for the naive
+    algorithms; ``measured / lower`` is the optimality gap).
+    """
+    from ..core.bounds import lower_bound_bits
+    from ..wire import payload_size_bits
+
+    sketch = sketcher.sketch(db, params, as_rng(rng))
+    measured = payload_size_bits(sketch)
+    theoretical = sketcher.theoretical_size_bits(params)
+    lower = lower_bound_bits(sketcher.task, params)
+    return {
+        "measured_bits": float(measured),
+        "theoretical_bits": float(theoretical),
+        "lower_bound_bits": float(lower),
+        "measured_over_theoretical": measured / max(theoretical, 1),
+        "measured_over_lower": measured / max(lower, 1.0),
     }
 
 

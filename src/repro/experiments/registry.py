@@ -41,9 +41,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment(
         "E-T12",
         "Theorem 12",
-        "The three naive sketch sizes match min{nd, C(d,k)[log 1/eps], "
-        "eps^-1..-2 d log(...)} across the (d, k, eps) grid.",
-        ("repro.core.bounds", "repro.core.hybrid"),
+        "The three naive sketches' *measured* wire-payload sizes match "
+        "min{nd, C(d,k)[log 1/eps], eps^-1..-2 d log(...)} across the "
+        "(d, k, eps) grid; the winners table reports measured / "
+        "theoretical / lower-bound columns.",
+        ("repro.core.bounds", "repro.core.hybrid", "repro.wire"),
         "benchmarks/bench_theorem12_upper_bounds.py",
     ),
     Experiment(

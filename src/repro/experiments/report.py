@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "print_experiment_header"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "print_experiment_header",
+    "size_columns",
+]
 
 
 def format_table(
@@ -39,6 +44,27 @@ def _fmt(value: Any) -> str:
             return f"{value:.3g}"
         return f"{value:.4f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+def size_columns(
+    measured_bits: int | float,
+    theoretical_bits: int | float,
+    lower_bound_bits: int | float,
+) -> dict[str, Any]:
+    """The standard size triple as ordered table columns.
+
+    ``measured`` is the serialized wire-payload length, ``theoretical``
+    the sketcher's closed-form prediction, ``lower`` the best applicable
+    lower bound; ``meas/lower`` is the optimality gap the paper's
+    theorems constrain.  Use with :func:`format_table` so every report
+    prints the three sizes in the same order with the same headers.
+    """
+    return {
+        "measured": int(measured_bits),
+        "theoretical": int(theoretical_bits),
+        "lower": int(round(float(lower_bound_bits))),
+        "meas/lower": float(measured_bits) / max(float(lower_bound_bits), 1.0),
+    }
 
 
 def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:

@@ -45,6 +45,7 @@ def apriori(
     source: FrequencySource,
     min_frequency: float,
     max_size: int | None = None,
+    workers: int | None = None,
 ) -> dict[Itemset, float]:
     """All itemsets with frequency >= ``min_frequency`` (up to ``max_size``).
 
@@ -57,6 +58,9 @@ def apriori(
         Support threshold in ``(0, 1]``.
     max_size:
         Optional cap on itemset cardinality (``None`` = no cap).
+    workers:
+        Shards each level's batched frequency sweep over shared-memory
+        threads (``None`` = auto heuristic).
 
     Returns
     -------
@@ -72,7 +76,9 @@ def apriori(
     # Each level is counted in one batched call: a single vectorized kernel
     # sweep on databases, a per-itemset loop on sketches.
     singletons = [Itemset([j]) for j in range(src.d)]
-    for itemset, freq in zip(singletons, batch_frequencies(src, singletons)):
+    for itemset, freq in zip(
+        singletons, batch_frequencies(src, singletons, workers=workers)
+    ):
         if freq >= min_frequency:
             result[itemset] = float(freq)
             level.append(itemset)
@@ -83,7 +89,9 @@ def apriori(
             c for c in sorted(_join_level(level)) if _downward_closed(c, prev_set)
         ]
         next_level = []
-        for candidate, freq in zip(candidates, batch_frequencies(src, candidates)):
+        for candidate, freq in zip(
+            candidates, batch_frequencies(src, candidates, workers=workers)
+        ):
             if freq >= min_frequency:
                 result[candidate] = float(freq)
                 next_level.append(candidate)

@@ -14,6 +14,7 @@ for databases) and falls back to per-itemset calls otherwise.
 
 from __future__ import annotations
 
+import inspect
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -62,9 +63,14 @@ class DatabaseSource:
         """Exact ``f_T(D)``."""
         return self._oracle.frequency(itemset)
 
-    def frequencies_batch(self, itemsets: Sequence[Itemset]) -> np.ndarray:
-        """Exact frequencies for a whole batch in one kernel sweep."""
-        return self._oracle.frequencies(itemsets)
+    def frequencies_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Exact frequencies for a whole batch in one kernel sweep.
+
+        ``workers`` shards the sweep over shared-memory threads.
+        """
+        return self._oracle.frequencies(itemsets, workers=workers)
 
 
 class SketchSource:
@@ -82,6 +88,16 @@ class SketchSource:
         """The sketch's estimate ``Q(S, T)``."""
         return self._sketch.estimate(itemset)
 
+    def frequencies_batch(
+        self, itemsets: Sequence[Itemset], workers: int | None = None
+    ) -> np.ndarray:
+        """Batched estimates through the sketch's ``estimate_batch``.
+
+        Sketches that query a stored database run one sharded kernel
+        sweep; stored-answer sketches ignore ``workers`` (table lookups).
+        """
+        return self._sketch.estimate_batch(itemsets, workers=workers)
+
 
 def as_source(obj: BinaryDatabase | FrequencySketch | FrequencySource) -> FrequencySource:
     """Coerce a database, sketch, or source into a :class:`FrequencySource`."""
@@ -93,16 +109,35 @@ def as_source(obj: BinaryDatabase | FrequencySketch | FrequencySource) -> Freque
 
 
 def batch_frequencies(
-    source: FrequencySource, itemsets: Iterable[Itemset]
+    source: FrequencySource,
+    itemsets: Iterable[Itemset],
+    workers: int | None = None,
 ) -> np.ndarray:
     """Frequencies for many itemsets, batched when the source supports it.
 
     Uses the source's ``frequencies_batch`` (one vectorized kernel call)
     when available, otherwise one ``frequency`` call per itemset.  Both
-    paths return identical values.
+    paths return identical values.  ``workers`` shards batched sweeps over
+    threads; sources whose batch path takes no ``workers`` argument are
+    called without it.
     """
     batch = list(itemsets)
     fast = getattr(source, "frequencies_batch", None)
     if fast is not None:
+        if workers is not None and _accepts_workers(fast):
+            return np.asarray(fast(batch, workers=workers), dtype=float)
         return np.asarray(fast(batch), dtype=float)
     return np.array([source.frequency(t) for t in batch], dtype=float)
+
+
+def _accepts_workers(fn) -> bool:
+    """Whether a batch evaluator's signature takes a ``workers`` kwarg.
+
+    Inspected once per call site rather than probed with try/except, so a
+    genuine ``TypeError`` raised *inside* the sweep propagates instead of
+    silently re-running the whole kernel call.
+    """
+    try:
+        return "workers" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False

@@ -7,6 +7,7 @@ from .lossy_counting import LossyCounting
 from .merge import (
     merge_count_min,
     merge_misra_gries,
+    merge_payloads,
     merge_reservoirs,
     merge_row_reservoirs,
 )
@@ -31,4 +32,5 @@ __all__ = [
     "merge_count_min",
     "merge_reservoirs",
     "merge_row_reservoirs",
+    "merge_payloads",
 ]

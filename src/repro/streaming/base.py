@@ -173,7 +173,36 @@ class StreamSummary(ABC):
 
     @abstractmethod
     def size_in_bits(self) -> int:
-        """Exact size of the summary's state under the cost model."""
+        """Exact size of the summary's state under the cost model.
+
+        Equal, for every summary with a registered wire codec, to the bit
+        length of the payload :meth:`to_bytes` frames.
+        """
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the framed wire format (:mod:`repro.wire`).
+
+        This is the distributed-ingest transport: summaries built where
+        the data lives are dumped, shipped, reconstructed with
+        :meth:`from_bytes`, and merged via :mod:`repro.streaming.merge`.
+        """
+        from ..wire import dump
+
+        return dump(self)
+
+    @staticmethod
+    def from_bytes(buf: bytes) -> "StreamSummary":
+        """Reconstruct a summary serialized by :meth:`to_bytes`.
+
+        Raises
+        ------
+        repro.errors.WireFormatError
+            If the frame is malformed, corrupted, or not a streaming
+            summary.
+        """
+        from ..wire import load_as
+
+        return load_as(StreamSummary, buf)
 
     def heavy_hitters(self, threshold: float) -> dict[int, float]:
         """Items with estimated frequency above ``threshold``.

@@ -175,3 +175,16 @@ class StreamingItemsetMiner:
         """
         id_bits = self.max_size * max(1, math.ceil(math.log2(max(self.d, 2))))
         return max(1, self.n_entries()) * (id_bits + 2 * COUNT_BITS)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the tracked entries (:mod:`repro.wire` frame)."""
+        from ..wire import dump
+
+        return dump(self)
+
+    @staticmethod
+    def from_bytes(buf: bytes) -> "StreamingItemsetMiner":
+        """Reconstruct a miner serialized by :meth:`to_bytes`."""
+        from ..wire import load_as
+
+        return load_as(StreamingItemsetMiner, buf)

@@ -16,6 +16,11 @@ the same workflow through *merge* operations.  Implemented here:
 * :func:`merge_row_reservoirs` -- the same for row reservoirs, yielding a
   distributed SUBSAMPLE: sketch shards independently, merge, and the
   result is distributed exactly as a single-pass uniform row sample.
+* :func:`merge_payloads` -- the wire-format entry point: both shards
+  arrive as serialized frames (:mod:`repro.wire`), are reconstructed, and
+  merged by whichever rule matches their type.  This is the full
+  distributed-ingest story: ``S`` runs next to the data, ships a bit
+  string, and the coordinator merges bit strings alone.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ __all__ = [
     "merge_count_min",
     "merge_reservoirs",
     "merge_row_reservoirs",
+    "merge_payloads",
 ]
 
 
@@ -145,3 +151,39 @@ def merge_row_reservoirs(
         merged.append(pool_a.pop() if take_a else pool_b.pop())
     out._words = merged
     return out
+
+
+def merge_payloads(
+    a: bytes,
+    b: bytes,
+    rng: np.random.Generator | int | None = None,
+):
+    """Merge two serialized summary shards by their wire frames.
+
+    Both buffers are decoded with :func:`repro.wire.load` and dispatched
+    to the matching merge rule.  ``rng`` feeds the sampling-based merges
+    (reservoirs); the deterministic merges ignore it.
+
+    Raises
+    ------
+    repro.errors.WireFormatError
+        If either buffer is not a valid frame.
+    StreamError
+        If the shards' types differ or have no merge rule.
+    """
+    from ..wire import load
+
+    left, right = load(a), load(b)
+    if type(left) is not type(right):
+        raise StreamError(
+            f"cannot merge {type(left).__name__} with {type(right).__name__}"
+        )
+    if isinstance(left, MisraGries):
+        return merge_misra_gries(left, right)
+    if isinstance(left, CountMinSketch):
+        return merge_count_min(left, right)
+    if isinstance(left, ReservoirSample):
+        return merge_reservoirs(left, right, rng=rng)
+    if isinstance(left, RowReservoir):
+        return merge_row_reservoirs(left, right, rng=rng)
+    raise StreamError(f"no merge rule for {type(left).__name__} shards")

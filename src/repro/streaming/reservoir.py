@@ -136,6 +136,36 @@ class RowReservoir:
         for i in range(db.n):
             self._offer(words[i])
 
+    def size_in_bits(self) -> int:
+        """``size * d + 64`` bits: capacity row slots plus the row counter.
+
+        Charged at capacity (like :class:`ReservoirSample`'s id slots), so
+        a shard's size does not leak how many rows it has absorbed.
+        ``rows_seen`` is summary state, not a public parameter -- the
+        merge rule weights shards by it -- so it is charged at
+        :data:`~repro.streaming.base.COUNT_BITS` like every stream-length
+        counter.
+        """
+        return self.size * self.d + COUNT_BITS
+
+    def to_bytes(self) -> bytes:
+        """Serialize the reservoir shard (:mod:`repro.wire` frame).
+
+        The distributed SUBSAMPLE transport: dump a shard where the rows
+        live, ship it, :meth:`from_bytes` it, and merge with
+        :func:`repro.streaming.merge.merge_row_reservoirs`.
+        """
+        from ..wire import dump
+
+        return dump(self)
+
+    @staticmethod
+    def from_bytes(buf: bytes) -> "RowReservoir":
+        """Reconstruct a reservoir shard serialized by :meth:`to_bytes`."""
+        from ..wire import load_as
+
+        return load_as(RowReservoir, buf)
+
     def to_sketch(self, params: SketchParams) -> SubsampleSketch:
         """Package the reservoir as a SUBSAMPLE sketch.
 

@@ -1,0 +1,860 @@
+"""Versioned wire format: sketches become real bit strings.
+
+The paper models a sketch as a pair ``(S, Q)``: ``S`` maps a database to a
+*bit string* and ``Q`` answers queries from that string alone.  This module
+makes the split literal.  Every sketch and streaming summary serializes to a
+framed payload via :func:`dump` and is reconstructed -- in another process,
+on another machine -- via :func:`load`, answering queries bit-identically to
+the original object.  The payload length *is* the size the lower bounds are
+compared against: for every registered codec,
+``obj.size_in_bits() == n_bits`` of the encoded payload, exactly.
+
+Frame layout (all multi-byte header fields big-endian)::
+
+    magic      4 bytes   b"IFSK"
+    version    u8        wire-format version (currently 1)
+    codec      u8 + n    length-prefixed ASCII codec name
+    has_params u8        1 if a SketchParams block follows
+    params     32 bytes  n u64, d u32, k u32, epsilon f64, delta f64
+    extras     u32 + n   length-prefixed canonical JSON (codec metadata)
+    n_bits     u64       exact payload length in bits
+    payload    bytes     ceil(n_bits / 8) bytes, zero padded
+    crc32      u32       CRC-32 of every preceding byte
+
+The *payload* carries exactly the bits the sketch's size accounting
+charges; the header carries only public parameters (shapes, universe
+sizes, stream lengths, hash-family metadata) in the same spirit as
+:mod:`repro.db.bitmatrix`'s convention that a matrix's shape is public
+metadata, not payload.  Decoding is strict: bad magic, unknown codec or
+version, truncated or oversized buffers, checksum mismatches, misdeclared
+bit counts, and nonzero padding all raise
+:class:`~repro.errors.WireFormatError`.
+
+Codecs are registered per *sketcher name* (``release-db``, ``subsample``,
+...) and dispatch by concrete summary type, so
+:class:`~repro.core.hybrid.BestOfNaiveSketcher` -- whose output is always
+one of the three naive sketch types -- round-trips through whichever codec
+matches the sketch it actually built.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from .core.importance import PROBABILITY_BITS, ImportanceSampleSketch
+from .core.release_answers import ReleaseAnswersSketch
+from .core.release_db import ReleaseDbSketch
+from .core.subsample import SubsampleSketch
+from .db.database import BinaryDatabase
+from .db.packed import PackedRows, pack_rows
+from .db.serialize import BitReader, BitWriter
+from .errors import ReproError, WireFormatError
+from .params import SketchParams
+from .streaming.base import COUNT_BITS, StreamSummary, item_id_bits
+from .streaming.count_min import CountMinSketch
+from .streaming.itemset_stream import StreamingItemsetMiner
+from .streaming.lossy_counting import LossyCounting
+from .streaming.misra_gries import MisraGries
+from .streaming.reservoir import ReservoirSample, RowReservoir
+from .streaming.space_saving import SpaceSaving
+from .streaming.sticky_sampling import StickySampling
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "Frame",
+    "SketchCodec",
+    "register_codec",
+    "codec_names",
+    "codec_for",
+    "encode_frame",
+    "decode_frame",
+    "dump",
+    "load",
+    "load_as",
+    "payload_size_bits",
+]
+
+MAGIC = b"IFSK"
+WIRE_VERSION = 1
+
+_PARAMS_STRUCT = struct.Struct(">QIIdd")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded wire frame: codec id, public metadata, and the payload."""
+
+    codec: str
+    params: SketchParams | None
+    extras: Mapping[str, Any]
+    payload: bytes
+    n_bits: int
+
+    def reader(self) -> BitReader:
+        """A strict bit reader over the payload (validates length/padding)."""
+        return BitReader(self.payload, self.n_bits)
+
+
+# ----------------------------------------------------------------------
+# Frame encoding / decoding.
+# ----------------------------------------------------------------------
+def encode_frame(
+    codec: str,
+    params: SketchParams | None,
+    extras: Mapping[str, Any],
+    payload: bytes,
+    n_bits: int,
+) -> bytes:
+    """Assemble the framed byte string for one serialized summary."""
+    name = codec.encode("ascii")
+    if not 1 <= len(name) <= 255:
+        raise WireFormatError(f"codec name {codec!r} must be 1..255 ASCII bytes")
+    if len(payload) != (n_bits + 7) // 8:
+        raise WireFormatError(
+            f"payload of {len(payload)} bytes disagrees with {n_bits} bits"
+        )
+    parts = [MAGIC, bytes([WIRE_VERSION]), bytes([len(name)]), name]
+    if params is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(
+            _PARAMS_STRUCT.pack(params.n, params.d, params.k, params.epsilon, params.delta)
+        )
+    blob = json.dumps(dict(extras), sort_keys=True, separators=(",", ":")).encode()
+    parts.append(struct.pack(">I", len(blob)))
+    parts.append(blob)
+    parts.append(struct.pack(">Q", n_bits))
+    parts.append(payload)
+    body = b"".join(parts)
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def decode_frame(buf: bytes) -> Frame:
+    """Parse and validate a frame produced by :func:`encode_frame`.
+
+    Raises
+    ------
+    WireFormatError
+        On any malformed, truncated, corrupted, or unknown-format input.
+    """
+    if len(buf) < len(MAGIC) + 1 + 1 + 1 + 4 + 8 + 4:
+        raise WireFormatError(f"buffer of {len(buf)} bytes is too short for a frame")
+    if buf[: len(MAGIC)] != MAGIC:
+        raise WireFormatError(
+            f"bad magic {buf[:len(MAGIC)]!r}: not a sketch frame"
+        )
+    body, (crc,) = buf[:-4], struct.unpack(">I", buf[-4:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise WireFormatError("checksum mismatch: frame corrupted in transit")
+    pos = len(MAGIC)
+    version = body[pos]
+    pos += 1
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build reads {WIRE_VERSION})"
+        )
+    name_len = body[pos]
+    pos += 1
+    if pos + name_len > len(body):
+        raise WireFormatError("truncated codec name")
+    try:
+        codec = body[pos : pos + name_len].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError("codec name is not ASCII") from exc
+    pos += name_len
+    if pos >= len(body):
+        raise WireFormatError("truncated frame: missing params flag")
+    has_params = body[pos]
+    pos += 1
+    params: SketchParams | None = None
+    if has_params == 1:
+        if pos + _PARAMS_STRUCT.size > len(body):
+            raise WireFormatError("truncated params block")
+        n, d, k, epsilon, delta = _PARAMS_STRUCT.unpack_from(body, pos)
+        pos += _PARAMS_STRUCT.size
+        try:
+            params = SketchParams(n=n, d=d, k=k, epsilon=epsilon, delta=delta)
+        except Exception as exc:
+            raise WireFormatError(f"invalid params block: {exc}") from exc
+    elif has_params != 0:
+        raise WireFormatError(f"params flag must be 0 or 1, got {has_params}")
+    if pos + 4 > len(body):
+        raise WireFormatError("truncated extras length")
+    (extras_len,) = struct.unpack_from(">I", body, pos)
+    pos += 4
+    if pos + extras_len > len(body):
+        raise WireFormatError("truncated extras block")
+    try:
+        extras = json.loads(body[pos : pos + extras_len].decode()) if extras_len else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"invalid extras block: {exc}") from exc
+    if not isinstance(extras, dict):
+        raise WireFormatError("extras block must decode to an object")
+    pos += extras_len
+    if pos + 8 > len(body):
+        raise WireFormatError("truncated payload length")
+    (n_bits,) = struct.unpack_from(">Q", body, pos)
+    pos += 8
+    payload = body[pos:]
+    if len(payload) != (n_bits + 7) // 8:
+        raise WireFormatError(
+            f"payload of {len(payload)} bytes disagrees with declared {n_bits} bits"
+        )
+    return Frame(codec=codec, params=params, extras=extras, payload=payload, n_bits=n_bits)
+
+
+# ----------------------------------------------------------------------
+# Codec registry.
+# ----------------------------------------------------------------------
+class SketchCodec(ABC):
+    """One serializer: a sketcher name plus encode/decode for its summaries."""
+
+    #: Registry key; matches the producing sketcher's ``name`` where one exists.
+    name: str = "abstract"
+    #: Concrete summary class this codec round-trips.
+    handles: type = object
+
+    @abstractmethod
+    def encode(
+        self, obj: Any
+    ) -> tuple[SketchParams | None, dict[str, Any], BitWriter | tuple[bytes, int]]:
+        """Serialize ``obj`` into (params, extras, payload).
+
+        The payload is either a :class:`BitWriter` to be packed, or --
+        for summaries that already hold their canonical packed payload --
+        a ``(payload_bytes, n_bits)`` pair passed through verbatim.
+        """
+
+    @abstractmethod
+    def decode(self, frame: Frame) -> Any:
+        """Reconstruct a summary from a validated frame."""
+
+
+_CODECS: dict[str, SketchCodec] = {}
+_BY_TYPE: dict[type, SketchCodec] = {}
+
+
+def register_codec(codec: SketchCodec) -> SketchCodec:
+    """Add a codec to the registry (keyed by sketcher name and by type)."""
+    if codec.name in _CODECS:
+        raise WireFormatError(f"codec {codec.name!r} already registered")
+    if codec.handles in _BY_TYPE:
+        raise WireFormatError(f"type {codec.handles.__name__} already has a codec")
+    _CODECS[codec.name] = codec
+    _BY_TYPE[codec.handles] = codec
+    return codec
+
+
+def codec_names() -> tuple[str, ...]:
+    """All registered codec names, sorted."""
+    return tuple(sorted(_CODECS))
+
+
+def codec_for(obj: Any) -> SketchCodec:
+    """The codec handling ``obj``'s concrete type.
+
+    Raises
+    ------
+    WireFormatError
+        If no registered codec handles the type.
+    """
+    codec = _BY_TYPE.get(type(obj))
+    if codec is None:
+        raise WireFormatError(f"no codec registered for {type(obj).__name__}")
+    return codec
+
+
+def _encoded_payload(payload: BitWriter | tuple[bytes, int]) -> tuple[bytes, int]:
+    if isinstance(payload, BitWriter):
+        return payload.getvalue(), payload.n_bits
+    return payload
+
+
+def dump(obj: Any) -> bytes:
+    """Serialize a sketch or streaming summary to its framed bit string."""
+    codec = codec_for(obj)
+    params, extras, payload = codec.encode(obj)
+    buf, n_bits = _encoded_payload(payload)
+    return encode_frame(codec.name, params, extras, buf, n_bits)
+
+
+def load(buf: bytes) -> Any:
+    """Reconstruct a sketch or streaming summary from :func:`dump` output.
+
+    Every decode failure surfaces as :class:`WireFormatError`: codec
+    decoders hand untrusted header fields to summary constructors, whose
+    own validation errors (``StreamError``, ``ParameterError``, ...) are
+    re-raised here as malformed-frame errors so callers can rely on one
+    exception type for untrusted input.
+    """
+    frame = decode_frame(buf)
+    codec = _CODECS.get(frame.codec)
+    if codec is None:
+        raise WireFormatError(f"unknown codec {frame.codec!r}")
+    try:
+        return codec.decode(frame)
+    except WireFormatError:
+        raise
+    except ReproError as exc:
+        raise WireFormatError(
+            f"codec {frame.codec!r} rejected the frame: {exc}"
+        ) from exc
+
+
+def load_as(expected: type, buf: bytes) -> Any:
+    """:func:`load` plus a type check: the shared ``from_bytes`` body.
+
+    Raises
+    ------
+    WireFormatError
+        If the frame is malformed, corrupted, or decodes to something
+        that is not an ``expected`` instance.
+    """
+    obj = load(buf)
+    if not isinstance(obj, expected):
+        raise WireFormatError(
+            f"frame decodes to {type(obj).__name__}, not a {expected.__name__}"
+        )
+    return obj
+
+
+def payload_size_bits(obj: Any) -> int:
+    """Exact bit length of ``obj``'s serialized payload (the measured size).
+
+    By the registry contract this equals ``obj.size_in_bits()``; the test
+    suite asserts the identity for every codec.
+    """
+    codec = codec_for(obj)
+    _, _, payload = codec.encode(obj)
+    return _encoded_payload(payload)[1]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message)
+
+
+def _extra(frame: Frame, key: str, kind: type) -> Any:
+    value = frame.extras.get(key)
+    _require(
+        value is not None, f"codec {frame.codec!r} frame is missing extra {key!r}"
+    )
+    if kind is float:
+        _require(
+            isinstance(value, (int, float)), f"extra {key!r} must be a number"
+        )
+        return float(value)
+    _require(isinstance(value, kind), f"extra {key!r} must be {kind.__name__}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Core sketch codecs (Definitions 6-8 and the Conclusion's extension).
+# ----------------------------------------------------------------------
+class _ReleaseDbCodec(SketchCodec):
+    """RELEASE-DB: the payload is the packed database, ``n * d`` bits."""
+
+    name = "release-db"
+    handles = ReleaseDbSketch
+
+    def encode(self, obj: ReleaseDbSketch):
+        db = obj.database
+        writer = BitWriter()
+        writer.write_bits(db.rows.reshape(-1))
+        return obj.params, {"n": db.n, "d": db.d}, writer
+
+    def decode(self, frame: Frame) -> ReleaseDbSketch:
+        _require(frame.params is not None, "release-db frame needs params")
+        n, d = _extra(frame, "n", int), _extra(frame, "d", int)
+        _require(n >= 1 and d >= 1, "release-db shape must be positive")
+        _require(frame.n_bits == n * d, "release-db payload must be n*d bits")
+        rows = frame.reader().read_bits(n * d).reshape(n, d)
+        return ReleaseDbSketch(frame.params, BinaryDatabase(rows))
+
+
+class _ReleaseAnswersCodec(SketchCodec):
+    """RELEASE-ANSWERS: the payload is the stored answer table itself."""
+
+    name = "release-answers"
+    handles = ReleaseAnswersSketch
+
+    def encode(self, obj: ReleaseAnswersSketch):
+        # The sketch already holds its canonical packed payload; pass it
+        # through verbatim instead of an unpack/repack round trip.
+        extras = {"indicator": obj.stores_indicator_bits}
+        return obj.params, extras, (obj.payload, obj.size_in_bits())
+
+    def decode(self, frame: Frame) -> ReleaseAnswersSketch:
+        from .db.serialize import frequency_bits
+
+        _require(frame.params is not None, "release-answers frame needs params")
+        indicator = _extra(frame, "indicator", bool)
+        per_answer = 1 if indicator else frequency_bits(frame.params.epsilon)
+        _require(
+            frame.n_bits == frame.params.num_itemsets * per_answer,
+            "release-answers payload must hold exactly C(d,k) answers",
+        )
+        # The sketch's own _decode builds the strict BitReader, which
+        # enforces the length/padding invariants.
+        return ReleaseAnswersSketch(frame.params, frame.payload, frame.n_bits, indicator)
+
+
+class _SubsampleCodec(SketchCodec):
+    """SUBSAMPLE: the payload is the packed sample, ``s * d`` bits."""
+
+    name = "subsample"
+    handles = SubsampleSketch
+
+    def encode(self, obj: SubsampleSketch):
+        sample = obj.sample
+        writer = BitWriter()
+        writer.write_bits(sample.rows.reshape(-1))
+        return obj.params, {"s": sample.n, "d": sample.d}, writer
+
+    def decode(self, frame: Frame) -> SubsampleSketch:
+        _require(frame.params is not None, "subsample frame needs params")
+        s, d = _extra(frame, "s", int), _extra(frame, "d", int)
+        _require(s >= 1 and d >= 1, "subsample shape must be positive")
+        _require(frame.n_bits == s * d, "subsample payload must be s*d bits")
+        rows = frame.reader().read_bits(s * d).reshape(s, d)
+        return SubsampleSketch(frame.params, BinaryDatabase(rows))
+
+
+class _ImportanceCodec(SketchCodec):
+    """Importance sampling: rows plus 32-bit sampling probabilities.
+
+    The sketch itself quantizes probabilities to IEEE float32 at
+    construction (that is what the 32-bit charge buys), so storing the raw
+    bit patterns reproduces the Horvitz-Thompson answers exactly.
+    """
+
+    name = "importance-sample"
+    handles = ImportanceSampleSketch
+
+    def encode(self, obj: ImportanceSampleSketch):
+        rows, probs = obj.rows, obj.probabilities
+        writer = BitWriter()
+        writer.write_bits(rows.reshape(-1))
+        writer.write_uints(probs.view(np.uint32).astype(np.uint64), PROBABILITY_BITS)
+        extras = {
+            "s": int(rows.shape[0]),
+            "d": int(rows.shape[1]),
+            "n_source": obj.n_source_rows,
+        }
+        return obj.params, extras, writer
+
+    def decode(self, frame: Frame) -> ImportanceSampleSketch:
+        _require(frame.params is not None, "importance-sample frame needs params")
+        s, d = _extra(frame, "s", int), _extra(frame, "d", int)
+        n_source = _extra(frame, "n_source", int)
+        _require(s >= 1 and d >= 1, "importance-sample shape must be positive")
+        _require(
+            frame.n_bits == s * (d + PROBABILITY_BITS),
+            "importance-sample payload must be s*(d+32) bits",
+        )
+        reader = frame.reader()
+        rows = reader.read_bits(s * d).reshape(s, d)
+        codes = reader.read_uints(s, PROBABILITY_BITS)
+        probs = codes.astype(np.uint32).view(np.float32)
+        return ImportanceSampleSketch(frame.params, rows, probs, n_source)
+
+
+# ----------------------------------------------------------------------
+# Streaming summary codecs (the distributed-ingest shards).
+# ----------------------------------------------------------------------
+class _CountMinCodec(SketchCodec):
+    """Count-Min: hash coefficients then the counter table, 64 bits each."""
+
+    name = "count-min"
+    handles = CountMinSketch
+
+    def encode(self, obj: CountMinSketch):
+        writer = BitWriter()
+        writer.write_uints(obj._a.astype(np.uint64), COUNT_BITS)
+        writer.write_uints(obj._b.astype(np.uint64), COUNT_BITS)
+        writer.write_uints(obj._table.reshape(-1).astype(np.uint64), COUNT_BITS)
+        extras = {
+            "universe": obj.universe,
+            "width": obj.width,
+            "depth": obj.depth,
+            "conservative": obj.conservative,
+            "stream_length": obj.stream_length,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> CountMinSketch:
+        universe = _extra(frame, "universe", int)
+        width, depth = _extra(frame, "width", int), _extra(frame, "depth", int)
+        conservative = _extra(frame, "conservative", bool)
+        _require(
+            frame.n_bits == (depth * width + 2 * depth) * COUNT_BITS,
+            "count-min payload length disagrees with width/depth",
+        )
+        reader = frame.reader()
+        out = CountMinSketch(universe, width, depth, conservative=conservative, rng=0)
+        out._a = reader.read_uints(depth, COUNT_BITS).astype(np.int64)
+        out._b = reader.read_uints(depth, COUNT_BITS).astype(np.int64)
+        out._table = (
+            reader.read_uints(depth * width, COUNT_BITS).astype(np.int64).reshape(depth, width)
+        )
+        out.stream_length = _extra(frame, "stream_length", int)
+        return out
+
+
+def _encode_slots(
+    writer: BitWriter, slots: list[tuple[int, ...]], n_slots: int, widths: tuple[int, ...]
+) -> None:
+    """Write ``n_slots`` fixed-width records, padding with all-zero records.
+
+    Tracked records are sorted by their first field (the item id) so the
+    payload is canonical; zero padding keeps the serialized size equal to
+    the summary's slot-capacity accounting.  Records are striped
+    field-major (all first fields, then all second fields, ...) so each
+    field is one vectorized ``write_uints`` call.
+    """
+    ordered = sorted(slots)
+    for field_idx, width in enumerate(widths):
+        column = [record[field_idx] for record in ordered]
+        column += [0] * (n_slots - len(ordered))
+        writer.write_uints(np.asarray(column, dtype=np.uint64), width)
+
+
+def _decode_slots(
+    reader: BitReader, n_slots: int, widths: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Inverse of :func:`_encode_slots`; drops all-zero padding records."""
+    columns = [reader.read_uints(n_slots, width).astype(np.int64) for width in widths]
+    records = list(zip(*(col.tolist() for col in columns)))
+    return [record for record in records if any(record)]
+
+
+class _MisraGriesCodec(SketchCodec):
+    """Misra-Gries: ``k`` slots of (id, count); free slots zeroed."""
+
+    name = "misra-gries"
+    handles = MisraGries
+
+    def encode(self, obj: MisraGries):
+        writer = BitWriter()
+        id_bits = item_id_bits(obj.universe)
+        _encode_slots(
+            writer, list(obj._counters.items()), obj.k, (id_bits, COUNT_BITS)
+        )
+        extras = {
+            "universe": obj.universe,
+            "k": obj.k,
+            "stream_length": obj.stream_length,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> MisraGries:
+        universe, k = _extra(frame, "universe", int), _extra(frame, "k", int)
+        out = MisraGries(universe, k)
+        id_bits = item_id_bits(universe)
+        _require(
+            frame.n_bits == k * (id_bits + COUNT_BITS),
+            "misra-gries payload length disagrees with k",
+        )
+        records = _decode_slots(frame.reader(), k, (id_bits, COUNT_BITS))
+        out._counters = {item: count for item, count in records if count > 0}
+        out.stream_length = _extra(frame, "stream_length", int)
+        return out
+
+
+class _SpaceSavingCodec(SketchCodec):
+    """SpaceSaving: ``k`` slots of (id, count, error); free slots zeroed."""
+
+    name = "space-saving"
+    handles = SpaceSaving
+
+    def encode(self, obj: SpaceSaving):
+        writer = BitWriter()
+        id_bits = item_id_bits(obj.universe)
+        slots = [
+            (item, count, obj._errors.get(item, 0))
+            for item, count in obj._counts.items()
+        ]
+        _encode_slots(writer, slots, obj.k, (id_bits, COUNT_BITS, COUNT_BITS))
+        extras = {
+            "universe": obj.universe,
+            "k": obj.k,
+            "stream_length": obj.stream_length,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> SpaceSaving:
+        universe, k = _extra(frame, "universe", int), _extra(frame, "k", int)
+        out = SpaceSaving(universe, k)
+        id_bits = item_id_bits(universe)
+        _require(
+            frame.n_bits == k * (id_bits + 2 * COUNT_BITS),
+            "space-saving payload length disagrees with k",
+        )
+        records = _decode_slots(frame.reader(), k, (id_bits, COUNT_BITS, COUNT_BITS))
+        out._counts = {item: count for item, count, _ in records if count > 0}
+        out._errors = {item: err for item, count, err in records if count > 0}
+        out.stream_length = _extra(frame, "stream_length", int)
+        return out
+
+
+class _LossyCountingCodec(SketchCodec):
+    """Lossy counting: one (id, count, delta) record per held entry."""
+
+    name = "lossy-counting"
+    handles = LossyCounting
+
+    def encode(self, obj: LossyCounting):
+        writer = BitWriter()
+        id_bits = item_id_bits(obj.universe)
+        slots = [(item, c, d) for item, (c, d) in obj._entries.items()]
+        # The accounting charges at least one entry even when empty.
+        _encode_slots(
+            writer, slots, max(1, len(slots)), (id_bits, COUNT_BITS, COUNT_BITS)
+        )
+        extras = {
+            "universe": obj.universe,
+            "epsilon": obj.epsilon,
+            "stream_length": obj.stream_length,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> LossyCounting:
+        universe = _extra(frame, "universe", int)
+        epsilon = _extra(frame, "epsilon", float)
+        out = LossyCounting(universe, epsilon)
+        id_bits = item_id_bits(universe)
+        entry_bits = id_bits + 2 * COUNT_BITS
+        _require(
+            frame.n_bits >= entry_bits and frame.n_bits % entry_bits == 0,
+            "lossy-counting payload must hold whole entries",
+        )
+        n_slots = frame.n_bits // entry_bits
+        records = _decode_slots(frame.reader(), n_slots, (id_bits, COUNT_BITS, COUNT_BITS))
+        out._entries = {item: (c, d) for item, c, d in records if c > 0}
+        out.stream_length = _extra(frame, "stream_length", int)
+        return out
+
+
+class _StickySamplingCodec(SketchCodec):
+    """Sticky sampling: one (id, count) record per tracked entry.
+
+    The sampling RNG state is not part of the summary's accounting; a
+    deserialized summary answers queries bit-identically and can continue
+    streaming, but its future sampling coin flips are fresh randomness.
+    """
+
+    name = "sticky-sampling"
+    handles = StickySampling
+
+    def encode(self, obj: StickySampling):
+        writer = BitWriter()
+        id_bits = item_id_bits(obj.universe)
+        slots = list(obj._counts.items())
+        _encode_slots(writer, slots, max(1, len(slots)), (id_bits, COUNT_BITS))
+        extras = {
+            "universe": obj.universe,
+            "epsilon": obj.epsilon,
+            "threshold": obj.threshold,
+            "delta": obj.delta,
+            "rate": obj.sampling_rate,
+            "stream_length": obj.stream_length,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> StickySampling:
+        universe = _extra(frame, "universe", int)
+        out = StickySampling(
+            universe,
+            _extra(frame, "epsilon", float),
+            _extra(frame, "threshold", float),
+            _extra(frame, "delta", float),
+        )
+        id_bits = item_id_bits(universe)
+        entry_bits = id_bits + COUNT_BITS
+        _require(
+            frame.n_bits >= entry_bits and frame.n_bits % entry_bits == 0,
+            "sticky-sampling payload must hold whole entries",
+        )
+        n_slots = frame.n_bits // entry_bits
+        records = _decode_slots(frame.reader(), n_slots, (id_bits, COUNT_BITS))
+        out._counts = {item: count for item, count in records if count > 0}
+        out._rate = _extra(frame, "rate", int)
+        out.stream_length = _extra(frame, "stream_length", int)
+        return out
+
+
+class _ReservoirCodec(SketchCodec):
+    """Item reservoir: ``size`` id slots plus the stream-length counter."""
+
+    name = "reservoir"
+    handles = ReservoirSample
+
+    def encode(self, obj: ReservoirSample):
+        writer = BitWriter()
+        id_bits = item_id_bits(obj.universe)
+        sample = obj.sample
+        ids = sample + [0] * (obj.size - len(sample))
+        writer.write_uints(np.asarray(ids, dtype=np.uint64), id_bits)
+        writer.write_uint(obj.stream_length, COUNT_BITS)
+        extras = {"universe": obj.universe, "size": obj.size, "filled": len(sample)}
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> ReservoirSample:
+        universe, size = _extra(frame, "universe", int), _extra(frame, "size", int)
+        filled = _extra(frame, "filled", int)
+        out = ReservoirSample(universe, size, rng=0)
+        id_bits = item_id_bits(universe)
+        _require(
+            frame.n_bits == size * id_bits + COUNT_BITS,
+            "reservoir payload length disagrees with size",
+        )
+        _require(0 <= filled <= size, "reservoir fill count out of range")
+        reader = frame.reader()
+        ids = reader.read_uints(size, id_bits).astype(int).tolist()
+        out._reservoir = ids[:filled]
+        out.stream_length = reader.read_uint(COUNT_BITS)
+        return out
+
+
+class _RowReservoirCodec(SketchCodec):
+    """Row reservoir: ``size`` row slots of ``d`` bits each (the shard form).
+
+    This is the distributed-SUBSAMPLE transport: sketch rows where the data
+    lives, :func:`dump` the reservoir, ship it, :func:`load` and merge with
+    :func:`repro.streaming.merge.merge_row_reservoirs`.
+    """
+
+    name = "row-reservoir"
+    handles = RowReservoir
+
+    def encode(self, obj: RowReservoir):
+        writer = BitWriter()
+        filled = len(obj._words)
+        if filled:
+            words = np.array(obj._words, dtype=np.uint64)
+            rows = PackedRows.from_words(words, obj.d).to_matrix()
+            writer.write_bits(rows.reshape(-1))
+        if obj.size > filled:
+            writer.write_bits(np.zeros((obj.size - filled) * obj.d, dtype=bool))
+        # rows_seen is summary state (the merge rule weights by it), so it
+        # rides in the charged payload, not the header.
+        writer.write_uint(obj.rows_seen, COUNT_BITS)
+        extras = {"d": obj.d, "size": obj.size, "filled": filled}
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> RowReservoir:
+        d, size = _extra(frame, "d", int), _extra(frame, "size", int)
+        filled = _extra(frame, "filled", int)
+        out = RowReservoir(d, size, rng=0)
+        _require(
+            frame.n_bits == size * d + COUNT_BITS,
+            "row-reservoir payload must be size*d + 64 bits",
+        )
+        _require(0 <= filled <= size, "row-reservoir fill count out of range")
+        reader = frame.reader()
+        rows = reader.read_bits(size * d).reshape(size, d)
+        if filled:
+            out._words = list(pack_rows(rows[:filled]))
+        out.rows_seen = reader.read_uint(COUNT_BITS)
+        return out
+
+
+class _ItemsetMinerCodec(SketchCodec):
+    """Streaming itemset miner: (itemset, count, delta) per tracked entry.
+
+    Each itemset is written as exactly ``max_size`` item fields of
+    ``ceil(log2 d)`` bits (the accounting's id charge); shorter itemsets
+    pad by repeating their last item, which is unambiguous because real
+    itemsets are strictly increasing.
+    """
+
+    name = "itemset-miner"
+    handles = StreamingItemsetMiner
+
+    def encode(self, obj: StreamingItemsetMiner):
+        import math
+
+        writer = BitWriter()
+        item_bits = max(1, math.ceil(math.log2(max(obj.d, 2))))
+        entries = sorted(
+            (itemset.items, count, delta)
+            for itemset, (count, delta) in obj._entries.items()
+        )
+        slots = []
+        for items, count, delta in entries:
+            padded = list(items) + [items[-1]] * (obj.max_size - len(items))
+            slots.append((*padded, count, delta))
+        n_slots = max(1, len(slots))
+        widths = (item_bits,) * obj.max_size + (COUNT_BITS, COUNT_BITS)
+        _encode_slots(writer, slots, n_slots, widths)
+        extras = {
+            "d": obj.d,
+            "epsilon": obj.epsilon,
+            "max_size": obj.max_size,
+            "max_row_items": obj.max_row_items,
+            "rows_seen": obj.rows_seen,
+        }
+        return None, extras, writer
+
+    def decode(self, frame: Frame) -> StreamingItemsetMiner:
+        import math
+
+        from .db.itemset import Itemset
+
+        d = _extra(frame, "d", int)
+        max_size = _extra(frame, "max_size", int)
+        out = StreamingItemsetMiner(
+            d,
+            _extra(frame, "epsilon", float),
+            max_size,
+            max_row_items=_extra(frame, "max_row_items", int),
+        )
+        item_bits = max(1, math.ceil(math.log2(max(d, 2))))
+        entry_bits = max_size * item_bits + 2 * COUNT_BITS
+        _require(
+            frame.n_bits >= entry_bits and frame.n_bits % entry_bits == 0,
+            "itemset-miner payload must hold whole entries",
+        )
+        n_slots = frame.n_bits // entry_bits
+        widths = (item_bits,) * max_size + (COUNT_BITS, COUNT_BITS)
+        entries: dict[Any, tuple[int, int]] = {}
+        for record in _decode_slots(frame.reader(), n_slots, widths):
+            items, count, delta = record[:max_size], record[-2], record[-1]
+            if count <= 0:
+                continue
+            kept = [items[0]]
+            for item in items[1:]:
+                if item <= kept[-1]:
+                    break  # padding: repeats of the last real item
+                kept.append(item)
+            _require(kept[-1] < d, "itemset-miner entry has out-of-range item")
+            entries[Itemset(kept)] = (count, delta)
+        out._entries = entries
+        out.rows_seen = _extra(frame, "rows_seen", int)
+        return out
+
+
+for _codec in (
+    _ReleaseDbCodec(),
+    _ReleaseAnswersCodec(),
+    _SubsampleCodec(),
+    _ImportanceCodec(),
+    _CountMinCodec(),
+    _MisraGriesCodec(),
+    _SpaceSavingCodec(),
+    _LossyCountingCodec(),
+    _StickySamplingCodec(),
+    _ReservoirCodec(),
+    _RowReservoirCodec(),
+    _ItemsetMinerCodec(),
+):
+    register_codec(_codec)

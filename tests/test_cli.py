@@ -21,8 +21,16 @@ class TestParser:
             ["validate", "--task", "for-each-estimator"],
             ["attack", "--theorem", "15"],
             ["mine", "some.txt", "--threshold", "0.2"],
+            ["sketch", "some.txt", "--out", "s.bin"],
+            ["query", "s.bin", "0", "1"],
         ):
             assert parser.parse_args(argv).command == argv[0]
+
+    def test_workers_flags_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["validate", "--workers", "2"]).workers == 2
+        assert parser.parse_args(["mine", "f.txt", "--workers", "3"]).workers == 3
+        assert parser.parse_args(["validate"]).workers is None
 
 
 class TestCommands:
@@ -80,3 +88,93 @@ class TestCommands:
         ) == 0
         sketch_out = capsys.readouterr().out
         assert "0 1" in sketch_out
+
+    def test_mine_workers_matches_serial(self, tmp_path, capsys):
+        db = planted_database(
+            600, 8, [(Itemset([2, 3]), 0.6)], background=0.05, rng=1
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["mine", str(path), "--threshold", "0.5", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_validate_workers(self, capsys):
+        code = main(
+            [
+                "validate", "--task", "for-each-estimator", "--sketcher", "subsample",
+                "--n", "1500", "--d", "10", "--eps", "0.15", "--delta", "0.2",
+                "--trials", "3", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "failure rate" in capsys.readouterr().out
+
+    def test_sketch_then_query_separate_processes(self, tmp_path, capsys):
+        """The (S, Q) split across a file: sketch writes, query answers."""
+        db = planted_database(
+            900, 8, [(Itemset([0, 1]), 0.55)], background=0.02, rng=3
+        )
+        baskets = tmp_path / "baskets.txt"
+        write_transactions(db, baskets)
+        out = tmp_path / "sketch.bin"
+
+        for sketcher in ("release-db", "release-answers", "subsample", "best"):
+            assert main(
+                ["sketch", str(baskets), "--out", str(out),
+                 "--sketcher", sketcher, "--eps", "0.05", "--seed", "5"]
+            ) == 0
+            sketch_msg = capsys.readouterr().out
+            assert "payload" in sketch_msg and "bits" in sketch_msg
+
+            assert main(["query", str(out), "0", "1"]) == 0
+            query_msg = capsys.readouterr().out
+            assert "estimate[0 1]" in query_msg
+            assert "indicate = 1" in query_msg
+
+    def test_query_wrong_size_reports_cleanly(self, tmp_path, capsys):
+        """Stored-answer sketches only answer k-itemsets: no traceback."""
+        db = planted_database(
+            300, 6, [(Itemset([0, 1]), 0.5)], background=0.1, rng=6
+        )
+        baskets = tmp_path / "baskets.txt"
+        write_transactions(db, baskets)
+        out = tmp_path / "sketch.bin"
+        assert main(
+            ["sketch", str(baskets), "--out", str(out),
+             "--sketcher", "release-answers", "--k", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", str(out)]) == 1  # empty itemset, k=2 table
+        err = capsys.readouterr().err
+        assert "cannot answer" in err and "2-itemsets" in err
+
+    def test_sketch_bad_inputs_report_cleanly(self, tmp_path, capsys):
+        out = tmp_path / "s.bin"
+        assert main(["sketch", str(tmp_path / "missing.txt"), "--out", str(out)]) == 1
+        assert "cannot sketch" in capsys.readouterr().err
+
+    def test_query_unreadable_file_reports_cleanly(self, tmp_path, capsys):
+        not_a_frame = tmp_path / "baskets.txt"
+        not_a_frame.write_text("0 1 2\n")
+        assert main(["query", str(not_a_frame), "0"]) == 1
+        assert "cannot read sketch file" in capsys.readouterr().err
+        assert main(["query", str(tmp_path / "missing.bin"), "0"]) == 1
+        assert "cannot read sketch file" in capsys.readouterr().err
+
+    def test_query_negative_item_reports_cleanly(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "any.bin"), "-1"]) == 1
+        assert "invalid itemset" in capsys.readouterr().err
+
+    def test_query_empty_itemset(self, tmp_path, capsys):
+        db = planted_database(
+            400, 6, [(Itemset([0]), 0.5)], background=0.1, rng=4
+        )
+        baskets = tmp_path / "baskets.txt"
+        write_transactions(db, baskets)
+        out = tmp_path / "sketch.bin"
+        assert main(["sketch", str(baskets), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(out)]) == 0
+        assert "estimate[(empty)] = 1" in capsys.readouterr().out

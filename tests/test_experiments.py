@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import SubsampleSketcher, Task
+from repro.core import ReleaseDbSketcher, SubsampleSketcher, Task
 from repro.db import random_database
 from repro.errors import ParameterError
 from repro.experiments import (
@@ -17,6 +17,8 @@ from repro.experiments import (
     grid,
     log_slope,
     measure_sketch_error,
+    measure_sketch_sizes,
+    size_columns,
 )
 from repro.params import SketchParams
 
@@ -67,6 +69,21 @@ class TestMeasurement:
         assert result["mean_error"] <= result["max_error"] <= p.epsilon
         assert result["bits"] > 0
 
+    def test_measure_sketch_sizes_triple(self):
+        db = random_database(2000, 10, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        for sketcher in (
+            ReleaseDbSketcher(Task.FORALL_ESTIMATOR),
+            SubsampleSketcher(Task.FORALL_ESTIMATOR),
+        ):
+            row = measure_sketch_sizes(sketcher, db, p, rng=1)
+            # The naive algorithms' formulas are exact: the measured wire
+            # payload must match them bit for bit.
+            assert row["measured_bits"] == row["theoretical_bits"]
+            assert row["measured_over_theoretical"] == 1.0
+            assert row["measured_bits"] >= row["lower_bound_bits"]
+            assert row["measured_over_lower"] >= 1.0
+
     def test_empirical_failure_rate(self):
         calls = iter([True, False, True, True])
         rate = empirical_failure_rate(lambda g: next(calls), trials=4, rng=2)
@@ -106,3 +123,9 @@ class TestReport:
         text = format_series("size", [1, 2], [10.0, 20.0])
         assert text.startswith("size:")
         assert "(1, 10)" in text
+
+    def test_size_columns_order_and_ratio(self):
+        cols = size_columns(200, 200, 50.0)
+        assert list(cols) == ["measured", "theoretical", "lower", "meas/lower"]
+        assert cols["measured"] == cols["theoretical"] == 200
+        assert cols["lower"] == 50 and cols["meas/lower"] == 4.0

@@ -92,3 +92,71 @@ class TestBitStream:
             writer.write_uint(v, 10)
         reader = BitReader(writer.getvalue(), writer.n_bits)
         assert [reader.read_uint(10) for _ in values] == values
+
+    @given(st.lists(st.integers(0, 2**40 - 1), max_size=30))
+    def test_property_batched_uints_match_itemwise(self, values):
+        batched = BitWriter()
+        batched.write_uints(values, 41)
+        itemwise = BitWriter()
+        for v in values:
+            itemwise.write_uint(v, 41)
+        assert batched.getvalue() == itemwise.getvalue()
+        assert batched.n_bits == itemwise.n_bits == 41 * len(values)
+        reader = BitReader(batched.getvalue(), batched.n_bits)
+        assert reader.read_uints(len(values), 41).tolist() == values
+
+    @given(
+        st.lists(st.floats(0, 1), max_size=30),
+        st.sampled_from([0.25, 0.1, 0.03]),
+    )
+    def test_property_batched_quantized_match_itemwise(self, values, eps):
+        batched = BitWriter()
+        batched.write_quantized_batch(values, eps)
+        itemwise = BitWriter()
+        for v in values:
+            itemwise.write_quantized(v, eps)
+        assert batched.getvalue() == itemwise.getvalue()
+        reader = BitReader(batched.getvalue(), batched.n_bits)
+        decoded = reader.read_quantized_batch(len(values), eps)
+        for value, got in zip(values, decoded):
+            assert abs(got - value) <= eps / 2 + 1e-9
+
+    def test_batched_uint_overflow_rejected(self):
+        with pytest.raises(SketchSizeError):
+            BitWriter().write_uints([8], 3)
+
+    def test_write_bits_copies_its_input(self):
+        # Callers may reuse scratch buffers: mutation after a write must
+        # not reach the payload.
+        writer = BitWriter()
+        scratch = np.ones(8, dtype=bool)
+        writer.write_bits(scratch)
+        scratch[:] = False
+        assert writer.getvalue() == b"\xff"
+
+
+class TestReaderHardening:
+    """The strict reader contract the wire format relies on."""
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(SketchSizeError):
+            BitReader(b"\x00", 9)
+
+    def test_rejects_oversized_buffer(self):
+        # A buffer longer than ceil(n_bits / 8) smuggles uncounted bits.
+        with pytest.raises(SketchSizeError):
+            BitReader(b"\x00\x00", 8)
+
+    def test_rejects_nonzero_padding(self):
+        # 3 declared bits leave 5 padding bits that must be zero.
+        with pytest.raises(SketchSizeError):
+            BitReader(b"\xff", 3)
+        # The same leading bits with clean padding are accepted.
+        assert BitReader(b"\xe0", 3).read_bits(3).all()
+
+    def test_rejects_negative_n_bits(self):
+        with pytest.raises(SketchSizeError):
+            BitReader(b"", -1)
+
+    def test_empty_is_fine(self):
+        assert BitReader(b"", 0).remaining == 0

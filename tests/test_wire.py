@@ -1,0 +1,397 @@
+"""Tests for the versioned wire format (repro.wire).
+
+The registry contract under test, for every codec:
+
+* ``from_bytes(to_bytes(s))`` answers every query bit-identically;
+* ``size_in_bits() == n_bits`` of the serialized payload, exactly, and the
+  payload's byte length is ``ceil(n_bits / 8)`` (``8 * len(payload) -
+  n_bits < 8`` padding bits, all zero);
+* corrupted, truncated, or foreign frames are rejected with
+  :class:`~repro.errors.WireFormatError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import wire
+from repro.core import (
+    BestOfNaiveSketcher,
+    ImportanceSampleSketcher,
+    ReleaseAnswersSketcher,
+    ReleaseDbSketcher,
+    SubsampleSketcher,
+    Task,
+)
+from repro.core.base import FrequencySketch
+from repro.db import Itemset, all_itemsets, random_database
+from repro.errors import WireFormatError
+from repro.params import SketchParams
+from repro.streaming import (
+    CountMinSketch,
+    LossyCounting,
+    MisraGries,
+    ReservoirSample,
+    RowReservoir,
+    SpaceSaving,
+    StickySampling,
+    StreamingItemsetMiner,
+    StreamSummary,
+    merge_count_min,
+    merge_misra_gries,
+    merge_payloads,
+    merge_row_reservoirs,
+)
+
+ALL_CODECS = {
+    "release-db",
+    "release-answers",
+    "subsample",
+    "importance-sample",
+    "count-min",
+    "misra-gries",
+    "space-saving",
+    "lossy-counting",
+    "sticky-sampling",
+    "reservoir",
+    "row-reservoir",
+    "itemset-miner",
+}
+
+
+def _core_sketchers(task: Task):
+    return [
+        ReleaseDbSketcher(task),
+        ReleaseAnswersSketcher(task),
+        SubsampleSketcher(task, sample_count=40),
+        ImportanceSampleSketcher(task, sample_count=40),
+        BestOfNaiveSketcher(task),
+    ]
+
+
+def _stream_summaries(universe: int):
+    return [
+        CountMinSketch(universe, 32, 3, rng=0),
+        CountMinSketch(universe, 32, 3, conservative=True, rng=0),
+        MisraGries(universe, 12),
+        SpaceSaving(universe, 12),
+        LossyCounting(universe, 0.02),
+        StickySampling(universe, 0.01, 0.05, rng=0),
+        ReservoirSample(universe, 25, rng=0),
+    ]
+
+
+def _assert_size_identity(obj):
+    """size_in_bits == payload n_bits == 8 * len(payload) - padding."""
+    frame = wire.decode_frame(wire.dump(obj))
+    assert frame.n_bits == obj.size_in_bits()
+    padding = 8 * len(frame.payload) - frame.n_bits
+    assert 0 <= padding < 8
+    assert wire.payload_size_bits(obj) == frame.n_bits
+
+
+class TestRegistry:
+    def test_every_expected_codec_registered(self):
+        assert set(wire.codec_names()) == ALL_CODECS
+
+    def test_codec_for_unknown_type(self):
+        with pytest.raises(WireFormatError):
+            wire.codec_for(object())
+
+    def test_frame_fields_round_trip(self):
+        p = SketchParams(n=100, d=8, k=2, epsilon=0.1, delta=0.05)
+        buf = wire.encode_frame("release-db", p, {"n": 100, "d": 8}, b"\xff", 8)
+        frame = wire.decode_frame(buf)
+        assert frame.codec == "release-db"
+        assert frame.params == p
+        assert frame.extras == {"n": 100, "d": 8}
+        assert frame.payload == b"\xff" and frame.n_bits == 8
+
+
+class TestCoreSketchRoundTrip:
+    @pytest.mark.parametrize("task", list(Task))
+    def test_bit_identical_answers_all_tasks(self, task):
+        db = random_database(200, 10, 0.3, rng=3)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1, delta=0.1)
+        queries = list(all_itemsets(db.d, p.k))
+        for sketcher in _core_sketchers(task):
+            sketch = sketcher.sketch(db, p, rng=7)
+            clone = FrequencySketch.from_bytes(sketch.to_bytes())
+            assert type(clone) is type(sketch)
+            np.testing.assert_array_equal(
+                sketch.estimate_batch(queries), clone.estimate_batch(queries)
+            )
+            np.testing.assert_array_equal(
+                sketch.indicate_batch(queries), clone.indicate_batch(queries)
+            )
+            assert clone.params == sketch.params
+            assert clone.size_in_bits() == sketch.size_in_bits()
+            _assert_size_identity(sketch)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(20, 150),
+        d=st.integers(2, 14),
+        seed=st.integers(0, 2**16),
+        inv_eps=st.sampled_from([4, 8, 16]),
+    )
+    def test_property_round_trip(self, n, d, seed, inv_eps):
+        db = random_database(n, d, 0.35, rng=seed)
+        k = min(2, d)
+        p = SketchParams(n=n, d=d, k=k, epsilon=1.0 / inv_eps, delta=0.1)
+        queries = list(all_itemsets(d, k))
+        for sketcher in _core_sketchers(Task.FORALL_ESTIMATOR):
+            sketch = sketcher.sketch(db, p, rng=seed + 1)
+            clone = FrequencySketch.from_bytes(sketch.to_bytes())
+            np.testing.assert_array_equal(
+                sketch.estimate_batch(queries), clone.estimate_batch(queries)
+            )
+            _assert_size_identity(sketch)
+
+
+class TestStreamingRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        universe=st.integers(2, 300),
+        length=st.integers(0, 600),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_round_trip(self, universe, length, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, universe, size=length, dtype=np.int64)
+        for summary in _stream_summaries(universe):
+            if length:
+                summary.update_many(stream)
+            clone = StreamSummary.from_bytes(summary.to_bytes())
+            assert type(clone) is type(summary)
+            assert clone.stream_length == summary.stream_length
+            probe = np.unique(stream)[:50] if length else np.arange(min(universe, 20))
+            for item in probe.tolist():
+                assert clone.estimate_count(item) == summary.estimate_count(item)
+            assert clone.size_in_bits() == summary.size_in_bits()
+            _assert_size_identity(summary)
+
+    def test_heavy_hitters_survive_round_trip(self):
+        rng = np.random.default_rng(9)
+        stream = (rng.zipf(1.4, 4000) % 100).astype(np.int64)
+        for summary in _stream_summaries(100):
+            summary.update_many(stream)
+            clone = StreamSummary.from_bytes(summary.to_bytes())
+            assert clone.heavy_hitters(0.1) == summary.heavy_hitters(0.1)
+
+    def test_row_reservoir_round_trip(self):
+        db = random_database(120, 9, 0.4, rng=2)
+        reservoir = RowReservoir(db.d, 30, rng=4)
+        reservoir.extend(db)
+        clone = RowReservoir.from_bytes(reservoir.to_bytes())
+        assert clone.rows_seen == reservoir.rows_seen
+        assert len(clone._words) == len(reservoir._words)
+        for ours, theirs in zip(reservoir._words, clone._words):
+            np.testing.assert_array_equal(ours, theirs)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        queries = list(all_itemsets(db.d, 2))
+        np.testing.assert_array_equal(
+            reservoir.to_sketch(p).estimate_batch(queries),
+            clone.to_sketch(p).estimate_batch(queries),
+        )
+        _assert_size_identity(reservoir)
+
+    def test_partial_and_empty_summaries(self):
+        partial = RowReservoir(6, 10, rng=0)
+        partial.update(np.array([1, 0, 1, 0, 0, 1], dtype=bool))
+        clone = RowReservoir.from_bytes(partial.to_bytes())
+        assert len(clone._words) == 1 and clone.rows_seen == 1
+        for summary in _stream_summaries(50):
+            clone = StreamSummary.from_bytes(summary.to_bytes())
+            assert clone.stream_length == 0
+            assert clone.size_in_bits() == summary.size_in_bits()
+
+    def test_itemset_miner_round_trip(self):
+        db = random_database(250, 11, 0.35, rng=6)
+        miner = StreamingItemsetMiner(db.d, 0.02, 3)
+        miner.extend(db)
+        clone = StreamingItemsetMiner.from_bytes(miner.to_bytes())
+        assert clone._entries == miner._entries
+        assert clone.rows_seen == miner.rows_seen
+        assert clone.frequent_itemsets(0.2) == miner.frequent_itemsets(0.2)
+        assert clone.estimate_frequency(Itemset([0, 1])) == miner.estimate_frequency(
+            Itemset([0, 1])
+        )
+        _assert_size_identity(miner)
+        # A deserialized miner keeps streaming identically to the original.
+        more = random_database(60, db.d, 0.35, rng=8)
+        miner.extend(more)
+        clone.extend(more)
+        assert clone._entries == miner._entries
+
+
+class TestWorkersBatchEquivalence:
+    """workers= on the sketch query surface is sharded, not a no-op."""
+
+    def test_indicate_batch_sharded_matches_serial(self):
+        db = random_database(300, 12, 0.3, rng=8)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        queries = list(all_itemsets(db.d, 2))
+        for sketcher in (
+            ReleaseDbSketcher(Task.FORALL_INDICATOR),
+            SubsampleSketcher(Task.FORALL_INDICATOR, sample_count=60),
+        ):
+            sketch = sketcher.sketch(db, p, rng=1)
+            serial = sketch.indicate_batch(queries)
+            sharded = sketch.indicate_batch(queries, workers=2)
+            np.testing.assert_array_equal(serial, sharded)
+            # The batch path answers exactly like the per-itemset loop.
+            loop = np.array([sketch.indicate(t) for t in queries], dtype=bool)
+            np.testing.assert_array_equal(serial, loop)
+            np.testing.assert_array_equal(
+                sketch.estimate_batch(queries),
+                sketch.estimate_batch(queries, workers=2),
+            )
+
+
+class TestDistributedMerge:
+    """Serialized remote shards merge exactly like local summaries."""
+
+    def test_misra_gries_shards(self):
+        rng = np.random.default_rng(1)
+        stream = (rng.zipf(1.3, 6000) % 150).astype(np.int64)
+        a, b = MisraGries(150, 15), MisraGries(150, 15)
+        a.update_many(stream[:3000])
+        b.update_many(stream[3000:])
+        local = merge_misra_gries(a, b)
+        remote = merge_payloads(a.to_bytes(), b.to_bytes())
+        assert local._counters == remote._counters
+        assert local.stream_length == remote.stream_length
+
+    def test_count_min_shards(self):
+        a = CountMinSketch(100, 32, 4, rng=5)
+        b = CountMinSketch.from_bytes(a.to_bytes())  # same hash family
+        rng = np.random.default_rng(2)
+        a.update_many(rng.integers(0, 100, 2000))
+        b.update_many(rng.integers(0, 100, 2000))
+        local = merge_count_min(a, b)
+        remote = merge_payloads(a.to_bytes(), b.to_bytes())
+        np.testing.assert_array_equal(local._table, remote._table)
+        assert local.stream_length == remote.stream_length
+
+    def test_row_reservoir_shards_distribution_inputs(self):
+        db = random_database(200, 8, 0.3, rng=3)
+        a, b = RowReservoir(8, 20, rng=1), RowReservoir(8, 20, rng=2)
+        a.extend(db)
+        b.extend(db)
+        local = merge_row_reservoirs(a, b, rng=11)
+        remote = merge_payloads(a.to_bytes(), b.to_bytes(), rng=11)
+        assert local.rows_seen == remote.rows_seen
+        assert sorted(tuple(w.tolist()) for w in local._words) == sorted(
+            tuple(w.tolist()) for w in remote._words
+        )
+
+    def test_mismatched_shard_types_rejected(self):
+        from repro.errors import StreamError
+
+        a, b = MisraGries(50, 5), SpaceSaving(50, 5)
+        with pytest.raises(StreamError):
+            merge_payloads(a.to_bytes(), b.to_bytes())
+
+
+class TestFrameRejection:
+    """Every way a frame can lie must raise WireFormatError."""
+
+    @pytest.fixture
+    def frame_bytes(self):
+        db = random_database(50, 8, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        return ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p).to_bytes()
+
+    def test_bad_magic(self, frame_bytes):
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.load(b"XXXX" + frame_bytes[4:])
+
+    def test_unsupported_version(self, frame_bytes):
+        buf = bytearray(frame_bytes)
+        buf[4] = 99
+        with pytest.raises(WireFormatError):
+            wire.load(bytes(buf))
+
+    def test_truncation_everywhere(self, frame_bytes):
+        for cut in (0, 3, 7, len(frame_bytes) // 2, len(frame_bytes) - 1):
+            with pytest.raises(WireFormatError):
+                wire.load(frame_bytes[:cut])
+
+    def test_trailing_garbage(self, frame_bytes):
+        with pytest.raises(WireFormatError):
+            wire.load(frame_bytes + b"\x00")
+
+    def test_corruption_any_byte(self, frame_bytes):
+        for offset in range(0, len(frame_bytes), max(1, len(frame_bytes) // 23)):
+            buf = bytearray(frame_bytes)
+            buf[offset] ^= 0x40
+            with pytest.raises(WireFormatError):
+                wire.load(bytes(buf))
+
+    def test_unknown_codec(self):
+        buf = wire.encode_frame("no-such-codec", None, {}, b"", 0)
+        with pytest.raises(WireFormatError, match="unknown codec"):
+            wire.load(buf)
+
+    def test_declared_bits_disagree_with_payload(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_frame("release-db", None, {}, b"\x00", 9)
+
+    def test_missing_extras_rejected(self):
+        p = SketchParams(n=2, d=4, k=1, epsilon=0.5)
+        buf = wire.encode_frame("release-db", p, {}, b"\x00", 8)
+        with pytest.raises(WireFormatError, match="missing extra"):
+            wire.load(buf)
+
+    def test_payload_shape_mismatch_rejected(self):
+        p = SketchParams(n=2, d=4, k=1, epsilon=0.5)
+        buf = wire.encode_frame("release-db", p, {"n": 2, "d": 4}, b"\x00", 7)
+        with pytest.raises(WireFormatError, match="n\\*d"):
+            wire.load(buf)
+
+    def test_release_answers_inflated_bit_count_rejected(self):
+        # A re-framed payload with extra zero bytes and an inflated n_bits
+        # (valid CRC, valid padding) must not decode to a sketch whose
+        # size_in_bits disagrees with the real answer table.
+        db = random_database(30, 6, 0.3, rng=1)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.25)
+        sketch = ReleaseAnswersSketcher(Task.FORALL_INDICATOR).sketch(db, p)
+        frame = wire.decode_frame(sketch.to_bytes())
+        inflated = wire.encode_frame(
+            frame.codec,
+            frame.params,
+            frame.extras,
+            frame.payload + b"\x00\x00",
+            frame.n_bits + 16,
+        )
+        with pytest.raises(WireFormatError, match="C\\(d,k\\)"):
+            wire.load(inflated)
+
+    def test_malformed_extras_raise_wire_error_not_stream_error(self):
+        """Constructor validation of untrusted header fields surfaces as
+        WireFormatError, the one exception type the contract documents."""
+        mg = MisraGries(50, 5)
+        frame = wire.decode_frame(mg.to_bytes())
+        for bad_extras in (
+            {**frame.extras, "k": -1},
+            {**frame.extras, "universe": 0},
+        ):
+            buf = wire.encode_frame(
+                frame.codec, None, bad_extras, frame.payload, frame.n_bits
+            )
+            with pytest.raises(WireFormatError):
+                wire.load(buf)
+
+    def test_cross_family_from_bytes_rejected(self):
+        mg = MisraGries(20, 4)
+        with pytest.raises(WireFormatError, match="not a FrequencySketch"):
+            FrequencySketch.from_bytes(mg.to_bytes())
+        db = random_database(20, 6, 0.3, rng=0)
+        p = SketchParams(n=20, d=6, k=2, epsilon=0.2)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        with pytest.raises(WireFormatError, match="not a StreamSummary"):
+            StreamSummary.from_bytes(sketch.to_bytes())
