@@ -22,6 +22,7 @@ serialized summary whose length the lower bounds are about.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -39,6 +40,7 @@ from .core import (
 )
 from .core.base import FrequencySketch
 from .db import Itemset, random_database
+from .db.backends import BACKEND_ENV, available_backends
 from .db.transactions import read_transactions
 from .experiments import EXPERIMENTS, format_table
 from .lowerbounds import (
@@ -91,7 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=0)
     validate.add_argument(
         "--workers", type=int, default=None,
-        help="thread count for the sharded batch evaluators (default: auto)",
+        help="worker count for the sharded batch evaluators (default: auto)",
+    )
+    validate.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="shard executor: serial, thread, or shared-memory process pool "
+             "(default: auto escalation by sweep volume)",
     )
 
     attack = sub.add_parser("attack", help="run a lower-bound encoding attack")
@@ -114,7 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--seed", type=int, default=0)
     mine.add_argument(
         "--workers", type=int, default=None,
-        help="thread count for the sharded batch evaluators (default: auto)",
+        help="worker count for the sharded batch evaluators (default: auto)",
+    )
+    mine.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="shard executor: serial, thread, or shared-memory process pool "
+             "(default: auto escalation by sweep volume)",
     )
 
     sketch = sub.add_parser(
@@ -128,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
     sketch.add_argument("--eps", type=float, default=0.1)
     sketch.add_argument("--delta", type=float, default=0.1)
     sketch.add_argument("--seed", type=int, default=0)
+    sketch.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="shard executor for the sketcher's kernel sweeps (sets "
+             "REPRO_EVAL_BACKEND for the duration of the command; "
+             "default: auto)",
+    )
 
     query = sub.add_parser(
         "query", help="answer an itemset query from a sketch file alone"
@@ -174,7 +192,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     db = random_database(args.n, args.d, 0.3, rng=args.seed)
     report = validate_sketcher(
         sketcher, db, params, trials=args.trials, rng=args.seed + 1,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
     )
     print(
         f"{args.sketcher} on {task.value}: failure rate "
@@ -213,7 +231,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             db, params, rng=args.seed
         )
     frequent = apriori(
-        source, args.threshold, max_size=args.max_size, workers=args.workers
+        source, args.threshold, max_size=args.max_size, workers=args.workers,
+        backend=args.backend,
     )
     rows = [
         {"itemset": " ".join(map(str, t.items)), "frequency": round(f, 4)}
@@ -284,9 +303,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "bounds":
@@ -302,6 +319,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "query":
         return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if not backend:
+        return _dispatch(args)
+    # --backend also becomes the process default for the duration of the
+    # command, so kernel sweeps nested inside sketchers (e.g.
+    # RELEASE-ANSWERS' precomputation during `sketch` or `validate`
+    # trials) run on the requested executor.  Restored afterwards:
+    # library callers of main() keep their environment.
+    saved = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = backend
+    try:
+        return _dispatch(args)
+    finally:
+        if saved is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = saved
 
 
 if __name__ == "__main__":

@@ -79,25 +79,31 @@ class SubsampleSketch(FrequencySketch):
         return self._sample.frequency(itemset)
 
     def estimate_batch(
-        self, itemsets: Sequence[Itemset], workers: int | None = None
+        self,
+        itemsets: Sequence[Itemset],
+        workers: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Sample frequencies for a whole query set (one kernel sweep).
 
-        ``workers`` shards the sweep over shared-memory threads.
+        ``workers`` shards the sweep; ``backend`` picks its executor.
         """
-        return self._sample.frequencies(itemsets, workers=workers)
+        return self._sample.frequencies(itemsets, workers=workers, backend=backend)
 
     def indicate_batch(
-        self, itemsets: Sequence[Itemset], workers: int | None = None
+        self,
+        itemsets: Sequence[Itemset],
+        workers: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Thresholded sample frequencies, one (sharded) kernel sweep.
 
         Same answers as the base per-itemset loop -- ``indicate`` is
         exactly this threshold on ``estimate`` -- but batched, so
-        ``workers`` actually shards indicator validation too.
+        ``workers``/``backend`` actually shard indicator validation too.
         """
         threshold = INDICATOR_THRESHOLD_FACTOR * self._params.epsilon
-        return self.estimate_batch(itemsets, workers=workers) >= threshold
+        return self.estimate_batch(itemsets, workers=workers, backend=backend) >= threshold
 
     def support_mask(self, itemset: Itemset) -> np.ndarray:
         """Which sampled rows contain ``itemset`` (row-major kernel)."""

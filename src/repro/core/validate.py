@@ -91,6 +91,7 @@ def validate_sketcher(
     max_itemsets: int = 2000,
     rng: np.random.Generator | int | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> ValidationReport:
     """Estimate a sketcher's failure probability on ``db``.
 
@@ -100,9 +101,10 @@ def validate_sketcher(
     the true For-All failure rate, which the reports note).
 
     ``workers`` shards the batched kernel sweeps -- the exact ground-truth
-    evaluation and each trial's sketch queries -- over shared-memory
-    threads (``None`` = auto heuristic; results are identical for every
-    worker count).
+    evaluation and each trial's sketch queries -- and ``backend`` selects
+    the shard executor: serial, thread, or the shared-memory process pool
+    (``None`` = auto heuristics; results are identical for every worker
+    count and executor).
 
     Raises
     ------
@@ -118,7 +120,7 @@ def validate_sketcher(
     gen = as_rng(rng)
     itemsets = _itemsets_to_check(params, max_itemsets, gen)
     oracle = FrequencyOracle(db)
-    truth = oracle.frequencies(itemsets, workers=workers)
+    truth = oracle.frequencies(itemsets, workers=workers, backend=backend)
     eps = params.epsilon
     task = sketcher.task
 
@@ -130,14 +132,16 @@ def validate_sketcher(
         sketch = sketcher.sketch(db, params, gen)
         if task.is_indicator:
             answers = np.asarray(
-                sketch.indicate_batch(itemsets, workers=workers), dtype=bool
+                sketch.indicate_batch(itemsets, workers=workers, backend=backend),
+                dtype=bool,
             )
             must_be_one = truth > eps
             must_be_zero = truth < eps / 2.0
             bad = (must_be_one & ~answers) | (must_be_zero & answers)
         else:
             answers = np.asarray(
-                sketch.estimate_batch(itemsets, workers=workers), dtype=float
+                sketch.estimate_batch(itemsets, workers=workers, backend=backend),
+                dtype=float,
             )
             bad = np.abs(answers - truth) > eps + 1e-12
         if task.is_forall:

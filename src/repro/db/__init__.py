@@ -41,10 +41,36 @@ correspondence, reconstruction-attack diagnostics, and streaming row
 ingestion (reservoirs, the itemset miner) run here -- streamed rows are
 stored and gathered in this layout without re-packing.
 
-The batched evaluators of both kernels take ``workers=`` and shard their
-index ranges over shared-memory threads (numpy releases the GIL in the hot
-ops); ``workers=None`` picks serial for small problems automatically and
-results are bit-identical for every worker count.
+**Sharding and executor backends** -- the batched evaluators of both
+kernels take ``workers=`` (shard count; ``None`` auto-resolves, clamped to
+``os.cpu_count()``, ``REPRO_WORKERS`` overrides) and ``backend=`` (where
+the shards run; ``REPRO_EVAL_BACKEND`` overrides).  Three executors are
+registered in :mod:`repro.db.backends`:
+
+* ``"serial"`` -- one inline kernel call.  The baseline every other
+  backend must match bit-for-bit; also what every backend degenerates to
+  when the resolved worker count is 1.
+* ``"thread"`` -- shared-memory threads.  Zero setup cost; scales
+  wherever numpy releases the GIL (the hot AND / popcount ops).  The
+  right choice for mid-sized sweeps and the default escalation step.
+* ``"process"`` -- a persistent worker-process pool over named
+  :mod:`multiprocessing.shared_memory` blocks.  The packed word arrays
+  are published once per sweep; workers reattach by ``(shm_name, shape,
+  dtype)`` and write a shared output block, so no row data or results are
+  ever pickled.  Pays ~milliseconds of publication overhead, so it is
+  for the largest sweeps -- full ``C(d, k)`` enumerations at big ``n`` --
+  where Python-level orchestration, not numpy, bounds thread scaling.
+
+``backend=None`` escalates serial -> thread -> process automatically by
+estimated word-op volume (process above
+:data:`~repro.db.backends.PROCESS_MIN_WORDS` word ops, where ``fork`` is
+available).  Results are bit-identical for every worker count and every
+executor -- shards are contiguous slices of one preallocated output
+running the same kernel code -- which the differential suites in
+``tests/test_parallel_eval.py`` enforce.  Pick explicitly when profiling:
+``backend="thread"`` to avoid process startup in short-lived scripts,
+``backend="process"`` to force multi-core throughput for repeated large
+sweeps (the pool and its workers are reused across calls).
 
 Wire format
 -----------
@@ -78,6 +104,14 @@ match the declared bit count exactly; trailing padding must be zero).
   nonzero padding all raise :class:`~repro.errors.WireFormatError`.
 """
 
+from .backends import (
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+)
 from .database import BinaryDatabase
 from .generators import (
     correlated_database,
@@ -120,6 +154,12 @@ __all__ = [
     "unrank_itemset",
     "PackedColumns",
     "PackedRows",
+    "ShardBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
     "pack_columns",
     "pack_rows",
     "unpack_rows",

@@ -1,0 +1,453 @@
+"""Pluggable shard-executor backends for the packed query kernels.
+
+The sharded evaluators in :mod:`repro.db.packed` split a batch index range
+into contiguous shards and run one kernel function ``kernel(arrays, outs,
+lo, hi, params)`` per shard, each writing a disjoint slice of a
+preallocated output.  This module supplies the *executors* that run those
+shards, behind one :class:`ShardBackend` interface:
+
+* :class:`SerialBackend` (``"serial"``) -- one inline call over the full
+  range.  Every other backend degenerates to exactly this call when the
+  resolved worker count is 1, so results cannot depend on the backend.
+* :class:`ThreadBackend` (``"thread"``) -- a shared-memory
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Scales wherever numpy
+  releases the GIL (the hot AND / popcount ops); zero setup cost.
+* :class:`ProcessBackend` (``"process"``) -- a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor` over
+  :mod:`multiprocessing.shared_memory`.  Input arrays are published once
+  into named shared-memory blocks; workers reattach by ``(shm_name,
+  shape, dtype)`` and run the identical kernel writing into a shared
+  output block, so **no row data or results are ever pickled** -- only
+  descriptor tuples and scalar params cross the process boundary.  This
+  is the backend for sweeps large enough that Python-level shard
+  orchestration, not numpy, is the bottleneck.
+
+Backend selection
+-----------------
+:func:`resolve_backend` picks the executor: an explicit ``backend=``
+argument (name or instance) wins, then the ``REPRO_EVAL_BACKEND``
+environment variable, then an auto heuristic that escalates serial ->
+thread -> process by estimated shard word-op volume (process only above
+:data:`PROCESS_MIN_WORDS` and only where the ``fork`` start method is
+available, so child processes inherit the parent's modules without
+re-import).  Forcing ``REPRO_EVAL_BACKEND=process`` routes every sharded
+sweep through shared memory -- CI uses this (together with
+``REPRO_WORKERS``) to run the kernel differential suites on the process
+path.
+
+Lifecycle
+---------
+Shared-memory blocks are created per ``run`` call and unconditionally
+closed and unlinked in a ``finally`` block, worker exceptions included --
+a failed sweep leaves nothing in ``/dev/shm``.  Workers attach without
+resource-tracker registration (the parent owns the segments; on Python <
+3.13 the tracker would otherwise double-count attachments), and drop
+their numpy views before closing.  The worker pool itself is lazily
+created, reused across calls to amortize startup, grown on demand, and
+torn down by :meth:`ProcessBackend.shutdown` or interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import sys
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "ShardJob",
+    "ShardBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "shard_edges",
+    "BACKEND_ENV",
+    "PROCESS_MIN_WORDS",
+    "SHM_PREFIX",
+]
+
+#: Environment override for the backend choice (name from the registry).
+BACKEND_ENV = "REPRO_EVAL_BACKEND"
+
+#: Auto heuristic: escalate thread -> process at this many estimated
+#: uint64 word operations.  Below it, shared-memory publication and
+#: process dispatch cost more than the GIL-free threads they replace.
+PROCESS_MIN_WORDS = 1 << 25
+
+#: Name prefix for every shared-memory block this module creates; tests
+#: scan ``/dev/shm`` for it to assert cleanup.
+SHM_PREFIX = "repro_shm_"
+
+#: Kernel signature shared by all sharded evaluators: read-only input
+#: arrays, preallocated outputs, a contiguous index range, scalar params.
+ShardKernel = Callable[
+    [Mapping[str, np.ndarray], Mapping[str, np.ndarray], int, int, Mapping], None
+]
+
+
+@dataclass
+class ShardJob:
+    """One sharded sweep: a kernel plus the arrays it reads and writes.
+
+    ``kernel`` must be a module-level function (the process backend ships
+    it by qualified name); ``arrays`` are read-only inputs, ``outs``
+    preallocated outputs whose disjoint ``[lo:hi]`` slices the shards
+    fill, ``params`` picklable scalars, and ``total`` the index range
+    being sharded.
+    """
+
+    kernel: ShardKernel
+    arrays: dict[str, np.ndarray]
+    outs: dict[str, np.ndarray]
+    total: int
+    params: dict = field(default_factory=dict)
+
+    def run_slice(self, lo: int, hi: int) -> None:
+        """Run the kernel over ``[lo, hi)`` in the calling thread."""
+        self.kernel(self.arrays, self.outs, lo, hi, self.params)
+
+
+def shard_edges(total: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` shard bounds covering ``range(total)``."""
+    edges = np.linspace(0, total, workers + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+
+
+class ShardBackend(ABC):
+    """Executor interface for sharded kernel sweeps.
+
+    The contract every backend must keep: shards are contiguous slices of
+    one output running the same kernel code on the same data, so results
+    are bit-identical to :class:`SerialBackend` for every worker count.
+    """
+
+    #: Registry name ("serial", "thread", "process").
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, job: ShardJob, workers: int) -> None:
+        """Execute ``job`` over at most ``workers`` shards."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ShardBackend):
+    """Inline execution: one kernel call over the full range."""
+
+    name = "serial"
+
+    def run(self, job: ShardJob, workers: int) -> None:
+        """Run the whole range in the calling thread (ignores ``workers``)."""
+        job.run_slice(0, job.total)
+
+
+class ThreadBackend(ShardBackend):
+    """Shared-memory threads (the PR-2 path): zero-copy, GIL-bound set-up."""
+
+    name = "thread"
+
+    def run(self, job: ShardJob, workers: int) -> None:
+        """Shard over a thread pool; ``workers <= 1`` degenerates to serial."""
+        workers = min(workers, job.total) if job.total else 1
+        if workers <= 1:
+            job.run_slice(0, job.total)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(job.run_slice, lo, hi)
+                for lo, hi in shard_edges(job.total, workers)
+            ]
+            for future in futures:
+                future.result()
+
+
+def _attach_untracked(shm_name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker registration.
+
+    The parent that created the block owns its lifetime; worker-side
+    registration would make the tracker double-count the segment (and
+    complain, or unlink prematurely, at worker exit).  Python 3.13 has
+    ``track=False`` for exactly this; older versions need the register
+    call suppressed for the duration of the attach.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - 3.11/3.12 container
+        return shared_memory.SharedMemory(name=shm_name, track=False)
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original
+
+
+#: Descriptor a worker needs to reattach one published array:
+#: ``(shm_name, shape, dtype_str)``.
+_ArrayDesc = tuple[str, tuple[int, ...], str]
+
+
+def _shard_entry(
+    kernel: ShardKernel,
+    array_descs: dict[str, _ArrayDesc],
+    out_descs: dict[str, _ArrayDesc],
+    params: dict,
+    lo: int,
+    hi: int,
+) -> None:
+    """Worker-side shard: reattach by descriptor, run, detach.
+
+    Everything crossing the process boundary is in this signature: the
+    kernel (pickled as a module-qualified name), descriptor tuples, and
+    scalar params -- never array contents.
+    """
+    segments: list[shared_memory.SharedMemory] = []
+    arrays: dict[str, np.ndarray] = {}
+    outs: dict[str, np.ndarray] = {}
+    try:
+        for name, (shm_name, shape, dtype) in array_descs.items():
+            shm = _attach_untracked(shm_name)
+            segments.append(shm)
+            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        for name, (shm_name, shape, dtype) in out_descs.items():
+            shm = _attach_untracked(shm_name)
+            segments.append(shm)
+            outs[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        kernel(arrays, outs, lo, hi, params)
+    finally:
+        # numpy views pin the mapped buffer; drop them before closing.
+        arrays.clear()
+        outs.clear()
+        for shm in segments:
+            shm.close()
+
+
+class _ShmPublisher:
+    """Parent-side shared-memory lifecycle for one sweep.
+
+    Publishes arrays into fresh named blocks and guarantees close+unlink
+    on every exit path via :meth:`cleanup` (called from the backend's
+    ``finally``), so a failed sweep leaves no segments behind.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._views: list[np.ndarray] = []
+
+    def publish(self, arr: np.ndarray) -> tuple[_ArrayDesc, np.ndarray]:
+        """Copy ``arr`` into a new block; return its descriptor and view."""
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(arr.nbytes, 1),
+            name=SHM_PREFIX + secrets.token_hex(8),
+        )
+        self._segments.append(shm)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        self._views.append(view)
+        return (shm.name, arr.shape, arr.dtype.str), view
+
+    def cleanup(self) -> None:
+        """Close and unlink every block created by this publisher."""
+        self._views.clear()  # views pin the mapped buffers
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+
+class ProcessBackend(ShardBackend):
+    """Process-pool execution over named shared-memory blocks.
+
+    Parameters
+    ----------
+    context:
+        Multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.  Spawned
+        workers re-import :mod:`repro`, so the package must be importable
+        in child processes (``PYTHONPATH`` is inherited).
+    max_workers:
+        Hard cap on pool size (``None`` = grow to the requested shard
+        count, itself capped at ``os.cpu_count()`` by
+        :func:`repro.db.packed.resolve_workers`).
+
+    The pool is created lazily on first use and reused across sweeps;
+    shared-memory blocks are per-sweep and always unlinked, error paths
+    included.
+    """
+
+    name = "process"
+
+    def __init__(self, context: str | None = None, max_workers: int | None = None) -> None:
+        self._context = context
+        self._max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        with self._lock:
+            return self._ensure_pool_locked(workers)
+
+    def _ensure_pool_locked(self, workers: int) -> ProcessPoolExecutor:
+        """Pool with capacity for ``workers`` shards; caller holds ``_lock``."""
+        if self._max_workers is not None:
+            workers = min(workers, self._max_workers)
+        if self._pool is not None and self._pool_workers < workers:
+            # Growing waits for in-flight sweeps to drain (their shards
+            # were submitted under the lock, so none can hit the old pool
+            # after this point).
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            ctx = get_context(self._context)
+            self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            self._pool_workers = workers
+        return self._pool
+
+    def run(self, job: ShardJob, workers: int) -> None:
+        """Publish inputs and outputs once, fan shards out, copy results back.
+
+        ``workers <= 1`` (or an empty range) runs inline -- identical to
+        :class:`SerialBackend` -- so forcing the backend never changes
+        results, only where multi-shard sweeps execute.
+        """
+        workers = min(workers, job.total) if job.total else 1
+        if workers <= 1:
+            job.run_slice(0, job.total)
+            return
+        publisher = _ShmPublisher()
+        try:
+            array_descs = {
+                name: publisher.publish(arr)[0] for name, arr in job.arrays.items()
+            }
+            out_views: dict[str, np.ndarray] = {}
+            out_descs: dict[str, _ArrayDesc] = {}
+            for name, out in job.outs.items():
+                # publish() copies the (uninitialized) output buffer too;
+                # that memcpy is the price of one code path, and outputs
+                # are small relative to sweeps worth sharding.
+                desc, view = publisher.publish(out)
+                out_descs[name] = desc
+                out_views[name] = view
+            # Submitting under the lock pins the pool for this sweep: a
+            # concurrent run() that needs a bigger pool replaces it only
+            # between sweeps, never under one (its shutdown(wait=True)
+            # drains these shards first).
+            with self._lock:
+                pool = self._ensure_pool_locked(workers)
+                futures = [
+                    pool.submit(
+                        _shard_entry,
+                        job.kernel,
+                        array_descs,
+                        out_descs,
+                        job.params,
+                        lo,
+                        hi,
+                    )
+                    for lo, hi in shard_edges(job.total, workers)
+                ]
+            try:
+                for future in futures:
+                    future.result()
+            except BrokenProcessPool:
+                # A dead worker poisons the whole executor; drop it so the
+                # next sweep gets a fresh pool instead of the same error.
+                with self._lock:
+                    if self._pool is pool:
+                        self._pool = None
+                        self._pool_workers = 0
+                raise
+            for name, out in job.outs.items():
+                out[...] = out_views[name]
+        finally:
+            publisher.cleanup()
+
+    def shutdown(self) -> None:
+        """Tear the worker pool down (it is re-created on next use)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_workers = 0
+
+
+_REGISTRY: dict[str, ShardBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by ``backend=`` and ``REPRO_EVAL_BACKEND``."""
+    return ("serial", "thread", "process")
+
+
+def get_backend(name: str) -> ShardBackend:
+    """The shared singleton backend registered under ``name``.
+
+    Raises
+    ------
+    ParameterError
+        If ``name`` is not one of :func:`available_backends`.
+    """
+    if name not in available_backends():
+        raise ParameterError(
+            f"unknown shard backend {name!r}; expected one of {available_backends()}"
+        )
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+        if backend is None:
+            backend = {
+                "serial": SerialBackend,
+                "thread": ThreadBackend,
+                "process": ProcessBackend,
+            }[name]()
+            _REGISTRY[name] = backend
+        return backend
+
+
+def _fork_available() -> bool:
+    return "fork" in get_all_start_methods()
+
+
+def resolve_backend(
+    backend: str | ShardBackend | None, word_ops: int, workers: int
+) -> ShardBackend:
+    """Pick the executor for a sweep of ``word_ops`` over ``workers`` shards.
+
+    Explicit ``backend`` (instance or registry name) wins, then the
+    ``REPRO_EVAL_BACKEND`` environment variable, then the auto heuristic:
+    serial for single-worker sweeps, process above
+    :data:`PROCESS_MIN_WORDS` word operations (where ``fork`` is
+    available), thread in between.
+    """
+    if isinstance(backend, ShardBackend):
+        return backend
+    if backend is not None:
+        return get_backend(backend)
+    env = os.environ.get(BACKEND_ENV)
+    if env is not None:
+        return get_backend(env)
+    if workers <= 1:
+        return get_backend("serial")
+    if word_ops >= PROCESS_MIN_WORDS and _fork_available():
+        return get_backend("process")
+    return get_backend("thread")

@@ -161,15 +161,21 @@ class BinaryDatabase:
         return self.support(itemset) / self.n
 
     def frequencies(
-        self, itemsets: Iterable[Itemset], workers: int | None = None
+        self,
+        itemsets: Iterable[Itemset],
+        workers: int | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Vector of frequencies for several itemsets (one batched kernel call).
 
-        ``workers`` shards the sweep over shared-memory threads (``None`` =
-        auto heuristic; results are bit-identical for every worker count).
+        ``workers`` shards the sweep and ``backend`` selects the shard
+        executor (``None`` = auto heuristics; results are bit-identical
+        for every worker count and executor).
         """
         return (
-            self.packed.supports_batch([t.items for t in itemsets], workers=workers)
+            self.packed.supports_batch(
+                [t.items for t in itemsets], workers=workers, backend=backend
+            )
             / self.n
         )
 

@@ -36,30 +36,40 @@ Popcounts go through :func:`numpy.bitwise_count` when available
 Sharded evaluation
 ------------------
 The batched evaluators accept a ``workers=`` parameter: the combination /
-query index is split into contiguous chunks evaluated on a shared-memory
-:class:`~concurrent.futures.ThreadPoolExecutor` (numpy releases the GIL in
-the hot AND / popcount ops, so threads scale without pickling).  ``workers=
-None`` applies an auto heuristic -- serial below
+query index is split into contiguous shards, each running one of the
+module-level kernel functions below over a disjoint slice of a
+preallocated output, so results are bit-identical for every worker count
+and every executor.  *Where* the shards execute is pluggable through the
+``backend=`` parameter (see :mod:`repro.db.backends`): ``"serial"`` runs
+inline, ``"thread"`` uses a shared-memory thread pool (numpy releases the
+GIL in the hot AND / popcount ops), and ``"process"`` publishes the
+packed word arrays into named :mod:`multiprocessing.shared_memory` blocks
+and fans shards out to a worker-process pool -- no row data or results
+are ever pickled.  ``backend=None`` applies an auto heuristic that
+escalates serial -> thread -> process by estimated word-op volume; the
+``REPRO_EVAL_BACKEND`` environment variable overrides it.
+
+``workers=None`` applies the worker-count auto heuristic -- serial below
 :data:`PARALLEL_MIN_WORDS` estimated word-operations or on a single-core
-host, else one thread per core (capped) -- so small problems never pay
-thread dispatch.  The ``REPRO_WORKERS`` environment variable overrides the
-heuristic (used by CI to force the sharded path).  Shards write disjoint
-slices of one preallocated output, so results are bit-identical for every
-worker count.
+host, else one worker per core (capped) -- so small problems never pay
+dispatch.  The ``REPRO_WORKERS`` environment variable overrides the
+heuristic (used by CI to force the sharded path); explicit and
+environment worker counts are both clamped to ``os.cpu_count()`` so an
+oversized request cannot oversubscribe the shard pool.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 from itertools import chain, combinations
 from math import comb
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import ParameterError
+from .backends import ShardBackend, ShardJob, resolve_backend
 
 __all__ = [
     "PackedColumns",
@@ -183,9 +193,12 @@ def resolve_workers(workers: int | None, word_ops: int) -> int:
 
     Explicit ``workers`` (or the ``REPRO_WORKERS`` environment variable)
     wins; ``None`` applies the auto heuristic: serial below
-    :data:`PARALLEL_MIN_WORDS` or on a single-core host, else one thread
-    per core capped at 8.
+    :data:`PARALLEL_MIN_WORDS` or on a single-core host, else one worker
+    per core capped at 8.  Every resolved count -- explicit, environment,
+    or auto -- is clamped to ``os.cpu_count()``: extra shards beyond the
+    core count only add dispatch overhead, never throughput.
     """
+    cpu_limit = os.cpu_count() or 1
     if workers is None:
         env = os.environ.get(_WORKERS_ENV)
         if env is not None:
@@ -198,32 +211,31 @@ def resolve_workers(workers: int | None, word_ops: int) -> int:
         else:
             if word_ops < PARALLEL_MIN_WORDS:
                 return 1
-            return max(1, min(_MAX_AUTO_WORKERS, os.cpu_count() or 1))
+            return max(1, min(_MAX_AUTO_WORKERS, cpu_limit))
     if workers < 1:
         raise ParameterError(f"workers must be >= 1, got {workers}")
-    return workers
+    return max(1, min(workers, cpu_limit))
 
 
-def _run_sharded(run: Callable[[int, int], None], total: int, workers: int) -> None:
-    """Run ``run(lo, hi)`` over contiguous shards of ``range(total)``.
+def _run_job(
+    kernel,
+    arrays: dict[str, np.ndarray],
+    outs: dict[str, np.ndarray],
+    total: int,
+    word_ops: int,
+    workers: int | None,
+    backend: str | ShardBackend | None,
+    params: dict | None = None,
+) -> None:
+    """Resolve workers and executor, then run one sharded kernel sweep.
 
-    ``workers <= 1`` (or a single shard) calls ``run`` inline -- the serial
-    and sharded paths execute the same code on the same slices, so results
-    cannot depend on the worker count.  Exceptions propagate.
+    Every backend degenerates to the identical inline kernel call when the
+    resolved worker count is 1, so results cannot depend on the worker
+    count or the executor.  Exceptions propagate.
     """
-    workers = min(workers, total) if total else 1
-    if workers <= 1:
-        run(0, total)
-        return
-    edges = np.linspace(0, total, workers + 1).astype(int)
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(run, int(lo), int(hi))
-            for lo, hi in zip(edges[:-1], edges[1:])
-            if hi > lo
-        ]
-        for future in futures:
-            future.result()
+    resolved = resolve_workers(workers, word_ops)
+    job = ShardJob(kernel=kernel, arrays=arrays, outs=outs, total=total, params=params or {})
+    resolve_backend(backend, word_ops, resolved).run(job, resolved)
 
 
 def _batch_index_array(batch: Sequence[tuple[int, ...]], d: int) -> np.ndarray:
@@ -287,6 +299,91 @@ def combination_index_array(d: int, k: int) -> np.ndarray:
     if comb(d, k) * max(k, 1) > _INDEX_CACHE_MAX:
         return _build_combination_index(d, k)
     return _combination_index_cached(d, k)
+
+
+# ----------------------------------------------------------------------
+# Shard kernels.  Module-level (not closures) so the process backend can
+# ship them to workers by qualified name; each reads shared input arrays
+# and writes the disjoint ``[lo:hi)`` slice of a preallocated output.
+# ----------------------------------------------------------------------
+def _index_supports_kernel(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Shard of :meth:`PackedColumns.supports_for_index_array`."""
+    if lo >= hi:
+        return
+    ext = arrays["ext"]
+    idx = arrays["idx"]
+    k = idx.shape[1]
+    masks = ext[idx[lo:hi, 0]]  # fancy indexing copies; AND in place
+    for pos in range(1, k):
+        masks &= ext[idx[lo:hi, pos]]
+    outs["counts"][lo:hi] = popcount_sum(masks)
+
+
+def _combination_supports_kernel(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Shard of :meth:`PackedColumns.combination_supports` (k >= 2 leaves)."""
+    words = arrays["words"]
+    pmask = arrays["pmask"]
+    leaf_prefix = arrays["leaf_prefix"]
+    last = arrays["last"]
+    counts = outs["counts"]
+    chunk_size = int(params["chunk_size"])
+    for clo in range(lo, hi, chunk_size):
+        chi = min(clo + chunk_size, hi)
+        masks = pmask[leaf_prefix[clo:chi]]
+        masks &= words[last[clo:chi]]
+        counts[clo:chi] = popcount_sum(masks)
+
+
+def _contains_kernel(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Shard of :meth:`PackedRows.contains_batch`.
+
+    Word-at-a-time evaluation of ``row & mask == mask`` into preallocated
+    buffers: a 2-D uint64 scratch block (reused across chunks) holds the
+    AND, the equality writes straight into the output slice, and further
+    words fold in with an in-place boolean AND.  No 3-D temporaries, no
+    ``.all(axis=2)`` reduction pass -- this is what lifted the
+    ``row_containment`` bench out of the noise.
+    """
+    if lo >= hi:
+        return
+    words = arrays["words"]  # (n, d_words)
+    masks = arrays["masks"]  # (m, d_words) query masks, built once per call
+    out = outs["mask"]  # (m, n) boolean containment matrix
+    chunk = int(params["chunk"])
+    n, d_words = words.shape
+    width = min(chunk, hi - lo)
+    scratch = np.empty((width, n), dtype=np.uint64)
+    fold = np.empty((width, n), dtype=bool) if d_words > 1 else None
+    for clo in range(lo, hi, chunk):
+        chi = min(clo + chunk, hi)
+        m_c = chi - clo
+        block = out[clo:chi]
+        for w in range(d_words):
+            q = masks[clo:chi, w, None]  # (m_c, 1) broadcasts over rows
+            np.bitwise_and(words[:, w][None, :], q, out=scratch[:m_c])
+            if w == 0:
+                np.equal(scratch[:m_c], q, out=block)
+            else:
+                np.equal(scratch[:m_c], q, out=fold[:m_c])
+                block &= fold[:m_c]
 
 
 def _tail_mask(n: int, n_words: int) -> np.ndarray:
@@ -400,45 +497,51 @@ class PackedColumns:
     # Batched kernels.
     # ------------------------------------------------------------------
     def supports_for_index_array(
-        self, idx: np.ndarray, workers: int | None = None
+        self,
+        idx: np.ndarray,
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
     ) -> np.ndarray:
         """Support counts for an ``(m, k)`` item-index array (one sweep).
 
         The core batched kernel: ``k - 1`` AND passes over an
         ``(m, n_words)`` block followed by one batched popcount.  Indices
         equal to ``d`` select the virtual all-rows column (ragged padding).
-        With ``workers > 1`` the index rows are sharded over shared-memory
-        threads, each writing a disjoint slice of the output; ``None``
-        applies the auto heuristic of :func:`resolve_workers`.
+        With ``workers > 1`` the index rows are sharded, each shard writing
+        a disjoint slice of the output; ``None`` applies the auto heuristic
+        of :func:`resolve_workers`.  ``backend`` selects the shard executor
+        (serial / thread / process; ``None`` = auto escalation by volume).
         """
         m, k = idx.shape
         if m == 0:
             return np.zeros(0, dtype=np.int64)
         if k == 0:
             return np.full(m, self._n, dtype=np.int64)
-        ext = self._extended()
         out = np.empty(m, dtype=np.int64)
-
-        def run(lo: int, hi: int) -> None:
-            if lo >= hi:
-                return
-            masks = ext[idx[lo:hi, 0]]  # fancy indexing copies; AND in place
-            for pos in range(1, k):
-                masks &= ext[idx[lo:hi, pos]]
-            out[lo:hi] = popcount_sum(masks)
-
-        _run_sharded(run, m, resolve_workers(workers, m * k * self.n_words))
+        _run_job(
+            _index_supports_kernel,
+            arrays={"ext": self._extended(), "idx": np.ascontiguousarray(idx)},
+            outs={"counts": out},
+            total=m,
+            word_ops=m * k * self.n_words,
+            workers=workers,
+            backend=backend,
+        )
         return out
 
     def supports_batch(
-        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+        self,
+        itemsets: Iterable[Sequence[int]],
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
     ) -> np.ndarray:
         """Support counts for many itemsets in one vectorized sweep.
 
         Ragged batches are handled by padding with a virtual all-rows
         column; uniform-length batches (a miner's candidate level) convert
         straight to the index array with no per-element Python loop.
-        ``workers`` shards the sweep (see :meth:`supports_for_index_array`).
+        ``workers`` shards the sweep and ``backend`` picks its executor
+        (see :meth:`supports_for_index_array`).
         """
         batch = [tuple(t) for t in itemsets]
         m = len(batch)
@@ -447,7 +550,7 @@ class PackedColumns:
         if max(len(t) for t in batch) == 0:
             return np.full(m, self._n, dtype=np.int64)
         idx = _batch_index_array(batch, self._d)
-        return self.supports_for_index_array(idx, workers=workers)
+        return self.supports_for_index_array(idx, workers=workers, backend=backend)
 
     def _colex_ranks(self, idx: np.ndarray) -> np.ndarray:
         """Vectorized colex ranks of an ``(m, k)`` sorted-combination array.
@@ -465,7 +568,11 @@ class PackedColumns:
         return pascal[idx, np.arange(k)].sum(axis=1)
 
     def combination_supports(
-        self, k: int, chunk_size: int = 1 << 16, workers: int | None = None
+        self,
+        k: int,
+        chunk_size: int = 1 << 16,
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Supports of all ``C(d, k)`` k-itemsets in lexicographic order.
 
@@ -474,13 +581,16 @@ class PackedColumns:
         ``(k - 1)``-prefix intersections: the ``C(d, k - 1)`` prefix masks
         are built once (indexed by colex rank), and each leaf is then a
         single gather + AND + popcount, evaluated in memory-bounded chunks.
-        With ``workers > 1`` the leaf range is sharded over shared-memory
-        threads (the prefix masks are read-only and shared); every worker
-        count produces bit-identical counts.
+        With ``workers > 1`` the leaf range is sharded (the prefix masks
+        are shared -- in place by threads, via one shared-memory
+        publication by the process backend); every worker count and
+        executor produces bit-identical counts.
         """
         idx = combination_index_array(self._d, k)
         if k <= 1:
-            return idx, self.supports_for_index_array(idx, workers=workers)
+            return idx, self.supports_for_index_array(
+                idx, workers=workers, backend=backend
+            )
         pidx = combination_index_array(self._d, k - 1)
         pmask = self._words[pidx[:, 0]]
         for pos in range(1, k - 1):
@@ -492,16 +602,21 @@ class PackedColumns:
             np.arange(pidx.shape[0], dtype=np.intp), self._d - 1 - pidx[:, -1]
         )
         counts = np.empty(idx.shape[0], dtype=np.int64)
-
-        def run(lo: int, hi: int) -> None:
-            for clo in range(lo, hi, chunk_size):
-                chi = min(clo + chunk_size, hi)
-                masks = pmask[leaf_prefix[clo:chi]]
-                masks &= self._words[idx[clo:chi, k - 1]]
-                counts[clo:chi] = popcount_sum(masks)
-
-        word_ops = 2 * idx.shape[0] * self.n_words
-        _run_sharded(run, idx.shape[0], resolve_workers(workers, word_ops))
+        _run_job(
+            _combination_supports_kernel,
+            arrays={
+                "words": self._words,
+                "pmask": pmask,
+                "leaf_prefix": leaf_prefix,
+                "last": np.ascontiguousarray(idx[:, k - 1]),
+            },
+            outs={"counts": counts},
+            total=idx.shape[0],
+            word_ops=2 * idx.shape[0] * self.n_words,
+            workers=workers,
+            backend=backend,
+            params={"chunk_size": int(chunk_size)},
+        )
         return idx, counts
 
     def extension_supports(
@@ -567,17 +682,23 @@ class PackedColumns:
                 prefix + (j,), child[j - start], j + 1, k, min_count
             )
 
-    def support_counts_all(self, k: int, workers: int | None = None) -> np.ndarray:
+    def support_counts_all(
+        self,
+        k: int,
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
+    ) -> np.ndarray:
         """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
 
         The rank convention matches :func:`~repro.db.itemset.rank_itemset`
         (``rank(T) = sum_i C(c_i, i+1)``), so ``result[rank_itemset(T)]`` is
         the support of ``T``.  One flat batched kernel sweep (optionally
-        sharded via ``workers``) plus a vectorized Pascal-table rank scatter.
+        sharded via ``workers``/``backend``) plus a vectorized Pascal-table
+        rank scatter.
         """
         if not 0 <= k <= self._d:
             raise ParameterError(f"need 0 <= k <= d, got k={k}, d={self._d}")
-        idx, counts = self.combination_supports(k, workers=workers)
+        idx, counts = self.combination_supports(k, workers=workers, backend=backend)
         if k == 0:
             return counts
         out = np.empty_like(counts)
@@ -740,16 +861,20 @@ class PackedRows:
         return int(self.contains(items).sum())
 
     def contains_batch(
-        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+        self,
+        itemsets: Iterable[Sequence[int]],
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
     ) -> np.ndarray:
         """Boolean ``(m, n)`` containment mask matrix for many itemsets.
 
-        Row ``i`` of the result is ``contains(itemsets[i])``.  Evaluated in
-        memory-bounded chunks of the itemset axis: each chunk is one
-        broadcast AND over ``(chunk, n, d_words)`` words plus a batched
-        mask-equality.  ``workers`` shards the itemset axis over
-        shared-memory threads (``None`` = auto heuristic), each writing a
-        disjoint slice of the output.
+        Row ``i`` of the result is ``contains(itemsets[i])``.  The query
+        masks are built once per call (outside the shard loop); each shard
+        then evaluates ``row & mask == mask`` word-at-a-time through
+        preallocated scratch buffers, writing equality results straight
+        into its disjoint output slice -- no per-chunk 3-D temporaries.
+        ``workers`` shards the itemset axis (``None`` = auto heuristic)
+        and ``backend`` picks the executor.
         """
         batch = [tuple(t) for t in itemsets]
         m = len(batch)
@@ -762,20 +887,24 @@ class PackedRows:
         idx = _batch_index_array(batch, self._d)
         masks = self._query_masks(idx)
         block = self._n * self._words.shape[1]
-        chunk = max(1, _ROW_BATCH_ELEMS // max(1, block))
-
-        def run(lo: int, hi: int) -> None:
-            for clo in range(lo, hi, chunk):
-                q = masks[clo : min(clo + chunk, hi), None, :]
-                out[clo : min(clo + chunk, hi)] = (
-                    (self._words[None, :, :] & q) == q
-                ).all(axis=2)
-
-        _run_sharded(run, m, resolve_workers(workers, m * block))
+        chunk = max(1, _ROW_BATCH_ELEMS // max(1, self._n))
+        _run_job(
+            _contains_kernel,
+            arrays={"words": self._words, "masks": masks},
+            outs={"mask": out},
+            total=m,
+            word_ops=m * block,
+            workers=workers,
+            backend=backend,
+            params={"chunk": int(chunk)},
+        )
         return out
 
     def supports_batch(
-        self, itemsets: Iterable[Sequence[int]], workers: int | None = None
+        self,
+        itemsets: Iterable[Sequence[int]],
+        workers: int | None = None,
+        backend: str | ShardBackend | None = None,
     ) -> np.ndarray:
         """Support counts for many itemsets via the row-containment kernel.
 
@@ -784,7 +913,7 @@ class PackedRows:
         the column kernel touches ``k`` columns per query instead of every
         row -- and this one when the masks are needed anyway.
         """
-        return self.contains_batch(itemsets, workers=workers).sum(
+        return self.contains_batch(itemsets, workers=workers, backend=backend).sum(
             axis=1, dtype=np.int64
         )
 

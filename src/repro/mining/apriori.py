@@ -46,6 +46,7 @@ def apriori(
     min_frequency: float,
     max_size: int | None = None,
     workers: int | None = None,
+    backend: str | None = None,
 ) -> dict[Itemset, float]:
     """All itemsets with frequency >= ``min_frequency`` (up to ``max_size``).
 
@@ -59,8 +60,11 @@ def apriori(
     max_size:
         Optional cap on itemset cardinality (``None`` = no cap).
     workers:
-        Shards each level's batched frequency sweep over shared-memory
-        threads (``None`` = auto heuristic).
+        Shards each level's batched frequency sweep (``None`` = auto
+        heuristic).
+    backend:
+        Shard executor for those sweeps: ``"serial"``, ``"thread"``, or
+        ``"process"`` (``None`` = auto escalation by sweep volume).
 
     Returns
     -------
@@ -77,7 +81,7 @@ def apriori(
     # sweep on databases, a per-itemset loop on sketches.
     singletons = [Itemset([j]) for j in range(src.d)]
     for itemset, freq in zip(
-        singletons, batch_frequencies(src, singletons, workers=workers)
+        singletons, batch_frequencies(src, singletons, workers=workers, backend=backend)
     ):
         if freq >= min_frequency:
             result[itemset] = float(freq)
@@ -90,7 +94,8 @@ def apriori(
         ]
         next_level = []
         for candidate, freq in zip(
-            candidates, batch_frequencies(src, candidates, workers=workers)
+            candidates,
+            batch_frequencies(src, candidates, workers=workers, backend=backend),
         ):
             if freq >= min_frequency:
                 result[candidate] = float(freq)

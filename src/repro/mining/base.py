@@ -64,13 +64,16 @@ class DatabaseSource:
         return self._oracle.frequency(itemset)
 
     def frequencies_batch(
-        self, itemsets: Sequence[Itemset], workers: int | None = None
+        self,
+        itemsets: Sequence[Itemset],
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Exact frequencies for a whole batch in one kernel sweep.
 
-        ``workers`` shards the sweep over shared-memory threads.
+        ``workers`` shards the sweep; ``backend`` picks its executor.
         """
-        return self._oracle.frequencies(itemsets, workers=workers)
+        return self._oracle.frequencies(itemsets, workers=workers, backend=backend)
 
 
 class SketchSource:
@@ -89,14 +92,18 @@ class SketchSource:
         return self._sketch.estimate(itemset)
 
     def frequencies_batch(
-        self, itemsets: Sequence[Itemset], workers: int | None = None
+        self,
+        itemsets: Sequence[Itemset],
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Batched estimates through the sketch's ``estimate_batch``.
 
         Sketches that query a stored database run one sharded kernel
-        sweep; stored-answer sketches ignore ``workers`` (table lookups).
+        sweep; stored-answer sketches ignore ``workers``/``backend``
+        (table lookups).
         """
-        return self._sketch.estimate_batch(itemsets, workers=workers)
+        return self._sketch.estimate_batch(itemsets, workers=workers, backend=backend)
 
 
 def as_source(obj: BinaryDatabase | FrequencySketch | FrequencySource) -> FrequencySource:
@@ -112,32 +119,36 @@ def batch_frequencies(
     source: FrequencySource,
     itemsets: Iterable[Itemset],
     workers: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Frequencies for many itemsets, batched when the source supports it.
 
     Uses the source's ``frequencies_batch`` (one vectorized kernel call)
     when available, otherwise one ``frequency`` call per itemset.  Both
-    paths return identical values.  ``workers`` shards batched sweeps over
-    threads; sources whose batch path takes no ``workers`` argument are
-    called without it.
+    paths return identical values.  ``workers`` shards batched sweeps and
+    ``backend`` selects the shard executor; sources whose batch path takes
+    neither keyword are called without them.
     """
     batch = list(itemsets)
     fast = getattr(source, "frequencies_batch", None)
     if fast is not None:
-        if workers is not None and _accepts_workers(fast):
-            return np.asarray(fast(batch, workers=workers), dtype=float)
-        return np.asarray(fast(batch), dtype=float)
+        kwargs = {
+            name: value
+            for name, value in (("workers", workers), ("backend", backend))
+            if value is not None and _accepts_kwarg(fast, name)
+        }
+        return np.asarray(fast(batch, **kwargs), dtype=float)
     return np.array([source.frequency(t) for t in batch], dtype=float)
 
 
-def _accepts_workers(fn) -> bool:
-    """Whether a batch evaluator's signature takes a ``workers`` kwarg.
+def _accepts_kwarg(fn, name: str) -> bool:
+    """Whether a batch evaluator's signature takes the named kwarg.
 
     Inspected once per call site rather than probed with try/except, so a
     genuine ``TypeError`` raised *inside* the sweep propagates instead of
     silently re-running the whole kernel call.
     """
     try:
-        return "workers" in inspect.signature(fn).parameters
+        return name in inspect.signature(fn).parameters
     except (TypeError, ValueError):
         return False

@@ -10,6 +10,7 @@ from .merge import (
     merge_payloads,
     merge_reservoirs,
     merge_row_reservoirs,
+    merge_space_saving,
 )
 from .misra_gries import MisraGries
 from .reservoir import ReservoirSample, RowReservoir
@@ -29,6 +30,7 @@ __all__ = [
     "RowReservoir",
     "StreamingItemsetMiner",
     "merge_misra_gries",
+    "merge_space_saving",
     "merge_count_min",
     "merge_reservoirs",
     "merge_row_reservoirs",

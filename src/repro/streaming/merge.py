@@ -9,6 +9,13 @@ the same workflow through *merge* operations.  Implemented here:
   non-positive counters.  The merged deficit bound is the sum of the
   parts' bounds, preserving the ``m/(k+1)`` guarantee over the combined
   stream.
+* :func:`merge_space_saving` -- the standard k-counter SpaceSaving merge
+  (the parallel SpaceSaving rule): counts of items tracked on both sides
+  add; an item tracked on one side only picks up the other side's
+  minimum counter as its worst-case hidden count; keep the ``k`` largest.
+  Estimates still never undercount and the per-item error certificates
+  sum, so the merged overcount bound is ``m_a/k + m_b/k`` -- the summed
+  bound over the combined stream.
 * :func:`merge_count_min` -- entrywise addition (requires identical hash
   functions), exact for the CM invariant.
 * :func:`merge_reservoirs` -- hypergeometric subsampling so the merged
@@ -32,9 +39,11 @@ from ..errors import StreamError
 from .count_min import CountMinSketch
 from .misra_gries import MisraGries
 from .reservoir import ReservoirSample, RowReservoir
+from .space_saving import SpaceSaving
 
 __all__ = [
     "merge_misra_gries",
+    "merge_space_saving",
     "merge_count_min",
     "merge_reservoirs",
     "merge_row_reservoirs",
@@ -63,6 +72,53 @@ def merge_misra_gries(a: MisraGries, b: MisraGries) -> MisraGries:
             if count - cutoff > 0
         }
     out._counters = combined
+    return out
+
+
+def merge_space_saving(a: SpaceSaving, b: SpaceSaving) -> SpaceSaving:
+    """Merge two SpaceSaving summaries with the same ``k`` and universe.
+
+    The standard k-counter merge rule (parallel SpaceSaving): for each
+    item tracked on either side, add its two counts; an item tracked only
+    on one side contributes the *other* side's minimum counter in place of
+    its unknown count there (zero while that side still has spare
+    counters, since then every seen item is tracked).  The ``k`` largest
+    merged counters are kept, ties broken by item id for determinism.
+
+    The SpaceSaving invariants survive the merge:
+
+    * counts never undercount -- an untracked item's true count is at most
+      the substituted minimum;
+    * the per-item error certificates add, so every kept counter
+      overcounts by at most ``m_a/k + m_b/k``, the merged summary's
+      :meth:`~repro.streaming.space_saving.SpaceSaving.max_overcount`;
+    * dropped items have counts at most the smallest kept counter, as
+      after an ordinary eviction.
+    """
+    if a.universe != b.universe or a.k != b.k:
+        raise StreamError("can only merge summaries with equal universe and k")
+    # A side with spare counters tracks everything it has seen, so the
+    # hidden count of an item untracked there is exactly zero.
+    min_a = min(a._counts.values()) if len(a._counts) >= a.k else 0
+    min_b = min(b._counts.values()) if len(b._counts) >= b.k else 0
+    combined: dict[int, tuple[int, int]] = {}
+    for item in a._counts.keys() | b._counts.keys():
+        count_a, count_b = a._counts.get(item), b._counts.get(item)
+        if count_a is None:
+            count = min_a + count_b
+            error = min_a + b._errors[item]
+        elif count_b is None:
+            count = count_a + min_b
+            error = a._errors[item] + min_b
+        else:
+            count = count_a + count_b
+            error = a._errors[item] + b._errors[item]
+        combined[item] = (count, error)
+    kept = sorted(combined.items(), key=lambda kv: (-kv[1][0], kv[0]))[: a.k]
+    out = SpaceSaving(a.universe, a.k)
+    out.stream_length = a.stream_length + b.stream_length
+    out._counts = {item: count for item, (count, _) in kept}
+    out._errors = {item: error for item, (_, error) in kept}
     return out
 
 
@@ -180,6 +236,8 @@ def merge_payloads(
         )
     if isinstance(left, MisraGries):
         return merge_misra_gries(left, right)
+    if isinstance(left, SpaceSaving):
+        return merge_space_saving(left, right)
     if isinstance(left, CountMinSketch):
         return merge_count_min(left, right)
     if isinstance(left, ReservoirSample):

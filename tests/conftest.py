@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Forced shard execution (CI legs set REPRO_WORKERS / REPRO_EVAL_BACKEND)
+# adds per-call dispatch overhead -- shared-memory publication for the
+# process backend -- that has nothing to do with the properties under
+# test, so hypothesis deadlines are disabled for those runs.
+hypothesis_settings.register_profile("forced-backend", deadline=None)
+if os.environ.get("REPRO_EVAL_BACKEND") or os.environ.get("REPRO_WORKERS"):
+    hypothesis_settings.load_profile("forced-backend")
 
 from repro.db import BinaryDatabase, Itemset, planted_database, random_database
 from repro.params import SketchParams

@@ -100,6 +100,48 @@ class TestCommands:
         assert main(["mine", str(path), "--threshold", "0.5", "--workers", "2"]) == 0
         assert capsys.readouterr().out == serial_out
 
+    def test_mine_backend_matches_serial(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        monkeypatch.delenv("REPRO_EVAL_BACKEND", raising=False)
+        db = planted_database(
+            600, 8, [(Itemset([2, 3]), 0.6)], background=0.05, rng=1
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5", "--backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            [
+                "mine", str(path), "--threshold", "0.5",
+                "--workers", "2", "--backend", "process",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_backend_env_restored_after_command(self, tmp_path, capsys, monkeypatch):
+        """--backend must not leak REPRO_EVAL_BACKEND into the caller."""
+        import os
+
+        monkeypatch.delenv("REPRO_EVAL_BACKEND", raising=False)
+        db = planted_database(
+            200, 6, [(Itemset([1, 2]), 0.6)], background=0.05, rng=3
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5", "--backend", "serial"]) == 0
+        assert "REPRO_EVAL_BACKEND" not in os.environ
+        monkeypatch.setenv("REPRO_EVAL_BACKEND", "thread")
+        assert main(["mine", str(path), "--threshold", "0.5", "--backend", "serial"]) == 0
+        assert os.environ["REPRO_EVAL_BACKEND"] == "thread"
+
+    def test_backend_flags_parse_and_reject(self):
+        parser = build_parser()
+        assert parser.parse_args(["validate", "--backend", "thread"]).backend == "thread"
+        assert parser.parse_args(["mine", "f.txt", "--backend", "process"]).backend == "process"
+        assert parser.parse_args(["sketch", "f.txt", "--out", "s.bin"]).backend is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["validate", "--backend", "gpu"])
+
     def test_validate_workers(self, capsys):
         code = main(
             [

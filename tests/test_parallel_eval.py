@@ -1,18 +1,31 @@
-"""Tests for the sharded (multi-worker) batch evaluators.
+"""Tests for the sharded batch evaluators and their executor backends.
 
-The contract: every worker count produces bit-identical arrays (values and
-dtype) -- shards are contiguous slices of one preallocated output running
-the same kernel code -- and the auto heuristic keeps tiny problems serial
-so they never pay thread dispatch.
+The contract: every worker count *and every backend* produces bit-identical
+arrays (values and dtype) -- shards are contiguous slices of one
+preallocated output running the same kernel code, whether inline, on
+threads, or on the shared-memory process pool -- and the auto heuristics
+keep tiny problems serial so they never pay dispatch.
+
+Since PR 4 ``resolve_workers`` clamps every requested count to
+``os.cpu_count()``, the forced-sharding tests pretend to have several
+cores (the kernels themselves are oblivious: over-sharding a 1-core host
+is slow, never wrong).
 """
 
 from __future__ import annotations
 
+import glob
+import os
+import sys
+from contextlib import contextmanager
 from itertools import combinations
 from math import comb
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.db import (
     BinaryDatabase,
@@ -20,6 +33,18 @@ from repro.db import (
     PackedColumns,
     PackedRows,
     all_frequencies,
+)
+from repro.db.backends import (
+    BACKEND_ENV,
+    PROCESS_MIN_WORDS,
+    SHM_PREFIX,
+    ProcessBackend,
+    SerialBackend,
+    ShardJob,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
 )
 from repro.db.packed import (
     PARALLEL_MIN_WORDS,
@@ -29,6 +54,46 @@ from repro.db.packed import (
 )
 from repro.errors import ParameterError
 
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="class")
+def many_cores():
+    """Pretend 8 cores so the cpu-count clamp keeps forced sharding real."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setattr(os, "cpu_count", lambda: 8)
+    yield
+    patcher.undo()
+
+
+@contextmanager
+def _forced_env(backend: str, workers: int, cores: int = 4):
+    """Force a backend + worker count via the environment (with restore).
+
+    A plain context manager (not a fixture) so hypothesis-driven tests can
+    use it without function-scoped-fixture health checks.
+    """
+    saved = {key: os.environ.get(key) for key in (BACKEND_ENV, "REPRO_WORKERS")}
+    saved_cpu = os.cpu_count
+    os.environ[BACKEND_ENV] = backend
+    os.environ["REPRO_WORKERS"] = str(workers)
+    os.cpu_count = lambda: cores
+    try:
+        yield
+    finally:
+        os.cpu_count = saved_cpu
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _leftover_segments() -> list[str]:
+    if sys.platform != "linux":  # pragma: no cover - CI and dev are linux
+        return []
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
 
 @pytest.fixture(scope="module")
 def kernel() -> PackedColumns:
@@ -37,6 +102,7 @@ def kernel() -> PackedColumns:
     return PackedColumns(rng.random((150, 12)) < 0.35)
 
 
+@pytest.mark.usefixtures("many_cores")
 class TestWorkerEquivalence:
     @pytest.mark.parametrize("k", [1, 2, 3, 4])
     def test_combination_supports_identical_across_workers(self, kernel, k):
@@ -67,10 +133,15 @@ class TestWorkerEquivalence:
         _, sharded = kernel.combination_supports(3, chunk_size=7, workers=4)
         assert np.array_equal(serial, sharded)
 
-    def test_more_workers_than_leaves(self, kernel):
+    def test_more_workers_than_leaves(self, kernel, monkeypatch):
+        # 64 cores pretended so the clamp leaves workers > C(12, 1) = 12
+        # leaves and the min(workers, total) degenerate path really runs.
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
         _, serial = kernel.combination_supports(1, workers=1)
         _, sharded = kernel.combination_supports(1, workers=64)
         assert np.array_equal(serial, sharded)
+        _, process = kernel.combination_supports(1, workers=64, backend="process")
+        assert np.array_equal(serial, process)
 
     @pytest.mark.parametrize("k", [1, 2, 3])
     def test_row_kernel_identical_across_workers(self, k):
@@ -108,6 +179,7 @@ class TestWorkerEquivalence:
         assert np.array_equal(sharded, naive)
 
 
+@pytest.mark.usefixtures("many_cores")
 class TestOracleAndQueriesPassThrough:
     def test_oracle_workers_identical(self):
         rng = np.random.default_rng(5)
@@ -127,6 +199,219 @@ class TestOracleAndQueriesPassThrough:
         db = BinaryDatabase(rng.random((100, 9)) < 0.3)
         assert all_frequencies(db, 2, workers=1) == all_frequencies(db, 2, workers=4)
 
+    def test_oracle_backend_pass_through(self):
+        rng = np.random.default_rng(7)
+        db = BinaryDatabase(rng.random((90, 9)) < 0.4)
+        oracle = FrequencyOracle(db)
+        itemsets = list(combinations(range(9), 2))
+        serial = oracle.supports_batch(itemsets, workers=1, backend="serial")
+        for backend in ("thread", "process"):
+            assert np.array_equal(
+                oracle.supports_batch(itemsets, workers=2, backend=backend), serial
+            )
+        assert all_frequencies(db, 2, workers=1, backend="serial") == all_frequencies(
+            db, 2, workers=2, backend="process"
+        )
+
+
+@pytest.mark.usefixtures("many_cores")
+class TestProcessBackendDifferential:
+    """Serial / thread / process must agree bit-for-bit on every kernel."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_column_kernel_all_backends(self, kernel, k):
+        idx, serial = kernel.combination_supports(k, workers=1, backend="serial")
+        for backend in ("thread", "process"):
+            _, other = kernel.combination_supports(k, workers=3, backend=backend)
+            assert np.array_equal(serial, other)
+            assert other.dtype == np.int64
+        assert not _leftover_segments()
+
+    def test_row_kernel_all_backends(self):
+        rng = np.random.default_rng(23)
+        pr = PackedRows(rng.random((110, 70)) < 0.4)
+        batch = list(combinations(range(10), 2)) + [(), (69,), (0, 0, 5)]
+        serial = pr.contains_batch(batch, workers=1, backend="serial")
+        for backend in ("thread", "process"):
+            other = pr.contains_batch(batch, workers=3, backend=backend)
+            assert np.array_equal(serial, other)
+            assert other.dtype == np.bool_
+        assert not _leftover_segments()
+
+    @given(
+        n=st.integers(min_value=1, max_value=90),
+        d=st.integers(min_value=1, max_value=70),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_forced_process_backend_bit_identical(self, n, d, density, seed):
+        """Hypothesis differential: REPRO_EVAL_BACKEND=process vs serial."""
+        rng = np.random.default_rng(seed)
+        rows = rng.random((n, d)) < density
+        pc = PackedColumns(rows)
+        pr = PackedRows(rows)
+        k = min(d, 2)
+        batch = [tuple(t) for t in combinations(range(min(d, 8)), k)] or [()]
+        batch += [(), (d - 1,)]
+        serial_counts = pc.supports_batch(batch, workers=1, backend="serial")
+        serial_sweep = pc.combination_supports(k, workers=1, backend="serial")[1]
+        serial_masks = pr.contains_batch(batch, workers=1, backend="serial")
+        with _forced_env("process", workers=2):
+            forced_counts = pc.supports_batch(batch)
+            forced_sweep = pc.combination_supports(k)[1]
+            forced_masks = pr.contains_batch(batch)
+        assert np.array_equal(serial_counts, forced_counts)
+        assert np.array_equal(serial_sweep, forced_sweep)
+        assert np.array_equal(serial_masks, forced_masks)
+        assert forced_counts.dtype == np.int64
+        assert forced_masks.dtype == np.bool_
+        assert not _leftover_segments()
+
+
+def _boom_kernel(arrays, outs, lo, hi, params):
+    """Module-level on purpose: the process pool ships kernels by name."""
+    raise ValueError("shard exploded")
+
+
+def _die_kernel(arrays, outs, lo, hi, params):
+    """Kill the worker process outright (poisons the executor)."""
+    os._exit(1)
+
+
+class TestProcessBackendLifecycle:
+    def test_shm_cleanup_on_worker_exception(self, many_cores):
+        backend = ProcessBackend()
+        job = ShardJob(
+            kernel=_boom_kernel,
+            arrays={"x": np.arange(64, dtype=np.uint64)},
+            outs={"y": np.zeros(64, dtype=np.int64)},
+            total=64,
+        )
+        try:
+            with pytest.raises(ValueError, match="shard exploded"):
+                backend.run(job, workers=2)
+            assert not _leftover_segments()
+        finally:
+            backend.shutdown()
+
+    def test_shm_cleanup_after_success(self, many_cores, kernel):
+        kernel.combination_supports(3, workers=2, backend="process")
+        assert not _leftover_segments()
+
+    def test_no_row_data_pickled(self, many_cores, kernel, monkeypatch):
+        """Only descriptors and scalars cross the process boundary."""
+        backend = ProcessBackend()
+        try:
+            pool = backend._ensure_pool(2)
+            recorded = []
+            original = pool.submit
+
+            def spy(fn, *args, **kwargs):
+                recorded.append(args)
+                return original(fn, *args, **kwargs)
+
+            monkeypatch.setattr(pool, "submit", spy)
+            _, counts = kernel.combination_supports(3, workers=2, backend=backend)
+            assert np.array_equal(counts, kernel.combination_supports(3, workers=1)[1])
+            assert recorded, "process backend never reached the pool"
+            for args in recorded:
+                _, array_descs, out_descs, params, lo, hi = args
+                descs = list(array_descs.values()) + list(out_descs.values())
+                for shm_name, shape, dtype in descs:
+                    assert shm_name.startswith(SHM_PREFIX)
+                    assert isinstance(shape, tuple) and isinstance(dtype, str)
+                payload = list(params.values()) + [lo, hi]
+                assert not any(isinstance(v, np.ndarray) for v in payload)
+        finally:
+            backend.shutdown()
+
+    def test_spawn_context_regression(self, many_cores, kernel, monkeypatch):
+        """Spawned workers re-import repro and still agree with serial."""
+        pythonpath = os.environ.get("PYTHONPATH", "")
+        if str(SRC_DIR) not in pythonpath.split(os.pathsep):
+            monkeypatch.setenv(
+                "PYTHONPATH",
+                str(SRC_DIR) + (os.pathsep + pythonpath if pythonpath else ""),
+            )
+        backend = ProcessBackend(context="spawn")
+        try:
+            _, serial = kernel.combination_supports(3, workers=1)
+            _, spawned = kernel.combination_supports(3, workers=2, backend=backend)
+            assert np.array_equal(serial, spawned)
+            assert not _leftover_segments()
+        finally:
+            backend.shutdown()
+
+    def test_broken_pool_recovers_and_cleans_up(self, many_cores, kernel):
+        """A killed worker poisons one sweep, not the backend."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        backend = ProcessBackend()
+        job = ShardJob(
+            kernel=_die_kernel,
+            arrays={"x": np.arange(64, dtype=np.uint64)},
+            outs={"y": np.zeros(64, dtype=np.int64)},
+            total=64,
+        )
+        try:
+            with pytest.raises(BrokenProcessPool):
+                backend.run(job, workers=2)
+            assert not _leftover_segments()
+            # The next sweep gets a fresh pool and succeeds.
+            _, counts = kernel.combination_supports(3, workers=2, backend=backend)
+            assert np.array_equal(counts, kernel.combination_supports(3, workers=1)[1])
+        finally:
+            backend.shutdown()
+
+    def test_pool_reuse_and_growth(self, many_cores, kernel):
+        backend = ProcessBackend()
+        try:
+            kernel.combination_supports(3, workers=2, backend=backend)
+            first = backend._pool
+            kernel.combination_supports(3, workers=2, backend=backend)
+            assert backend._pool is first  # reused, not rebuilt
+            kernel.combination_supports(3, workers=4, backend=backend)
+            assert backend._pool_workers == 4  # grown on demand
+        finally:
+            backend.shutdown()
+
+
+class TestBackendResolution:
+    def test_registry_names_and_singletons(self):
+        assert available_backends() == ("serial", "thread", "process")
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+        assert get_backend("thread") is get_backend("thread")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            get_backend("gpu")
+        with pytest.raises(ParameterError):
+            resolve_backend("gpu", 0, 2)
+
+    def test_explicit_instance_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        backend = SerialBackend()
+        assert resolve_backend(backend, 10**9, 8) is backend
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert isinstance(resolve_backend(None, 0, 1), ThreadBackend)
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        with pytest.raises(ParameterError):
+            resolve_backend(None, 0, 1)
+
+    def test_auto_escalates_by_volume(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(None, 10**12, 1), SerialBackend)
+        assert isinstance(resolve_backend(None, PROCESS_MIN_WORDS - 1, 4), ThreadBackend)
+        if sys.platform == "linux":  # fork available
+            assert isinstance(
+                resolve_backend(None, PROCESS_MIN_WORDS, 4), ProcessBackend
+            )
+
 
 class TestAutoHeuristic:
     def test_tiny_inputs_stay_serial(self, monkeypatch):
@@ -143,11 +428,13 @@ class TestAutoHeuristic:
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         assert resolve_workers(None, PARALLEL_MIN_WORDS) == 1
 
-    def test_explicit_workers_win(self):
+    def test_explicit_workers_win(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         assert resolve_workers(3, 0) == 3
         assert resolve_workers(1, 10**12) == 1
 
     def test_env_override(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_WORKERS", "2")
         assert resolve_workers(None, 0) == 2
         monkeypatch.setenv("REPRO_WORKERS", "junk")
@@ -159,3 +446,37 @@ class TestAutoHeuristic:
             resolve_workers(0, 100)
         with pytest.raises(ParameterError):
             resolve_workers(-2, 100)
+
+
+class TestWorkerClamp:
+    """PR-4 satellite: nothing may oversubscribe the shard pool."""
+
+    def test_explicit_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_workers(64, 10**9) == 2
+        assert resolve_workers(2, 0) == 2
+        assert resolve_workers(1, 10**9) == 1
+
+    def test_env_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 3)
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert resolve_workers(None, 0) == 3
+
+    def test_auto_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_workers(None, 10**9) == 2
+
+    def test_unknown_cpu_count_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_workers(8, 10**9) == 1
+        assert resolve_workers(None, 10**9) == 1
+
+    def test_clamped_results_still_identical(self, kernel, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        _, clamped = kernel.combination_supports(3, workers=64)
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        _, wide = kernel.combination_supports(3, workers=8)
+        assert np.array_equal(clamped, wide)

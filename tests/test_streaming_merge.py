@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import Task
 from repro.db import Itemset, planted_database, zipf_item_stream
@@ -14,10 +16,13 @@ from repro.streaming import (
     MisraGries,
     ReservoirSample,
     RowReservoir,
+    SpaceSaving,
     merge_count_min,
     merge_misra_gries,
+    merge_payloads,
     merge_reservoirs,
     merge_row_reservoirs,
+    merge_space_saving,
 )
 
 
@@ -56,6 +61,76 @@ class TestMisraGriesMerge:
     def test_mismatched_k_rejected(self):
         with pytest.raises(StreamError):
             merge_misra_gries(MisraGries(10, 2), MisraGries(10, 3))
+
+
+class TestSpaceSavingMerge:
+    def test_merged_overcount_respects_summed_bound(self, shards):
+        a_stream, b_stream = shards
+        a = SpaceSaving(60, k=20)
+        b = SpaceSaving(60, k=20)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        merged = merge_space_saving(a, b)
+        total = np.bincount(a_stream + b_stream, minlength=60)
+        assert merged.stream_length == len(a_stream) + len(b_stream)
+        # Summed error bound: m_a/k + m_b/k == merged.max_overcount().
+        assert merged.max_overcount() == a.max_overcount() + b.max_overcount()
+        for item, count in merged._counts.items():
+            assert count >= total[item]  # never undercounts
+            assert count - total[item] <= merged.guaranteed_error(item) + 1e-9
+            assert count - total[item] <= merged.max_overcount() + 1e-9
+
+    def test_counter_budget_and_eviction_order(self, shards):
+        a_stream, b_stream = shards
+        a = SpaceSaving(60, k=8)
+        b = SpaceSaving(60, k=8)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        merged = merge_space_saving(a, b)
+        assert len(merged._counts) <= 8
+        # Dropped items sit at or below the smallest kept counter, exactly
+        # as after an ordinary eviction.
+        if len(merged._counts) == 8:
+            floor = min(merged._counts.values())
+            total = np.bincount(a_stream + b_stream, minlength=60)
+            for item in range(60):
+                if item not in merged._counts:
+                    assert total[item] <= floor + merged.max_overcount()
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(StreamError):
+            merge_space_saving(SpaceSaving(10, 2), SpaceSaving(10, 3))
+        with pytest.raises(StreamError):
+            merge_space_saving(SpaceSaving(10, 2), SpaceSaving(11, 2))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        k=st.integers(min_value=1, max_value=24),
+        len_a=st.integers(min_value=0, max_value=400),
+        len_b=st.integers(min_value=0, max_value=400),
+        universe=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merged_payloads_respect_summed_error_bound(
+        self, seed, k, len_a, len_b, universe
+    ):
+        """Wire round-trip + merge keeps the SpaceSaving guarantees."""
+        rng = np.random.default_rng(seed)
+        a_stream = rng.integers(0, universe, size=len_a).tolist()
+        b_stream = rng.integers(0, universe, size=len_b).tolist()
+        a = SpaceSaving(universe, k=k)
+        b = SpaceSaving(universe, k=k)
+        a.extend(a_stream)
+        b.extend(b_stream)
+        merged = merge_payloads(a.to_bytes(), b.to_bytes())
+        assert isinstance(merged, SpaceSaving)
+        assert merged.stream_length == len_a + len_b
+        total = np.bincount(a_stream + b_stream, minlength=universe)
+        bound = merged.max_overcount()
+        for item, count in merged._counts.items():
+            assert count >= total[item]
+            assert count - total[item] <= merged.guaranteed_error(item) + 1e-9
+            assert count - total[item] <= bound + 1e-9
 
 
 class TestCountMinMerge:
