@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's everyday entry points:
+Nine commands cover the library's everyday entry points:
 
 * ``experiments`` -- list the reproduced claims and their benchmarks;
 * ``bounds``      -- print Theorem 12's sizes and the lower bounds for a
@@ -10,13 +10,23 @@ Seven commands cover the library's everyday entry points:
 * ``mine``        -- mine frequent itemsets from a transaction file,
   exactly or through a sketch;
 * ``sketch``      -- run ``S``: build a sketch of a transaction file and
-  write its wire-format bit string to disk;
+  stream its wire-format bit string to disk (``--wire-version`` selects
+  the frame layout, ``--compress`` a zlib v2 payload -- the charged bit
+  count never changes);
 * ``query``       -- run ``Q``: answer an itemset query from a sketch
-  file alone, in a separate process from the one that saw the data.
+  file alone, in a separate process from the one that saw the data;
+* ``merge``       -- fold two or more serialized summary shard files
+  into one merged sketch file (the distributed-ingest coordinator);
+* ``inspect``     -- print a sketch file's frame header (codec, wire
+  version, params, extras, ``n_bits``, CRC status) without decoding the
+  payload.
 
 ``sketch`` and ``query`` realise the paper's ``(S, Q)`` split across a
 process boundary: the query process never sees the database, only the
-serialized summary whose length the lower bounds are about.
+serialized summary whose length the lower bounds are about.  Every
+command that reads sketch files (``query``/``merge``/``inspect``)
+reports corrupted or truncated frames as a one-line error and a nonzero
+exit code, never a traceback.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from .lowerbounds import (
 )
 from .mining import apriori
 from .params import SketchParams
+from .wire import SUPPORTED_WIRE_VERSIONS, WIRE_VERSION
 
 __all__ = ["main", "build_parser"]
 
@@ -146,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_EVAL_BACKEND for the duration of the command; "
              "default: auto)",
     )
+    sketch.add_argument(
+        "--wire-version", type=int, choices=sorted(SUPPORTED_WIRE_VERSIONS),
+        default=None,
+        help="frame layout version (default: REPRO_WIRE_VERSION env or "
+             f"{WIRE_VERSION})",
+    )
+    sketch.add_argument(
+        "--compress", action="store_true",
+        help="store a zlib-compressed v2 payload (the charged size_in_bits "
+             "is still the uncompressed bit count)",
+    )
 
     query = sub.add_parser(
         "query", help="answer an itemset query from a sketch file alone"
@@ -155,6 +177,35 @@ def build_parser() -> argparse.ArgumentParser:
         "items", nargs="*", type=int,
         help="attribute indices of the queried itemset (empty = empty itemset)",
     )
+
+    merge = sub.add_parser(
+        "merge", help="merge serialized summary shard files into one sketch file"
+    )
+    merge.add_argument(
+        "shards", nargs="+",
+        help="two or more shard files holding frames of the same summary type",
+    )
+    merge.add_argument("--out", required=True, help="output sketch file")
+    merge.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sampling-based merge rules (reservoirs)",
+    )
+    merge.add_argument(
+        "--wire-version", type=int, choices=sorted(SUPPORTED_WIRE_VERSIONS),
+        default=None,
+        help="frame layout version for the merged output (default: "
+             f"REPRO_WIRE_VERSION env or {WIRE_VERSION})",
+    )
+    merge.add_argument(
+        "--compress", action="store_true",
+        help="store the merged frame with a zlib-compressed v2 payload",
+    )
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="print a sketch file's frame header without decoding the payload",
+    )
+    inspect.add_argument("path", help="sketch file written by `repro sketch`")
     return parser
 
 
@@ -242,8 +293,42 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_frame_file(obj, out_path: str, *, version, compress) -> int:
+    """Stream one frame to ``out_path`` without clobbering it on failure.
+
+    The frame is drained into a sibling temp file and renamed over the
+    target only once the encode succeeded, so a failed command never
+    truncates a pre-existing good sketch file.  Returns frame bytes.
+    """
+    import os
+
+    from .wire import dump_to
+
+    tmp_path = f"{out_path}.tmp"
+    try:
+        with open(tmp_path, "wb") as stream:
+            frame_bytes = dump_to(obj, stream, version=version, compress=compress)
+        os.replace(tmp_path, out_path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+    return frame_bytes
+
+
+def _read_frame_file(path: str):
+    """Load the single frame a sketch file holds, rejecting trailing bytes."""
+    from .errors import WireFormatError
+    from .wire import load_from
+
+    with open(path, "rb") as stream:
+        obj = load_from(stream)
+        if stream.read(1):
+            raise WireFormatError("trailing garbage after frame")
+    return obj
+
+
 def _cmd_sketch(args: argparse.Namespace) -> int:
-    """``S``: read transactions, sketch, write the framed bit string."""
+    """``S``: read transactions, sketch, stream the framed bit string."""
     from .errors import ReproError
 
     try:
@@ -254,15 +339,16 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
             n=db.n, d=db.d, k=args.k, epsilon=args.eps, delta=args.delta
         )
         sketch = sketcher.sketch(db, params, rng=args.seed)
-        buf = sketch.to_bytes()
-        Path(args.out).write_bytes(buf)
+        frame_bytes = _write_frame_file(
+            sketch, args.out, version=args.wire_version, compress=args.compress
+        )
     except (ReproError, OSError) as exc:
         print(f"cannot sketch {args.path}: {exc}", file=sys.stderr)
         return 1
     print(
         f"wrote {args.out}: {type(sketch).__name__} "
         f"({params.describe()}), payload {sketch.size_in_bits()} bits, "
-        f"frame {len(buf)} bytes, theoretical "
+        f"frame {frame_bytes} bytes, theoretical "
         f"{sketcher.theoretical_size_bits(params)} bits"
     )
     return 0
@@ -270,7 +356,7 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     """``Q``: answer from the serialized summary alone."""
-    from .errors import ReproError
+    from .errors import ReproError, WireFormatError
 
     try:
         itemset = Itemset(args.items)
@@ -279,7 +365,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     label = " ".join(map(str, itemset.items)) or "(empty)"
     try:
-        sketch = FrequencySketch.from_bytes(Path(args.path).read_bytes())
+        sketch = _read_frame_file(args.path)
+        if not isinstance(sketch, FrequencySketch):
+            raise WireFormatError(
+                f"frame decodes to {type(sketch).__name__}, not a FrequencySketch"
+            )
     except (ReproError, OSError) as exc:
         print(f"cannot read sketch file {args.path}: {exc}", file=sys.stderr)
         return 1
@@ -303,6 +393,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """The distributed-ingest coordinator: fold shard files over the wire."""
+    from contextlib import ExitStack
+
+    from .errors import ReproError, WireFormatError
+    from .streaming.merge import merge_payloads
+
+    try:
+        with ExitStack() as stack:
+            opened = []
+
+            def shard_streams():
+                for path in args.shards:
+                    stream = stack.enter_context(open(path, "rb"))
+                    opened.append((path, stream))
+                    yield stream
+
+            merged = merge_payloads(shard_streams(), rng=args.seed)
+            # Each shard file holds exactly one frame; by now every
+            # stream has been consumed through its frame.
+            for path, stream in opened:
+                if stream.read(1):
+                    raise WireFormatError(f"trailing garbage after frame in {path}")
+        frame_bytes = _write_frame_file(
+            merged, args.out, version=args.wire_version, compress=args.compress
+        )
+    except (ReproError, OSError) as exc:
+        print(f"cannot merge shards: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.out}: {type(merged).__name__} merged from "
+        f"{len(args.shards)} shards, payload {merged.size_in_bits()} bits, "
+        f"frame {frame_bytes} bytes"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Describe a sketch file from its frame header, payload undecoded."""
+    from .errors import ReproError
+    from .wire import inspect_frame
+
+    try:
+        with open(args.path, "rb") as stream:
+            info = inspect_frame(stream)
+    except (ReproError, OSError) as exc:
+        print(f"cannot inspect {args.path}: {exc}", file=sys.stderr)
+        return 1
+    layout = []
+    if info.compressed:
+        layout.append("zlib")
+    if info.chunked:
+        layout.append("chunked")
+    print(f"file: {args.path} ({info.frame_bytes} bytes)")
+    print(f"codec: {info.codec}   wire version: {info.version}")
+    print(f"params: {info.params.describe() if info.params else '(none)'}")
+    extras = " ".join(f"{k}={v}" for k, v in sorted(info.extras.items()))
+    print(f"extras: {extras or '(none)'}")
+    print(
+        f"payload: {info.n_bits} bits ({info.stored_payload_bytes} bytes "
+        f"stored{', ' + '+'.join(layout) if layout else ''}); "
+        f"header {info.header_bytes} bytes"
+    )
+    print(f"crc: {'ok' if info.crc_ok else 'MISMATCH'}")
+    return 0 if info.crc_ok else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
@@ -318,6 +475,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sketch(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

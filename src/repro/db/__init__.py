@@ -79,9 +79,17 @@ and :class:`~repro.db.serialize.BitReader` are the payload primitives --
 vectorized (whole-chunk numpy appends, one :func:`numpy.packbits` pass,
 batched fixed-width integer fields) and strict on read (byte length must
 match the declared bit count exactly; trailing padding must be zero).
-:mod:`repro.wire` frames payloads for transport::
+:mod:`repro.wire` frames payloads for transport (v1 frozen, v2 default)::
 
-    magic "IFSK" | version | codec id | params | extras JSON | n_bits | payload | crc32
+    v1: magic "IFSK" | 1 | codec id | params | extras JSON | n_bits | payload | crc32
+    v2: magic "IFSK" | 2 | codec id | flags | varint params | varint fields
+        | n_bits | payload (varint length, or u32 chunks) | crc32
+
+Wire v2 adds zlib payload compression and chunked streaming
+(``dump_to``/``load_from`` over file objects, backed by
+:meth:`~repro.db.serialize.BitWriter.iter_packed` and
+:meth:`~repro.db.serialize.BitReader.windowed`); the *charged* size is
+invariant -- ``n_bits`` is always the uncompressed payload length.
 
 * **Payload vs header** -- the payload carries exactly the bits the
   summary's ``size_in_bits`` accounting charges (the registry contract is
@@ -98,7 +106,9 @@ match the declared bit count exactly; trailing padding must be zero).
 * **Process separation** -- the ``repro sketch`` / ``repro query`` CLI
   commands run ``S`` and ``Q`` as separate processes over a sketch file;
   :func:`repro.streaming.merge.merge_payloads` merges serialized remote
-  shards (distributed ingest).
+  shards (distributed ingest), consuming byte strings or an iterable of
+  open shard files; ``repro merge`` and ``repro inspect`` expose the
+  coordinator and the header-only frame introspection on the CLI.
 * **Strict decoding** -- bad magic, unknown codec or version, truncated
   or oversized buffers, CRC mismatches, misdeclared bit counts, and
   nonzero padding all raise :class:`~repro.errors.WireFormatError`.

@@ -19,12 +19,28 @@ single shift-and-mask broadcast per call (:meth:`BitWriter.write_uints` /
 length must match the declared bit count exactly and the zero padding in the
 final byte must actually be zero, so a frame whose accounting lies about its
 payload is rejected instead of silently accepted.
+
+Both ends are also *stream-first* (the wire-format v2 transport):
+:meth:`BitWriter.iter_packed` / :meth:`BitWriter.flush_to` drain the packed
+payload incrementally in bounded windows (freeing the buffer as they go),
+and :meth:`BitReader.windowed` reads sequentially from an iterator of byte
+chunks holding only one window of unpacked bits at a time -- giant payloads
+cross a file boundary without either side materializing the full byte
+string.
+
+The module additionally provides the byte-level varint primitives the v2
+frame header is built from: unsigned LEB128 (:func:`encode_uvarint` /
+:func:`read_uvarint`) and zigzag-mapped signed LEB128
+(:func:`encode_svarint` / :func:`read_svarint`).  Encodings are canonical
+(no padded continuation groups) and decoding rejects non-canonical or
+oversized inputs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections import deque
+from typing import IO, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -37,7 +53,80 @@ __all__ = [
     "quantize_frequency",
     "dequantize_frequency",
     "frequency_bits",
+    "encode_uvarint",
+    "encode_svarint",
+    "read_uvarint",
+    "read_svarint",
+    "zigzag_encode",
+    "zigzag_decode",
 ]
+
+#: Default window size (bytes) for streaming payload drains and reads.
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+#: LEB128 decode cap: 10 groups cover every 64-bit value with headroom.
+_MAX_VARINT_BYTES = 10
+
+
+# ----------------------------------------------------------------------
+# Varint primitives (LEB128 + zigzag): the v2 frame header's integers.
+# ----------------------------------------------------------------------
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as canonical unsigned LEB128."""
+    if value < 0:
+        raise SketchSizeError(f"uvarint requires a non-negative value, got {value}")
+    out = bytearray()
+    while True:
+        group = value & 0x7F
+        value >>= 7
+        out.append(group | (0x80 if value else 0))
+        if not value:
+            return bytes(out)
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to the unsigned zigzag code (0, -1, 1, -2, ...)."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def zigzag_decode(code: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if code < 0:
+        raise SketchSizeError(f"zigzag code must be non-negative, got {code}")
+    return (code >> 1) ^ -(code & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer as zigzag LEB128."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def read_uvarint(stream: IO[bytes]) -> int:
+    """Read one canonical unsigned LEB128 value from a binary stream.
+
+    Raises
+    ------
+    SketchSizeError
+        On truncation, a value wider than :data:`_MAX_VARINT_BYTES`
+        groups, or a non-canonical encoding (padded zero group).
+    """
+    value = 0
+    for index in range(_MAX_VARINT_BYTES):
+        data = stream.read(1)
+        if len(data) != 1:
+            raise SketchSizeError("truncated varint")
+        group = data[0]
+        value |= (group & 0x7F) << (7 * index)
+        if not group & 0x80:
+            if group == 0 and index > 0:
+                raise SketchSizeError("non-canonical varint (padded zero group)")
+            return value
+    raise SketchSizeError(f"varint exceeds {_MAX_VARINT_BYTES} bytes")
+
+
+def read_svarint(stream: IO[bytes]) -> int:
+    """Read one zigzag LEB128 value from a binary stream."""
+    return zigzag_decode(read_uvarint(stream))
 
 
 def frequency_bits(epsilon: float) -> int:
@@ -109,9 +198,11 @@ class BitWriter:
     def __init__(self) -> None:
         self._chunks: list[np.ndarray] = []
         self._n_bits = 0
+        self._drained = False
 
     def write_bit(self, bit: bool | int) -> None:
         """Append a single bit."""
+        self._require_not_drained()
         self._chunks.append(np.array([bool(bit)]))
         self._n_bits += 1
 
@@ -121,9 +212,17 @@ class BitWriter:
         The chunk is copied, so callers may reuse or mutate scratch
         buffers after writing without corrupting the payload.
         """
+        self._require_not_drained()
         arr = np.array(bits, dtype=bool, copy=True).reshape(-1)
         self._chunks.append(arr)
         self._n_bits += arr.size
+
+    def _require_not_drained(self) -> None:
+        if self._drained:
+            raise SketchSizeError(
+                "BitWriter already drained by iter_packed/flush_to; "
+                "its payload left in byte-aligned windows"
+            )
 
     def write_uint(self, value: int, width: int) -> None:
         """Append a ``width``-bit unsigned integer, MSB first."""
@@ -163,12 +262,67 @@ class BitWriter:
 
     def getvalue(self) -> bytes:
         """Packed payload (zero padded to a byte boundary)."""
+        self._require_not_drained()
         if not self._n_bits:
             return b""
         if len(self._chunks) > 1:
             # Coalesce so repeated getvalue calls stay cheap.
             self._chunks = [np.concatenate(self._chunks)]
         return np.packbits(self._chunks[0].astype(np.uint8)).tobytes()
+
+    def iter_packed(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Iterator[bytes]:
+        """Yield the packed payload as byte windows, draining the buffer.
+
+        Every window except the last is exactly ``chunk_bytes`` long; the
+        last carries the tail (zero padded to a byte boundary, like
+        :meth:`getvalue`).  Buffered chunks are *consumed* as they are
+        packed, so peak memory is one window rather than the full payload
+        -- this is what lets wire-format v2 stream RELEASE-DB-sized frames
+        through a file object.  After the call the writer is drained:
+        further writes or :meth:`getvalue` raise (the emitted windows are
+        byte aligned, so appending bits would corrupt the stream).
+        ``n_bits`` keeps reporting the total written.
+        """
+        self._require_not_drained()
+        if chunk_bytes < 1:
+            raise SketchSizeError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self._drained = True
+        pending: deque[np.ndarray] = deque(self._chunks)
+        self._chunks = []
+
+        def windows() -> Iterator[bytes]:
+            chunk_bits = chunk_bytes * 8
+            buffered: list[np.ndarray] = []
+            buffered_bits = 0
+            while pending:
+                arr = pending.popleft()
+                buffered.append(arr)
+                buffered_bits += arr.size
+                if buffered_bits >= chunk_bits:
+                    run = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+                    n_full = (run.size // chunk_bits) * chunk_bits
+                    packed = np.packbits(run[:n_full].astype(np.uint8)).tobytes()
+                    for start in range(0, len(packed), chunk_bytes):
+                        yield packed[start : start + chunk_bytes]
+                    buffered = [run[n_full:]] if run.size > n_full else []
+                    buffered_bits = run.size - n_full
+            if buffered_bits:
+                tail = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+                yield np.packbits(tail.astype(np.uint8)).tobytes()
+
+        return windows()
+
+    def flush_to(self, stream: IO[bytes], chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> int:
+        """Drain the packed payload into ``stream`` in bounded windows.
+
+        Returns the number of bytes written (``ceil(n_bits / 8)``).  The
+        writer is drained afterwards, exactly as with :meth:`iter_packed`.
+        """
+        written = 0
+        for window in self.iter_packed(chunk_bytes):
+            stream.write(window)
+            written += len(window)
+        return written
 
 
 class BitReader:
@@ -203,6 +357,23 @@ class BitReader:
             )
         self._bits = bits[:n_bits].astype(bool)
         self._pos = 0
+
+    @classmethod
+    def windowed(cls, chunks: Iterable[bytes], n_bits: int) -> "BitReader":
+        """A reader over an *iterator of byte chunks* with bounded memory.
+
+        The wire-format v2 decode path: payload windows arrive from a file
+        (or a decompressor) one at a time, and only the bits of the
+        currently buffered windows are held unpacked.  The same frame
+        invariants as the eager constructor are enforced, just lazily:
+        the chunks must together hold exactly ``ceil(n_bits / 8)`` bytes
+        (a short source raises on read, an oversized one as soon as the
+        excess chunk arrives), and the zero padding in the final byte must
+        be zero.  Pulling the final window also exhausts the source, so a
+        producer that frames its end (checksum trailers, chunk sentinels)
+        gets its finalization code run before the last read returns.
+        """
+        return _WindowedBitReader(chunks, n_bits)
 
     def _take(self, count: int) -> np.ndarray:
         if count < 0:
@@ -245,3 +416,106 @@ class BitReader:
     def remaining(self) -> int:
         """Bits left unread."""
         return len(self._bits) - self._pos
+
+
+class _WindowedBitReader(BitReader):
+    """Sequential reads over a chunk iterator, one window buffered at a time.
+
+    Constructed via :meth:`BitReader.windowed`.  Shares every ``read_*``
+    method with the eager reader through the single :meth:`_take`
+    primitive; only buffering differs.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, chunks: Iterable[bytes], n_bits: int) -> None:
+        if n_bits < 0:
+            raise SketchSizeError(f"n_bits must be non-negative, got {n_bits}")
+        self._total = n_bits
+        self._need_bytes = (n_bits + 7) // 8
+        self._source: Iterator[bytes] | None = iter(chunks)
+        self._pending: deque[np.ndarray] = deque()
+        self._buffered = 0
+        self._consumed = 0
+        self._bytes_seen = 0
+        if self._need_bytes == 0:
+            self._exhaust_source()
+
+    def _exhaust_source(self) -> None:
+        """The declared bytes are all in: the source must end here too."""
+        extra = next(self._source, self._SENTINEL)  # type: ignore[arg-type]
+        if extra is not self._SENTINEL:
+            raise SketchSizeError(
+                f"payload continues past the declared {self._total} bits"
+            )
+        self._source = None
+
+    def _pull(self) -> None:
+        if self._source is None:
+            raise SketchSizeError(
+                f"bit stream exhausted: wanted more bits at offset "
+                f"{self._consumed} of {self._total}"
+            )
+        chunk = next(self._source, self._SENTINEL)
+        if chunk is self._SENTINEL:
+            raise SketchSizeError(
+                f"payload of {self._bytes_seen} bytes disagrees with declared "
+                f"{self._total} bits ({self._need_bytes} bytes expected)"
+            )
+        if not chunk:
+            return
+        self._bytes_seen += len(chunk)
+        if self._bytes_seen > self._need_bytes:
+            raise SketchSizeError(
+                f"payload of >= {self._bytes_seen} bytes disagrees with "
+                f"declared {self._total} bits ({self._need_bytes} bytes expected)"
+            )
+        bits = np.unpackbits(np.frombuffer(chunk, dtype=np.uint8))
+        if self._bytes_seen == self._need_bytes:
+            keep = self._total - (self._bytes_seen - len(chunk)) * 8
+            if bits[keep:].any():
+                raise SketchSizeError(
+                    f"nonzero padding bits after declared bit {self._total}: "
+                    "payload corrupt or misdeclared"
+                )
+            bits = bits[:keep]
+            self._exhaust_source()
+        self._pending.append(bits.astype(bool))
+        self._buffered += bits.size
+
+    def _take(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise SketchSizeError(f"cannot read {count} bits")
+        if self._consumed + count > self._total:
+            raise SketchSizeError(
+                f"bit stream exhausted: wanted {count} bits at offset "
+                f"{self._consumed} of {self._total}"
+            )
+        while self._buffered < count:
+            self._pull()
+        parts: list[np.ndarray] = []
+        need = count
+        while need:
+            head = self._pending[0]
+            if head.size <= need:
+                parts.append(self._pending.popleft())
+                need -= head.size
+            else:
+                parts.append(head[:need])
+                self._pending[0] = head[need:]
+                need = 0
+        self._consumed += count
+        self._buffered -= count
+        if not parts:
+            return np.zeros(0, dtype=bool)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    @property
+    def buffered_bits(self) -> int:
+        """Bits currently held unpacked (the window-memory bound under test)."""
+        return self._buffered
+
+    @property
+    def remaining(self) -> int:
+        """Bits left unread."""
+        return self._total - self._consumed

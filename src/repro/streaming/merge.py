@@ -23,14 +23,18 @@ the same workflow through *merge* operations.  Implemented here:
 * :func:`merge_row_reservoirs` -- the same for row reservoirs, yielding a
   distributed SUBSAMPLE: sketch shards independently, merge, and the
   result is distributed exactly as a single-pass uniform row sample.
-* :func:`merge_payloads` -- the wire-format entry point: both shards
-  arrive as serialized frames (:mod:`repro.wire`), are reconstructed, and
-  merged by whichever rule matches their type.  This is the full
-  distributed-ingest story: ``S`` runs next to the data, ships a bit
-  string, and the coordinator merges bit strings alone.
+* :func:`merge_payloads` -- the wire-format entry point: shards arrive
+  as serialized frames (:mod:`repro.wire`) -- byte strings, open shard
+  *files*, or one iterable yielding either -- are reconstructed one at a
+  time, and folded left-to-right by whichever rule matches their type.
+  This is the full distributed-ingest story: ``S`` runs next to the
+  data, ships a bit string, and the coordinator merges bit strings
+  alone, never holding more than one undecoded frame.
 """
 
 from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -209,27 +213,8 @@ def merge_row_reservoirs(
     return out
 
 
-def merge_payloads(
-    a: bytes,
-    b: bytes,
-    rng: np.random.Generator | int | None = None,
-):
-    """Merge two serialized summary shards by their wire frames.
-
-    Both buffers are decoded with :func:`repro.wire.load` and dispatched
-    to the matching merge rule.  ``rng`` feeds the sampling-based merges
-    (reservoirs); the deterministic merges ignore it.
-
-    Raises
-    ------
-    repro.errors.WireFormatError
-        If either buffer is not a valid frame.
-    StreamError
-        If the shards' types differ or have no merge rule.
-    """
-    from ..wire import load
-
-    left, right = load(a), load(b)
+def _merge_pair(left: Any, right: Any, rng: np.random.Generator):
+    """Fold one decoded shard into the running merge by concrete type."""
     if type(left) is not type(right):
         raise StreamError(
             f"cannot merge {type(left).__name__} with {type(right).__name__}"
@@ -245,3 +230,65 @@ def merge_payloads(
     if isinstance(left, RowReservoir):
         return merge_row_reservoirs(left, right, rng=rng)
     raise StreamError(f"no merge rule for {type(left).__name__} shards")
+
+
+def _load_shard(shard: Any):
+    """Decode one shard: a frame byte string or a readable binary stream."""
+    from ..wire import load, load_from
+
+    if isinstance(shard, (bytes, bytearray, memoryview)):
+        return load(bytes(shard))
+    if hasattr(shard, "read"):
+        return load_from(shard)
+    raise StreamError(
+        f"shard must be frame bytes or a binary stream, got {type(shard).__name__}"
+    )
+
+
+def merge_payloads(
+    *shards: Any,
+    rng: np.random.Generator | int | None = None,
+):
+    """Merge serialized summary shards by their wire frames.
+
+    Each shard is a frame byte string or a readable binary file object
+    (an open shard file); alternatively pass a *single iterable* yielding
+    shards -- e.g. a generator over shard files -- which is consumed
+    lazily.  Shards are decoded with :func:`repro.wire.load` /
+    :func:`repro.wire.load_from` one at a time and folded left-to-right
+    by the matching merge rule, so a fleet of shard files merges while
+    holding at most one undecoded frame (and chunked v2 frames stream
+    straight out of their files without materializing).  ``rng`` feeds
+    the sampling-based merges (reservoirs); the deterministic merges
+    ignore it.
+
+    Raises
+    ------
+    repro.errors.WireFormatError
+        If any shard is not a valid frame.
+    StreamError
+        If fewer than two shards arrive, the shards' types differ, or
+        their type has no merge rule.
+    """
+    source: Iterator[Any]
+    if len(shards) == 1 and not isinstance(
+        shards[0], (bytes, bytearray, memoryview)
+    ) and not hasattr(shards[0], "read"):
+        if not isinstance(shards[0], Iterable):
+            raise StreamError(
+                f"shard must be frame bytes or a binary stream, "
+                f"got {type(shards[0]).__name__}"
+            )
+        source = iter(shards[0])
+    else:
+        source = iter(shards)
+    gen = as_rng(rng)
+    merged = None
+    count = 0
+    for shard in source:
+        decoded = _load_shard(shard)
+        count += 1
+        merged = decoded if merged is None else _merge_pair(merged, decoded, gen)
+    if count < 2:
+        raise StreamError(f"need at least two shards to merge, got {count}")
+    return merged

@@ -148,7 +148,9 @@ class RowReservoir:
         """
         return self.size * self.d + COUNT_BITS
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(
+        self, *, version: int | None = None, compress: bool = False
+    ) -> bytes:
         """Serialize the reservoir shard (:mod:`repro.wire` frame).
 
         The distributed SUBSAMPLE transport: dump a shard where the rows
@@ -157,7 +159,7 @@ class RowReservoir:
         """
         from ..wire import dump
 
-        return dump(self)
+        return dump(self, version=version, compress=compress)
 
     @staticmethod
     def from_bytes(buf: bytes) -> "RowReservoir":

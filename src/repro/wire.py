@@ -3,16 +3,23 @@
 The paper models a sketch as a pair ``(S, Q)``: ``S`` maps a database to a
 *bit string* and ``Q`` answers queries from that string alone.  This module
 makes the split literal.  Every sketch and streaming summary serializes to a
-framed payload via :func:`dump` and is reconstructed -- in another process,
-on another machine -- via :func:`load`, answering queries bit-identically to
-the original object.  The payload length *is* the size the lower bounds are
-compared against: for every registered codec,
-``obj.size_in_bits() == n_bits`` of the encoded payload, exactly.
+framed payload via :func:`dump` / :func:`dump_to` and is reconstructed -- in
+another process, on another machine -- via :func:`load` / :func:`load_from`,
+answering queries bit-identically to the original object.  The payload
+length *is* the size the lower bounds are compared against: for every
+registered codec, ``obj.size_in_bits() == n_bits`` of the encoded payload,
+exactly.
 
-Frame layout (all multi-byte header fields big-endian)::
+Two frame versions are in service.  Version 1 (the original container) is
+frozen: every committed v1 frame decodes bit-identically forever, and
+:func:`encode_frame` still emits byte-identical v1 frames on request.
+Version 2 is the default: binary varint headers, optional zlib payload
+compression, and chunked payloads that stream through file objects.
+
+Version 1 layout (all multi-byte header fields big-endian)::
 
     magic      4 bytes   b"IFSK"
-    version    u8        wire-format version (currently 1)
+    version    u8        1
     codec      u8 + n    length-prefixed ASCII codec name
     has_params u8        1 if a SketchParams block follows
     params     32 bytes  n u64, d u32, k u32, epsilon f64, delta f64
@@ -21,6 +28,33 @@ Frame layout (all multi-byte header fields big-endian)::
     payload    bytes     ceil(n_bits / 8) bytes, zero padded
     crc32      u32       CRC-32 of every preceding byte
 
+Version 2 layout (varint = canonical unsigned LEB128, svarint = zigzag
+LEB128; fixed-width fields big-endian)::
+
+    magic      4 bytes   b"IFSK"
+    version    u8        2
+    codec      u8 + n    length-prefixed ASCII codec name
+    flags      u8        bit0 PARAMS, bit1 ZLIB, bit2 CHUNKED
+    params     varint n, varint d, varint k, f64 epsilon, f64 delta
+                         (present iff PARAMS)
+    extras     varint field count, then per field (sorted by key):
+                 key      u8 + n    length-prefixed ASCII field name
+                 tag      u8        0 int, 1 float, 2 bool, 3 str
+                 value    svarint / f64 / u8 / varint + UTF-8 bytes
+    n_bits     varint    exact *uncompressed* payload length in bits
+    payload    not CHUNKED: varint stored byte length, then the bytes
+               CHUNKED:     repeated [u32 length, chunk bytes], ended by
+                            a u32 zero sentinel
+    crc32      u32       running CRC-32 of every preceding byte
+
+When ZLIB is set the stored payload bytes are a zlib stream whose
+decompressed length is ``ceil(n_bits / 8)``.  **The charged size never
+changes**: ``n_bits`` is always the uncompressed bit count, so
+``size_in_bits() == n_bits`` holds with and without compression --
+compression is transport thrift, not accounting thrift, exactly as the
+lower bounds require (they constrain the information content, and a
+deflated frame carries the same information).
+
 The *payload* carries exactly the bits the sketch's size accounting
 charges; the header carries only public parameters (shapes, universe
 sizes, stream lengths, hash-family metadata) in the same spirit as
@@ -28,23 +62,39 @@ sizes, stream lengths, hash-family metadata) in the same spirit as
 metadata, not payload.  Decoding is strict: bad magic, unknown codec or
 version, truncated or oversized buffers, checksum mismatches, misdeclared
 bit counts, and nonzero padding all raise
-:class:`~repro.errors.WireFormatError`.
+:class:`~repro.errors.WireFormatError`.  :func:`decode_frame`,
+:func:`read_frame`, and :func:`load` dispatch by the version byte, so both
+generations decode through one entry point.
+
+Chunked v2 frames are stream-first end to end: :func:`dump_to` drains the
+payload through :meth:`~repro.db.serialize.BitWriter.iter_packed` in
+bounded windows (never materializing the packed byte string), and
+:func:`load_from` hands codecs a windowed
+:meth:`~repro.db.serialize.BitReader.windowed` that pulls chunks from the
+file as bits are consumed, verifying the running CRC when the final chunk
+arrives.  :func:`inspect_frame` reads the header (and checks the CRC by
+skimming) without decoding the payload at all.
 
 Codecs are registered per *sketcher name* (``release-db``, ``subsample``,
 ...) and dispatch by concrete summary type, so
 :class:`~repro.core.hybrid.BestOfNaiveSketcher` -- whose output is always
 one of the three naive sketch types -- round-trips through whichever codec
-matches the sketch it actually built.
+matches the sketch it actually built.  Every codec encodes into and
+decodes from a single :class:`Header` builder (typed fields, one
+serialization of both the v1 JSON block and the v2 binary fields) instead
+of hand-rolling extras dicts.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import struct
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import IO, Any, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -54,8 +104,16 @@ from .core.release_db import ReleaseDbSketch
 from .core.subsample import SubsampleSketch
 from .db.database import BinaryDatabase
 from .db.packed import PackedRows, pack_rows
-from .db.serialize import BitReader, BitWriter
-from .errors import ReproError, WireFormatError
+from .db.serialize import (
+    DEFAULT_CHUNK_BYTES,
+    BitReader,
+    BitWriter,
+    encode_svarint,
+    encode_uvarint,
+    read_svarint,
+    read_uvarint,
+)
+from .errors import ReproError, SketchSizeError, WireFormatError
 from .params import SketchParams
 from .streaming.base import COUNT_BITS, StreamSummary, item_id_bits
 from .streaming.count_min import CountMinSketch
@@ -68,60 +126,379 @@ from .streaming.sticky_sampling import StickySampling
 
 __all__ = [
     "MAGIC",
+    "WIRE_V1",
+    "WIRE_V2",
     "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
+    "WIRE_VERSION_ENV",
+    "DEFAULT_CHUNK_BYTES",
+    "default_wire_version",
+    "Header",
     "Frame",
+    "FrameInfo",
     "SketchCodec",
     "register_codec",
     "codec_names",
     "codec_for",
     "encode_frame",
     "decode_frame",
+    "read_frame",
+    "inspect_frame",
     "dump",
+    "dump_to",
     "load",
+    "load_from",
     "load_as",
     "payload_size_bits",
 ]
 
 MAGIC = b"IFSK"
-WIRE_VERSION = 1
+WIRE_V1 = 1
+WIRE_V2 = 2
+SUPPORTED_WIRE_VERSIONS = (WIRE_V1, WIRE_V2)
+#: The current default frame version for new encodes.
+WIRE_VERSION = WIRE_V2
+#: Environment override for the default (the CI compat leg sets it to 1).
+WIRE_VERSION_ENV = "REPRO_WIRE_VERSION"
 
 _PARAMS_STRUCT = struct.Struct(">QIIdd")
 
+_FLAG_PARAMS = 0x01
+_FLAG_ZLIB = 0x02
+_FLAG_CHUNKED = 0x04
+_KNOWN_FLAGS = _FLAG_PARAMS | _FLAG_ZLIB | _FLAG_CHUNKED
 
-@dataclass(frozen=True)
+_FIELD_INT = 0
+_FIELD_FLOAT = 1
+_FIELD_BOOL = 2
+_FIELD_STR = 3
+
+#: Hard cap on decoded header fields (codecs use at most six).
+_MAX_HEADER_FIELDS = 1024
+
+
+def default_wire_version() -> int:
+    """The frame version new encodes use when none is requested.
+
+    :data:`WIRE_VERSION` (currently 2) unless the
+    :data:`WIRE_VERSION_ENV` environment variable selects a supported
+    version explicitly -- the hook the forced-v1 CI compatibility leg
+    uses.
+    """
+    raw = os.environ.get(WIRE_VERSION_ENV)
+    if raw is None:
+        return WIRE_VERSION
+    try:
+        version = int(raw)
+    except ValueError:
+        raise WireFormatError(
+            f"{WIRE_VERSION_ENV}={raw!r} is not a wire version number"
+        ) from None
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise WireFormatError(
+            f"{WIRE_VERSION_ENV}={version} unsupported "
+            f"(this build writes {SUPPORTED_WIRE_VERSIONS})"
+        )
+    return version
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message)
+
+
+# ----------------------------------------------------------------------
+# The shared header-builder.
+# ----------------------------------------------------------------------
+class Header:
+    """The codecs' common header-builder and typed decode view.
+
+    On encode a codec fills the builder -- :meth:`set_params` for the
+    public :class:`SketchParams` block, :meth:`set` for typed metadata
+    fields -- and the frame writer serializes it once (canonical JSON
+    under v1, binary varint fields under v2).  On decode the codec reads
+    the same fields back through the typed getters, every failure
+    surfacing as :class:`WireFormatError`.  Field values are restricted
+    to the scalar types both serializations carry losslessly: ``bool``,
+    ``int``, ``float``, ``str``.
+    """
+
+    __slots__ = ("params", "_fields")
+
+    def __init__(
+        self,
+        params: SketchParams | None = None,
+        fields: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.params = params
+        self._fields: dict[str, Any] = {}
+        if fields:
+            for key, value in fields.items():
+                self.set(key, value)
+
+    @classmethod
+    def _decoded(
+        cls, params: SketchParams | None, fields: dict[str, Any]
+    ) -> "Header":
+        """A view over already-parsed fields (typed getters still gate use)."""
+        header = cls(params)
+        header._fields = fields
+        return header
+
+    def set_params(self, params: SketchParams | None) -> "Header":
+        """Attach the public parameter block."""
+        self.params = params
+        return self
+
+    def set(self, key: str, value: Any) -> "Header":
+        """Add one typed metadata field (chainable)."""
+        if not isinstance(key, str) or not 1 <= len(key) <= 255:
+            raise WireFormatError(f"header field key {key!r} must be 1..255 chars")
+        try:
+            key.encode("ascii")
+        except UnicodeEncodeError as exc:
+            raise WireFormatError(f"header field key {key!r} is not ASCII") from exc
+        if not isinstance(value, (bool, int, float, str)):
+            raise WireFormatError(
+                f"header field {key!r} has unsupported type {type(value).__name__}"
+            )
+        self._fields[key] = value
+        return self
+
+    @property
+    def fields(self) -> dict[str, Any]:
+        """The metadata fields as a plain dict (copy)."""
+        return dict(self._fields)
+
+    def _get(self, key: str) -> Any:
+        value = self._fields.get(key)
+        _require(value is not None, f"frame header is missing extra {key!r}")
+        return value
+
+    def get_int(self, key: str) -> int:
+        """Typed field access; bools are not ints on the wire."""
+        value = self._get(key)
+        _require(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"extra {key!r} must be int",
+        )
+        return value
+
+    def get_float(self, key: str) -> float:
+        value = self._get(key)
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"extra {key!r} must be a number",
+        )
+        return float(value)
+
+    def get_bool(self, key: str) -> bool:
+        value = self._get(key)
+        _require(isinstance(value, bool), f"extra {key!r} must be bool")
+        return value
+
+    def get_str(self, key: str) -> str:
+        value = self._get(key)
+        _require(isinstance(value, str), f"extra {key!r} must be str")
+        return value
+
+
 class Frame:
-    """A decoded wire frame: codec id, public metadata, and the payload."""
+    """A decoded wire frame: codec id, header, and the payload.
 
-    codec: str
-    params: SketchParams | None
-    extras: Mapping[str, Any]
-    payload: bytes
-    n_bits: int
+    Frames read from a stream (:func:`read_frame`) keep chunked payloads
+    *lazy*: the bytes stay in the file until :meth:`reader` pulls them in
+    windows or :attr:`payload` materializes them, and the trailing CRC is
+    verified exactly when the final chunk is consumed.  In-memory frames
+    (:func:`decode_frame`) are always materialized and verified up front.
+    """
+
+    __slots__ = (
+        "codec",
+        "version",
+        "header",
+        "n_bits",
+        "compressed",
+        "chunked",
+        "_payload",
+        "_chunks",
+    )
+
+    def __init__(
+        self,
+        codec: str,
+        header: Header,
+        n_bits: int,
+        *,
+        version: int,
+        payload: bytes | None = None,
+        chunks: Iterator[bytes] | None = None,
+        compressed: bool = False,
+        chunked: bool = False,
+    ) -> None:
+        if (payload is None) == (chunks is None):
+            raise WireFormatError("frame needs exactly one of payload or chunks")
+        self.codec = codec
+        self.version = version
+        self.header = header
+        self.n_bits = n_bits
+        self.compressed = compressed
+        self.chunked = chunked
+        self._payload = payload
+        self._chunks = chunks
+
+    @property
+    def params(self) -> SketchParams | None:
+        """The public parameter block (header passthrough)."""
+        return self.header.params
+
+    @property
+    def extras(self) -> dict[str, Any]:
+        """The header's metadata fields as a plain dict."""
+        return self.header.fields
+
+    def _claim_chunks(self) -> Iterator[bytes]:
+        if self._chunks is None:
+            raise WireFormatError("frame payload stream already consumed")
+        chunks, self._chunks = self._chunks, None
+        return chunks
+
+    @property
+    def payload(self) -> bytes:
+        """The uncompressed payload bytes (materialized on first access)."""
+        if self._payload is None:
+            self._payload = b"".join(self._claim_chunks())
+        return self._payload
 
     def reader(self) -> BitReader:
-        """A strict bit reader over the payload (validates length/padding)."""
-        return BitReader(self.payload, self.n_bits)
+        """A strict bit reader over the payload.
+
+        In-memory frames get the eager reader (validates length and
+        padding up front); streamed frames get the windowed reader, which
+        enforces the same invariants chunk by chunk without materializing
+        the payload.
+        """
+        if self._payload is not None:
+            return BitReader(self._payload, self.n_bits)
+        return BitReader.windowed(self._claim_chunks(), self.n_bits)
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """What :func:`inspect_frame` learns from a frame without decoding it."""
+
+    codec: str
+    version: int
+    params: SketchParams | None
+    extras: dict[str, Any]
+    n_bits: int
+    compressed: bool
+    chunked: bool
+    header_bytes: int
+    stored_payload_bytes: int
+    frame_bytes: int
+    crc_ok: bool
 
 
 # ----------------------------------------------------------------------
-# Frame encoding / decoding.
+# Checksummed stream adapters.
 # ----------------------------------------------------------------------
-def encode_frame(
+class _CrcWriter:
+    """Counts and CRCs every body byte written to the underlying stream."""
+
+    __slots__ = ("_stream", "crc", "count")
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self.crc = 0
+        self.count = 0
+
+    def write(self, data: bytes) -> None:
+        if data:
+            self._stream.write(data)
+            self.crc = zlib.crc32(data, self.crc) & 0xFFFFFFFF
+            self.count += len(data)
+
+    def write_raw(self, data: bytes) -> None:
+        """Write without updating the running CRC (the trailer itself)."""
+        self._stream.write(data)
+        self.count += len(data)
+
+
+class _CrcReader:
+    """Exact reads with a running CRC; short reads are frame errors."""
+
+    __slots__ = ("_stream", "crc", "count")
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self.crc = 0
+        self.count = 0
+
+    def _read_exact(self, n: int) -> bytes:
+        if n == 0:
+            return b""
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            data = self._stream.read(n - got)
+            if not data:
+                raise WireFormatError(
+                    f"truncated frame: wanted {n} bytes, got {got}"
+                )
+            parts.append(data)
+            got += len(data)
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def read(self, n: int) -> bytes:
+        data = self._read_exact(n)
+        self.crc = zlib.crc32(data, self.crc) & 0xFFFFFFFF
+        self.count += len(data)
+        return data
+
+    def read_raw(self, n: int) -> bytes:
+        """Read without updating the running CRC (the trailer itself)."""
+        data = self._read_exact(n)
+        self.count += len(data)
+        return data
+
+
+def _read_uvarint(reader: _CrcReader) -> int:
+    try:
+        return read_uvarint(reader)
+    except SketchSizeError as exc:
+        raise WireFormatError(f"invalid varint in frame: {exc}") from exc
+
+
+def _read_svarint(reader: _CrcReader) -> int:
+    try:
+        return read_svarint(reader)
+    except SketchSizeError as exc:
+        raise WireFormatError(f"invalid varint in frame: {exc}") from exc
+
+
+def _validate_codec_name(codec: str) -> bytes:
+    try:
+        name = codec.encode("ascii")
+    except UnicodeEncodeError:
+        raise WireFormatError(f"codec name {codec!r} must be ASCII") from None
+    if not 1 <= len(name) <= 255:
+        raise WireFormatError(f"codec name {codec!r} must be 1..255 ASCII bytes")
+    return name
+
+
+# ----------------------------------------------------------------------
+# Version 1: frozen encode (byte-identical forever) and stream decode.
+# ----------------------------------------------------------------------
+def _encode_frame_v1(
     codec: str,
     params: SketchParams | None,
     extras: Mapping[str, Any],
     payload: bytes,
     n_bits: int,
 ) -> bytes:
-    """Assemble the framed byte string for one serialized summary."""
-    name = codec.encode("ascii")
-    if not 1 <= len(name) <= 255:
-        raise WireFormatError(f"codec name {codec!r} must be 1..255 ASCII bytes")
-    if len(payload) != (n_bits + 7) // 8:
-        raise WireFormatError(
-            f"payload of {len(payload)} bytes disagrees with {n_bits} bits"
-        )
-    parts = [MAGIC, bytes([WIRE_VERSION]), bytes([len(name)]), name]
+    name = _validate_codec_name(codec)
+    parts = [MAGIC, bytes([WIRE_V1]), bytes([len(name)]), name]
     if params is None:
         parts.append(b"\x00")
     else:
@@ -138,85 +515,461 @@ def encode_frame(
     return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
 
 
-def decode_frame(buf: bytes) -> Frame:
-    """Parse and validate a frame produced by :func:`encode_frame`.
-
-    Raises
-    ------
-    WireFormatError
-        On any malformed, truncated, corrupted, or unknown-format input.
-    """
-    if len(buf) < len(MAGIC) + 1 + 1 + 1 + 4 + 8 + 4:
-        raise WireFormatError(f"buffer of {len(buf)} bytes is too short for a frame")
-    if buf[: len(MAGIC)] != MAGIC:
-        raise WireFormatError(
-            f"bad magic {buf[:len(MAGIC)]!r}: not a sketch frame"
-        )
-    body, (crc,) = buf[:-4], struct.unpack(">I", buf[-4:])
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
-        raise WireFormatError("checksum mismatch: frame corrupted in transit")
-    pos = len(MAGIC)
-    version = body[pos]
-    pos += 1
-    if version != WIRE_VERSION:
-        raise WireFormatError(
-            f"unsupported wire version {version} (this build reads {WIRE_VERSION})"
-        )
-    name_len = body[pos]
-    pos += 1
-    if pos + name_len > len(body):
-        raise WireFormatError("truncated codec name")
+def _read_header_v1(reader: _CrcReader) -> tuple[str, Header, int]:
+    """Parse a v1 frame through its ``n_bits`` field (magic/version done)."""
+    name_len = reader.read(1)[0]
     try:
-        codec = body[pos : pos + name_len].decode("ascii")
+        codec = reader.read(name_len).decode("ascii")
     except UnicodeDecodeError as exc:
         raise WireFormatError("codec name is not ASCII") from exc
-    pos += name_len
-    if pos >= len(body):
-        raise WireFormatError("truncated frame: missing params flag")
-    has_params = body[pos]
-    pos += 1
+    has_params = reader.read(1)[0]
     params: SketchParams | None = None
     if has_params == 1:
-        if pos + _PARAMS_STRUCT.size > len(body):
-            raise WireFormatError("truncated params block")
-        n, d, k, epsilon, delta = _PARAMS_STRUCT.unpack_from(body, pos)
-        pos += _PARAMS_STRUCT.size
+        n, d, k, epsilon, delta = _PARAMS_STRUCT.unpack(reader.read(_PARAMS_STRUCT.size))
         try:
             params = SketchParams(n=n, d=d, k=k, epsilon=epsilon, delta=delta)
         except Exception as exc:
             raise WireFormatError(f"invalid params block: {exc}") from exc
     elif has_params != 0:
         raise WireFormatError(f"params flag must be 0 or 1, got {has_params}")
-    if pos + 4 > len(body):
-        raise WireFormatError("truncated extras length")
-    (extras_len,) = struct.unpack_from(">I", body, pos)
-    pos += 4
-    if pos + extras_len > len(body):
-        raise WireFormatError("truncated extras block")
+    (extras_len,) = struct.unpack(">I", reader.read(4))
+    blob = reader.read(extras_len)
     try:
-        extras = json.loads(body[pos : pos + extras_len].decode()) if extras_len else {}
+        extras = json.loads(blob.decode()) if extras_len else {}
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireFormatError(f"invalid extras block: {exc}") from exc
     if not isinstance(extras, dict):
         raise WireFormatError("extras block must decode to an object")
-    pos += extras_len
-    if pos + 8 > len(body):
-        raise WireFormatError("truncated payload length")
-    (n_bits,) = struct.unpack_from(">Q", body, pos)
-    pos += 8
-    payload = body[pos:]
+    (n_bits,) = struct.unpack(">Q", reader.read(8))
+    return codec, Header._decoded(params, extras), n_bits
+
+
+def _read_frame_v1(reader: _CrcReader) -> Frame:
+    codec, header, n_bits = _read_header_v1(reader)
+    payload = reader.read((n_bits + 7) // 8)
+    _check_trailing_crc(reader)
+    return Frame(codec, header, n_bits, version=WIRE_V1, payload=payload)
+
+
+# ----------------------------------------------------------------------
+# Version 2: varint binary header, optional zlib, chunked streaming.
+# ----------------------------------------------------------------------
+def _deflate(chunks: Iterable[bytes], level: int = 6) -> Iterator[bytes]:
+    deflater = zlib.compressobj(level)
+    for chunk in chunks:
+        out = deflater.compress(chunk)
+        if out:
+            yield out
+    tail = deflater.flush()
+    if tail:
+        yield tail
+
+
+def _inflate(
+    chunks: Iterable[bytes], window: int = DEFAULT_CHUNK_BYTES
+) -> Iterator[bytes]:
+    """Windowed zlib decode: output windows are bounded even for bombs."""
+    inflater = zlib.decompressobj()
+    for chunk in chunks:
+        data = chunk
+        while data:
+            try:
+                out = inflater.decompress(data, window)
+            except zlib.error as exc:
+                raise WireFormatError(f"corrupt compressed payload: {exc}") from exc
+            if out:
+                yield out
+            data = inflater.unconsumed_tail
+    try:
+        tail = inflater.flush()
+    except zlib.error as exc:
+        raise WireFormatError(f"corrupt compressed payload: {exc}") from exc
+    if tail:
+        yield tail
+    if not inflater.eof:
+        raise WireFormatError("compressed payload ended before its zlib stream")
+    if inflater.unused_data:
+        raise WireFormatError("compressed payload has data after its zlib stream")
+
+
+def _iter_stored(
+    reader: _CrcReader, stored_len: int, window: int = DEFAULT_CHUNK_BYTES
+) -> Iterator[bytes]:
+    remaining = stored_len
+    while remaining:
+        take = min(window, remaining)
+        yield reader.read(take)
+        remaining -= take
+
+
+def _iter_chunked(reader: _CrcReader) -> Iterator[bytes]:
+    while True:
+        (length,) = struct.unpack(">I", reader.read(4))
+        if length == 0:
+            return
+        yield reader.read(length)
+
+
+def _check_trailing_crc(reader: _CrcReader) -> None:
+    (expected,) = struct.unpack(">I", reader.read_raw(4))
+    if reader.crc != expected:
+        raise WireFormatError("checksum mismatch: frame corrupted in transit")
+
+
+def _finalize_payload(
+    chunks: Iterable[bytes], need_bytes: int, n_bits: int, reader: _CrcReader
+) -> Iterator[bytes]:
+    """Enforce the byte total, then verify the CRC once the payload ends."""
+    total = 0
+    for chunk in chunks:
+        if not chunk:
+            continue
+        total += len(chunk)
+        if total > need_bytes:
+            raise WireFormatError(
+                f"payload of >= {total} bytes disagrees with declared "
+                f"{n_bits} bits ({need_bytes} bytes expected)"
+            )
+        yield chunk
+    if total != need_bytes:
+        raise WireFormatError(
+            f"payload of {total} bytes disagrees with declared "
+            f"{n_bits} bits ({need_bytes} bytes expected)"
+        )
+    _check_trailing_crc(reader)
+
+
+def _write_header_v2(
+    writer: _CrcWriter,
+    name: bytes,
+    params: SketchParams | None,
+    fields: Mapping[str, Any],
+    n_bits: int,
+    *,
+    compress: bool,
+    chunked: bool,
+) -> None:
+    flags = (
+        (_FLAG_PARAMS if params is not None else 0)
+        | (_FLAG_ZLIB if compress else 0)
+        | (_FLAG_CHUNKED if chunked else 0)
+    )
+    writer.write(MAGIC)
+    writer.write(bytes([WIRE_V2, len(name)]))
+    writer.write(name)
+    writer.write(bytes([flags]))
+    if params is not None:
+        writer.write(
+            encode_uvarint(params.n) + encode_uvarint(params.d) + encode_uvarint(params.k)
+        )
+        writer.write(struct.pack(">dd", params.epsilon, params.delta))
+    items = sorted(fields.items())
+    writer.write(encode_uvarint(len(items)))
+    for key, value in items:
+        try:
+            key_bytes = key.encode("ascii")
+        except (UnicodeEncodeError, AttributeError):
+            raise WireFormatError(f"header field key {key!r} is not ASCII") from None
+        if not 1 <= len(key_bytes) <= 255:
+            raise WireFormatError(f"header field key {key!r} must be 1..255 chars")
+        writer.write(bytes([len(key_bytes)]))
+        writer.write(key_bytes)
+        if isinstance(value, bool):
+            writer.write(bytes([_FIELD_BOOL, 1 if value else 0]))
+        elif isinstance(value, int):
+            writer.write(bytes([_FIELD_INT]) + encode_svarint(value))
+        elif isinstance(value, float):
+            writer.write(bytes([_FIELD_FLOAT]) + struct.pack(">d", value))
+        elif isinstance(value, str):
+            data = value.encode("utf-8")
+            writer.write(bytes([_FIELD_STR]) + encode_uvarint(len(data)))
+            writer.write(data)
+        else:
+            raise WireFormatError(
+                f"header field {key!r} has unsupported type {type(value).__name__}"
+            )
+    writer.write(encode_uvarint(n_bits))
+
+
+def _write_frame_v2(
+    stream: IO[bytes],
+    codec: str,
+    params: SketchParams | None,
+    fields: Mapping[str, Any],
+    payload_chunks: Iterable[bytes],
+    n_bits: int,
+    *,
+    compress: bool,
+    chunked: bool,
+) -> int:
+    name = _validate_codec_name(codec)
+    writer = _CrcWriter(stream)
+    _write_header_v2(
+        writer, name, params, fields, n_bits, compress=compress, chunked=chunked
+    )
+    source: Iterable[bytes] = payload_chunks
+    if compress:
+        source = _deflate(source)
+    if chunked:
+        for chunk in source:
+            if not chunk:
+                continue
+            writer.write(struct.pack(">I", len(chunk)))
+            writer.write(chunk)
+        writer.write(struct.pack(">I", 0))
+    else:
+        data = b"".join(source)
+        writer.write(encode_uvarint(len(data)))
+        writer.write(data)
+    writer.write_raw(struct.pack(">I", writer.crc))
+    return writer.count
+
+
+def _read_header_v2(
+    reader: _CrcReader,
+) -> tuple[str, Header, int, bool, bool]:
+    """Parse a v2 frame through its ``n_bits`` field (magic/version done)."""
+    name_len = reader.read(1)[0]
+    try:
+        codec = reader.read(name_len).decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError("codec name is not ASCII") from exc
+    flags = reader.read(1)[0]
+    if flags & ~_KNOWN_FLAGS:
+        raise WireFormatError(f"unknown frame flags 0x{flags:02x}")
+    params: SketchParams | None = None
+    if flags & _FLAG_PARAMS:
+        n = _read_uvarint(reader)
+        d = _read_uvarint(reader)
+        k = _read_uvarint(reader)
+        epsilon, delta = struct.unpack(">dd", reader.read(16))
+        try:
+            params = SketchParams(n=n, d=d, k=k, epsilon=epsilon, delta=delta)
+        except Exception as exc:
+            raise WireFormatError(f"invalid params block: {exc}") from exc
+    n_fields = _read_uvarint(reader)
+    if n_fields > _MAX_HEADER_FIELDS:
+        raise WireFormatError(f"frame declares {n_fields} header fields")
+    fields: dict[str, Any] = {}
+    for _ in range(n_fields):
+        key_len = reader.read(1)[0]
+        if key_len == 0:
+            raise WireFormatError("empty header field key")
+        try:
+            key = reader.read(key_len).decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("header field key is not ASCII") from exc
+        if key in fields:
+            raise WireFormatError(f"duplicate header field {key!r}")
+        tag = reader.read(1)[0]
+        value: Any
+        if tag == _FIELD_INT:
+            value = _read_svarint(reader)
+        elif tag == _FIELD_FLOAT:
+            (value,) = struct.unpack(">d", reader.read(8))
+        elif tag == _FIELD_BOOL:
+            raw = reader.read(1)[0]
+            if raw > 1:
+                raise WireFormatError(f"bool field {key!r} has value {raw}")
+            value = bool(raw)
+        elif tag == _FIELD_STR:
+            length = _read_uvarint(reader)
+            try:
+                value = reader.read(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireFormatError(f"str field {key!r} is not UTF-8") from exc
+        else:
+            raise WireFormatError(f"unknown header field tag {tag}")
+        fields[key] = value
+    n_bits = _read_uvarint(reader)
+    compressed = bool(flags & _FLAG_ZLIB)
+    chunked = bool(flags & _FLAG_CHUNKED)
+    return codec, Header._decoded(params, fields), n_bits, compressed, chunked
+
+
+def _read_frame_v2(reader: _CrcReader) -> Frame:
+    codec, header, n_bits, compressed, chunked = _read_header_v2(reader)
+    if chunked:
+        raw: Iterator[bytes] = _iter_chunked(reader)
+    else:
+        stored_len = _read_uvarint(reader)
+        raw = _iter_stored(reader, stored_len)
+    source = _inflate(raw) if compressed else raw
+    chunks = _finalize_payload(source, (n_bits + 7) // 8, n_bits, reader)
+    return Frame(
+        codec,
+        header,
+        n_bits,
+        version=WIRE_V2,
+        chunks=chunks,
+        compressed=compressed,
+        chunked=chunked,
+    )
+
+
+# ----------------------------------------------------------------------
+# Frame encoding / decoding entry points (version dispatch).
+# ----------------------------------------------------------------------
+def encode_frame(
+    codec: str,
+    params: SketchParams | None,
+    extras: Mapping[str, Any],
+    payload: bytes,
+    n_bits: int,
+    *,
+    version: int | None = None,
+    compress: bool = False,
+) -> bytes:
+    """Assemble the framed byte string for one serialized summary.
+
+    ``version`` selects the layout (default: :func:`default_wire_version`).
+    v1 output is byte-identical to every frame PR 3 ever committed.
+    ``compress`` (v2 only) stores the payload as a zlib stream; the
+    declared ``n_bits`` -- the charged size -- is unchanged.
+    """
+    if version is None:
+        version = default_wire_version()
+    _validate_codec_name(codec)
     if len(payload) != (n_bits + 7) // 8:
         raise WireFormatError(
-            f"payload of {len(payload)} bytes disagrees with declared {n_bits} bits"
+            f"payload of {len(payload)} bytes disagrees with {n_bits} bits"
         )
-    return Frame(codec=codec, params=params, extras=extras, payload=payload, n_bits=n_bits)
+    if version == WIRE_V1:
+        if compress:
+            raise WireFormatError("wire v1 frames cannot be compressed")
+        return _encode_frame_v1(codec, params, extras, payload, n_bits)
+    if version == WIRE_V2:
+        out = io.BytesIO()
+        _write_frame_v2(
+            out,
+            codec,
+            params,
+            extras,
+            (payload,) if payload else (),
+            n_bits,
+            compress=compress,
+            chunked=False,
+        )
+        return out.getvalue()
+    raise WireFormatError(
+        f"unsupported wire version {version} (this build writes {SUPPORTED_WIRE_VERSIONS})"
+    )
+
+
+def read_frame(stream: IO[bytes]) -> Frame:
+    """Read exactly one frame from a binary stream, dispatching by version.
+
+    v2 payloads stay lazy: the returned frame pulls chunks from the
+    stream as its :meth:`Frame.reader` is consumed (or when
+    :attr:`Frame.payload` is touched) and verifies the running CRC at the
+    final chunk, so giant frames decode without materializing.  Exactly
+    the frame's bytes are consumed from the stream on success.
+
+    Raises
+    ------
+    WireFormatError
+        On any malformed, truncated, corrupted, or unknown-format input.
+    """
+    reader = _CrcReader(stream)
+    magic = reader.read(len(MAGIC))
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
+    version = reader.read(1)[0]
+    if version == WIRE_V1:
+        return _read_frame_v1(reader)
+    if version == WIRE_V2:
+        return _read_frame_v2(reader)
+    raise WireFormatError(
+        f"unsupported wire version {version} (this build reads {SUPPORTED_WIRE_VERSIONS})"
+    )
+
+
+def decode_frame(buf: bytes) -> Frame:
+    """Parse and validate an in-memory frame produced by :func:`encode_frame`.
+
+    The returned frame is fully materialized and CRC-verified.
+
+    Raises
+    ------
+    WireFormatError
+        On any malformed, truncated, corrupted, or unknown-format input,
+        including trailing bytes after the frame.
+    """
+    stream = io.BytesIO(buf)
+    frame = read_frame(stream)
+    frame.payload  # noqa: B018 -- materialize: runs the byte-total and CRC checks
+    if stream.read(1):
+        raise WireFormatError("trailing garbage after frame")
+    return frame
+
+
+def inspect_frame(stream: IO[bytes]) -> FrameInfo:
+    """Read a frame's header -- and skim its checksum -- without decoding.
+
+    Parses codec, version, params, extras, flags, and ``n_bits`` from the
+    header alone, then skims the stored payload bytes (no decompression,
+    no codec dispatch) to verify the trailing CRC.  A structurally
+    unparseable or truncated frame raises :class:`WireFormatError`; a
+    parseable frame with a wrong checksum is *reported* via
+    ``crc_ok=False`` so tooling can describe the corruption.
+    """
+    reader = _CrcReader(stream)
+    magic = reader.read(len(MAGIC))
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
+    version = reader.read(1)[0]
+    compressed = chunked = False
+    if version == WIRE_V1:
+        codec, header, n_bits = _read_header_v1(reader)
+        header_bytes = reader.count
+        stored = (n_bits + 7) // 8
+        for _ in _iter_stored(reader, stored):
+            pass
+    elif version == WIRE_V2:
+        codec, header, n_bits, compressed, chunked = _read_header_v2(reader)
+        header_bytes = reader.count
+        if chunked:
+            stored = 0
+            for chunk in _iter_chunked(reader):
+                stored += len(chunk)
+        else:
+            stored = _read_uvarint(reader)
+            for _ in _iter_stored(reader, stored):
+                pass
+    else:
+        raise WireFormatError(
+            f"unsupported wire version {version} "
+            f"(this build reads {SUPPORTED_WIRE_VERSIONS})"
+        )
+    (expected,) = struct.unpack(">I", reader.read_raw(4))
+    return FrameInfo(
+        codec=codec,
+        version=version,
+        params=header.params,
+        extras=header.fields,
+        n_bits=n_bits,
+        compressed=compressed,
+        chunked=chunked,
+        header_bytes=header_bytes,
+        stored_payload_bytes=stored,
+        frame_bytes=reader.count,
+        crc_ok=reader.crc == expected,
+    )
 
 
 # ----------------------------------------------------------------------
 # Codec registry.
 # ----------------------------------------------------------------------
 class SketchCodec(ABC):
-    """One serializer: a sketcher name plus encode/decode for its summaries."""
+    """One serializer: a sketcher name plus encode/decode for its summaries.
+
+    Codecs never hand-roll extras dicts: :meth:`encode` fills the shared
+    :class:`Header` builder with the summary's public metadata and
+    returns only the payload, and :meth:`decode` reads the same fields
+    back through the header's typed getters.  One header implementation
+    therefore serves both frame generations (JSON under v1, binary
+    varint fields under v2) for all registered codecs.
+    """
 
     #: Registry key; matches the producing sketcher's ``name`` where one exists.
     name: str = "abstract"
@@ -224,14 +977,13 @@ class SketchCodec(ABC):
     handles: type = object
 
     @abstractmethod
-    def encode(
-        self, obj: Any
-    ) -> tuple[SketchParams | None, dict[str, Any], BitWriter | tuple[bytes, int]]:
-        """Serialize ``obj`` into (params, extras, payload).
+    def encode(self, obj: Any, header: Header) -> BitWriter | tuple[bytes, int]:
+        """Fill ``header`` and serialize ``obj``'s payload.
 
-        The payload is either a :class:`BitWriter` to be packed, or --
-        for summaries that already hold their canonical packed payload --
-        a ``(payload_bytes, n_bits)`` pair passed through verbatim.
+        The payload is either a :class:`BitWriter` to be packed (or
+        drained to a stream), or -- for summaries that already hold their
+        canonical packed payload -- a ``(payload_bytes, n_bits)`` pair
+        passed through verbatim.
         """
 
     @abstractmethod
@@ -279,24 +1031,93 @@ def _encoded_payload(payload: BitWriter | tuple[bytes, int]) -> tuple[bytes, int
     return payload
 
 
-def dump(obj: Any) -> bytes:
-    """Serialize a sketch or streaming summary to its framed bit string."""
-    codec = codec_for(obj)
-    params, extras, payload = codec.encode(obj)
-    buf, n_bits = _encoded_payload(payload)
-    return encode_frame(codec.name, params, extras, buf, n_bits)
+def dump(obj: Any, *, version: int | None = None, compress: bool = False) -> bytes:
+    """Serialize a sketch or streaming summary to its framed bit string.
 
-
-def load(buf: bytes) -> Any:
-    """Reconstruct a sketch or streaming summary from :func:`dump` output.
-
-    Every decode failure surfaces as :class:`WireFormatError`: codec
-    decoders hand untrusted header fields to summary constructors, whose
-    own validation errors (``StreamError``, ``ParameterError``, ...) are
-    re-raised here as malformed-frame errors so callers can rely on one
-    exception type for untrusted input.
+    ``version`` selects the frame layout (default
+    :func:`default_wire_version`); ``compress`` stores a zlib payload
+    under v2 while the charged ``n_bits`` stays the uncompressed count.
     """
-    frame = decode_frame(buf)
+    codec = codec_for(obj)
+    header = Header()
+    payload = codec.encode(obj, header)
+    buf, n_bits = _encoded_payload(payload)
+    return encode_frame(
+        codec.name, header.params, header.fields, buf, n_bits,
+        version=version, compress=compress,
+    )
+
+
+def dump_to(
+    obj: Any,
+    stream: IO[bytes],
+    *,
+    version: int | None = None,
+    compress: bool = False,
+    chunked: bool | None = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> int:
+    """Serialize straight into a binary stream; returns bytes written.
+
+    Under v2 the payload is drained in ``chunk_bytes`` windows
+    (:meth:`BitWriter.iter_packed`), so the full packed byte string is
+    never materialized.  ``chunked=None`` picks the layout automatically:
+    chunked frames whenever the payload is compressed (its stored length
+    is unknown up front) or larger than one window, the compact
+    varint-length layout otherwise.
+    """
+    if version is None:
+        version = default_wire_version()
+    codec = codec_for(obj)
+    header = Header()
+    payload = codec.encode(obj, header)
+    if version == WIRE_V1:
+        if compress or chunked:
+            raise WireFormatError("wire v1 frames are neither compressed nor chunked")
+        buf, n_bits = _encoded_payload(payload)
+        if len(buf) != (n_bits + 7) // 8:
+            raise WireFormatError(
+                f"payload of {len(buf)} bytes disagrees with {n_bits} bits"
+            )
+        data = _encode_frame_v1(codec.name, header.params, header.fields, buf, n_bits)
+        stream.write(data)
+        return len(data)
+    if version != WIRE_V2:
+        raise WireFormatError(
+            f"unsupported wire version {version} "
+            f"(this build writes {SUPPORTED_WIRE_VERSIONS})"
+        )
+    if isinstance(payload, BitWriter):
+        n_bits = payload.n_bits
+        payload_bytes = (n_bits + 7) // 8
+        chunks: Iterable[bytes] = payload.iter_packed(chunk_bytes)
+    else:
+        buf, n_bits = payload
+        if len(buf) != (n_bits + 7) // 8:
+            raise WireFormatError(
+                f"payload of {len(buf)} bytes disagrees with {n_bits} bits"
+            )
+        payload_bytes = len(buf)
+        view = memoryview(buf)
+        chunks = (
+            bytes(view[start : start + chunk_bytes])
+            for start in range(0, len(view), chunk_bytes)
+        )
+    if chunked is None:
+        chunked = compress or payload_bytes > chunk_bytes
+    return _write_frame_v2(
+        stream,
+        codec.name,
+        header.params,
+        header.fields,
+        chunks,
+        n_bits,
+        compress=compress,
+        chunked=chunked,
+    )
+
+
+def _decode_frame_obj(frame: Frame) -> Any:
     codec = _CODECS.get(frame.codec)
     if codec is None:
         raise WireFormatError(f"unknown codec {frame.codec!r}")
@@ -308,6 +1129,29 @@ def load(buf: bytes) -> Any:
         raise WireFormatError(
             f"codec {frame.codec!r} rejected the frame: {exc}"
         ) from exc
+
+
+def load(buf: bytes) -> Any:
+    """Reconstruct a sketch or streaming summary from :func:`dump` output.
+
+    Dispatches by the frame's version byte, so v1 and v2 frames decode
+    through the same entry point.  Every decode failure surfaces as
+    :class:`WireFormatError`: codec decoders hand untrusted header fields
+    to summary constructors, whose own validation errors (``StreamError``,
+    ``ParameterError``, ...) are re-raised here as malformed-frame errors
+    so callers can rely on one exception type for untrusted input.
+    """
+    return _decode_frame_obj(decode_frame(buf))
+
+
+def load_from(stream: IO[bytes]) -> Any:
+    """:func:`load` from a binary stream (one frame consumed exactly).
+
+    Chunked v2 frames decode windowed: payload bytes flow from the
+    stream into the codec's bit reader without materializing, and the
+    trailing CRC is verified when the final chunk is consumed.
+    """
+    return _decode_frame_obj(read_frame(stream))
 
 
 def load_as(expected: type, buf: bytes) -> Any:
@@ -331,30 +1175,13 @@ def payload_size_bits(obj: Any) -> int:
     """Exact bit length of ``obj``'s serialized payload (the measured size).
 
     By the registry contract this equals ``obj.size_in_bits()``; the test
-    suite asserts the identity for every codec.
+    suite asserts the identity for every codec, under both frame versions
+    and with compression on and off (the stored byte count may shrink,
+    the charged bit count never does).
     """
     codec = codec_for(obj)
-    _, _, payload = codec.encode(obj)
+    payload = codec.encode(obj, Header())
     return _encoded_payload(payload)[1]
-
-
-def _require(condition: bool, message: str) -> None:
-    if not condition:
-        raise WireFormatError(message)
-
-
-def _extra(frame: Frame, key: str, kind: type) -> Any:
-    value = frame.extras.get(key)
-    _require(
-        value is not None, f"codec {frame.codec!r} frame is missing extra {key!r}"
-    )
-    if kind is float:
-        _require(
-            isinstance(value, (int, float)), f"extra {key!r} must be a number"
-        )
-        return float(value)
-    _require(isinstance(value, kind), f"extra {key!r} must be {kind.__name__}")
-    return value
 
 
 # ----------------------------------------------------------------------
@@ -366,15 +1193,16 @@ class _ReleaseDbCodec(SketchCodec):
     name = "release-db"
     handles = ReleaseDbSketch
 
-    def encode(self, obj: ReleaseDbSketch):
+    def encode(self, obj: ReleaseDbSketch, header: Header):
         db = obj.database
+        header.set_params(obj.params).set("n", db.n).set("d", db.d)
         writer = BitWriter()
         writer.write_bits(db.rows.reshape(-1))
-        return obj.params, {"n": db.n, "d": db.d}, writer
+        return writer
 
     def decode(self, frame: Frame) -> ReleaseDbSketch:
         _require(frame.params is not None, "release-db frame needs params")
-        n, d = _extra(frame, "n", int), _extra(frame, "d", int)
+        n, d = frame.header.get_int("n"), frame.header.get_int("d")
         _require(n >= 1 and d >= 1, "release-db shape must be positive")
         _require(frame.n_bits == n * d, "release-db payload must be n*d bits")
         rows = frame.reader().read_bits(n * d).reshape(n, d)
@@ -387,17 +1215,17 @@ class _ReleaseAnswersCodec(SketchCodec):
     name = "release-answers"
     handles = ReleaseAnswersSketch
 
-    def encode(self, obj: ReleaseAnswersSketch):
+    def encode(self, obj: ReleaseAnswersSketch, header: Header):
         # The sketch already holds its canonical packed payload; pass it
         # through verbatim instead of an unpack/repack round trip.
-        extras = {"indicator": obj.stores_indicator_bits}
-        return obj.params, extras, (obj.payload, obj.size_in_bits())
+        header.set_params(obj.params).set("indicator", obj.stores_indicator_bits)
+        return (obj.payload, obj.size_in_bits())
 
     def decode(self, frame: Frame) -> ReleaseAnswersSketch:
         from .db.serialize import frequency_bits
 
         _require(frame.params is not None, "release-answers frame needs params")
-        indicator = _extra(frame, "indicator", bool)
+        indicator = frame.header.get_bool("indicator")
         per_answer = 1 if indicator else frequency_bits(frame.params.epsilon)
         _require(
             frame.n_bits == frame.params.num_itemsets * per_answer,
@@ -414,15 +1242,16 @@ class _SubsampleCodec(SketchCodec):
     name = "subsample"
     handles = SubsampleSketch
 
-    def encode(self, obj: SubsampleSketch):
+    def encode(self, obj: SubsampleSketch, header: Header):
         sample = obj.sample
+        header.set_params(obj.params).set("s", sample.n).set("d", sample.d)
         writer = BitWriter()
         writer.write_bits(sample.rows.reshape(-1))
-        return obj.params, {"s": sample.n, "d": sample.d}, writer
+        return writer
 
     def decode(self, frame: Frame) -> SubsampleSketch:
         _require(frame.params is not None, "subsample frame needs params")
-        s, d = _extra(frame, "s", int), _extra(frame, "d", int)
+        s, d = frame.header.get_int("s"), frame.header.get_int("d")
         _require(s >= 1 and d >= 1, "subsample shape must be positive")
         _require(frame.n_bits == s * d, "subsample payload must be s*d bits")
         rows = frame.reader().read_bits(s * d).reshape(s, d)
@@ -440,22 +1269,20 @@ class _ImportanceCodec(SketchCodec):
     name = "importance-sample"
     handles = ImportanceSampleSketch
 
-    def encode(self, obj: ImportanceSampleSketch):
+    def encode(self, obj: ImportanceSampleSketch, header: Header):
         rows, probs = obj.rows, obj.probabilities
+        header.set_params(obj.params)
+        header.set("s", int(rows.shape[0])).set("d", int(rows.shape[1]))
+        header.set("n_source", obj.n_source_rows)
         writer = BitWriter()
         writer.write_bits(rows.reshape(-1))
         writer.write_uints(probs.view(np.uint32).astype(np.uint64), PROBABILITY_BITS)
-        extras = {
-            "s": int(rows.shape[0]),
-            "d": int(rows.shape[1]),
-            "n_source": obj.n_source_rows,
-        }
-        return obj.params, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> ImportanceSampleSketch:
         _require(frame.params is not None, "importance-sample frame needs params")
-        s, d = _extra(frame, "s", int), _extra(frame, "d", int)
-        n_source = _extra(frame, "n_source", int)
+        s, d = frame.header.get_int("s"), frame.header.get_int("d")
+        n_source = frame.header.get_int("n_source")
         _require(s >= 1 and d >= 1, "importance-sample shape must be positive")
         _require(
             frame.n_bits == s * (d + PROBABILITY_BITS),
@@ -477,24 +1304,20 @@ class _CountMinCodec(SketchCodec):
     name = "count-min"
     handles = CountMinSketch
 
-    def encode(self, obj: CountMinSketch):
+    def encode(self, obj: CountMinSketch, header: Header):
+        header.set("universe", obj.universe).set("width", obj.width)
+        header.set("depth", obj.depth).set("conservative", obj.conservative)
+        header.set("stream_length", obj.stream_length)
         writer = BitWriter()
         writer.write_uints(obj._a.astype(np.uint64), COUNT_BITS)
         writer.write_uints(obj._b.astype(np.uint64), COUNT_BITS)
         writer.write_uints(obj._table.reshape(-1).astype(np.uint64), COUNT_BITS)
-        extras = {
-            "universe": obj.universe,
-            "width": obj.width,
-            "depth": obj.depth,
-            "conservative": obj.conservative,
-            "stream_length": obj.stream_length,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> CountMinSketch:
-        universe = _extra(frame, "universe", int)
-        width, depth = _extra(frame, "width", int), _extra(frame, "depth", int)
-        conservative = _extra(frame, "conservative", bool)
+        universe = frame.header.get_int("universe")
+        width, depth = frame.header.get_int("width"), frame.header.get_int("depth")
+        conservative = frame.header.get_bool("conservative")
         _require(
             frame.n_bits == (depth * width + 2 * depth) * COUNT_BITS,
             "count-min payload length disagrees with width/depth",
@@ -506,7 +1329,7 @@ class _CountMinCodec(SketchCodec):
         out._table = (
             reader.read_uints(depth * width, COUNT_BITS).astype(np.int64).reshape(depth, width)
         )
-        out.stream_length = _extra(frame, "stream_length", int)
+        out.stream_length = frame.header.get_int("stream_length")
         return out
 
 
@@ -543,21 +1366,19 @@ class _MisraGriesCodec(SketchCodec):
     name = "misra-gries"
     handles = MisraGries
 
-    def encode(self, obj: MisraGries):
+    def encode(self, obj: MisraGries, header: Header):
+        header.set("universe", obj.universe).set("k", obj.k)
+        header.set("stream_length", obj.stream_length)
         writer = BitWriter()
         id_bits = item_id_bits(obj.universe)
         _encode_slots(
             writer, list(obj._counters.items()), obj.k, (id_bits, COUNT_BITS)
         )
-        extras = {
-            "universe": obj.universe,
-            "k": obj.k,
-            "stream_length": obj.stream_length,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> MisraGries:
-        universe, k = _extra(frame, "universe", int), _extra(frame, "k", int)
+        universe = frame.header.get_int("universe")
+        k = frame.header.get_int("k")
         out = MisraGries(universe, k)
         id_bits = item_id_bits(universe)
         _require(
@@ -566,7 +1387,7 @@ class _MisraGriesCodec(SketchCodec):
         )
         records = _decode_slots(frame.reader(), k, (id_bits, COUNT_BITS))
         out._counters = {item: count for item, count in records if count > 0}
-        out.stream_length = _extra(frame, "stream_length", int)
+        out.stream_length = frame.header.get_int("stream_length")
         return out
 
 
@@ -576,7 +1397,9 @@ class _SpaceSavingCodec(SketchCodec):
     name = "space-saving"
     handles = SpaceSaving
 
-    def encode(self, obj: SpaceSaving):
+    def encode(self, obj: SpaceSaving, header: Header):
+        header.set("universe", obj.universe).set("k", obj.k)
+        header.set("stream_length", obj.stream_length)
         writer = BitWriter()
         id_bits = item_id_bits(obj.universe)
         slots = [
@@ -584,15 +1407,11 @@ class _SpaceSavingCodec(SketchCodec):
             for item, count in obj._counts.items()
         ]
         _encode_slots(writer, slots, obj.k, (id_bits, COUNT_BITS, COUNT_BITS))
-        extras = {
-            "universe": obj.universe,
-            "k": obj.k,
-            "stream_length": obj.stream_length,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> SpaceSaving:
-        universe, k = _extra(frame, "universe", int), _extra(frame, "k", int)
+        universe = frame.header.get_int("universe")
+        k = frame.header.get_int("k")
         out = SpaceSaving(universe, k)
         id_bits = item_id_bits(universe)
         _require(
@@ -602,7 +1421,7 @@ class _SpaceSavingCodec(SketchCodec):
         records = _decode_slots(frame.reader(), k, (id_bits, COUNT_BITS, COUNT_BITS))
         out._counts = {item: count for item, count, _ in records if count > 0}
         out._errors = {item: err for item, count, err in records if count > 0}
-        out.stream_length = _extra(frame, "stream_length", int)
+        out.stream_length = frame.header.get_int("stream_length")
         return out
 
 
@@ -612,7 +1431,9 @@ class _LossyCountingCodec(SketchCodec):
     name = "lossy-counting"
     handles = LossyCounting
 
-    def encode(self, obj: LossyCounting):
+    def encode(self, obj: LossyCounting, header: Header):
+        header.set("universe", obj.universe).set("epsilon", obj.epsilon)
+        header.set("stream_length", obj.stream_length)
         writer = BitWriter()
         id_bits = item_id_bits(obj.universe)
         slots = [(item, c, d) for item, (c, d) in obj._entries.items()]
@@ -620,16 +1441,11 @@ class _LossyCountingCodec(SketchCodec):
         _encode_slots(
             writer, slots, max(1, len(slots)), (id_bits, COUNT_BITS, COUNT_BITS)
         )
-        extras = {
-            "universe": obj.universe,
-            "epsilon": obj.epsilon,
-            "stream_length": obj.stream_length,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> LossyCounting:
-        universe = _extra(frame, "universe", int)
-        epsilon = _extra(frame, "epsilon", float)
+        universe = frame.header.get_int("universe")
+        epsilon = frame.header.get_float("epsilon")
         out = LossyCounting(universe, epsilon)
         id_bits = item_id_bits(universe)
         entry_bits = id_bits + 2 * COUNT_BITS
@@ -640,7 +1456,7 @@ class _LossyCountingCodec(SketchCodec):
         n_slots = frame.n_bits // entry_bits
         records = _decode_slots(frame.reader(), n_slots, (id_bits, COUNT_BITS, COUNT_BITS))
         out._entries = {item: (c, d) for item, c, d in records if c > 0}
-        out.stream_length = _extra(frame, "stream_length", int)
+        out.stream_length = frame.header.get_int("stream_length")
         return out
 
 
@@ -655,28 +1471,23 @@ class _StickySamplingCodec(SketchCodec):
     name = "sticky-sampling"
     handles = StickySampling
 
-    def encode(self, obj: StickySampling):
+    def encode(self, obj: StickySampling, header: Header):
+        header.set("universe", obj.universe).set("epsilon", obj.epsilon)
+        header.set("threshold", obj.threshold).set("delta", obj.delta)
+        header.set("rate", obj.sampling_rate).set("stream_length", obj.stream_length)
         writer = BitWriter()
         id_bits = item_id_bits(obj.universe)
         slots = list(obj._counts.items())
         _encode_slots(writer, slots, max(1, len(slots)), (id_bits, COUNT_BITS))
-        extras = {
-            "universe": obj.universe,
-            "epsilon": obj.epsilon,
-            "threshold": obj.threshold,
-            "delta": obj.delta,
-            "rate": obj.sampling_rate,
-            "stream_length": obj.stream_length,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> StickySampling:
-        universe = _extra(frame, "universe", int)
+        universe = frame.header.get_int("universe")
         out = StickySampling(
             universe,
-            _extra(frame, "epsilon", float),
-            _extra(frame, "threshold", float),
-            _extra(frame, "delta", float),
+            frame.header.get_float("epsilon"),
+            frame.header.get_float("threshold"),
+            frame.header.get_float("delta"),
         )
         id_bits = item_id_bits(universe)
         entry_bits = id_bits + COUNT_BITS
@@ -687,8 +1498,8 @@ class _StickySamplingCodec(SketchCodec):
         n_slots = frame.n_bits // entry_bits
         records = _decode_slots(frame.reader(), n_slots, (id_bits, COUNT_BITS))
         out._counts = {item: count for item, count in records if count > 0}
-        out._rate = _extra(frame, "rate", int)
-        out.stream_length = _extra(frame, "stream_length", int)
+        out._rate = frame.header.get_int("rate")
+        out.stream_length = frame.header.get_int("stream_length")
         return out
 
 
@@ -698,19 +1509,21 @@ class _ReservoirCodec(SketchCodec):
     name = "reservoir"
     handles = ReservoirSample
 
-    def encode(self, obj: ReservoirSample):
+    def encode(self, obj: ReservoirSample, header: Header):
+        sample = obj.sample
+        header.set("universe", obj.universe).set("size", obj.size)
+        header.set("filled", len(sample))
         writer = BitWriter()
         id_bits = item_id_bits(obj.universe)
-        sample = obj.sample
         ids = sample + [0] * (obj.size - len(sample))
         writer.write_uints(np.asarray(ids, dtype=np.uint64), id_bits)
         writer.write_uint(obj.stream_length, COUNT_BITS)
-        extras = {"universe": obj.universe, "size": obj.size, "filled": len(sample)}
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> ReservoirSample:
-        universe, size = _extra(frame, "universe", int), _extra(frame, "size", int)
-        filled = _extra(frame, "filled", int)
+        universe = frame.header.get_int("universe")
+        size = frame.header.get_int("size")
+        filled = frame.header.get_int("filled")
         out = ReservoirSample(universe, size, rng=0)
         id_bits = item_id_bits(universe)
         _require(
@@ -736,9 +1549,10 @@ class _RowReservoirCodec(SketchCodec):
     name = "row-reservoir"
     handles = RowReservoir
 
-    def encode(self, obj: RowReservoir):
-        writer = BitWriter()
+    def encode(self, obj: RowReservoir, header: Header):
         filled = len(obj._words)
+        header.set("d", obj.d).set("size", obj.size).set("filled", filled)
+        writer = BitWriter()
         if filled:
             words = np.array(obj._words, dtype=np.uint64)
             rows = PackedRows.from_words(words, obj.d).to_matrix()
@@ -748,12 +1562,11 @@ class _RowReservoirCodec(SketchCodec):
         # rows_seen is summary state (the merge rule weights by it), so it
         # rides in the charged payload, not the header.
         writer.write_uint(obj.rows_seen, COUNT_BITS)
-        extras = {"d": obj.d, "size": obj.size, "filled": filled}
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> RowReservoir:
-        d, size = _extra(frame, "d", int), _extra(frame, "size", int)
-        filled = _extra(frame, "filled", int)
+        d, size = frame.header.get_int("d"), frame.header.get_int("size")
+        filled = frame.header.get_int("filled")
         out = RowReservoir(d, size, rng=0)
         _require(
             frame.n_bits == size * d + COUNT_BITS,
@@ -780,9 +1593,12 @@ class _ItemsetMinerCodec(SketchCodec):
     name = "itemset-miner"
     handles = StreamingItemsetMiner
 
-    def encode(self, obj: StreamingItemsetMiner):
+    def encode(self, obj: StreamingItemsetMiner, header: Header):
         import math
 
+        header.set("d", obj.d).set("epsilon", obj.epsilon)
+        header.set("max_size", obj.max_size).set("max_row_items", obj.max_row_items)
+        header.set("rows_seen", obj.rows_seen)
         writer = BitWriter()
         item_bits = max(1, math.ceil(math.log2(max(obj.d, 2))))
         entries = sorted(
@@ -796,27 +1612,20 @@ class _ItemsetMinerCodec(SketchCodec):
         n_slots = max(1, len(slots))
         widths = (item_bits,) * obj.max_size + (COUNT_BITS, COUNT_BITS)
         _encode_slots(writer, slots, n_slots, widths)
-        extras = {
-            "d": obj.d,
-            "epsilon": obj.epsilon,
-            "max_size": obj.max_size,
-            "max_row_items": obj.max_row_items,
-            "rows_seen": obj.rows_seen,
-        }
-        return None, extras, writer
+        return writer
 
     def decode(self, frame: Frame) -> StreamingItemsetMiner:
         import math
 
         from .db.itemset import Itemset
 
-        d = _extra(frame, "d", int)
-        max_size = _extra(frame, "max_size", int)
+        d = frame.header.get_int("d")
+        max_size = frame.header.get_int("max_size")
         out = StreamingItemsetMiner(
             d,
-            _extra(frame, "epsilon", float),
+            frame.header.get_float("epsilon"),
             max_size,
-            max_row_items=_extra(frame, "max_row_items", int),
+            max_row_items=frame.header.get_int("max_row_items"),
         )
         item_bits = max(1, math.ceil(math.log2(max(d, 2))))
         entry_bits = max_size * item_bits + 2 * COUNT_BITS
@@ -839,7 +1648,7 @@ class _ItemsetMinerCodec(SketchCodec):
             _require(kept[-1] < d, "itemset-miner entry has out-of-range item")
             entries[Itemset(kept)] = (count, delta)
         out._entries = entries
-        out.rows_seen = _extra(frame, "rows_seen", int)
+        out.rows_seen = frame.header.get_int("rows_seen")
         return out
 
 

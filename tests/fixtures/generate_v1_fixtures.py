@@ -1,0 +1,196 @@
+"""Golden wire-format v1 fixtures: one frozen frame per codec.
+
+Wire v1 is a compatibility promise -- every frame PR 3 committed must
+decode bit-identically forever, through every future wire version.  This
+script pins that promise to bytes on disk: it builds one deterministic
+summary per registered codec (fixed seeds, fixed parameters), serializes
+each with ``version=1``, and writes the frames plus a manifest to
+``tests/fixtures/v1/``.
+
+Run it from the repo root:
+
+* ``python tests/fixtures/generate_v1_fixtures.py`` -- (re)write fixtures;
+  only ever needed when *adding* a codec, never for existing ones.
+* ``python tests/fixtures/generate_v1_fixtures.py --check`` -- the CI
+  drift check: rebuild everything in memory and fail (exit 1) if any
+  byte differs from the committed files.  A failure means the v1 encoder
+  or a codec's canonical payload changed -- which is a compatibility
+  break, not a fixture refresh.
+
+``tests/test_wire_fixtures.py`` asserts the committed frames decode and
+round-trip bit-identically through the current code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "v1"
+MANIFEST = FIXTURE_DIR / "manifest.json"
+
+
+def build_fixture_objects() -> dict[str, object]:
+    """One deterministic summary per codec, keyed by codec name.
+
+    Everything is seeded: the database, every sketcher draw, every
+    stream, every summary's internal rng.  Parameters are chosen so the
+    frames stay small (a few hundred bytes) but exercise non-trivial
+    state (tracked counters, partial reservoirs, quantized answers).
+    """
+    from repro.core import (
+        ImportanceSampleSketcher,
+        ReleaseAnswersSketcher,
+        ReleaseDbSketcher,
+        SubsampleSketcher,
+        Task,
+    )
+    from repro.db import random_database
+    from repro.params import SketchParams
+    from repro.streaming import (
+        CountMinSketch,
+        LossyCounting,
+        MisraGries,
+        ReservoirSample,
+        RowReservoir,
+        SpaceSaving,
+        StickySampling,
+        StreamingItemsetMiner,
+    )
+
+    db = random_database(48, 10, 0.35, rng=1234)
+    params = SketchParams(n=48, d=10, k=2, epsilon=0.125, delta=0.1)
+    stream = np.random.default_rng(99).integers(0, 60, size=400, dtype=np.int64)
+
+    objects: dict[str, object] = {
+        "release-db": ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(
+            db, params, rng=1
+        ),
+        "release-answers": ReleaseAnswersSketcher(Task.FORALL_INDICATOR).sketch(
+            db, params, rng=2
+        ),
+        "subsample": SubsampleSketcher(Task.FORALL_ESTIMATOR, sample_count=16).sketch(
+            db, params, rng=3
+        ),
+        "importance-sample": ImportanceSampleSketcher(
+            Task.FORALL_ESTIMATOR, sample_count=16
+        ).sketch(db, params, rng=4),
+    }
+
+    cms = CountMinSketch(60, 16, 3, rng=5)
+    cms.update_many(stream)
+    objects["count-min"] = cms
+
+    mg = MisraGries(60, 6)
+    mg.update_many(stream)
+    objects["misra-gries"] = mg
+
+    ss = SpaceSaving(60, 6)
+    ss.update_many(stream)
+    objects["space-saving"] = ss
+
+    lc = LossyCounting(60, 0.05)
+    lc.update_many(stream)
+    objects["lossy-counting"] = lc
+
+    st = StickySampling(60, 0.05, 0.125, rng=6)
+    st.update_many(stream)
+    objects["sticky-sampling"] = st
+
+    rs = ReservoirSample(60, 10, rng=7)
+    rs.update_many(stream)
+    objects["reservoir"] = rs
+
+    rr = RowReservoir(10, 12, rng=8)
+    rr.extend(db)
+    objects["row-reservoir"] = rr
+
+    miner = StreamingItemsetMiner(10, 0.05, 2)
+    miner.extend(db)
+    objects["itemset-miner"] = miner
+
+    return objects
+
+
+def build_fixture_frames() -> dict[str, bytes]:
+    """The golden byte strings: each object dumped as a v1 frame."""
+    from repro import wire
+
+    frames = {
+        name: wire.dump(obj, version=wire.WIRE_V1)
+        for name, obj in build_fixture_objects().items()
+    }
+    missing = set(wire.codec_names()) - set(frames)
+    if missing:
+        raise AssertionError(f"no fixture built for codecs: {sorted(missing)}")
+    return frames
+
+
+def write_fixtures() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    manifest = {}
+    for name, frame in sorted(build_fixture_frames().items()):
+        path = FIXTURE_DIR / f"{name}.ifsk"
+        path.write_bytes(frame)
+        manifest[name] = {
+            "file": path.name,
+            "bytes": len(frame),
+            "sha256": hashlib.sha256(frame).hexdigest(),
+        }
+    MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(manifest)} fixtures to {FIXTURE_DIR}")
+
+
+def check_fixtures() -> int:
+    """Exit nonzero if regeneration drifts from the committed bytes."""
+    if not MANIFEST.exists():
+        print(f"missing manifest {MANIFEST}; run without --check first")
+        return 1
+    manifest = json.loads(MANIFEST.read_text())
+    frames = build_fixture_frames()
+    failures = []
+    if set(manifest) != set(frames):
+        failures.append(
+            f"codec set drifted: manifest {sorted(manifest)} vs built {sorted(frames)}"
+        )
+    for name, entry in sorted(manifest.items()):
+        committed = (FIXTURE_DIR / entry["file"]).read_bytes()
+        if hashlib.sha256(committed).hexdigest() != entry["sha256"]:
+            failures.append(f"{name}: committed file disagrees with manifest hash")
+        if name in frames and frames[name] != committed:
+            failures.append(
+                f"{name}: regenerated frame differs from committed bytes "
+                f"({len(frames[name])} vs {len(committed)} bytes) -- "
+                "the v1 encoder or canonical payload changed"
+            )
+    for failure in failures:
+        print(f"FIXTURE DRIFT: {failure}")
+    if not failures:
+        print(f"{len(manifest)} v1 fixtures match (no drift)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify committed fixtures instead of writing them",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_fixtures()
+    write_fixtures()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import io
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -11,8 +13,14 @@ from repro.db.serialize import (
     BitReader,
     BitWriter,
     dequantize_frequency,
+    encode_svarint,
+    encode_uvarint,
     frequency_bits,
     quantize_frequency,
+    read_svarint,
+    read_uvarint,
+    zigzag_decode,
+    zigzag_encode,
 )
 from repro.errors import SketchSizeError
 
@@ -160,3 +168,194 @@ class TestReaderHardening:
 
     def test_empty_is_fine(self):
         assert BitReader(b"", 0).remaining == 0
+
+
+class TestVarints:
+    """LEB128 + zigzag primitives: the v2 frame header's integers."""
+
+    def test_known_encodings(self):
+        assert encode_uvarint(0) == b"\x00"
+        assert encode_uvarint(127) == b"\x7f"
+        assert encode_uvarint(128) == b"\x80\x01"
+        assert encode_uvarint(300) == b"\xac\x02"
+        assert encode_svarint(0) == b"\x00"
+        assert encode_svarint(-1) == b"\x01"
+        assert encode_svarint(1) == b"\x02"
+        assert encode_svarint(-2) == b"\x03"
+
+    def test_rejects_negative_uvarint(self):
+        with pytest.raises(SketchSizeError):
+            encode_uvarint(-1)
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_property_uvarint_round_trip(self, value):
+        assert read_uvarint(io.BytesIO(encode_uvarint(value))) == value
+
+    @given(st.integers(-(2**63), 2**63 - 1))
+    def test_property_svarint_round_trip(self, value):
+        assert read_svarint(io.BytesIO(encode_svarint(value))) == value
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_truncated_varint(self):
+        with pytest.raises(SketchSizeError, match="truncated"):
+            read_uvarint(io.BytesIO(b"\x80"))
+
+    def test_non_canonical_rejected(self):
+        # 0 padded to two groups decodes to 0 but is not canonical.
+        with pytest.raises(SketchSizeError, match="non-canonical"):
+            read_uvarint(io.BytesIO(b"\x80\x00"))
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SketchSizeError, match="exceeds"):
+            read_uvarint(io.BytesIO(b"\xff" * 11))
+
+    def test_reads_stop_at_value_boundary(self):
+        stream = io.BytesIO(encode_uvarint(300) + b"\x05tail")
+        assert read_uvarint(stream) == 300
+        assert stream.read(1) == b"\x05"
+
+
+class TestStreamingWriter:
+    """iter_packed / flush_to: the payload drains in bounded windows."""
+
+    def _filled_writer(self, rng_seed=0, n_bits=5000):
+        rng = np.random.default_rng(rng_seed)
+        writer = BitWriter()
+        writer.write_bits(rng.random(n_bits // 2) < 0.5)
+        writer.write_uints(rng.integers(0, 2**32, size=n_bits // 128), 64)
+        writer.write_bits(rng.random(n_bits // 3) < 0.5)
+        return writer
+
+    def test_windows_concatenate_to_getvalue(self):
+        for chunk_bytes in (1, 7, 64, 10**6):
+            reference = self._filled_writer().getvalue()
+            writer = self._filled_writer()
+            windows = list(writer.iter_packed(chunk_bytes))
+            assert b"".join(windows) == reference
+            assert all(len(w) == chunk_bytes for w in windows[:-1])
+            assert 1 <= len(windows[-1]) <= chunk_bytes
+
+    def test_flush_to_matches_and_reports_length(self):
+        reference = self._filled_writer().getvalue()
+        writer = self._filled_writer()
+        stream = io.BytesIO()
+        n_bits = writer.n_bits
+        assert writer.flush_to(stream, 32) == len(reference)
+        assert stream.getvalue() == reference
+        # The drained writer still reports the total bits it was charged.
+        assert writer.n_bits == n_bits and (n_bits + 7) // 8 == len(reference)
+
+    def test_drained_writer_refuses_reuse(self):
+        writer = self._filled_writer()
+        list(writer.iter_packed(64))
+        for op in (
+            lambda: writer.getvalue(),
+            lambda: writer.write_bit(1),
+            lambda: writer.write_bits(np.ones(3, dtype=bool)),
+            lambda: list(writer.iter_packed(64)),
+        ):
+            with pytest.raises(SketchSizeError, match="drained"):
+                op()
+
+    def test_drain_frees_the_buffer(self):
+        writer = self._filled_writer()
+        windows = writer.iter_packed(64)
+        next(windows)
+        assert writer._chunks == []  # buffer handed to the generator
+        list(windows)
+
+    def test_empty_writer_drains_to_nothing(self):
+        writer = BitWriter()
+        assert list(writer.iter_packed(16)) == []
+        assert BitWriter().flush_to(io.BytesIO()) == 0
+
+
+class TestWindowedReader:
+    """BitReader.windowed: sequential reads over a chunk iterator."""
+
+    def _payload(self, n_bits=4000, seed=1):
+        rng = np.random.default_rng(seed)
+        writer = BitWriter()
+        writer.write_bits(rng.random(n_bits) < 0.4)
+        return writer.getvalue(), n_bits
+
+    def _chunks(self, buf, size):
+        return (buf[i : i + size] for i in range(0, len(buf), size))
+
+    def test_matches_eager_reader(self):
+        buf, n_bits = self._payload()
+        eager = BitReader(buf, n_bits)
+        lazy = BitReader.windowed(self._chunks(buf, 17), n_bits)
+        np.testing.assert_array_equal(
+            eager.read_bits(n_bits), lazy.read_bits(n_bits)
+        )
+        assert lazy.remaining == 0
+
+    def test_mixed_field_reads_match(self):
+        writer = BitWriter()
+        writer.write_uint(301, 10)
+        writer.write_bits(np.array([1, 0, 1], dtype=bool))
+        writer.write_uints(np.arange(50, dtype=np.uint64), 13)
+        writer.write_quantized(0.37, 0.05)
+        buf, n_bits = writer.getvalue(), writer.n_bits
+        lazy = BitReader.windowed(self._chunks(buf, 5), n_bits)
+        assert lazy.read_uint(10) == 301
+        np.testing.assert_array_equal(
+            lazy.read_bits(3), np.array([1, 0, 1], dtype=bool)
+        )
+        np.testing.assert_array_equal(
+            lazy.read_uints(50, 13), np.arange(50, dtype=np.uint64)
+        )
+        expected = dequantize_frequency(quantize_frequency(0.37, 0.05), 0.05)
+        assert lazy.read_quantized(0.05) == expected
+
+    def test_buffered_bits_stay_windowed(self):
+        buf, n_bits = self._payload()
+        window = 32  # bytes
+        lazy = BitReader.windowed(self._chunks(buf, window), n_bits)
+        while lazy.remaining:
+            lazy.read_bits(min(64, lazy.remaining))
+            assert lazy.buffered_bits <= 8 * window
+
+    def test_short_source_raises(self):
+        buf, n_bits = self._payload()
+        lazy = BitReader.windowed(self._chunks(buf[:-10], 16), n_bits)
+        with pytest.raises(SketchSizeError, match="disagrees"):
+            lazy.read_bits(n_bits)
+
+    def test_oversized_source_raises(self):
+        buf, n_bits = self._payload()
+        lazy = BitReader.windowed(self._chunks(buf + b"\x00", 16), n_bits)
+        with pytest.raises(SketchSizeError):
+            lazy.read_bits(n_bits)
+
+    def test_overread_raises(self):
+        buf, n_bits = self._payload(n_bits=64)
+        lazy = BitReader.windowed(self._chunks(buf, 4), n_bits)
+        lazy.read_bits(64)
+        with pytest.raises(SketchSizeError, match="exhausted"):
+            lazy.read_bit()
+
+    def test_nonzero_padding_rejected_lazily(self):
+        lazy = BitReader.windowed(iter([b"\xff"]), 3)
+        with pytest.raises(SketchSizeError, match="padding"):
+            lazy.read_bits(3)
+
+    def test_final_window_exhausts_source(self):
+        """Pulling the last chunk also drives the producer to its end."""
+        buf, n_bits = self._payload(n_bits=128)
+        finalized = []
+
+        def producer():
+            yield from self._chunks(buf, 4)
+            finalized.append(True)
+
+        lazy = BitReader.windowed(producer(), n_bits)
+        lazy.read_bits(n_bits)
+        assert finalized == [True]
+
+    def test_empty_payload(self):
+        lazy = BitReader.windowed(iter([]), 0)
+        assert lazy.remaining == 0
+        with pytest.raises(SketchSizeError):
+            lazy.read_bit()

@@ -213,3 +213,91 @@ class TestRowReservoirMerge:
     def test_mismatched_rejected(self):
         with pytest.raises(StreamError):
             merge_row_reservoirs(RowReservoir(4, 5), RowReservoir(5, 5))
+
+
+class TestMergePayloadStreams:
+    """merge_payloads consumes shard files/streams, not just byte strings."""
+
+    def _shards(self, count=3, universe=80, k=10, per_shard=500):
+        rng = np.random.default_rng(17)
+        shards = []
+        for _ in range(count):
+            mg = MisraGries(universe, k)
+            mg.update_many(rng.integers(0, universe, per_shard))
+            shards.append(mg)
+        return shards
+
+    def test_iterable_of_file_streams(self, tmp_path):
+        import io
+
+        shards = self._shards()
+        paths = []
+        for index, shard in enumerate(shards):
+            path = tmp_path / f"shard{index}.bin"
+            path.write_bytes(shard.to_bytes())
+            paths.append(path)
+        local = shards[0]
+        for shard in shards[1:]:
+            local = merge_misra_gries(local, shard)
+
+        def streams():
+            for path in paths:
+                with open(path, "rb") as fh:
+                    yield io.BytesIO(fh.read())
+
+        remote = merge_payloads(streams())
+        assert remote._counters == local._counters
+        assert remote.stream_length == local.stream_length
+
+    def test_chunked_compressed_shard_files(self, tmp_path):
+        """Shards written with the streaming v2 encoder merge identically."""
+        from repro.wire import dump_to
+
+        shards = self._shards(count=2)
+        paths = []
+        for index, shard in enumerate(shards):
+            path = tmp_path / f"shard{index}.bin"
+            with open(path, "wb") as fh:
+                dump_to(shard, fh, version=2, compress=True, chunk_bytes=32)
+            paths.append(path)
+        local = merge_misra_gries(shards[0], shards[1])
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            remote = merge_payloads(a, b)
+        assert remote._counters == local._counters
+
+    def test_mixed_bytes_and_streams(self):
+        import io
+
+        a, b, c = self._shards()
+        local = merge_misra_gries(merge_misra_gries(a, b), c)
+        remote = merge_payloads(
+            a.to_bytes(), io.BytesIO(b.to_bytes()), c.to_bytes()
+        )
+        assert remote._counters == local._counters
+
+    def test_three_row_reservoir_shards_fold(self):
+        from repro.db import random_database
+
+        db = random_database(300, 8, 0.3, rng=5)
+        shards = []
+        for seed in (1, 2, 3):
+            rr = RowReservoir(8, 15, rng=seed)
+            rr.extend(db)
+            shards.append(rr.to_bytes())
+        merged = merge_payloads(iter(shards), rng=9)
+        assert isinstance(merged, RowReservoir)
+        assert merged.rows_seen == 3 * db.n
+        assert len(merged._words) == 15
+
+    def test_fewer_than_two_shards_rejected(self):
+        (a,) = self._shards(count=1)
+        with pytest.raises(StreamError, match="at least two"):
+            merge_payloads(a.to_bytes())
+        with pytest.raises(StreamError, match="at least two"):
+            merge_payloads(iter([a.to_bytes()]))
+        with pytest.raises(StreamError, match="at least two"):
+            merge_payloads(iter([]))
+
+    def test_non_shard_type_rejected(self):
+        with pytest.raises(StreamError, match="frame bytes or a binary stream"):
+            merge_payloads(12345, 67890)

@@ -12,12 +12,18 @@ The registry contract under test, for every codec:
 
 from __future__ import annotations
 
+import io
+import struct
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import wire
+from repro.db.database import BinaryDatabase
+from repro.db.serialize import encode_svarint
 from repro.core import (
     BestOfNaiveSketcher,
     ImportanceSampleSketcher,
@@ -139,16 +145,24 @@ class TestCoreSketchRoundTrip:
         inv_eps=st.sampled_from([4, 8, 16]),
     )
     def test_property_round_trip(self, n, d, seed, inv_eps):
+        """Round-trips hold under *both* frame versions (and zlib v2)."""
         db = random_database(n, d, 0.35, rng=seed)
         k = min(2, d)
         p = SketchParams(n=n, d=d, k=k, epsilon=1.0 / inv_eps, delta=0.1)
         queries = list(all_itemsets(d, k))
         for sketcher in _core_sketchers(Task.FORALL_ESTIMATOR):
             sketch = sketcher.sketch(db, p, rng=seed + 1)
-            clone = FrequencySketch.from_bytes(sketch.to_bytes())
-            np.testing.assert_array_equal(
-                sketch.estimate_batch(queries), clone.estimate_batch(queries)
-            )
+            frames = [
+                sketch.to_bytes(),
+                wire.dump(sketch, version=wire.WIRE_V1),
+                wire.dump(sketch, version=wire.WIRE_V2),
+                wire.dump(sketch, version=wire.WIRE_V2, compress=True),
+            ]
+            expected = sketch.estimate_batch(queries)
+            for buf in frames:
+                clone = FrequencySketch.from_bytes(buf)
+                np.testing.assert_array_equal(expected, clone.estimate_batch(queries))
+                assert wire.decode_frame(buf).n_bits == sketch.size_in_bits()
             _assert_size_identity(sketch)
 
 
@@ -160,18 +174,24 @@ class TestStreamingRoundTrip:
         seed=st.integers(0, 2**16),
     )
     def test_property_round_trip(self, universe, length, seed):
+        """Every summary round-trips under v1, v2, and compressed v2."""
         rng = np.random.default_rng(seed)
         stream = rng.integers(0, universe, size=length, dtype=np.int64)
         for summary in _stream_summaries(universe):
             if length:
                 summary.update_many(stream)
-            clone = StreamSummary.from_bytes(summary.to_bytes())
-            assert type(clone) is type(summary)
-            assert clone.stream_length == summary.stream_length
             probe = np.unique(stream)[:50] if length else np.arange(min(universe, 20))
-            for item in probe.tolist():
-                assert clone.estimate_count(item) == summary.estimate_count(item)
-            assert clone.size_in_bits() == summary.size_in_bits()
+            for buf in (
+                summary.to_bytes(),
+                wire.dump(summary, version=wire.WIRE_V1),
+                wire.dump(summary, version=wire.WIRE_V2, compress=True),
+            ):
+                clone = StreamSummary.from_bytes(buf)
+                assert type(clone) is type(summary)
+                assert clone.stream_length == summary.stream_length
+                for item in probe.tolist():
+                    assert clone.estimate_count(item) == summary.estimate_count(item)
+                assert clone.size_in_bits() == summary.size_in_bits()
             _assert_size_identity(summary)
 
     def test_heavy_hitters_survive_round_trip(self):
@@ -395,3 +415,299 @@ class TestFrameRejection:
         sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
         with pytest.raises(WireFormatError, match="not a StreamSummary"):
             StreamSummary.from_bytes(sketch.to_bytes())
+
+
+# ----------------------------------------------------------------------
+# Wire-format v2: binary headers, compression, chunked streaming.
+# ----------------------------------------------------------------------
+def _all_codec_objects():
+    """One instance per registered codec (the golden-fixture builder)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent / "fixtures" / "generate_v1_fixtures.py"
+    spec = importlib.util.spec_from_file_location("generate_v1_fixtures", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_fixture_objects()
+
+
+class _SpyStream(io.BytesIO):
+    """A BytesIO that records the size of every write and read."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__(data)
+        self.write_sizes: list[int] = []
+        self.read_sizes: list[int] = []
+
+    def write(self, data):
+        self.write_sizes.append(len(data))
+        return super().write(data)
+
+    def read(self, n=-1):
+        data = super().read(n)
+        self.read_sizes.append(len(data))
+        return data
+
+
+class TestWireV2:
+    def test_default_version_and_env_override(self, monkeypatch):
+        mg = MisraGries(30, 4)
+        monkeypatch.delenv(wire.WIRE_VERSION_ENV, raising=False)
+        assert wire.dump(mg)[4] == wire.WIRE_VERSION == wire.WIRE_V2
+        monkeypatch.setenv(wire.WIRE_VERSION_ENV, "1")
+        assert wire.dump(mg)[4] == wire.WIRE_V1
+        assert mg.to_bytes()[4] == wire.WIRE_V1
+        monkeypatch.setenv(wire.WIRE_VERSION_ENV, "7")
+        with pytest.raises(WireFormatError, match="REPRO_WIRE_VERSION"):
+            wire.dump(mg)
+
+    def test_size_identity_every_codec_with_and_without_compression(self):
+        """The acceptance invariant: size_in_bits == n_bits under v2,
+        compressed or not -- compression shrinks stored bytes only."""
+        for name, obj in _all_codec_objects().items():
+            for compress in (False, True):
+                buf = wire.dump(obj, version=wire.WIRE_V2, compress=compress)
+                frame = wire.decode_frame(buf)
+                assert frame.codec == name and frame.version == wire.WIRE_V2
+                assert frame.compressed is compress
+                assert frame.n_bits == obj.size_in_bits()
+                clone = wire.load(buf)
+                assert clone.size_in_bits() == obj.size_in_bits()
+
+    def test_v2_header_strictly_smaller_than_v1(self):
+        """Binary varint headers beat length-prefixed JSON on every codec."""
+        from repro.experiments import measure_frame_overhead
+
+        for name, obj in _all_codec_objects().items():
+            row = measure_frame_overhead(obj)
+            assert row["v2_header_bytes"] < row["v1_header_bytes"], name
+
+    def test_stream_round_trip_every_codec(self):
+        for name, obj in _all_codec_objects().items():
+            for compress in (False, True):
+                stream = io.BytesIO()
+                n = wire.dump_to(
+                    obj, stream, version=wire.WIRE_V2,
+                    compress=compress, chunk_bytes=32,
+                )
+                assert n == stream.tell()
+                stream.seek(0)
+                clone = wire.load_from(stream)
+                assert type(clone) is type(obj), name
+                assert clone.size_in_bits() == obj.size_in_bits()
+                # Exactly one frame was consumed: the stream is at EOF.
+                assert stream.read() == b""
+
+    def test_chunked_encode_is_windowed(self):
+        """No single write materializes the payload: every write is at
+        most one chunk (+ its u32 length prefix), and the BitWriter's
+        buffer is drained rather than coalesced."""
+        db = random_database(400, 16, 0.3, rng=5)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        payload_bytes = (sketch.size_in_bits() + 7) // 8
+        chunk = 64
+        spy = _SpyStream()
+        wire.dump_to(sketch, spy, version=wire.WIRE_V2, chunk_bytes=chunk)
+        assert payload_bytes > 10 * chunk  # the case is actually chunked
+        assert max(spy.write_sizes) <= chunk
+        frame = wire.decode_frame(spy.getvalue())
+        assert frame.chunked
+        np.testing.assert_array_equal(
+            wire.load(spy.getvalue()).database.rows, sketch.database.rows
+        )
+
+    def test_chunked_decode_is_windowed(self):
+        """load_from never issues a payload-sized read from the file."""
+        db = random_database(400, 16, 0.3, rng=6)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        chunk = 64
+        buf = io.BytesIO()
+        wire.dump_to(sketch, buf, version=wire.WIRE_V2, chunk_bytes=chunk)
+        payload_bytes = (sketch.size_in_bits() + 7) // 8
+        spy = _SpyStream(buf.getvalue())
+        clone = wire.load_from(spy)
+        np.testing.assert_array_equal(clone.database.rows, sketch.database.rows)
+        assert max(spy.read_sizes) <= chunk
+
+    def test_unchunked_small_frames_stay_compact(self):
+        mg = MisraGries(30, 4)
+        stream = io.BytesIO()
+        wire.dump_to(mg, stream, version=wire.WIRE_V2)
+        stream.seek(0)
+        frame = wire.read_frame(stream)
+        assert not frame.chunked
+        # Compact layout matches the in-memory encoder byte for byte.
+        assert stream.getvalue() == wire.dump(mg, version=wire.WIRE_V2)
+
+    def test_compressed_frame_smaller_on_redundant_payload(self):
+        db = BinaryDatabase(np.zeros((64, 16), dtype=bool))
+        p = SketchParams(n=64, d=16, k=2, epsilon=0.1)
+        from repro.core.release_db import ReleaseDbSketch
+
+        sketch = ReleaseDbSketch(p, db)
+        plain = wire.dump(sketch, version=wire.WIRE_V2)
+        squeezed = wire.dump(sketch, version=wire.WIRE_V2, compress=True)
+        assert len(squeezed) < len(plain)
+        assert wire.decode_frame(squeezed).n_bits == sketch.size_in_bits()
+
+    def test_v1_cannot_compress_or_chunk(self):
+        mg = MisraGries(30, 4)
+        with pytest.raises(WireFormatError, match="v1"):
+            wire.dump(mg, version=wire.WIRE_V1, compress=True)
+        with pytest.raises(WireFormatError, match="v1"):
+            wire.dump_to(mg, io.BytesIO(), version=wire.WIRE_V1, chunked=True)
+
+    def test_inspect_frame_reads_header_only(self):
+        db = random_database(80, 9, 0.3, rng=7)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        for version in (wire.WIRE_V1, wire.WIRE_V2):
+            buf = wire.dump(sketch, version=version)
+            info = wire.inspect_frame(io.BytesIO(buf))
+            assert info.codec == "release-db" and info.version == version
+            assert info.n_bits == sketch.size_in_bits()
+            assert info.params == p and info.extras == {"n": db.n, "d": db.d}
+            assert info.frame_bytes == len(buf)
+            assert info.crc_ok
+        corrupted = bytearray(wire.dump(sketch, version=wire.WIRE_V2))
+        corrupted[-10] ^= 0x20  # payload byte: header still parses
+        info = wire.inspect_frame(io.BytesIO(bytes(corrupted)))
+        assert not info.crc_ok
+
+    def test_header_builder_rejects_bad_fields(self):
+        header = wire.Header()
+        with pytest.raises(WireFormatError, match="unsupported type"):
+            header.set("rows", [1, 2])
+        with pytest.raises(WireFormatError, match="1..255"):
+            header.set("", 1)
+        header.set("n", 5).set("ok", True)
+        assert header.fields == {"n": 5, "ok": True}
+        with pytest.raises(WireFormatError, match="missing extra"):
+            header.get_int("absent")
+        with pytest.raises(WireFormatError, match="must be int"):
+            header.get_int("ok")  # bools are not ints on the wire
+        assert header.get_bool("ok") is True
+
+
+def _craft_v2(
+    name: bytes = b"misra-gries",
+    flags: int = 0,
+    fields: bytes = b"\x00",
+    n_bits_raw: bytes = b"\x00",
+    payload_section: bytes = b"\x00",
+) -> bytes:
+    """Assemble a raw v2 frame (valid CRC) for header-rejection tests."""
+    body = (
+        wire.MAGIC
+        + bytes([wire.WIRE_V2, len(name)])
+        + name
+        + bytes([flags])
+        + fields
+        + n_bits_raw
+        + payload_section
+    )
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+class TestV2FrameRejection:
+    """Every way a v2 frame can lie must raise WireFormatError."""
+
+    @pytest.fixture
+    def v2_frame(self):
+        db = random_database(50, 8, 0.3, rng=0)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        return wire.dump(sketch, version=wire.WIRE_V2)
+
+    @pytest.fixture
+    def v2_chunked_frame(self):
+        db = random_database(200, 12, 0.3, rng=1)
+        p = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.1)
+        sketch = ReleaseDbSketcher(Task.FORALL_ESTIMATOR).sketch(db, p)
+        stream = io.BytesIO()
+        wire.dump_to(
+            sketch, stream, version=wire.WIRE_V2, compress=True, chunk_bytes=48
+        )
+        return stream.getvalue()
+
+    def test_corruption_any_byte(self, v2_frame, v2_chunked_frame):
+        for frame_bytes in (v2_frame, v2_chunked_frame):
+            step = max(1, len(frame_bytes) // 23)
+            for offset in range(0, len(frame_bytes), step):
+                buf = bytearray(frame_bytes)
+                buf[offset] ^= 0x40
+                with pytest.raises(WireFormatError):
+                    wire.load(bytes(buf))
+
+    def test_truncation_everywhere(self, v2_chunked_frame):
+        for cut in (0, 3, 7, len(v2_chunked_frame) // 2, len(v2_chunked_frame) - 1):
+            with pytest.raises(WireFormatError):
+                wire.load(v2_chunked_frame[:cut])
+
+    def test_trailing_garbage(self, v2_frame):
+        with pytest.raises(WireFormatError, match="trailing garbage"):
+            wire.load(v2_frame + b"\x00")
+
+    def test_unknown_flags(self):
+        with pytest.raises(WireFormatError, match="unknown frame flags"):
+            wire.load(_craft_v2(flags=0x08))
+
+    def test_duplicate_field(self):
+        field = b"\x01k\x00" + encode_svarint(3)
+        with pytest.raises(WireFormatError, match="duplicate header field"):
+            wire.load(_craft_v2(fields=b"\x02" + field + field))
+
+    def test_unknown_field_tag(self):
+        with pytest.raises(WireFormatError, match="unknown header field tag"):
+            wire.load(_craft_v2(fields=b"\x01\x01k\x09\x00"))
+
+    def test_bad_bool_value(self):
+        with pytest.raises(WireFormatError, match="bool field"):
+            wire.load(_craft_v2(fields=b"\x01\x01k\x02\x02"))
+
+    def test_empty_field_key(self):
+        with pytest.raises(WireFormatError, match="empty header field key"):
+            wire.load(_craft_v2(fields=b"\x01\x00"))
+
+    def test_non_canonical_varint(self):
+        # n_bits encoded as the padded two-byte form of zero.
+        with pytest.raises(WireFormatError, match="varint"):
+            wire.load(_craft_v2(n_bits_raw=b"\x80\x00"))
+
+    def test_payload_shorter_than_declared(self):
+        # Declares 16 bits but stores a single byte.
+        with pytest.raises(WireFormatError, match="disagrees with declared"):
+            wire.load(_craft_v2(n_bits_raw=b"\x10", payload_section=b"\x01\x00"))
+
+    def test_chunk_bytes_exceed_declared(self):
+        # Chunked frame: declares 8 bits but ships a 2-byte chunk.
+        section = struct.pack(">I", 2) + b"\x00\x00" + struct.pack(">I", 0)
+        with pytest.raises(WireFormatError, match="disagrees with declared"):
+            wire.load(
+                _craft_v2(flags=0x04, n_bits_raw=b"\x08", payload_section=section)
+            )
+
+    def test_missing_chunk_sentinel(self):
+        section = struct.pack(">I", 1) + b"\x00"  # no zero sentinel
+        with pytest.raises(WireFormatError):
+            wire.load(
+                _craft_v2(flags=0x04, n_bits_raw=b"\x08", payload_section=section)
+            )
+
+    def test_compressed_garbage_payload(self):
+        # ZLIB flag set but the stored bytes are not a zlib stream.
+        section = b"\x04" + b"\xde\xad\xbe\xef"
+        with pytest.raises(WireFormatError, match="compressed payload"):
+            wire.load(
+                _craft_v2(flags=0x02, n_bits_raw=b"\x20", payload_section=section)
+            )
+
+    def test_nonzero_padding_rejected(self):
+        # 4 declared bits but the low nibble of the byte is set.
+        buf = _craft_v2(n_bits_raw=b"\x04", payload_section=b"\x01\xff")
+        mg_like = wire.decode_frame(buf)
+        with pytest.raises(Exception, match="padding"):
+            mg_like.reader()

@@ -1,0 +1,85 @@
+"""Golden v1 fixture compatibility: committed frames decode forever.
+
+``tests/fixtures/v1/`` holds one frozen wire-v1 frame per codec (see
+``tests/fixtures/generate_v1_fixtures.py``).  These tests are the
+compatibility contract for every frame ever written by a v1 build:
+
+* the committed bytes decode through the *current* code path (``load``
+  auto-dispatches by version byte);
+* re-encoding the decoded object as v1 reproduces the committed bytes
+  exactly -- the v1 encoder is frozen;
+* the v2 path carries the same object: v1 fixture -> object -> v2 frame
+  -> object -> v1 frame is byte-identical to the fixture (with and
+  without compression).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import wire
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "v1"
+MANIFEST = json.loads((FIXTURE_DIR / "manifest.json").read_text())
+
+
+def _load_generator_module():
+    path = FIXTURE_DIR.parent / "generate_v1_fixtures.py"
+    spec = importlib.util.spec_from_file_location("generate_v1_fixtures", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return _load_generator_module()
+
+
+class TestGoldenV1Frames:
+    def test_one_fixture_per_codec(self):
+        assert set(MANIFEST) == set(wire.codec_names())
+
+    @pytest.mark.parametrize("codec", sorted(MANIFEST))
+    def test_committed_bytes_match_manifest(self, codec):
+        frame = (FIXTURE_DIR / MANIFEST[codec]["file"]).read_bytes()
+        assert len(frame) == MANIFEST[codec]["bytes"]
+        assert hashlib.sha256(frame).hexdigest() == MANIFEST[codec]["sha256"]
+        assert frame[:4] == wire.MAGIC and frame[4] == wire.WIRE_V1
+
+    @pytest.mark.parametrize("codec", sorted(MANIFEST))
+    def test_decodes_and_reencodes_bit_identically(self, codec):
+        """load() dispatches by version; v1 re-encode is frozen bytes."""
+        committed = (FIXTURE_DIR / MANIFEST[codec]["file"]).read_bytes()
+        frame = wire.decode_frame(committed)
+        assert frame.version == wire.WIRE_V1 and frame.codec == codec
+        obj = wire.load(committed)
+        assert obj.size_in_bits() == frame.n_bits
+        assert wire.dump(obj, version=wire.WIRE_V1) == committed
+
+    @pytest.mark.parametrize("codec", sorted(MANIFEST))
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_v2_path_carries_the_same_object(self, codec, compress):
+        """v1 -> obj -> v2 -> obj -> v1 reproduces the committed frame."""
+        committed = (FIXTURE_DIR / MANIFEST[codec]["file"]).read_bytes()
+        obj = wire.load(committed)
+        v2 = wire.dump(obj, version=wire.WIRE_V2, compress=compress)
+        assert v2[4] == wire.WIRE_V2
+        clone = wire.load(v2)
+        assert type(clone) is type(obj)
+        assert clone.size_in_bits() == obj.size_in_bits()
+        assert wire.dump(clone, version=wire.WIRE_V1) == committed
+
+    def test_regeneration_matches_committed(self, generator):
+        """The in-process drift check: fixed seeds still produce the bytes."""
+        for codec, frame in generator.build_fixture_frames().items():
+            committed = (FIXTURE_DIR / MANIFEST[codec]["file"]).read_bytes()
+            assert frame == committed, f"{codec} fixture drifted"
+
+    def test_check_mode_passes(self, generator):
+        assert generator.check_fixtures() == 0
