@@ -20,6 +20,14 @@ a real multi-core record when regenerated on such a host -- CI's
 query-engine smoke step measures it on 4-vCPU runners and uploads the
 artifact.
 
+PR 6 adds ``kernel_tiers``: the cffi-compiled native C kernels vs the
+numpy kernels on the large ``combination_supports`` sweep (plus
+native+thread, since the C calls release the GIL), asserting native is
+never slower and recording the tier speedups.  All cases draw their
+database from the bench conftest's shared ``(n, d, density)`` cache
+(``config.shared_database``), so the generator and the packed kernels
+are paid once per shape, not once per case.
+
 Writes ``BENCH_query_engine.json`` (repo root) with before/after
 throughput in queries/sec and rows x queries/sec so subsequent PRs have a
 perf trajectory.  Run directly::
@@ -42,16 +50,21 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from conftest import shared_database  # noqa: E402
 
 from repro.db import (  # noqa: E402
     BinaryDatabase,
     Itemset,
     all_frequencies,
     all_itemsets,
-    random_database,
 )
+from repro.db import _native  # noqa: E402
 from repro.db.packed import popcount_words, resolve_workers  # noqa: E402
 from repro.db.queries import FrequencyOracle  # noqa: E402
 from repro.mining import eclat  # noqa: E402
@@ -143,7 +156,7 @@ def _throughput(n_rows: int, n_queries: int, seconds: float) -> dict:
 
 def bench_all_frequencies(n: int, d: int, k: int, repeats: int) -> dict:
     """The tentpole comparison: seed per-query path vs packed engine."""
-    db = random_database(n, d, density=0.3, rng=0)
+    db = shared_database(n, d, 0.3)
     n_queries = comb(d, k)
     seed_time, seed_result = _time(lambda: _seed_all_frequencies(db, k), repeats)
     new_time, new_result = _time(lambda: all_frequencies(db, k), repeats)
@@ -158,7 +171,7 @@ def bench_all_frequencies(n: int, d: int, k: int, repeats: int) -> dict:
 
 def bench_batch_supports(n: int, d: int, k: int, repeats: int) -> dict:
     """supports_batch vs one support() call per query (same new kernel)."""
-    db = random_database(n, d, density=0.3, rng=1)
+    db = shared_database(n, d, 0.3)
     oracle = FrequencyOracle(db)
     itemsets = list(all_itemsets(d, k))
     loop_time, loop_result = _time(
@@ -200,7 +213,7 @@ def bench_eclat(n: int, d: int, threshold: float, repeats: int) -> dict:
         extend((), np.ones(db.n, dtype=bool), columns)
         return out
 
-    db = random_database(n, d, density=0.4, rng=2)
+    db = shared_database(n, d, 0.4)
     seed_time, seed_result = _time(lambda: seed_eclat(db, threshold), repeats)
     new_time, new_result = _time(lambda: eclat(db, threshold), repeats)
     assert seed_result == new_result, "packed eclat disagrees with seed eclat"
@@ -221,7 +234,7 @@ def bench_row_containment(n: int, d: int, k: int, repeats: int) -> dict:
     sweeps.  The kernel is cached per database (``db.packed_rows``), so
     packing happens once outside the timed region, as in production.
     """
-    db = random_database(n, d, density=0.3, rng=4)
+    db = shared_database(n, d, 0.3)
     rows = db.rows
     itemsets = [t.items for t in all_itemsets(d, k)]
     kernel = db.packed_rows  # built once, cached for the db's lifetime
@@ -254,7 +267,7 @@ def bench_parallel_sweep(n: int, d: int, k: int, repeats: int) -> dict:
     never slower than :data:`MAX_SHARDED_SLOWDOWN` x serial -- the auto
     heuristic stays serial when sharding cannot pay.
     """
-    db = random_database(n, d, density=0.3, rng=5)
+    db = shared_database(n, d, 0.3)
     kernel = db.packed
     n_queries = comb(d, k)
     auto_workers = resolve_workers(None, 2 * n_queries * kernel.n_words)
@@ -297,7 +310,7 @@ def bench_backend_sweep(n: int, d: int, k: int, repeats: int) -> dict:
     so the process pool's one-time startup never decides the number (the
     pool is persistent and reused across sweeps, as in production).
     """
-    db = random_database(n, d, density=0.3, rng=6)
+    db = shared_database(n, d, 0.3)
     kernel = db.packed
     n_queries = comb(d, k)
     workers = max(1, min(4, os.cpu_count() or 1))
@@ -335,6 +348,69 @@ def bench_backend_sweep(n: int, d: int, k: int, repeats: int) -> dict:
     }
 
 
+
+def bench_kernel_tiers(n: int, d: int, k: int, repeats: int) -> dict:
+    """Numpy vs native C kernels on the large ``combination_supports`` sweep.
+
+    Both tiers run serially (workers=1) so the comparison isolates the
+    kernel implementation, then ``native_thread`` adds thread sharding on
+    ``min(4, cpu_count)`` workers -- the native calls release the GIL, so
+    this is where the thread backend finally scales.  All tiers must be
+    bit-identical.  On a host without the compiled module the case
+    records ``native_available: false`` and only times numpy.
+    """
+    db = shared_database(n, d, 0.3)
+    kernel = db.packed
+    n_queries = comb(d, k)
+    workers = max(1, min(4, os.cpu_count() or 1))
+    repeats = max(repeats, 3)  # amortize the one-time native build/load
+    native_available = _native.available()
+
+    numpy_time, numpy_counts = _time(
+        lambda: kernel.combination_supports(
+            k, workers=1, backend="serial", kernel="numpy"
+        )[1],
+        repeats,
+    )
+    result = {
+        "config": {
+            "n": n,
+            "d": d,
+            "k": k,
+            "queries": n_queries,
+            "cpu_count": os.cpu_count(),
+            "thread_workers": workers,
+            "native_available": native_available,
+            "native_unavailable_reason": _native.unavailable_reason(),
+        },
+        "numpy": _throughput(n, n_queries, numpy_time),
+    }
+    if not native_available:
+        result["speedup"] = 1.0
+        return result
+    native_time, native_counts = _time(
+        lambda: kernel.combination_supports(
+            k, workers=1, backend="serial", kernel="native"
+        )[1],
+        repeats,
+    )
+    thread_time, thread_counts = _time(
+        lambda: kernel.combination_supports(
+            k, workers=workers, backend="thread", kernel="native"
+        )[1],
+        repeats,
+    )
+    assert np.array_equal(numpy_counts, native_counts), (
+        "native kernel disagrees with numpy on the combination sweep"
+    )
+    assert np.array_equal(numpy_counts, thread_counts)
+    result["native"] = _throughput(n, n_queries, native_time)
+    result["native_thread"] = _throughput(n, n_queries, thread_time)
+    result["speedup"] = numpy_time / native_time
+    result["speedup_native_thread"] = numpy_time / thread_time
+    return result
+
+
 def bench_stream_updates(length: int, universe: int, k: int, repeats: int) -> dict:
     """update_many bulk ingestion vs one update() call per element."""
     rng = np.random.default_rng(3)
@@ -365,6 +441,10 @@ def bench_stream_updates(length: int, universe: int, k: int, repeats: int) -> di
 def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
     """Run the full suite and write the JSON trajectory record."""
     repeats = 1 if quick else 3
+    # Warm the native kernel tier outside every timed region: the
+    # one-time build/import is a per-process cost, not a per-sweep cost,
+    # and auto-kernel cases would otherwise charge it to their first call.
+    _native.load()
     if quick:
         results = {
             "all_frequencies": bench_all_frequencies(512, 14, 3, repeats),
@@ -377,6 +457,9 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             # and CI's quick run on 4-vCPU runners IS the multi-core record.
             "parallel_sweep": bench_parallel_sweep(4096, 24, 3, repeats),
             "parallel_sweep_backends": bench_backend_sweep(65536, 28, 4, repeats),
+            # Pinned at full size like the sweeps above: the tier
+            # comparison at the acceptance config is the point.
+            "kernel_tiers": bench_kernel_tiers(65536, 28, 4, repeats),
         }
     else:
         results = {
@@ -388,6 +471,7 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             "parallel_sweep": bench_parallel_sweep(4096, 24, 3, repeats),
             "parallel_sweep_heavy": bench_parallel_sweep(4096, 24, 4, repeats),
             "parallel_sweep_backends": bench_backend_sweep(65536, 28, 4, repeats),
+            "kernel_tiers": bench_kernel_tiers(65536, 28, 4, repeats),
         }
     sweep = results["parallel_sweep"]
     # Smoke contract: auto-sharding never costs more than 25% over serial
@@ -408,10 +492,24 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             f"process backend {backends['process']['seconds']:.3f}s slower than "
             f"serial {backends['serial']['seconds']:.3f}s on the large sweep"
         )
+    tiers = results["kernel_tiers"]
+    # Smoke contract (PR 6): when the compiled tier loaded, native must
+    # never lose to numpy on the large sweep (it exists to win; a tie
+    # would already be a regression signal).
+    if tiers["config"]["native_available"]:
+        assert tiers["native"]["seconds"] <= tiers["numpy"]["seconds"], (
+            f"native kernel {tiers['native']['seconds']:.3f}s slower than "
+            f"numpy {tiers['numpy']['seconds']:.3f}s on the large sweep"
+        )
     record = {
         "benchmark": "query_engine",
-        "pr": 4,
+        "pr": 6,
         "quick": quick,
+        "config": {
+            # All cases draw from the bench conftest's shared per-(n, d,
+            # density) database cache instead of regenerating per case.
+            "shared_database": True,
+        },
         "results": results,
     }
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -457,6 +555,17 @@ def test_packed_engine_speedup_full():
     # of the unsharded kernel (here: of the auto path when auto == serial).
     if sweep["config"]["auto_workers"] == 1:
         assert sweep["speedup"] >= 0.95
+    tiers = record["results"]["kernel_tiers"]
+    if tiers["config"]["native_available"]:
+        print(
+            f"kernel_tiers (n=65536, d=28, k=4): native {tiers['speedup']:.2f}x "
+            f"numpy serial, native+thread "
+            f"{tiers.get('speedup_native_thread', 1.0):.2f}x"
+        )
+        # PR-6 acceptance: the native tier is never slower than numpy, and
+        # beats it >= 2x on the large combination sweep.
+        assert tiers["native"]["seconds"] <= tiers["numpy"]["seconds"]
+        assert tiers["speedup"] >= 2.0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -491,6 +600,20 @@ def main(argv: list[str] | None = None) -> int:
         f"process {backends['process']['seconds']:.3f}s "
         f"({backends['speedup_process']:.2f}x)"
     )
+    tiers = record["results"]["kernel_tiers"]
+    if tiers["config"]["native_available"]:
+        print(
+            f"kernel_tiers (n={tiers['config']['n']}, d={tiers['config']['d']}, "
+            f"k={tiers['config']['k']}): numpy {tiers['numpy']['seconds']:.3f}s, "
+            f"native {tiers['native']['seconds']:.3f}s ({tiers['speedup']:.2f}x), "
+            f"native+thread {tiers['native_thread']['seconds']:.3f}s "
+            f"({tiers['speedup_native_thread']:.2f}x)"
+        )
+    else:
+        print(
+            "kernel_tiers: native tier unavailable "
+            f"({tiers['config']['native_unavailable_reason']}); numpy only"
+        )
     tentpole = record["results"]["all_frequencies"]
     print(
         f"all_frequencies throughput: "

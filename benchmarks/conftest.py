@@ -8,9 +8,26 @@ what slope, which radius -- so a failed claim fails the bench run.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import pytest
 
 
 def pedantic_once(benchmark, fn, *args, **kwargs):
     """Benchmark an expensive function with a single round."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@lru_cache(maxsize=None)
+def shared_database(n: int, d: int, density: float = 0.3):
+    """One generated database per ``(n, d, density)``, shared across cases.
+
+    The query-engine bench used to regenerate an identical random
+    database for every case; memoizing it here cuts bench wall-time
+    (generation plus the cached packed kernels are paid once).  Seeded
+    deterministically from the shape so records stay reproducible.
+    Benchmarks must not mutate the returned database.
+    """
+    from repro.db import random_database
+
+    return random_database(n, d, density=density, rng=0)

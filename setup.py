@@ -1,11 +1,40 @@
-"""Legacy setup shim.
+"""Legacy setup shim (this project carries no ``pyproject.toml``).
 
 The offline environment has no ``wheel`` package, so PEP 517 editable
 installs fail; this shim lets ``pip install -e . --no-build-isolation
---no-use-pep517`` (and plain ``python setup.py develop``) work.  All project
-metadata lives in ``pyproject.toml``.
+--no-use-pep517`` (and plain ``python setup.py develop``) work.
+
+The optional native kernel tier is wired in two layers:
+
+* ``pip install .[native]`` pulls in :mod:`cffi`; the runtime loader
+  (``repro.db._native``) then compiles ``_kernels.c`` into a per-user
+  cache on first use.  No compiler at install time is needed.
+* ``REPRO_BUILD_NATIVE=1 pip install .[native]`` additionally compiles
+  the extension at install time via ``cffi_modules`` (requires a C
+  compiler then and there), shipping ``repro.db._repro_native`` as a
+  prebuilt submodule so first use never compiles anything.
+
+The hook is opt-in by environment variable so a default install never
+demands cffi or a toolchain -- without the native tier every query path
+runs on the numpy kernels.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+kwargs = {
+    "name": "repro",
+    "package_dir": {"": "src"},
+    "packages": find_packages("src"),
+    # Ship the C source: the runtime loader compiles it on first use.
+    "package_data": {"repro.db": ["_kernels.c"]},
+    "extras_require": {"native": ["cffi>=1.12"]},
+}
+if os.environ.get("REPRO_BUILD_NATIVE") == "1":
+    kwargs.update(
+        setup_requires=["cffi>=1.12"],
+        cffi_modules=["src/repro/db/_build_native.py:ffibuilder"],
+    )
+
+setup(**kwargs)

@@ -51,6 +51,7 @@ from .core import (
 from .core.base import FrequencySketch
 from .db import Itemset, random_database
 from .db.backends import BACKEND_ENV, available_backends
+from .db.packed import KERNEL_ENV, available_kernels
 from .db.transactions import read_transactions
 from .experiments import EXPERIMENTS, format_table
 from .lowerbounds import (
@@ -111,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard executor: serial, thread, or shared-memory process pool "
              "(default: auto escalation by sweep volume)",
     )
+    validate.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="kernel implementation tier: numpy or cffi-compiled native "
+             "(default: auto -- native when the compiled module is "
+             "available, else numpy)",
+    )
 
     attack = sub.add_parser("attack", help="run a lower-bound encoding attack")
     attack.add_argument("--theorem", choices=["13", "15"], default="13")
@@ -139,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard executor: serial, thread, or shared-memory process pool "
              "(default: auto escalation by sweep volume)",
     )
+    mine.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="kernel implementation tier: numpy or cffi-compiled native "
+             "(default: auto -- native when the compiled module is "
+             "available, else numpy)",
+    )
 
     sketch = sub.add_parser(
         "sketch", help="build a sketch of a transaction file and write it to disk"
@@ -156,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard executor for the sketcher's kernel sweeps (sets "
              "REPRO_EVAL_BACKEND for the duration of the command; "
              "default: auto)",
+    )
+    sketch.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="kernel implementation tier: numpy or cffi-compiled native "
+             "(default: auto -- native when the compiled module is "
+             "available, else numpy)",
     )
     sketch.add_argument(
         "--wire-version", type=int, choices=sorted(SUPPORTED_WIRE_VERSIONS),
@@ -176,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "items", nargs="*", type=int,
         help="attribute indices of the queried itemset (empty = empty itemset)",
+    )
+    query.add_argument(
+        "--kernel", choices=available_kernels(), default=None,
+        help="kernel implementation tier: numpy or cffi-compiled native "
+             "(default: auto -- native when the compiled module is "
+             "available, else numpy)",
     )
 
     merge = sub.add_parser(
@@ -485,23 +510,32 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    backend = getattr(args, "backend", None)
-    if not backend:
+    # --backend / --kernel also become the process defaults for the
+    # duration of the command, so kernel sweeps nested inside sketchers
+    # (e.g. RELEASE-ANSWERS' precomputation during `sketch` or
+    # `validate` trials) run on the requested executor and kernel tier.
+    # Restored afterwards: library callers of main() keep their
+    # environment.
+    overrides = {
+        env: value
+        for env, value in (
+            (BACKEND_ENV, getattr(args, "backend", None)),
+            (KERNEL_ENV, getattr(args, "kernel", None)),
+        )
+        if value
+    }
+    if not overrides:
         return _dispatch(args)
-    # --backend also becomes the process default for the duration of the
-    # command, so kernel sweeps nested inside sketchers (e.g.
-    # RELEASE-ANSWERS' precomputation during `sketch` or `validate`
-    # trials) run on the requested executor.  Restored afterwards:
-    # library callers of main() keep their environment.
-    saved = os.environ.get(BACKEND_ENV)
-    os.environ[BACKEND_ENV] = backend
+    saved = {env: os.environ.get(env) for env in overrides}
+    os.environ.update(overrides)
     try:
         return _dispatch(args)
     finally:
-        if saved is None:
-            os.environ.pop(BACKEND_ENV, None)
-        else:
-            os.environ[BACKEND_ENV] = saved
+        for env, old in saved.items():
+            if old is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = old
 
 
 if __name__ == "__main__":

@@ -72,6 +72,30 @@ running the same kernel code -- which the differential suites in
 ``backend="process"`` to force multi-core throughput for repeated large
 sweeps (the pool and its workers are reused across calls).
 
+**Kernel implementation tiers** -- orthogonal to *where* shards run is
+*what runs inside* each shard.  The same evaluators take ``kernel=``
+(``REPRO_EVAL_KERNEL`` overrides; ``repro ... --kernel`` on the CLI),
+selecting from a two-entry registry in :mod:`repro.db.packed`:
+
+* ``"numpy"`` -- the vectorized numpy kernels above.  Always available;
+  the bit-for-bit reference implementation.
+* ``"native"`` -- cffi-compiled C (``_kernels.c``): single fused
+  AND + ``POPCNT`` passes with no intermediate mask matrices, prefix
+  hoisting in the combination sweep, word-at-a-time early-exit row
+  containment.  Compiled at install time (``REPRO_BUILD_NATIVE=1 pip
+  install .[native]``) or on first use into a per-source-hash cache;
+  no cffi or no compiler degrades to ``"numpy"`` -- silently under
+  ``auto``, with a one-time :class:`RuntimeWarning` when requested
+  explicitly, never an error.  The C calls release the GIL, so the
+  ``thread`` backend scales on this tier even where numpy would
+  serialize.
+
+The full matrix is 2 kernel tiers x 3 backends (x any worker count),
+every cell bit-identical -- enforced by the numpy-vs-native
+differential suite in ``tests/test_native_kernels.py``.  ``kernel=None``
+(auto) uses native whenever the compiled module loads, so installing
+the ``[native]`` extra is the whole opt-in.
+
 Wire format
 -----------
 Sketch payloads are real bit strings.  :class:`~repro.db.serialize.BitWriter`
@@ -135,9 +159,11 @@ from .itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
 from .packed import (
     PackedColumns,
     PackedRows,
+    available_kernels,
     pack_columns,
     pack_rows,
     popcount_words,
+    resolve_kernel,
     unpack_rows,
 )
 from .queries import (
@@ -170,6 +196,8 @@ __all__ = [
     "ProcessBackend",
     "available_backends",
     "get_backend",
+    "available_kernels",
+    "resolve_kernel",
     "pack_columns",
     "pack_rows",
     "unpack_rows",

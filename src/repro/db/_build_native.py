@@ -1,0 +1,79 @@
+"""cffi build recipe for the native kernel extension.
+
+One :class:`cffi.FFI` builder, used from two places:
+
+* ``setup.py`` -- the optional build hook (``REPRO_BUILD_NATIVE=1 pip
+  install -e .[native]``) compiles ``repro.db._repro_native`` at install
+  time via ``cffi_modules``, so the extension is a plain prebuilt
+  submodule.
+* :mod:`repro.db._native` -- the runtime loader compiles the same source
+  on first use into a per-source-hash cache directory when no prebuilt
+  module exists.  Either way the compiled module exposes the standard
+  out-of-line cffi pair ``(ffi, lib)``.
+
+The C source lives in ``_kernels.c`` next to this file; :data:`CDEF`
+declares exactly the three exported kernel entry points.  Importing this
+module requires :mod:`cffi`; everything else in the package must not
+import it unguarded.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from pathlib import Path
+
+from cffi import FFI
+
+#: Declarations of the exported kernels (the cffi cdef; must match
+#: ``_kernels.c`` exactly).
+CDEF = """
+void repro_index_supports(const uint64_t *ext, const intptr_t *idx,
+                          int64_t *counts, intptr_t lo, intptr_t hi,
+                          intptr_t k, intptr_t n_words);
+void repro_combination_supports(const uint64_t *words, const uint64_t *pmask,
+                                const intptr_t *leaf_prefix,
+                                const intptr_t *last, int64_t *counts,
+                                intptr_t lo, intptr_t hi, intptr_t n_words);
+void repro_contains(const uint64_t *rows, const uint64_t *masks,
+                    uint8_t *out, intptr_t lo, intptr_t hi, intptr_t n,
+                    intptr_t d_words);
+"""
+
+#: Path of the C source next to this module.
+SOURCE_PATH = Path(__file__).resolve().parent / "_kernels.c"
+
+
+def _compile_args() -> list[str]:
+    """Compiler flags: aggressive but portable within one host family.
+
+    ``-mpopcnt`` turns ``__builtin_popcountll`` into the single POPCNT
+    instruction on x86-64 (available on every chip since ~2008; without
+    it gcc emits a libgcc byte-table call, forfeiting most of the win).
+    Non-GCC-compatible toolchains (MSVC) get no extra flags.
+    """
+    if os.name == "nt":  # pragma: no cover - linux container
+        return []
+    args = ["-O3"]
+    if platform.machine().lower() in ("x86_64", "amd64", "i686", "i386"):
+        args.append("-mpopcnt")
+    return args
+
+
+def make_ffibuilder(module_name: str = "repro.db._repro_native") -> FFI:
+    """An :class:`cffi.FFI` set up to compile the kernels as ``module_name``."""
+    builder = FFI()
+    builder.cdef(CDEF)
+    builder.set_source(
+        module_name,
+        SOURCE_PATH.read_text(),
+        extra_compile_args=_compile_args(),
+    )
+    return builder
+
+
+#: The instance ``setup.py``'s ``cffi_modules`` hook points at.
+ffibuilder = make_ffibuilder()
+
+if __name__ == "__main__":  # pragma: no cover - manual build helper
+    ffibuilder.compile(verbose=True)

@@ -1,0 +1,113 @@
+/* Native single-pass shard kernels for the packed query engine.
+ *
+ * One C function per shard kernel in repro/db/packed.py, same contract:
+ * read shared input arrays, write the disjoint [lo, hi) slice of a
+ * preallocated output.  The point versus the numpy tier is memory
+ * traffic: each kernel is a single fused pass -- AND and popcount in one
+ * register-resident loop, no intermediate mask matrices, no separate
+ * popcount sweep -- so the packed words stream through memory exactly
+ * once per query.
+ *
+ * Word layout matches repro.db.packed: little-endian uint64 words, bit b
+ * of word w is position w * 64 + b, padding bits beyond the axis length
+ * are zero.  All arrays are C-contiguous (the Python wrappers enforce
+ * dtype and contiguity before handing out raw pointers).
+ *
+ * These functions never touch the CPython API, so cffi calls them with
+ * the GIL released -- thread-backend shards of the native tier run truly
+ * concurrently.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+#if defined(_MSC_VER)
+#include <intrin.h>
+static int64_t repro_popcount64(uint64_t x) { return (int64_t)__popcnt64(x); }
+#else
+static int64_t repro_popcount64(uint64_t x) {
+    return (int64_t)__builtin_popcountll(x);
+}
+#endif
+
+/* Shard of PackedColumns.supports_for_index_array.
+ *
+ * ext is the (d + 1, n_words) extended column block (row d = the all-rows
+ * mask, the ragged-padding sentinel); idx is the (m, k) query index
+ * array.  For each query the k column pointers walk their words in step:
+ * the k-way AND and the popcount accumulate per word, so no (m, n_words)
+ * mask matrix ever exists.
+ */
+void repro_index_supports(const uint64_t *ext, const intptr_t *idx,
+                          int64_t *counts, intptr_t lo, intptr_t hi,
+                          intptr_t k, intptr_t n_words) {
+    for (intptr_t i = lo; i < hi; i++) {
+        const intptr_t *items = idx + i * k;
+        const uint64_t *first = ext + items[0] * n_words;
+        int64_t acc = 0;
+        for (intptr_t w = 0; w < n_words; w++) {
+            uint64_t word = first[w];
+            for (intptr_t pos = 1; pos < k; pos++) {
+                word &= ext[items[pos] * n_words + w];
+            }
+            acc += repro_popcount64(word);
+        }
+        counts[i] = acc;
+    }
+}
+
+/* Shard of PackedColumns.combination_supports (k >= 2 leaves).
+ *
+ * pmask holds the shared C(d, k-1) prefix intersections; leaf i ANDs
+ * prefix row leaf_prefix[i] with column last[i].  Lex order makes
+ * consecutive leaves share a prefix, so the prefix row pointer is hoisted
+ * across runs of equal leaf_prefix -- the gather + AND + popcount is one
+ * fused loop per leaf with no intermediate mask block.
+ */
+void repro_combination_supports(const uint64_t *words, const uint64_t *pmask,
+                                const intptr_t *leaf_prefix,
+                                const intptr_t *last, int64_t *counts,
+                                intptr_t lo, intptr_t hi, intptr_t n_words) {
+    const uint64_t *prefix = NULL;
+    intptr_t prev = -1;
+    for (intptr_t i = lo; i < hi; i++) {
+        if (leaf_prefix[i] != prev) {
+            prev = leaf_prefix[i];
+            prefix = pmask + prev * n_words;
+        }
+        const uint64_t *col = words + last[i] * n_words;
+        int64_t acc = 0;
+        for (intptr_t w = 0; w < n_words; w++) {
+            acc += repro_popcount64(prefix[w] & col[w]);
+        }
+        counts[i] = acc;
+    }
+}
+
+/* Shard of PackedRows.contains_batch.
+ *
+ * rows is the (n, d_words) packed row block, masks the (m, d_words)
+ * packed query masks, out the (m, n) boolean (one byte per entry)
+ * containment matrix.  Containment is row & mask == mask, checked word
+ * at a time with early exit on the first mismatching word -- most
+ * non-containing rows fail on word 0 and never touch the rest.
+ */
+void repro_contains(const uint64_t *rows, const uint64_t *masks,
+                    uint8_t *out, intptr_t lo, intptr_t hi, intptr_t n,
+                    intptr_t d_words) {
+    for (intptr_t q = lo; q < hi; q++) {
+        const uint64_t *mask = masks + q * d_words;
+        uint8_t *row_out = out + q * n;
+        for (intptr_t i = 0; i < n; i++) {
+            const uint64_t *row = rows + i * d_words;
+            uint8_t ok = 1;
+            for (intptr_t w = 0; w < d_words; w++) {
+                if ((row[w] & mask[w]) != mask[w]) {
+                    ok = 0;
+                    break;
+                }
+            }
+            row_out[i] = ok;
+        }
+    }
+}

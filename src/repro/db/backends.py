@@ -35,6 +35,18 @@ sweep through shared memory -- CI uses this (together with
 ``REPRO_WORKERS``) to run the kernel differential suites on the process
 path.
 
+Backends are orthogonal to **kernel implementation tiers**
+(``REPRO_EVAL_KERNEL`` / ``kernel=``, resolved in
+:mod:`repro.db.packed`): the backend decides *where* shards run, the
+kernel tier decides *what code* each shard executes -- the vectorized
+numpy kernels or the cffi-compiled C kernels.  Every backend runs either
+tier unchanged, because both are plain module-level functions with the
+``ShardKernel`` signature (process workers import them by qualified
+name, and the native functions re-resolve the compiled library inside
+the worker).  Notably, the C kernels release the GIL for the whole call,
+so :class:`ThreadBackend` scales on the native tier even in regions
+where numpy would hold the lock.
+
 Lifecycle
 ---------
 Shared-memory blocks are created per ``run`` call and unconditionally

@@ -56,6 +56,24 @@ dispatch.  The ``REPRO_WORKERS`` environment variable overrides the
 heuristic (used by CI to force the sharded path); explicit and
 environment worker counts are both clamped to ``os.cpu_count()`` so an
 oversized request cannot oversubscribe the shard pool.
+
+Kernel implementations
+----------------------
+*What code* evaluates each shard is a second, orthogonal axis: the
+``kernel=`` parameter selects the kernel implementation from a two-entry
+registry -- ``"numpy"`` (the vectorized kernels in this module) or
+``"native"`` (cffi-compiled C in :mod:`repro.db._native`: fused
+AND + popcount with no intermediate mask matrices, prefix-sharing leaf
+sweeps, word-at-a-time early-exit containment).  Resolution precedence is
+explicit ``kernel=`` parameter > the ``REPRO_EVAL_KERNEL`` environment
+variable > ``"auto"``, which uses the native tier whenever the compiled
+module imports cleanly and the numpy tier otherwise.  An explicit
+``"native"`` request without a usable compiler degrades to numpy with a
+one-time :class:`RuntimeWarning`, never an error.  Both implementations
+are bit-identical for every kernel, worker count, and backend (the
+differential suite in ``tests/test_native_kernels.py`` is the gate), and
+the native kernels release the GIL, so ``backend="thread"`` scales on
+them where the numpy tier is GIL-bound outside its vectorized ops.
 """
 
 from __future__ import annotations
@@ -69,7 +87,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import ParameterError
-from .backends import ShardBackend, ShardJob, resolve_backend
+from .backends import ShardBackend, ShardJob, ShardKernel, resolve_backend
 
 __all__ = [
     "PackedColumns",
@@ -81,7 +99,10 @@ __all__ = [
     "unpack_rows",
     "combination_index_array",
     "resolve_workers",
+    "resolve_kernel",
+    "available_kernels",
     "PARALLEL_MIN_WORDS",
+    "KERNEL_ENV",
 ]
 
 #: Bits per packed word.
@@ -89,30 +110,51 @@ WORD_BITS = 64
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+def _popcount_words_bitwise(words: np.ndarray) -> np.ndarray:
+    """Elementwise popcount via :func:`numpy.bitwise_count` (numpy >= 2.0)."""
+    return np.bitwise_count(words).astype(np.int64)
+
+
+def _popcount_sum_bitwise(masks: np.ndarray) -> np.ndarray:
+    """Row-wise popcount totals via :func:`numpy.bitwise_count`."""
+    return np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
+
+
+#: 16-bit popcount lookup table for the numpy < 2.0 fallback; built on
+#: first use so numpy >= 2.0 hosts never allocate it.
+_POPCOUNT16: np.ndarray | None = None
+
+
+def _popcount16_table() -> np.ndarray:
+    global _POPCOUNT16
+    if _POPCOUNT16 is None:
+        _POPCOUNT16 = np.array(
+            [bin(i).count("1") for i in range(1 << 16)], dtype=np.int64
+        )
+    return _POPCOUNT16
+
+
+def _popcount_words_lut(words: np.ndarray) -> np.ndarray:
+    """Elementwise popcount via the 16-bit lookup table (numpy < 2.0)."""
+    arr = np.ascontiguousarray(words)
+    halves = arr.view(np.uint16).reshape(arr.shape + (4,))
+    return _popcount16_table()[halves].sum(axis=-1)
+
+
+def _popcount_sum_lut(masks: np.ndarray) -> np.ndarray:
+    """Row-wise popcount totals via the 16-bit lookup table."""
+    return _popcount_words_lut(masks).sum(axis=1)
+
+
+# The numpy-version branch is resolved once at import into module-level
+# function pointers -- never re-checked per call.  Both implementations
+# stay importable (and unit-tested) on every numpy version.
 if hasattr(np, "bitwise_count"):
-
-    def popcount_words(words: np.ndarray) -> np.ndarray:
-        """Elementwise popcount of a uint64 array (int64 result)."""
-        return np.bitwise_count(words).astype(np.int64)
-
-    def popcount_sum(masks: np.ndarray) -> np.ndarray:
-        """Row-wise popcount totals of a 2-D uint64 array (hot-path form)."""
-        return np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
-
+    popcount_words = _popcount_words_bitwise
+    popcount_sum = _popcount_sum_bitwise
 else:  # pragma: no cover - exercised only on numpy < 2.0
-    _POPCOUNT16 = np.array(
-        [bin(i).count("1") for i in range(1 << 16)], dtype=np.int64
-    )
-
-    def popcount_words(words: np.ndarray) -> np.ndarray:
-        """Elementwise popcount of a uint64 array (int64 result)."""
-        arr = np.ascontiguousarray(words)
-        halves = arr.view(np.uint16).reshape(arr.shape + (4,))
-        return _POPCOUNT16[halves].sum(axis=-1)
-
-    def popcount_sum(masks: np.ndarray) -> np.ndarray:
-        """Row-wise popcount totals of a 2-D uint64 array (hot-path form)."""
-        return popcount_words(masks).sum(axis=1)
+    popcount_words = _popcount_words_lut
+    popcount_sum = _popcount_sum_lut
 
 
 def pack_columns(rows: np.ndarray) -> np.ndarray:
@@ -187,6 +229,48 @@ _MAX_AUTO_WORKERS = 8
 #: Environment override (CI forces the sharded path with REPRO_WORKERS=2).
 _WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment override for the kernel implementation (``auto`` /
+#: ``numpy`` / ``native``); CI forces the native tier with it.
+KERNEL_ENV = "REPRO_EVAL_KERNEL"
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names accepted by ``kernel=`` and ``REPRO_EVAL_KERNEL``."""
+    return ("auto", "numpy", "native")
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Resolve a kernel request to the implementation that will run.
+
+    Returns ``"numpy"`` or ``"native"``.  Precedence: explicit ``kernel``
+    argument > the ``REPRO_EVAL_KERNEL`` environment variable > ``auto``.
+    ``auto`` picks the native tier when the cffi-compiled module loads
+    (building it on first use) and numpy otherwise; an explicit
+    ``"native"`` request that cannot be satisfied -- no cffi, no C
+    compiler -- degrades to numpy with a one-time warning, never an
+    error, so forcing the native tier is always safe.
+
+    Raises
+    ------
+    ParameterError
+        If the name is not one of :func:`available_kernels`.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "auto"
+    if kernel not in available_kernels():
+        raise ParameterError(
+            f"unknown kernel impl {kernel!r}; expected one of {available_kernels()}"
+        )
+    if kernel == "numpy":
+        return "numpy"
+    from . import _native
+
+    if _native.available():
+        return "native"
+    if kernel == "native":
+        _native.warn_unavailable()
+    return "numpy"
+
 
 def resolve_workers(workers: int | None, word_ops: int) -> int:
     """Worker count for a sweep of ~``word_ops`` uint64 operations.
@@ -218,23 +302,28 @@ def resolve_workers(workers: int | None, word_ops: int) -> int:
 
 
 def _run_job(
-    kernel,
+    op: str,
     arrays: dict[str, np.ndarray],
     outs: dict[str, np.ndarray],
     total: int,
     word_ops: int,
     workers: int | None,
     backend: str | ShardBackend | None,
+    kernel: str | None = None,
     params: dict | None = None,
 ) -> None:
-    """Resolve workers and executor, then run one sharded kernel sweep.
+    """Resolve workers, executor, and kernel impl, then run one sharded sweep.
 
-    Every backend degenerates to the identical inline kernel call when the
-    resolved worker count is 1, so results cannot depend on the worker
-    count or the executor.  Exceptions propagate.
+    ``op`` names the kernel in :data:`_KERNEL_IMPLS`; ``kernel`` selects
+    the implementation tier (see :func:`resolve_kernel`).  Every backend
+    degenerates to the identical inline kernel call when the resolved
+    worker count is 1, and every kernel impl is bit-identical, so results
+    cannot depend on the worker count, the executor, or the tier.
+    Exceptions propagate.
     """
     resolved = resolve_workers(workers, word_ops)
-    job = ShardJob(kernel=kernel, arrays=arrays, outs=outs, total=total, params=params or {})
+    fn = _KERNEL_IMPLS[op, resolve_kernel(kernel)]
+    job = ShardJob(kernel=fn, arrays=arrays, outs=outs, total=total, params=params or {})
     resolve_backend(backend, word_ops, resolved).run(job, resolved)
 
 
@@ -386,6 +475,85 @@ def _contains_kernel(
                 block &= fold[:m_c]
 
 
+# ----------------------------------------------------------------------
+# Native-tier shard kernels: same signature, same [lo:hi) contract, but
+# the loop body is cffi-compiled C (fused AND + popcount, early-exit
+# containment) that releases the GIL.  Module-level like the numpy
+# kernels so the process backend ships them by qualified name; each
+# re-resolves the compiled library locally, so a worker that cannot
+# build it (no compiler in a spawn context) still computes the identical
+# answer through the numpy kernel.
+# ----------------------------------------------------------------------
+def _index_supports_kernel_native(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Native shard of :meth:`PackedColumns.supports_for_index_array`."""
+    from . import _native
+
+    lib = _native.load()
+    if lib is None:  # pragma: no cover - worker without the compiled tier
+        _index_supports_kernel(arrays, outs, lo, hi, params)
+        return
+    lib.index_supports(arrays["ext"], arrays["idx"], outs["counts"], lo, hi)
+
+
+def _combination_supports_kernel_native(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Native shard of :meth:`PackedColumns.combination_supports`."""
+    from . import _native
+
+    lib = _native.load()
+    if lib is None:  # pragma: no cover - worker without the compiled tier
+        _combination_supports_kernel(arrays, outs, lo, hi, params)
+        return
+    lib.combination_supports(
+        arrays["words"],
+        arrays["pmask"],
+        arrays["leaf_prefix"],
+        arrays["last"],
+        outs["counts"],
+        lo,
+        hi,
+    )
+
+
+def _contains_kernel_native(
+    arrays: Mapping[str, np.ndarray],
+    outs: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping,
+) -> None:
+    """Native shard of :meth:`PackedRows.contains_batch` (early-exit C loop)."""
+    from . import _native
+
+    lib = _native.load()
+    if lib is None:  # pragma: no cover - worker without the compiled tier
+        _contains_kernel(arrays, outs, lo, hi, params)
+        return
+    lib.contains(arrays["words"], arrays["masks"], outs["mask"], lo, hi)
+
+
+#: Kernel registry: (operation, implementation tier) -> shard function.
+_KERNEL_IMPLS: dict[tuple[str, str], ShardKernel] = {
+    ("index_supports", "numpy"): _index_supports_kernel,
+    ("index_supports", "native"): _index_supports_kernel_native,
+    ("combination_supports", "numpy"): _combination_supports_kernel,
+    ("combination_supports", "native"): _combination_supports_kernel_native,
+    ("contains", "numpy"): _contains_kernel,
+    ("contains", "native"): _contains_kernel_native,
+}
+
+
 def _tail_mask(n: int, n_words: int) -> np.ndarray:
     """All-rows mask: every bit below ``n`` set, padding bits clear."""
     mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
@@ -501,6 +669,7 @@ class PackedColumns:
         idx: np.ndarray,
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Support counts for an ``(m, k)`` item-index array (one sweep).
 
@@ -510,7 +679,9 @@ class PackedColumns:
         With ``workers > 1`` the index rows are sharded, each shard writing
         a disjoint slice of the output; ``None`` applies the auto heuristic
         of :func:`resolve_workers`.  ``backend`` selects the shard executor
-        (serial / thread / process; ``None`` = auto escalation by volume).
+        (serial / thread / process; ``None`` = auto escalation by volume)
+        and ``kernel`` the implementation tier (numpy / native; ``None`` =
+        ``REPRO_EVAL_KERNEL`` or auto, see :func:`resolve_kernel`).
         """
         m, k = idx.shape
         if m == 0:
@@ -519,13 +690,14 @@ class PackedColumns:
             return np.full(m, self._n, dtype=np.int64)
         out = np.empty(m, dtype=np.int64)
         _run_job(
-            _index_supports_kernel,
+            "index_supports",
             arrays={"ext": self._extended(), "idx": np.ascontiguousarray(idx)},
             outs={"counts": out},
             total=m,
             word_ops=m * k * self.n_words,
             workers=workers,
             backend=backend,
+            kernel=kernel,
         )
         return out
 
@@ -534,14 +706,16 @@ class PackedColumns:
         itemsets: Iterable[Sequence[int]],
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Support counts for many itemsets in one vectorized sweep.
 
         Ragged batches are handled by padding with a virtual all-rows
         column; uniform-length batches (a miner's candidate level) convert
         straight to the index array with no per-element Python loop.
-        ``workers`` shards the sweep and ``backend`` picks its executor
-        (see :meth:`supports_for_index_array`).
+        ``workers`` shards the sweep, ``backend`` picks its executor, and
+        ``kernel`` its implementation tier (see
+        :meth:`supports_for_index_array`).
         """
         batch = [tuple(t) for t in itemsets]
         m = len(batch)
@@ -550,7 +724,9 @@ class PackedColumns:
         if max(len(t) for t in batch) == 0:
             return np.full(m, self._n, dtype=np.int64)
         idx = _batch_index_array(batch, self._d)
-        return self.supports_for_index_array(idx, workers=workers, backend=backend)
+        return self.supports_for_index_array(
+            idx, workers=workers, backend=backend, kernel=kernel
+        )
 
     def _colex_ranks(self, idx: np.ndarray) -> np.ndarray:
         """Vectorized colex ranks of an ``(m, k)`` sorted-combination array.
@@ -573,6 +749,7 @@ class PackedColumns:
         chunk_size: int = 1 << 16,
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Supports of all ``C(d, k)`` k-itemsets in lexicographic order.
 
@@ -580,16 +757,18 @@ class PackedColumns:
         index array and the matching support counts.  The evaluator shares
         ``(k - 1)``-prefix intersections: the ``C(d, k - 1)`` prefix masks
         are built once (indexed by colex rank), and each leaf is then a
-        single gather + AND + popcount, evaluated in memory-bounded chunks.
-        With ``workers > 1`` the leaf range is sharded (the prefix masks
-        are shared -- in place by threads, via one shared-memory
-        publication by the process backend); every worker count and
-        executor produces bit-identical counts.
+        single gather + AND + popcount, evaluated in memory-bounded chunks
+        (the native tier fuses gather, AND, and popcount into one C loop
+        and needs no chunking).  With ``workers > 1`` the leaf range is
+        sharded (the prefix masks are shared -- in place by threads, via
+        one shared-memory publication by the process backend); every
+        worker count, executor, and kernel tier produces bit-identical
+        counts.
         """
         idx = combination_index_array(self._d, k)
         if k <= 1:
             return idx, self.supports_for_index_array(
-                idx, workers=workers, backend=backend
+                idx, workers=workers, backend=backend, kernel=kernel
             )
         pidx = combination_index_array(self._d, k - 1)
         pmask = self._words[pidx[:, 0]]
@@ -603,7 +782,7 @@ class PackedColumns:
         )
         counts = np.empty(idx.shape[0], dtype=np.int64)
         _run_job(
-            _combination_supports_kernel,
+            "combination_supports",
             arrays={
                 "words": self._words,
                 "pmask": pmask,
@@ -615,6 +794,7 @@ class PackedColumns:
             word_ops=2 * idx.shape[0] * self.n_words,
             workers=workers,
             backend=backend,
+            kernel=kernel,
             params={"chunk_size": int(chunk_size)},
         )
         return idx, counts
@@ -687,18 +867,21 @@ class PackedColumns:
         k: int,
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Supports of all ``C(d, k)`` k-itemsets, indexed by colex rank.
 
         The rank convention matches :func:`~repro.db.itemset.rank_itemset`
         (``rank(T) = sum_i C(c_i, i+1)``), so ``result[rank_itemset(T)]`` is
         the support of ``T``.  One flat batched kernel sweep (optionally
-        sharded via ``workers``/``backend``) plus a vectorized Pascal-table
-        rank scatter.
+        sharded via ``workers``/``backend``/``kernel``) plus a vectorized
+        Pascal-table rank scatter.
         """
         if not 0 <= k <= self._d:
             raise ParameterError(f"need 0 <= k <= d, got k={k}, d={self._d}")
-        idx, counts = self.combination_supports(k, workers=workers, backend=backend)
+        idx, counts = self.combination_supports(
+            k, workers=workers, backend=backend, kernel=kernel
+        )
         if k == 0:
             return counts
         out = np.empty_like(counts)
@@ -865,6 +1048,7 @@ class PackedRows:
         itemsets: Iterable[Sequence[int]],
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Boolean ``(m, n)`` containment mask matrix for many itemsets.
 
@@ -872,9 +1056,11 @@ class PackedRows:
         masks are built once per call (outside the shard loop); each shard
         then evaluates ``row & mask == mask`` word-at-a-time through
         preallocated scratch buffers, writing equality results straight
-        into its disjoint output slice -- no per-chunk 3-D temporaries.
-        ``workers`` shards the itemset axis (``None`` = auto heuristic)
-        and ``backend`` picks the executor.
+        into its disjoint output slice -- no per-chunk 3-D temporaries
+        (the native tier instead early-exits per row on the first
+        mismatching word).  ``workers`` shards the itemset axis (``None``
+        = auto heuristic), ``backend`` picks the executor, and ``kernel``
+        the implementation tier.
         """
         batch = [tuple(t) for t in itemsets]
         m = len(batch)
@@ -889,13 +1075,14 @@ class PackedRows:
         block = self._n * self._words.shape[1]
         chunk = max(1, _ROW_BATCH_ELEMS // max(1, self._n))
         _run_job(
-            _contains_kernel,
+            "contains",
             arrays={"words": self._words, "masks": masks},
             outs={"mask": out},
             total=m,
             word_ops=m * block,
             workers=workers,
             backend=backend,
+            kernel=kernel,
             params={"chunk": int(chunk)},
         )
         return out
@@ -905,6 +1092,7 @@ class PackedRows:
         itemsets: Iterable[Sequence[int]],
         workers: int | None = None,
         backend: str | ShardBackend | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Support counts for many itemsets via the row-containment kernel.
 
@@ -913,9 +1101,9 @@ class PackedRows:
         the column kernel touches ``k`` columns per query instead of every
         row -- and this one when the masks are needed anyway.
         """
-        return self.contains_batch(itemsets, workers=workers, backend=backend).sum(
-            axis=1, dtype=np.int64
-        )
+        return self.contains_batch(
+            itemsets, workers=workers, backend=backend, kernel=kernel
+        ).sum(axis=1, dtype=np.int64)
 
     def __repr__(self) -> str:
         return f"PackedRows(n={self._n}, d={self._d}, d_words={self.d_words})"

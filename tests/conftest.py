@@ -8,12 +8,17 @@ import numpy as np
 import pytest
 from hypothesis import settings as hypothesis_settings
 
-# Forced shard execution (CI legs set REPRO_WORKERS / REPRO_EVAL_BACKEND)
-# adds per-call dispatch overhead -- shared-memory publication for the
-# process backend -- that has nothing to do with the properties under
+# Forced shard execution (CI legs set REPRO_WORKERS / REPRO_EVAL_BACKEND /
+# REPRO_EVAL_KERNEL) adds per-call dispatch overhead -- shared-memory
+# publication for the process backend, a one-time cffi compile for the
+# native kernel tier -- that has nothing to do with the properties under
 # test, so hypothesis deadlines are disabled for those runs.
 hypothesis_settings.register_profile("forced-backend", deadline=None)
-if os.environ.get("REPRO_EVAL_BACKEND") or os.environ.get("REPRO_WORKERS"):
+if (
+    os.environ.get("REPRO_EVAL_BACKEND")
+    or os.environ.get("REPRO_WORKERS")
+    or os.environ.get("REPRO_EVAL_KERNEL")
+):
     hypothesis_settings.load_profile("forced-backend")
 
 from repro.db import BinaryDatabase, Itemset, planted_database, random_database

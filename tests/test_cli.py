@@ -142,6 +142,78 @@ class TestCommands:
         with pytest.raises(SystemExit):
             parser.parse_args(["validate", "--backend", "gpu"])
 
+    def test_kernel_flags_parse_and_reject(self):
+        parser = build_parser()
+        assert parser.parse_args(["validate", "--kernel", "numpy"]).kernel == "numpy"
+        assert parser.parse_args(["mine", "f.txt", "--kernel", "native"]).kernel == "native"
+        assert parser.parse_args(["sketch", "f.txt", "--out", "s.bin"]).kernel is None
+        assert parser.parse_args(["query", "s.bin", "0", "--kernel", "auto"]).kernel == "auto"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["mine", "f.txt", "--kernel", "fortran"])
+
+    def test_mine_kernel_tiers_match(self, tmp_path, capsys, monkeypatch):
+        """Every --kernel request prints identical mining output."""
+        monkeypatch.delenv("REPRO_EVAL_KERNEL", raising=False)
+        db = planted_database(
+            600, 8, [(Itemset([2, 3]), 0.6)], background=0.05, rng=1
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5", "--kernel", "numpy"]) == 0
+        numpy_out = capsys.readouterr().out
+        # auto and native must agree; if the native tier is unavailable
+        # the explicit request degrades (with a warning) to the same
+        # numpy answer -- never an error.
+        import warnings
+
+        for tier in ("auto", "native"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert main(
+                    ["mine", str(path), "--threshold", "0.5", "--kernel", tier]
+                ) == 0
+            assert capsys.readouterr().out == numpy_out
+
+    def test_kernel_env_restored_after_command(self, tmp_path, capsys, monkeypatch):
+        """--kernel must not leak REPRO_EVAL_KERNEL into the caller."""
+        import os
+
+        monkeypatch.delenv("REPRO_EVAL_KERNEL", raising=False)
+        db = planted_database(
+            200, 6, [(Itemset([1, 2]), 0.6)], background=0.05, rng=3
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5", "--kernel", "numpy"]) == 0
+        assert "REPRO_EVAL_KERNEL" not in os.environ
+        monkeypatch.setenv("REPRO_EVAL_KERNEL", "numpy")
+        assert main(["mine", str(path), "--threshold", "0.5", "--kernel", "auto"]) == 0
+        assert os.environ["REPRO_EVAL_KERNEL"] == "numpy"
+
+    def test_backend_and_kernel_compose(self, tmp_path, capsys, monkeypatch):
+        """Both overrides scope together and restore together."""
+        import os
+
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        monkeypatch.delenv("REPRO_EVAL_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EVAL_KERNEL", raising=False)
+        db = planted_database(
+            600, 8, [(Itemset([2, 3]), 0.6)], background=0.05, rng=1
+        )
+        path = tmp_path / "baskets.txt"
+        write_transactions(db, path)
+        assert main(["mine", str(path), "--threshold", "0.5"]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(
+            [
+                "mine", str(path), "--threshold", "0.5", "--workers", "2",
+                "--backend", "thread", "--kernel", "numpy",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == plain_out
+        assert "REPRO_EVAL_BACKEND" not in os.environ
+        assert "REPRO_EVAL_KERNEL" not in os.environ
+
     def test_validate_workers(self, capsys):
         code = main(
             [

@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.db import BinaryDatabase, FrequencyOracle, Itemset, PackedColumns
+from repro.db import packed
 from repro.db.itemset import rank_itemset
 from repro.db.packed import pack_columns, popcount_words
 from repro.errors import ParameterError
@@ -65,6 +66,67 @@ class TestPackedLayout:
         words = rng.integers(0, 2**63, size=(4, 7), dtype=np.int64).astype(np.uint64)
         expect = np.vectorize(lambda w: bin(int(w)).count("1"))(words)
         assert np.array_equal(popcount_words(words), expect)
+
+
+class TestPopcountBranches:
+    """Both numpy-version popcount implementations, on every numpy.
+
+    The version check is resolved once at import into the module-level
+    ``popcount_words`` / ``popcount_sum`` pointers; the underlying branch
+    functions stay importable everywhere, so the branch that this host's
+    numpy would *not* pick is unit-tested too.
+    """
+
+    @pytest.fixture(scope="class")
+    def words(self) -> np.ndarray:
+        rng = np.random.default_rng(8)
+        words = rng.integers(0, 2**63, size=(5, 4), dtype=np.int64).astype(np.uint64)
+        # Edge words the random draw misses: empty, full, single-bit.
+        words[0, :] = (0, np.uint64(2**64 - 1), 1, np.uint64(1) << np.uint64(63))
+        return words
+
+    @pytest.fixture(scope="class")
+    def expect_words(self, words) -> np.ndarray:
+        return np.vectorize(lambda w: bin(int(w)).count("1"))(words)
+
+    def test_lut_branch(self, words, expect_words):
+        assert np.array_equal(packed._popcount_words_lut(words), expect_words)
+        assert np.array_equal(
+            packed._popcount_sum_lut(words), expect_words.sum(axis=1)
+        )
+        assert packed._popcount_sum_lut(words).dtype == np.int64
+
+    @pytest.mark.skipif(
+        not hasattr(np, "bitwise_count"), reason="numpy < 2.0: no bitwise_count"
+    )
+    def test_bitwise_count_branch(self, words, expect_words):
+        assert np.array_equal(packed._popcount_words_bitwise(words), expect_words)
+        assert np.array_equal(
+            packed._popcount_sum_bitwise(words), expect_words.sum(axis=1)
+        )
+        assert packed._popcount_sum_bitwise(words).dtype == np.int64
+
+    def test_branches_agree(self, words):
+        if hasattr(np, "bitwise_count"):
+            assert np.array_equal(
+                packed._popcount_words_bitwise(words),
+                packed._popcount_words_lut(words),
+            )
+
+    def test_module_pointers_match_host_numpy(self):
+        """The import-time resolution picked the branch this numpy has."""
+        if hasattr(np, "bitwise_count"):
+            assert packed.popcount_words is packed._popcount_words_bitwise
+            assert packed.popcount_sum is packed._popcount_sum_bitwise
+        else:  # pragma: no cover - numpy >= 2 in this environment
+            assert packed.popcount_words is packed._popcount_words_lut
+            assert packed.popcount_sum is packed._popcount_sum_lut
+
+    def test_lut_built_lazily_and_cached(self):
+        table = packed._popcount16_table()
+        assert table.shape == (1 << 16,)
+        assert table[0] == 0 and table[0xFFFF] == 16 and table[0b1011] == 3
+        assert packed._popcount16_table() is table
 
     def test_out_of_range_item(self):
         pc = PackedColumns(np.ones((4, 3), dtype=bool))

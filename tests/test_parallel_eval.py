@@ -46,10 +46,14 @@ from repro.db.backends import (
     get_backend,
     resolve_backend,
 )
+from repro.db import _native
 from repro.db.packed import (
+    KERNEL_ENV,
     PARALLEL_MIN_WORDS,
     _MAX_AUTO_WORKERS,
+    available_kernels,
     combination_index_array,
+    resolve_kernel,
     resolve_workers,
 )
 from repro.errors import ParameterError
@@ -376,6 +380,36 @@ class TestProcessBackendLifecycle:
         finally:
             backend.shutdown()
 
+    def test_shm_cleanup_on_exception_in_reused_pool(self, many_cores, kernel):
+        """A raising kernel unlinks every block on the *warm* pool too.
+
+        The fresh-pool case is covered above; this pins the second-call
+        path, where ``_ensure_pool`` returns the existing executor and the
+        publish/cleanup bracket must still run unconditionally.
+        """
+        backend = ProcessBackend()
+        job = ShardJob(
+            kernel=_boom_kernel,
+            arrays={"x": np.arange(64, dtype=np.uint64)},
+            outs={"y": np.zeros(64, dtype=np.int64)},
+            total=64,
+        )
+        try:
+            # Warm the pool with a successful sweep first.
+            kernel.combination_supports(3, workers=2, backend=backend)
+            warm = backend._pool
+            assert warm is not None
+            with pytest.raises(ValueError, match="shard exploded"):
+                backend.run(job, workers=2)
+            assert backend._pool is warm  # the reused pool, not a fresh one
+            assert not _leftover_segments()
+            # The pool survives the failed sweep and keeps answering.
+            _, counts = kernel.combination_supports(3, workers=2, backend=backend)
+            assert np.array_equal(counts, kernel.combination_supports(3, workers=1)[1])
+            assert not _leftover_segments()
+        finally:
+            backend.shutdown()
+
 
 class TestBackendResolution:
     def test_registry_names_and_singletons(self):
@@ -480,3 +514,121 @@ class TestWorkerClamp:
         monkeypatch.setattr("os.cpu_count", lambda: 8)
         _, wide = kernel.combination_supports(3, workers=8)
         assert np.array_equal(clamped, wide)
+
+
+@pytest.fixture
+def native_unavailable(monkeypatch):
+    """Force the no-native-module world, restoring the cached probe after.
+
+    Monkeypatches the loader's import step to fail (the satellite case:
+    cffi absent / compiler missing), then resets the resolution cache so
+    the failure is actually re-probed -- and re-resets on teardown so
+    later tests see the real availability again.
+    """
+
+    def _import_fails():
+        raise ImportError("forced: native module not importable")
+
+    monkeypatch.setattr(_native, "_load_impl", _import_fails)
+    _native._reset_for_tests()
+    yield
+    _native._reset_for_tests()
+
+
+class TestKernelEnvResolution:
+    """Precedence table for kernel-tier resolution and its orthogonality.
+
+    ``resolve_kernel``: explicit argument > ``REPRO_EVAL_KERNEL`` env >
+    auto; the kernel tier never leaks into backend or worker resolution
+    (and vice versa).
+    """
+
+    def test_registry_names(self):
+        assert available_kernels() == ("auto", "numpy", "native")
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        with pytest.raises(ParameterError):
+            resolve_kernel("gpu")
+        monkeypatch.setenv(KERNEL_ENV, "bogus")
+        with pytest.raises(ParameterError):
+            resolve_kernel(None)
+
+    def test_explicit_numpy_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "native")
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_env_beats_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        assert resolve_kernel(None) == "numpy"
+
+    def test_empty_env_means_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "")
+        assert resolve_kernel(None) == resolve_kernel("auto")
+
+    def test_resolution_matches_availability(self, monkeypatch):
+        """auto and native both track what actually loaded."""
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        expected = "native" if _native.available() else "numpy"
+        assert resolve_kernel(None) == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_auto_falls_back_silently_without_native(self, native_unavailable):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel("auto") == "numpy"
+        assert not _native.available()
+        assert "forced" in (_native.unavailable_reason() or "")
+
+    def test_explicit_native_falls_back_with_one_warning(self, native_unavailable):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_kernel("native") == "numpy"
+        # Warned exactly once: the second request stays quiet.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel("native") == "numpy"
+
+    def test_env_native_falls_back_too(self, native_unavailable, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "native")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_kernel(None) == "numpy"
+
+    def test_sweeps_stay_correct_without_native(self, native_unavailable, kernel):
+        """End to end: every tier request answers identically numpy-only."""
+        import warnings
+
+        expected = kernel.combination_supports(2, workers=1, kernel="numpy")[1]
+        with warnings.catch_warnings():
+            # The explicit-native request warns once; the answer must not
+            # change regardless.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for requested in (None, "auto", "native"):
+                assert np.array_equal(
+                    kernel.combination_supports(2, workers=1, kernel=requested)[1],
+                    expected,
+                )
+
+    def test_kernel_env_does_not_touch_backend_resolution(self, monkeypatch):
+        """REPRO_EVAL_KERNEL is invisible to resolve_backend."""
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(KERNEL_ENV, "native")
+        assert isinstance(resolve_backend(None, 0, 1), SerialBackend)
+        monkeypatch.setenv(KERNEL_ENV, "bogus")  # not even validated here
+        assert isinstance(
+            resolve_backend(None, PROCESS_MIN_WORDS - 1, 4), ThreadBackend
+        )
+
+    def test_kernel_env_does_not_touch_worker_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        assert resolve_workers(None, PARALLEL_MIN_WORDS) == 4
+        assert resolve_workers(None, 0) == 1
+
+    def test_backend_env_does_not_touch_kernel_resolution(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        assert resolve_kernel(None) == "numpy"
