@@ -19,14 +19,23 @@ Nine commands cover the library's everyday entry points:
   into one merged sketch file (the distributed-ingest coordinator);
 * ``inspect``     -- print a sketch file's frame header (codec, wire
   version, params, extras, ``n_bits``, CRC status) without decoding the
-  payload.
+  payload;
+* ``serve``       -- run a resident sketch server: a long-lived daemon
+  holding loaded sketches in memory and answering socket queries
+  (``--load`` preloads frame files, ``--port 0`` binds an ephemeral
+  port and prints it);
+* ``push``        -- upload a sketch file into a running server's
+  registry (name collisions fold shards via the merge rules).
 
 ``sketch`` and ``query`` realise the paper's ``(S, Q)`` split across a
 process boundary: the query process never sees the database, only the
-serialized summary whose length the lower bounds are about.  Every
-command that reads sketch files (``query``/``merge``/``inspect``)
+serialized summary whose length the lower bounds are about.  ``serve``
+extends the split over sockets -- ``query --connect host:port`` answers
+from a resident sketch instead of a file, through the same codec path.
+Every command that reads sketch files (``query``/``merge``/``inspect``)
 reports corrupted or truncated frames as a one-line error and a nonzero
-exit code, never a traceback.
+exit code, never a traceback; socket commands report connection and
+server errors the same way.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from .lowerbounds import (
 )
 from .mining import apriori
 from .params import SketchParams
+from .server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
 from .wire import SUPPORTED_WIRE_VERSIONS, WIRE_VERSION
 
 __all__ = ["main", "build_parser"]
@@ -191,7 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "query", help="answer an itemset query from a sketch file alone"
     )
-    query.add_argument("path", help="sketch file written by `repro sketch`")
+    query.add_argument(
+        "path",
+        help="sketch file written by `repro sketch` (with --connect: the "
+             "name of a sketch resident on the server)",
+    )
     query.add_argument(
         "items", nargs="*", type=int,
         help="attribute indices of the queried itemset (empty = empty itemset)",
@@ -201,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel implementation tier: numpy or cffi-compiled native "
              "(default: auto -- native when the compiled module is "
              "available, else numpy)",
+    )
+    query.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="answer from a running `repro serve` daemon instead of a "
+             "file; PATH names the resident sketch",
     )
 
     merge = sub.add_parser(
@@ -231,6 +250,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a sketch file's frame header without decoding the payload",
     )
     inspect.add_argument("path", help="sketch file written by `repro sketch`")
+
+    serve = sub.add_parser(
+        "serve", help="run a resident sketch server answering socket queries"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 binds an ephemeral "
+             "port, printed on startup)",
+    )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES,
+        help="cap on one request/response body; oversized requests are "
+             "rejected before their payload is read "
+             f"(default {DEFAULT_MAX_FRAME_BYTES})",
+    )
+    serve.add_argument(
+        "--load", nargs="*", default=[], metavar="PATH",
+        help="sketch files to preload into the registry, named by file stem",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sampling-based merge rules (reservoirs)",
+    )
+
+    push = sub.add_parser(
+        "push", help="upload a sketch file into a running sketch server"
+    )
+    push.add_argument("path", help="sketch file written by `repro sketch`")
+    push.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of a running `repro serve` daemon",
+    )
+    push.add_argument(
+        "--name", default=None,
+        help="registry name (default: the file's stem); pushing shards "
+             "under one name folds them via the merge rules",
+    )
     return parser
 
 
@@ -379,6 +436,51 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_connect(value: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` connect string; ``ProtocolError`` if malformed."""
+    from .errors import ProtocolError
+
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(f"--connect wants HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(f"invalid port in --connect {value!r}") from None
+    if not 0 < port < 65536:
+        raise ProtocolError(f"port {port} outside [1, 65535]")
+    return host, port
+
+
+def _query_over_socket(args: argparse.Namespace, itemset: Itemset, label: str) -> int:
+    """``Q`` over a socket: same answer, resident sketch, zero file reads."""
+    from .errors import ReproError, ServerError
+    from .server import Client
+
+    name = args.path
+    try:
+        host, port = _parse_connect(args.connect)
+        with Client(host, port) as client:
+            stat = client.stat(name)
+            [estimate] = client.estimate(name, [itemset])
+            try:
+                [indicator] = client.indicate(name, [itemset])
+            except ServerError:
+                indicator = None  # streaming summaries have no threshold
+    except (ReproError, OSError) as exc:
+        print(
+            f"cannot query {name!r} via {args.connect}: {exc}", file=sys.stderr
+        )
+        return 1
+    described = f"{stat.params.describe()}, " if stat.params else ""
+    indicate_text = "n/a" if indicator is None else str(int(indicator))
+    print(
+        f"{stat.codec} ({described}{stat.size_in_bits} bits): "
+        f"estimate[{label}] = {estimate:.6g}, indicate = {indicate_text}"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     """``Q``: answer from the serialized summary alone."""
     from .errors import ReproError, WireFormatError
@@ -389,6 +491,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"invalid itemset {args.items}: {exc}", file=sys.stderr)
         return 1
     label = " ".join(map(str, itemset.items)) or "(empty)"
+    if args.connect:
+        return _query_over_socket(args, itemset, label)
     try:
         sketch = _read_frame_file(args.path)
         if not isinstance(sketch, FrequencySketch):
@@ -485,6 +589,78 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0 if info.crc_ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident sketch server in the foreground until signalled."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from .errors import ReproError
+    from .server import SketchServer, preload_files
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        server = SketchServer(
+            args.host, port, max_frame_bytes=args.max_frame_bytes, rng=args.seed
+        )
+        names = preload_files(server.registry, args.load)
+    except (ReproError, OSError) as exc:
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 1
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await server.start()
+        for name in names:
+            print(f"loaded {name!r}", flush=True)
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {serving, waiting}, return_when=asyncio.FIRST_COMPLETED
+        )
+        serving.cancel()
+        waiting.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # bind failure (port in use, bad host)
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    """Upload one sketch file into a running server's registry."""
+    from .errors import ReproError
+    from .server import Client
+
+    try:
+        frame = Path(args.path).read_bytes()
+        name = args.name if args.name else Path(args.path).stem
+        host, port = _parse_connect(args.connect)
+        with Client(host, port) as client:
+            codec, size_in_bits, merged = client.load(name, frame)
+    except (ReproError, OSError) as exc:
+        print(f"cannot push {args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"pushed {args.path} to {args.connect} as {name!r}: {codec}, "
+        f"{size_in_bits} bits resident "
+        f"({'merged into existing entry' if merged else 'new entry'})"
+    )
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
@@ -504,6 +680,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_merge(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "push":
+        return _cmd_push(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

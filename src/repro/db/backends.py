@@ -61,6 +61,7 @@ torn down by :meth:`ProcessBackend.shutdown` or interpreter exit.
 
 from __future__ import annotations
 
+import atexit
 import os
 import secrets
 import sys
@@ -405,6 +406,25 @@ class ProcessBackend(ShardBackend):
 
 _REGISTRY: dict[str, ShardBackend] = {}
 _REGISTRY_LOCK = threading.Lock()
+
+
+@atexit.register
+def _shutdown_registered_backends() -> None:
+    """Tear down singleton pools at interpreter exit.
+
+    Long-lived hosts -- the sketch server, notebook kernels, a CLI killed
+    by SIGTERM mid-sweep -- must not orphan pool workers or shared-memory
+    segments.  Per-run cleanup already unlinks segments in a ``finally``,
+    so this only has to retire the lazily-created worker pools; it runs
+    before ``concurrent.futures``' own atexit hook joins leftover
+    processes.
+    """
+    with _REGISTRY_LOCK:
+        backends = list(_REGISTRY.values())
+    for backend in backends:
+        shutdown = getattr(backend, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
 
 def available_backends() -> tuple[str, ...]:

@@ -53,3 +53,24 @@ class WireFormatError(ReproError):
 
 class StreamError(ReproError):
     """Raised by streaming summaries on invalid updates or queries."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a sketch-server protocol message cannot be parsed.
+
+    The transport-level sibling of :class:`WireFormatError`: covers
+    malformed request/response bodies, unknown opcodes, oversized
+    messages, and truncated fields.  The server answers a request that
+    raises this with an error response (or drops the connection when the
+    framing itself is no longer trustworthy); the registry and every
+    other connection are untouched.
+    """
+
+
+class ServerError(ReproError):
+    """Raised client-side when the sketch server answers with an error.
+
+    Carries the server's one-line message verbatim: unknown sketch
+    names, unmergeable shard types, queries a resident summary cannot
+    answer, and request-level protocol violations all surface here.
+    """

@@ -1,0 +1,75 @@
+"""The resident sketch server: the paper's ``(S, Q)`` split over sockets.
+
+The sketching party ``S`` pushes serialized sketches to a long-lived
+daemon; many query parties ``Q`` then answer itemset-frequency queries
+against the resident copy, paying the sketch's space cost once.  The
+transport reuses the IFSK wire format end to end -- a ``LOAD`` body *is*
+a frame file's bytes, so file and socket share one codec path.
+
+Frame grammar
+-------------
+Every message (both directions) is length-framed::
+
+    message   := u32_be(len(body)) body          # 1 <= len <= max_frame_bytes
+
+Request bodies open with an opcode byte; ``name`` is a length-prefixed
+ASCII string (``u8(len) bytes``), ``uvarint`` is canonical LEB128 (the
+v2 frame primitive), ``f64`` is big-endian IEEE 754::
+
+    request   := op:u8 fields
+    LOAD(1)   := name frame_bytes                # frame_bytes = one IFSK frame
+    ESTIMATE(2) := name itemsets
+    INDICATE(3) := name itemsets
+    STAT(4)   := name
+    LIST(5)   :=                                 # no fields
+    DROP(6)   := name
+    PING(7)   :=                                 # no fields
+    itemsets  := uvarint(count) { uvarint(k) uvarint(item)*k }*count
+
+Response bodies open with a status byte; an error carries one UTF-8
+message and leaves the connection usable::
+
+    response  := 0x00 payload | 0x01 uvarint(len) utf8_message
+    LOAD      := merged:u8 codec_name uvarint(size_in_bits)
+    ESTIMATE  := uvarint(count) f64*count        # bit-exact estimates
+    INDICATE  := uvarint(count) u8*count         # 0/1 indicators
+    STAT      := name codec_name uvarint(size_in_bits) params
+    params    := 0x00 | 0x01 uvarint(n) uvarint(d) uvarint(k) f64(eps) f64(delta)
+    LIST      := uvarint(count) { name codec_name uvarint(size_in_bits) }*count
+    DROP/PING := (empty)
+
+Failure isolation: a request that parses but cannot be served (unknown
+name, unmergeable shard, summary asked for indicators) gets an error
+response and the connection continues.  A length prefix outside bounds
+or a mid-frame disconnect closes *that* connection only -- the registry
+and every other client are untouched.
+
+Entry points: :class:`SketchServer` (asyncio daemon),
+:func:`serve_in_thread` (daemon-thread harness for blocking callers),
+:class:`Client` (blocking socket client), and
+:class:`SketchRegistry` (the transport-free verb implementation).
+"""
+
+from .client import Client
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_PORT,
+    EntryInfo,
+    StatInfo,
+)
+from .registry import RegistryEntry, SketchRegistry
+from .server import ServerHandle, SketchServer, preload_files, serve_in_thread
+
+__all__ = [
+    "Client",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_PORT",
+    "EntryInfo",
+    "RegistryEntry",
+    "ServerHandle",
+    "SketchRegistry",
+    "SketchServer",
+    "StatInfo",
+    "preload_files",
+    "serve_in_thread",
+]

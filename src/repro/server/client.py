@@ -1,0 +1,122 @@
+"""Blocking socket client for the sketch server.
+
+:class:`Client` wraps one TCP connection in the request/response verbs
+of :mod:`repro.server.protocol`.  It is deliberately synchronous -- the
+query party in the paper's ``(S, Q)`` split is a cheap, stateless
+caller, and a plain blocking socket keeps the CLI and tests free of
+asyncio plumbing.  Use one client per thread; a client is a context
+manager and closes its socket on exit.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Sequence
+
+from ..db.itemset import Itemset
+from ..errors import ProtocolError
+from . import protocol
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One blocking connection to a :class:`~repro.server.SketchServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for connect and each read/write.
+    max_frame_bytes:
+        Cap on response bodies this client will accept; keep in sync
+        with the server's ``--max-frame-bytes`` when raising it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing -------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _round_trip(self, request_body: bytes) -> bytes:
+        self._file.write(
+            protocol.frame_message(request_body, self.max_frame_bytes)
+        )
+        self._file.flush()
+        return protocol.read_message(self._file, self.max_frame_bytes)
+
+    # -- verbs ----------------------------------------------------------
+    def ping(self) -> None:
+        """Round-trip an empty request; raises on any failure."""
+        protocol.parse_empty_ok(self._round_trip(protocol.encode_request(protocol.OP_PING)))
+
+    def load(self, name: str, frame: bytes) -> tuple[str, int, bool]:
+        """Push one IFSK frame; returns ``(codec, size_in_bits, merged)``."""
+        body = protocol.encode_request(protocol.OP_LOAD, name=name, frame=frame)
+        return protocol.parse_load_ok(self._round_trip(body))
+
+    def estimate(self, name: str, itemsets: Sequence[Itemset]) -> list[float]:
+        """Batched frequency estimates, in query order, bit-exact f64s."""
+        body = protocol.encode_request(
+            protocol.OP_ESTIMATE, name=name, itemsets=itemsets
+        )
+        values = protocol.parse_estimates(self._round_trip(body))
+        if len(values) != len(itemsets):
+            raise ProtocolError(
+                f"server answered {len(values)} estimates for "
+                f"{len(itemsets)} itemsets"
+            )
+        return values
+
+    def indicate(self, name: str, itemsets: Sequence[Itemset]) -> list[bool]:
+        """Batched frequency indicators, in query order."""
+        body = protocol.encode_request(
+            protocol.OP_INDICATE, name=name, itemsets=itemsets
+        )
+        values = protocol.parse_indicators(self._round_trip(body))
+        if len(values) != len(itemsets):
+            raise ProtocolError(
+                f"server answered {len(values)} indicators for "
+                f"{len(itemsets)} itemsets"
+            )
+        return values
+
+    def stat(self, name: str) -> protocol.StatInfo:
+        """Codec, charged size, and params of one resident sketch."""
+        body = protocol.encode_request(protocol.OP_STAT, name=name)
+        return protocol.parse_stat(self._round_trip(body))
+
+    def entries(self) -> list[protocol.EntryInfo]:
+        """Every resident sketch, sorted by name."""
+        return protocol.parse_entries(
+            self._round_trip(protocol.encode_request(protocol.OP_LIST))
+        )
+
+    def drop(self, name: str) -> None:
+        """Remove one resident sketch."""
+        body = protocol.encode_request(protocol.OP_DROP, name=name)
+        protocol.parse_empty_ok(self._round_trip(body))

@@ -1,0 +1,205 @@
+"""The resident sketch registry behind ``repro serve``.
+
+A :class:`SketchRegistry` maps names to decoded sketches/summaries and
+implements the server's verbs as plain (transport-free) methods, so the
+same object can be unit-tested without a socket in sight.
+
+Concurrency model
+-----------------
+Every merge rule in :mod:`repro.streaming.merge` returns a *new* object;
+the registry exploits that for lock-light reads.  ``load`` decodes and
+merges outside the lock and only swaps the entry reference while holding
+it, so a query that grabbed the old entry keeps answering from the old,
+fully-consistent summary while the swap happens -- answers always come
+from a complete pre- or post-merge state, never a half-merged one.  If
+decoding or merging fails, the registry is untouched.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.base import FrequencySketch
+from ..db.itemset import Itemset
+from ..errors import ProtocolError
+from ..params import SketchParams
+from ..streaming.base import StreamSummary
+from ..streaming.merge import merge_summaries
+from ..db.generators import as_rng
+from ..wire import codec_for, load_from, payload_size_bits
+from .protocol import DEFAULT_MAX_FRAME_BYTES, EntryInfo, StatInfo
+
+__all__ = ["RegistryEntry", "SketchRegistry"]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One resident sketch: the decoded object plus its frame metadata.
+
+    Entries are immutable; ``load`` replaces the whole entry under the
+    registry lock rather than mutating in place.
+    """
+
+    name: str
+    obj: Any
+    codec: str
+    size_in_bits: int
+
+    @property
+    def params(self) -> SketchParams | None:
+        if isinstance(self.obj, FrequencySketch):
+            return self.obj.params
+        return None
+
+
+class SketchRegistry:
+    """Thread-safe name -> sketch map implementing the server verbs.
+
+    Parameters
+    ----------
+    rng:
+        Randomness for merge rules that need it (reservoir merges);
+        any :func:`~repro.utils.as_rng` input.
+    max_frame_bytes:
+        Budget handed to :func:`~repro.wire.load_from` when decoding a
+        pushed frame, so a hostile LOAD cannot expand past the same cap
+        the transport enforces.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+        self._lock = threading.Lock()
+        self._rng = as_rng(rng)
+        self._max_frame_bytes = max_frame_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _get(self, name: str) -> RegistryEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ProtocolError(f"no sketch named {name!r} is loaded")
+        return entry
+
+    @staticmethod
+    def _make_entry(name: str, obj: Any) -> RegistryEntry:
+        return RegistryEntry(
+            name=name,
+            obj=obj,
+            codec=codec_for(obj).name,
+            size_in_bits=payload_size_bits(obj),
+        )
+
+    # -- verbs ----------------------------------------------------------
+    def load(self, name: str, frame: bytes) -> tuple[str, int, bool]:
+        """Decode ``frame`` and install it under ``name``.
+
+        On a name collision the incoming object is folded into the
+        resident one via :func:`~repro.streaming.merge.merge_summaries`
+        and the merged result replaces the entry atomically.  Returns
+        ``(codec, size_in_bits, merged)`` for the resident entry.
+
+        Raises
+        ------
+        WireFormatError
+            If the frame is malformed; the registry is unchanged.
+        StreamError
+            If the resident and incoming objects cannot merge; the
+            resident entry is unchanged.
+        """
+        incoming = load_from(io.BytesIO(frame), max_bytes=self._max_frame_bytes)
+        while True:
+            with self._lock:
+                existing = self._entries.get(name)
+                if existing is None:
+                    entry = self._make_entry(name, incoming)
+                    self._entries[name] = entry
+                    return entry.codec, entry.size_in_bits, False
+            # Merge outside the lock: merges allocate fresh objects, so
+            # concurrent queries keep answering from `existing`.
+            merged_obj = merge_summaries(existing.obj, incoming, rng=self._rng)
+            entry = self._make_entry(name, merged_obj)
+            with self._lock:
+                if self._entries.get(name) is existing:
+                    self._entries[name] = entry
+                    return entry.codec, entry.size_in_bits, True
+                # Another LOAD swapped the entry mid-merge; redo the fold
+                # against the new resident object.
+
+    def estimate(self, name: str, itemsets: Sequence[Itemset]) -> list[float]:
+        """Batched frequency estimates from the resident sketch.
+
+        :class:`~repro.core.base.FrequencySketch` entries answer through
+        :meth:`~repro.core.base.FrequencySketch.estimate_batch`;
+        streaming summaries answer singleton itemsets through
+        :meth:`~repro.streaming.base.StreamSummary.estimate_frequency`.
+        """
+        entry = self._get(name)
+        obj = entry.obj
+        if isinstance(obj, FrequencySketch):
+            return [float(v) for v in obj.estimate_batch(list(itemsets))]
+        if isinstance(obj, StreamSummary):
+            items = self._singleton_items(itemsets)
+            return [obj.estimate_frequency(item) for item in items]
+        raise ProtocolError(
+            f"sketch {name!r} ({entry.codec}) does not answer estimates"
+        )
+
+    def indicate(self, name: str, itemsets: Sequence[Itemset]) -> list[bool]:
+        """Batched frequency indicators; FrequencySketch entries only."""
+        entry = self._get(name)
+        obj = entry.obj
+        if isinstance(obj, FrequencySketch):
+            return [bool(v) for v in obj.indicate_batch(list(itemsets))]
+        raise ProtocolError(
+            f"sketch {name!r} ({entry.codec}) has no indicator threshold; "
+            "use ESTIMATE"
+        )
+
+    @staticmethod
+    def _singleton_items(itemsets: Sequence[Itemset]) -> list[int]:
+        items = []
+        for itemset in itemsets:
+            if len(itemset.items) != 1:
+                raise ProtocolError(
+                    f"streaming summaries answer singleton itemsets only, "
+                    f"got {itemset!r}"
+                )
+            items.append(itemset.items[0])
+        return items
+
+    def stat(self, name: str) -> StatInfo:
+        """Codec, charged size, and params for one resident sketch."""
+        entry = self._get(name)
+        return StatInfo(
+            name=entry.name,
+            codec=entry.codec,
+            size_in_bits=entry.size_in_bits,
+            params=entry.params,
+        )
+
+    def entries(self) -> list[EntryInfo]:
+        """All resident entries, sorted by name."""
+        with self._lock:
+            snapshot = sorted(self._entries.values(), key=lambda e: e.name)
+        return [
+            EntryInfo(name=e.name, codec=e.codec, size_in_bits=e.size_in_bits)
+            for e in snapshot
+        ]
+
+    def drop(self, name: str) -> None:
+        """Remove one entry; :class:`ProtocolError` if absent."""
+        with self._lock:
+            if self._entries.pop(name, None) is None:
+                raise ProtocolError(f"no sketch named {name!r} is loaded")

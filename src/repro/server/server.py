@@ -1,0 +1,273 @@
+"""The asyncio sketch-server daemon behind ``repro serve``.
+
+:class:`SketchServer` accepts length-framed requests (see
+:mod:`repro.server.protocol`), dispatches them against a shared
+:class:`~repro.server.registry.SketchRegistry`, and writes length-framed
+responses.  Connections are independent: a malformed request gets an
+error response on its own connection; a mid-frame disconnect, oversized
+length prefix, or garbage framing closes *that* connection only.  The
+registry and every other client are untouched either way.
+
+:func:`serve_in_thread` hosts a server on a daemon thread with its own
+event loop -- the harness used by the blocking CLI tests and any caller
+who wants a resident server without adopting asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ProtocolError, ReproError
+from . import protocol
+from .registry import SketchRegistry
+
+__all__ = ["SketchServer", "serve_in_thread", "ServerHandle"]
+
+
+class SketchServer:
+    """A resident sketch server speaking the IFSK socket protocol.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port; read the
+        chosen one from :attr:`port` after :meth:`start`.
+    max_frame_bytes:
+        Cap on one request/response body.  A request declaring a larger
+        length is answered with an error and the connection is closed
+        (the stream position can no longer be trusted).
+    registry:
+        Share a prebuilt registry (e.g. preloaded from files); by
+        default a fresh empty one is created.
+    rng:
+        Randomness for merge-on-collision, forwarded to the registry.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        *,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        registry: SketchRegistry | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ProtocolError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.registry = (
+            registry
+            if registry is not None
+            else SketchRegistry(rng=rng, max_frame_bytes=max_frame_bytes)
+        )
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections; updates :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting and close listening sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` foreground loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF between messages, or mid-prefix
+                (length,) = struct.unpack(">I", header)
+                if not 1 <= length <= self.max_frame_bytes:
+                    # The framing itself is broken; answer once and hang
+                    # up -- we cannot resynchronize on this stream.
+                    await self._send(
+                        writer,
+                        protocol.encode_error(
+                            f"message of {length} bytes outside "
+                            f"[1, {self.max_frame_bytes}]"
+                        ),
+                    )
+                    break
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    break  # mid-frame disconnect: drop this client only
+                response = self._dispatch(body)
+                await self._send(writer, response)
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # peer vanished; nothing shared is affected
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        writer.write(protocol.frame_message(body, self.max_frame_bytes))
+        await writer.drain()
+
+    def _dispatch(self, body: bytes) -> bytes:
+        """One request in, one response body out; never raises ReproError."""
+        try:
+            request = protocol.parse_request(body)
+            return self._answer(request)
+        except ReproError as exc:
+            return protocol.encode_error(str(exc))
+
+    def _answer(self, request: protocol.Request) -> bytes:
+        registry = self.registry
+        op = request.op
+        if op == protocol.OP_LOAD:
+            assert request.name is not None
+            codec, size, merged = registry.load(request.name, request.frame)
+            return protocol.encode_load_ok(codec, size, merged)
+        if op == protocol.OP_ESTIMATE:
+            assert request.name is not None
+            values = registry.estimate(request.name, request.itemsets)
+            return protocol.encode_estimates(values)
+        if op == protocol.OP_INDICATE:
+            assert request.name is not None
+            values = registry.indicate(request.name, request.itemsets)
+            return protocol.encode_indicators(values)
+        if op == protocol.OP_STAT:
+            assert request.name is not None
+            return protocol.encode_stat(registry.stat(request.name))
+        if op == protocol.OP_LIST:
+            return protocol.encode_entries(registry.entries())
+        if op == protocol.OP_DROP:
+            assert request.name is not None
+            registry.drop(request.name)
+            return protocol.encode_empty_ok()
+        if op == protocol.OP_PING:
+            return protocol.encode_empty_ok()
+        raise ProtocolError(f"unknown request op {op}")
+
+
+class ServerHandle:
+    """A running :func:`serve_in_thread` server: address plus shutdown."""
+
+    def __init__(
+        self,
+        server: SketchServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def registry(self) -> SketchRegistry:
+        return self.server.registry
+
+    def close(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.close(), self._loop
+            ).result(timeout=10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_in_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    registry: SketchRegistry | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> ServerHandle:
+    """Start a :class:`SketchServer` on a daemon thread and wait for bind.
+
+    Returns a :class:`ServerHandle` (also a context manager) whose
+    ``host``/``port`` are ready for blocking clients.  The default
+    ``port=0`` picks an ephemeral port, so parallel test runs never
+    collide.
+    """
+    server = SketchServer(
+        host, port, max_frame_bytes=max_frame_bytes, registry=registry, rng=rng
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # bind failures must reach the caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-sketch-server", daemon=True)
+    thread.start()
+    started.wait(timeout=10)
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, loop, thread)
+
+
+def preload_files(registry: SketchRegistry, paths: Iterable[str]) -> list[str]:
+    """Load frame files into a registry, named by file stem.
+
+    The ``repro serve --load`` helper; returns the names installed, in
+    input order.
+    """
+    import pathlib
+
+    names = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        registry.load(path.stem, path.read_bytes())
+        names.append(path.stem)
+    return names

@@ -23,6 +23,10 @@ the same workflow through *merge* operations.  Implemented here:
 * :func:`merge_row_reservoirs` -- the same for row reservoirs, yielding a
   distributed SUBSAMPLE: sketch shards independently, merge, and the
   result is distributed exactly as a single-pass uniform row sample.
+* :func:`merge_summaries` -- the object-level entry point: dispatch two
+  already-decoded summaries to the matching rule by concrete type (what
+  the sketch server's registry uses to fold a pushed shard into a
+  resident one).
 * :func:`merge_payloads` -- the wire-format entry point: shards arrive
   as serialized frames (:mod:`repro.wire`) -- byte strings, open shard
   *files*, or one iterable yielding either -- are reconstructed one at a
@@ -51,6 +55,7 @@ __all__ = [
     "merge_count_min",
     "merge_reservoirs",
     "merge_row_reservoirs",
+    "merge_summaries",
     "merge_payloads",
 ]
 
@@ -211,6 +216,32 @@ def merge_row_reservoirs(
         merged.append(pool_a.pop() if take_a else pool_b.pop())
     out._words = merged
     return out
+
+
+def merge_summaries(
+    left: Any,
+    right: Any,
+    rng: np.random.Generator | int | None = None,
+):
+    """Merge two *decoded* summaries of the same concrete type.
+
+    The object-level entry point behind :func:`merge_payloads`: dispatch
+    to the matching merge rule by concrete type.  This is what callers
+    holding live summaries -- the sketch server's registry folding a
+    pushed shard into a resident one -- use directly, skipping the frame
+    decode that :func:`merge_payloads` performs.  ``rng`` feeds the
+    sampling-based rules (reservoirs) and is ignored by the
+    deterministic ones.
+
+    Raises
+    ------
+    StreamError
+        If the two summaries' concrete types differ or their type has no
+        merge rule (the naive :class:`~repro.core.base.FrequencySketch`
+        types are not mergeable -- a sketch of ``A`` and a sketch of
+        ``B`` carry no rule for reconstructing a sketch of ``A ∪ B``).
+    """
+    return _merge_pair(left, right, as_rng(rng))
 
 
 def _merge_pair(left: Any, right: Any, rng: np.random.Generator):

@@ -426,18 +426,33 @@ class _CrcWriter:
 
 
 class _CrcReader:
-    """Exact reads with a running CRC; short reads are frame errors."""
+    """Exact reads with a running CRC; short reads are frame errors.
 
-    __slots__ = ("_stream", "crc", "count")
+    ``max_bytes`` bounds the total bytes this reader will consume from
+    the stream.  The budget is checked *before* each read, so a frame
+    that declares an oversized section (a 4 GiB chunk, a giant header
+    string) is rejected without ever attempting the allocation -- the
+    guard a socket server needs against hostile peers.
+    """
 
-    def __init__(self, stream: IO[bytes]) -> None:
+    __slots__ = ("_stream", "crc", "count", "_max_bytes")
+
+    def __init__(self, stream: IO[bytes], max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise WireFormatError(f"max_bytes must be >= 1, got {max_bytes}")
         self._stream = stream
         self.crc = 0
         self.count = 0
+        self._max_bytes = max_bytes
 
     def _read_exact(self, n: int) -> bytes:
         if n == 0:
             return b""
+        if self._max_bytes is not None and self.count + n > self._max_bytes:
+            raise WireFormatError(
+                f"frame exceeds the {self._max_bytes}-byte limit "
+                f"(needs >= {self.count + n} bytes)"
+            )
         parts: list[bytes] = []
         got = 0
         while got < n:
@@ -856,7 +871,7 @@ def encode_frame(
     )
 
 
-def read_frame(stream: IO[bytes]) -> Frame:
+def read_frame(stream: IO[bytes], *, max_bytes: int | None = None) -> Frame:
     """Read exactly one frame from a binary stream, dispatching by version.
 
     v2 payloads stay lazy: the returned frame pulls chunks from the
@@ -865,12 +880,20 @@ def read_frame(stream: IO[bytes]) -> Frame:
     final chunk, so giant frames decode without materializing.  Exactly
     the frame's bytes are consumed from the stream on success.
 
+    ``max_bytes`` caps the total bytes read for this frame (header,
+    payload, and trailer together).  On an untrusted transport -- the
+    sketch server's socket peers -- the cap turns a hostile frame that
+    declares an enormous section into an immediate
+    :class:`WireFormatError` *before* any oversized read or allocation
+    is attempted; the budget also applies to the lazy chunk pulls.
+
     Raises
     ------
     WireFormatError
-        On any malformed, truncated, corrupted, or unknown-format input.
+        On any malformed, truncated, corrupted, or unknown-format input,
+        or when the frame would exceed ``max_bytes``.
     """
-    reader = _CrcReader(stream)
+    reader = _CrcReader(stream, max_bytes)
     magic = reader.read(len(MAGIC))
     if magic != MAGIC:
         raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
@@ -903,7 +926,7 @@ def decode_frame(buf: bytes) -> Frame:
     return frame
 
 
-def inspect_frame(stream: IO[bytes]) -> FrameInfo:
+def inspect_frame(stream: IO[bytes], *, max_bytes: int | None = None) -> FrameInfo:
     """Read a frame's header -- and skim its checksum -- without decoding.
 
     Parses codec, version, params, extras, flags, and ``n_bits`` from the
@@ -912,8 +935,9 @@ def inspect_frame(stream: IO[bytes]) -> FrameInfo:
     unparseable or truncated frame raises :class:`WireFormatError`; a
     parseable frame with a wrong checksum is *reported* via
     ``crc_ok=False`` so tooling can describe the corruption.
+    ``max_bytes`` bounds total byte consumption as in :func:`read_frame`.
     """
-    reader = _CrcReader(stream)
+    reader = _CrcReader(stream, max_bytes)
     magic = reader.read(len(MAGIC))
     if magic != MAGIC:
         raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
@@ -1144,14 +1168,17 @@ def load(buf: bytes) -> Any:
     return _decode_frame_obj(decode_frame(buf))
 
 
-def load_from(stream: IO[bytes]) -> Any:
+def load_from(stream: IO[bytes], *, max_bytes: int | None = None) -> Any:
     """:func:`load` from a binary stream (one frame consumed exactly).
 
     Chunked v2 frames decode windowed: payload bytes flow from the
     stream into the codec's bit reader without materializing, and the
     trailing CRC is verified when the final chunk is consumed.
+    ``max_bytes`` bounds the frame's total byte consumption, as in
+    :func:`read_frame` -- the knob untrusted-transport callers (the
+    sketch server) use to reject oversized frames up front.
     """
-    return _decode_frame_obj(read_frame(stream))
+    return _decode_frame_obj(read_frame(stream, max_bytes=max_bytes))
 
 
 def load_as(expected: type, buf: bytes) -> Any:

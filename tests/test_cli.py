@@ -525,3 +525,192 @@ class TestOutputFileSafety:
         err = capsys.readouterr().err
         assert "trailing garbage" in err and str(b) in err
         assert not out.exists()
+
+
+class TestEnvRestoredOnErrorPaths:
+    """--backend/--kernel env overrides must not leak when a command fails."""
+
+    def test_env_restored_after_raising_command(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_EVAL_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EVAL_KERNEL", raising=False)
+        # `mine` on a missing file raises out of main(); the overrides
+        # must be unwound on the way.
+        with pytest.raises(OSError):
+            main(
+                [
+                    "mine", "/nonexistent/baskets.txt",
+                    "--backend", "serial", "--kernel", "numpy",
+                ]
+            )
+        assert "REPRO_EVAL_BACKEND" not in os.environ
+        assert "REPRO_EVAL_KERNEL" not in os.environ
+
+    def test_preexisting_env_restored_after_raising_command(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_EVAL_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EVAL_KERNEL", "numpy")
+        with pytest.raises(OSError):
+            main(
+                [
+                    "mine", "/nonexistent/baskets.txt",
+                    "--backend", "serial", "--kernel", "auto",
+                ]
+            )
+        assert os.environ["REPRO_EVAL_BACKEND"] == "thread"
+        assert os.environ["REPRO_EVAL_KERNEL"] == "numpy"
+
+    def test_env_restored_after_failing_exit_code(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_EVAL_BACKEND", raising=False)
+        # `sketch` reports a missing input as exit code 1 (no raise);
+        # the override must be gone afterwards too.
+        assert main(
+            [
+                "sketch", "/nonexistent/baskets.txt", "--out", "/tmp/never.bin",
+                "--backend", "serial",
+            ]
+        ) == 1
+        capsys.readouterr()
+        assert "REPRO_EVAL_BACKEND" not in os.environ
+
+
+class TestServeCli:
+    """The socket verbs: serve, push, and query --connect."""
+
+    def test_serve_and_push_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--max-frame-bytes", "1024",
+             "--load", "a.bin", "b.bin"]
+        )
+        assert (args.command, args.port, args.max_frame_bytes) == ("serve", 0, 1024)
+        assert args.load == ["a.bin", "b.bin"]
+        assert parser.parse_args(["serve"]).port is None
+        args = parser.parse_args(
+            ["push", "s.bin", "--connect", "h:1", "--name", "mg"]
+        )
+        assert (args.command, args.connect, args.name) == ("push", "h:1", "mg")
+        args = parser.parse_args(["query", "s", "0", "1", "--connect", "h:1"])
+        assert args.connect == "h:1"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["push", "s.bin"])  # --connect is required
+
+    def test_parse_connect(self):
+        from repro.cli import _parse_connect
+        from repro.errors import ProtocolError
+
+        assert _parse_connect("127.0.0.1:7337") == ("127.0.0.1", 7337)
+        assert _parse_connect("[::1]:80") == ("[::1]", 80)
+        for bad in ("nohost", ":1", "h:", "h:abc", "h:0", "h:70000"):
+            with pytest.raises(ProtocolError):
+                _parse_connect(bad)
+
+    @pytest.fixture
+    def sketch_file(self, tmp_path, capsys):
+        db = planted_database(
+            300, 8, [(Itemset([0, 1]), 0.5)], background=0.05, rng=5
+        )
+        baskets = tmp_path / "baskets.txt"
+        write_transactions(db, baskets)
+        out = tmp_path / "resident.bin"
+        assert main(["sketch", str(baskets), "--out", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_push_and_socket_query_match_file_query(self, sketch_file, capsys):
+        from repro.server import serve_in_thread
+
+        assert main(["query", str(sketch_file), "0", "1"]) == 0
+        file_out = capsys.readouterr().out
+        with serve_in_thread() as handle:
+            addr = f"{handle.host}:{handle.port}"
+            assert main(["push", str(sketch_file), "--connect", addr]) == 0
+            push_out = capsys.readouterr().out
+            assert "new entry" in push_out and "resident" in push_out
+            assert main(
+                ["query", "resident", "0", "1", "--connect", addr]
+            ) == 0
+            socket_out = capsys.readouterr().out
+            # Same answer through the socket as from the file: everything
+            # after the size label (estimate and indicator) is identical.
+            assert socket_out.split("bits): ")[1] == file_out.split("bits): ")[1]
+            # Pushing the same name again must report the merge failure
+            # (naive sketches are not mergeable) without touching state.
+            assert main(["push", str(sketch_file), "--connect", addr]) == 1
+            err = capsys.readouterr().err
+            assert "cannot push" in err and "Traceback" not in err
+            assert main(
+                ["query", "resident", "0", "1", "--connect", addr]
+            ) == 0
+            assert capsys.readouterr().out == socket_out
+
+    def test_socket_query_errors_are_one_line(self, sketch_file, capsys):
+        from repro.server import serve_in_thread
+
+        with serve_in_thread() as handle:
+            addr = f"{handle.host}:{handle.port}"
+            assert main(["query", "ghost", "0", "--connect", addr]) == 1
+            err = capsys.readouterr().err
+            assert "no sketch named" in err and "Traceback" not in err
+        assert main(["query", "x", "0", "--connect", "not-an-address"]) == 1
+        err = capsys.readouterr().err
+        assert "HOST:PORT" in err and "Traceback" not in err
+        # A dead endpoint is a one-line connection error, not a traceback.
+        assert main(["query", "x", "0", "--connect", "127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot query" in err and "Traceback" not in err
+
+    def test_push_missing_file_fails_cleanly(self, capsys):
+        assert main(
+            ["push", "/nonexistent/s.bin", "--connect", "127.0.0.1:1"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "cannot push" in err and "Traceback" not in err
+
+    def test_serve_daemon_subprocess_roundtrip(self, sketch_file, capsys, tmp_path):
+        """The real daemon: spawn `repro serve`, push, query, SIGTERM."""
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        import time
+        from pathlib import Path
+
+        import repro
+
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--load", str(sketch_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            addr = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line.startswith("serving on "):
+                    addr = line.split("serving on ", 1)[1].strip()
+                    break
+                assert line, "server exited before announcing its address"
+            assert addr, "server never announced its address"
+            # The preloaded sketch answers immediately, named by stem.
+            assert main(["query", "resident", "0", "1", "--connect", addr]) == 0
+            socket_out = capsys.readouterr().out
+            assert main(["query", str(sketch_file), "0", "1"]) == 0
+            file_out = capsys.readouterr().out
+            assert socket_out.split("bits): ")[1] == file_out.split("bits): ")[1]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0

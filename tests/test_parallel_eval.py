@@ -632,3 +632,61 @@ class TestKernelEnvResolution:
         monkeypatch.setenv(BACKEND_ENV, "process")
         monkeypatch.setenv(KERNEL_ENV, "numpy")
         assert resolve_kernel(None) == "numpy"
+
+
+class TestAtexitTeardown:
+    """Interpreter exit must retire singleton pools and leave no shm.
+
+    A sketch server or CLI killed by SIGTERM never reaches an explicit
+    ``shutdown()``; the registry's atexit hook has to tear the lazily
+    created worker pools down so no ``repro_shm_*`` segments or pool
+    workers outlive the process.
+    """
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="process backend requires fork",
+    )
+    def test_interpreter_exit_retires_pools_and_shm(self):
+        import subprocess
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            import os
+            os.cpu_count = lambda: 8
+            import numpy as np
+            from repro.db import PackedColumns
+            from repro.db.backends import get_backend
+
+            rng = np.random.default_rng(0)
+            kernel = PackedColumns(rng.random((150, 12)) < 0.35)
+            backend = get_backend("process")
+            kernel.combination_supports(3, workers=2, backend=backend)
+            assert backend._pool is not None, "pool never spun up"
+            print("SWEEP-OK", flush=True)
+            # Exit WITHOUT calling shutdown(): the atexit hook must do it.
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SWEEP-OK" in proc.stdout
+        assert not _leftover_segments()
+        # No resource-tracker complaints about leaked segments either.
+        assert "leaked shared_memory" not in proc.stderr
+
+    def test_atexit_hook_is_registered_and_idempotent(self):
+        from repro.db.backends import _shutdown_registered_backends
+
+        backend = get_backend("process")
+        _shutdown_registered_backends()  # no pool yet: a no-op
+        _shutdown_registered_backends()
+        assert backend._pool is None

@@ -711,3 +711,137 @@ class TestV2FrameRejection:
         mg_like = wire.decode_frame(buf)
         with pytest.raises(Exception, match="padding"):
             mg_like.reader()
+
+
+class _DribbleStream:
+    """A socket-like stream: every read returns at most one byte."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buf = io.BytesIO(data)
+
+    def read(self, n: int = -1) -> bytes:
+        return self._buf.read(min(n, 1) if n >= 0 else 1)
+
+
+class TestStreamTruncation:
+    """A peer disconnecting mid-frame must surface as WireFormatError.
+
+    These tests cut serialized frames at *every* byte offset -- covering
+    every section boundary (magic, header, chunk length, mid-chunk, zero
+    sentinel, CRC trailer) -- and assert the stream entry points raise
+    the wire-format error: never ``struct.error``, never a silently
+    short payload.
+    """
+
+    @staticmethod
+    def _frames() -> dict[str, bytes]:
+        mg = MisraGries(64, 8)
+        mg.update_many(np.arange(256) % 11)
+        frames = {}
+        for label, kwargs in (
+            ("v1", dict(version=wire.WIRE_V1)),
+            ("v2-plain", dict(version=wire.WIRE_V2, chunked=False)),
+            ("v2-chunked", dict(version=wire.WIRE_V2, chunked=True, chunk_bytes=16)),
+            (
+                "v2-zlib-chunked",
+                dict(version=wire.WIRE_V2, compress=True, chunked=True, chunk_bytes=16),
+            ),
+        ):
+            stream = io.BytesIO()
+            wire.dump_to(mg, stream, **kwargs)
+            frames[label] = stream.getvalue()
+        return frames
+
+    def test_every_cut_fails_cleanly_eager(self):
+        for label, frame_bytes in self._frames().items():
+            for cut in range(len(frame_bytes)):
+                with pytest.raises(WireFormatError):
+                    wire.load_from(io.BytesIO(frame_bytes[:cut]))
+
+    def test_every_cut_fails_cleanly_lazy(self):
+        # The lazy path: read_frame succeeds once the header is intact,
+        # but materializing the payload must still raise, even when the
+        # missing bytes are only the sentinel or the CRC trailer.
+        for label, frame_bytes in self._frames().items():
+            for cut in range(len(frame_bytes)):
+                with pytest.raises(WireFormatError):
+                    frame = wire.read_frame(io.BytesIO(frame_bytes[:cut]))
+                    frame.payload
+
+    def test_every_cut_fails_cleanly_windowed_reader(self):
+        # Decoding through the windowed bit reader (the codec path).
+        frame_bytes = self._frames()["v2-chunked"]
+        for cut in range(len(frame_bytes)):
+            with pytest.raises(WireFormatError):
+                wire.load_from(_DribbleStream(frame_bytes[:cut]))
+
+    def test_intact_frames_survive_dribbling_streams(self):
+        # One byte per read -- the exactness loop, not the caller, must
+        # assemble full sections.
+        for label, frame_bytes in self._frames().items():
+            obj = wire.load_from(_DribbleStream(frame_bytes))
+            assert isinstance(obj, MisraGries)
+            assert obj.estimate_count(1) >= 0
+
+    def test_stalled_sentinel_is_wire_error(self):
+        # A stream that ends right where the zero sentinel belongs.
+        frame_bytes = self._frames()["v2-chunked"]
+        with pytest.raises(WireFormatError):
+            wire.load_from(io.BytesIO(frame_bytes[: len(frame_bytes) - 8]))
+
+    def test_stalled_crc_trailer_is_wire_error(self):
+        frame_bytes = self._frames()["v2-chunked"]
+        for missing in (1, 2, 3, 4):
+            with pytest.raises(WireFormatError):
+                wire.load_from(io.BytesIO(frame_bytes[: len(frame_bytes) - missing]))
+
+
+class TestMaxBytesBudget:
+    """The ``max_bytes`` guard for untrusted transports."""
+
+    @staticmethod
+    def _chunked_frame() -> bytes:
+        mg = MisraGries(64, 8)
+        mg.update_many(np.arange(256) % 11)
+        stream = io.BytesIO()
+        wire.dump_to(
+            mg, stream, version=wire.WIRE_V2, chunked=True, chunk_bytes=16
+        )
+        return stream.getvalue()
+
+    def test_exact_budget_decodes(self):
+        frame_bytes = self._chunked_frame()
+        obj = wire.load_from(io.BytesIO(frame_bytes), max_bytes=len(frame_bytes))
+        assert isinstance(obj, MisraGries)
+
+    def test_short_budget_rejected(self):
+        frame_bytes = self._chunked_frame()
+        for budget in (1, 8, len(frame_bytes) // 2, len(frame_bytes) - 1):
+            with pytest.raises(WireFormatError, match="limit"):
+                wire.load_from(io.BytesIO(frame_bytes), max_bytes=budget)
+        with pytest.raises(WireFormatError):
+            wire.read_frame(io.BytesIO(frame_bytes), max_bytes=4).payload
+        with pytest.raises(WireFormatError, match="limit"):
+            wire.inspect_frame(io.BytesIO(frame_bytes), max_bytes=8)
+
+    def test_hostile_chunk_length_rejected_before_read(self):
+        # Patch the first chunk's length word to claim ~4 GiB; with a
+        # budget set, the reader must refuse before attempting the read.
+        frame_bytes = bytearray(self._chunked_frame())
+        needle = struct.pack(">I", 16)  # first 16-byte chunk's length
+        offset = frame_bytes.index(needle, 8)
+        frame_bytes[offset : offset + 4] = struct.pack(">I", 0xFFFF_FFF0)
+
+        class _Explosive(io.BytesIO):
+            def read(self, n: int = -1) -> bytes:
+                assert n < (1 << 20), f"attempted a {n}-byte read"
+                return super().read(n)
+
+        with pytest.raises(WireFormatError, match="limit"):
+            wire.load_from(
+                _Explosive(bytes(frame_bytes)), max_bytes=len(frame_bytes)
+            )
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(WireFormatError, match="max_bytes"):
+            wire.read_frame(io.BytesIO(b"x"), max_bytes=0)
