@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the library's everyday entry points:
+Twelve commands cover the library's everyday entry points:
 
 * ``experiments`` -- list the reproduced claims and their benchmarks;
 * ``bounds``      -- print Theorem 12's sizes and the lower bounds for a
@@ -25,7 +25,13 @@ Nine commands cover the library's everyday entry points:
   (``--load`` preloads frame files, ``--port 0`` binds an ephemeral
   port and prints it);
 * ``push``        -- upload a sketch file into a running server's
-  registry (name collisions fold shards via the merge rules).
+  registry (name collisions fold shards via the merge rules);
+* ``stream``      -- ingest an unbounded item stream (stdin or file,
+  text or raw u64) into a streaming summary with bounded memory: the
+  micro-batch pipeline sketches partitions in parallel on the shard
+  backends and folds partials via the merge rules, writing a sketch
+  file (``--out``) or pushing batches into a live daemon
+  (``--connect``, the ``INGEST`` verb).
 
 ``sketch`` and ``query`` realise the paper's ``(S, Q)`` split across a
 process boundary: the query process never sees the database, only the
@@ -71,6 +77,7 @@ from .lowerbounds import (
 from .mining import apriori
 from .params import SketchParams
 from .server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
+from .streaming.pipeline import SUMMARY_KINDS
 from .wire import SUPPORTED_WIRE_VERSIONS, WIRE_VERSION
 
 __all__ = ["main", "build_parser"]
@@ -273,6 +280,81 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--seed", type=int, default=0,
         help="seed for the sampling-based merge rules (reservoirs)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="ingest an unbounded item stream into a summary with bounded "
+             "memory (micro-batch pipeline over the shard backends)",
+    )
+    stream.add_argument(
+        "source",
+        help="item stream: a file path, or '-' for stdin",
+    )
+    stream.add_argument(
+        "--summary", choices=sorted(SUMMARY_KINDS), default="count-min",
+        help="summary kind to build (default: count-min)",
+    )
+    stream.add_argument(
+        "--universe", type=int, required=True,
+        help="item-id universe size (ids are 0..universe-1)",
+    )
+    stream.add_argument("--k", type=int, default=64,
+                        help="counters for misra-gries/space-saving")
+    stream.add_argument("--width", type=int, default=1024, help="count-min width")
+    stream.add_argument("--depth", type=int, default=4, help="count-min depth")
+    stream.add_argument("--size", type=int, default=256, help="reservoir capacity")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="hash/sampling seed for the summary")
+    stream.add_argument(
+        "--format", choices=("text", "u64"), default="text",
+        help="text: whitespace-separated decimal ids; u64: raw "
+             "little-endian 8-byte ids (the wire-speed path)",
+    )
+    stream.add_argument(
+        "--max-batch-items", type=int, default=None,
+        help="micro-batch size; the memory/backpressure granule "
+             "(default: 65536)",
+    )
+    stream.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="bound on batches queued ahead of the sketching thread "
+             "(default: 8)",
+    )
+    stream.add_argument(
+        "--max-items", type=int, default=None,
+        help="stop after this many items (default: drain the source)",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None,
+        help="partition-sketching workers per batch (default: auto)",
+    )
+    stream.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="shard executor for partition sketching (default: auto)",
+    )
+    stream.add_argument(
+        "--out", default=None,
+        help="write the final summary as a sketch frame file",
+    )
+    stream.add_argument(
+        "--wire-version", type=int, choices=sorted(SUPPORTED_WIRE_VERSIONS),
+        default=None,
+        help="frame layout version for --out (default: REPRO_WIRE_VERSION "
+             f"env or {WIRE_VERSION})",
+    )
+    stream.add_argument(
+        "--compress", action="store_true",
+        help="store --out with a zlib-compressed v2 payload",
+    )
+    stream.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="push batches into a running `repro serve` daemon via INGEST "
+             "instead of writing a file",
+    )
+    stream.add_argument(
+        "--name", default="stream",
+        help="registry name for --connect ingestion (default: 'stream')",
     )
 
     push = sub.add_parser(
@@ -493,15 +575,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
     label = " ".join(map(str, itemset.items)) or "(empty)"
     if args.connect:
         return _query_over_socket(args, itemset, label)
+    from .streaming.base import StreamSummary
+
     try:
         sketch = _read_frame_file(args.path)
-        if not isinstance(sketch, FrequencySketch):
+        if not isinstance(sketch, (FrequencySketch, StreamSummary)):
             raise WireFormatError(
-                f"frame decodes to {type(sketch).__name__}, not a FrequencySketch"
+                f"frame decodes to {type(sketch).__name__}, not a queryable sketch"
             )
     except (ReproError, OSError) as exc:
         print(f"cannot read sketch file {args.path}: {exc}", file=sys.stderr)
         return 1
+    if isinstance(sketch, StreamSummary):
+        # Same answer surface as the server registry: streaming summaries
+        # estimate singleton frequencies and have no indicator threshold.
+        if len(itemset) != 1:
+            print(
+                f"cannot answer [{label}] from a {type(sketch).__name__}: "
+                "streaming summaries answer 1-itemsets only",
+                file=sys.stderr,
+            )
+            return 1
+        estimate = sketch.estimate_frequency(itemset.items[0])
+        print(
+            f"{type(sketch).__name__} ({sketch.size_in_bits()} bits): "
+            f"estimate[{label}] = {estimate:.6g}, indicate = n/a"
+        )
+        return 0
     try:
         estimate = sketch.estimate(itemset)
         indicator = sketch.indicate(itemset)
@@ -639,6 +739,130 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_batches(args: argparse.Namespace, stack) -> "object":
+    """The micro-batch iterator for ``repro stream``'s source arguments."""
+    from .streaming.pipeline import (
+        DEFAULT_BATCH_ITEMS,
+        batches_from_binary,
+        batches_from_text,
+    )
+
+    batch_items = (
+        DEFAULT_BATCH_ITEMS if args.max_batch_items is None else args.max_batch_items
+    )
+    if args.format == "u64":
+        if args.source == "-":
+            stream = sys.stdin.buffer
+        else:
+            stream = stack.enter_context(open(args.source, "rb"))
+        return batches_from_binary(stream, batch_items, max_items=args.max_items)
+    if args.source == "-":
+        stream = sys.stdin
+    else:
+        stream = stack.enter_context(open(args.source, "r"))
+    return batches_from_text(stream, batch_items, max_items=args.max_items)
+
+
+def _stream_to_server(args: argparse.Namespace, spec, batches) -> int:
+    """``repro stream --connect``: feed batches to a daemon via INGEST.
+
+    An empty spec-built summary is LOADed first so the entry exists (a
+    collision folds it in -- merging with an empty summary is the
+    identity); each batch then rides one INGEST round trip, and the
+    daemon's atomic swap makes every acknowledged batch a complete
+    prefix-fold for concurrent queriers.
+    """
+    import time
+
+    from .server import Client
+
+    host, port = _parse_connect(args.connect)
+    began = time.perf_counter()
+    total = 0
+    with Client(host, port) as client:
+        _, size, _ = client.load(args.name, spec.build().to_bytes())
+        length = 0
+        for batch in batches:
+            length, size = client.ingest(args.name, batch)
+            total += int(batch.size)
+    elapsed = time.perf_counter() - began
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"streamed {total} items to {args.connect} as {args.name!r}: "
+        f"stream_length {length}, {size} bits resident "
+        f"({rate:,.0f} items/sec)"
+    )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Bounded-memory ingestion: source -> micro-batch pipeline -> sink."""
+    import time
+    from contextlib import ExitStack
+
+    from .errors import ReproError
+    from .streaming.pipeline import (
+        DEFAULT_BATCH_ITEMS,
+        DEFAULT_QUEUE_DEPTH,
+        StreamPipeline,
+        SummarySpec,
+    )
+
+    if (args.out is None) == (args.connect is None):
+        print(
+            "stream needs exactly one sink: --out FILE or --connect HOST:PORT",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        spec = SummarySpec(
+            kind=args.summary,
+            universe=args.universe,
+            k=args.k,
+            width=args.width,
+            depth=args.depth,
+            size=args.size,
+            seed=args.seed,
+        )
+        with ExitStack() as stack:
+            batches = _stream_batches(args, stack)
+            if args.connect:
+                return _stream_to_server(args, spec, batches)
+            queue_depth = (
+                DEFAULT_QUEUE_DEPTH if args.queue_depth is None else args.queue_depth
+            )
+            batch_items = (
+                DEFAULT_BATCH_ITEMS
+                if args.max_batch_items is None
+                else args.max_batch_items
+            )
+            pipeline = StreamPipeline(
+                spec,
+                batch_items=batch_items,
+                queue_depth=queue_depth,
+                workers=args.workers,
+                backend=args.backend,
+            )
+            began = time.perf_counter()
+            summary = pipeline.run(batches)
+            elapsed = time.perf_counter() - began
+        frame_bytes = _write_frame_file(
+            summary, args.out, version=args.wire_version, compress=args.compress
+        )
+    except (ReproError, OSError) as exc:
+        print(f"cannot stream {args.source}: {exc}", file=sys.stderr)
+        return 1
+    stats = pipeline.stats
+    rate = stats.items / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"wrote {args.out}: {type(summary).__name__} over {stats.items} items "
+        f"in {stats.batches} batches ({pipeline.workers} workers, "
+        f"{pipeline.backend.name} backend), payload {summary.size_in_bits()} "
+        f"bits, frame {frame_bytes} bytes, {rate:,.0f} items/sec"
+    )
+    return 0
+
+
 def _cmd_push(args: argparse.Namespace) -> int:
     """Upload one sketch file into a running server's registry."""
     from .errors import ReproError
@@ -682,6 +906,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_inspect(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "push":
         return _cmd_push(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -154,6 +154,7 @@ from .generators import (
     random_database,
     random_itemset,
     zipf_item_stream,
+    zipf_weights,
 )
 from .itemset import Itemset, all_itemsets, rank_itemset, unrank_itemset
 from .packed import (
@@ -214,6 +215,7 @@ __all__ = [
     "market_basket_database",
     "correlated_database",
     "zipf_item_stream",
+    "zipf_weights",
     "BitWriter",
     "BitReader",
     "frequency_bits",

@@ -29,6 +29,7 @@ __all__ = [
     "planted_database",
     "market_basket_database",
     "zipf_item_stream",
+    "zipf_weights",
     "random_itemset",
     "correlated_database",
 ]
@@ -155,6 +156,23 @@ def correlated_database(
     return BinaryDatabase(rows)
 
 
+def zipf_weights(d: int, exponent: float = 1.2) -> np.ndarray:
+    """The normalized Zipf(``exponent``) popularity vector over ``d`` items.
+
+    Item ``i`` (0-based) gets probability proportional to
+    ``1 / (i + 1)**exponent``.  Shared by :func:`zipf_item_stream` and the
+    traffic schedules in :mod:`repro.streaming.traffic`, which reweight or
+    remap this same vector per phase.
+    """
+    if d < 1:
+        raise ParameterError(f"d must be >= 1, got {d}")
+    if exponent <= 0:
+        raise ParameterError(f"exponent must be positive, got {exponent}")
+    weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), exponent)
+    weights /= weights.sum()
+    return weights
+
+
 def zipf_item_stream(
     length: int,
     d: int,
@@ -168,9 +186,5 @@ def zipf_item_stream(
     """
     if length < 1:
         raise ParameterError(f"length must be >= 1, got {length}")
-    if exponent <= 0:
-        raise ParameterError(f"exponent must be positive, got {exponent}")
     gen = as_rng(rng)
-    weights = 1.0 / np.power(np.arange(1, d + 1, dtype=float), exponent)
-    weights /= weights.sum()
-    return gen.choice(d, size=length, p=weights)
+    return gen.choice(d, size=length, p=zipf_weights(d, exponent))

@@ -24,7 +24,13 @@ v2 frame primitive), ``f64`` is big-endian IEEE 754::
     LIST(5)   :=                                 # no fields
     DROP(6)   := name
     PING(7)   :=                                 # no fields
+    INGEST(8) := name uvarint(count) u64_be*count  # 1 <= count <= MAX_INGEST_ITEMS
     itemsets  := uvarint(count) { uvarint(k) uvarint(item)*k }*count
+
+``INGEST`` streams raw item ids into a resident *streaming summary*
+(fixed-width big-endian u64s, not varints, so both sides move a batch
+with one vectorized pass); ids must lie in ``[0, 2**63)`` and within the
+summary's universe.
 
 Response bodies open with a status byte; an error carries one UTF-8
 message and leaves the connection usable::
@@ -37,6 +43,13 @@ message and leaves the connection usable::
     params    := 0x00 | 0x01 uvarint(n) uvarint(d) uvarint(k) f64(eps) f64(delta)
     LIST      := uvarint(count) { name codec_name uvarint(size_in_bits) }*count
     DROP/PING := (empty)
+    INGEST    := uvarint(stream_length) uvarint(size_in_bits)
+
+An ``INGEST`` acknowledgement reports the resident summary's *total*
+stream length after the batch -- the atomic prefix-fold guarantee: the
+batch was applied to a clone and swapped in whole, so concurrent
+``ESTIMATE``\\ s observe either all of an acknowledged batch or none of
+a pending one, never a partial batch.
 
 Failure isolation: a request that parses but cannot be served (unknown
 name, unmergeable shard, summary asked for indicators) gets an error

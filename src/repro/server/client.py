@@ -105,6 +105,17 @@ class Client:
             )
         return values
 
+    def ingest(self, name: str, items) -> tuple[int, int]:
+        """Stream a batch of item ids into a resident summary.
+
+        ``items`` is any 1-D integer array-like; returns the entry's
+        ``(stream_length, size_in_bits)`` after the batch is absorbed.
+        The acknowledged state is a complete prefix-fold: concurrent
+        queries see either all of this batch or none of it.
+        """
+        body = protocol.encode_request(protocol.OP_INGEST, name=name, items=items)
+        return protocol.parse_ingest_ok(self._round_trip(body))
+
     def stat(self, name: str) -> protocol.StatInfo:
         """Codec, charged size, and params of one resident sketch."""
         body = protocol.encode_request(protocol.OP_STAT, name=name)

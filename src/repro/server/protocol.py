@@ -25,6 +25,8 @@ import struct
 from dataclasses import dataclass
 from typing import IO, Sequence
 
+import numpy as np
+
 from ..db.itemset import Itemset
 from ..db.serialize import encode_uvarint, read_uvarint
 from ..errors import ProtocolError, ReproError, ServerError
@@ -34,6 +36,7 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_PORT",
     "MAX_BATCH_ITEMSETS",
+    "MAX_INGEST_ITEMS",
     "OP_LOAD",
     "OP_ESTIMATE",
     "OP_INDICATE",
@@ -41,6 +44,7 @@ __all__ = [
     "OP_LIST",
     "OP_DROP",
     "OP_PING",
+    "OP_INGEST",
     "STATUS_OK",
     "STATUS_ERROR",
     "Request",
@@ -63,6 +67,8 @@ __all__ = [
     "parse_entries",
     "encode_empty_ok",
     "parse_empty_ok",
+    "encode_ingest_ok",
+    "parse_ingest_ok",
 ]
 
 #: Default TCP port for ``repro serve``.
@@ -76,6 +82,10 @@ DEFAULT_MAX_FRAME_BYTES = 1 << 26
 #: Hard cap on itemsets per batched query and entries per LIST reply.
 MAX_BATCH_ITEMSETS = 1 << 20
 
+#: Hard cap on items per INGEST batch (32 MiB of u64 payload); streamed
+#: ingestion sends many batches, never one huge one.
+MAX_INGEST_ITEMS = 1 << 22
+
 OP_LOAD = 1
 OP_ESTIMATE = 2
 OP_INDICATE = 3
@@ -83,9 +93,10 @@ OP_STAT = 4
 OP_LIST = 5
 OP_DROP = 6
 OP_PING = 7
+OP_INGEST = 8
 
 _QUERY_OPS = (OP_ESTIMATE, OP_INDICATE)
-_NAMED_OPS = (OP_LOAD, OP_ESTIMATE, OP_INDICATE, OP_STAT, OP_DROP)
+_NAMED_OPS = (OP_LOAD, OP_ESTIMATE, OP_INDICATE, OP_STAT, OP_DROP, OP_INGEST)
 _KNOWN_OPS = _NAMED_OPS + (OP_LIST, OP_PING)
 
 STATUS_OK = 0
@@ -169,6 +180,38 @@ def _expect_end(stream: IO[bytes], what: str) -> None:
         raise ProtocolError(f"trailing bytes after {what}")
 
 
+def _encode_items(items) -> bytes:
+    """INGEST item block: ``uvarint(count)`` + ``count`` big-endian u64s.
+
+    Fixed-width ids (not varints) so both sides move the batch with one
+    vectorized ``astype``/``frombuffer`` -- this is the hot ingest path.
+    """
+    arr = np.asarray(items)
+    _require(arr.ndim == 1, f"INGEST items must be a 1-D batch, got shape {arr.shape}")
+    _require(
+        arr.dtype.kind in "iub",
+        f"INGEST items must be integers, got dtype {arr.dtype}",
+    )
+    _require(1 <= arr.size <= MAX_INGEST_ITEMS,
+             f"INGEST batch of {arr.size} items outside [1, {MAX_INGEST_ITEMS}]")
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) > np.iinfo(np.int64).max):
+        raise ProtocolError("INGEST item ids must lie in [0, 2**63)")
+    return encode_uvarint(arr.size) + arr.astype(">u8").tobytes()
+
+
+def _read_items(stream: IO[bytes]) -> np.ndarray:
+    count = _read_uvarint(stream)
+    _require(
+        1 <= count <= MAX_INGEST_ITEMS,
+        f"INGEST batch of {count} items outside [1, {MAX_INGEST_ITEMS}]",
+    )
+    raw = _read_exact(stream, count * 8)
+    arr = np.frombuffer(raw, dtype=">u8")
+    if int(arr.max()) > np.iinfo(np.int64).max:
+        raise ProtocolError("INGEST item ids must lie in [0, 2**63)")
+    return arr.astype(np.int64)
+
+
 # ----------------------------------------------------------------------
 # Transport framing.
 # ----------------------------------------------------------------------
@@ -209,6 +252,7 @@ class Request:
     name: str | None = None
     itemsets: tuple[Itemset, ...] = ()
     frame: bytes = b""
+    items: np.ndarray | None = None
 
 
 def encode_request(
@@ -217,6 +261,7 @@ def encode_request(
     name: str | None = None,
     itemsets: Sequence[Itemset] = (),
     frame: bytes = b"",
+    items=None,
 ) -> bytes:
     """Build one request body (unframed; wrap with :func:`frame_message`)."""
     _require(op in _KNOWN_OPS, f"unknown request op {op}")
@@ -229,6 +274,9 @@ def encode_request(
     if op == OP_LOAD:
         _require(len(frame) > 0, "LOAD requires frame bytes")
         parts.append(frame)
+    if op == OP_INGEST:
+        _require(items is not None, "INGEST requires an item batch")
+        parts.append(_encode_items(items))
     return b"".join(parts)
 
 
@@ -247,6 +295,7 @@ def parse_request(body: bytes) -> Request:
     name = _read_name(stream) if op in _NAMED_OPS else None
     itemsets: tuple[Itemset, ...] = ()
     frame = b""
+    items = None
     if op in _QUERY_OPS:
         itemsets = _read_itemsets(stream)
     if op == OP_LOAD:
@@ -255,8 +304,10 @@ def parse_request(body: bytes) -> Request:
         frame = stream.read()
         _require(len(frame) > 0, "LOAD carries no frame bytes")
     else:
+        if op == OP_INGEST:
+            items = _read_items(stream)
         _expect_end(stream, "request")
-    return Request(op=op, name=name, itemsets=itemsets, frame=frame)
+    return Request(op=op, name=name, itemsets=itemsets, frame=frame, items=items)
 
 
 # ----------------------------------------------------------------------
@@ -436,6 +487,30 @@ def parse_entries(body: bytes) -> list[EntryInfo]:
         entries.append(EntryInfo(name=name, codec=codec, size_in_bits=size))
     _expect_end(stream, "LIST response")
     return entries
+
+
+def encode_ingest_ok(stream_length: int, size_in_bits: int) -> bytes:
+    """INGEST succeeded: the entry's total stream length and charged size.
+
+    ``stream_length`` covers every item the resident summary has absorbed
+    (this batch included), so a client streaming batches can verify the
+    monotone prefix-fold guarantee: each response's length is the sum of
+    everything acknowledged so far.
+    """
+    return (
+        bytes([STATUS_OK])
+        + encode_uvarint(stream_length)
+        + encode_uvarint(size_in_bits)
+    )
+
+
+def parse_ingest_ok(body: bytes) -> tuple[int, int]:
+    """``(stream_length, size_in_bits)`` from an INGEST response."""
+    stream = _open_ok(body)
+    length = _read_uvarint(stream)
+    size = _read_uvarint(stream)
+    _expect_end(stream, "INGEST response")
+    return length, size
 
 
 def encode_empty_ok() -> bytes:

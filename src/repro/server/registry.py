@@ -17,6 +17,7 @@ decoding or merging fails, the registry is untouched.
 
 from __future__ import annotations
 
+import copy
 import io
 import threading
 from dataclasses import dataclass
@@ -136,6 +137,44 @@ class SketchRegistry:
                     return entry.codec, entry.size_in_bits, True
                 # Another LOAD swapped the entry mid-merge; redo the fold
                 # against the new resident object.
+
+    def ingest(self, name: str, items: np.ndarray) -> tuple[int, int]:
+        """Absorb a batch of stream items into the resident summary.
+
+        The streaming sibling of :meth:`load`'s collision fold, with the
+        same consistency guarantee: the batch is applied to a *clone* of
+        the resident summary outside the lock (concurrent ESTIMATEs keep
+        answering from the old object) and the updated clone replaces the
+        entry atomically.  A query therefore always observes a complete
+        prefix-fold -- every acknowledged batch fully applied, no batch
+        partially applied.  Returns ``(stream_length, size_in_bits)`` of
+        the resident entry after the batch.
+
+        Raises
+        ------
+        ProtocolError
+            If no entry is resident under ``name`` or the entry is not a
+            :class:`~repro.streaming.base.StreamSummary`.
+        StreamError
+            If an item falls outside the summary's universe; the batch is
+            all-or-nothing and the resident entry is unchanged.
+        """
+        while True:
+            entry = self._get(name)
+            if not isinstance(entry.obj, StreamSummary):
+                raise ProtocolError(
+                    f"sketch {name!r} ({entry.codec}) does not ingest "
+                    "stream items; INGEST needs a streaming summary"
+                )
+            updated = copy.deepcopy(entry.obj)
+            updated.update_many(items)
+            new_entry = self._make_entry(name, updated)
+            with self._lock:
+                if self._entries.get(name) is entry:
+                    self._entries[name] = new_entry
+                    return updated.stream_length, new_entry.size_in_bits
+                # A concurrent LOAD or INGEST swapped the entry mid-update;
+                # reapply the batch to the new resident object.
 
     def estimate(self, name: str, itemsets: Sequence[Itemset]) -> list[float]:
         """Batched frequency estimates from the resident sketch.

@@ -168,6 +168,10 @@ class SketchServer:
             return protocol.encode_empty_ok()
         if op == protocol.OP_PING:
             return protocol.encode_empty_ok()
+        if op == protocol.OP_INGEST:
+            assert request.name is not None and request.items is not None
+            length, size = registry.ingest(request.name, request.items)
+            return protocol.encode_ingest_ok(length, size)
         raise ProtocolError(f"unknown request op {op}")
 
 

@@ -1,6 +1,6 @@
 """Streaming baselines (Section 1.2's heavy-hitters and itemset literature)."""
 
-from .base import COUNT_BITS, StreamSummary, item_id_bits
+from .base import COUNT_BITS, EXTEND_CHUNK_ITEMS, StreamSummary, item_id_bits
 from .count_min import CountMinSketch
 from .itemset_stream import StreamingItemsetMiner
 from .lossy_counting import LossyCounting
@@ -13,14 +13,33 @@ from .merge import (
     merge_space_saving,
 )
 from .misra_gries import MisraGries
+from .pipeline import (
+    PipelineStats,
+    StreamPipeline,
+    SUMMARY_KINDS,
+    SummarySpec,
+    batches_from_binary,
+    batches_from_text,
+)
 from .reservoir import ReservoirSample, RowReservoir
 from .space_saving import SpaceSaving
 from .sticky_sampling import StickySampling
+from .traffic import adversarial_traffic, bursty_traffic, zipf_traffic
 
 __all__ = [
     "StreamSummary",
     "COUNT_BITS",
+    "EXTEND_CHUNK_ITEMS",
     "item_id_bits",
+    "StreamPipeline",
+    "SummarySpec",
+    "PipelineStats",
+    "SUMMARY_KINDS",
+    "batches_from_text",
+    "batches_from_binary",
+    "zipf_traffic",
+    "bursty_traffic",
+    "adversarial_traffic",
     "MisraGries",
     "SpaceSaving",
     "LossyCounting",

@@ -21,6 +21,7 @@ standard cost model in the streaming literature.
 
 from __future__ import annotations
 
+import itertools
 import math
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
@@ -29,10 +30,13 @@ import numpy as np
 
 from ..errors import StreamError
 
-__all__ = ["StreamSummary", "COUNT_BITS", "item_id_bits"]
+__all__ = ["StreamSummary", "COUNT_BITS", "EXTEND_CHUNK_ITEMS", "item_id_bits"]
 
 #: Bits charged per stored counter value.
 COUNT_BITS = 64
+
+#: Items pulled from a lazy iterable per :meth:`StreamSummary.extend` chunk.
+EXTEND_CHUNK_ITEMS = 1 << 16
 
 
 def item_id_bits(universe: int) -> int:
@@ -122,8 +126,28 @@ class StreamSummary(ABC):
         self._update(item)
 
     def extend(self, items: Iterable[int]) -> None:
-        """Process a batch of items in order (bulk path)."""
-        self.update_many(np.fromiter(items, dtype=np.int64))
+        """Process a batch of items in order (bulk path).
+
+        Array-like inputs go straight to :meth:`update_many`; lazy
+        iterables are consumed in :data:`EXTEND_CHUNK_ITEMS`-sized chunks,
+        so an unbounded generator never materializes in memory.  State is
+        bit-identical to one-shot ingestion either way: ``update_many``
+        batch boundaries are not observable (the property tests pin this).
+        """
+        if isinstance(items, (np.ndarray, Sequence)):
+            arr = np.asarray(items)
+            if arr.size:  # np.asarray([]) defaults to float64; empty is a no-op
+                self.update_many(arr)
+            return
+        it = iter(items)
+        while True:
+            chunk = np.fromiter(
+                itertools.islice(it, EXTEND_CHUNK_ITEMS), dtype=np.int64
+            )
+            if chunk.size:
+                self.update_many(chunk)
+            if chunk.size < EXTEND_CHUNK_ITEMS:
+                return
 
     def update_many(self, items: Sequence[int] | np.ndarray) -> None:
         """Process a whole batch of items in order.

@@ -1,0 +1,245 @@
+"""Traffic schedules for streaming experiments: skewed, bursty, adversarial.
+
+Uniform synthetic streams flatter every sketch.  Real traffic is
+Zipf-skewed (a few items dominate), bursty (load and skew change phase
+to phase), and sometimes adversarial (churning cohorts of fresh items
+that force counter summaries to evict and decrement).  These generators
+produce exactly those shapes as *bounded micro-batch iterators* -- each
+yielded batch is an ``int64`` array of item ids in ``[0, d)``, so they
+plug straight into :meth:`StreamPipeline.run
+<repro.streaming.pipeline.StreamPipeline.run>` and never materialize the
+stream.
+
+All schedules are deterministic given ``rng`` (a seed or Generator) and
+run forever when ``total_items=None`` -- the soak-test mode the stream
+smoke uses, terminated by the consumer.
+
+``python -m repro.streaming.traffic`` writes a schedule to stdout as
+text or raw little-endian u64, the producer side of the ``repro
+stream`` pipe::
+
+    python -m repro.streaming.traffic zipf --d 4096 --items 10000000 \\
+        --format u64 | repro stream - --format u64 --universe 4096
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator
+
+import numpy as np
+
+from ..db.generators import as_rng, zipf_weights
+from ..errors import StreamError
+
+__all__ = [
+    "DEFAULT_TRAFFIC_BATCH",
+    "adversarial_traffic",
+    "bursty_traffic",
+    "zipf_traffic",
+]
+
+#: Default items per yielded batch.
+DEFAULT_TRAFFIC_BATCH = 1 << 14
+
+
+def _check(d: int, batch_items: int, total_items: int | None) -> None:
+    if d < 1:
+        raise StreamError(f"d must be >= 1, got {d}")
+    if batch_items < 1:
+        raise StreamError(f"batch_items must be >= 1, got {batch_items}")
+    if total_items is not None and total_items < 0:
+        raise StreamError(f"total_items must be >= 0, got {total_items}")
+
+
+def _budgeted(batch_items: int, total_items: int | None) -> Iterator[int]:
+    """Yield per-batch sizes until the item budget (if any) is spent."""
+    if total_items is None:
+        while True:
+            yield batch_items
+    else:
+        left = total_items
+        while left > 0:
+            take = min(batch_items, left)
+            left -= take
+            yield take
+
+
+def zipf_traffic(
+    d: int,
+    exponent: float = 1.2,
+    *,
+    batch_items: int = DEFAULT_TRAFFIC_BATCH,
+    total_items: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stationary Zipf(``exponent``) traffic over ``d`` items.
+
+    The baseline skew schedule: item ``i`` appears with probability
+    proportional to ``1/(i+1)**exponent`` in every batch.
+    """
+    _check(d, batch_items, total_items)
+    gen = as_rng(rng)
+    weights = zipf_weights(d, exponent)
+    for take in _budgeted(batch_items, total_items):
+        yield gen.choice(d, size=take, p=weights).astype(np.int64, copy=False)
+
+
+def bursty_traffic(
+    d: int,
+    exponent: float = 1.2,
+    *,
+    batch_items: int = DEFAULT_TRAFFIC_BATCH,
+    total_items: int | None = None,
+    calm_batches: int = 8,
+    burst_batches: int = 2,
+    burst_scale: int = 4,
+    hot_items: int = 8,
+    hot_share: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Zipf background with periodic hot-set bursts.
+
+    Alternates ``calm_batches`` of plain Zipf traffic with
+    ``burst_batches`` of burst phases: batches ``burst_scale``x larger
+    (the load spike) in which a rotating window of ``hot_items``
+    consecutive ids absorbs ``hot_share`` of the probability mass (the
+    skew spike).  Exercises backpressure -- burst batches arrive faster
+    than the sketching thread drains them -- and non-stationary skew.
+    """
+    _check(d, batch_items, total_items)
+    if calm_batches < 1 or burst_batches < 0:
+        raise StreamError(
+            f"need calm_batches >= 1 and burst_batches >= 0, "
+            f"got {calm_batches}, {burst_batches}"
+        )
+    if burst_scale < 1:
+        raise StreamError(f"burst_scale must be >= 1, got {burst_scale}")
+    hot_items = min(hot_items, d)
+    if hot_items < 1 or not 0.0 <= hot_share < 1.0:
+        raise StreamError(
+            f"need hot_items >= 1 and 0 <= hot_share < 1, "
+            f"got {hot_items}, {hot_share}"
+        )
+    gen = as_rng(rng)
+    base = zipf_weights(d, exponent)
+    period = calm_batches + burst_batches
+    left = total_items  # None = unbounded
+
+    phase = 0
+    while left is None or left > 0:
+        in_burst = phase % period >= calm_batches
+        if in_burst:
+            window = (phase // period) % max(d - hot_items + 1, 1)
+            weights = base * (1.0 - hot_share)
+            weights[window : window + hot_items] += hot_share / hot_items
+            weights /= weights.sum()
+            size = batch_items * burst_scale
+        else:
+            weights = base
+            size = batch_items
+        if left is not None:
+            size = min(size, left)
+            left -= size
+        yield gen.choice(d, size=size, p=weights).astype(np.int64, copy=False)
+        phase += 1
+
+
+def adversarial_traffic(
+    d: int,
+    *,
+    batch_items: int = DEFAULT_TRAFFIC_BATCH,
+    total_items: int | None = None,
+    cohort: int = 64,
+    heavy_share: float = 0.25,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Counter-summary worst case: churning cohorts + one persistent heavy.
+
+    Each batch interleaves a ``heavy_share`` fraction of occurrences of
+    item ``0`` (the persistent heavy hitter a correct summary must keep)
+    with a rotating cohort of ``cohort`` *fresh* ids drawn uniformly, a
+    disjoint window per batch.  The churn is the classic Misra-Gries /
+    SpaceSaving stressor: untracked items hammer a full counter table,
+    forcing decrements and evictions every batch, while the heavy item
+    tests that the certificates still hold under maximal churn.
+    """
+    _check(d, batch_items, total_items)
+    if d < 2:
+        raise StreamError(f"adversarial traffic needs d >= 2, got {d}")
+    cohort = min(cohort, d - 1)
+    if cohort < 1 or not 0.0 < heavy_share < 1.0:
+        raise StreamError(
+            f"need cohort >= 1 and 0 < heavy_share < 1, got {cohort}, {heavy_share}"
+        )
+    gen = as_rng(rng)
+    windows = max((d - 1) // cohort, 1)
+    phase = 0
+    for take in _budgeted(batch_items, total_items):
+        lo = 1 + (phase % windows) * cohort
+        hi = min(lo + cohort, d)
+        batch = gen.integers(lo, hi, size=take, dtype=np.int64)
+        heavy = gen.random(take) < heavy_share
+        batch[heavy] = 0
+        # Within-batch order is adversarial too: heavy occurrences first,
+        # churn afterwards, so every batch ends on a decrement storm.
+        yield np.concatenate([batch[heavy], batch[~heavy]])
+        phase += 1
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """Write a schedule to stdout as text or raw ``<u8`` items."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.streaming.traffic",
+        description="generate stream traffic on stdout (pipe into `repro stream`)",
+    )
+    parser.add_argument("schedule", choices=("zipf", "bursty", "adversarial"))
+    parser.add_argument("--d", type=int, default=4096, help="universe size")
+    parser.add_argument(
+        "--items", type=int, default=None, help="total items (default: unbounded)"
+    )
+    parser.add_argument("--exponent", type=float, default=1.2, help="Zipf exponent")
+    parser.add_argument(
+        "--batch-items", type=int, default=DEFAULT_TRAFFIC_BATCH,
+        help="items per generated batch",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "u64"), default="text",
+        help="text: whitespace-separated ids; u64: raw little-endian 8-byte ids",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    common = dict(
+        batch_items=args.batch_items, total_items=args.items, rng=args.seed
+    )
+    if args.schedule == "zipf":
+        batches = zipf_traffic(args.d, args.exponent, **common)
+    elif args.schedule == "bursty":
+        batches = bursty_traffic(args.d, args.exponent, **common)
+    else:
+        batches = adversarial_traffic(args.d, **common)
+
+    out = sys.stdout.buffer
+    try:
+        for batch in batches:
+            if args.format == "u64":
+                out.write(batch.astype("<u8").tobytes())
+            else:
+                out.write(" ".join(map(str, batch.tolist())).encode())
+                out.write(b"\n")
+        out.flush()
+    except BrokenPipeError:
+        # The consumer closed the pipe (e.g. --max-items reached): normal
+        # termination for an unbounded producer.
+        try:
+            out.close()
+        except BrokenPipeError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -714,3 +714,173 @@ class TestServeCli:
         finally:
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=30) == 0
+
+
+class TestStreamCli:
+    """``repro stream``: bounded-memory ingestion from files and stdin."""
+
+    def test_stream_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["stream", "-", "--summary", "count-min", "--universe", "64",
+             "--format", "u64", "--max-batch-items", "128",
+             "--queue-depth", "2", "--max-items", "1000",
+             "--out", "s.bin"]
+        )
+        assert (args.command, args.source, args.summary) == ("stream", "-", "count-min")
+        assert (args.format, args.max_batch_items, args.queue_depth) == ("u64", 128, 2)
+        args = parser.parse_args(
+            ["stream", "items.txt", "--universe", "8",
+             "--connect", "h:1", "--name", "live"]
+        )
+        assert (args.connect, args.name) == ("h:1", "live")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "-", "--universe", "8",
+                                       "--summary", "bogus", "--out", "s.bin"])
+
+    def test_stream_text_file_to_frame_bit_identical(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.streaming import MisraGries
+        from repro.wire import load_as
+
+        rng = np.random.default_rng(3)
+        items = rng.integers(0, 32, 5000)
+        src = tmp_path / "items.txt"
+        src.write_text(" ".join(map(str, items.tolist())))
+        out = tmp_path / "mg.bin"
+        assert main(
+            ["stream", str(src), "--summary", "misra-gries", "--universe", "32",
+             "--k", "7", "--max-batch-items", "512", "--out", str(out)]
+        ) == 0
+        msg = capsys.readouterr().out
+        assert "5000 items" in msg and "items/sec" in msg
+        reference = MisraGries(32, 7)
+        reference.update_many(items)
+        assert out.read_bytes() == reference.to_bytes()
+        got = load_as(MisraGries, out.read_bytes())
+        assert got.stream_length == 5000
+
+    def test_stream_u64_file_matches_text_path(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        items = rng.integers(0, 16, 3000)
+        text_src = tmp_path / "items.txt"
+        text_src.write_text(" ".join(map(str, items.tolist())))
+        u64_src = tmp_path / "items.u64"
+        u64_src.write_bytes(items.astype("<u8").tobytes())
+        common = ["--summary", "count-min", "--universe", "16",
+                  "--width", "32", "--depth", "3", "--seed", "5"]
+        text_out, u64_out = tmp_path / "t.bin", tmp_path / "b.bin"
+        assert main(["stream", str(text_src), *common, "--out", str(text_out)]) == 0
+        assert main(["stream", str(u64_src), "--format", "u64", *common,
+                     "--out", str(u64_out)]) == 0
+        capsys.readouterr()
+        assert text_out.read_bytes() == u64_out.read_bytes()
+
+    def test_stream_to_server_then_query(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.server import Client, serve_in_thread
+        from repro.streaming import CountMinSketch
+
+        rng = np.random.default_rng(6)
+        items = rng.integers(0, 24, 4000)
+        src = tmp_path / "items.txt"
+        src.write_text(" ".join(map(str, items.tolist())))
+        reference = CountMinSketch(24, 64, 4, rng=2)
+        reference.update_many(items)
+        with serve_in_thread() as handle:
+            addr = f"{handle.host}:{handle.port}"
+            assert main(
+                ["stream", str(src), "--summary", "count-min", "--universe", "24",
+                 "--width", "64", "--depth", "4", "--seed", "2",
+                 "--max-batch-items", "512", "--connect", addr, "--name", "live"]
+            ) == 0
+            msg = capsys.readouterr().out
+            assert "streamed 4000 items" in msg and "stream_length 4000" in msg
+            with Client(handle.host, handle.port) as client:
+                got = client.estimate("live", [Itemset([i]) for i in range(24)])
+        expected = [reference.estimate_frequency(i) for i in range(24)]
+        assert got == expected
+
+    def test_stream_requires_exactly_one_sink(self, tmp_path, capsys):
+        src = tmp_path / "items.txt"
+        src.write_text("1 2 3")
+        assert main(["stream", str(src), "--universe", "8"]) == 1
+        assert "exactly one sink" in capsys.readouterr().err
+        assert main(
+            ["stream", str(src), "--universe", "8",
+             "--out", str(tmp_path / "s.bin"), "--connect", "h:1"]
+        ) == 1
+        assert "exactly one sink" in capsys.readouterr().err
+
+    def test_stream_bad_inputs_report_cleanly(self, tmp_path, capsys):
+        out = tmp_path / "s.bin"
+        assert main(
+            ["stream", str(tmp_path / "missing.txt"), "--universe", "8",
+             "--out", str(out)]
+        ) == 1
+        assert "cannot stream" in capsys.readouterr().err
+        garbage = tmp_path / "garbage.txt"
+        garbage.write_text("1 2 three 4")
+        assert main(
+            ["stream", str(garbage), "--universe", "8", "--out", str(out)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "cannot stream" in err and len(err.strip().splitlines()) == 1
+        # Out-of-universe items are a stream error, not a traceback.
+        big = tmp_path / "big.txt"
+        big.write_text("1 2 99")
+        assert main(
+            ["stream", str(big), "--universe", "8", "--out", str(out)]
+        ) == 1
+        assert "cannot stream" in capsys.readouterr().err
+
+    def test_stream_stdin_text(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        out = tmp_path / "s.bin"
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 2 3 2 1 2"))
+        assert main(
+            ["stream", "-", "--summary", "space-saving", "--universe", "8",
+             "--k", "3", "--out", str(out)]
+        ) == 0
+        assert "6 items" in capsys.readouterr().out
+
+        from repro.streaming import SpaceSaving
+        from repro.wire import load_as
+
+        got = load_as(SpaceSaving, out.read_bytes())
+        assert got.stream_length == 6
+
+    def test_query_streamed_frame_file_matches_socket(self, tmp_path, capsys):
+        """File-path Q on a streamed summary == the socket answer."""
+        import numpy as np
+
+        from repro.server import serve_in_thread
+
+        rng = np.random.default_rng(8)
+        items = rng.integers(0, 12, 2000)
+        src = tmp_path / "items.txt"
+        src.write_text(" ".join(map(str, items.tolist())))
+        out = tmp_path / "cms.bin"
+        common = ["--summary", "count-min", "--universe", "12",
+                  "--width", "32", "--depth", "3", "--seed", "4"]
+        assert main(["stream", str(src), *common, "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(out), "3"]) == 0
+        file_out = capsys.readouterr().out
+        assert "estimate[3]" in file_out and "indicate = n/a" in file_out
+        with serve_in_thread() as handle:
+            addr = f"{handle.host}:{handle.port}"
+            assert main(["stream", str(src), *common,
+                         "--connect", addr, "--name", "cms"]) == 0
+            capsys.readouterr()
+            assert main(["query", "cms", "3", "--connect", addr]) == 0
+        sock_out = capsys.readouterr().out
+        assert file_out.split("bits): ")[1] == sock_out.split("bits): ")[1]
+        # Multi-item queries against a summary explain themselves.
+        assert main(["query", str(out), "3", "4"]) == 1
+        assert "1-itemsets only" in capsys.readouterr().err

@@ -495,3 +495,204 @@ class TestSocketFileDifferential:
             struct.pack(">d", v) for v in expected
         ]
         client.drop("mg-diff")
+
+
+# ----------------------------------------------------------------------
+# INGEST: streamed updates into a resident summary.
+# ----------------------------------------------------------------------
+class TestIngestProtocol:
+    def test_round_trips(self):
+        items = np.array([0, 7, 2**40, 2**63 - 1], dtype=np.int64)
+        body = protocol.encode_request(protocol.OP_INGEST, name="s", items=items)
+        parsed = protocol.parse_request(body)
+        assert parsed.op == protocol.OP_INGEST
+        assert parsed.name == "s"
+        assert parsed.items is not None
+        assert parsed.items.dtype == np.int64
+        assert np.array_equal(parsed.items, items)
+
+    def test_truncated_everywhere(self):
+        body = protocol.encode_request(
+            protocol.OP_INGEST, name="s", items=np.array([1, 2, 3])
+        )
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolError):
+                protocol.parse_request(body[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        body = protocol.encode_request(
+            protocol.OP_INGEST, name="s", items=np.array([1])
+        )
+        with pytest.raises(ProtocolError, match="trailing"):
+            protocol.parse_request(body + b"\x00")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                protocol.OP_INGEST, name="s", items=np.array([], dtype=np.int64)
+            )
+
+    def test_oversized_count_rejected_before_allocation(self):
+        header = bytes([protocol.OP_INGEST, 1]) + b"s"
+        from repro.db.serialize import encode_uvarint
+
+        body = header + encode_uvarint(protocol.MAX_INGEST_ITEMS + 1)
+        with pytest.raises(ProtocolError, match="INGEST batch"):
+            protocol.parse_request(body)
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ProtocolError, match=r"2\*\*63"):
+            protocol.encode_request(
+                protocol.OP_INGEST, name="s", items=np.array([-1])
+            )
+        header = bytes([protocol.OP_INGEST, 1]) + b"s"
+        from repro.db.serialize import encode_uvarint
+
+        body = header + encode_uvarint(1) + (2**63).to_bytes(8, "big")
+        with pytest.raises(ProtocolError, match=r"2\*\*63"):
+            protocol.parse_request(body)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ProtocolError, match="1-D"):
+            protocol.encode_request(
+                protocol.OP_INGEST, name="s", items=np.zeros((2, 2), dtype=int)
+            )
+        with pytest.raises(ProtocolError, match="integer"):
+            protocol.encode_request(
+                protocol.OP_INGEST, name="s", items=np.array([1.5])
+            )
+
+    def test_ingest_ok_round_trips(self):
+        body = protocol.encode_ingest_ok(12345, 6789)
+        assert protocol.parse_ingest_ok(body) == (12345, 6789)
+        for cut in range(1, len(body)):
+            with pytest.raises(ProtocolError):
+                protocol.parse_ingest_ok(body[:cut])
+
+
+class TestIngestRegistry:
+    def test_ingest_updates_resident_summary(self):
+        registry = SketchRegistry()
+        mg = _misra_gries(seed=1)
+        registry.load("mg", wire.dump(mg))
+        batch = np.array([1, 1, 2, 3], dtype=np.int64)
+        length, size = registry.ingest("mg", batch)
+        expected = _misra_gries(seed=1)
+        expected.update_many(batch)
+        assert length == expected.stream_length
+        assert size == wire.payload_size_bits(expected)
+        got = registry.estimate("mg", [Itemset([1])])
+        assert got == [expected.estimate_frequency(1)]
+
+    def test_ingest_unknown_name(self):
+        with pytest.raises(ProtocolError, match="no sketch named"):
+            SketchRegistry().ingest("ghost", np.array([1]))
+
+    def test_ingest_non_summary_rejected(self):
+        registry = SketchRegistry()
+        db = random_database(60, 8, 0.3, rng=3)
+        params = SketchParams(n=db.n, d=db.d, k=2, epsilon=0.3, delta=0.2)
+        sketch = SubsampleSketcher(Task.FORALL_ESTIMATOR).sketch(db, params, rng=4)
+        registry.load("subsample", wire.dump(sketch))
+        with pytest.raises(ProtocolError, match="streaming summary"):
+            registry.ingest("subsample", np.array([1]))
+
+    def test_ingest_out_of_universe_leaves_entry_unchanged(self):
+        registry = SketchRegistry()
+        mg = _misra_gries(seed=2)
+        registry.load("mg", wire.dump(mg))
+        before = registry.stat("mg")
+        with pytest.raises(StreamError, match="outside universe"):
+            registry.ingest("mg", np.array([0, mg.universe], dtype=np.int64))
+        after = registry.stat("mg")
+        assert before == after
+        assert registry.estimate("mg", [Itemset([0])]) == [
+            mg.estimate_frequency(0)
+        ]
+
+
+class TestIngestEndToEnd:
+    def test_socket_ingest_equals_file_path(self):
+        """INGEST-then-ESTIMATE over the socket == the same updates locally."""
+        universe = 48
+        rng = np.random.default_rng(31)
+        batches = [rng.integers(0, universe, 500) for _ in range(8)]
+        reference = MisraGries(universe, 6)
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                client.load("mg", wire.dump(MisraGries(universe, 6)))
+                length = 0
+                for batch in batches:
+                    reference.update_many(batch)
+                    length, size = client.ingest("mg", batch)
+                    # Monotone prefix-fold: each ack covers everything so far.
+                    assert length == reference.stream_length
+                    assert size == wire.payload_size_bits(reference)
+                itemsets = [Itemset([i]) for i in range(universe)]
+                got = client.estimate("mg", itemsets)
+        expected = [reference.estimate_frequency(i) for i in range(universe)]
+        assert [struct.pack(">d", v) for v in got] == [
+            struct.pack(">d", v) for v in expected
+        ]
+
+    def test_ingest_error_keeps_connection_usable(self):
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                with pytest.raises(ServerError, match="no sketch named"):
+                    client.ingest("ghost", np.array([1]))
+                client.ping()  # the connection survived the error
+
+    def test_concurrent_queries_see_complete_prefix_folds(self):
+        """ESTIMATEs during streamed ingestion always observe some prefix.
+
+        The resident CMS after any prefix of batches has a well-defined
+        table; a query must never observe a count outside the set of
+        prefix states (which would mean a half-applied batch).
+        """
+        from repro.streaming import CountMinSketch
+
+        universe, item = 32, 5
+        rng = np.random.default_rng(17)
+        batches = [rng.integers(0, universe, 400) for _ in range(12)]
+        states = [CountMinSketch(universe, 64, 4, rng=9)]
+        for batch in batches:
+            import copy
+
+            nxt = copy.deepcopy(states[-1])
+            nxt.update_many(batch)
+            states.append(nxt)
+        allowed = {state.estimate_frequency(item) for state in states}
+
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                client.load("cms", wire.dump(CountMinSketch(universe, 64, 4, rng=9)))
+
+            bad: list[float] = []
+            stop = threading.Event()
+
+            def hammer() -> None:
+                with Client(handle.host, handle.port) as client:
+                    while not stop.is_set():
+                        [value] = client.estimate("cms", [Itemset([item])])
+                        if value not in allowed:
+                            bad.append(value)
+                            return
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                with Client(handle.host, handle.port) as client:
+                    for batch in batches:
+                        client.ingest("cms", batch)
+                        time.sleep(0.005)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+
+            assert not bad, f"answers from a half-applied batch: {bad}"
+            with Client(handle.host, handle.port) as client:
+                assert client.estimate("cms", [Itemset([item])]) == [
+                    states[-1].estimate_frequency(item)
+                ]

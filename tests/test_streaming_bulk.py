@@ -136,6 +136,63 @@ def test_extend_routes_through_bulk_path():
     assert _state(a) == _state(b)
 
 
+@pytest.mark.parametrize("summary_name", sorted(_factories()))
+def test_extend_chunked_iterator_bit_identical(summary_name, monkeypatch):
+    """Lazy-iterator extend consumes in chunks, state unchanged by chunking.
+
+    The chunk size is pinned tiny so a 2000-item stream crosses many chunk
+    boundaries; the resulting state must be bit-identical to one-shot
+    ``update_many`` for every summary (chunk boundaries unobservable).
+    """
+    from repro.streaming import base as streaming_base
+
+    monkeypatch.setattr(streaming_base, "EXTEND_CHUNK_ITEMS", 17)
+    make = _factories()[summary_name]
+    stream = _streams()["zipf"]
+    chunked, oneshot = make(), make()
+    chunked.extend(item for item in stream.tolist())
+    oneshot.update_many(stream)
+    assert _state(chunked) == _state(oneshot)
+
+
+def test_extend_generator_is_bounded(monkeypatch):
+    """extend never materializes a lazy stream: lookahead == one chunk."""
+    from repro.streaming import base as streaming_base
+
+    monkeypatch.setattr(streaming_base, "EXTEND_CHUNK_ITEMS", 8)
+    pulled = 0
+
+    def metered(n):
+        nonlocal pulled
+        for i in range(n):
+            pulled += 1
+            yield i % UNIVERSE
+
+    mg = MisraGries(UNIVERSE, k=4)
+    original = mg.update_many
+
+    def checked(items):
+        # Between what the source has produced and what the summary has
+        # absorbed there is at most one chunk in flight; the old
+        # np.fromiter(whole stream) path would show pulled == 1000 here.
+        assert pulled - mg.stream_length <= 8
+        original(items)
+
+    monkeypatch.setattr(mg, "update_many", checked)
+    mg.extend(metered(1000))
+    assert mg.stream_length == 1000
+
+
+def test_extend_sequence_fast_path():
+    """ndarray/list inputs go straight to update_many (no chunk loop)."""
+    stream = _streams()["uniform"]
+    a, b, c = (CountMinSketch(UNIVERSE, width=16, depth=3, rng=9) for _ in range(3))
+    a.extend(stream)            # ndarray
+    b.extend(stream.tolist())   # plain list
+    c.update_many(stream)
+    assert _state(a) == _state(c) == _state(b)
+
+
 def test_reservoir_default_bulk_path_matches_itemwise():
     """Summaries without an override use the itemwise fallback (same rng draws)."""
     stream = _streams()["uniform"]
