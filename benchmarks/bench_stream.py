@@ -17,6 +17,9 @@ Cases:
 * ``queue_behavior``: the bounded-queue stats for a slow-consumer run --
   max resident queue depth (must never exceed the configured bound) and
   producer backpressure wait time, the "bounded RSS" contract in numbers.
+* ``durability_overhead``: socket INGEST throughput into ``serve_in_thread``
+  with the write-ahead log off vs on (PR 9's ``--data-dir``), isolating
+  the fsync-before-ack price per acknowledged batch.
 
 On hosts with fewer than 4 CPUs the worker count clamps toward 1 and every
 backend degenerates to the same inline path; the committed JSON from such a
@@ -37,6 +40,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -46,6 +50,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import wire  # noqa: E402
+from repro.server import Client, serve_in_thread  # noqa: E402
 from repro.streaming.pipeline import StreamPipeline, SummarySpec  # noqa: E402
 from repro.streaming.traffic import zipf_traffic  # noqa: E402
 
@@ -191,6 +197,63 @@ def bench_queue_behavior(total_items: int, batch_items: int) -> dict:
     }
 
 
+def bench_durability_overhead(
+    total_items: int, batch_items: int, repeats: int
+) -> dict:
+    """Socket INGEST throughput with the write-ahead log off vs on.
+
+    Each acknowledged INGEST on a ``--data-dir`` server appends one
+    CRC-framed record and ``fsync``\\ s it before the ack, so the
+    overhead ratio is the per-batch durability price at this batch
+    size.  Both variants run the same client loop against
+    ``serve_in_thread`` on loopback; the final resident frames must be
+    bit-identical (count-min, exact partial sums).
+    """
+    batches = _batches(total_items, batch_items)
+    spec = _spec()
+    empty_frame = wire.dump(spec.build())
+
+    def run_once(durable: bool):
+        with tempfile.TemporaryDirectory(prefix="repro_bench_wal_") as tmp:
+            target = str(Path(tmp) / "data") if durable else None
+            with serve_in_thread(data_dir=target) as handle:
+                with Client(handle.host, handle.port) as client:
+                    client.load("cm", empty_frame)
+                    began = time.perf_counter()
+                    for batch in batches:
+                        client.ingest("cm", batch)
+                    seconds = time.perf_counter() - began
+                    [(_, frame)], _ = handle.registry.dump_for_snapshot()
+        return seconds, frame
+
+    result: dict = {
+        "config": {
+            "total_items": total_items,
+            "batch_items": batch_items,
+            "batches": len(batches),
+            "summary": "count-min(width=4096, depth=4)",
+        },
+    }
+    frames = {}
+    for label, durable in (("wal_off", False), ("wal_on", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            seconds, frame = run_once(durable)
+            best = min(best, seconds)
+            frames[label] = frame
+        result[label] = {
+            "seconds": best,
+            "items_per_sec": total_items / best,
+        }
+    assert frames["wal_on"] == frames["wal_off"], (
+        "journaled ingestion diverged from the in-memory path"
+    )
+    result["overhead_ratio"] = (
+        result["wal_on"]["seconds"] / result["wal_off"]["seconds"]
+    )
+    return result
+
+
 def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
     repeats = 2 if quick else 3
     if quick:
@@ -203,6 +266,9 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
         ),
         "queue_behavior": bench_queue_behavior(
             min(total_items, 1_000_000), batch_items
+        ),
+        "durability_overhead": bench_durability_overhead(
+            min(total_items, 1_000_000), batch_items, repeats
         ),
     }
     backends = results["pipeline_backends"]
@@ -218,7 +284,7 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
         )
     record = {
         "benchmark": "stream_pipeline",
-        "pr": 8,
+        "pr": 9,
         "quick": quick,
         "results": results,
     }
@@ -241,6 +307,13 @@ def test_stream_pipeline_quick():
         f"process {backends['process']['items_per_sec']:,.0f} "
         f"({backends['speedup_process']:.2f}x) "
         f"with {backends['config']['workers']} workers"
+    )
+    wal = record["results"]["durability_overhead"]
+    print(
+        f"durability_overhead: wal off "
+        f"{wal['wal_off']['items_per_sec']:,.0f} items/sec, "
+        f"wal on {wal['wal_on']['items_per_sec']:,.0f} "
+        f"({wal['overhead_ratio']:.2f}x slower)"
     )
 
 
@@ -282,6 +355,14 @@ def main(argv: list[str] | None = None) -> int:
         f"queue_behavior (depth={queue['config']['queue_depth']}): "
         f"max depth {queue['max_queue_depth']}, "
         f"feed wait {queue['feed_wait_s']:.3f}s over {queue['batches']} batches"
+    )
+    wal = record["results"]["durability_overhead"]
+    print(
+        f"durability_overhead ({wal['config']['batches']} INGEST batches of "
+        f"{wal['config']['batch_items']}): "
+        f"wal off {wal['wal_off']['items_per_sec']:,.0f} items/sec, "
+        f"wal on {wal['wal_on']['items_per_sec']:,.0f} "
+        f"({wal['overhead_ratio']:.2f}x slower)"
     )
     print(f"wrote {args.out}")
     return 0

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve commands cover the library's everyday entry points:
+Thirteen commands cover the library's everyday entry points:
 
 * ``experiments`` -- list the reproduced claims and their benchmarks;
 * ``bounds``      -- print Theorem 12's sizes and the lower bounds for a
@@ -23,7 +23,12 @@ Twelve commands cover the library's everyday entry points:
 * ``serve``       -- run a resident sketch server: a long-lived daemon
   holding loaded sketches in memory and answering socket queries
   (``--load`` preloads frame files, ``--port 0`` binds an ephemeral
-  port and prints it);
+  port and prints it; ``--data-dir`` makes the registry durable --
+  every acknowledged LOAD/INGEST/DROP is write-ahead logged and
+  replayed on restart -- while ``--max-connections`` and
+  ``--idle-timeout`` bound concurrent load);
+* ``compact``     -- fold a ``--data-dir``'s write-ahead log into a
+  fresh snapshot offline, bounding the next restart's replay time;
 * ``push``        -- upload a sketch file into a running server's
   registry (name collisions fold shards via the merge rules);
 * ``stream``      -- ingest an unbounded item stream (stdin or file,
@@ -41,7 +46,13 @@ from a resident sketch instead of a file, through the same codec path.
 Every command that reads sketch files (``query``/``merge``/``inspect``)
 reports corrupted or truncated frames as a one-line error and a nonzero
 exit code, never a traceback; socket commands report connection and
-server errors the same way.
+server errors the same way, and ``serve``/``compact`` refuse a
+corrupted data dir identically (a torn final WAL record -- the crash
+signature -- is healed silently; anything else is corruption).  The
+socket commands (``query --connect``/``push``/``stream --connect``)
+take ``--retries``/``--deadline`` to survive transient faults with
+exponential backoff; for ``push``/``stream`` that opt-in also covers
+their mutating ops.
 """
 
 from __future__ import annotations
@@ -228,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer from a running `repro serve` daemon instead of a "
              "file; PATH names the resident sketch",
     )
+    _add_retry_flags(query)
 
     merge = sub.add_parser(
         "merge", help="merge serialized summary shard files into one sketch file"
@@ -280,6 +292,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--seed", type=int, default=0,
         help="seed for the sampling-based merge rules (reservoirs)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable registry: write-ahead log every acknowledged "
+             "LOAD/INGEST/DROP under DIR and replay snapshot+WAL on "
+             "startup (created if missing)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="cap on simultaneously served connections; excess "
+             "connections get one BUSY response and are closed "
+             "(default: uncapped)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="hang up on connections idle this long between bytes "
+             "(default: wait forever)",
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold a serve --data-dir's write-ahead log into a fresh "
+             "snapshot (run offline; bounds the next restart's replay)",
+    )
+    compact.add_argument("data_dir", help="directory given to `repro serve --data-dir`")
+    compact.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the sampling-based merge rules during replay",
     )
 
     stream = sub.add_parser(
@@ -356,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", default="stream",
         help="registry name for --connect ingestion (default: 'stream')",
     )
+    _add_retry_flags(stream)
 
     push = sub.add_parser(
         "push", help="upload a sketch file into a running sketch server"
@@ -370,7 +411,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry name (default: the file's stem); pushing shards "
              "under one name folds them via the merge rules",
     )
+    _add_retry_flags(push)
     return parser
+
+
+def _add_retry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient socket failures up to N extra times with "
+             "exponential backoff (default: fail fast); for push/stream "
+             "this opts their mutating ops into retry too",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="overall wall-clock budget across attempts and backoff "
+             "(implies --retries 3 when given alone)",
+    )
+
+
+def _retry_policy(args: argparse.Namespace, *, mutating: bool):
+    """Build the client's RetryPolicy from --retries/--deadline, if any."""
+    if args.retries is None and args.deadline is None:
+        return None
+    from .server.client import RetryPolicy
+
+    return RetryPolicy(
+        retries=3 if args.retries is None else args.retries,
+        deadline=args.deadline,
+        retry_mutating=mutating,
+    )
 
 
 def _cmd_experiments() -> int:
@@ -542,7 +611,7 @@ def _query_over_socket(args: argparse.Namespace, itemset: Itemset, label: str) -
     name = args.path
     try:
         host, port = _parse_connect(args.connect)
-        with Client(host, port) as client:
+        with Client(host, port, retry=_retry_policy(args, mutating=False)) as client:
             stat = client.stat(name)
             [estimate] = client.estimate(name, [itemset])
             try:
@@ -690,7 +759,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the resident sketch server in the foreground until signalled."""
+    """Run the resident sketch server in the foreground until signalled.
+
+    With ``--data-dir`` the registry is recovered from its snapshot and
+    write-ahead log before the socket opens (so the first query already
+    sees every previously acknowledged op), and every later mutation is
+    logged-and-fsync'd before its acknowledgement.  A corrupted data dir
+    -- anything beyond the torn final record a crash legitimately leaves
+    -- is refused with a one-line error and exit 1.  On SIGINT/SIGTERM
+    the server drains gracefully: in-flight requests finish, new
+    connections are refused, the store closes after the final append.
+    """
     import asyncio
     import contextlib
     import signal
@@ -699,12 +778,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import SketchServer, preload_files
 
     port = DEFAULT_PORT if args.port is None else args.port
+    store = None
     try:
+        registry = None
+        if args.data_dir is not None:
+            from .server.persistence import PersistentStore
+            from .server.registry import SketchRegistry
+
+            registry = SketchRegistry(
+                rng=args.seed, max_frame_bytes=args.max_frame_bytes
+            )
+            store = PersistentStore(
+                args.data_dir, max_frame_bytes=args.max_frame_bytes
+            )
+            info = store.recover(registry)
+            print(f"{args.data_dir}: {info.describe()}", flush=True)
         server = SketchServer(
-            args.host, port, max_frame_bytes=args.max_frame_bytes, rng=args.seed
+            args.host,
+            port,
+            max_frame_bytes=args.max_frame_bytes,
+            rng=args.seed,
+            registry=registry,
+            max_connections=args.max_connections,
+            idle_timeout=args.idle_timeout,
+            store=store,
         )
         names = preload_files(server.registry, args.load)
     except (ReproError, OSError) as exc:
+        if store is not None:
+            store.close()
         print(f"cannot start server: {exc}", file=sys.stderr)
         return 1
 
@@ -727,7 +829,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         waiting.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await serving
-        await server.close()
+        await server.shutdown()
 
     try:
         asyncio.run(_run())
@@ -736,6 +838,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except OSError as exc:  # bind failure (port in use, bad host)
         print(f"cannot start server: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Offline compaction: replay a data dir, publish a fresh snapshot."""
+    from .errors import ReproError
+    from .server.persistence import PersistentStore
+    from .server.registry import SketchRegistry
+
+    try:
+        store = PersistentStore(args.data_dir, compact_every=None)
+        registry = SketchRegistry(rng=args.seed)
+        info = store.recover(registry)
+        entries = store.compact()
+        store.close()
+    except (ReproError, OSError) as exc:
+        print(f"cannot compact {args.data_dir}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"compacted {args.data_dir}: {info.describe()} -> "
+        f"snapshot of {entries} entries, empty WAL"
+    )
     return 0
 
 
@@ -779,7 +906,7 @@ def _stream_to_server(args: argparse.Namespace, spec, batches) -> int:
     host, port = _parse_connect(args.connect)
     began = time.perf_counter()
     total = 0
-    with Client(host, port) as client:
+    with Client(host, port, retry=_retry_policy(args, mutating=True)) as client:
         _, size, _ = client.load(args.name, spec.build().to_bytes())
         length = 0
         for batch in batches:
@@ -872,7 +999,7 @@ def _cmd_push(args: argparse.Namespace) -> int:
         frame = Path(args.path).read_bytes()
         name = args.name if args.name else Path(args.path).stem
         host, port = _parse_connect(args.connect)
-        with Client(host, port) as client:
+        with Client(host, port, retry=_retry_policy(args, mutating=True)) as client:
             codec, size_in_bits, merged = client.load(name, frame)
     except (ReproError, OSError) as exc:
         print(f"cannot push {args.path}: {exc}", file=sys.stderr)
@@ -910,6 +1037,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stream(args)
     if args.command == "push":
         return _cmd_push(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -74,3 +74,26 @@ class ServerError(ReproError):
     names, unmergeable shard types, queries a resident summary cannot
     answer, and request-level protocol violations all surface here.
     """
+
+
+class ServerBusyError(ServerError):
+    """Raised client-side when the server sheds load with a ``BUSY`` response.
+
+    Unlike a plain :class:`ServerError` (which is definitive -- the server
+    evaluated the request and rejected it), ``BUSY`` means the request was
+    never looked at: the connection cap was reached.  The condition is
+    transient, so retry policies treat it as retryable even for mutating
+    operations.
+    """
+
+
+class PersistenceError(ReproError):
+    """Raised when a ``--data-dir`` WAL or snapshot cannot be trusted.
+
+    Covers bad magic, unsupported persistence versions, CRC mismatches,
+    out-of-order sequence numbers, and oversized records.  A torn *final*
+    WAL record (the file ends mid-record, as a crash during append leaves
+    it) is **not** an error -- recovery drops the tail; anything else means
+    the log was corrupted in place and the server refuses to start rather
+    than serve a silently wrong registry.
+    """

@@ -33,9 +33,14 @@ with one vectorized pass); ids must lie in ``[0, 2**63)`` and within the
 summary's universe.
 
 Response bodies open with a status byte; an error carries one UTF-8
-message and leaves the connection usable::
+message and leaves the connection usable.  ``BUSY`` has the same shape
+as an error but means the request was *never evaluated* -- the server
+sends it unsolicited when a new connection arrives over the
+``--max-connections`` cap, then hangs up; retry policies treat it as
+retryable even for mutating verbs::
 
     response  := 0x00 payload | 0x01 uvarint(len) utf8_message
+               | 0x02 uvarint(len) utf8_message   # BUSY: shed, not answered
     LOAD      := merged:u8 codec_name uvarint(size_in_bits)
     ESTIMATE  := uvarint(count) f64*count        # bit-exact estimates
     INDICATE  := uvarint(count) u8*count         # 0/1 indicators
@@ -55,15 +60,31 @@ Failure isolation: a request that parses but cannot be served (unknown
 name, unmergeable shard, summary asked for indicators) gets an error
 response and the connection continues.  A length prefix outside bounds
 or a mid-frame disconnect closes *that* connection only -- the registry
-and every other client are untouched.
+and every other client are untouched.  With ``--idle-timeout`` a
+connection that stays silent (between requests or mid-frame) past the
+budget is closed the same way.  On shutdown the server *drains*: the
+listener closes first, in-flight requests are answered, then connection
+tasks end -- so a SIGTERM never cuts an acknowledgement in half.
+
+Durability (``--data-dir``): every acknowledged ``LOAD`` / ``INGEST`` /
+``DROP`` is appended to a write-ahead log -- each record's body is the
+verbatim *request body* above, prefixed with a ``uvarint`` sequence
+number and framed as ``u32_be(len) u32_be(crc32) body`` -- and
+``fsync``'d before the acknowledgement is sent.  Periodic compaction
+folds the log into an atomically-replaced snapshot of LOAD records.
+Recovery replays snapshot + log, tolerating exactly a torn final record
+(a crash mid-append) and refusing any in-place corruption.  The full
+grammar and failure model live in :mod:`repro.server.persistence`.
 
 Entry points: :class:`SketchServer` (asyncio daemon),
 :func:`serve_in_thread` (daemon-thread harness for blocking callers),
-:class:`Client` (blocking socket client), and
-:class:`SketchRegistry` (the transport-free verb implementation).
+:class:`Client` (blocking socket client, optionally retrying via
+:class:`RetryPolicy`), :class:`SketchRegistry` (the transport-free verb
+implementation), and :class:`~repro.server.persistence.PersistentStore`
+(the WAL + snapshot layer behind ``--data-dir``).
 """
 
-from .client import Client
+from .client import Client, RetryPolicy
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_PORT,
@@ -79,6 +100,7 @@ __all__ = [
     "DEFAULT_PORT",
     "EntryInfo",
     "RegistryEntry",
+    "RetryPolicy",
     "ServerHandle",
     "SketchRegistry",
     "SketchServer",

@@ -6,18 +6,98 @@ query party in the paper's ``(S, Q)`` split is a cheap, stateless
 caller, and a plain blocking socket keeps the CLI and tests free of
 asyncio plumbing.  Use one client per thread; a client is a context
 manager and closes its socket on exit.
+
+Failure handling
+----------------
+A length-framed stream has no resync point: after a timeout or partial
+read the next bytes on the wire belong to an answer we already gave up
+on.  The client therefore **marks the connection broken** on any
+transport fault and never reads a stale frame; the next call either
+reconnects (when a :class:`RetryPolicy` is attached) or raises
+:class:`ConnectionError` cleanly.
+
+A :class:`RetryPolicy` adds bounded retries with exponential backoff and
+decorrelated jitter under an overall deadline.  Idempotent verbs
+(``ESTIMATE`` / ``INDICATE`` / ``STAT`` / ``LIST`` / ``PING``) are
+retried by default; mutating verbs (``LOAD`` / ``INGEST`` / ``DROP``)
+only with ``retry_mutating=True``, because a transport fault after the
+request was sent leaves the op's fate unknown -- retrying may apply it
+twice.  Two responses are special: a plain :class:`ServerError` is a
+*definitive* answer and is never retried, while ``BUSY``
+(:class:`~repro.errors.ServerBusyError`) means the request was never
+evaluated, so it is safely retried for every verb.
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import Sequence
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from ..db.itemset import Itemset
-from ..errors import ProtocolError
+from ..errors import ProtocolError, ServerBusyError, ServerError
 from . import protocol
 
-__all__ = ["Client"]
+__all__ = ["Client", "RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`Client` retries transient failures.
+
+    Parameters
+    ----------
+    retries:
+        Extra attempts after the first (``retries=3`` means up to four
+        tries total).
+    deadline:
+        Overall wall-clock budget in seconds across all attempts and
+        backoff sleeps; the pending error is raised rather than sleep
+        past it.  ``None`` bounds only by ``retries``.
+    base_delay, max_delay:
+        Backoff bounds in seconds.  Sleeps follow *decorrelated jitter*:
+        each delay is drawn uniformly from ``[base_delay, 3 * previous]``
+        and clamped to ``max_delay``, which spreads reconnect stampedes
+        without the full-jitter worst case of many near-zero sleeps.
+    retry_mutating:
+        Also retry ``LOAD`` / ``INGEST`` / ``DROP`` after a transport
+        fault.  Off by default: the server may have applied the op
+        before the connection died, and retrying applies it again.
+        (LOAD merges and INGEST folds are not idempotent.)
+    seed:
+        Seed for the jitter stream, for deterministic tests.  ``None``
+        uses fresh entropy per call sequence.
+    """
+
+    retries: int = 3
+    deadline: float | None = None
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    retry_mutating: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if not 0 < self.base_delay <= self.max_delay:
+            raise ValueError(
+                f"need 0 < base_delay <= max_delay, got "
+                f"{self.base_delay} / {self.max_delay}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The backoff sleep sequence (decorrelated jitter)."""
+        rng = random.Random(self.seed)
+        previous = self.base_delay
+        while True:
+            previous = min(self.max_delay, rng.uniform(self.base_delay, previous * 3))
+            yield previous
 
 
 class Client:
@@ -32,6 +112,11 @@ class Client:
     max_frame_bytes:
         Cap on response bodies this client will accept; keep in sync
         with the server's ``--max-frame-bytes`` when raising it.
+    retry:
+        Optional :class:`RetryPolicy`.  Without one the client fails
+        fast (one attempt, no reconnect) exactly as before; with one,
+        transient faults -- including a refused initial connect -- are
+        retried within the policy's budget.
     """
 
     def __init__(
@@ -41,20 +126,67 @@ class Client:
         *,
         timeout: float = 30.0,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.retry = retry
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._broken = False
+        try:
+            self._connect()
+        except OSError:
+            if retry is None:
+                raise
+            # Deferred: the first verb retries the connect under the
+            # policy's backoff/deadline budget.
+            self._mark_broken()
 
     # -- plumbing -------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """True when the stream can no longer be trusted (needs reconnect)."""
+        return self._broken
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._broken = False
+
+    def _mark_broken(self) -> None:
+        """Drop the connection: its byte stream is desynchronized."""
+        self._broken = True
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
         try:
-            self._file.close()
+            if file is not None:
+                file.close()
         finally:
-            self._sock.close()
+            if sock is not None:
+                sock.close()
 
     def __enter__(self) -> "Client":
         return self
@@ -63,28 +195,94 @@ class Client:
         self.close()
 
     def _round_trip(self, request_body: bytes) -> bytes:
-        self._file.write(
-            protocol.frame_message(request_body, self.max_frame_bytes)
-        )
-        self._file.flush()
-        return protocol.read_message(self._file, self.max_frame_bytes)
+        """One framed request out, one framed response back.
+
+        Any transport fault -- timeout, disconnect, short read, garbage
+        framing -- marks the connection broken before re-raising: after
+        a partial read the stream position is unknowable, and reading a
+        stale frame would silently answer the *wrong request*.
+        """
+        if self._file is None or self._broken:
+            raise ConnectionError(
+                f"connection to {self.host}:{self.port} is broken; "
+                "reconnect (or attach a RetryPolicy) before reusing it"
+            )
+        try:
+            self._file.write(
+                protocol.frame_message(request_body, self.max_frame_bytes)
+            )
+            self._file.flush()
+            return protocol.read_message(self._file, self.max_frame_bytes)
+        except (OSError, ProtocolError):
+            self._mark_broken()
+            raise
+
+    def _call(
+        self, request_body: bytes, parse: Callable[[bytes], T], *, idempotent: bool
+    ) -> T:
+        policy = self.retry
+        if policy is None:
+            return parse(self._round_trip(request_body))
+        start = time.monotonic()
+        delays = policy.delays()
+        attempts_left = policy.retries
+        while True:
+            error: Exception | None = None
+            retryable = False
+            if self._file is None or self._broken:
+                try:
+                    self._connect()
+                except OSError as exc:
+                    # Nothing was sent, so a failed connect is retryable
+                    # for every verb, mutating ones included.
+                    error, retryable = exc, True
+            if error is None:
+                try:
+                    return parse(self._round_trip(request_body))
+                except ServerBusyError as exc:
+                    # The server shed us without evaluating the request
+                    # and hangs up after BUSY -- safe to retry any verb
+                    # on a fresh connection.
+                    self._mark_broken()
+                    error, retryable = exc, True
+                except ServerError:
+                    raise  # a definitive answer, not a transport fault
+                except (OSError, ProtocolError) as exc:
+                    # The request may have been applied before the fault;
+                    # only idempotent verbs (or explicit opt-in) retry.
+                    error = exc
+                    retryable = idempotent or policy.retry_mutating
+            if not retryable or attempts_left <= 0:
+                raise error
+            attempts_left -= 1
+            delay = next(delays)
+            if (
+                policy.deadline is not None
+                and (time.monotonic() - start) + delay > policy.deadline
+            ):
+                raise error
+            time.sleep(delay)
 
     # -- verbs ----------------------------------------------------------
     def ping(self) -> None:
         """Round-trip an empty request; raises on any failure."""
-        protocol.parse_empty_ok(self._round_trip(protocol.encode_request(protocol.OP_PING)))
+        self._call(
+            protocol.encode_request(protocol.OP_PING),
+            protocol.parse_empty_ok,
+            idempotent=True,
+        )
 
     def load(self, name: str, frame: bytes) -> tuple[str, int, bool]:
         """Push one IFSK frame; returns ``(codec, size_in_bits, merged)``."""
         body = protocol.encode_request(protocol.OP_LOAD, name=name, frame=frame)
-        return protocol.parse_load_ok(self._round_trip(body))
+        return self._call(body, protocol.parse_load_ok, idempotent=False)
 
     def estimate(self, name: str, itemsets: Sequence[Itemset]) -> list[float]:
         """Batched frequency estimates, in query order, bit-exact f64s."""
         body = protocol.encode_request(
             protocol.OP_ESTIMATE, name=name, itemsets=itemsets
         )
-        values = protocol.parse_estimates(self._round_trip(body))
+        values = self._call(body, protocol.parse_estimates, idempotent=True)
         if len(values) != len(itemsets):
             raise ProtocolError(
                 f"server answered {len(values)} estimates for "
@@ -97,7 +295,7 @@ class Client:
         body = protocol.encode_request(
             protocol.OP_INDICATE, name=name, itemsets=itemsets
         )
-        values = protocol.parse_indicators(self._round_trip(body))
+        values = self._call(body, protocol.parse_indicators, idempotent=True)
         if len(values) != len(itemsets):
             raise ProtocolError(
                 f"server answered {len(values)} indicators for "
@@ -114,20 +312,22 @@ class Client:
         queries see either all of this batch or none of it.
         """
         body = protocol.encode_request(protocol.OP_INGEST, name=name, items=items)
-        return protocol.parse_ingest_ok(self._round_trip(body))
+        return self._call(body, protocol.parse_ingest_ok, idempotent=False)
 
     def stat(self, name: str) -> protocol.StatInfo:
         """Codec, charged size, and params of one resident sketch."""
         body = protocol.encode_request(protocol.OP_STAT, name=name)
-        return protocol.parse_stat(self._round_trip(body))
+        return self._call(body, protocol.parse_stat, idempotent=True)
 
     def entries(self) -> list[protocol.EntryInfo]:
         """Every resident sketch, sorted by name."""
-        return protocol.parse_entries(
-            self._round_trip(protocol.encode_request(protocol.OP_LIST))
+        return self._call(
+            protocol.encode_request(protocol.OP_LIST),
+            protocol.parse_entries,
+            idempotent=True,
         )
 
     def drop(self, name: str) -> None:
         """Remove one resident sketch."""
         body = protocol.encode_request(protocol.OP_DROP, name=name)
-        protocol.parse_empty_ok(self._round_trip(body))
+        self._call(body, protocol.parse_empty_ok, idempotent=False)

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..db.itemset import Itemset
 from ..db.serialize import encode_uvarint, read_uvarint
-from ..errors import ProtocolError, ReproError, ServerError
+from ..errors import ProtocolError, ReproError, ServerBusyError, ServerError
 from ..params import SketchParams
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "OP_INGEST",
     "STATUS_OK",
     "STATUS_ERROR",
+    "STATUS_BUSY",
     "Request",
     "StatInfo",
     "EntryInfo",
@@ -55,6 +56,7 @@ __all__ = [
     "encode_request",
     "parse_request",
     "encode_error",
+    "encode_busy",
     "encode_load_ok",
     "parse_load_ok",
     "encode_estimates",
@@ -101,6 +103,7 @@ _KNOWN_OPS = _NAMED_OPS + (OP_LIST, OP_PING)
 
 STATUS_OK = 0
 STATUS_ERROR = 1
+STATUS_BUSY = 2
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -321,17 +324,33 @@ def encode_error(message: str) -> bytes:
     return bytes([STATUS_ERROR]) + encode_uvarint(len(data)) + data
 
 
+def encode_busy(message: str) -> bytes:
+    """A BUSY response: the server shed this connection under load.
+
+    Same shape as an error response (status byte + one UTF-8 line) but a
+    distinct status, because the semantics differ: the request was never
+    evaluated, so even a mutating op is safe to retry elsewhere/later.
+    """
+    data = message.encode("utf-8")
+    return bytes([STATUS_BUSY]) + encode_uvarint(len(data)) + data
+
+
+def _read_message_line(stream: io.BytesIO) -> str:
+    length = _read_uvarint(stream)
+    try:
+        return _read_exact(stream, length).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("error message is not UTF-8") from exc
+
+
 def _open_ok(body: bytes) -> io.BytesIO:
     _require(len(body) >= 1, "empty response body")
     stream = io.BytesIO(body)
     status = _read_exact(stream, 1)[0]
     if status == STATUS_ERROR:
-        length = _read_uvarint(stream)
-        try:
-            message = _read_exact(stream, length).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ProtocolError("error message is not UTF-8") from exc
-        raise ServerError(message)
+        raise ServerError(_read_message_line(stream))
+    if status == STATUS_BUSY:
+        raise ServerBusyError(_read_message_line(stream))
     _require(status == STATUS_OK, f"unknown response status {status}")
     return stream
 

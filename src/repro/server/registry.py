@@ -13,6 +13,17 @@ it, so a query that grabbed the old entry keeps answering from the old,
 fully-consistent summary while the swap happens -- answers always come
 from a complete pre- or post-merge state, never a half-merged one.  If
 decoding or merging fails, the registry is untouched.
+
+Durability
+----------
+When a :class:`~repro.server.persistence.PersistentStore` is attached as
+``registry.journal``, every successful mutation (``load`` / ``ingest`` /
+``drop``) is appended to the write-ahead log *inside* the swap lock, so
+the log order is exactly the application order -- replaying the log
+rebuilds the same fold.  The append fsyncs before returning, i.e. before
+the server can acknowledge the op: an acknowledged mutation is a durable
+mutation.  If the append itself fails (disk full, injected fault), the
+error propagates and the op is never acknowledged.
 """
 
 from __future__ import annotations
@@ -81,6 +92,9 @@ class SketchRegistry:
         self._lock = threading.Lock()
         self._rng = as_rng(rng)
         self._max_frame_bytes = max_frame_bytes
+        #: Optional durability hook (a PersistentStore); when set, every
+        #: successful mutation is journaled under the swap lock.
+        self.journal: Any | None = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -126,6 +140,8 @@ class SketchRegistry:
                 if existing is None:
                     entry = self._make_entry(name, incoming)
                     self._entries[name] = entry
+                    if self.journal is not None:
+                        self.journal.record_load(name, frame)
                     return entry.codec, entry.size_in_bits, False
             # Merge outside the lock: merges allocate fresh objects, so
             # concurrent queries keep answering from `existing`.
@@ -134,6 +150,8 @@ class SketchRegistry:
             with self._lock:
                 if self._entries.get(name) is existing:
                     self._entries[name] = entry
+                    if self.journal is not None:
+                        self.journal.record_load(name, frame)
                     return entry.codec, entry.size_in_bits, True
                 # Another LOAD swapped the entry mid-merge; redo the fold
                 # against the new resident object.
@@ -172,6 +190,8 @@ class SketchRegistry:
             with self._lock:
                 if self._entries.get(name) is entry:
                     self._entries[name] = new_entry
+                    if self.journal is not None:
+                        self.journal.record_ingest(name, items)
                     return updated.stream_length, new_entry.size_in_bits
                 # A concurrent LOAD or INGEST swapped the entry mid-update;
                 # reapply the batch to the new resident object.
@@ -242,3 +262,22 @@ class SketchRegistry:
         with self._lock:
             if self._entries.pop(name, None) is None:
                 raise ProtocolError(f"no sketch named {name!r} is loaded")
+            if self.journal is not None:
+                self.journal.record_drop(name)
+
+    def dump_for_snapshot(self) -> tuple[list[tuple[str, bytes]], int]:
+        """``(name, frame)`` pairs plus the journal watermark, as one cut.
+
+        The entry references and the journal's last sequence number are
+        captured under the same lock that orders journal appends, so the
+        snapshot describes *exactly* the state after op ``last_seq`` --
+        no logged op is missing from it, none is double-counted.  The
+        (slow) frame encoding happens outside the lock; entries are
+        immutable once resident, so the late ``dump`` is safe.
+        """
+        from ..wire import dump
+
+        with self._lock:
+            snapshot = sorted(self._entries.values(), key=lambda e: e.name)
+            last_seq = 0 if self.journal is None else self.journal.last_seq
+        return [(e.name, dump(e.obj)) for e in snapshot], last_seq

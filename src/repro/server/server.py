@@ -8,6 +8,14 @@ error response on its own connection; a mid-frame disconnect, oversized
 length prefix, or garbage framing closes *that* connection only.  The
 registry and every other client are untouched either way.
 
+Overload protection and durability (PR 9): a ``max_connections`` cap
+answers excess connections with one ``BUSY`` response and hangs up; an
+``idle_timeout`` reclaims connections that stop sending requests; and
+:meth:`SketchServer.shutdown` drains gracefully -- the listener closes,
+in-flight requests finish and are answered, then connections close.
+With a :class:`~repro.server.persistence.PersistentStore` attached,
+every acknowledged mutation is WAL-logged before the ack leaves.
+
 :func:`serve_in_thread` hosts a server on a daemon thread with its own
 event loop -- the harness used by the blocking CLI tests and any caller
 who wants a resident server without adopting asyncio.
@@ -19,13 +27,16 @@ import asyncio
 import contextlib
 import struct
 import threading
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from ..errors import ProtocolError, ReproError
 from . import protocol
 from .registry import SketchRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .persistence import PersistentStore
 
 __all__ = ["SketchServer", "serve_in_thread", "ServerHandle"]
 
@@ -47,6 +58,20 @@ class SketchServer:
         default a fresh empty one is created.
     rng:
         Randomness for merge-on-collision, forwarded to the registry.
+    max_connections:
+        Cap on simultaneously served connections; connection number
+        ``max_connections + 1`` is answered with one ``BUSY`` response
+        and closed, so a client sees a retryable signal instead of an
+        unbounded accept queue.  ``None`` (default) means uncapped.
+    idle_timeout:
+        Seconds a connection may sit between bytes before the server
+        hangs up on it (both between requests and mid-frame).  ``None``
+        (default) waits forever.
+    store:
+        A recovered :class:`~repro.server.persistence.PersistentStore`
+        to own: the server triggers its auto-compaction between
+        requests and closes it on shutdown.  Attach it to the registry
+        via ``store.recover(registry)`` *before* serving.
     """
 
     def __init__(
@@ -57,24 +82,46 @@ class SketchServer:
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         registry: SketchRegistry | None = None,
         rng: np.random.Generator | int | None = None,
+        max_connections: int | None = None,
+        idle_timeout: float | None = None,
+        store: "PersistentStore | None" = None,
     ) -> None:
         if max_frame_bytes < 1:
             raise ProtocolError(
                 f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
             )
+        if max_connections is not None and max_connections < 1:
+            raise ProtocolError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ProtocolError(
+                f"idle_timeout must be positive, got {idle_timeout}"
+            )
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.store = store
         self.registry = (
             registry
             if registry is not None
             else SketchRegistry(rng=rng, max_frame_bytes=max_frame_bytes)
         )
         self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+
+    @property
+    def active_connections(self) -> int:
+        """Connections currently being served (excludes BUSY-shed ones)."""
+        return len(self._conn_tasks)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections; updates :attr:`port`."""
+        self._draining = False
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -86,6 +133,27 @@ class SketchServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def shutdown(self, grace: float | None = 10.0) -> None:
+        """Graceful drain: refuse new work, finish in-flight, then stop.
+
+        The listener closes first (new connections are refused), live
+        connections get up to ``grace`` seconds to finish the request
+        they are on -- each hangs up after its next response -- and any
+        straggler past the grace period is cancelled.  The attached
+        store (if any) is closed last, after the final journal append.
+        """
+        self._draining = True
+        await self.close()
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            _done, stragglers = await asyncio.wait(pending, timeout=grace)
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        if self.store is not None:
+            self.store.close()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``repro serve`` foreground loop)."""
@@ -99,12 +167,41 @@ class SketchServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._draining:
+            # Shutdown already started; refuse silently, like a closed
+            # listener would have.
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        if (
+            self.max_connections is not None
+            and len(self._conn_tasks) >= self.max_connections
+        ):
+            # Shed load with one explicit, retryable answer instead of
+            # queueing unboundedly.
+            with contextlib.suppress(Exception):
+                await self._send(
+                    writer,
+                    protocol.encode_busy(
+                        f"server at capacity ({self.max_connections} connections)"
+                    ),
+                )
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
         try:
             while True:
                 try:
-                    header = await reader.readexactly(4)
+                    header = await self._read_exactly(reader, 4)
                 except asyncio.IncompleteReadError:
                     break  # clean EOF between messages, or mid-prefix
+                except asyncio.TimeoutError:
+                    break  # idle past the timeout: reclaim the slot
                 (length,) = struct.unpack(">I", header)
                 if not 1 <= length <= self.max_frame_bytes:
                     # The framing itself is broken; answer once and hang
@@ -118,17 +215,29 @@ class SketchServer:
                     )
                     break
                 try:
-                    body = await reader.readexactly(length)
-                except asyncio.IncompleteReadError:
-                    break  # mid-frame disconnect: drop this client only
+                    body = await self._read_exactly(reader, length)
+                except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                    break  # mid-frame disconnect or stall: drop this client
                 response = self._dispatch(body)
                 await self._send(writer, response)
+                if self.store is not None:
+                    # Between requests, never mid-ack: dispatches are
+                    # synchronous on this loop, so no append races this.
+                    self.store.maybe_compact()
+                if self._draining:
+                    break  # answered the in-flight request; now drain
         except (ConnectionError, BrokenPipeError, OSError):
             pass  # peer vanished; nothing shared is affected
         finally:
+            self._conn_tasks.discard(task)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _read_exactly(self, reader: asyncio.StreamReader, n: int) -> bytes:
+        if self.idle_timeout is None:
+            return await reader.readexactly(n)
+        return await asyncio.wait_for(reader.readexactly(n), self.idle_timeout)
 
     async def _send(self, writer: asyncio.StreamWriter, body: bytes) -> None:
         writer.write(protocol.frame_message(body, self.max_frame_bytes))
@@ -200,12 +309,21 @@ class ServerHandle:
     def registry(self) -> SketchRegistry:
         return self.server.registry
 
-    def close(self) -> None:
-        """Stop the server and join its thread (idempotent)."""
+    @property
+    def store(self) -> "PersistentStore | None":
+        return self.server.store
+
+    def close(self, grace: float | None = 10.0) -> None:
+        """Drain the server and join its thread (idempotent).
+
+        In-flight requests finish (up to ``grace`` seconds) before the
+        loop stops, and the attached store -- if any -- is closed after
+        its final journal append, so no acknowledged op is lost.
+        """
         if self._thread.is_alive():
             asyncio.run_coroutine_threadsafe(
-                self.server.close(), self._loop
-            ).result(timeout=10)
+                self.server.shutdown(grace), self._loop
+            ).result(timeout=30)
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10)
 
@@ -223,17 +341,52 @@ def serve_in_thread(
     max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
     registry: SketchRegistry | None = None,
     rng: np.random.Generator | int | None = None,
+    max_connections: int | None = None,
+    idle_timeout: float | None = None,
+    data_dir: "str | None" = None,
+    store: "PersistentStore | None" = None,
+    startup_timeout: float = 10.0,
 ) -> ServerHandle:
     """Start a :class:`SketchServer` on a daemon thread and wait for bind.
 
     Returns a :class:`ServerHandle` (also a context manager) whose
     ``host``/``port`` are ready for blocking clients.  The default
     ``port=0`` picks an ephemeral port, so parallel test runs never
-    collide.
+    collide.  Passing ``data_dir`` builds a
+    :class:`~repro.server.persistence.PersistentStore` there and
+    recovers the registry from it before serving (``store`` passes a
+    prebuilt store instead, e.g. to tune compaction; if already
+    recovered it must be bound to the registry being served).
+
+    Raises
+    ------
+    TimeoutError
+        If the server thread does not finish binding within
+        ``startup_timeout`` seconds; the half-started loop is stopped
+        rather than leaked behind a dead handle.
     """
     server = SketchServer(
-        host, port, max_frame_bytes=max_frame_bytes, registry=registry, rng=rng
+        host,
+        port,
+        max_frame_bytes=max_frame_bytes,
+        registry=registry,
+        rng=rng,
+        max_connections=max_connections,
+        idle_timeout=idle_timeout,
     )
+    if data_dir is not None or store is not None:
+        if store is None:
+            from .persistence import PersistentStore
+
+            store = PersistentStore(data_dir, max_frame_bytes=max_frame_bytes)
+        if store.registry is None:
+            store.recover(server.registry)
+        elif store.registry is not server.registry:
+            raise ProtocolError(
+                "store was recovered into a different registry than the "
+                "one being served"
+            )
+        server.store = store
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []
@@ -255,8 +408,18 @@ def serve_in_thread(
 
     thread = threading.Thread(target=_run, name="repro-sketch-server", daemon=True)
     thread.start()
-    started.wait(timeout=10)
+    if not started.wait(timeout=startup_timeout):
+        # A hung startup must not hand back a half-initialized handle.
+        if store is not None:
+            store.close()
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        raise TimeoutError(
+            f"sketch server failed to start within {startup_timeout}s"
+        )
     if failure:
+        if store is not None:
+            store.close()
         raise failure[0]
     return ServerHandle(server, loop, thread)
 

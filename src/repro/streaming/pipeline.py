@@ -38,6 +38,12 @@ Guarantees
   worker count.
 * Peak resident memory is bounded by ``queue_depth + 2`` micro-batches
   plus one summary per worker, independent of stream length.
+* Supervision: if a process-backend shard worker dies mid-batch (the
+  pool surfaces ``BrokenProcessPool``), the pipeline rebuilds the pool
+  and retries that batch once -- with the same salt, so the retried
+  partials are bit-identical -- before surfacing the failure.  The
+  resident summary is untouched by the failed attempt (partials fold
+  only after the whole batch succeeds), so no batch is half-applied.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ import copy
 import queue
 import threading
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import IO, Iterable, Iterator
 
@@ -215,7 +222,9 @@ class PipelineStats:
     ``feed_wait_s`` is total producer time blocked on a full queue (the
     backpressure signal); ``sketch_s`` is consumer time spent sketching
     and folding; ``max_queue_depth`` the high-water mark of batches
-    resident in the queue.
+    resident in the queue; ``worker_restarts`` counts process-backend
+    pool rebuilds after a shard worker died mid-batch (each one is a
+    batch retried once, not lost).
     """
 
     items: int = 0
@@ -224,6 +233,7 @@ class PipelineStats:
     max_queue_depth: int = 0
     feed_wait_s: float = 0.0
     sketch_s: float = 0.0
+    worker_restarts: int = 0
 
     def snapshot(self) -> "PipelineStats":
         return replace(self)
@@ -453,7 +463,21 @@ class StreamPipeline:
             },
         )
         self._salt += 1
-        self.backend.run(job, shards)
+        try:
+            self.backend.run(job, shards)
+        except BrokenProcessPool:
+            # A shard worker died (OOM kill, SIGKILL, hard crash) and
+            # poisoned the pool.  ProcessBackend already dropped the dead
+            # pool on this exception, so rerunning builds a fresh one;
+            # the job reuses the same salt, so the retried partials are
+            # bit-identical to what the dead worker would have produced.
+            # One retry only: a second death is a real failure, and it
+            # propagates to feed()/finish() like any other.
+            with self._lock:
+                self._stats.worker_restarts += 1
+            frames[:] = 0
+            lens[:] = 0
+            self.backend.run(job, shards)
         merged = self._resident
         for i in range(len(edges)):
             n = int(lens[i])

@@ -1,0 +1,190 @@
+"""CI smoke for crash-safe serving: SIGKILL, restart, identical answers.
+
+Exercises the durability tentpole across real process boundaries:
+
+1. start `repro serve --port 0 --data-dir DIR` and read its port;
+2. `repro push` a Misra-Gries frame and INGEST a batch over the socket,
+   recording the acknowledged estimates;
+3. SIGKILL the daemon -- no drain, no flush beyond what each ack
+   already forced;
+4. restart on the same data dir: recovery must report the logged ops
+   and the socket answers must be bit-identical to step 2's;
+5. `repro compact` the dir offline, restart again, answers unchanged
+   (now served from the snapshot);
+6. corrupt one WAL byte in place: `repro serve --data-dir` must refuse
+   with a one-line error and exit 1.
+
+Run with:  PYTHONPATH=src python tests/recover_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import wire  # noqa: E402
+from repro.db import Itemset  # noqa: E402
+from repro.server import Client  # noqa: E402
+from repro.streaming import MisraGries  # noqa: E402
+
+UNIVERSE = 64
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*argv: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"repro {' '.join(argv)} failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def start_server(data_dir: Path) -> tuple[subprocess.Popen, str, str]:
+    """Spawn the daemon; returns (process, host:port, recovery line)."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--data-dir", str(data_dir)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    addr = None
+    recovery = ""
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its port")
+        if "recovered" in line:
+            recovery = line.strip()
+        if line.startswith("serving on "):
+            addr = line.split("serving on ", 1)[1].strip()
+            break
+    if addr is None:
+        raise SystemExit("server never announced its port")
+    return server, addr, recovery
+
+
+def answers(addr: str) -> list[bytes]:
+    host, port_text = addr.rsplit(":", 1)
+    itemsets = [Itemset([i]) for i in range(UNIVERSE)]
+    with Client(host, int(port_text)) as client:
+        got = client.estimate("mg", itemsets)
+    return [struct.pack(">d", v) for v in got]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro_recover_smoke_") as tmp:
+        tmp_path = Path(tmp)
+        data_dir = tmp_path / "data"
+
+        mg = MisraGries(UNIVERSE, 8)
+        rng = np.random.default_rng(3)
+        mg.update_many(rng.integers(0, UNIVERSE, 5000))
+        frame_file = tmp_path / "mg.bin"
+        frame_file.write_bytes(wire.dump(mg))
+
+        server, addr, recovery = start_server(data_dir)
+        try:
+            print(f"daemon up at {addr}: {recovery}")
+            print(run_cli("push", str(frame_file), "--connect", addr), end="")
+            host, port_text = addr.rsplit(":", 1)
+            with Client(host, int(port_text)) as client:
+                client.ingest(
+                    "mg", rng.integers(0, UNIVERSE, 3000, dtype=np.int64)
+                )
+            acked = answers(addr)
+        finally:
+            # The crash: no drain, no shutdown hooks, nothing.
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=60)
+        print("daemon SIGKILLed mid-flight")
+
+        server, addr, recovery = start_server(data_dir)
+        try:
+            print(f"daemon back at {addr}: {recovery}")
+            if "2 WAL ops" not in recovery:
+                raise SystemExit(f"expected 2 replayed ops, got: {recovery!r}")
+            recovered = answers(addr)
+            if recovered != acked:
+                raise SystemExit("recovered answers diverged from acknowledged")
+            print(f"all {UNIVERSE} recovered estimates bit-identical")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            code = server.wait(timeout=60)
+        if code != 0:
+            raise SystemExit(f"server exited {code} on SIGTERM")
+
+        print(run_cli("compact", str(data_dir)), end="")
+        server, addr, recovery = start_server(data_dir)
+        try:
+            print(f"daemon on snapshot at {addr}: {recovery}")
+            if "1 snapshot entries + 0 WAL ops" not in recovery:
+                raise SystemExit(f"expected snapshot-only recovery: {recovery!r}")
+            if answers(addr) != acked:
+                raise SystemExit("snapshot answers diverged from acknowledged")
+            print("snapshot-served estimates bit-identical")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            if server.wait(timeout=60) != 0:
+                raise SystemExit("server exited nonzero on SIGTERM")
+
+        # Append one op (so the WAL is non-trivial), then corrupt it.
+        server, addr, _ = start_server(data_dir)
+        try:
+            host, port_text = addr.rsplit(":", 1)
+            with Client(host, int(port_text)) as client:
+                client.ingest("mg", np.arange(10, dtype=np.int64) % UNIVERSE)
+        finally:
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=60)
+        wal = data_dir / "wal.log"
+        blob = bytearray(wal.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        wal.write_bytes(bytes(blob))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--data-dir", str(data_dir)],
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if proc.returncode != 1:
+            raise SystemExit(
+                f"corrupted WAL not refused: exit {proc.returncode}\n{proc.stdout}"
+            )
+        err_lines = [l for l in proc.stderr.strip().splitlines() if l]
+        if len(err_lines) != 1 or "cannot start server" not in err_lines[0]:
+            raise SystemExit(f"expected one-line refusal, got: {proc.stderr!r}")
+        print(f"corruption refused: {err_lines[0]}")
+        print("recover smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -884,3 +884,136 @@ class TestStreamCli:
         # Multi-item queries against a summary explain themselves.
         assert main(["query", str(out), "3", "4"]) == 1
         assert "1-itemsets only" in capsys.readouterr().err
+
+
+class TestDurabilityCli:
+    """``--data-dir`` serving, ``repro compact``, and retry flags."""
+
+    @pytest.fixture
+    def sketch_file(self, tmp_path, capsys):
+        db = planted_database(
+            300, 8, [(Itemset([0, 1]), 0.5)], background=0.05, rng=5
+        )
+        baskets = tmp_path / "baskets.txt"
+        write_transactions(db, baskets)
+        out = tmp_path / "resident.bin"
+        assert main(["sketch", str(baskets), "--out", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_durability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--data-dir", "/tmp/d", "--max-connections", "4",
+             "--idle-timeout", "30"]
+        )
+        assert (args.data_dir, args.max_connections, args.idle_timeout) == (
+            "/tmp/d", 4, 30.0
+        )
+        args = build_parser().parse_args(["compact", "/tmp/d", "--seed", "7"])
+        assert (args.command, args.data_dir, args.seed) == ("compact", "/tmp/d", 7)
+        for command in (
+            ["query", "s.bin", "0", "--connect", "h:1"],
+            ["push", "s.bin", "--connect", "h:1"],
+            ["stream", "-", "--universe", "8", "--connect", "h:1"],
+        ):
+            args = build_parser().parse_args(
+                [*command, "--retries", "2", "--deadline", "5"]
+            )
+            assert (args.retries, args.deadline) == (2, 5.0)
+
+    def _data_dir_with_ops(self, tmp_path):
+        import numpy as np
+
+        from repro import wire
+        from repro.server import SketchRegistry
+        from repro.server.persistence import PersistentStore
+        from repro.streaming import MisraGries
+
+        mg = MisraGries(32, 5)
+        mg.update_many(np.arange(200, dtype=np.int64) % 32)
+        data_dir = tmp_path / "data"
+        store = PersistentStore(data_dir)
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(mg))
+        registry.ingest("mg", np.arange(64, dtype=np.int64) % 32)
+        store.close()
+        return data_dir
+
+    def test_compact_folds_wal_into_snapshot(self, tmp_path, capsys):
+        data_dir = self._data_dir_with_ops(tmp_path)
+        assert main(["compact", str(data_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "2 WAL ops" in out
+        # The log is now empty and the snapshot carries the entry.
+        from repro.server.persistence import WriteAheadLog, read_snapshot
+
+        assert WriteAheadLog(data_dir / "wal.log").scan().records == ()
+        entries, last_seq = read_snapshot(data_dir / "snapshot.bin")
+        assert [name for name, _ in entries] == ["mg"]
+        assert last_seq == 2
+        # Idempotent: compacting an already-compact dir is a no-op.
+        assert main(["compact", str(data_dir)]) == 0
+
+    def test_compact_refuses_corruption_cleanly(self, tmp_path, capsys):
+        data_dir = self._data_dir_with_ops(tmp_path)
+        path = data_dir / "wal.log"
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["compact", str(data_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot compact" in err and "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_refuses_corrupt_data_dir_cleanly(self, tmp_path, capsys):
+        data_dir = self._data_dir_with_ops(tmp_path)
+        path = data_dir / "wal.log"
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        # Recovery fails before any socket binds, so this returns fast.
+        assert main(["serve", "--port", "0", "--data-dir", str(data_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot start server" in err and "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_push_with_retries_through_clean_server(self, sketch_file, capsys):
+        from repro.server import serve_in_thread
+
+        with serve_in_thread() as handle:
+            addr = f"{handle.host}:{handle.port}"
+            assert main(
+                ["push", str(sketch_file), "--connect", addr,
+                 "--retries", "2", "--deadline", "10"]
+            ) == 0
+            assert "new entry" in capsys.readouterr().out
+
+    def test_push_retries_recover_from_transient_cut(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro import wire
+        from repro.server import serve_in_thread
+        from repro.streaming import MisraGries
+        from repro.testing import FaultyProxy
+        from repro.testing.faults import FaultPlan
+
+        # A summary with a merge rule: if the cut lands *after* the
+        # server applied the LOAD, the retried LOAD folds into it
+        # instead of failing -- the duplicate-apply hazard --retries on
+        # mutating verbs explicitly signs up for.
+        mg = MisraGries(32, 5)
+        mg.update_many(np.arange(300, dtype=np.int64) % 32)
+        frame_file = tmp_path / "mg.bin"
+        frame_file.write_bytes(wire.dump(mg))
+
+        with serve_in_thread() as handle:
+            plan = FaultPlan(seed=4, s2c_budget=2)
+            with FaultyProxy(handle.host, handle.port, plan=plan) as proxy:
+                addr = f"{proxy.host}:{proxy.port}"
+                # --retries on push opts its mutating LOAD into retry.
+                assert main(
+                    ["push", str(frame_file), "--connect", addr, "--retries", "3"]
+                ) == 0
+                assert proxy.faults == 1
+            assert "resident" in capsys.readouterr().out

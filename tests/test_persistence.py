@@ -1,0 +1,488 @@
+"""Tests for the durability layer (repro.server.persistence).
+
+The contract under test, in increasing order of assembly:
+
+* the record codec round-trips any body and *every* truncation point is
+  caught: torn at EOF -> :class:`TruncatedRecordError`, anything else
+  (bad length, CRC mismatch) -> :class:`~repro.errors.PersistenceError`;
+* the WAL tolerates exactly a torn final record -- healing it on open --
+  and refuses all in-place corruption (mid-file CRC flips, bytes after
+  the torn point, sequence numbers going backwards);
+* snapshots are strict: published whole via ``os.replace``, so *any*
+  truncation is corruption;
+* the store's kill-restart property: after a crash at an arbitrary byte
+  of the log (injected with :class:`~repro.testing.FaultyFile`), a fresh
+  recovery reproduces **exactly the acknowledged prefix** of the op
+  sequence -- no acknowledged op lost, no unacknowledged op surviving;
+* compaction is crash-safe in both windows: before the snapshot
+  publishes (old snapshot + full WAL still recover) and after it
+  publishes but before the WAL resets (the sequence watermark prevents
+  double-apply).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import wire
+from repro.db.serialize import encode_uvarint
+from repro.errors import PersistenceError, ProtocolError, ReproError
+from repro.server import SketchRegistry, protocol
+from repro.server.persistence import (
+    PersistentStore,
+    TruncatedRecordError,
+    WriteAheadLog,
+    encode_record,
+    read_record,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.streaming import MisraGries
+from repro.testing import FaultyFile
+
+MAX = 1 << 20
+
+
+def _misra_gries(seed: int = 0, universe: int = 48, k: int = 6) -> MisraGries:
+    mg = MisraGries(universe, k)
+    rng = np.random.default_rng(seed)
+    mg.update_many(rng.integers(0, universe, 400))
+    return mg
+
+
+def _load_body(name: str, seed: int = 0) -> bytes:
+    return protocol.encode_request(
+        protocol.OP_LOAD, name=name, frame=wire.dump(_misra_gries(seed))
+    )
+
+
+def _ingest_body(name: str, items) -> bytes:
+    return protocol.encode_request(
+        protocol.OP_INGEST, name=name, items=np.asarray(items)
+    )
+
+
+# ----------------------------------------------------------------------
+# Record codec.
+# ----------------------------------------------------------------------
+class TestRecordCodec:
+    @given(body=st.binary(min_size=1, max_size=2048))
+    @settings(max_examples=60)
+    def test_round_trips(self, body):
+        framed = encode_record(body, max_bytes=MAX)
+        assert read_record(io.BytesIO(framed), max_bytes=MAX) == body
+
+    @given(bodies=st.lists(st.binary(min_size=1, max_size=64), max_size=8))
+    @settings(max_examples=40)
+    def test_concatenated_records_read_in_order(self, bodies):
+        stream = io.BytesIO(
+            b"".join(encode_record(b, max_bytes=MAX) for b in bodies)
+        )
+        out = []
+        while (body := read_record(stream, max_bytes=MAX)) is not None:
+            out.append(body)
+        assert out == bodies
+
+    def test_truncated_everywhere(self):
+        framed = encode_record(b"payload-bytes", max_bytes=MAX)
+        assert read_record(io.BytesIO(framed), max_bytes=MAX) == b"payload-bytes"
+        for cut in range(1, len(framed)):
+            with pytest.raises(TruncatedRecordError):
+                read_record(io.BytesIO(framed[:cut]), max_bytes=MAX)
+        # A clean EOF (no bytes at all) is not an error.
+        assert read_record(io.BytesIO(b""), max_bytes=MAX) is None
+
+    def test_crc_flip_detected_at_every_byte(self):
+        framed = bytearray(encode_record(b"payload", max_bytes=MAX))
+        for index in range(len(framed)):
+            corrupt = bytearray(framed)
+            corrupt[index] ^= 0x01
+            with pytest.raises(PersistenceError):
+                read_record(io.BytesIO(bytes(corrupt)), max_bytes=MAX)
+
+    def test_length_bounds_enforced(self):
+        with pytest.raises(PersistenceError, match="outside"):
+            encode_record(b"", max_bytes=MAX)
+        with pytest.raises(PersistenceError, match="outside"):
+            encode_record(b"xy", max_bytes=1)
+        framed = encode_record(b"abc", max_bytes=MAX)
+        with pytest.raises(PersistenceError, match="outside"):
+            read_record(io.BytesIO(framed), max_bytes=2)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log.
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def _fresh(self, tmp_path, n_ops: int = 3) -> WriteAheadLog:
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.open_append()
+        for i in range(n_ops):
+            wal.append(_load_body(f"s{i}", seed=i))
+        wal.close()
+        return wal
+
+    def test_append_scan_round_trip(self, tmp_path):
+        self._fresh(tmp_path)
+        scan = WriteAheadLog(tmp_path / "wal.log").scan()
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert not scan.torn_tail
+        for i, record in enumerate(scan.records):
+            parsed = protocol.parse_request(record.request_body)
+            assert (parsed.op, parsed.name) == (protocol.OP_LOAD, f"s{i}")
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = WriteAheadLog(tmp_path / "wal.log").scan()
+        assert scan == type(scan)(
+            records=(), good_offset=0, torn_tail=False, exists=False
+        )
+
+    def test_truncation_everywhere(self, tmp_path):
+        """Every byte-level truncation is either a clean prefix or torn."""
+        self._fresh(tmp_path)
+        path = tmp_path / "wal.log"
+        data = path.read_bytes()
+        # Record boundaries: header (5 bytes) then each good_offset.
+        boundaries = {5}
+        wal = WriteAheadLog(path)
+        full = wal.scan()
+        stream = io.BytesIO(data)
+        stream.seek(5)
+        while read_record(stream, max_bytes=wal.max_record_bytes) is not None:
+            boundaries.add(stream.tell())
+        for cut in range(len(data)):
+            path.write_bytes(data[:cut])
+            if cut < 5:
+                # Torn file header: there is no log to recover.
+                with pytest.raises(PersistenceError):
+                    wal.scan()
+                continue
+            scan = wal.scan()
+            assert scan.torn_tail == (cut not in boundaries)
+            assert scan.records == full.records[: len(scan.records)]
+            # Healing: open_append truncates back to the good prefix and
+            # the next append lands cleanly with the next seq.
+            wal2 = WriteAheadLog(path)
+            wal2.open_append(scan)
+            seq = wal2.append(_load_body("healed"))
+            wal2.close()
+            assert seq == scan.last_seq + 1
+            healed = wal2.scan()
+            assert not healed.torn_tail
+            assert [r.seq for r in healed.records] == [
+                *(r.seq for r in scan.records), seq,
+            ]
+        path.write_bytes(data)
+
+    def test_midfile_corruption_refused(self, tmp_path):
+        self._fresh(tmp_path)
+        path = tmp_path / "wal.log"
+        data = bytearray(path.read_bytes())
+        # Flip one byte inside the *first* record's body: a fully-present
+        # record with a bad CRC is in-place corruption, never torn.
+        data[5 + 8 + 1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistenceError, match="CRC"):
+            WriteAheadLog(path).scan()
+
+    def test_backwards_seq_refused(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = b"".join(
+            encode_record(encode_uvarint(seq) + _load_body("s"), max_bytes=MAX)
+            for seq in (2, 1)
+        )
+        path.write_bytes(b"IFWL\x01" + records)
+        with pytest.raises(PersistenceError, match="backwards"):
+            WriteAheadLog(path).scan()
+
+    def test_non_mutating_op_refused(self, tmp_path):
+        path = tmp_path / "wal.log"
+        body = encode_uvarint(1) + protocol.encode_request(protocol.OP_PING)
+        path.write_bytes(b"IFWL\x01" + encode_record(body, max_bytes=MAX))
+        with pytest.raises(PersistenceError, match="non-mutating"):
+            WriteAheadLog(path).scan()
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOPE\x01")
+        with pytest.raises(PersistenceError, match="magic"):
+            WriteAheadLog(path).scan()
+        path.write_bytes(b"IFWL\x02")
+        with pytest.raises(PersistenceError, match="version"):
+            WriteAheadLog(path).scan()
+
+    def test_reset_keeps_records_past_watermark(self, tmp_path):
+        wal = self._fresh(tmp_path, n_ops=4)
+        wal.open_append()
+        wal.reset(keep_after_seq=2)
+        seq = wal.append(_load_body("post"))
+        wal.close()
+        scan = wal.scan()
+        assert [r.seq for r in scan.records] == [3, 4, seq]
+
+
+# ----------------------------------------------------------------------
+# Snapshots.
+# ----------------------------------------------------------------------
+class TestSnapshot:
+    def test_round_trips(self, tmp_path):
+        entries = [
+            ("a", wire.dump(_misra_gries(1))),
+            ("b", wire.dump(_misra_gries(2))),
+        ]
+        path = tmp_path / "snapshot.bin"
+        write_snapshot(path, entries, last_seq=17)
+        assert read_snapshot(path) == (entries, 17)
+        write_snapshot(path, [], last_seq=0)
+        assert read_snapshot(path) == ([], 0)
+
+    def test_truncation_everywhere_is_corruption(self, tmp_path):
+        """Snapshots publish atomically, so torn is never legitimate."""
+        path = tmp_path / "snapshot.bin"
+        write_snapshot(path, [("a", wire.dump(_misra_gries()))], last_seq=3)
+        data = path.read_bytes()
+        for cut in range(len(data)):
+            path.write_bytes(data[:cut])
+            with pytest.raises(PersistenceError):
+                read_snapshot(path)
+        path.write_bytes(data + b"\x00")
+        with pytest.raises(PersistenceError, match="trailing"):
+            read_snapshot(path)
+
+    def test_non_load_entry_refused(self, tmp_path):
+        path = tmp_path / "snapshot.bin"
+        body = protocol.encode_request(protocol.OP_DROP, name="x")
+        path.write_bytes(
+            b"IFSN\x01" + encode_uvarint(0) + encode_uvarint(1)
+            + encode_record(body, max_bytes=MAX)
+        )
+        with pytest.raises(PersistenceError, match="expected LOAD"):
+            read_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# The store: recovery, journaling, compaction.
+# ----------------------------------------------------------------------
+def _estimates(registry: SketchRegistry, name: str, universe: int = 48):
+    from repro.db import Itemset
+
+    return registry.estimate(name, [Itemset([i]) for i in range(universe)])
+
+
+class TestPersistentStore:
+    def test_journal_then_recover_round_trip(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        info = store.recover(registry)
+        assert (info.snapshot_entries, info.replayed_ops) == (0, 0)
+        registry.load("mg", wire.dump(_misra_gries()))
+        registry.ingest("mg", np.arange(20, dtype=np.int64) % 48)
+        registry.load("other", wire.dump(_misra_gries(5)))
+        registry.drop("other")
+        expected = _estimates(registry, "mg")
+        store.close()
+
+        fresh = SketchRegistry()
+        info = PersistentStore(tmp_path / "data").recover(fresh)
+        assert info.replayed_ops == 4
+        assert [e.name for e in fresh.entries()] == ["mg"]
+        assert _estimates(fresh, "mg") == expected
+
+    def test_replay_does_not_relog(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        store.close()
+        size = (tmp_path / "data" / "wal.log").stat().st_size
+
+        second = PersistentStore(tmp_path / "data")
+        second.recover(SketchRegistry())
+        second.close()
+        assert (tmp_path / "data" / "wal.log").stat().st_size == size
+
+    def test_recover_twice_refused(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        store.recover(SketchRegistry())
+        with pytest.raises(PersistenceError, match="already recovered"):
+            store.recover(SketchRegistry())
+        store.close()
+
+    def test_failed_op_not_journaled(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        with pytest.raises(ReproError):
+            registry.load("bad", b"not a frame")
+        with pytest.raises(ProtocolError):
+            registry.drop("ghost")
+        store.close()
+        scan = WriteAheadLog(tmp_path / "data" / "wal.log").scan()
+        assert len(scan.records) == 1  # only the successful LOAD
+
+    def test_compaction_folds_and_preserves_answers(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        for chunk in range(3):
+            registry.ingest("mg", np.arange(30, dtype=np.int64) % 48)
+        expected = _estimates(registry, "mg")
+        last_seq = store.last_seq
+        assert store.compact() == 1
+        assert store.last_seq == last_seq  # seq continues, never rewinds
+        assert WriteAheadLog(tmp_path / "data" / "wal.log").scan().records == ()
+        registry.ingest("mg", np.arange(10, dtype=np.int64) % 48)
+        post = _estimates(registry, "mg")
+        store.close()
+
+        fresh = SketchRegistry()
+        info = PersistentStore(tmp_path / "data").recover(fresh)
+        assert (info.snapshot_entries, info.replayed_ops) == (1, 1)
+        assert _estimates(fresh, "mg") == post
+        assert expected is not None
+
+    def test_watermark_prevents_double_apply(self, tmp_path):
+        """Crash window: snapshot published, WAL reset never happened."""
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        registry.ingest("mg", np.arange(25, dtype=np.int64) % 48)
+        expected = _estimates(registry, "mg")
+        # Publish the snapshot exactly as compact() would, then "crash"
+        # before the WAL reset: both full log and snapshot are on disk.
+        entries, last_seq = registry.dump_for_snapshot()
+        write_snapshot(store.snapshot_path, entries, last_seq=last_seq)
+        store.close()
+
+        fresh = SketchRegistry()
+        info = PersistentStore(tmp_path / "data").recover(fresh)
+        # Every WAL record is at or below the watermark: none replays.
+        assert (info.snapshot_entries, info.replayed_ops) == (1, 0)
+        assert _estimates(fresh, "mg") == expected
+
+    def test_maybe_compact_threshold(self, tmp_path):
+        store = PersistentStore(tmp_path / "data", compact_every=3)
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        assert store.maybe_compact() is False
+        registry.ingest("mg", np.arange(5, dtype=np.int64) % 48)
+        assert store.maybe_compact() is False
+        registry.ingest("mg", np.arange(5, dtype=np.int64) % 48)
+        assert store.maybe_compact() is True
+        assert store.maybe_compact() is False  # counter reset
+        store.close()
+
+    def test_corrupted_wal_refused_on_recover(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        registry.load("mg2", wire.dump(_misra_gries(2)))
+        store.close()
+        path = tmp_path / "data" / "wal.log"
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF  # inside the first record
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError):
+            PersistentStore(tmp_path / "data").recover(SketchRegistry())
+
+
+# ----------------------------------------------------------------------
+# Kill-restart prefix property, via injected torn writes.
+# ----------------------------------------------------------------------
+class TestKillRestartPrefix:
+    def _ops(self):
+        """A mixed op script; each entry is (apply, describe)."""
+        items = np.arange(15, dtype=np.int64) % 48
+        return [
+            lambda r: r.load("a", wire.dump(_misra_gries(1))),
+            lambda r: r.ingest("a", items),
+            lambda r: r.load("b", wire.dump(_misra_gries(2))),
+            lambda r: r.ingest("b", items * 2 % 48),
+            lambda r: r.load("a", wire.dump(_misra_gries(3))),  # merge
+            lambda r: r.drop("b"),
+            lambda r: r.ingest("a", items * 3 % 48),
+        ]
+
+    def _reference_states(self):
+        """Registry state (as stat tuples) after each acked prefix."""
+        states = []
+        registry = SketchRegistry()
+        states.append(self._fingerprint(registry))
+        for op in self._ops():
+            op(registry)
+            states.append(self._fingerprint(registry))
+        return states
+
+    @staticmethod
+    def _fingerprint(registry: SketchRegistry):
+        out = []
+        for entry in registry.entries():
+            est = tuple(_estimates(registry, entry.name))
+            out.append((entry.name, entry.codec, entry.size_in_bits, est))
+        return tuple(out)
+
+    @pytest.mark.parametrize("crash_after_bytes", [0, 1, 37, 150, 400, 1000, 2500])
+    def test_recovery_is_exactly_the_acked_prefix(self, tmp_path, crash_after_bytes):
+        data_dir = tmp_path / f"data-{crash_after_bytes}"
+        store = PersistentStore(data_dir)
+        registry = SketchRegistry()
+        store.recover(registry)
+        # Arm the crash: every WAL append now runs through a FaultyFile
+        # that dies once cumulative bytes pass the budget, leaving a torn
+        # record exactly like a power cut mid-append.
+        store._wal._file = FaultyFile(
+            store._wal._file, fail_after_bytes=crash_after_bytes
+        )
+        acked = 0
+        for op in self._ops():
+            try:
+                op(registry)
+            except OSError:
+                break  # the "crash": op applied in memory but never acked
+            acked += 1
+        store._wal._file = store._wal._file._file  # detach before close
+        store.close()
+
+        fresh = SketchRegistry()
+        info = PersistentStore(data_dir).recover(fresh)
+        states = self._reference_states()
+        assert self._fingerprint(fresh) == states[acked]
+        assert info.replayed_ops == acked
+
+    def test_every_crash_point_over_first_op(self, tmp_path):
+        """Sweep the budget across the whole first record byte range."""
+        probe_dir = tmp_path / "probe"
+        store = PersistentStore(probe_dir)
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("a", wire.dump(_misra_gries(1)))
+        store.close()
+        first_record_bytes = (
+            (probe_dir / "wal.log").stat().st_size - 5
+        )
+
+        for crash in range(0, first_record_bytes, 7):
+            data_dir = tmp_path / f"d{crash}"
+            store = PersistentStore(data_dir)
+            registry = SketchRegistry()
+            store.recover(registry)
+            store._wal._file = FaultyFile(store._wal._file, fail_after_bytes=crash)
+            with pytest.raises(OSError, match="injected crash"):
+                registry.load("a", wire.dump(_misra_gries(1)))
+            store._wal._file = store._wal._file._file
+            store.close()
+            fresh = SketchRegistry()
+            info = PersistentStore(data_dir).recover(fresh)
+            assert len(fresh) == 0  # the op was never acked
+            assert info.replayed_ops == 0
+            assert info.torn_tail == (crash > 0)

@@ -696,3 +696,108 @@ class TestIngestEndToEnd:
                 assert client.estimate("cms", [Itemset([item])]) == [
                     states[-1].estimate_frequency(item)
                 ]
+
+
+# ----------------------------------------------------------------------
+# Overload protection: connection cap, idle timeout, graceful drain.
+# ----------------------------------------------------------------------
+class TestOverloadProtection:
+    def test_busy_answer_over_the_cap(self):
+        from repro.errors import ServerBusyError
+
+        with serve_in_thread(max_connections=2) as handle:
+            first = Client(handle.host, handle.port)
+            second = Client(handle.host, handle.port)
+            first.ping()
+            second.ping()
+            try:
+                shed = Client(handle.host, handle.port)
+                with pytest.raises(ServerBusyError, match="capacity"):
+                    shed.ping()
+                shed.close()
+                # BUSY costs nothing to the occupants...
+                first.ping()
+                second.ping()
+            finally:
+                first.close()
+                second.close()
+            # ...and the slot frees as soon as one hangs up.
+            deadline = time.monotonic() + 5
+            while True:
+                replacement = Client(handle.host, handle.port)
+                try:
+                    replacement.ping()
+                    break
+                except ServerBusyError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.02)
+                finally:
+                    replacement.close()
+
+    def test_idle_timeout_closes_quiet_connections(self):
+        with serve_in_thread(idle_timeout=0.2) as handle:
+            raw = socket.create_connection((handle.host, handle.port), timeout=10)
+            try:
+                raw.settimeout(5)
+                assert raw.recv(1) == b""  # server hung up on the idler
+            finally:
+                raw.close()
+            # An active client immediately afterwards is unaffected.
+            with Client(handle.host, handle.port) as client:
+                client.ping()
+
+    def test_idle_timeout_cuts_midframe_stall(self):
+        with serve_in_thread(idle_timeout=0.2) as handle:
+            raw = socket.create_connection((handle.host, handle.port), timeout=10)
+            try:
+                raw.sendall(struct.pack(">I", 64) + b"partial")  # then stall
+                raw.settimeout(5)
+                assert raw.recv(1) == b""
+            finally:
+                raw.close()
+
+    def test_graceful_drain_answers_inflight_then_refuses(self):
+        handle = serve_in_thread()
+        client = Client(handle.host, handle.port)
+        try:
+            client.load("mg", wire.dump(_misra_gries()))
+            handle.close(grace=5.0)
+            # The listener is gone: new connections are refused.
+            with pytest.raises(OSError):
+                socket.create_connection((handle.host, handle.port), timeout=1)
+        finally:
+            client.close()
+            handle.close()
+
+    def test_close_is_idempotent(self):
+        handle = serve_in_thread()
+        handle.close()
+        handle.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: serve_in_thread must not return a dead handle on timeout.
+# ----------------------------------------------------------------------
+class TestServeInThreadStartup:
+    def test_startup_timeout_raises_instead_of_dead_handle(self, monkeypatch):
+        from repro.server import server as server_module
+
+        async def never_starts(self):  # pragma: no cover - body never ends
+            import asyncio
+
+            await asyncio.sleep(3600)
+
+        monkeypatch.setattr(server_module.SketchServer, "start", never_starts)
+        with pytest.raises(TimeoutError, match="failed to start"):
+            serve_in_thread(startup_timeout=0.2)
+
+    def test_bind_failure_raises_not_timeout(self):
+        taken = socket.socket()
+        taken.bind(("127.0.0.1", 0))
+        taken.listen(1)
+        try:
+            with pytest.raises(OSError):
+                serve_in_thread(port=taken.getsockname()[1])
+        finally:
+            taken.close()
