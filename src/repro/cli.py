@@ -287,7 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--load", nargs="*", default=[], metavar="PATH",
-        help="sketch files to preload into the registry, named by file stem",
+        help="sketch files to preload into the registry, named by file "
+             "stem; with --data-dir a name already recovered from the "
+             "journal is skipped, so restarts never double-fold preloads",
     )
     serve.add_argument(
         "--seed", type=int, default=0,
@@ -764,7 +766,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     With ``--data-dir`` the registry is recovered from its snapshot and
     write-ahead log before the socket opens (so the first query already
     sees every previously acknowledged op), and every later mutation is
-    logged-and-fsync'd before its acknowledgement.  A corrupted data dir
+    logged-and-fsync'd before its acknowledgement.  ``--load`` preloads
+    are applied after recovery and skip names the journal already
+    replayed, so a durable server's preloads are ensure-present, not
+    merge-again.  A corrupted data dir
     -- anything beyond the torn final record a crash legitimately leaves
     -- is refused with a one-line error and exit 1.  On SIGINT/SIGTERM
     the server drains gracefully: in-flight requests finish, new
@@ -803,7 +808,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             idle_timeout=args.idle_timeout,
             store=store,
         )
-        names = preload_files(server.registry, args.load)
+        # Idempotent under recovery: a --load already replayed from the
+        # journal is skipped, not merge-folded into itself.
+        names = preload_files(
+            server.registry, args.load, skip_resident=args.data_dir is not None
+        )
     except (ReproError, OSError) as exc:
         if store is not None:
             store.close()

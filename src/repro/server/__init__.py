@@ -67,14 +67,21 @@ listener closes first, in-flight requests are answered, then connection
 tasks end -- so a SIGTERM never cuts an acknowledgement in half.
 
 Durability (``--data-dir``): every acknowledged ``LOAD`` / ``INGEST`` /
-``DROP`` is appended to a write-ahead log -- each record's body is the
-verbatim *request body* above, prefixed with a ``uvarint`` sequence
-number and framed as ``u32_be(len) u32_be(crc32) body`` -- and
-``fsync``'d before the acknowledgement is sent.  Periodic compaction
-folds the log into an atomically-replaced snapshot of LOAD records.
-Recovery replays snapshot + log, tolerating exactly a torn final record
-(a crash mid-append) and refusing any in-place corruption.  The full
-grammar and failure model live in :mod:`repro.server.persistence`.
+``DROP`` is appended to a write-ahead log -- each record's body is a
+*request body* in the encoding above, prefixed with a ``uvarint``
+sequence number and framed as ``u32_be(len) u32_be(crc32) body`` -- and
+``fsync``'d before the new state is published or the acknowledgement
+sent, so a failed append leaves the live registry exactly as
+unacknowledged as the client.  Ops that consumed randomness (a
+collision LOAD's sampling merge, an INGEST into a sampling summary)
+are logged as LOAD records carrying the resident *post-op* frame, and
+recovery installs LOAD records with replace semantics -- replay is
+rng-free and bit-identical.  Periodic compaction folds the log into an
+atomically-replaced snapshot of LOAD records, off the event loop so a
+large snapshot never stalls other connections.  Recovery replays
+snapshot + log, tolerating exactly a torn final record (a crash
+mid-append) and refusing any in-place corruption.  The full grammar
+and failure model live in :mod:`repro.server.persistence`.
 
 Entry points: :class:`SketchServer` (asyncio daemon),
 :func:`serve_in_thread` (daemon-thread harness for blocking callers),

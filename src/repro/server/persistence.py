@@ -7,8 +7,8 @@ registry's durable twin.  Two files live there:
     An append-only **write-ahead log**.  Each record wraps one mutating
     registry op (``LOAD`` / ``INGEST`` / ``DROP``) in the *existing*
     request encoding from :mod:`repro.server.protocol` -- a LOAD record
-    carries a complete IFSK frame verbatim, the same codec path as file
-    and socket -- prefixed by a monotone sequence number:
+    carries a complete IFSK frame, the same codec path as file and
+    socket -- prefixed by a monotone sequence number:
 
     .. code-block:: text
 
@@ -18,6 +18,15 @@ registry's durable twin.  Two files live there:
 
     Appends are flushed and ``fsync``'d before the server acknowledges
     the op, so every acknowledged mutation survives a crash.
+
+    Replay is **rng-free**: wherever applying an op consumed randomness
+    live (a collision LOAD's sampling merge, an INGEST into a summary
+    without :attr:`~repro.streaming.base.StreamSummary.deterministic_updates`),
+    the registry journals the resident *post-op frame* as a LOAD record,
+    and recovery installs LOAD records with replace semantics
+    (:meth:`~repro.server.registry.SketchRegistry.restore`) instead of
+    re-merging.  Recovery is therefore bit-identical to the acknowledged
+    fold at every prefix, with or without an intervening snapshot.
 
 ``snapshot.bin``
     Periodic **compaction** of the log: the full registry state as LOAD
@@ -586,7 +595,9 @@ class PersistentStore:
     ) -> None:
         try:
             if request.op == protocol.OP_LOAD:
-                registry.load(request.name, request.frame)
+                # Replace, never merge: LOAD records carry the resident
+                # post-op frame, so replay consumes no randomness.
+                registry.restore(request.name, request.frame)
             elif request.op == protocol.OP_INGEST:
                 registry.ingest(request.name, request.items)
             elif request.op == protocol.OP_DROP:

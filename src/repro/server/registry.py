@@ -17,13 +17,25 @@ decoding or merging fails, the registry is untouched.
 Durability
 ----------
 When a :class:`~repro.server.persistence.PersistentStore` is attached as
-``registry.journal``, every successful mutation (``load`` / ``ingest`` /
-``drop``) is appended to the write-ahead log *inside* the swap lock, so
-the log order is exactly the application order -- replaying the log
-rebuilds the same fold.  The append fsyncs before returning, i.e. before
-the server can acknowledge the op: an acknowledged mutation is a durable
-mutation.  If the append itself fails (disk full, injected fault), the
-error propagates and the op is never acknowledged.
+``registry.journal``, every mutation (``load`` / ``ingest`` / ``drop``)
+is appended to the write-ahead log *inside* the swap lock and *before*
+the new state is published, write-ahead in the strict sense: the log
+order is exactly the application order, and if the append fails (disk
+full, injected fault) the error propagates with the live registry
+untouched -- the op is neither acknowledged, nor logged, nor applied.
+The append fsyncs before returning, i.e. before the server can
+acknowledge: an acknowledged mutation is a durable mutation.
+
+Replay must be rng-free, but merge-on-collision and sampling summaries
+consume rng draws the log cannot reproduce (wire codecs do not carry
+rng state).  The journal therefore records *state* wherever randomness
+was consumed: a collision ``load`` logs the post-merge frame and an
+``ingest`` into a summary without
+:attr:`~repro.streaming.base.StreamSummary.deterministic_updates` logs
+the post-batch frame, both as ordinary LOAD records.  Recovery replays
+LOAD records through :meth:`SketchRegistry.restore` (replace, never
+merge), so recovery is deterministic and bit-identical at every prefix
+-- snapshots included.
 """
 
 from __future__ import annotations
@@ -43,7 +55,7 @@ from ..params import SketchParams
 from ..streaming.base import StreamSummary
 from ..streaming.merge import merge_summaries
 from ..db.generators import as_rng
-from ..wire import codec_for, load_from, payload_size_bits
+from ..wire import codec_for, dump, load_from, payload_size_bits
 from .protocol import DEFAULT_MAX_FRAME_BYTES, EntryInfo, StatInfo
 
 __all__ = ["RegistryEntry", "SketchRegistry"]
@@ -100,6 +112,10 @@ class SketchRegistry:
         with self._lock:
             return len(self._entries)
 
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
     def _get(self, name: str) -> RegistryEntry:
         with self._lock:
             entry = self._entries.get(name)
@@ -139,19 +155,26 @@ class SketchRegistry:
                 existing = self._entries.get(name)
                 if existing is None:
                     entry = self._make_entry(name, incoming)
-                    self._entries[name] = entry
                     if self.journal is not None:
+                        # Write-ahead: a failed append propagates with
+                        # the entry still unpublished, so live state
+                        # always matches what was acknowledged.
                         self.journal.record_load(name, frame)
+                    self._entries[name] = entry
                     return entry.codec, entry.size_in_bits, False
             # Merge outside the lock: merges allocate fresh objects, so
             # concurrent queries keep answering from `existing`.
             merged_obj = merge_summaries(existing.obj, incoming, rng=self._rng)
             entry = self._make_entry(name, merged_obj)
+            # Journal the post-merge state, not the incoming shard: merge
+            # rules may consume rng draws replay cannot reproduce, so the
+            # log carries the result and recovery restores it verbatim.
+            merged_frame = dump(merged_obj) if self.journal is not None else b""
             with self._lock:
                 if self._entries.get(name) is existing:
-                    self._entries[name] = entry
                     if self.journal is not None:
-                        self.journal.record_load(name, frame)
+                        self.journal.record_load(name, merged_frame)
+                    self._entries[name] = entry
                     return entry.codec, entry.size_in_bits, True
                 # Another LOAD swapped the entry mid-merge; redo the fold
                 # against the new resident object.
@@ -187,11 +210,22 @@ class SketchRegistry:
             updated = copy.deepcopy(entry.obj)
             updated.update_many(items)
             new_entry = self._make_entry(name, updated)
+            # Sampling summaries consume rng state the wire format does
+            # not carry, so an item-level replay could not reproduce this
+            # batch; journal their post-batch state instead.
+            state_frame = (
+                dump(updated)
+                if self.journal is not None and not updated.deterministic_updates
+                else None
+            )
             with self._lock:
                 if self._entries.get(name) is entry:
-                    self._entries[name] = new_entry
                     if self.journal is not None:
-                        self.journal.record_ingest(name, items)
+                        if state_frame is not None:
+                            self.journal.record_load(name, state_frame)
+                        else:
+                            self.journal.record_ingest(name, items)
+                    self._entries[name] = new_entry
                     return updated.stream_length, new_entry.size_in_bits
                 # A concurrent LOAD or INGEST swapped the entry mid-update;
                 # reapply the batch to the new resident object.
@@ -260,10 +294,27 @@ class SketchRegistry:
     def drop(self, name: str) -> None:
         """Remove one entry; :class:`ProtocolError` if absent."""
         with self._lock:
-            if self._entries.pop(name, None) is None:
+            if name not in self._entries:
                 raise ProtocolError(f"no sketch named {name!r} is loaded")
             if self.journal is not None:
+                # Write-ahead: if the append fails the entry stays
+                # resident, matching the error the client receives.
                 self.journal.record_drop(name)
+            del self._entries[name]
+
+    def restore(self, name: str, frame: bytes) -> None:
+        """Install ``frame`` under ``name``, replacing any resident entry.
+
+        The recovery path: snapshot entries and WAL LOAD records replay
+        through here.  Never merged and never journaled -- the journal
+        records the resident post-op frame for every randomness-consuming
+        mutation, so replacing reproduces the live fold exactly without
+        re-drawing any rng.
+        """
+        obj = load_from(io.BytesIO(frame), max_bytes=self._max_frame_bytes)
+        entry = self._make_entry(name, obj)
+        with self._lock:
+            self._entries[name] = entry
 
     def dump_for_snapshot(self) -> tuple[list[tuple[str, bytes]], int]:
         """``(name, frame)`` pairs plus the journal watermark, as one cut.

@@ -112,6 +112,7 @@ class SketchServer:
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._draining = False
+        self._compacting = False
 
     @property
     def active_connections(self) -> int:
@@ -221,9 +222,7 @@ class SketchServer:
                 response = self._dispatch(body)
                 await self._send(writer, response)
                 if self.store is not None:
-                    # Between requests, never mid-ack: dispatches are
-                    # synchronous on this loop, so no append races this.
-                    self.store.maybe_compact()
+                    await self._maybe_compact()
                 if self._draining:
                     break  # answered the in-flight request; now drain
         except (ConnectionError, BrokenPipeError, OSError):
@@ -237,11 +236,48 @@ class SketchServer:
     async def _read_exactly(self, reader: asyncio.StreamReader, n: int) -> bytes:
         if self.idle_timeout is None:
             return await reader.readexactly(n)
-        return await asyncio.wait_for(reader.readexactly(n), self.idle_timeout)
+        # The timeout is *idle* time between bytes, not a total deadline:
+        # it resets on every chunk of progress, so a large frame arriving
+        # steadily over a slow link is never dropped mid-request.
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = await asyncio.wait_for(
+                reader.read(n - len(buf)), self.idle_timeout
+            )
+            if not chunk:
+                raise asyncio.IncompleteReadError(bytes(buf), n)
+            buf.extend(chunk)
+        return bytes(buf)
 
     async def _send(self, writer: asyncio.StreamWriter, body: bytes) -> None:
         writer.write(protocol.frame_message(body, self.max_frame_bytes))
         await writer.drain()
+
+    async def _maybe_compact(self) -> None:
+        """Run due compaction on a worker thread, never the event loop.
+
+        Compacting a large registry encodes every resident frame and
+        fsyncs a snapshot; doing that inline would stall every other
+        connection past its own timeouts.  Single-flight: while one
+        compaction runs, other connections skip the check (the op
+        counter keeps accruing, so the next check catches up).  The
+        store's locks order any concurrent WAL append correctly, and a
+        failed compaction is reported but never kills the connection --
+        the WAL keeps the registry durable without the snapshot.
+        """
+        if self._compacting:
+            return
+        self._compacting = True
+        try:
+            loop = asyncio.get_running_loop()
+            assert self.store is not None
+            await loop.run_in_executor(None, self.store.maybe_compact)
+        except (ReproError, OSError) as exc:
+            import sys
+
+            print(f"snapshot compaction failed: {exc}", file=sys.stderr)
+        finally:
+            self._compacting = False
 
     def _dispatch(self, body: bytes) -> bytes:
         """One request in, one response body out; never raises ReproError."""
@@ -424,17 +460,30 @@ def serve_in_thread(
     return ServerHandle(server, loop, thread)
 
 
-def preload_files(registry: SketchRegistry, paths: Iterable[str]) -> list[str]:
+def preload_files(
+    registry: SketchRegistry,
+    paths: Iterable[str],
+    *,
+    skip_resident: bool = False,
+) -> list[str]:
     """Load frame files into a registry, named by file stem.
 
-    The ``repro serve --load`` helper; returns the names installed, in
-    input order.
+    The ``repro serve --load`` helper; returns the names actually
+    loaded, in input order.  With ``skip_resident`` a name that is
+    already resident is left untouched (and omitted from the return),
+    which makes preloading idempotent across durable restarts: a
+    ``--data-dir`` recovery already replayed the journaled preload, so
+    re-loading the file would merge-fold the sketch into itself and
+    double its counts.
     """
     import pathlib
 
     names = []
     for raw in paths:
         path = pathlib.Path(raw)
-        registry.load(path.stem, path.read_bytes())
-        names.append(path.stem)
+        name = path.stem
+        if skip_resident and name in registry:
+            continue
+        registry.load(name, path.read_bytes())
+        names.append(name)
     return names

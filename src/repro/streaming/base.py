@@ -110,6 +110,15 @@ class StreamSummary(ABC):
         Number of distinct possible items (ids are ``0..universe-1``).
     """
 
+    #: True when ``_update`` consumes no randomness, so replaying the
+    #: same item batch on a bit-identical summary reproduces a
+    #: bit-identical result.  Sampling summaries (reservoirs, sticky
+    #: sampling) override this to False; the durability layer then
+    #: journals their post-batch *state* instead of the item batch,
+    #: because the wire codecs do not carry rng state and an item-level
+    #: replay could not reproduce the live draw sequence.
+    deterministic_updates: bool = True
+
     def __init__(self, universe: int) -> None:
         if universe < 1:
             raise StreamError(f"universe must be >= 1, got {universe}")

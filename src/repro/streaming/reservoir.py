@@ -40,6 +40,9 @@ class ReservoirSample(StreamSummary):
         Sampling randomness.
     """
 
+    #: Evictions draw from ``rng``, which the wire codec does not carry.
+    deterministic_updates = False
+
     def __init__(
         self,
         universe: int,

@@ -37,6 +37,10 @@ class StickySampling(StreamSummary):
         Sampling randomness.
     """
 
+    #: Admission and rescaling draw from ``rng``, which the wire codec
+    #: does not carry.
+    deterministic_updates = False
+
     def __init__(
         self,
         universe: int,

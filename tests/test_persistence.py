@@ -397,6 +397,177 @@ class TestPersistentStore:
 
 
 # ----------------------------------------------------------------------
+# Write-ahead ordering: a failed append leaves live state untouched.
+# ----------------------------------------------------------------------
+class _BrokenJournal:
+    """A journal whose appends always fail, like a full disk."""
+
+    def record_load(self, name, frame):
+        raise OSError("disk full")
+
+    def record_ingest(self, name, items):
+        raise OSError("disk full")
+
+    def record_drop(self, name):
+        raise OSError("disk full")
+
+
+class TestWriteAheadOrdering:
+    """The live registry must match the (error) answer the client got.
+
+    If the WAL append raises, the client is told the op failed -- so the
+    op must not have been applied in memory either, or live answers
+    diverge from both the acknowledgement and the recovered state (a
+    'failed' DROP that is actually gone, then resurrects on restart).
+    """
+
+    def _registry_with_resident(self):
+        registry = SketchRegistry()
+        registry.load("mg", wire.dump(_misra_gries()))
+        before = _estimates(registry, "mg")
+        registry.journal = _BrokenJournal()
+        return registry, before
+
+    def test_failed_drop_keeps_entry_resident(self):
+        registry, before = self._registry_with_resident()
+        with pytest.raises(OSError, match="disk full"):
+            registry.drop("mg")
+        assert "mg" in registry
+        assert _estimates(registry, "mg") == before
+
+    def test_failed_load_installs_nothing(self):
+        registry, _ = self._registry_with_resident()
+        with pytest.raises(OSError, match="disk full"):
+            registry.load("fresh", wire.dump(_misra_gries(7)))
+        assert "fresh" not in registry
+
+    def test_failed_collision_load_keeps_old_entry(self):
+        registry, before = self._registry_with_resident()
+        with pytest.raises(OSError, match="disk full"):
+            registry.load("mg", wire.dump(_misra_gries(7)))
+        assert _estimates(registry, "mg") == before
+
+    def test_failed_ingest_keeps_old_counts(self):
+        registry, before = self._registry_with_resident()
+        with pytest.raises(OSError, match="disk full"):
+            registry.ingest("mg", np.arange(10, dtype=np.int64) % 48)
+        assert _estimates(registry, "mg") == before
+
+
+# ----------------------------------------------------------------------
+# Rng-free replay: sampling merges/ingests recover bit-identically.
+# ----------------------------------------------------------------------
+class TestRngFreeReplay:
+    """WAL replay must not depend on any rng reproducing live draws.
+
+    Collision LOADs journal the post-merge frame and sampling INGESTs
+    journal the post-batch frame, so recovery -- even from a snapshot
+    that skipped the rng-consuming prefix, even under a different seed
+    -- restores the exact resident objects.
+    """
+
+    @staticmethod
+    def _reservoir_frame(seed: int):
+        from repro.streaming import ReservoirSample
+
+        res = ReservoirSample(universe=64, size=8, rng=seed)
+        res.update_many(np.random.default_rng(seed).integers(0, 64, 200))
+        return wire.dump(res)
+
+    @staticmethod
+    def _frames(registry: SketchRegistry):
+        return {
+            name: wire.dump(registry._entries[name].obj)
+            for name in [e.name for e in registry.entries()]
+        }
+
+    def test_reservoir_merge_survives_compaction_bit_identically(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry(rng=0)
+        store.recover(registry)
+        registry.load("res", self._reservoir_frame(1))
+        registry.load("res", self._reservoir_frame(2))  # rng-consuming merge
+        store.compact()  # pre-watermark ops will never replay again
+        registry.load("res", self._reservoir_frame(3))  # post-snapshot merge
+        registry.ingest("res", np.arange(40, dtype=np.int64) % 64)  # rng ingest
+        live = self._frames(registry)
+        store.close()
+
+        # A different recovery seed must not matter: replay is rng-free.
+        fresh = SketchRegistry(rng=12345)
+        PersistentStore(tmp_path / "data").recover(fresh)
+        assert self._frames(fresh) == live
+
+    def test_collision_load_journals_post_merge_state(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry(rng=0)
+        store.recover(registry)
+        incoming_a, incoming_b = self._reservoir_frame(1), self._reservoir_frame(2)
+        registry.load("res", incoming_a)
+        registry.load("res", incoming_b)
+        live = self._frames(registry)["res"]
+        store.close()
+        scan = WriteAheadLog(tmp_path / "data" / "wal.log").scan()
+        first = protocol.parse_request(scan.records[0].request_body)
+        second = protocol.parse_request(scan.records[1].request_body)
+        assert first.frame == incoming_a  # install: incoming verbatim
+        assert second.frame == live  # collision: the merged state
+        assert second.frame != incoming_b
+
+    def test_sampling_ingest_journals_post_batch_state(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry(rng=0)
+        store.recover(registry)
+        registry.load("res", self._reservoir_frame(1))
+        registry.ingest("res", np.arange(40, dtype=np.int64) % 64)
+        live = self._frames(registry)["res"]
+        store.close()
+        scan = WriteAheadLog(tmp_path / "data" / "wal.log").scan()
+        record = protocol.parse_request(scan.records[1].request_body)
+        assert record.op == protocol.OP_LOAD  # state, not an item batch
+        assert record.frame == live
+
+    def test_deterministic_ingest_still_journals_items(self, tmp_path):
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        registry.load("mg", wire.dump(_misra_gries()))
+        registry.ingest("mg", np.arange(40, dtype=np.int64) % 48)
+        store.close()
+        scan = WriteAheadLog(tmp_path / "data" / "wal.log").scan()
+        record = protocol.parse_request(scan.records[1].request_body)
+        assert record.op == protocol.OP_INGEST
+
+
+# ----------------------------------------------------------------------
+# Preload idempotence under recovery (repro serve --data-dir --load).
+# ----------------------------------------------------------------------
+class TestPreloadIdempotence:
+    def test_recovered_preload_is_skipped_not_double_folded(self, tmp_path):
+        from repro.server import preload_files
+
+        frame_path = tmp_path / "mg.ifsk"
+        frame_path.write_bytes(wire.dump(_misra_gries()))
+
+        store = PersistentStore(tmp_path / "data")
+        registry = SketchRegistry()
+        store.recover(registry)
+        assert preload_files(registry, [str(frame_path)], skip_resident=True) == ["mg"]
+        expected = _estimates(registry, "mg")
+        store.close()
+
+        # Restart: recovery replays the journaled preload; preloading
+        # again must be a no-op, not a merge of the sketch into itself.
+        for _restart in range(3):
+            fresh = SketchRegistry()
+            second = PersistentStore(tmp_path / "data")
+            second.recover(fresh)
+            assert preload_files(fresh, [str(frame_path)], skip_resident=True) == []
+            assert _estimates(fresh, "mg") == expected
+            second.close()
+
+
+# ----------------------------------------------------------------------
 # Kill-restart prefix property, via injected torn writes.
 # ----------------------------------------------------------------------
 class TestKillRestartPrefix:
@@ -448,7 +619,7 @@ class TestKillRestartPrefix:
             try:
                 op(registry)
             except OSError:
-                break  # the "crash": op applied in memory but never acked
+                break  # the "crash": append failed, op neither applied nor acked
             acked += 1
         store._wal._file = store._wal._file._file  # detach before close
         store.close()

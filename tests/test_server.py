@@ -757,6 +757,25 @@ class TestOverloadProtection:
             finally:
                 raw.close()
 
+    def test_idle_timeout_is_between_bytes_not_a_frame_deadline(self):
+        """A frame trickling in steadily but slower than idle_timeout in
+        aggregate must still be answered: the clock resets on progress."""
+        body = protocol.encode_request(protocol.OP_PING)
+        wire_bytes = struct.pack(">I", len(body)) + body
+        with serve_in_thread(idle_timeout=0.3) as handle:
+            raw = socket.create_connection((handle.host, handle.port), timeout=10)
+            try:
+                for i in range(len(wire_bytes)):  # total well past 0.3s
+                    raw.sendall(wire_bytes[i : i + 1])
+                    time.sleep(0.12)
+                raw.settimeout(10)
+                header = raw.recv(4, socket.MSG_WAITALL)
+                (length,) = struct.unpack(">I", header)
+                answer = raw.recv(length, socket.MSG_WAITALL)
+                protocol.parse_empty_ok(answer)  # PONG, not a hang-up
+            finally:
+                raw.close()
+
     def test_graceful_drain_answers_inflight_then_refuses(self):
         handle = serve_in_thread()
         client = Client(handle.host, handle.port)
