@@ -27,6 +27,16 @@ whole numpy chunks and packs once.  Cases:
   throughput, the maximum single write/read (the memory-bound evidence),
   and the compression ratio; asserts no write or read ever exceeds one
   chunk window while the round trip stays bit-identical.
+* ``sparse_delta`` -- the PR-10 wire-v3 codec leg: sparse counter
+  summaries dumped as v2 frames vs v3 records (which pick the cheapest
+  of raw / varint-delta / zlib per payload).  The gate is *strict in the
+  weak direction*: v3 never stores more payload bytes than v2 on any
+  case, while the charged ``n_bits`` stays exactly equal.
+* ``container_ops`` -- the PR-10 container leg: pack a 64-shard fleet
+  with ``ContainerWriter``, then measure a full sequential decode
+  against one manifest-driven lazy load.  Asserts the partial load
+  touches far less than the whole container (open cost is header +
+  manifest only, load cost is one record).
 
 Writes ``BENCH_serialize.json`` (repo root).  Run directly::
 
@@ -282,6 +292,118 @@ def bench_chunked_stream(n: int, d: int, chunk_bytes: int, repeats: int) -> dict
     }
 
 
+def bench_sparse_delta(universe: int, k: int, n_items: int, repeats: int) -> dict:
+    """v2 vs v3 stored payload bytes on sparse counter summaries."""
+    import io
+
+    from repro.streaming import MisraGries, SpaceSaving, StickySampling
+
+    rng = np.random.default_rng(7)
+    stream = rng.integers(0, universe, size=n_items, dtype=np.int64)
+    subjects = {
+        "misra-gries": MisraGries(universe, k),
+        "space-saving": SpaceSaving(universe, k),
+        "sticky-sampling": StickySampling(universe, 0.02, 0.1, rng=0),
+    }
+    cases = {}
+    for name, summary in subjects.items():
+        summary.update_many(stream)
+        v2_time, v2_frame = _time(lambda s=summary: wire.dump(s, version=2), repeats)
+        v3_time, v3_frame = _time(lambda s=summary: wire.dump(s, version=3), repeats)
+        v2_info = wire.inspect_frame(io.BytesIO(v2_frame))
+        v3_info = wire.inspect_frame(io.BytesIO(v3_frame))
+        assert v3_info.stored_payload_bytes <= v2_info.stored_payload_bytes, (
+            f"{name}: v3 stored {v3_info.stored_payload_bytes} B exceeds "
+            f"v2's {v2_info.stored_payload_bytes} B"
+        )
+        assert v3_info.n_bits == v2_info.n_bits == summary.size_in_bits(), (
+            f"{name}: charged bits drifted across versions"
+        )
+        clone = wire.load(v3_frame)
+        assert wire.dump(clone, version=2) == v2_frame, (
+            f"{name}: v3 round trip is not bit-identical"
+        )
+        cases[name] = {
+            "payload_bits": v2_info.n_bits,
+            "v2_stored_bytes": v2_info.stored_payload_bytes,
+            "v3_stored_bytes": v3_info.stored_payload_bytes,
+            "v3_delta_encoded": v3_info.delta,
+            "stored_ratio": v3_info.stored_payload_bytes
+            / max(1, v2_info.stored_payload_bytes),
+            "v2_dump_seconds": v2_time,
+            "v3_dump_seconds": v3_time,
+        }
+    return {
+        "config": {"universe": universe, "k": k, "stream": n_items},
+        "cases": cases,
+    }
+
+
+def bench_container_ops(n_shards: int, universe: int, k: int, repeats: int) -> dict:
+    """Pack / sequential decode / manifest-driven lazy load on a fleet."""
+    import io
+
+    from repro.streaming import MisraGries
+
+    class SpyFile(io.BytesIO):
+        def __init__(self, data):
+            super().__init__(data)
+            self.bytes_read = 0
+
+        def read(self, size=-1):
+            data = super().read(size)
+            self.bytes_read += len(data)
+            return data
+
+    shards = []
+    for i in range(n_shards):
+        mg = MisraGries(universe, k)
+        mg.update_many(
+            np.random.default_rng(200 + i).integers(0, universe, 5000)
+        )
+        shards.append((f"shard{i}", mg))
+
+    def pack():
+        sink = io.BytesIO()
+        wire.write_container(sink, shards)
+        return sink.getvalue()
+
+    pack_time, data = _time(pack, repeats)
+
+    def full_decode():
+        return sum(1 for _ in wire.iter_container_objects(io.BytesIO(data)))
+
+    full_time, decoded = _time(full_decode, repeats)
+    assert decoded == n_shards
+
+    target = f"shard{n_shards // 2}"
+
+    def lazy_load():
+        spy = SpyFile(data)
+        reader = wire.ContainerReader.open(spy)
+        obj = reader.load(reader.entries[n_shards // 2])
+        return spy, obj
+
+    lazy_time, (spy, obj) = _time(lazy_load, repeats)
+    assert obj.size_in_bits() == dict(shards)[target].size_in_bits()
+    # The lazy-load evidence: one shard costs header + manifest + one
+    # record, a small fraction of the container.
+    assert spy.bytes_read < len(data) / 4, (
+        f"lazy load read {spy.bytes_read} of {len(data)} container bytes"
+    )
+    return {
+        "config": {"n_shards": n_shards, "universe": universe, "k": k},
+        "container_bytes": len(data),
+        "pack_seconds": pack_time,
+        "full_decode_seconds": full_time,
+        "lazy_load_seconds": lazy_time,
+        "lazy_load_bytes_read": spy.bytes_read,
+        "lazy_read_fraction": spy.bytes_read / len(data),
+        "shards_per_sec_packed": n_shards / pack_time,
+        "shards_per_sec_decoded": n_shards / full_time,
+    }
+
+
 def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
     """Run the full suite and write the JSON trajectory record."""
     repeats = 1 if quick else 3
@@ -294,6 +416,8 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             "sketch_file_round_trip": bench_round_trip(1024, 16, repeats),
             "header_overhead": bench_header_overhead(),
             "chunked_stream": bench_chunked_stream(4096, 24, 1 << 14, repeats),
+            "sparse_delta": bench_sparse_delta(1 << 16, 16, 20_000, repeats),
+            "container_ops": bench_container_ops(64, 4096, 64, repeats),
         }
     else:
         results = {
@@ -302,6 +426,8 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
             "sketch_file_round_trip": bench_round_trip(4096, 24, repeats),
             "header_overhead": bench_header_overhead(),
             "chunked_stream": bench_chunked_stream(32_768, 32, 1 << 16, repeats),
+            "sparse_delta": bench_sparse_delta(1 << 20, 32, 200_000, repeats),
+            "container_ops": bench_container_ops(64, 65_536, 256, repeats),
         }
     tentpole = results["bitwriter_payload"]
     assert tentpole["config"]["bits"] >= 1_000_000, "payload case shrank below 10^6 bits"
@@ -311,7 +437,7 @@ def run(quick: bool = False, out_path: Path = DEFAULT_OUT) -> dict:
     )
     record = {
         "benchmark": "serialize",
-        "pr": 5,
+        "pr": 10,
         "quick": quick,
         "results": results,
     }
@@ -345,6 +471,20 @@ def test_serializer_speedup_quick():
             f"{case['decode_mbits_per_sec']:.0f} Mbit/s enc/dec, "
             f"max write {case['max_single_write']} B"
         )
+    for name, case in record["results"]["sparse_delta"]["cases"].items():
+        print(
+            f"sparse_delta {name}: v2 {case['v2_stored_bytes']} B -> "
+            f"v3 {case['v3_stored_bytes']} B stored "
+            f"({'delta' if case['v3_delta_encoded'] else 'raw/zlib'})"
+        )
+        assert case["v3_stored_bytes"] <= case["v2_stored_bytes"]
+    ops = record["results"]["container_ops"]
+    print(
+        f"container_ops: {ops['config']['n_shards']} shards in "
+        f"{ops['container_bytes']} B; lazy load read "
+        f"{ops['lazy_load_bytes_read']} B ({ops['lazy_read_fraction']:.1%})"
+    )
+    assert ops["lazy_read_fraction"] < 0.25
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -366,6 +506,16 @@ def main(argv: list[str] | None = None) -> int:
             f"round_trip {name}: {case['frame_bytes']} bytes, "
             f"{case['round_trips_per_sec']:.0f} round-trips/sec"
         )
+    for name, case in record["results"]["sparse_delta"]["cases"].items():
+        print(
+            f"sparse_delta {name}: stored ratio "
+            f"{case['stored_ratio']:.2f} (v3/v2)"
+        )
+    ops = record["results"]["container_ops"]
+    print(
+        f"container_ops: lazy load touched {ops['lazy_read_fraction']:.1%} "
+        f"of the container"
+    )
     print(f"wrote {args.out}")
     return 0
 

@@ -223,7 +223,8 @@ def bench_durability_overhead(
                     for batch in batches:
                         client.ingest("cm", batch)
                     seconds = time.perf_counter() - began
-                    [(_, frame)], _ = handle.registry.dump_for_snapshot()
+                    [(_, summary)], _ = handle.registry.dump_for_snapshot()
+                    frame = wire.dump(summary)
         return seconds, frame
 
     result: dict = {

@@ -241,12 +241,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_retry_flags(query)
 
+    pack = sub.add_parser(
+        "pack",
+        help="pack sketch frame files into one multi-frame wire-v3 container",
+    )
+    pack.add_argument(
+        "shards", nargs="+",
+        help="sketch files to pack; each contributes its frames to the "
+             "container, named by file stem (container inputs keep their "
+             "own shard names)",
+    )
+    pack.add_argument("--out", required=True, help="output container file")
+    pack.add_argument(
+        "--compress", action="store_true",
+        help="allow zlib-compressed stored payloads inside the container "
+             "(the charged size_in_bits is still the uncompressed count)",
+    )
+
     merge = sub.add_parser(
         "merge", help="merge serialized summary shard files into one sketch file"
     )
     merge.add_argument(
         "shards", nargs="+",
-        help="two or more shard files holding frames of the same summary type",
+        help="two or more shard files holding frames of the same summary "
+             "type (a wire-v3 container counts one shard per contained "
+             "frame)",
     )
     merge.add_argument("--out", required=True, help="output sketch file")
     merge.add_argument(
@@ -266,9 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser(
         "inspect",
-        help="print a sketch file's frame header without decoding the payload",
+        help="print a sketch file's frame header (or a container's "
+             "manifest) without decoding any payload",
     )
-    inspect.add_argument("path", help="sketch file written by `repro sketch`")
+    inspect.add_argument(
+        "path",
+        help="sketch file written by `repro sketch`, or a container from "
+             "`repro pack` / `repro compact`",
+    )
 
     serve = sub.add_parser(
         "serve", help="run a resident sketch server answering socket queries"
@@ -401,9 +425,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_retry_flags(stream)
 
     push = sub.add_parser(
-        "push", help="upload a sketch file into a running sketch server"
+        "push",
+        help="upload a sketch file (or a whole container fleet) into a "
+             "running sketch server",
     )
-    push.add_argument("path", help="sketch file written by `repro sketch`")
+    push.add_argument(
+        "path",
+        help="sketch file written by `repro sketch`, or a multi-frame "
+             "container from `repro pack` / `repro compact` (each named "
+             "shard loads under its manifest name via one LOAD-many "
+             "session)",
+    )
     push.add_argument(
         "--connect", required=True, metavar="HOST:PORT",
         help="address of a running `repro serve` daemon",
@@ -411,7 +443,8 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument(
         "--name", default=None,
         help="registry name (default: the file's stem); pushing shards "
-             "under one name folds them via the merge rules",
+             "under one name folds them via the merge rules; refused for "
+             "multi-shard containers, whose names come from the manifest",
     )
     _add_retry_flags(push)
     return parser
@@ -699,8 +732,19 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
     from .errors import ReproError, WireFormatError
     from .streaming.merge import merge_payloads
+    from .wire import WIRE_V3, ContainerReader, peek_wire_version
 
     try:
+        # Count contributed shards up front: a container path folds in
+        # one shard per manifest entry, a frame file exactly one.
+        n_shards = 0
+        for path in args.shards:
+            with open(path, "rb") as stream:
+                if peek_wire_version(stream.read(5)) == WIRE_V3:
+                    stream.seek(0)
+                    n_shards += len(ContainerReader.open(stream))
+                else:
+                    n_shards += 1
         with ExitStack() as stack:
             opened = []
 
@@ -711,8 +755,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
                     yield stream
 
             merged = merge_payloads(shard_streams(), rng=args.seed)
-            # Each shard file holds exactly one frame; by now every
-            # stream has been consumed through its frame.
+            # Each shard file holds exactly one frame (a container, its
+            # frames); by now every stream has been consumed through it.
             for path, stream in opened:
                 if stream.read(1):
                     raise WireFormatError(f"trailing garbage after frame in {path}")
@@ -724,19 +768,79 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         return 1
     print(
         f"wrote {args.out}: {type(merged).__name__} merged from "
-        f"{len(args.shards)} shards, payload {merged.size_in_bits()} bits, "
+        f"{n_shards} shards, payload {merged.size_in_bits()} bits, "
         f"frame {frame_bytes} bytes"
     )
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """Pack shard files into one manifest-indexed wire-v3 container."""
+    import io
+    import os
+
+    from .errors import ReproError
+    from .wire import (
+        WIRE_V3,
+        ContainerReader,
+        ContainerWriter,
+        load_from,
+        peek_wire_version,
+    )
+
+    tmp_path = f"{args.out}.tmp"
+    try:
+        try:
+            with open(tmp_path, "wb") as out:
+                writer = ContainerWriter(out, compress=args.compress)
+                for path in args.shards:
+                    stem = Path(path).stem
+                    with open(path, "rb") as stream:
+                        if peek_wire_version(stream.read(5)) == WIRE_V3:
+                            # A container input: re-pack its shards under
+                            # their manifest names.
+                            reader = ContainerReader.open(
+                                io.BytesIO(Path(path).read_bytes())
+                            )
+                            for i, entry in enumerate(reader.entries):
+                                name = entry.name or f"{stem}-{i}"
+                                writer.add(name, reader.load(entry))
+                        else:
+                            stream.seek(0)
+                            writer.add(stem, load_from(stream))
+                entries = writer.close()
+            os.replace(tmp_path, args.out)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+    except (ReproError, OSError) as exc:
+        print(f"cannot pack shards: {exc}", file=sys.stderr)
+        return 1
+    total_bits = sum(e.n_bits for e in entries)
+    total_bytes = Path(args.out).stat().st_size
+    print(
+        f"wrote {args.out}: container of {len(entries)} shards, "
+        f"{total_bits} payload bits charged, {total_bytes} bytes stored"
+    )
+    for entry in entries:
+        print(
+            f"  {entry.name}: {entry.codec}, {entry.n_bits} bits, "
+            f"{entry.record_bytes} bytes at offset {entry.offset}"
+        )
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Describe a sketch file from its frame header, payload undecoded."""
     from .errors import ReproError
-    from .wire import inspect_frame
+    from .wire import WIRE_V3, inspect_container, inspect_frame, peek_wire_version
 
     try:
         with open(args.path, "rb") as stream:
+            if peek_wire_version(stream.read(5)) == WIRE_V3:
+                stream.seek(0)
+                return _print_container_info(args.path, inspect_container(stream))
+            stream.seek(0)
             info = inspect_frame(stream)
     except (ReproError, OSError) as exc:
         print(f"cannot inspect {args.path}: {exc}", file=sys.stderr)
@@ -756,6 +860,29 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"stored{', ' + '+'.join(layout) if layout else ''}); "
         f"header {info.header_bytes} bytes"
     )
+    print(f"crc: {'ok' if info.crc_ok else 'MISMATCH'}")
+    return 0 if info.crc_ok else 1
+
+
+def _print_container_info(path: str, info) -> int:
+    """Render ``inspect_container`` output: meta, codec table, manifest."""
+    print(f"file: {path} ({info.container_bytes} bytes, container)")
+    print(
+        f"wire version: {info.version}   shards: {len(info.entries)}   "
+        f"codecs: {len(info.codecs)}"
+    )
+    meta = " ".join(f"{k}={v}" for k, v in sorted(info.meta.items()))
+    print(f"meta: {meta or '(none)'}")
+    print(
+        f"layout: header {info.header_bytes} bytes, manifest at offset "
+        f"{info.manifest_offset}"
+    )
+    for entry in info.entries:
+        print(
+            f"  {entry.name or '(anonymous)'}: {entry.codec}, "
+            f"{entry.n_bits} bits charged, {entry.record_bytes} bytes "
+            f"stored at offset {entry.offset}"
+        )
     print(f"crc: {'ok' if info.crc_ok else 'MISMATCH'}")
     return 0 if info.crc_ok else 1
 
@@ -1000,24 +1127,49 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_push(args: argparse.Namespace) -> int:
-    """Upload one sketch file into a running server's registry."""
-    from .errors import ReproError
+    """Upload one sketch file -- or a whole container fleet -- into a server."""
+    import io
+
+    from .errors import ProtocolError, ReproError
     from .server import Client
+    from .wire import WIRE_V3, ContainerReader, peek_wire_version
 
     try:
         frame = Path(args.path).read_bytes()
-        name = args.name if args.name else Path(args.path).stem
         host, port = _parse_connect(args.connect)
-        with Client(host, port, retry=_retry_policy(args, mutating=True)) as client:
-            codec, size_in_bits, merged = client.load(name, frame)
+        reader = None
+        if peek_wire_version(frame) == WIRE_V3:
+            reader = ContainerReader.open(io.BytesIO(frame))
+            if len(reader) == 1 and reader.entries[0].name == "":
+                # A plain `dump(version=3)` sketch file: one anonymous
+                # frame, pushed like any other frame under the file stem.
+                reader = None
+        if reader is not None:
+            if args.name is not None:
+                raise ProtocolError(
+                    "--name does not apply to a multi-shard container; "
+                    "shard names come from its manifest"
+                )
+            with Client(
+                host, port, retry=_retry_policy(args, mutating=True)
+            ) as client:
+                results = client.load_many(reader)
+        else:
+            name = args.name if args.name else Path(args.path).stem
+            with Client(
+                host, port, retry=_retry_policy(args, mutating=True)
+            ) as client:
+                results = [(name, *client.load(name, frame))]
     except (ReproError, OSError) as exc:
         print(f"cannot push {args.path}: {exc}", file=sys.stderr)
         return 1
-    print(
-        f"pushed {args.path} to {args.connect} as {name!r}: {codec}, "
-        f"{size_in_bits} bits resident "
-        f"({'merged into existing entry' if merged else 'new entry'})"
-    )
+    noun = "shard" if len(results) == 1 else "shards"
+    print(f"pushed {args.path} to {args.connect}: {len(results)} {noun}")
+    for name, codec, size_in_bits, merged in results:
+        print(
+            f"  {name!r}: {codec}, {size_in_bits} bits resident "
+            f"({'merged into existing entry' if merged else 'new entry'})"
+        )
     return 0
 
 
@@ -1036,6 +1188,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sketch(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "pack":
+        return _cmd_pack(args)
     if args.command == "merge":
         return _cmd_merge(args)
     if args.command == "inspect":

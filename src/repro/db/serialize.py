@@ -54,9 +54,11 @@ __all__ = [
     "dequantize_frequency",
     "frequency_bits",
     "encode_uvarint",
+    "encode_uvarints",
     "encode_svarint",
     "read_uvarint",
     "read_svarint",
+    "decode_uvarints",
     "zigzag_encode",
     "zigzag_decode",
 ]
@@ -127,6 +129,88 @@ def read_uvarint(stream: IO[bytes]) -> int:
 def read_svarint(stream: IO[bytes]) -> int:
     """Read one zigzag LEB128 value from a binary stream."""
     return zigzag_decode(read_uvarint(stream))
+
+
+def uvarint_lengths(values: np.ndarray) -> np.ndarray:
+    """Encoded byte length of each value under canonical unsigned LEB128.
+
+    Vectorized: lets callers price a varint run (the wire v3 delta
+    payload) before paying for the encode.
+    """
+    vals = np.asarray(values, dtype=np.uint64).reshape(-1)
+    lengths = np.ones(vals.size, dtype=np.int64)
+    rest = vals >> np.uint64(7)
+    while rest.any():
+        lengths += rest != 0
+        rest >>= np.uint64(7)
+    return lengths
+
+
+def encode_uvarints(values: np.ndarray) -> bytes:
+    """Encode a batch of non-negative integers as back-to-back LEB128.
+
+    Byte-identical to ``b"".join(encode_uvarint(v) for v in values)`` but
+    vectorized: one pass per varint *byte position* (at most ten for
+    64-bit values) instead of one per value.
+    """
+    vals = np.asarray(values, dtype=np.uint64).reshape(-1)
+    if not vals.size:
+        return b""
+    lengths = uvarint_lengths(vals)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    out = np.zeros(int(ends[-1]), dtype=np.uint8)
+    for group in range(int(lengths.max())):
+        mask = lengths > group
+        groups = (vals[mask] >> np.uint64(7 * group)) & np.uint64(0x7F)
+        cont = ((lengths[mask] > group + 1).astype(np.uint8)) << 7
+        out[starts[mask] + group] = groups.astype(np.uint8) | cont
+    return out.tobytes()
+
+
+def decode_uvarints(buf: bytes, count: int) -> np.ndarray:
+    """Decode exactly ``count`` back-to-back canonical LEB128 values.
+
+    The whole buffer must be consumed: trailing bytes, truncated values,
+    oversized values, and non-canonical encodings (padded zero groups)
+    all raise :class:`~repro.errors.SketchSizeError`.  Vectorized like
+    :func:`encode_uvarints`.
+    """
+    if count < 0:
+        raise SketchSizeError(f"cannot decode {count} varints")
+    data = np.frombuffer(buf, dtype=np.uint8)
+    terminals = np.flatnonzero((data & 0x80) == 0)
+    if terminals.size != count:
+        raise SketchSizeError(
+            f"varint run holds {terminals.size} values, expected {count}"
+        )
+    if count == 0:
+        if data.size:
+            raise SketchSizeError("trailing bytes after varint run")
+        return np.zeros(0, dtype=np.uint64)
+    if int(terminals[-1]) != data.size - 1:
+        raise SketchSizeError("trailing bytes after varint run")
+    starts = np.concatenate(([0], terminals[:-1] + 1))
+    lengths = terminals - starts + 1
+    max_len = int(lengths.max())
+    if max_len > _MAX_VARINT_BYTES:
+        raise SketchSizeError(f"varint exceeds {_MAX_VARINT_BYTES} bytes")
+    padded = (lengths > 1) & (data[terminals] == 0)
+    if padded.any():
+        raise SketchSizeError("non-canonical varint (padded zero group)")
+    # A 10-group varint's final group may only carry bit 63 (value <= 1).
+    if max_len == _MAX_VARINT_BYTES:
+        overflow = (lengths == _MAX_VARINT_BYTES) & (data[terminals] > 1)
+        if overflow.any():
+            raise SketchSizeError("varint value exceeds 64 bits")
+    values = np.zeros(count, dtype=np.uint64)
+    for group in range(max_len):
+        mask = lengths > group
+        values[mask] |= (
+            (data[starts[mask] + group] & 0x7F).astype(np.uint64)
+            << np.uint64(7 * group)
+        )
+    return values
 
 
 def frequency_bits(epsilon: float) -> int:

@@ -25,12 +25,25 @@ v2 frame primitive), ``f64`` is big-endian IEEE 754::
     DROP(6)   := name
     PING(7)   :=                                 # no fields
     INGEST(8) := name uvarint(count) u64_be*count  # 1 <= count <= MAX_INGEST_ITEMS
+    LOAD_MANY(9) := name uvarint(index) uvarint(count) frame_bytes
     itemsets  := uvarint(count) { uvarint(k) uvarint(item)*k }*count
 
 ``INGEST`` streams raw item ids into a resident *streaming summary*
 (fixed-width big-endian u64s, not varints, so both sides move a batch
 with one vectorized pass); ids must lie in ``[0, 2**63)`` and within the
 summary's universe.
+
+``LOAD_MANY`` seeds a whole fleet from one wire-v3 container in one
+socket session: the client walks the container's manifest and sends one
+``LOAD_MANY`` request per shard, each carrying that shard extracted as a
+standalone single-frame container, its manifest ``name``, its position
+``index`` (0-based), and the fleet's total ``count`` (``1 <= count <=
+MAX_LOAD_MANY_FRAMES``, ``index < count``).  Each chunk is acknowledged
+before the next is sent -- per-chunk backpressure under the same
+``max_frame_bytes`` budget as ``LOAD``, so a fleet push never needs the
+whole container in one message.  Server-side each chunk takes the exact
+``LOAD`` path (decode, merge-on-collision, journal), so a container push
+is bit-identical to pushing its shards as separate files.
 
 Response bodies open with a status byte; an error carries one UTF-8
 message and leaves the connection usable.  ``BUSY`` has the same shape
@@ -49,6 +62,7 @@ retryable even for mutating verbs::
     LIST      := uvarint(count) { name codec_name uvarint(size_in_bits) }*count
     DROP/PING := (empty)
     INGEST    := uvarint(stream_length) uvarint(size_in_bits)
+    LOAD_MANY := uvarint(index) merged:u8 codec_name uvarint(size_in_bits)
 
 An ``INGEST`` acknowledgement reports the resident summary's *total*
 stream length after the batch -- the atomic prefix-fold guarantee: the

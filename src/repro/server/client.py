@@ -277,6 +277,55 @@ class Client:
         body = protocol.encode_request(protocol.OP_LOAD, name=name, frame=frame)
         return self._call(body, protocol.parse_load_ok, idempotent=False)
 
+    def load_many(self, container) -> list[tuple[str, str, int, bool]]:
+        """Seed a whole fleet from one v3 container over this session.
+
+        ``container`` is either the container's bytes or an opened
+        :class:`~repro.wire.ContainerReader` (so a large file never has
+        to be resident at once).  Each manifested shard is spliced out
+        as a standalone single-frame container -- no payload decode on
+        this side -- and pushed as one ``LOAD``-many chunk; the next
+        chunk goes out only after the previous ack, so the server holds
+        at most one in-flight frame per session and every chunk respects
+        the transport's ``max_frame_bytes`` budget.  Returns
+        ``(name, codec, size_in_bits, merged)`` per shard, in manifest
+        order.  Every shard must be named: an anonymous record has no
+        registry identity to load under.
+        """
+        import io as _io
+
+        from ..wire import ContainerReader
+
+        reader = (
+            container
+            if isinstance(container, ContainerReader)
+            else ContainerReader.open(_io.BytesIO(container))
+        )
+        entries = reader.entries
+        count = len(entries)
+        results: list[tuple[str, str, int, bool]] = []
+        for i, entry in enumerate(entries):
+            if not entry.name:
+                raise ProtocolError(
+                    f"LOAD-many needs named shards; container entry {i} is anonymous"
+                )
+            body = protocol.encode_request(
+                protocol.OP_LOAD_MANY,
+                name=entry.name,
+                frame=reader.extract(entry),
+                index=i,
+                count=count,
+            )
+            index, codec, size, merged = self._call(
+                body, protocol.parse_load_many_ok, idempotent=False
+            )
+            if index != i:
+                raise ProtocolError(
+                    f"LOAD-many ack for chunk {index}, expected {i}"
+                )
+            results.append((entry.name, codec, size, merged))
+        return results
+
     def estimate(self, name: str, itemsets: Sequence[Itemset]) -> list[float]:
         """Batched frequency estimates, in query order, bit-exact f64s."""
         body = protocol.encode_request(

@@ -29,8 +29,15 @@ registry's durable twin.  Two files live there:
     fold at every prefix, with or without an intervening snapshot.
 
 ``snapshot.bin``
-    Periodic **compaction** of the log: the full registry state as LOAD
-    bodies, plus the sequence-number watermark it covers:
+    Periodic **compaction** of the log: the full registry state as one
+    standard wire-v3 multi-frame container (see :mod:`repro.wire`),
+    whose meta block carries the sequence-number watermark as a
+    ``last_seq`` field.  The snapshot *is* an ordinary container: the
+    compactor's output is directly ``repro push``-able and
+    ``repro inspect``-able, and recovery walks the trailing manifest and
+    splices shards out one at a time (one record resident at once, no
+    payload decode until :meth:`~repro.server.registry.SketchRegistry.
+    restore` installs it).  Legacy snapshots from earlier builds --
 
     .. code-block:: text
 
@@ -38,9 +45,10 @@ registry's durable twin.  Two files live there:
         record    := u32_be(len(body)) u32_be(crc32(body)) body
         body      := request_body                    # op = LOAD only
 
-    Snapshots are written to a temp file, ``fsync``'d, and published
-    with ``os.replace`` -- readers see the old snapshot or the new one,
-    never a partial write.
+    -- are still read (dispatch is by file magic) but no longer written.
+    Either way snapshots are written to a temp file, ``fsync``'d, and
+    published with ``os.replace`` -- readers see the old snapshot or the
+    new one, never a partial write.
 
 Failure model
 -------------
@@ -75,6 +83,8 @@ from typing import IO, TYPE_CHECKING
 
 from ..db.serialize import encode_uvarint, read_uvarint
 from ..errors import PersistenceError, ReproError
+from ..wire import MAGIC as _CONTAINER_MAGIC
+from ..wire import ContainerReader, ContainerWriter
 from . import protocol
 from .protocol import DEFAULT_MAX_FRAME_BYTES
 
@@ -400,30 +410,44 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 def write_snapshot(
     path: str | os.PathLike[str],
-    entries: list[tuple[str, bytes]],
+    entries: "list[tuple[str, object]]",
     *,
     last_seq: int,
     max_record_bytes: int = DEFAULT_MAX_FRAME_BYTES + _RECORD_SLACK,
     sync: bool = True,
 ) -> None:
-    """Publish the registry state atomically as LOAD records.
+    """Publish the registry state atomically as one wire-v3 container.
 
-    ``entries`` is ``(name, frame)`` pairs; each becomes one record whose
-    body is a verbatim LOAD request.  The file is written to a sibling
-    temp path, flushed, ``fsync``'d, and ``os.replace``'d into place.
+    ``entries`` is ``(name, summary_object)`` pairs (what
+    :meth:`~repro.server.registry.SketchRegistry.dump_for_snapshot`
+    hands out); each becomes one manifested frame record, and the
+    journal watermark travels as the container's ``last_seq`` meta
+    field.  Because the snapshot is an ordinary container, ``repro
+    push`` accepts the compactor's output unchanged and recovery
+    lazy-loads shards through the manifest.  The file is written to a
+    sibling temp path, flushed, ``fsync``'d, and ``os.replace``'d into
+    place.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as out:
-        out.write(_SNAPSHOT_MAGIC + bytes([_PERSIST_VERSION]))
-        out.write(encode_uvarint(last_seq))
-        out.write(encode_uvarint(len(entries)))
-        for name, frame in entries:
-            body = protocol.encode_request(protocol.OP_LOAD, name=name, frame=frame)
-            out.write(encode_record(body, max_bytes=max_record_bytes))
-        out.flush()
-        if sync:
-            os.fsync(out.fileno())
+    try:
+        with open(tmp, "wb") as out:
+            writer = ContainerWriter(out, meta={"last_seq": last_seq})
+            for name, obj in entries:
+                entry = writer.add(name, obj)
+                if entry.record_bytes > max_record_bytes:
+                    raise PersistenceError(
+                        f"snapshot entry {name!r} of {entry.record_bytes} "
+                        f"bytes exceeds the {max_record_bytes}-byte record cap"
+                    )
+            writer.close()
+            out.flush()
+            if sync:
+                os.fsync(out.fileno())
+    except PersistenceError:
+        raise
+    except ReproError as exc:
+        raise PersistenceError(f"cannot encode snapshot: {exc}") from exc
     os.replace(tmp, path)
     _fsync_dir(path.parent)
 
@@ -435,10 +459,34 @@ def read_snapshot(
 ) -> tuple[list[tuple[str, bytes]], int]:
     """Read a snapshot back as ``([(name, frame), ...], last_seq)``.
 
-    Snapshots are only ever published whole, so *every* defect --
-    including truncation -- raises :class:`PersistenceError`.
+    Dispatches by file magic: a wire-v3 container snapshot yields each
+    manifested shard as a standalone single-frame container (directly
+    :meth:`~repro.server.registry.SketchRegistry.restore`-able, no
+    payload decode here); a legacy ``IFSN`` snapshot yields its verbatim
+    LOAD frames.  Snapshots are only ever published whole, so *every*
+    defect -- including truncation -- raises :class:`PersistenceError`.
     """
     data = Path(path).read_bytes()
+    if data[: len(_CONTAINER_MAGIC)] == _CONTAINER_MAGIC:
+        try:
+            reader = ContainerReader.open(io.BytesIO(data), max_bytes=max_record_bytes)
+            last_seq = reader.meta.get("last_seq")
+            if not isinstance(last_seq, int) or isinstance(last_seq, bool) or last_seq < 0:
+                raise PersistenceError(
+                    "container snapshot is missing its last_seq watermark"
+                )
+            container_entries: list[tuple[str, bytes]] = []
+            for entry in reader.entries:
+                if not entry.name:
+                    raise PersistenceError(
+                        "container snapshot holds an anonymous shard"
+                    )
+                container_entries.append((entry.name, reader.extract(entry)))
+        except PersistenceError:
+            raise
+        except ReproError as exc:
+            raise PersistenceError(f"invalid container snapshot: {exc}") from exc
+        return container_entries, last_seq
     stream = io.BytesIO(data)
     _check_header(stream, _SNAPSHOT_MAGIC, "snapshot")
     try:
@@ -555,15 +603,22 @@ class PersistentStore:
         snapshot_count = 0
         snapshot_seq = 0
         if self.snapshot_path.exists():
-            entries, snapshot_seq = read_snapshot(
-                self.snapshot_path,
-                max_record_bytes=self.max_frame_bytes + _RECORD_SLACK,
-            )
-            snapshot_count = len(entries)
-            for name, frame in entries:
-                self._apply(registry, protocol.Request(
-                    op=protocol.OP_LOAD, name=name, frame=frame
-                ), where=f"snapshot entry {name!r}")
+            with open(self.snapshot_path, "rb") as head:
+                magic = head.read(len(_CONTAINER_MAGIC))
+            if magic == _CONTAINER_MAGIC:
+                snapshot_count, snapshot_seq = self._recover_container_snapshot(
+                    registry
+                )
+            else:
+                entries, snapshot_seq = read_snapshot(
+                    self.snapshot_path,
+                    max_record_bytes=self.max_frame_bytes + _RECORD_SLACK,
+                )
+                snapshot_count = len(entries)
+                for name, frame in entries:
+                    self._apply(registry, protocol.Request(
+                        op=protocol.OP_LOAD, name=name, frame=frame
+                    ), where=f"snapshot entry {name!r}")
         scan = self._wal.scan()
         replayed = 0
         for record in scan.records:
@@ -588,6 +643,51 @@ class PersistentStore:
             last_seq=max(scan.last_seq, snapshot_seq),
             torn_tail=scan.torn_tail,
         )
+
+    def _recover_container_snapshot(
+        self, registry: "SketchRegistry"
+    ) -> tuple[int, int]:
+        """Lazy manifest-driven replay of a container-format snapshot.
+
+        Opens the container (O(header + manifest) bytes), then seeks to
+        one record at a time: each shard is spliced out verbatim and
+        installed via :meth:`~repro.server.registry.SketchRegistry.
+        restore`, so at most one extracted record is resident on top of
+        the decoding registry -- never the whole snapshot.
+        """
+        with open(self.snapshot_path, "rb") as stream:
+            try:
+                reader = ContainerReader.open(
+                    stream, max_bytes=self.max_frame_bytes + _RECORD_SLACK
+                )
+                last_seq = reader.meta.get("last_seq")
+                if (
+                    not isinstance(last_seq, int)
+                    or isinstance(last_seq, bool)
+                    or last_seq < 0
+                ):
+                    raise PersistenceError(
+                        "container snapshot is missing its last_seq watermark"
+                    )
+                for entry in reader.entries:
+                    if not entry.name:
+                        raise PersistenceError(
+                            "container snapshot holds an anonymous shard"
+                        )
+                    frame = reader.extract(entry)
+                    try:
+                        registry.restore(entry.name, frame)
+                    except ReproError as exc:
+                        raise PersistenceError(
+                            f"cannot replay snapshot entry {entry.name!r}: {exc}"
+                        ) from exc
+            except PersistenceError:
+                raise
+            except ReproError as exc:
+                raise PersistenceError(
+                    f"invalid container snapshot: {exc}"
+                ) from exc
+        return len(reader.entries), last_seq
 
     @staticmethod
     def _apply(

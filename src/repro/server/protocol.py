@@ -45,6 +45,8 @@ __all__ = [
     "OP_DROP",
     "OP_PING",
     "OP_INGEST",
+    "OP_LOAD_MANY",
+    "MAX_LOAD_MANY_FRAMES",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_BUSY",
@@ -71,6 +73,8 @@ __all__ = [
     "parse_empty_ok",
     "encode_ingest_ok",
     "parse_ingest_ok",
+    "encode_load_many_ok",
+    "parse_load_many_ok",
 ]
 
 #: Default TCP port for ``repro serve``.
@@ -96,9 +100,15 @@ OP_LIST = 5
 OP_DROP = 6
 OP_PING = 7
 OP_INGEST = 8
+OP_LOAD_MANY = 9
+
+#: Hard cap on the declared shard count of one LOAD-many session.
+MAX_LOAD_MANY_FRAMES = 1 << 20
 
 _QUERY_OPS = (OP_ESTIMATE, OP_INDICATE)
-_NAMED_OPS = (OP_LOAD, OP_ESTIMATE, OP_INDICATE, OP_STAT, OP_DROP, OP_INGEST)
+_NAMED_OPS = (
+    OP_LOAD, OP_ESTIMATE, OP_INDICATE, OP_STAT, OP_DROP, OP_INGEST, OP_LOAD_MANY
+)
 _KNOWN_OPS = _NAMED_OPS + (OP_LIST, OP_PING)
 
 STATUS_OK = 0
@@ -256,6 +266,8 @@ class Request:
     itemsets: tuple[Itemset, ...] = ()
     frame: bytes = b""
     items: np.ndarray | None = None
+    index: int = 0
+    count: int = 0
 
 
 def encode_request(
@@ -265,6 +277,8 @@ def encode_request(
     itemsets: Sequence[Itemset] = (),
     frame: bytes = b"",
     items=None,
+    index: int = 0,
+    count: int = 0,
 ) -> bytes:
     """Build one request body (unframed; wrap with :func:`frame_message`)."""
     _require(op in _KNOWN_OPS, f"unknown request op {op}")
@@ -274,7 +288,15 @@ def encode_request(
         parts.append(_encode_name(name))
     if op in _QUERY_OPS:
         parts.append(_encode_itemsets(itemsets))
-    if op == OP_LOAD:
+    if op == OP_LOAD_MANY:
+        _require(
+            1 <= count <= MAX_LOAD_MANY_FRAMES,
+            f"LOAD-many batch of {count} shards outside [1, {MAX_LOAD_MANY_FRAMES}]",
+        )
+        _require(0 <= index < count, f"LOAD-many index {index} outside [0, {count})")
+        parts.append(encode_uvarint(index))
+        parts.append(encode_uvarint(count))
+    if op in (OP_LOAD, OP_LOAD_MANY):
         _require(len(frame) > 0, "LOAD requires frame bytes")
         parts.append(frame)
     if op == OP_INGEST:
@@ -299,9 +321,18 @@ def parse_request(body: bytes) -> Request:
     itemsets: tuple[Itemset, ...] = ()
     frame = b""
     items = None
+    index = count = 0
     if op in _QUERY_OPS:
         itemsets = _read_itemsets(stream)
-    if op == OP_LOAD:
+    if op == OP_LOAD_MANY:
+        index = _read_uvarint(stream)
+        count = _read_uvarint(stream)
+        _require(
+            1 <= count <= MAX_LOAD_MANY_FRAMES,
+            f"LOAD-many batch of {count} shards outside [1, {MAX_LOAD_MANY_FRAMES}]",
+        )
+        _require(index < count, f"LOAD-many index {index} outside [0, {count})")
+    if op in (OP_LOAD, OP_LOAD_MANY):
         # The rest of the body is one IFSK frame, verbatim; the registry
         # decodes (and so validates) it through the codec path.
         frame = stream.read()
@@ -310,7 +341,10 @@ def parse_request(body: bytes) -> Request:
         if op == OP_INGEST:
             items = _read_items(stream)
         _expect_end(stream, "request")
-    return Request(op=op, name=name, itemsets=itemsets, frame=frame, items=items)
+    return Request(
+        op=op, name=name, itemsets=itemsets, frame=frame, items=items,
+        index=index, count=count,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -530,6 +564,37 @@ def parse_ingest_ok(body: bytes) -> tuple[int, int]:
     size = _read_uvarint(stream)
     _expect_end(stream, "INGEST response")
     return length, size
+
+
+def encode_load_many_ok(
+    index: int, codec: str, size_in_bits: int, merged: bool
+) -> bytes:
+    """One LOAD-many chunk acknowledged: the shard's index echoes back.
+
+    The per-chunk ack is the fleet path's backpressure: the client sends
+    chunk ``i + 1`` only after chunk ``i``'s ack, so the server never
+    holds more than one in-flight frame per session (each already capped
+    at ``max_frame_bytes`` by the transport framing).
+    """
+    return (
+        bytes([STATUS_OK])
+        + encode_uvarint(index)
+        + bytes([1 if merged else 0])
+        + _encode_name(codec)
+        + encode_uvarint(size_in_bits)
+    )
+
+
+def parse_load_many_ok(body: bytes) -> tuple[int, str, int, bool]:
+    """``(index, codec, size_in_bits, merged)`` from a LOAD-many ack."""
+    stream = _open_ok(body)
+    index = _read_uvarint(stream)
+    merged = _read_exact(stream, 1)[0]
+    _require(merged <= 1, f"merged flag must be 0 or 1, got {merged}")
+    codec = _read_name(stream)
+    size = _read_uvarint(stream)
+    _expect_end(stream, "LOAD-many response")
+    return index, codec, size, bool(merged)
 
 
 def encode_empty_ok() -> bytes:

@@ -316,19 +316,19 @@ class SketchRegistry:
         with self._lock:
             self._entries[name] = entry
 
-    def dump_for_snapshot(self) -> tuple[list[tuple[str, bytes]], int]:
-        """``(name, frame)`` pairs plus the journal watermark, as one cut.
+    def dump_for_snapshot(self) -> tuple[list[tuple[str, Any]], int]:
+        """``(name, summary)`` pairs plus the journal watermark, as one cut.
 
         The entry references and the journal's last sequence number are
         captured under the same lock that orders journal appends, so the
         snapshot describes *exactly* the state after op ``last_seq`` --
         no logged op is missing from it, none is double-counted.  The
-        (slow) frame encoding happens outside the lock; entries are
-        immutable once resident, so the late ``dump`` is safe.
+        (slow) container encoding happens in the persistence layer,
+        outside this lock; entries are immutable once resident (``load``
+        and ``ingest`` swap whole entries, never mutate), so handing out
+        the object references is safe.
         """
-        from ..wire import dump
-
         with self._lock:
             snapshot = sorted(self._entries.values(), key=lambda e: e.name)
             last_seq = 0 if self.journal is None else self.journal.last_seq
-        return [(e.name, dump(e.obj)) for e in snapshot], last_seq
+        return [(e.name, e.obj) for e in snapshot], last_seq

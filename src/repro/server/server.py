@@ -317,6 +317,13 @@ class SketchServer:
             assert request.name is not None and request.items is not None
             length, size = registry.ingest(request.name, request.items)
             return protocol.encode_ingest_ok(length, size)
+        if op == protocol.OP_LOAD_MANY:
+            # One chunk of a fleet load: a complete standalone frame, the
+            # same decode/merge/journal path as LOAD.  The echoed index is
+            # the client's per-chunk backpressure ack.
+            assert request.name is not None
+            codec, size, merged = registry.load(request.name, request.frame)
+            return protocol.encode_load_many_ok(request.index, codec, size, merged)
         raise ProtocolError(f"unknown request op {op}")
 
 
@@ -475,15 +482,37 @@ def preload_files(
     ``--data-dir`` recovery already replayed the journaled preload, so
     re-loading the file would merge-fold the sketch into itself and
     double its counts.
+
+    A multi-frame v3 container preloads every shard it manifests, named
+    by manifest entry (anonymous shards fall back to ``<stem>-<index>``);
+    each shard is spliced out lazily, so only one record is resident at
+    a time.  Single-frame files (any wire version) load under the file
+    stem as before.
     """
+    import io
     import pathlib
+
+    from ..wire import WIRE_V3, ContainerReader, peek_wire_version
 
     names = []
     for raw in paths:
         path = pathlib.Path(raw)
+        data = path.read_bytes()
+        if peek_wire_version(data) == WIRE_V3:
+            reader = ContainerReader.open(io.BytesIO(data))
+            if len(reader) != 1 or reader.entries[0].name:
+                # Fleet container: one lazy extract per shard, so only
+                # one record is duplicated in memory at a time.
+                for i, entry in enumerate(reader.entries):
+                    name = entry.name or f"{path.stem}-{i}"
+                    if skip_resident and name in registry:
+                        continue
+                    registry.load(name, reader.extract(entry))
+                    names.append(name)
+                continue
         name = path.stem
         if skip_resident and name in registry:
             continue
-        registry.load(name, path.read_bytes())
+        registry.load(name, data)
         names.append(name)
     return names

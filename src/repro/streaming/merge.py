@@ -263,17 +263,65 @@ def _merge_pair(left: Any, right: Any, rng: np.random.Generator):
     raise StreamError(f"no merge rule for {type(left).__name__} shards")
 
 
-def _load_shard(shard: Any):
-    """Decode one shard: a frame byte string or a readable binary stream."""
-    from ..wire import load, load_from
+def _iter_shard(shard: Any) -> Iterator[Any]:
+    """Decode one shard into summaries, one at a time.
+
+    A shard is a frame byte string or a readable binary stream.  Either
+    may hold a wire-v3 *container*, in which case every contained frame
+    is yielded in container order -- decoded sequentially through
+    :func:`repro.wire.iter_container_objects`, so even a fleet container
+    contributes at most one undecoded frame at a time.
+    """
+    import io
+
+    from ..wire import (
+        WIRE_V3,
+        iter_container_objects,
+        load,
+        load_from,
+        peek_wire_version,
+    )
 
     if isinstance(shard, (bytes, bytearray, memoryview)):
-        return load(bytes(shard))
+        data = bytes(shard)
+        if peek_wire_version(data) == WIRE_V3:
+            yield from iter_container_objects(io.BytesIO(data))
+        else:
+            yield load(data)
+        return
     if hasattr(shard, "read"):
-        return load_from(shard)
+        head = shard.read(5)
+        if peek_wire_version(head) == WIRE_V3:
+            yield from iter_container_objects(_Resumed(head, shard))
+        else:
+            yield load_from(_Resumed(head, shard))
+        return
     raise StreamError(
         f"shard must be frame bytes or a binary stream, got {type(shard).__name__}"
     )
+
+
+class _Resumed:
+    """A binary reader that replays peeked prefix bytes, then delegates.
+
+    Lets :func:`_iter_shard` sniff a stream's wire version without
+    requiring ``seek`` -- shard streams may be sockets or pipes.
+    """
+
+    def __init__(self, prefix: bytes, stream: Any) -> None:
+        self._prefix = prefix
+        self._stream = stream
+
+    def read(self, size: int = -1) -> bytes:
+        if not self._prefix:
+            return self._stream.read(size)
+        if size is None or size < 0:
+            taken, self._prefix = self._prefix, b""
+            return taken + self._stream.read(size)
+        taken, self._prefix = self._prefix[:size], self._prefix[size:]
+        if len(taken) < size:
+            taken += self._stream.read(size - len(taken))
+        return taken
 
 
 def merge_payloads(
@@ -289,9 +337,13 @@ def merge_payloads(
     :func:`repro.wire.load_from` one at a time and folded left-to-right
     by the matching merge rule, so a fleet of shard files merges while
     holding at most one undecoded frame (and chunked v2 frames stream
-    straight out of their files without materializing).  ``rng`` feeds
-    the sampling-based merges (reservoirs); the deterministic merges
-    ignore it.
+    straight out of their files without materializing).  A shard holding
+    a wire-v3 *container* (``repro pack`` output) contributes each of
+    its frames in container order under the same bound, decoded
+    sequentially via :func:`repro.wire.iter_container_objects` -- a
+    64-shard container and 64 shard files merge identically.  ``rng``
+    feeds the sampling-based merges (reservoirs); the deterministic
+    merges ignore it.
 
     Raises
     ------
@@ -317,9 +369,11 @@ def merge_payloads(
     merged = None
     count = 0
     for shard in source:
-        decoded = _load_shard(shard)
-        count += 1
-        merged = decoded if merged is None else _merge_pair(merged, decoded, gen)
+        for decoded in _iter_shard(shard):
+            count += 1
+            merged = (
+                decoded if merged is None else _merge_pair(merged, decoded, gen)
+            )
     if count < 2:
         raise StreamError(f"need at least two shards to merge, got {count}")
     return merged

@@ -10,11 +10,15 @@ length *is* the size the lower bounds are compared against: for every
 registered codec, ``obj.size_in_bits() == n_bits`` of the encoded payload,
 exactly.
 
-Two frame versions are in service.  Version 1 (the original container) is
-frozen: every committed v1 frame decodes bit-identically forever, and
+Three frame versions are in service.  Version 1 (the original container)
+is frozen: every committed v1 frame decodes bit-identically forever, and
 :func:`encode_frame` still emits byte-identical v1 frames on request.
-Version 2 is the default: binary varint headers, optional zlib payload
-compression, and chunked payloads that stream through file objects.
+Version 2 is the default frame layout (frozen behind golden fixtures):
+binary varint headers, optional zlib payload compression, and chunked
+payloads that stream through file objects.  Version 3 is a *multi-frame
+container*: many named shards in one file behind a trailing manifest, so
+encoding streams in one pass and decoding can seek straight to one shard
+without touching the rest.
 
 Version 1 layout (all multi-byte header fields big-endian)::
 
@@ -54,6 +58,58 @@ changes**: ``n_bits`` is always the uncompressed bit count, so
 compression is transport thrift, not accounting thrift, exactly as the
 lower bounds require (they constrain the information content, and a
 deflated frame carries the same information).
+
+Version 3 layout -- the multi-frame container (varint as in v2; u32/u64
+big-endian; crc32 fields cover every byte of their own section only)::
+
+    container  := magic u8(3) meta codec_table u32(header crc32)
+                  { u8(0x01) record }*  u8(0x00) manifest
+                  u32(manifest crc32) footer
+    meta       := the v2 extras encoding (varint field count, then
+                  sorted key/tag/value fields) -- container-level
+                  metadata, e.g. a snapshot's {"last_seq": seq}
+    codec_table:= varint count, then per codec u8 + n length-prefixed
+                  ASCII name; unique, non-empty -- the dictionary that
+                  records reference by index instead of repeating names
+    record     := varint codec_index, flags u8 (bit0 PARAMS, bit1 ZLIB,
+                  bit3 DELTA; ZLIB and DELTA mutually exclusive, never
+                  CHUNKED), params and extras as in v2, varint n_bits,
+                  varint stored byte length, stored bytes,
+                  u32(record crc32)
+    manifest   := varint count, then per entry: u8 + n shard name
+                  (unique when non-empty; "" = anonymous), varint
+                  codec_index, varint offset (of the record's first
+                  byte, after its 0x01 sentinel), varint record_bytes,
+                  varint n_bits, u32 crc (duplicating the record's own
+                  trailing crc32, so a seeking reader can verify a
+                  fetched record against the manifest alone)
+    footer     := u64 manifest offset, u32 crc32 of those 8 bytes,
+                  b"KSFI" -- 16 fixed bytes, so a seeking reader finds
+                  the manifest by reading the file tail
+
+When DELTA is set the stored bytes are a sparse row encoding of the
+packed payload: varint popcount followed by varint-encoded gaps between
+consecutive set-bit positions (gap 0 is the first position, later gaps
+exclude the predecessor itself).  The writer picks the smallest stored
+representation per record -- raw packed bytes, delta, or zlib -- and the
+charged ``n_bits`` stays the uncompressed bit count in every case, same
+accounting rule as ZLIB.
+
+The manifest trails the records so :class:`ContainerWriter` streams an
+unbounded fleet in one pass, while :class:`ContainerReader` (seekable
+streams) reads header + footer + manifest and then fetches exactly the
+records asked for -- a single-shard load of a 64-shard container touches
+O(header + manifest + that record) bytes.  :func:`iter_container_frames`
+/ :func:`iter_container_objects` are the sequential one-pass siblings
+(sockets, pipes) holding at most one undecoded frame, and
+:func:`inspect_container` skims structure and CRCs without decoding any
+payload.  A *single anonymous frame* wrapped in a container is how v3
+flows through every frame-shaped channel (``dump(version=3)``, a socket
+LOAD body, a WAL record): :func:`read_frame` / :func:`load` accept
+exactly that shape and refuse multi-frame containers, which go through
+the container entry points.  The server's persistence snapshot is an
+ordinary v3 container whose meta carries the journal watermark, so
+``repro compact`` output is directly ``repro push``-able.
 
 The *payload* carries exactly the bits the sketch's size accounting
 charges; the header carries only public parameters (shapes, universe
@@ -108,10 +164,13 @@ from .db.serialize import (
     DEFAULT_CHUNK_BYTES,
     BitReader,
     BitWriter,
+    decode_uvarints,
     encode_svarint,
     encode_uvarint,
+    encode_uvarints,
     read_svarint,
     read_uvarint,
+    uvarint_lengths,
 )
 from .errors import ReproError, SketchSizeError, WireFormatError
 from .params import SketchParams
@@ -128,14 +187,24 @@ __all__ = [
     "MAGIC",
     "WIRE_V1",
     "WIRE_V2",
+    "WIRE_V3",
     "WIRE_VERSION",
     "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION_ENV",
     "DEFAULT_CHUNK_BYTES",
     "default_wire_version",
+    "peek_wire_version",
     "Header",
     "Frame",
     "FrameInfo",
+    "ManifestEntry",
+    "ContainerInfo",
+    "ContainerWriter",
+    "ContainerReader",
+    "write_container",
+    "iter_container_frames",
+    "iter_container_objects",
+    "inspect_container",
     "SketchCodec",
     "register_codec",
     "codec_names",
@@ -155,7 +224,8 @@ __all__ = [
 MAGIC = b"IFSK"
 WIRE_V1 = 1
 WIRE_V2 = 2
-SUPPORTED_WIRE_VERSIONS = (WIRE_V1, WIRE_V2)
+WIRE_V3 = 3
+SUPPORTED_WIRE_VERSIONS = (WIRE_V1, WIRE_V2, WIRE_V3)
 #: The current default frame version for new encodes.
 WIRE_VERSION = WIRE_V2
 #: Environment override for the default (the CI compat leg sets it to 1).
@@ -166,7 +236,19 @@ _PARAMS_STRUCT = struct.Struct(">QIIdd")
 _FLAG_PARAMS = 0x01
 _FLAG_ZLIB = 0x02
 _FLAG_CHUNKED = 0x04
+_FLAG_DELTA = 0x08
 _KNOWN_FLAGS = _FLAG_PARAMS | _FLAG_ZLIB | _FLAG_CHUNKED
+#: v3 records drop CHUNKED (stored length is always known) and add DELTA.
+_KNOWN_FLAGS_V3 = _FLAG_PARAMS | _FLAG_ZLIB | _FLAG_DELTA
+
+#: Container footer: manifest offset + its CRC + the reversed magic.
+_CONTAINER_END = b"KSFI"
+_FOOTER_BYTES = 16
+_RECORD_SENTINEL = 0x01
+_MANIFEST_SENTINEL = 0x00
+#: Hard caps on decoded container sections (hostile-peer guards).
+_MAX_CONTAINER_CODECS = 4096
+_MAX_CONTAINER_ENTRIES = 1 << 20
 
 _FIELD_INT = 0
 _FIELD_FLOAT = 1
@@ -320,6 +402,7 @@ class Frame:
         "n_bits",
         "compressed",
         "chunked",
+        "delta",
         "_payload",
         "_chunks",
     )
@@ -335,6 +418,7 @@ class Frame:
         chunks: Iterator[bytes] | None = None,
         compressed: bool = False,
         chunked: bool = False,
+        delta: bool = False,
     ) -> None:
         if (payload is None) == (chunks is None):
             raise WireFormatError("frame needs exactly one of payload or chunks")
@@ -344,6 +428,7 @@ class Frame:
         self.n_bits = n_bits
         self.compressed = compressed
         self.chunked = chunked
+        self.delta = delta
         self._payload = payload
         self._chunks = chunks
 
@@ -397,6 +482,42 @@ class FrameInfo:
     header_bytes: int
     stored_payload_bytes: int
     frame_bytes: int
+    crc_ok: bool
+    delta: bool = False
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One shard in a v3 container's trailing manifest.
+
+    ``offset`` is the byte offset of the frame record's first byte
+    (after its sentinel) from the start of the container; ``record_bytes``
+    is the record's total length including its own CRC trailer, so a
+    seekable reader fetches exactly ``[offset, offset + record_bytes)``
+    to load this shard and nothing else.  ``crc`` duplicates the record's
+    trailing CRC so corruption is detectable from the manifest alone.
+    """
+
+    name: str
+    codec: str
+    codec_index: int
+    offset: int
+    record_bytes: int
+    n_bits: int
+    crc: int
+
+
+@dataclass(frozen=True)
+class ContainerInfo:
+    """What :func:`inspect_container` learns without decoding any payload."""
+
+    version: int
+    meta: dict[str, Any]
+    codecs: tuple[str, ...]
+    entries: tuple[ManifestEntry, ...]
+    header_bytes: int
+    manifest_offset: int
+    container_bytes: int
     crc_ok: bool
 
 
@@ -654,30 +775,16 @@ def _finalize_payload(
     _check_trailing_crc(reader)
 
 
-def _write_header_v2(
-    writer: _CrcWriter,
-    name: bytes,
-    params: SketchParams | None,
-    fields: Mapping[str, Any],
-    n_bits: int,
-    *,
-    compress: bool,
-    chunked: bool,
-) -> None:
-    flags = (
-        (_FLAG_PARAMS if params is not None else 0)
-        | (_FLAG_ZLIB if compress else 0)
-        | (_FLAG_CHUNKED if chunked else 0)
+def _write_params_block(writer: _CrcWriter, params: SketchParams) -> None:
+    """The varint params block shared by v2 headers and v3 records."""
+    writer.write(
+        encode_uvarint(params.n) + encode_uvarint(params.d) + encode_uvarint(params.k)
     )
-    writer.write(MAGIC)
-    writer.write(bytes([WIRE_V2, len(name)]))
-    writer.write(name)
-    writer.write(bytes([flags]))
-    if params is not None:
-        writer.write(
-            encode_uvarint(params.n) + encode_uvarint(params.d) + encode_uvarint(params.k)
-        )
-        writer.write(struct.pack(">dd", params.epsilon, params.delta))
+    writer.write(struct.pack(">dd", params.epsilon, params.delta))
+
+
+def _write_fields(writer: _CrcWriter, fields: Mapping[str, Any]) -> None:
+    """Sorted typed fields (count-prefixed): v2 extras, v3 extras and meta."""
     items = sorted(fields.items())
     writer.write(encode_uvarint(len(items)))
     for key, value in items:
@@ -703,6 +810,30 @@ def _write_header_v2(
             raise WireFormatError(
                 f"header field {key!r} has unsupported type {type(value).__name__}"
             )
+
+
+def _write_header_v2(
+    writer: _CrcWriter,
+    name: bytes,
+    params: SketchParams | None,
+    fields: Mapping[str, Any],
+    n_bits: int,
+    *,
+    compress: bool,
+    chunked: bool,
+) -> None:
+    flags = (
+        (_FLAG_PARAMS if params is not None else 0)
+        | (_FLAG_ZLIB if compress else 0)
+        | (_FLAG_CHUNKED if chunked else 0)
+    )
+    writer.write(MAGIC)
+    writer.write(bytes([WIRE_V2, len(name)]))
+    writer.write(name)
+    writer.write(bytes([flags]))
+    if params is not None:
+        _write_params_block(writer, params)
+    _write_fields(writer, fields)
     writer.write(encode_uvarint(n_bits))
 
 
@@ -740,28 +871,20 @@ def _write_frame_v2(
     return writer.count
 
 
-def _read_header_v2(
-    reader: _CrcReader,
-) -> tuple[str, Header, int, bool, bool]:
-    """Parse a v2 frame through its ``n_bits`` field (magic/version done)."""
-    name_len = reader.read(1)[0]
+def _read_params_block(reader: _CrcReader) -> SketchParams:
+    """Inverse of :func:`_write_params_block`."""
+    n = _read_uvarint(reader)
+    d = _read_uvarint(reader)
+    k = _read_uvarint(reader)
+    epsilon, delta = struct.unpack(">dd", reader.read(16))
     try:
-        codec = reader.read(name_len).decode("ascii")
-    except UnicodeDecodeError as exc:
-        raise WireFormatError("codec name is not ASCII") from exc
-    flags = reader.read(1)[0]
-    if flags & ~_KNOWN_FLAGS:
-        raise WireFormatError(f"unknown frame flags 0x{flags:02x}")
-    params: SketchParams | None = None
-    if flags & _FLAG_PARAMS:
-        n = _read_uvarint(reader)
-        d = _read_uvarint(reader)
-        k = _read_uvarint(reader)
-        epsilon, delta = struct.unpack(">dd", reader.read(16))
-        try:
-            params = SketchParams(n=n, d=d, k=k, epsilon=epsilon, delta=delta)
-        except Exception as exc:
-            raise WireFormatError(f"invalid params block: {exc}") from exc
+        return SketchParams(n=n, d=d, k=k, epsilon=epsilon, delta=delta)
+    except Exception as exc:
+        raise WireFormatError(f"invalid params block: {exc}") from exc
+
+
+def _read_fields(reader: _CrcReader) -> dict[str, Any]:
+    """Inverse of :func:`_write_fields` (shared by v2 and v3)."""
     n_fields = _read_uvarint(reader)
     if n_fields > _MAX_HEADER_FIELDS:
         raise WireFormatError(f"frame declares {n_fields} header fields")
@@ -796,6 +919,25 @@ def _read_header_v2(
         else:
             raise WireFormatError(f"unknown header field tag {tag}")
         fields[key] = value
+    return fields
+
+
+def _read_header_v2(
+    reader: _CrcReader,
+) -> tuple[str, Header, int, bool, bool]:
+    """Parse a v2 frame through its ``n_bits`` field (magic/version done)."""
+    name_len = reader.read(1)[0]
+    try:
+        codec = reader.read(name_len).decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError("codec name is not ASCII") from exc
+    flags = reader.read(1)[0]
+    if flags & ~_KNOWN_FLAGS:
+        raise WireFormatError(f"unknown frame flags 0x{flags:02x}")
+    params: SketchParams | None = None
+    if flags & _FLAG_PARAMS:
+        params = _read_params_block(reader)
+    fields = _read_fields(reader)
     n_bits = _read_uvarint(reader)
     compressed = bool(flags & _FLAG_ZLIB)
     chunked = bool(flags & _FLAG_CHUNKED)
@@ -819,6 +961,1008 @@ def _read_frame_v2(reader: _CrcReader) -> Frame:
         chunks=chunks,
         compressed=compressed,
         chunked=chunked,
+    )
+
+
+# ----------------------------------------------------------------------
+# Version 3: the multi-frame container (codec dictionary, delta payloads,
+# trailing shard manifest for one-pass encode + seekable lazy decode).
+# ----------------------------------------------------------------------
+def _validate_shard_name(name: str) -> bytes:
+    """Shard names are 0..255 ASCII bytes (empty = anonymous)."""
+    if not isinstance(name, str):
+        raise WireFormatError(f"shard name must be str, got {type(name).__name__}")
+    try:
+        raw = name.encode("ascii")
+    except UnicodeEncodeError:
+        raise WireFormatError(f"shard name {name!r} must be ASCII") from None
+    if len(raw) > 255:
+        raise WireFormatError(f"shard name {name!r} exceeds 255 bytes")
+    return raw
+
+
+def _delta_encode_payload(payload: bytes, n_bits: int) -> bytes | None:
+    """Varint-delta encoding of the payload's set-bit positions.
+
+    The stored form is ``varint(popcount)`` followed by one varint per
+    set bit: the first is the absolute bit position, each later one the
+    gap to the previous set bit minus one.  Returns ``None`` unless the
+    encoding is *strictly* smaller than the packed payload -- the caller
+    keeps the raw layout otherwise, so dense payloads never regress.
+    Stored bytes only: the charged ``n_bits`` is untouched.
+    """
+    if not n_bits or not payload:
+        return None
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:n_bits]
+    positions = np.flatnonzero(bits).astype(np.uint64)
+    gaps = positions.copy()
+    if positions.size > 1:
+        gaps[1:] = positions[1:] - positions[:-1] - np.uint64(1)
+    head = encode_uvarint(int(positions.size))
+    # Price the run before encoding: skip the encode when it cannot win.
+    stored = len(head) + int(uvarint_lengths(gaps).sum()) if gaps.size else len(head)
+    if stored >= len(payload):
+        return None
+    return head + encode_uvarints(gaps)
+
+
+def _delta_decode_payload(data: bytes, n_bits: int) -> bytes:
+    """Inverse of :func:`_delta_encode_payload`, strict on every input.
+
+    Truncated or trailing varints, positions at or past ``n_bits``,
+    non-increasing positions (which also catches any 64-bit wraparound:
+    a single gap cannot wrap past its predecessor), and padded varint
+    groups all raise :class:`WireFormatError`.
+    """
+    need_bytes = (n_bits + 7) // 8
+    stream = io.BytesIO(data)
+    try:
+        count = read_uvarint(stream)
+        gaps = decode_uvarints(stream.read(), count)
+    except SketchSizeError as exc:
+        raise WireFormatError(f"corrupt delta payload: {exc}") from exc
+    if count > n_bits:
+        raise WireFormatError(
+            f"delta payload declares {count} set bits in {n_bits} bits"
+        )
+    bits = np.zeros(need_bytes * 8, dtype=np.uint8)
+    if count:
+        positions = np.cumsum(gaps, dtype=np.uint64) + np.arange(
+            count, dtype=np.uint64
+        )
+        if (count > 1 and not (positions[1:] > positions[:-1]).all()) or int(
+            positions[-1]
+        ) >= n_bits:
+            raise WireFormatError("delta payload positions exceed declared bits")
+        bits[positions.astype(np.int64)] = 1
+    return np.packbits(bits).tobytes()
+
+
+def _encode_record_v3(
+    codec_index: int,
+    params: SketchParams | None,
+    fields: Mapping[str, Any],
+    payload: bytes,
+    n_bits: int,
+    *,
+    compress: bool,
+    delta: bool,
+) -> tuple[bytes, int]:
+    """One container frame record plus its CRC.
+
+    The stored payload is the smallest of raw / delta / zlib among the
+    enabled transforms (delta preferred on ties); ``n_bits`` -- the
+    charged size -- is written verbatim regardless.
+    """
+    stored = payload
+    flags = _FLAG_PARAMS if params is not None else 0
+    if delta:
+        candidate = _delta_encode_payload(payload, n_bits)
+        if candidate is not None:
+            stored = candidate
+            flags |= _FLAG_DELTA
+    if compress:
+        candidate = zlib.compress(payload, 6)
+        if len(candidate) < len(stored):
+            stored = candidate
+            flags = (flags & ~_FLAG_DELTA) | _FLAG_ZLIB
+    out = io.BytesIO()
+    writer = _CrcWriter(out)
+    writer.write(encode_uvarint(codec_index))
+    writer.write(bytes([flags]))
+    if params is not None:
+        _write_params_block(writer, params)
+    _write_fields(writer, fields)
+    writer.write(encode_uvarint(n_bits))
+    writer.write(encode_uvarint(len(stored)))
+    writer.write(stored)
+    crc = writer.crc
+    writer.write_raw(struct.pack(">I", crc))
+    return out.getvalue(), crc
+
+
+def _read_record_header_v3(
+    reader: _CrcReader, codecs: tuple[str, ...]
+) -> tuple[int, str, Header, int, int]:
+    """Parse a record through its ``n_bits`` field; returns flags too."""
+    codec_index = _read_uvarint(reader)
+    if codec_index >= len(codecs):
+        raise WireFormatError(
+            f"record codec index {codec_index} outside the container's "
+            f"{len(codecs)}-entry codec table"
+        )
+    flags = reader.read(1)[0]
+    if flags & ~_KNOWN_FLAGS_V3:
+        raise WireFormatError(f"unknown record flags 0x{flags:02x}")
+    if flags & _FLAG_ZLIB and flags & _FLAG_DELTA:
+        raise WireFormatError("record sets both ZLIB and DELTA")
+    params: SketchParams | None = None
+    if flags & _FLAG_PARAMS:
+        params = _read_params_block(reader)
+    fields = _read_fields(reader)
+    n_bits = _read_uvarint(reader)
+    header = Header._decoded(params, fields)
+    return codec_index, codecs[codec_index], header, n_bits, flags
+
+
+def _read_record_v3(reader: _CrcReader, codecs: tuple[str, ...]) -> Frame:
+    """Decode one record; ``reader.crc`` must be zeroed at record start.
+
+    Raw and zlib payloads come back *lazy* (chunk generator, CRC checked
+    at the final chunk); delta payloads are decoded eagerly -- they are
+    small by construction -- so the frame is already materialized.
+    """
+    _, codec, header, n_bits, flags = _read_record_header_v3(reader, codecs)
+    stored_len = _read_uvarint(reader)
+    need = (n_bits + 7) // 8
+    if flags & _FLAG_DELTA:
+        data = b"".join(_iter_stored(reader, stored_len))
+        _check_trailing_crc(reader)
+        payload = _delta_decode_payload(data, n_bits)
+        return Frame(
+            codec, header, n_bits, version=WIRE_V3, payload=payload, delta=True
+        )
+    raw: Iterator[bytes] = _iter_stored(reader, stored_len)
+    source = _inflate(raw) if flags & _FLAG_ZLIB else raw
+    chunks = _finalize_payload(source, need, n_bits, reader)
+    return Frame(
+        codec,
+        header,
+        n_bits,
+        version=WIRE_V3,
+        chunks=chunks,
+        compressed=bool(flags & _FLAG_ZLIB),
+    )
+
+
+def _read_container_head(reader: _CrcReader) -> tuple[dict[str, Any], tuple[str, ...]]:
+    """Parse meta fields + codec table; the reader sits past the version."""
+    meta = _read_fields(reader)
+    count = _read_uvarint(reader)
+    if count > _MAX_CONTAINER_CODECS:
+        raise WireFormatError(f"container declares {count} codecs")
+    codecs: list[str] = []
+    for _ in range(count):
+        name_len = reader.read(1)[0]
+        if name_len == 0:
+            raise WireFormatError("empty codec name in container table")
+        try:
+            codecs.append(reader.read(name_len).decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("codec name is not ASCII") from exc
+    if len(set(codecs)) != len(codecs):
+        raise WireFormatError("duplicate codec name in container table")
+    _check_trailing_crc(reader)
+    return meta, tuple(codecs)
+
+
+def _read_manifest(
+    reader: _CrcReader, codecs: tuple[str, ...]
+) -> tuple[ManifestEntry, ...]:
+    """Parse the manifest; ``reader.crc`` must be zeroed at its start."""
+    count = _read_uvarint(reader)
+    if count > _MAX_CONTAINER_ENTRIES:
+        raise WireFormatError(f"container manifest declares {count} entries")
+    entries: list[ManifestEntry] = []
+    names: set[str] = set()
+    last_end = 0
+    for _ in range(count):
+        name_len = reader.read(1)[0]
+        try:
+            name = reader.read(name_len).decode("ascii") if name_len else ""
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("shard name is not ASCII") from exc
+        codec_index = _read_uvarint(reader)
+        if codec_index >= len(codecs):
+            raise WireFormatError(
+                f"manifest codec index {codec_index} outside the container's "
+                f"{len(codecs)}-entry codec table"
+            )
+        offset = _read_uvarint(reader)
+        record_bytes = _read_uvarint(reader)
+        n_bits = _read_uvarint(reader)
+        (crc,) = struct.unpack(">I", reader.read(4))
+        if record_bytes < 7:
+            raise WireFormatError(f"manifest record length {record_bytes} too small")
+        if offset < last_end:
+            raise WireFormatError("manifest offsets overlap or go backwards")
+        last_end = offset + record_bytes
+        if name:
+            if name in names:
+                raise WireFormatError(f"duplicate shard name {name!r} in manifest")
+            names.add(name)
+        entries.append(
+            ManifestEntry(
+                name=name,
+                codec=codecs[codec_index],
+                codec_index=codec_index,
+                offset=offset,
+                record_bytes=record_bytes,
+                n_bits=n_bits,
+                crc=crc,
+            )
+        )
+    _check_trailing_crc(reader)
+    return tuple(entries)
+
+
+def _parse_footer(footer: bytes) -> int:
+    """Validate the fixed 16-byte footer and return the manifest offset."""
+    if len(footer) != _FOOTER_BYTES or footer[-4:] != _CONTAINER_END:
+        raise WireFormatError("bad container footer: not a v3 container")
+    (manifest_offset,) = struct.unpack(">Q", footer[:8])
+    (crc,) = struct.unpack(">I", footer[8:12])
+    if zlib.crc32(footer[:8]) & 0xFFFFFFFF != crc:
+        raise WireFormatError("container footer checksum mismatch")
+    return manifest_offset
+
+
+class ContainerWriter:
+    """Streaming one-pass v3 container encoder.
+
+    The header (meta fields + codec table) goes out at construction,
+    each :meth:`add` appends one frame record immediately, and
+    :meth:`close` writes the trailing manifest + footer -- nothing is
+    buffered beyond the entry list, so a fleet of shards streams through
+    a file object in one pass.  ``codecs`` fixes the container's codec
+    dictionary up front (default: every registered codec, so arbitrary
+    mixes can be added incrementally).
+
+    ``compress``/``delta`` choose the default stored-payload transforms;
+    per-frame overrides go through :meth:`add`.  Either way the *charged*
+    ``n_bits`` written per record is exactly the codec's payload bit
+    count -- transforms are transport thrift, never accounting thrift.
+    """
+
+    def __init__(
+        self,
+        stream: IO[bytes],
+        *,
+        meta: Mapping[str, Any] | None = None,
+        codecs: tuple[str, ...] | None = None,
+        compress: bool = False,
+        delta: bool = True,
+    ) -> None:
+        table = tuple(codecs) if codecs is not None else codec_names()
+        if not table:
+            raise WireFormatError("container codec table cannot be empty")
+        if len(table) > _MAX_CONTAINER_CODECS:
+            raise WireFormatError(f"container codec table of {len(table)} entries")
+        if len(set(table)) != len(table):
+            raise WireFormatError("duplicate codec name in container table")
+        self._codecs = table
+        self._index = {name: i for i, name in enumerate(table)}
+        self._compress = compress
+        self._delta = delta
+        self._meta = Header(fields=dict(meta) if meta else {}).fields
+        self._stream = stream
+        self._entries: list[ManifestEntry] = []
+        self._names: set[str] = set()
+        self._closed = False
+        writer = _CrcWriter(stream)
+        writer.write(MAGIC)
+        writer.write(bytes([WIRE_V3]))
+        _write_fields(writer, self._meta)
+        writer.write(encode_uvarint(len(table)))
+        for name in table:
+            raw = _validate_codec_name(name)
+            writer.write(bytes([len(raw)]))
+            writer.write(raw)
+        writer.write_raw(struct.pack(">I", writer.crc))
+        self._count = writer.count
+
+    def __enter__(self) -> "ContainerWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.close()
+
+    @property
+    def bytes_written(self) -> int:
+        return self._count
+
+    @property
+    def entries(self) -> tuple[ManifestEntry, ...]:
+        return tuple(self._entries)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise WireFormatError("container already closed")
+
+    def _claim_name(self, name: str) -> None:
+        if name:
+            if name in self._names:
+                raise WireFormatError(f"duplicate shard name {name!r} in container")
+            self._names.add(name)
+
+    def add(
+        self,
+        name: str,
+        obj: Any,
+        *,
+        compress: bool | None = None,
+        delta: bool | None = None,
+    ) -> ManifestEntry:
+        """Encode one summary as the next frame record."""
+        codec = codec_for(obj)
+        header = Header()
+        buf, n_bits = _encoded_payload(codec.encode(obj, header))
+        return self._add_encoded(
+            name,
+            codec.name,
+            header.params,
+            header.fields,
+            buf,
+            n_bits,
+            compress=self._compress if compress is None else compress,
+            delta=self._delta if delta is None else delta,
+        )
+
+    def _add_encoded(
+        self,
+        name: str,
+        codec_name: str,
+        params: SketchParams | None,
+        fields: Mapping[str, Any],
+        payload: bytes,
+        n_bits: int,
+        *,
+        compress: bool,
+        delta: bool,
+    ) -> ManifestEntry:
+        self._require_open()
+        _validate_shard_name(name)
+        if len(self._entries) >= _MAX_CONTAINER_ENTRIES:
+            raise WireFormatError(f"container exceeds {_MAX_CONTAINER_ENTRIES} frames")
+        index = self._index.get(codec_name)
+        if index is None:
+            raise WireFormatError(
+                f"codec {codec_name!r} is not in this container's codec table"
+            )
+        if len(payload) != (n_bits + 7) // 8:
+            raise WireFormatError(
+                f"payload of {len(payload)} bytes disagrees with {n_bits} bits"
+            )
+        self._claim_name(name)
+        record, crc = _encode_record_v3(
+            index, params, fields, payload, n_bits, compress=compress, delta=delta
+        )
+        return self._append_record(name, codec_name, index, record, n_bits, crc)
+
+    def add_record(
+        self, name: str, codec_name: str, record: bytes, n_bits: int, crc: int
+    ) -> ManifestEntry:
+        """Splice a verbatim frame record from another same-table container.
+
+        No payload decode happens: the record bytes (including their CRC
+        trailer) are validated and copied as-is, which is what lets
+        lazy re-sharding -- :meth:`ContainerReader.extract`, the client's
+        ``LOAD``-many chunking -- move shards without paying a codec
+        round-trip.  The record's codec index must resolve to
+        ``codec_name`` under *this* writer's table.
+        """
+        self._require_open()
+        _validate_shard_name(name)
+        if len(self._entries) >= _MAX_CONTAINER_ENTRIES:
+            raise WireFormatError(f"container exceeds {_MAX_CONTAINER_ENTRIES} frames")
+        if len(record) < 7:
+            raise WireFormatError(f"record of {len(record)} bytes is too short")
+        (trailer,) = struct.unpack(">I", record[-4:])
+        if trailer != crc or zlib.crc32(record[:-4]) & 0xFFFFFFFF != crc:
+            raise WireFormatError("record checksum mismatch: refusing to splice")
+        try:
+            index = read_uvarint(io.BytesIO(record))
+        except SketchSizeError as exc:
+            raise WireFormatError(f"invalid record codec index: {exc}") from exc
+        if self._index.get(codec_name) != index:
+            raise WireFormatError(
+                f"record codec index {index} does not resolve to {codec_name!r} "
+                "under this container's codec table"
+            )
+        self._claim_name(name)
+        return self._append_record(name, codec_name, index, record, n_bits, crc)
+
+    def _append_record(
+        self, name: str, codec_name: str, index: int, record: bytes, n_bits: int, crc: int
+    ) -> ManifestEntry:
+        self._stream.write(bytes([_RECORD_SENTINEL]))
+        self._stream.write(record)
+        entry = ManifestEntry(
+            name=name,
+            codec=codec_name,
+            codec_index=index,
+            offset=self._count + 1,
+            record_bytes=len(record),
+            n_bits=n_bits,
+            crc=crc,
+        )
+        self._count += 1 + len(record)
+        self._entries.append(entry)
+        return entry
+
+    def close(self) -> tuple[ManifestEntry, ...]:
+        """Write the manifest trailer + footer; returns the manifest."""
+        self._require_open()
+        self._closed = True
+        self._stream.write(bytes([_MANIFEST_SENTINEL]))
+        manifest_offset = self._count + 1
+        writer = _CrcWriter(self._stream)
+        writer.write(encode_uvarint(len(self._entries)))
+        for entry in self._entries:
+            raw = entry.name.encode("ascii")
+            writer.write(bytes([len(raw)]))
+            writer.write(raw)
+            writer.write(encode_uvarint(entry.codec_index))
+            writer.write(encode_uvarint(entry.offset))
+            writer.write(encode_uvarint(entry.record_bytes))
+            writer.write(encode_uvarint(entry.n_bits))
+            writer.write(struct.pack(">I", entry.crc))
+        writer.write_raw(struct.pack(">I", writer.crc))
+        offset_bytes = struct.pack(">Q", manifest_offset)
+        self._stream.write(offset_bytes)
+        self._stream.write(struct.pack(">I", zlib.crc32(offset_bytes) & 0xFFFFFFFF))
+        self._stream.write(_CONTAINER_END)
+        self._count = manifest_offset + writer.count + _FOOTER_BYTES
+        return tuple(self._entries)
+
+
+def write_container(
+    stream: IO[bytes],
+    items: Iterable[tuple[str, Any]],
+    *,
+    meta: Mapping[str, Any] | None = None,
+    codecs: tuple[str, ...] | None = None,
+    compress: bool = False,
+    delta: bool = True,
+) -> tuple[ManifestEntry, ...]:
+    """Encode ``(name, summary)`` pairs as one v3 container; one pass."""
+    writer = ContainerWriter(
+        stream, meta=meta, codecs=codecs, compress=compress, delta=delta
+    )
+    for name, obj in items:
+        writer.add(name, obj)
+    return writer.close()
+
+
+class ContainerReader:
+    """Manifest-driven random access over a *seekable* v3 container.
+
+    :meth:`open` reads the fixed footer, the trailing manifest, and the
+    header (meta + codec table) -- O(header + manifest) bytes, no frame
+    record touched.  Every per-shard accessor then seeks straight to the
+    one record the manifest names: :meth:`frame` / :meth:`load` decode
+    exactly that record, :meth:`record` fetches its verbatim bytes, and
+    :meth:`extract` re-wraps it as a standalone single-frame container
+    (same codec table, so the record bytes -- and their CRC -- are
+    spliced untouched).  ``max_bytes`` bounds each section read (header,
+    manifest, every record) separately: it is the same per-chunk budget
+    the sketch server applies to socket frames.
+    """
+
+    def __init__(
+        self,
+        stream: IO[bytes],
+        *,
+        meta: dict[str, Any],
+        codecs: tuple[str, ...],
+        entries: tuple[ManifestEntry, ...],
+        header_bytes: int,
+        manifest_offset: int,
+        container_bytes: int,
+        max_bytes: int | None,
+    ) -> None:
+        self._stream = stream
+        self._meta = meta
+        self._codecs = codecs
+        self._entries = entries
+        self._by_name = {e.name: e for e in entries if e.name}
+        self._header_bytes = header_bytes
+        self._manifest_offset = manifest_offset
+        self._container_bytes = container_bytes
+        self._max_bytes = max_bytes
+
+    @classmethod
+    def open(cls, stream: IO[bytes], *, max_bytes: int | None = None) -> "ContainerReader":
+        """Open a seekable stream positioned anywhere; raises on non-v3."""
+        stream.seek(0, io.SEEK_END)
+        size = stream.tell()
+        if size < _FOOTER_BYTES + 15:
+            raise WireFormatError(f"container of {size} bytes is truncated")
+        stream.seek(size - _FOOTER_BYTES)
+        footer = stream.read(_FOOTER_BYTES)
+        manifest_offset = _parse_footer(footer)
+        if not 10 <= manifest_offset <= size - _FOOTER_BYTES - 5:
+            raise WireFormatError(
+                f"container manifest offset {manifest_offset} out of range"
+            )
+        stream.seek(0)
+        reader = _CrcReader(stream, max_bytes)
+        magic = reader.read(len(MAGIC))
+        if magic != MAGIC:
+            raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
+        version = reader.read(1)[0]
+        if version != WIRE_V3:
+            raise WireFormatError(
+                f"wire version {version} is not a multi-frame container"
+            )
+        meta, codecs = _read_container_head(reader)
+        header_bytes = reader.count
+        stream.seek(manifest_offset - 1)
+        sentinel = stream.read(1)
+        if sentinel != bytes([_MANIFEST_SENTINEL]):
+            raise WireFormatError("container manifest is not where the footer points")
+        mreader = _CrcReader(stream, max_bytes)
+        entries = _read_manifest(mreader, codecs)
+        manifest_end = manifest_offset + mreader.count + 4
+        if manifest_end != size - _FOOTER_BYTES + 4:
+            raise WireFormatError("trailing garbage between manifest and footer")
+        for entry in entries:
+            if entry.offset <= header_bytes or entry.offset + entry.record_bytes > manifest_offset - 1:
+                raise WireFormatError(
+                    f"manifest entry {entry.name!r} points outside the frame region"
+                )
+        return cls(
+            stream,
+            meta=meta,
+            codecs=codecs,
+            entries=entries,
+            header_bytes=header_bytes,
+            manifest_offset=manifest_offset,
+            container_bytes=size,
+            max_bytes=max_bytes,
+        )
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return dict(self._meta)
+
+    @property
+    def codecs(self) -> tuple[str, ...]:
+        return self._codecs
+
+    @property
+    def entries(self) -> tuple[ManifestEntry, ...]:
+        return self._entries
+
+    @property
+    def header_bytes(self) -> int:
+        return self._header_bytes
+
+    @property
+    def manifest_offset(self) -> int:
+        return self._manifest_offset
+
+    @property
+    def container_bytes(self) -> int:
+        return self._container_bytes
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(e.name for e in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def entry(self, name: str | ManifestEntry) -> ManifestEntry:
+        if isinstance(name, ManifestEntry):
+            return name
+        entry = self._by_name.get(name)
+        if entry is None:
+            raise WireFormatError(f"container has no shard named {name!r}")
+        return entry
+
+    def _seek_record(self, entry: ManifestEntry) -> None:
+        """Position the stream on the record, checking its sentinel byte."""
+        self._stream.seek(entry.offset - 1)
+        sentinel = self._stream.read(1)
+        if sentinel != bytes([_RECORD_SENTINEL]):
+            raise WireFormatError(
+                f"manifest entry {entry.name!r} does not point at a record"
+            )
+
+    def record(self, name: str | ManifestEntry) -> bytes:
+        """The shard's verbatim record bytes (CRC verified, not decoded)."""
+        entry = self.entry(name)
+        if self._max_bytes is not None and entry.record_bytes > self._max_bytes:
+            raise WireFormatError(
+                f"record of {entry.record_bytes} bytes exceeds the "
+                f"{self._max_bytes}-byte limit"
+            )
+        self._seek_record(entry)
+        data = self._stream.read(entry.record_bytes)
+        if len(data) != entry.record_bytes:
+            raise WireFormatError(
+                f"truncated record: wanted {entry.record_bytes} bytes, got {len(data)}"
+            )
+        (trailer,) = struct.unpack(">I", data[-4:])
+        if trailer != entry.crc or zlib.crc32(data[:-4]) & 0xFFFFFFFF != entry.crc:
+            raise WireFormatError(
+                f"checksum mismatch on shard {entry.name!r}: container corrupted"
+            )
+        return data
+
+    def frame(self, name: str | ManifestEntry) -> Frame:
+        """Seek to one record and decode it; O(that frame) bytes read."""
+        entry = self.entry(name)
+        self._seek_record(entry)
+        budget = entry.record_bytes
+        if self._max_bytes is not None:
+            budget = min(budget, self._max_bytes)
+        reader = _CrcReader(self._stream, budget)
+        frame = _read_record_v3(reader, self._codecs)
+        frame.payload  # noqa: B018 -- materialize: runs byte-total and CRC checks
+        if (
+            reader.count != entry.record_bytes
+            or frame.n_bits != entry.n_bits
+            or frame.codec != entry.codec
+            or reader.crc != entry.crc
+        ):
+            raise WireFormatError(
+                f"record for shard {entry.name!r} disagrees with its manifest entry"
+            )
+        return frame
+
+    def load(self, name: str | ManifestEntry) -> Any:
+        """Decode one shard to its summary object (manifest-driven seek)."""
+        return _decode_frame_obj(self.frame(name))
+
+    def extract(self, name: str | ManifestEntry) -> bytes:
+        """A standalone single-frame container carrying this shard.
+
+        The record bytes are spliced verbatim under the same codec table
+        (indices -- and therefore the record CRC -- stay valid), so the
+        result is ``repro push``-able without ever decoding the payload.
+        """
+        entry = self.entry(name)
+        out = io.BytesIO()
+        writer = ContainerWriter(out, codecs=self._codecs)
+        writer.add_record(
+            entry.name, entry.codec, self.record(entry), entry.n_bits, entry.crc
+        )
+        writer.close()
+        return out.getvalue()
+
+    def iter_frames(self) -> Iterator[tuple[str, Frame]]:
+        """Decode records in manifest order, one materialized at a time."""
+        for entry in self._entries:
+            yield entry.name, self.frame(entry)
+
+    def iter_objects(self) -> Iterator[tuple[str, Any]]:
+        """Decode summaries in manifest order, one at a time."""
+        for entry in self._entries:
+            yield entry.name, self.load(entry)
+
+
+def iter_container_frames(
+    stream: IO[bytes], *, max_bytes: int | None = None
+) -> Iterator[Frame]:
+    """Sequential one-pass decode of a v3 container (sockets, pipes).
+
+    Yields each frame in container order holding at most one undecoded
+    frame: raw/zlib payloads are lazy chunk generators that pull from the
+    stream as the consumer reads bits.  A frame the consumer skipped (or
+    only partially materialized through :attr:`Frame.payload`) is drained
+    before the next one is parsed; a frame whose chunk iterator was
+    claimed but abandoned mid-payload raises, because the stream position
+    is no longer recoverable.  After the last frame the trailing manifest
+    and footer are read and verified against what was actually seen --
+    per-record offsets, lengths, bit counts, and CRCs -- so a sequential
+    consumer gets the same integrity guarantees as a seeking one.
+    ``max_bytes`` bounds the *total* bytes consumed (the whole-container
+    budget of an untrusted stream).
+    """
+    reader = _CrcReader(stream, max_bytes)
+    magic = reader.read(len(MAGIC))
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
+    version = reader.read(1)[0]
+    if version != WIRE_V3:
+        raise WireFormatError(f"wire version {version} is not a multi-frame container")
+    _, codecs = _read_container_head(reader)
+    observed: list[tuple[int, int, int, int, str]] = []
+    while True:
+        sentinel = reader.read_raw(1)[0]
+        if sentinel == _MANIFEST_SENTINEL:
+            break
+        if sentinel != _RECORD_SENTINEL:
+            raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+        if len(observed) >= _MAX_CONTAINER_ENTRIES:
+            raise WireFormatError(f"container exceeds {_MAX_CONTAINER_ENTRIES} frames")
+        reader.crc = 0
+        start = reader.count
+        frame = _read_record_v3(reader, codecs)
+        yield frame
+        if frame._chunks is not None:
+            for _ in frame._claim_chunks():
+                pass
+        record_bytes = reader.count - start
+        if frame._payload is None and frame._chunks is None and record_bytes == 0:
+            raise WireFormatError("container frame abandoned mid-payload")
+        observed.append((start, record_bytes, frame.n_bits, reader.crc, frame.codec))
+    manifest_offset = reader.count
+    reader.crc = 0
+    entries = _read_manifest(reader, codecs)
+    if len(entries) != len(observed):
+        raise WireFormatError(
+            f"manifest lists {len(entries)} frames, stream held {len(observed)}"
+        )
+    for entry, (start, record_bytes, n_bits, crc, codec) in zip(entries, observed):
+        if (
+            entry.offset != start
+            or entry.record_bytes != record_bytes
+            or entry.n_bits != n_bits
+            or entry.crc != crc
+            or entry.codec != codec
+        ):
+            raise WireFormatError(
+                f"manifest entry {entry.name!r} disagrees with the stream's frames"
+            )
+    footer = reader.read_raw(_FOOTER_BYTES)
+    if _parse_footer(footer) != manifest_offset:
+        raise WireFormatError("container footer does not point at its manifest")
+
+
+def iter_container_objects(
+    stream: IO[bytes], *, max_bytes: int | None = None
+) -> Iterator[Any]:
+    """Sequential decode of a v3 container into live summary objects.
+
+    :func:`iter_container_frames` composed with each codec's decoder:
+    yields one reconstructed sketch/summary per contained frame, in
+    container order, holding at most one undecoded frame at a time.
+    This is the bounded-memory fan-in path ``merge_payloads`` uses when
+    a shard turns out to be a whole fleet container.
+    """
+    for frame in iter_container_frames(stream, max_bytes=max_bytes):
+        # Decode before advancing: the codec pulls the frame's lazy
+        # chunks off the stream, keeping one undecoded frame resident.
+        yield _decode_frame_obj(frame)
+
+
+def inspect_container(
+    stream: IO[bytes], *, max_bytes: int | None = None
+) -> ContainerInfo:
+    """Skim a v3 container without decoding any payload.
+
+    One sequential pass (works on unseekable streams): parses the header
+    and every record's header, skims stored payload bytes, and checks
+    every CRC -- per-record, manifest, and footer.  Checksum mismatches
+    are *reported* via ``crc_ok=False`` (mirroring :func:`inspect_frame`)
+    while structural disagreement between manifest and stream raises.
+    """
+    reader = _CrcReader(stream, max_bytes)
+    magic = reader.read(len(MAGIC))
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}: not a sketch frame")
+    version = reader.read(1)[0]
+    if version != WIRE_V3:
+        raise WireFormatError(f"wire version {version} is not a multi-frame container")
+    meta, codecs = _read_container_head(reader)
+    header_bytes = reader.count
+    crc_ok = True
+    observed: list[tuple[int, int, int, int]] = []
+    while True:
+        sentinel = reader.read_raw(1)[0]
+        if sentinel == _MANIFEST_SENTINEL:
+            break
+        if sentinel != _RECORD_SENTINEL:
+            raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+        if len(observed) >= _MAX_CONTAINER_ENTRIES:
+            raise WireFormatError(f"container exceeds {_MAX_CONTAINER_ENTRIES} frames")
+        reader.crc = 0
+        start = reader.count
+        _read_record_header_v3(reader, codecs)
+        n_bits_pos = reader.count
+        del n_bits_pos
+        stored_len = _read_uvarint(reader)
+        for _ in _iter_stored(reader, stored_len):
+            pass
+        (expected,) = struct.unpack(">I", reader.read_raw(4))
+        crc_ok &= reader.crc == expected
+        observed.append((start, reader.count - start, expected, 0))
+    manifest_offset = reader.count
+    reader.crc = 0
+    count = _read_uvarint(reader)
+    if count > _MAX_CONTAINER_ENTRIES:
+        raise WireFormatError(f"container manifest declares {count} entries")
+    entries: list[ManifestEntry] = []
+    for _ in range(count):
+        name_len = reader.read(1)[0]
+        try:
+            name = reader.read(name_len).decode("ascii") if name_len else ""
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("shard name is not ASCII") from exc
+        codec_index = _read_uvarint(reader)
+        if codec_index >= len(codecs):
+            raise WireFormatError(
+                f"manifest codec index {codec_index} outside the container's "
+                f"{len(codecs)}-entry codec table"
+            )
+        offset = _read_uvarint(reader)
+        record_bytes = _read_uvarint(reader)
+        n_bits = _read_uvarint(reader)
+        (crc,) = struct.unpack(">I", reader.read(4))
+        entries.append(
+            ManifestEntry(
+                name=name,
+                codec=codecs[codec_index],
+                codec_index=codec_index,
+                offset=offset,
+                record_bytes=record_bytes,
+                n_bits=n_bits,
+                crc=crc,
+            )
+        )
+    (expected,) = struct.unpack(">I", reader.read_raw(4))
+    crc_ok &= reader.crc == expected
+    if len(entries) != len(observed):
+        raise WireFormatError(
+            f"manifest lists {len(entries)} frames, stream held {len(observed)}"
+        )
+    for entry, (start, record_bytes, record_crc, _) in zip(entries, observed):
+        if entry.offset != start or entry.record_bytes != record_bytes:
+            raise WireFormatError(
+                f"manifest entry {entry.name!r} disagrees with the stream's frames"
+            )
+        crc_ok &= entry.crc == record_crc
+    footer = reader.read_raw(_FOOTER_BYTES)
+    if _parse_footer(footer) != manifest_offset:
+        raise WireFormatError("container footer does not point at its manifest")
+    return ContainerInfo(
+        version=WIRE_V3,
+        meta=meta,
+        codecs=codecs,
+        entries=tuple(entries),
+        header_bytes=header_bytes,
+        manifest_offset=manifest_offset,
+        container_bytes=reader.count,
+        crc_ok=crc_ok,
+    )
+
+
+def peek_wire_version(data: bytes) -> int | None:
+    """The wire version of a byte prefix, or ``None`` if not IFSK-framed."""
+    if len(data) < 5 or data[: len(MAGIC)] != MAGIC:
+        return None
+    return data[len(MAGIC)]
+
+
+def _read_frame_v3_single(reader: _CrcReader) -> Frame:
+    """A v3 container holding exactly one frame, through ``read_frame``.
+
+    Single-frame containers are how v3 flows through every frame-shaped
+    channel unchanged (``dump(version=3)``, a socket ``LOAD`` body, a WAL
+    record).  Zero frames or more than one raise -- multi-frame
+    containers go through :class:`ContainerReader` or
+    :func:`iter_container_frames`.
+    """
+    _, codecs = _read_container_head(reader)
+    sentinel = reader.read_raw(1)[0]
+    if sentinel == _MANIFEST_SENTINEL:
+        raise WireFormatError("container holds no frames")
+    if sentinel != _RECORD_SENTINEL:
+        raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+    reader.crc = 0
+    start = reader.count
+    frame = _read_record_v3(reader, codecs)
+    frame.payload  # noqa: B018 -- materialize: runs byte-total and CRC checks
+    record_bytes = reader.count - start
+    record_crc = reader.crc
+    sentinel = reader.read_raw(1)[0]
+    if sentinel == _RECORD_SENTINEL:
+        raise WireFormatError(
+            "multi-frame container: use ContainerReader or iter_container_frames"
+        )
+    if sentinel != _MANIFEST_SENTINEL:
+        raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+    manifest_offset = reader.count
+    reader.crc = 0
+    entries = _read_manifest(reader, codecs)
+    if len(entries) != 1:
+        raise WireFormatError(
+            f"manifest lists {len(entries)} frames, stream held 1"
+        )
+    entry = entries[0]
+    if (
+        entry.offset != start
+        or entry.record_bytes != record_bytes
+        or entry.n_bits != frame.n_bits
+        or entry.crc != record_crc
+    ):
+        raise WireFormatError(
+            f"manifest entry {entry.name!r} disagrees with the stream's frames"
+        )
+    footer = reader.read_raw(_FOOTER_BYTES)
+    if _parse_footer(footer) != manifest_offset:
+        raise WireFormatError("container footer does not point at its manifest")
+    return frame
+
+
+def _inspect_frame_v3_single(reader: _CrcReader) -> FrameInfo:
+    """:func:`inspect_frame` for a single-frame v3 container.
+
+    Mirrors the v1/v2 contract: the record's payload bytes are skimmed
+    (never decoded) and its checksum is *reported* via ``crc_ok``, while
+    structural breakage -- including a manifest that disagrees with the
+    record actually present -- raises.
+    """
+    _, codecs = _read_container_head(reader)
+    sentinel = reader.read_raw(1)[0]
+    if sentinel == _MANIFEST_SENTINEL:
+        raise WireFormatError("container holds no frames")
+    if sentinel != _RECORD_SENTINEL:
+        raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+    reader.crc = 0
+    start = reader.count
+    _, codec, header, n_bits, flags = _read_record_header_v3(reader, codecs)
+    header_bytes = reader.count
+    stored = _read_uvarint(reader)
+    for _ in _iter_stored(reader, stored):
+        pass
+    (expected,) = struct.unpack(">I", reader.read_raw(4))
+    crc_ok = reader.crc == expected
+    record_bytes = reader.count - start
+    sentinel = reader.read_raw(1)[0]
+    if sentinel == _RECORD_SENTINEL:
+        raise WireFormatError(
+            "multi-frame container: use inspect_container"
+        )
+    if sentinel != _MANIFEST_SENTINEL:
+        raise WireFormatError(f"bad container sentinel 0x{sentinel:02x}")
+    manifest_offset = reader.count
+    reader.crc = 0
+    entries = _read_manifest(reader, codecs)
+    if len(entries) != 1:
+        raise WireFormatError(f"manifest lists {len(entries)} frames, stream held 1")
+    entry = entries[0]
+    if (
+        entry.offset != start
+        or entry.record_bytes != record_bytes
+        or entry.n_bits != n_bits
+    ):
+        raise WireFormatError(
+            f"manifest entry {entry.name!r} disagrees with the stream's frames"
+        )
+    crc_ok = crc_ok and entry.crc == expected
+    footer = reader.read_raw(_FOOTER_BYTES)
+    if _parse_footer(footer) != manifest_offset:
+        raise WireFormatError("container footer does not point at its manifest")
+    return FrameInfo(
+        codec=codec,
+        version=WIRE_V3,
+        params=header.params,
+        extras=header.fields,
+        n_bits=n_bits,
+        compressed=bool(flags & _FLAG_ZLIB),
+        chunked=False,
+        header_bytes=header_bytes,
+        stored_payload_bytes=stored,
+        frame_bytes=reader.count,
+        crc_ok=crc_ok,
+        delta=bool(flags & _FLAG_DELTA),
     )
 
 
@@ -866,6 +2010,15 @@ def encode_frame(
             chunked=False,
         )
         return out.getvalue()
+    if version == WIRE_V3:
+        out = io.BytesIO()
+        writer = ContainerWriter(out, codecs=(codec,))
+        writer._add_encoded(
+            "", codec, params, extras, payload, n_bits,
+            compress=compress, delta=True,
+        )
+        writer.close()
+        return out.getvalue()
     raise WireFormatError(
         f"unsupported wire version {version} (this build writes {SUPPORTED_WIRE_VERSIONS})"
     )
@@ -902,6 +2055,8 @@ def read_frame(stream: IO[bytes], *, max_bytes: int | None = None) -> Frame:
         return _read_frame_v1(reader)
     if version == WIRE_V2:
         return _read_frame_v2(reader)
+    if version == WIRE_V3:
+        return _read_frame_v3_single(reader)
     raise WireFormatError(
         f"unsupported wire version {version} (this build reads {SUPPORTED_WIRE_VERSIONS})"
     )
@@ -960,6 +2115,8 @@ def inspect_frame(stream: IO[bytes], *, max_bytes: int | None = None) -> FrameIn
             stored = _read_uvarint(reader)
             for _ in _iter_stored(reader, stored):
                 pass
+    elif version == WIRE_V3:
+        return _inspect_frame_v3_single(reader)
     else:
         raise WireFormatError(
             f"unsupported wire version {version} "
@@ -1106,6 +2263,19 @@ def dump_to(
         data = _encode_frame_v1(codec.name, header.params, header.fields, buf, n_bits)
         stream.write(data)
         return len(data)
+    if version == WIRE_V3:
+        if chunked:
+            raise WireFormatError(
+                "wire v3 records are not chunked; containers stream whole records"
+            )
+        buf, n_bits = _encoded_payload(payload)
+        writer = ContainerWriter(stream, codecs=(codec.name,))
+        writer._add_encoded(
+            "", codec.name, header.params, header.fields, buf, n_bits,
+            compress=compress, delta=True,
+        )
+        writer.close()
+        return writer.bytes_written
     if version != WIRE_V2:
         raise WireFormatError(
             f"unsupported wire version {version} "

@@ -1,0 +1,201 @@
+"""CI smoke for the wire-v3 fleet path: pack, LOAD-many, crash, snapshot.
+
+Exercises the container tentpole across real process boundaries:
+
+1. sketch N Misra-Gries shards, write each as a standalone frame file,
+   and `repro pack` them into one wire-v3 container;
+2. daemon A: `repro push` every shard file individually and record the
+   acknowledged socket estimates per shard;
+3. daemon B: `repro push` the *container* -- one socket session, one
+   LOAD_MANY request per manifest entry -- and assert every shard's
+   answers are bit-identical to daemon A's per-file answers;
+4. SIGKILL daemon B (no drain), restart on the same data dir: WAL
+   replay must reproduce the identical answers;
+5. `repro compact` the dir offline: the published snapshot must itself
+   be a wire-v3 container (`repro inspect` reads it); restart once more
+   and the recovery line must report snapshot entries only, with the
+   answers still bit-identical.
+
+Run with:  PYTHONPATH=src python tests/fleet_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import wire  # noqa: E402
+from repro.db import Itemset  # noqa: E402
+from repro.server import Client  # noqa: E402
+from repro.streaming import MisraGries  # noqa: E402
+
+UNIVERSE = 64
+SHARDS = 6
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*argv: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"repro {' '.join(argv)} failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def start_server(data_dir: Path) -> tuple[subprocess.Popen, str, str]:
+    """Spawn the daemon; returns (process, host:port, recovery line)."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--data-dir", str(data_dir)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    addr = None
+    recovery = ""
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its port")
+        if "recovered" in line:
+            recovery = line.strip()
+        if line.startswith("serving on "):
+            addr = line.split("serving on ", 1)[1].strip()
+            break
+    if addr is None:
+        raise SystemExit("server never announced its port")
+    return server, addr, recovery
+
+
+def fleet_answers(addr: str) -> dict[str, list[bytes]]:
+    host, port_text = addr.rsplit(":", 1)
+    itemsets = [Itemset([i]) for i in range(UNIVERSE)]
+    out: dict[str, list[bytes]] = {}
+    with Client(host, int(port_text)) as client:
+        for i in range(SHARDS):
+            got = client.estimate(f"shard{i}", itemsets)
+            out[f"shard{i}"] = [struct.pack(">d", v) for v in got]
+    return out
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro_fleet_smoke_") as tmp:
+        tmp_path = Path(tmp)
+
+        shard_files = []
+        for i in range(SHARDS):
+            mg = MisraGries(UNIVERSE, 8)
+            rng = np.random.default_rng(100 + i)
+            mg.update_many(rng.integers(0, UNIVERSE, 4000))
+            path = tmp_path / f"shard{i}.bin"
+            path.write_bytes(wire.dump(mg))
+            shard_files.append(path)
+
+        container = tmp_path / "fleet.bin"
+        print(
+            run_cli("pack", *map(str, shard_files), "--out", str(container)),
+            end="",
+        )
+        blob = container.read_bytes()
+        if wire.peek_wire_version(blob) != wire.WIRE_V3:
+            raise SystemExit("packed fleet is not a wire-v3 container")
+
+        # Daemon A: the reference fleet, one LOAD per shard file.
+        server, addr, _ = start_server(tmp_path / "data_a")
+        try:
+            for path in shard_files:
+                run_cli("push", str(path), "--connect", addr)
+            reference = fleet_answers(addr)
+        finally:
+            server.send_signal(signal.SIGTERM)
+            if server.wait(timeout=60) != 0:
+                raise SystemExit("daemon A exited nonzero on SIGTERM")
+        print(f"daemon A answered {SHARDS} shards from per-file pushes")
+
+        # Daemon B: the same fleet from one container push.
+        data_b = tmp_path / "data_b"
+        server, addr, _ = start_server(data_b)
+        try:
+            out = run_cli("push", str(container), "--connect", addr)
+            print(out, end="")
+            if f"{SHARDS} shards" not in out:
+                raise SystemExit(f"expected {SHARDS}-shard push, got: {out!r}")
+            if fleet_answers(addr) != reference:
+                raise SystemExit("container-push answers diverged from per-file")
+            print("container-push answers bit-identical to per-file pushes")
+        finally:
+            # The crash: no drain, no shutdown hooks, nothing.
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=60)
+        print("daemon B SIGKILLed mid-flight")
+
+        server, addr, recovery = start_server(data_b)
+        try:
+            print(f"daemon B back at {addr}: {recovery}")
+            if f"{SHARDS} WAL ops" not in recovery:
+                raise SystemExit(
+                    f"expected {SHARDS} replayed ops, got: {recovery!r}"
+                )
+            if fleet_answers(addr) != reference:
+                raise SystemExit("recovered answers diverged from reference")
+            print("WAL-replayed answers bit-identical")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            if server.wait(timeout=60) != 0:
+                raise SystemExit("server exited nonzero on SIGTERM")
+
+        print(run_cli("compact", str(data_b)), end="")
+        snapshot = data_b / "snapshot.bin"
+        if wire.peek_wire_version(snapshot.read_bytes()) != wire.WIRE_V3:
+            raise SystemExit("compacted snapshot is not a wire-v3 container")
+        inspect_out = run_cli("inspect", str(snapshot))
+        if f"shards: {SHARDS}" not in inspect_out:
+            raise SystemExit(
+                f"inspect of the snapshot container is off:\n{inspect_out}"
+            )
+        print(f"snapshot.bin is an inspectable {SHARDS}-shard v3 container")
+
+        server, addr, recovery = start_server(data_b)
+        try:
+            print(f"daemon B on snapshot at {addr}: {recovery}")
+            if f"{SHARDS} snapshot entries + 0 WAL ops" not in recovery:
+                raise SystemExit(f"expected snapshot-only recovery: {recovery!r}")
+            if fleet_answers(addr) != reference:
+                raise SystemExit("snapshot answers diverged from reference")
+            print("snapshot-served answers bit-identical")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            if server.wait(timeout=60) != 0:
+                raise SystemExit("server exited nonzero on SIGTERM")
+
+        print("fleet smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -231,27 +231,49 @@ class TestWriteAheadLog:
 # ----------------------------------------------------------------------
 class TestSnapshot:
     def test_round_trips(self, tmp_path):
-        entries = [
-            ("a", wire.dump(_misra_gries(1))),
-            ("b", wire.dump(_misra_gries(2))),
-        ]
+        objects = [("a", _misra_gries(1)), ("b", _misra_gries(2))]
         path = tmp_path / "snapshot.bin"
-        write_snapshot(path, entries, last_seq=17)
-        assert read_snapshot(path) == (entries, 17)
+        write_snapshot(path, objects, last_seq=17)
+        entries, last_seq = read_snapshot(path)
+        assert last_seq == 17
+        assert [name for name, _ in entries] == ["a", "b"]
+        # Each extracted frame decodes back to the object that went in
+        # (compared via canonical re-encoding).
+        for (_, frame), (_, obj) in zip(entries, objects):
+            assert wire.dump(wire.load(frame)) == wire.dump(obj)
         write_snapshot(path, [], last_seq=0)
         assert read_snapshot(path) == ([], 0)
+
+    def test_snapshot_is_a_wire_container(self, tmp_path):
+        """The snapshot file doubles as an ordinary v3 shard container."""
+        path = tmp_path / "snapshot.bin"
+        write_snapshot(path, [("mg", _misra_gries())], last_seq=9)
+        with path.open("rb") as stream:
+            reader = wire.ContainerReader.open(stream)
+            assert reader.meta == {"last_seq": 9}
+            assert reader.names() == ("mg",)
+            loaded = reader.load("mg")
+        assert wire.dump(loaded) == wire.dump(_misra_gries())
 
     def test_truncation_everywhere_is_corruption(self, tmp_path):
         """Snapshots publish atomically, so torn is never legitimate."""
         path = tmp_path / "snapshot.bin"
-        write_snapshot(path, [("a", wire.dump(_misra_gries()))], last_seq=3)
+        write_snapshot(path, [("a", _misra_gries())], last_seq=3)
         data = path.read_bytes()
         for cut in range(len(data)):
             path.write_bytes(data[:cut])
             with pytest.raises(PersistenceError):
                 read_snapshot(path)
         path.write_bytes(data + b"\x00")
-        with pytest.raises(PersistenceError, match="trailing"):
+        with pytest.raises(PersistenceError):
+            read_snapshot(path)
+
+    def test_snapshot_meta_validated(self, tmp_path):
+        """A pushed shard container is not a snapshot: last_seq required."""
+        path = tmp_path / "snapshot.bin"
+        with path.open("wb") as out:
+            wire.write_container(out, [("mg", _misra_gries())])
+        with pytest.raises(PersistenceError, match="last_seq"):
             read_snapshot(path)
 
     def test_non_load_entry_refused(self, tmp_path):

@@ -820,3 +820,127 @@ class TestServeInThreadStartup:
                 serve_in_thread(port=taken.getsockname()[1])
         finally:
             taken.close()
+
+
+# ----------------------------------------------------------------------
+# LOAD-many: seeding a fleet from one wire-v3 container.
+# ----------------------------------------------------------------------
+def _fleet_container(count: int = 4, *, seed0: int = 100) -> bytes:
+    import io
+
+    shards = [(f"fleet{i}", _misra_gries(seed0 + i)) for i in range(count)]
+    buf = io.BytesIO()
+    wire.write_container(buf, shards)
+    return buf.getvalue()
+
+
+class TestLoadManyProtocol:
+    def test_request_round_trips(self):
+        frame = wire.dump(_misra_gries())
+        body = protocol.encode_request(
+            protocol.OP_LOAD_MANY, name="s", frame=frame, index=3, count=8
+        )
+        parsed = protocol.parse_request(body)
+        assert parsed.op == protocol.OP_LOAD_MANY
+        assert (parsed.name, parsed.index, parsed.count) == ("s", 3, 8)
+        assert parsed.frame == frame
+
+    def test_response_round_trips(self):
+        body = protocol.encode_load_many_ok(5, "misra-gries", 568, True)
+        index, codec, size, merged = protocol.parse_load_many_ok(body)
+        assert (index, codec, size, merged) == (5, "misra-gries", 568, True)
+
+    @pytest.mark.parametrize(
+        "index,count",
+        [(0, 0), (3, 3), (5, 3), (0, protocol.MAX_LOAD_MANY_FRAMES + 1)],
+    )
+    def test_bad_index_count_refused(self, index, count):
+        frame = wire.dump(_misra_gries())
+        with pytest.raises(ProtocolError):
+            protocol.encode_request(
+                protocol.OP_LOAD_MANY,
+                name="s",
+                frame=frame,
+                index=index,
+                count=count,
+            )
+        good = protocol.encode_request(
+            protocol.OP_LOAD_MANY, name="s", frame=frame, index=0, count=1
+        )
+        # Forge the same bad values into a parsed body.
+        from repro.db.serialize import encode_uvarint
+
+        forged = (
+            bytes([protocol.OP_LOAD_MANY, 1])
+            + b"s"
+            + encode_uvarint(index)
+            + encode_uvarint(count)
+            + frame
+        )
+        assert protocol.parse_request(good).count == 1
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(forged)
+
+
+class TestLoadManyEndToEnd:
+    def test_container_push_bit_identical_to_per_file_loads(self):
+        """The socket-vs-file differential for the fleet path."""
+        container = _fleet_container(4)
+        import io
+
+        reader = wire.ContainerReader.open(io.BytesIO(container))
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                results = client.load_many(container)
+                assert [name for name, _, _, _ in results] == [
+                    f"fleet{i}" for i in range(4)
+                ]
+                assert all(not merged for _, _, _, merged in results)
+                # The same shards loaded one file at a time, other names.
+                for i in range(4):
+                    shard = reader.extract(f"fleet{i}")
+                    client.load(f"solo{i}", shard)
+                for i in range(4):
+                    a = client.stat(f"fleet{i}")
+                    b = client.stat(f"solo{i}")
+                    assert (a.codec, a.size_in_bits) == (b.codec, b.size_in_bits)
+                    itemsets = [Itemset([j]) for j in range(48)]
+                    assert client.estimate(
+                        f"fleet{i}", itemsets
+                    ) == client.estimate(f"solo{i}", itemsets)
+
+    def test_collision_folds_like_load(self):
+        container = _fleet_container(2)
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                first = client.load_many(container)
+                second = client.load_many(container)
+                assert all(not merged for _, _, _, merged in first)
+                assert all(merged for _, _, _, merged in second)
+                expected = merge_misra_gries(_misra_gries(100), _misra_gries(100))
+                got = client.estimate(
+                    "fleet0", [Itemset([i]) for i in range(48)]
+                )
+                assert got == [
+                    expected.estimate_frequency(i) for i in range(48)
+                ]
+
+    def test_anonymous_shard_refused_client_side(self):
+        frame = wire.dump(_misra_gries(), version=wire.WIRE_V3)
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                with pytest.raises(ProtocolError, match="anonymous"):
+                    client.load_many(frame)
+                client.ping()  # connection still usable
+
+    def test_accepts_reader_and_bytes(self):
+        import io
+
+        container = _fleet_container(2)
+        reader = wire.ContainerReader.open(io.BytesIO(container))
+        with serve_in_thread() as handle:
+            with Client(handle.host, handle.port) as client:
+                assert client.load_many(reader) == [
+                    ("fleet0", "misra-gries", _misra_gries(100).size_in_bits(), False),
+                    ("fleet1", "misra-gries", _misra_gries(101).size_in_bits(), False),
+                ]

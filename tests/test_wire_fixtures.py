@@ -1,16 +1,17 @@
-"""Golden v1 fixture compatibility: committed frames decode forever.
+"""Golden fixture compatibility: committed v1 and v2 frames decode forever.
 
-``tests/fixtures/v1/`` holds one frozen wire-v1 frame per codec (see
-``tests/fixtures/generate_v1_fixtures.py``).  These tests are the
-compatibility contract for every frame ever written by a v1 build:
+``tests/fixtures/v1/`` holds one frozen wire-v1 frame per codec and
+``tests/fixtures/v2/`` three frozen v2 frames per codec -- plain, zlib,
+and chunked+zlib layouts (see ``tests/fixtures/generate_v1_fixtures.py``
+/ ``generate_v2_fixtures.py``).  These tests are the compatibility
+contract for every frame ever written by a v1 or v2 build:
 
 * the committed bytes decode through the *current* code path (``load``
   auto-dispatches by version byte);
-* re-encoding the decoded object as v1 reproduces the committed bytes
-  exactly -- the v1 encoder is frozen;
-* the v2 path carries the same object: v1 fixture -> object -> v2 frame
-  -> object -> v1 frame is byte-identical to the fixture (with and
-  without compression).
+* re-encoding the decoded object under the same version reproduces the
+  committed bytes exactly -- both encoders are frozen;
+* the other versions carry the same object: fixture -> object -> other
+  version -> object -> fixture version is byte-identical.
 """
 
 from __future__ import annotations
@@ -27,10 +28,13 @@ from repro import wire
 FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "v1"
 MANIFEST = json.loads((FIXTURE_DIR / "manifest.json").read_text())
 
+V2_FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "v2"
+V2_MANIFEST = json.loads((V2_FIXTURE_DIR / "manifest.json").read_text())
 
-def _load_generator_module():
-    path = FIXTURE_DIR.parent / "generate_v1_fixtures.py"
-    spec = importlib.util.spec_from_file_location("generate_v1_fixtures", path)
+
+def _load_generator_module(name: str = "generate_v1_fixtures"):
+    path = FIXTURE_DIR.parent / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
@@ -39,6 +43,11 @@ def _load_generator_module():
 @pytest.fixture(scope="module")
 def generator():
     return _load_generator_module()
+
+
+@pytest.fixture(scope="module")
+def v2_generator():
+    return _load_generator_module("generate_v2_fixtures")
 
 
 class TestGoldenV1Frames:
@@ -83,3 +92,47 @@ class TestGoldenV1Frames:
 
     def test_check_mode_passes(self, generator):
         assert generator.check_fixtures() == 0
+
+
+class TestGoldenV2Frames:
+    def test_three_fixtures_per_codec(self):
+        plain = {name for name in V2_MANIFEST if "+" not in name}
+        assert plain == set(wire.codec_names())
+        assert set(V2_MANIFEST) == (
+            plain | {f"{n}+zlib" for n in plain} | {f"{n}+chunked" for n in plain}
+        )
+
+    @pytest.mark.parametrize("name", sorted(V2_MANIFEST))
+    def test_committed_bytes_match_manifest(self, name):
+        frame = (V2_FIXTURE_DIR / V2_MANIFEST[name]["file"]).read_bytes()
+        assert len(frame) == V2_MANIFEST[name]["bytes"]
+        assert hashlib.sha256(frame).hexdigest() == V2_MANIFEST[name]["sha256"]
+        assert frame[:4] == wire.MAGIC and frame[4] == wire.WIRE_V2
+
+    @pytest.mark.parametrize("name", sorted(V2_MANIFEST))
+    def test_decodes_and_reencodes_bit_identically(self, name):
+        """load() dispatches by version; plain v2 re-encode is frozen bytes."""
+        committed = (V2_FIXTURE_DIR / V2_MANIFEST[name]["file"]).read_bytes()
+        codec = name.split("+")[0]
+        frame = wire.decode_frame(committed)
+        assert frame.version == wire.WIRE_V2 and frame.codec == codec
+        obj = wire.load(committed)
+        assert obj.size_in_bits() == frame.n_bits
+        plain = (V2_FIXTURE_DIR / V2_MANIFEST[codec]["file"]).read_bytes()
+        assert wire.dump(obj, version=wire.WIRE_V2) == plain
+
+    @pytest.mark.parametrize("codec", sorted(MANIFEST))
+    def test_v1_path_carries_the_same_object(self, codec):
+        """v2 fixture -> object -> v1 frame matches the v1 fixture exactly."""
+        committed = (V2_FIXTURE_DIR / V2_MANIFEST[codec]["file"]).read_bytes()
+        obj = wire.load(committed)
+        v1_committed = (FIXTURE_DIR / MANIFEST[codec]["file"]).read_bytes()
+        assert wire.dump(obj, version=wire.WIRE_V1) == v1_committed
+
+    def test_regeneration_matches_committed(self, v2_generator):
+        for name, frame in v2_generator.build_fixture_frames().items():
+            committed = (V2_FIXTURE_DIR / V2_MANIFEST[name]["file"]).read_bytes()
+            assert frame == committed, f"{name} fixture drifted"
+
+    def test_check_mode_passes(self, v2_generator):
+        assert v2_generator.check_fixtures() == 0
